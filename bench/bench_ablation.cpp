@@ -1,0 +1,109 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//
+//  A1 — what distillation buys: students trained with the composite loss at
+//       α ∈ {0, 0.25, 0.5, 0.75, 1} (α = 1 ⇒ hard labels only, no teacher),
+//       plus a variant without the matched-filter input feature.
+//  A2 — fixed-point word width: the distilled student deployed at
+//       Q8.8 / Q12.12 / Q16.16 / Q24.24 vs the float reference.
+//
+// Runs on the two extreme qubits: Q1 (easy, FNN-A) and Q2 (hard, FNN-B).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+
+namespace {
+
+using namespace klinq;
+
+void run_for_qubit(const bench::bench_context& ctx, std::size_t qubit,
+                   core::artifact_cache& cache) {
+  std::printf("\n===== qubit %zu (%s) =====\n", qubit + 1,
+              core::arch_name(core::arch_for_qubit(qubit)));
+  const qsim::qubit_dataset data = qsim::build_qubit_dataset(ctx.spec, qubit);
+  const kd::teacher_model teacher =
+      core::obtain_teacher(ctx.spec, qubit, data.train, ctx.teacher, cache);
+  const std::vector<float> logits = teacher.logits_for(data.train);
+  std::printf("teacher reference accuracy: %.3f\n", teacher.accuracy(data.test));
+
+  // --- A1: alpha sweep -----------------------------------------------------
+  std::printf("\nA1: distillation weight sweep (float students)\n");
+  std::printf("%-28s %9s\n", "configuration", "accuracy");
+  for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    kd::student_config config = core::student_config_for(
+        core::arch_for_qubit(qubit), ctx.student_seed);
+    config.distillation.alpha = alpha;
+    // alpha = 1 is equivalent to hard-label training; still exercises the
+    // composite-loss code path.
+    const kd::student_model student =
+        kd::distill_student(data.train, logits, config);
+    std::printf("  alpha = %.2f%s %17.3f\n", alpha,
+                alpha == 1.0 ? " (no KD)  " : "          ",
+                student.accuracy(data.test));
+  }
+  {
+    kd::student_config config = core::student_config_for(
+        core::arch_for_qubit(qubit), ctx.student_seed);
+    const kd::student_model no_teacher =
+        kd::distill_student(data.train, {}, config);
+    std::printf("  hard labels only (no soft targets) %6.3f\n",
+                no_teacher.accuracy(data.test));
+
+    config.use_matched_filter = false;
+    const kd::student_model no_mf =
+        kd::distill_student(data.train, logits, config);
+    std::printf("  without MF input feature %16.3f\n",
+                no_mf.accuracy(data.test));
+  }
+
+  // --- A2: word-width sweep ------------------------------------------------
+  std::printf("\nA2: fixed-point word width (distilled student, deployed)\n");
+  kd::student_config config = core::student_config_for(
+      core::arch_for_qubit(qubit), ctx.student_seed);
+  const kd::student_model student =
+      kd::distill_student(data.train, logits, config);
+  const double float_acc = student.accuracy(data.test);
+  std::printf("  %-22s %9.3f %12s\n", "float32 reference", float_acc, "-");
+
+  const auto report = [&](const char* name, double acc, double agree) {
+    std::printf("  %-22s %9.3f %11.1f%%\n", name, acc, 100.0 * agree);
+  };
+  {
+    const hw::fixed_discriminator<fx::q8_8> hw_model(student);
+    report("Q8.8  (16-bit)", hw_model.accuracy(data.test),
+           hw_model.agreement_with_float(student, data.test));
+  }
+  {
+    const hw::fixed_discriminator<fx::q12_12> hw_model(student);
+    report("Q12.12 (24-bit)", hw_model.accuracy(data.test),
+           hw_model.agreement_with_float(student, data.test));
+  }
+  {
+    const hw::fixed_discriminator<fx::q16_16> hw_model(student);
+    report("Q16.16 (32-bit, paper)", hw_model.accuracy(data.test),
+           hw_model.agreement_with_float(student, data.test));
+  }
+  {
+    const hw::fixed_discriminator<fx::q24_24> hw_model(student);
+    report("Q24.24 (48-bit)", hw_model.accuracy(data.test),
+           hw_model.agreement_with_float(student, data.test));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_parser cli("bench_ablation",
+                 "ablations: distillation weight, MF feature, word width");
+  bench::add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const auto ctx = bench::make_context(cli);
+  bench::print_scale_banner(ctx, "Ablations (A1: distillation/MF, A2: word width)");
+  std::printf("columns: accuracy = assignment fidelity on the test split; "
+              "agreement = decisions identical to float32\n");
+
+  core::artifact_cache cache = ctx.cache;
+  run_for_qubit(ctx, 0, cache);  // Q1: easy, FNN-A
+  run_for_qubit(ctx, 1, cache);  // Q2: hard (noise + crosstalk), FNN-B
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Scaling: the paper uses 15 000 train / 35 000 test shots per permutation;
+// the default here is laptop-sized (KLINQ_TRACES_TRAIN / KLINQ_TRACES_TEST
+// env vars or --traces-train/--traces-test flags, defaults 150/300), and
+// --paper-scale selects the full counts. Expensive teachers are cached
+// under KLINQ_CACHE_DIR (default ./klinq_cache), so benches run in any
+// order and pay the training cost once.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "klinq/common/cli.hpp"
+#include "klinq/common/env.hpp"
+#include "klinq/common/stopwatch.hpp"
+#include "klinq/core/cache.hpp"
+#include "klinq/core/fidelity.hpp"
+#include "klinq/core/presets.hpp"
+#include "klinq/core/workflow.hpp"
+#include "klinq/kd/teacher.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+namespace klinq::bench {
+
+struct bench_context {
+  qsim::dataset_spec spec;
+  kd::teacher_config teacher;
+  core::artifact_cache cache{""};
+  std::uint64_t student_seed = 7;
+};
+
+inline void add_standard_options(cli_parser& cli) {
+  cli.add_option("traces-train", "train shots per state permutation",
+                 std::to_string(env_int("KLINQ_TRACES_TRAIN", 300)));
+  cli.add_option("traces-test", "test shots per state permutation",
+                 std::to_string(env_int("KLINQ_TRACES_TEST", 300)));
+  cli.add_flag("paper-scale", "use the paper's 15000/35000 shot counts");
+  cli.add_option("seed", "dataset generation seed", "42");
+  cli.add_option("student-seed", "student init/training seed", "7");
+}
+
+inline bench_context make_context(const cli_parser& cli) {
+  bench_context ctx;
+  ctx.spec.device = qsim::lienhard5q_preset();
+  if (cli.get_flag("paper-scale")) {
+    ctx.spec.shots_per_permutation_train = 15000;
+    ctx.spec.shots_per_permutation_test = 35000;
+  } else {
+    ctx.spec.shots_per_permutation_train =
+        static_cast<std::size_t>(cli.get_int("traces-train"));
+    ctx.spec.shots_per_permutation_test =
+        static_cast<std::size_t>(cli.get_int("traces-test"));
+  }
+  ctx.spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  ctx.student_seed = static_cast<std::uint64_t>(cli.get_int("student-seed"));
+  ctx.cache = core::artifact_cache::from_environment();
+  return ctx;
+}
+
+inline void print_scale_banner(const bench_context& ctx, const char* bench) {
+  std::printf(
+      "== %s ==\n"
+      "dataset: 32 permutations x %zu train / %zu test shots per qubit, "
+      "seed %llu (paper: 15000/35000)\n\n",
+      bench, ctx.spec.shots_per_permutation_train,
+      ctx.spec.shots_per_permutation_test,
+      static_cast<unsigned long long>(ctx.spec.seed));
+}
+
+/// Paper Table I rows for side-by-side comparison.
+inline core::fidelity_report paper_baseline_fnn() {
+  return {"[paper] FNN [3]", {0.969, 0.748, 0.940, 0.946, 0.970}};
+}
+inline core::fidelity_report paper_herqules() {
+  return {"[paper] HERQULES", {0.965, 0.730, 0.908, 0.934, 0.953}};
+}
+inline core::fidelity_report paper_klinq() {
+  return {"[paper] KLiNQ", {0.968, 0.748, 0.929, 0.934, 0.959}};
+}
+
+}  // namespace klinq::bench

@@ -1,0 +1,111 @@
+// Extension experiments beyond the paper's evaluation (its §VI Discussion
+// names both as future work):
+//
+//  X1 — crosstalk-aware distillation: qubit 2's fidelity is limited by
+//       leakage from its neighbours. Train a teacher that *sees* the
+//       neighbouring channels (own + Q1 + Q3 ⇒ 3000 inputs), then distill
+//       into the standard single-channel FNN-B student. The student still
+//       reads only its own channel (deployable per qubit, mid-circuit
+//       capable) but learns from a teacher that can separate crosstalk from
+//       signal — the paper's proposed mitigation.
+//
+//  X2 — digital channelization: KLiNQ assumes per-qubit analog channels;
+//       HERQULES-style stacks digitize one multiplexed feedline and
+//       demodulate. Build qubit 2's channel via DDC from the simulated
+//       feedline and measure what digital demodulation costs relative to
+//       the ideal channel.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "klinq/dsp/ddc.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace klinq;
+  cli_parser cli("bench_ext_crosstalk",
+                 "extensions: crosstalk-aware teacher (X1), DDC channel (X2)");
+  bench::add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const auto ctx = bench::make_context(cli);
+  bench::print_scale_banner(ctx, "Extensions X1/X2 (qubit 2)");
+
+  const std::size_t qubit = 1;  // Q2, the crosstalk victim
+  core::artifact_cache cache = ctx.cache;
+  stopwatch total;
+
+  // --- shared: plain single-channel data + teacher --------------------------
+  std::printf("building single-channel dataset + teacher...\n");
+  const qsim::qubit_dataset own = qsim::build_qubit_dataset(ctx.spec, qubit);
+  const kd::teacher_model teacher_plain =
+      core::obtain_teacher(ctx.spec, qubit, own.train, ctx.teacher, cache);
+  const std::vector<float> logits_plain = teacher_plain.logits_for(own.train);
+
+  const kd::student_model student_plain = core::distill_for_duration(
+      own.train, logits_plain, qubit, own.train.duration_ns(),
+      ctx.student_seed);
+  const hw::fixed_discriminator<fx::q16_16> hw_plain(student_plain);
+
+  // --- X1: crosstalk-aware teacher ------------------------------------------
+  std::printf("building 3-channel dataset (Q2 + neighbours Q1, Q3)...\n");
+  const std::vector<std::size_t> channels{1, 0, 2};
+  const qsim::qubit_dataset multi =
+      qsim::build_multichannel_dataset(ctx.spec, qubit, channels);
+
+  // The multichannel teacher is cached under a distinct key (wider input).
+  kd::teacher_config aware_config = ctx.teacher;
+  aware_config.seed ^= 0xC7055;  // distinct stream; also distinct cache key
+  const std::string aware_key =
+      core::artifact_cache::hash_key("xtalk-aware|" +
+          core::teacher_cache_key(ctx.spec, qubit, aware_config));
+  kd::teacher_model teacher_aware = [&] {
+    if (auto cached = cache.load_teacher(aware_key)) return std::move(*cached);
+    auto model = kd::train_teacher(multi.train, aware_config);
+    cache.store_teacher(aware_key, model);
+    return model;
+  }();
+  const std::vector<float> logits_aware = teacher_aware.logits_for(multi.train);
+
+  // Distill into the standard single-channel student: rows align 1:1
+  // because both datasets replay the same physical shots.
+  const kd::student_model student_aware = core::distill_for_duration(
+      own.train, logits_aware, qubit, own.train.duration_ns(),
+      ctx.student_seed);
+  const hw::fixed_discriminator<fx::q16_16> hw_aware(student_aware);
+
+  // --- X2: DDC channel -------------------------------------------------------
+  std::printf("building multiplexed feedline + DDC channel for Q2...\n");
+  const qsim::qubit_dataset feedline =
+      qsim::build_multiplexed_dataset(ctx.spec, qubit);
+  const dsp::digital_down_converter ddc(
+      {.if_freq_mhz = ctx.spec.device.qubits[qubit].if_freq_mhz});
+  const data::trace_dataset ddc_train = ddc.convert_all(feedline.train);
+  const data::trace_dataset ddc_test = ddc.convert_all(feedline.test);
+  // Distill on the DDC channel from the plain teacher's logits (same shots).
+  const kd::student_model student_ddc = core::distill_for_duration(
+      ddc_train, logits_plain, qubit, ddc_train.duration_ns(),
+      ctx.student_seed);
+  const hw::fixed_discriminator<fx::q16_16> hw_ddc(student_ddc);
+
+  // --- report ----------------------------------------------------------------
+  std::printf("\n--- X1: crosstalk-aware distillation (qubit 2) ---\n");
+  std::printf("%-44s %9s\n", "model", "accuracy");
+  std::printf("%-44s %9.3f\n", "teacher, own channel (1000 inputs)",
+              teacher_plain.accuracy(own.test));
+  std::printf("%-44s %9.3f\n", "teacher, own+neighbours (3000 inputs)",
+              teacher_aware.accuracy(multi.test));
+  std::printf("%-44s %9.3f\n", "student distilled from plain teacher",
+              hw_plain.accuracy(own.test));
+  std::printf("%-44s %9.3f\n", "student distilled from crosstalk-aware",
+              hw_aware.accuracy(own.test));
+  std::printf("(both students read only qubit 2's channel and remain "
+              "mid-circuit capable)\n");
+
+  std::printf("\n--- X2: analog channel vs digital channelization ---\n");
+  std::printf("%-44s %9.3f\n", "student on ideal per-qubit channel",
+              hw_plain.accuracy(own.test));
+  std::printf("%-44s %9.3f\n", "student on DDC channel (from feedline)",
+              hw_ddc.accuracy(ddc_test));
+
+  std::printf("\ntotal wall time: %.1f s\n", total.seconds());
+  return 0;
+}

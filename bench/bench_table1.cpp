@@ -1,0 +1,87 @@
+// Reproduces Table I: per-qubit readout fidelity on the independent-readout
+// scenario at 1 µs — Baseline FNN [3] vs HERQULES [9] vs KLiNQ (+ classical
+// MF-threshold and LDA context rows), with F5Q and F4Q geometric means.
+//
+// Expected shape (paper): Baseline FNN >= KLiNQ > HERQULES; qubit 2 far
+// below the others; KLiNQ F5Q ≈ 0.90.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "klinq/baselines/baseline_fnn.hpp"
+#include "klinq/baselines/herqules.hpp"
+#include "klinq/baselines/lda.hpp"
+#include "klinq/baselines/mf_threshold.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace klinq;
+  cli_parser cli("bench_table1",
+                 "Table I reproduction: independent-readout fidelity");
+  bench::add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const auto ctx = bench::make_context(cli);
+  bench::print_scale_banner(ctx, "Table I: qubit-readout fidelity");
+
+  const std::size_t n_qubits = ctx.spec.device.qubit_count();
+  core::fidelity_report row_baseline{"Baseline FNN", {}};
+  core::fidelity_report row_herqules{"HERQULES", {}};
+  core::fidelity_report row_klinq{"KLiNQ (Q16.16)", {}};
+  core::fidelity_report row_klinq_float{"KLiNQ (float)", {}};
+  core::fidelity_report row_mf{"MF threshold", {}};
+  core::fidelity_report row_lda{"LDA", {}};
+
+  core::artifact_cache cache = ctx.cache;
+  stopwatch total;
+  for (std::size_t q = 0; q < n_qubits; ++q) {
+    stopwatch per_qubit;
+    std::printf("[qubit %zu] generating dataset...\n", q + 1);
+    const qsim::qubit_dataset data = qsim::build_qubit_dataset(ctx.spec, q);
+
+    // Baseline FNN [3] == the distillation teacher (same architecture, same
+    // training), evaluated as an independent per-qubit discriminator.
+    const kd::teacher_model teacher =
+        core::obtain_teacher(ctx.spec, q, data.train, ctx.teacher, cache);
+    row_baseline.per_qubit.push_back(teacher.accuracy(data.test));
+
+    // KLiNQ: distilled student, evaluated on the deployed fixed-point path
+    // and on the float reference.
+    const std::vector<float> logits = teacher.logits_for(data.train);
+    const kd::student_model student = core::distill_for_duration(
+        data.train, logits, q, data.train.duration_ns(), ctx.student_seed);
+    const hw::fixed_discriminator<fx::q16_16> hw_student(student);
+    row_klinq.per_qubit.push_back(hw_student.accuracy(data.test));
+    row_klinq_float.per_qubit.push_back(student.accuracy(data.test));
+
+    // HERQULES [9]: segmented-MF features + compact FNN.
+    const auto herqules = baselines::herqules_discriminator::fit(data.train);
+    row_herqules.per_qubit.push_back(herqules.accuracy(data.test));
+
+    // Classical context rows.
+    row_mf.per_qubit.push_back(
+        baselines::mf_threshold_discriminator::fit(data.train)
+            .accuracy(data.test));
+    row_lda.per_qubit.push_back(
+        baselines::lda_discriminator::fit(data.train).accuracy(data.test));
+
+    std::printf("[qubit %zu] done in %.1f s\n", q + 1, per_qubit.seconds());
+  }
+
+  std::printf("\n--- measured (this run) ---\n");
+  core::print_fidelity_header(n_qubits, std::cout);
+  core::print_fidelity_row(row_baseline, std::cout);
+  core::print_fidelity_row(row_herqules, std::cout);
+  core::print_fidelity_row(row_klinq, std::cout);
+  core::print_fidelity_row(row_klinq_float, std::cout);
+  core::print_fidelity_row(row_mf, std::cout);
+  core::print_fidelity_row(row_lda, std::cout);
+
+  std::printf("\n--- paper Table I (reference) ---\n");
+  core::print_fidelity_header(5, std::cout);
+  core::print_fidelity_row(bench::paper_baseline_fnn(), std::cout);
+  core::print_fidelity_row(bench::paper_herqules(), std::cout);
+  core::print_fidelity_row(bench::paper_klinq(), std::cout);
+
+  std::printf("\ntotal wall time: %.1f s\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Readout-duration trade-off on one qubit (a miniature of paper Fig. 4a).
+//
+// Shorter readout = less decoherence elsewhere in the circuit but fewer
+// samples to integrate. This example distills a student per duration and
+// prints the fidelity curve, including the T1-decay effect that makes very
+// long readouts counterproductive for short-lived qubits.
+#include <cstdio>
+
+#include "klinq/core/presets.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+#include "klinq/kd/distiller.hpp"
+#include "klinq/kd/teacher.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+int main() {
+  using namespace klinq;
+
+  // A T1-limited qubit (like the paper's Q5): long readouts start to lose
+  // shots to mid-measurement decay.
+  qsim::dataset_spec spec;
+  spec.device = qsim::single_qubit_test_preset();
+  spec.device.qubits[0].t1_ns = 8000.0;   // 8 µs
+  spec.device.qubits[0].ground = {1.85, 1.2};
+  spec.device.qubits[0].excited = {2.15, 1.2};  // tighter separation
+  spec.shots_per_permutation_train = 600;
+  spec.shots_per_permutation_test = 600;
+  spec.seed = 7;
+  std::printf("generating dataset...\n");
+  const qsim::qubit_dataset data = qsim::build_qubit_dataset(spec, 0);
+
+  kd::teacher_config teacher_config;
+  teacher_config.hidden = {128, 64};
+  teacher_config.epochs = 6;
+  std::printf("training teacher at the full 1 us duration...\n");
+  const kd::teacher_model teacher =
+      kd::train_teacher(data.train, teacher_config);
+  const std::vector<float> soft_labels = teacher.logits_for(data.train);
+
+  std::printf("\n%-12s %10s %12s\n", "duration", "fidelity", "params");
+  for (const double duration_ns : {300.0, 400.0, 500.0, 700.0, 1000.0}) {
+    const bool full = duration_ns >= data.train.duration_ns() - 1e-9;
+    const data::trace_dataset train =
+        full ? data.train : data.train.sliced_to_duration_ns(duration_ns);
+    const data::trace_dataset test =
+        full ? data.test : data.test.sliced_to_duration_ns(duration_ns);
+
+    // Fixed student input width (31): the averager regroups dynamically.
+    kd::student_config config =
+        core::student_config_for(core::student_arch::fnn_a);
+    const kd::student_model student =
+        kd::distill_student(train, soft_labels, config);
+    const hw::fixed_discriminator<fx::q16_16> hw_student(student);
+    std::printf("%8.0f ns %10.4f %12zu\n", duration_ns,
+                hw_student.accuracy(test), student.parameter_count());
+  }
+
+  std::printf(
+      "\nNote the plateau/rollover: past the noise-limited regime, extra "
+      "integration time mostly adds T1-decay errors (cf. paper Table II, "
+      "qubit 5 peaking below 1 us).\n");
+  return 0;
+}

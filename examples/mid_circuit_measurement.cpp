@@ -1,0 +1,86 @@
+// Mid-circuit measurement demo — the capability KLiNQ's independent
+// per-qubit discriminators enable (paper §I, contribution 2).
+//
+// Scenario: a 3-qubit device runs a circuit in which only the ANCILLA
+// (qubit 2) is measured mid-circuit; data qubits 1 and 3 keep evolving.
+// Because every KLiNQ discriminator is a self-contained compact network on
+// its own channel, the ancilla readout needs no synchronized readout of the
+// other qubits — we measure one channel, branch on the outcome, and apply
+// the (simulated) conditional correction, just like real-time feedback in
+// quantum error correction.
+#include <cstdio>
+
+#include "klinq/core/system.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+int main() {
+  using namespace klinq;
+
+  // 3-qubit device: take the first three qubits of the paper preset.
+  qsim::device_params device = qsim::lienhard5q_preset();
+  device.qubits.resize(3);
+  la::matrix_d crosstalk(3, 3, 0.0);
+  crosstalk(1, 0) = 0.15;
+  crosstalk(1, 2) = 0.12;
+  device.crosstalk = std::move(crosstalk);
+
+  core::system_config config;
+  config.dataset.device = device;
+  config.dataset.shots_per_permutation_train = 150;
+  config.dataset.shots_per_permutation_test = 50;
+  config.dataset.seed = 11;
+  config.teacher.hidden = {128, 64};  // demo-sized teacher
+  config.teacher.epochs = 6;
+  config.cache_dir = "";  // train fresh for the demo
+
+  std::printf("training one independent discriminator per qubit...\n\n");
+  const core::klinq_system system = core::klinq_system::train(config);
+
+  // --- mid-circuit loop ----------------------------------------------------
+  // Simulate shots; measure ONLY the ancilla's channel mid-circuit and
+  // branch on the outcome (a conditional X correction in a real stack).
+  // Qubit 1 (index 0) serves as the ancilla — error-correction ancillas are
+  // chosen for readout quality, and its neighbour (qubit 2) is the
+  // crosstalk victim here, not the other way around.
+  const qsim::readout_simulator sim(device);
+  const std::size_t ancilla = 0;
+  xoshiro256 rng(99);
+
+  std::printf("mid-circuit ancilla measurements (channel %zu only):\n",
+              ancilla + 1);
+  std::size_t corrections = 0;
+  std::size_t correct_reads = 0;
+  const std::size_t shots = 200;
+  for (std::size_t shot = 0; shot < shots; ++shot) {
+    // Alternate the ancilla preparation; data qubits in superposition-ish
+    // random states (their channels are never read here).
+    const bool ancilla_prepared = (shot % 2) == 1;
+    std::uint32_t perm = static_cast<std::uint32_t>(rng.uniform_index(8));
+    perm = ancilla_prepared ? (perm | (1u << ancilla))
+                            : (perm & ~(1u << ancilla));
+    const qsim::shot_result result = sim.simulate_shot(perm, rng);
+
+    const bool outcome =
+        system.measure(ancilla, result.channels[ancilla],
+                       sim.samples_per_quadrature());
+    if (outcome) ++corrections;  // feedback: would trigger conditional X
+    if (outcome == ancilla_prepared) ++correct_reads;
+
+    if (shot < 4) {
+      std::printf("  shot %zu: prepared |%d> -> read |%d> -> %s\n", shot,
+                  ancilla_prepared ? 1 : 0, outcome ? 1 : 0,
+                  outcome ? "apply X correction" : "no correction");
+    }
+  }
+  std::printf("  ...\n");
+  std::printf("\n%zu/%zu ancilla reads correct (%.1f %%), "
+              "%zu feedback corrections issued\n",
+              correct_reads, shots, 100.0 * correct_reads / shots,
+              corrections);
+
+  // The decision arrives 32 pipeline cycles after the trace — the latency
+  // budget that makes this feedback real-time (paper Table III).
+  std::printf("\nhardware decision latency: 32 cycles (paper: 32 ns) after "
+              "the last sample — fast feedback for error correction.\n");
+  return 0;
+}

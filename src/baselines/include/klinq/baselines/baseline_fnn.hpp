@@ -1,0 +1,36 @@
+// Baseline FNN [3] (Lienhard et al.) adapted to independent readout.
+//
+// Architecturally identical to the KLiNQ teacher (raw traces →
+// 1000-500-250 hidden stack → logit); the paper reproduces it per qubit for
+// Table I exactly as we do here. This wrapper exists so benches can treat
+// it as a named baseline with the common discriminator interface.
+#pragma once
+
+#include "klinq/baselines/discriminator.hpp"
+#include "klinq/kd/teacher.hpp"
+
+namespace klinq::baselines {
+
+class baseline_fnn_discriminator final : public discriminator {
+ public:
+  /// Trains the full-size FNN on raw traces of one qubit.
+  static baseline_fnn_discriminator fit(const data::trace_dataset& train,
+                                        const kd::teacher_config& config = {});
+
+  /// Wraps an already-trained teacher (avoids double training when the same
+  /// network serves as both baseline row and distillation teacher).
+  explicit baseline_fnn_discriminator(kd::teacher_model model);
+
+  bool predict_state(std::span<const float> trace) const override;
+  std::string name() const override { return "baseline-fnn"; }
+  std::size_t parameter_count() const override {
+    return model_.parameter_count();
+  }
+
+  const kd::teacher_model& model() const noexcept { return model_; }
+
+ private:
+  kd::teacher_model model_;
+};
+
+}  // namespace klinq::baselines

@@ -1,0 +1,32 @@
+// Common interface for every single-qubit discriminator baseline.
+//
+// All comparison methods (MF threshold, LDA, baseline FNN, HERQULES, and the
+// KLiNQ student itself via an adapter) discriminate one qubit from one
+// flattened [I|Q] trace, so benches can sweep them uniformly.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "klinq/data/trace_dataset.hpp"
+
+namespace klinq::baselines {
+
+class discriminator {
+ public:
+  virtual ~discriminator() = default;
+
+  /// Predicted qubit state for one flattened trace.
+  virtual bool predict_state(std::span<const float> trace) const = 0;
+
+  /// Assignment accuracy over a dataset (fraction of label matches).
+  double accuracy(const data::trace_dataset& dataset) const;
+
+  virtual std::string name() const = 0;
+
+  /// Trainable parameter count (0 for non-parametric methods).
+  virtual std::size_t parameter_count() const = 0;
+};
+
+}  // namespace klinq::baselines

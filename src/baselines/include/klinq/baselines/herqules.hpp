@@ -1,0 +1,68 @@
+// HERQULES-style discriminator (Maurya et al., ISCA'23 — paper ref [9]).
+//
+// HERQULES feeds qubit-specific matched-filter features into a compact FNN
+// instead of the raw trace. We reproduce that design for the independent-
+// readout comparison: the trace is split into S contiguous segments, one MF
+// envelope is fitted per segment, and the S projections (z-scored) feed a
+// small two-hidden-layer network.
+//
+// The segmented MF bank captures the *temporal* decay signature that a
+// single full-trace MF integrates away, but it still discards the raw-trace
+// detail — which is why it trails KLiNQ on the noisy/crosstalk-limited
+// qubits, matching the paper's Table I and Fig. 4(b) ordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "klinq/baselines/discriminator.hpp"
+#include "klinq/dsp/matched_filter.hpp"
+#include "klinq/dsp/normalization.hpp"
+#include "klinq/nn/network.hpp"
+
+namespace klinq::baselines {
+
+struct herqules_config {
+  /// Number of trace segments, each with its own matched filter. The
+  /// independent-readout adaptation keeps this small: HERQULES's feature
+  /// set was designed around per-qubit MF outputs shared across a 5-qubit
+  /// network, and the KLiNQ paper observes it degrades when reduced to a
+  /// single qubit's features.
+  std::size_t segments = 3;
+  std::vector<std::size_t> hidden = {32, 16};
+  std::size_t epochs = 60;
+  std::size_t batch_size = 32;
+  float learning_rate = 2e-3f;
+  float weight_decay = 1e-4f;
+  float lr_decay = 0.97f;
+  std::uint64_t seed = 21;
+};
+
+class herqules_discriminator final : public discriminator {
+ public:
+  static herqules_discriminator fit(const data::trace_dataset& train,
+                                    const herqules_config& config = {});
+
+  bool predict_state(std::span<const float> trace) const override;
+  std::string name() const override { return "herqules"; }
+  std::size_t parameter_count() const override;
+
+  std::size_t segment_count() const noexcept { return filters_.size(); }
+
+ private:
+  herqules_discriminator() = default;
+
+  /// MF-bank features for one trace (length = segments).
+  void extract_features(std::span<const float> trace,
+                        std::span<float> out) const;
+
+  std::vector<dsp::matched_filter> filters_;
+  /// Flattened-trace index ranges per segment: {i_begin, i_end} applied to
+  /// both quadrature blocks.
+  std::vector<std::pair<std::size_t, std::size_t>> segment_bounds_;
+  std::size_t samples_per_quadrature_ = 0;
+  dsp::feature_normalizer feature_norm_;
+  nn::network net_;
+};
+
+}  // namespace klinq::baselines

@@ -1,0 +1,61 @@
+// Two-state Gaussian hidden-Markov-model discriminator (paper ref [6],
+// Martinez et al., PRA 102, 062426).
+//
+// The readout trace is modelled as emissions from a hidden qubit state that
+// may decay |1⟩→|0⟩ (rate 1/T1) but never re-excite during the measurement.
+// Emissions are per-sample Gaussians around the state-conditional mean
+// trajectory (estimated from training data, so ring-up is captured).
+// Classification integrates over all decay times via the forward algorithm
+// and compares the total likelihoods of "started in 0" vs "started in 1" —
+// exactly the strength an HMM has over a static matched filter: a trace
+// that decays mid-readout still accumulates evidence for |1⟩ from its early
+// samples.
+#pragma once
+
+#include <vector>
+
+#include "klinq/baselines/discriminator.hpp"
+
+namespace klinq::baselines {
+
+struct hmm_config {
+  /// Per-sample survival probability of the excited state. Fit from data
+  /// when <= 0 (default): estimated via maximum likelihood over decay
+  /// patterns on the training set's excited-labelled traces.
+  double survival_probability = -1.0;
+  /// Optional averaging to shorten the chain (1 = per-sample emissions).
+  std::size_t samples_per_step = 5;
+};
+
+class hmm_discriminator final : public discriminator {
+ public:
+  static hmm_discriminator fit(const data::trace_dataset& train,
+                               const hmm_config& config = {});
+
+  bool predict_state(std::span<const float> trace) const override;
+  std::string name() const override { return "hmm"; }
+  std::size_t parameter_count() const override;
+
+  /// Log-likelihood ratio log P(trace | prepared 1) − log P(trace | 0).
+  double log_likelihood_ratio(std::span<const float> trace) const;
+
+  double survival_probability() const noexcept { return survival_; }
+  std::size_t step_count() const noexcept { return mean0_i_.size(); }
+
+ private:
+  hmm_discriminator() = default;
+
+  /// Emission log-density of step t under state s (diagonal Gaussian, I&Q).
+  double emission_log_density(std::size_t t, bool excited, double i_val,
+                              double q_val) const;
+
+  std::size_t samples_per_step_ = 1;
+  std::size_t samples_ = 0;  // N at fit time
+  // Per-step state-conditional emission parameters.
+  std::vector<double> mean0_i_, mean0_q_, mean1_i_, mean1_q_;
+  double sigma2_ = 1.0;   // shared emission variance (per averaged step)
+  double survival_ = 1.0; // per-step excited-state survival probability
+  double threshold_ = 0.0;
+};
+
+}  // namespace klinq::baselines

@@ -1,0 +1,44 @@
+// Fisher linear discriminant on interval-averaged features.
+//
+// Classical statistical baseline (context for refs [5]-[7]): averages the
+// trace into 2G features, fits w = Σ_pooled⁻¹ (μ₀ − μ₁), classifies by the
+// sign of wᵀx − c. Works in the averaged space so the covariance stays
+// well-conditioned at realistic shot counts.
+#pragma once
+
+#include <vector>
+
+#include "klinq/baselines/discriminator.hpp"
+#include "klinq/dsp/averager.hpp"
+
+namespace klinq::baselines {
+
+class lda_discriminator final : public discriminator {
+ public:
+  /// Fits on averaged features (G groups per quadrature).
+  static lda_discriminator fit(const data::trace_dataset& train,
+                               std::size_t groups_per_quadrature = 15,
+                               double ridge = 1e-6);
+
+  bool predict_state(std::span<const float> trace) const override;
+  std::string name() const override { return "lda"; }
+  std::size_t parameter_count() const override {
+    return weights_.size() + 1;
+  }
+
+  std::span<const double> weights() const noexcept {
+    return std::span<const double>(weights_);
+  }
+
+ private:
+  lda_discriminator(dsp::interval_averager averager,
+                    std::vector<double> weights, double offset,
+                    std::size_t samples_per_quadrature);
+
+  dsp::interval_averager averager_;
+  std::vector<double> weights_;
+  double offset_ = 0.0;
+  std::size_t samples_per_quadrature_ = 0;
+};
+
+}  // namespace klinq::baselines

@@ -1,0 +1,34 @@
+// Matched-filter + threshold discriminator (classical baseline, refs [5]-[7]).
+//
+// The simplest single-shot discriminator: project the trace onto the fitted
+// MF envelope and compare against the midpoint threshold. Lower-bounds what
+// any learned method must beat.
+#pragma once
+
+#include "klinq/baselines/discriminator.hpp"
+#include "klinq/dsp/matched_filter.hpp"
+
+namespace klinq::baselines {
+
+class mf_threshold_discriminator final : public discriminator {
+ public:
+  /// Fits envelope and threshold on the training set.
+  static mf_threshold_discriminator fit(const data::trace_dataset& train);
+
+  bool predict_state(std::span<const float> trace) const override;
+  std::string name() const override { return "mf-threshold"; }
+  std::size_t parameter_count() const override {
+    return filter_.input_width() + 1;  // envelope + threshold
+  }
+
+  float threshold() const noexcept { return threshold_; }
+  const dsp::matched_filter& filter() const noexcept { return filter_; }
+
+ private:
+  mf_threshold_discriminator(dsp::matched_filter filter, float threshold);
+
+  dsp::matched_filter filter_;
+  float threshold_ = 0.0f;
+};
+
+}  // namespace klinq::baselines

@@ -1,0 +1,47 @@
+// Linear SVM discriminator (paper ref [5], Magesan et al., PRL 114, 200501).
+//
+// Hinge-loss linear classifier on interval-averaged features, trained with
+// Pegasos-style stochastic subgradient descent (shuffled epochs, step size
+// 1/(λ·t), averaged iterate). Margin-based training gives a different
+// inductive bias than LDA's Gaussian assumption — the classical baseline the
+// readout literature used before deep models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "klinq/baselines/discriminator.hpp"
+#include "klinq/dsp/averager.hpp"
+
+namespace klinq::baselines {
+
+struct svm_config {
+  std::size_t groups_per_quadrature = 15;
+  /// L2 regularization strength λ of the primal objective.
+  double lambda = 1e-4;
+  std::size_t epochs = 20;
+  std::uint64_t seed = 17;
+};
+
+class svm_discriminator final : public discriminator {
+ public:
+  static svm_discriminator fit(const data::trace_dataset& train,
+                               const svm_config& config = {});
+
+  bool predict_state(std::span<const float> trace) const override;
+  std::string name() const override { return "svm"; }
+  std::size_t parameter_count() const override { return weights_.size() + 1; }
+
+  /// Signed decision value wᵀx + b (positive ⇒ excited).
+  double decision_value(std::span<const float> trace) const;
+
+ private:
+  svm_discriminator() = default;
+
+  dsp::interval_averager averager_{15};
+  std::size_t samples_per_quadrature_ = 0;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace klinq::baselines

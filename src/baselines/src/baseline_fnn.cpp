@@ -1,0 +1,18 @@
+#include "klinq/baselines/baseline_fnn.hpp"
+
+namespace klinq::baselines {
+
+baseline_fnn_discriminator::baseline_fnn_discriminator(kd::teacher_model model)
+    : model_(std::move(model)) {}
+
+baseline_fnn_discriminator baseline_fnn_discriminator::fit(
+    const data::trace_dataset& train, const kd::teacher_config& config) {
+  return baseline_fnn_discriminator(kd::train_teacher(train, config));
+}
+
+bool baseline_fnn_discriminator::predict_state(
+    std::span<const float> trace) const {
+  return model_.predict_state(trace);
+}
+
+}  // namespace klinq::baselines

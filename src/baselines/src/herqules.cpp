@@ -1,0 +1,105 @@
+#include "klinq/baselines/herqules.hpp"
+
+#include "klinq/common/error.hpp"
+#include "klinq/nn/trainer.hpp"
+
+namespace klinq::baselines {
+
+namespace {
+
+/// Extracts segment s of a flattened [I|Q] trace into a contiguous
+/// [I_seg|Q_seg] buffer so a matched filter can be fitted/applied on it.
+void copy_segment(std::span<const float> trace, std::size_t n,
+                  std::size_t begin, std::size_t end,
+                  std::vector<float>& out) {
+  const std::size_t len = end - begin;
+  out.resize(2 * len);
+  for (std::size_t k = 0; k < len; ++k) {
+    out[k] = trace[begin + k];
+    out[len + k] = trace[n + begin + k];
+  }
+}
+
+}  // namespace
+
+herqules_discriminator herqules_discriminator::fit(
+    const data::trace_dataset& train, const herqules_config& config) {
+  KLINQ_REQUIRE(config.segments > 0, "herqules: segments must be > 0");
+  const std::size_t n = train.samples_per_quadrature();
+  KLINQ_REQUIRE(n >= config.segments, "herqules: more segments than samples");
+
+  herqules_discriminator model;
+  model.samples_per_quadrature_ = n;
+
+  // Segment boundaries mirror the averager's balanced partition.
+  for (std::size_t s = 0; s < config.segments; ++s) {
+    model.segment_bounds_.emplace_back(s * n / config.segments,
+                                       (s + 1) * n / config.segments);
+  }
+
+  // Fit one matched filter per segment by building a sliced dataset.
+  std::vector<float> segment_buffer;
+  for (const auto& [begin, end] : model.segment_bounds_) {
+    data::trace_dataset segment_ds(train.size(), end - begin);
+    segment_ds.resize_traces(train.size());
+    for (std::size_t r = 0; r < train.size(); ++r) {
+      copy_segment(train.trace(r), n, begin, end, segment_buffer);
+      segment_ds.set_trace(r, segment_buffer, train.label_state(r),
+                           train.permutations()[r]);
+    }
+    model.filters_.push_back(dsp::matched_filter::fit(segment_ds));
+  }
+
+  // MF-bank features for the whole training set, then z-score them.
+  la::matrix_f features(train.size(), config.segments);
+  for (std::size_t r = 0; r < train.size(); ++r) {
+    model.extract_features(train.trace(r), features.row(r));
+  }
+  model.feature_norm_ =
+      dsp::feature_normalizer::fit(features, dsp::norm_mode::zscore);
+  model.feature_norm_.apply_all(features);
+
+  model.net_ = nn::make_mlp(config.segments, config.hidden);
+  xoshiro256 rng(config.seed);
+  model.net_.initialize(nn::weight_init::he_normal, rng);
+  const nn::bce_with_logits_loss loss(train.labels());
+  nn::train_network(model.net_, features, loss,
+                    {.epochs = config.epochs,
+                     .batch_size = config.batch_size,
+                     .learning_rate = config.learning_rate,
+                     .weight_decay = config.weight_decay,
+                     .lr_decay = config.lr_decay,
+                     .seed = config.seed});
+  return model;
+}
+
+void herqules_discriminator::extract_features(std::span<const float> trace,
+                                              std::span<float> out) const {
+  KLINQ_REQUIRE(out.size() == filters_.size(),
+                "herqules: bad feature span");
+  thread_local std::vector<float> segment_buffer;
+  for (std::size_t s = 0; s < filters_.size(); ++s) {
+    const auto& [begin, end] = segment_bounds_[s];
+    copy_segment(trace, samples_per_quadrature_, begin, end, segment_buffer);
+    out[s] = filters_[s].apply(segment_buffer);
+  }
+}
+
+bool herqules_discriminator::predict_state(
+    std::span<const float> trace) const {
+  KLINQ_REQUIRE(trace.size() == 2 * samples_per_quadrature_,
+                "herqules: trace width mismatch");
+  thread_local std::vector<float> features;
+  features.assign(filters_.size(), 0.0f);
+  extract_features(trace, features);
+  feature_norm_.apply(features);
+  return net_.predict_logit(features) >= 0.0f;
+}
+
+std::size_t herqules_discriminator::parameter_count() const {
+  std::size_t mf_params = 0;
+  for (const auto& f : filters_) mf_params += f.input_width();
+  return mf_params + net_.parameter_count();
+}
+
+}  // namespace klinq::baselines

@@ -1,0 +1,238 @@
+#include "klinq/baselines/hmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "klinq/common/error.hpp"
+#include "klinq/dsp/averager.hpp"
+
+namespace klinq::baselines {
+
+namespace {
+
+double log_sum_exp(double a, double b) {
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+/// Averages one flattened trace into (i, q) step series.
+void to_steps(const dsp::interval_averager& averager,
+              std::span<const float> trace, std::size_t n,
+              std::vector<double>& i_steps, std::vector<double>& q_steps) {
+  const std::size_t steps = averager.groups_per_quadrature();
+  thread_local std::vector<float> buffer;
+  buffer.assign(2 * steps, 0.0f);
+  averager.apply(trace, n, buffer);
+  i_steps.assign(buffer.begin(), buffer.begin() + steps);
+  q_steps.assign(buffer.begin() + steps, buffer.end());
+}
+
+}  // namespace
+
+double hmm_discriminator::emission_log_density(std::size_t t, bool excited,
+                                               double i_val,
+                                               double q_val) const {
+  const double mi = excited ? mean1_i_[t] : mean0_i_[t];
+  const double mq = excited ? mean1_q_[t] : mean0_q_[t];
+  const double di = i_val - mi;
+  const double dq = q_val - mq;
+  return -(di * di + dq * dq) / (2.0 * sigma2_) -
+         std::log(2.0 * 3.14159265358979323846 * sigma2_);
+}
+
+hmm_discriminator hmm_discriminator::fit(const data::trace_dataset& train,
+                                         const hmm_config& config) {
+  KLINQ_REQUIRE(config.samples_per_step >= 1,
+                "hmm: samples_per_step must be >= 1");
+  const std::size_t n = train.samples_per_quadrature();
+  const std::size_t steps = std::max<std::size_t>(1, n / config.samples_per_step);
+  const auto rows0 = train.rows_with_label(false);
+  const auto rows1 = train.rows_with_label(true);
+  KLINQ_REQUIRE(rows0.size() > 1 && rows1.size() > 1,
+                "hmm: need traces of both states");
+
+  hmm_discriminator model;
+  model.samples_per_step_ = config.samples_per_step;
+  model.samples_ = n;
+  const dsp::interval_averager averager(steps);
+
+  // Ground-state emission means + pooled variance (ground never decays).
+  model.mean0_i_.assign(steps, 0.0);
+  model.mean0_q_.assign(steps, 0.0);
+  std::vector<double> i_steps;
+  std::vector<double> q_steps;
+  for (const auto r : rows0) {
+    to_steps(averager, train.trace(r), n, i_steps, q_steps);
+    for (std::size_t t = 0; t < steps; ++t) {
+      model.mean0_i_[t] += i_steps[t];
+      model.mean0_q_[t] += q_steps[t];
+    }
+  }
+  for (std::size_t t = 0; t < steps; ++t) {
+    model.mean0_i_[t] /= static_cast<double>(rows0.size());
+    model.mean0_q_[t] /= static_cast<double>(rows0.size());
+  }
+  double var_acc = 0.0;
+  std::size_t var_count = 0;
+  for (const auto r : rows0) {
+    to_steps(averager, train.trace(r), n, i_steps, q_steps);
+    for (std::size_t t = 0; t < steps; ++t) {
+      const double di = i_steps[t] - model.mean0_i_[t];
+      const double dq = q_steps[t] - model.mean0_q_[t];
+      var_acc += di * di + dq * dq;
+      var_count += 2;
+    }
+  }
+  model.sigma2_ = std::max(var_acc / static_cast<double>(var_count), 1e-12);
+
+  // Excited-state means, pass 1: naive average (biased toward ground at
+  // late steps because some excited shots have already decayed).
+  model.mean1_i_.assign(steps, 0.0);
+  model.mean1_q_.assign(steps, 0.0);
+  for (const auto r : rows1) {
+    to_steps(averager, train.trace(r), n, i_steps, q_steps);
+    for (std::size_t t = 0; t < steps; ++t) {
+      model.mean1_i_[t] += i_steps[t];
+      model.mean1_q_[t] += q_steps[t];
+    }
+  }
+  for (std::size_t t = 0; t < steps; ++t) {
+    model.mean1_i_[t] /= static_cast<double>(rows1.size());
+    model.mean1_q_[t] /= static_cast<double>(rows1.size());
+  }
+
+  // Pass 2 (one EM-style refinement): per excited trace, pick the most
+  // likely decay step under the current means, then re-estimate the excited
+  // means from pre-decay segments only and the survival probability from
+  // the censored decay-time observations.
+  std::vector<double> sum1_i(steps, 0.0);
+  std::vector<double> sum1_q(steps, 0.0);
+  std::vector<std::size_t> count1(steps, 0);
+  std::size_t decay_events = 0;
+  std::size_t exposure_steps = 0;
+  for (const auto r : rows1) {
+    to_steps(averager, train.trace(r), n, i_steps, q_steps);
+    // Decay right before step k: steps [0,k) excited, [k,steps) ground.
+    // k = steps means "never decayed".
+    double best_ll = -1e300;
+    std::size_t best_k = steps;
+    // Evaluate all decay positions in O(steps) with prefix sums.
+    std::vector<double> ll_excited(steps + 1, 0.0);
+    std::vector<double> ll_ground(steps + 1, 0.0);
+    for (std::size_t t = 0; t < steps; ++t) {
+      ll_excited[t + 1] =
+          ll_excited[t] +
+          model.emission_log_density(t, true, i_steps[t], q_steps[t]);
+      ll_ground[t + 1] =
+          ll_ground[t] +
+          model.emission_log_density(t, false, i_steps[t], q_steps[t]);
+    }
+    for (std::size_t k = 0; k <= steps; ++k) {
+      const double ll =
+          ll_excited[k] + (ll_ground[steps] - ll_ground[k]);
+      if (ll > best_ll) {
+        best_ll = ll;
+        best_k = k;
+      }
+    }
+    for (std::size_t t = 0; t < best_k; ++t) {
+      sum1_i[t] += i_steps[t];
+      sum1_q[t] += q_steps[t];
+      ++count1[t];
+    }
+    exposure_steps += best_k;
+    if (best_k < steps) ++decay_events;
+  }
+  for (std::size_t t = 0; t < steps; ++t) {
+    if (count1[t] >= 8) {  // keep the naive estimate where data is scarce
+      model.mean1_i_[t] = sum1_i[t] / static_cast<double>(count1[t]);
+      model.mean1_q_[t] = sum1_q[t] / static_cast<double>(count1[t]);
+    }
+  }
+  if (config.survival_probability > 0.0) {
+    model.survival_ = config.survival_probability;
+  } else {
+    const double decay_rate =
+        exposure_steps > 0
+            ? static_cast<double>(decay_events) /
+                  static_cast<double>(exposure_steps)
+            : 0.0;
+    model.survival_ = std::clamp(1.0 - decay_rate, 0.5, 1.0 - 1e-9);
+  }
+
+  // Operating threshold: minimize training error over the (skewed) LLR
+  // distribution — decayed shots give the excited class a heavy left tail,
+  // so the class-mean midpoint sits too high.
+  std::vector<std::pair<double, bool>> scored;
+  scored.reserve(train.size());
+  for (std::size_t r = 0; r < train.size(); ++r) {
+    scored.emplace_back(model.log_likelihood_ratio(train.trace(r)),
+                        train.label_state(r));
+  }
+  std::sort(scored.begin(), scored.end());
+  // Sweep cut points: predicting "excited" for LLR >= cut. Start with the
+  // cut below every point (all predicted excited).
+  std::size_t correct =
+      static_cast<std::size_t>(rows1.size());  // all-excited prediction
+  std::size_t best_correct = correct;
+  double best_threshold = scored.front().first - 1.0;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    // Moving the cut just above scored[i] flips its prediction to ground.
+    correct += scored[i].second ? static_cast<std::size_t>(-1) : 1;
+    if (correct > best_correct) {
+      best_correct = correct;
+      best_threshold = i + 1 < scored.size()
+                           ? 0.5 * (scored[i].first + scored[i + 1].first)
+                           : scored[i].first + 1.0;
+    }
+  }
+  model.threshold_ = best_threshold;
+  return model;
+}
+
+double hmm_discriminator::log_likelihood_ratio(
+    std::span<const float> trace) const {
+  KLINQ_REQUIRE(trace.size() == 2 * samples_,
+                "hmm: trace width mismatch");
+  const std::size_t steps = mean0_i_.size();
+  const dsp::interval_averager averager(steps);
+  std::vector<double> i_steps;
+  std::vector<double> q_steps;
+  to_steps(averager, trace, samples_, i_steps, q_steps);
+
+  // Hypothesis "prepared 0": single-path likelihood.
+  double ll0 = 0.0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    ll0 += emission_log_density(t, false, i_steps[t], q_steps[t]);
+  }
+
+  // Hypothesis "prepared 1": forward algorithm over {excited, decayed}.
+  const double log_survive = std::log(survival_);
+  const double log_decay = std::log(1.0 - survival_);
+  double alpha_excited =
+      emission_log_density(0, true, i_steps[0], q_steps[0]);
+  double alpha_ground = log_decay +  // decayed before the first step
+                        emission_log_density(0, false, i_steps[0], q_steps[0]);
+  for (std::size_t t = 1; t < steps; ++t) {
+    const double e1 = emission_log_density(t, true, i_steps[t], q_steps[t]);
+    const double e0 = emission_log_density(t, false, i_steps[t], q_steps[t]);
+    const double next_excited = alpha_excited + log_survive + e1;
+    const double next_ground =
+        log_sum_exp(alpha_excited + log_decay, alpha_ground) + e0;
+    alpha_excited = next_excited;
+    alpha_ground = next_ground;
+  }
+  const double ll1 = log_sum_exp(alpha_excited, alpha_ground);
+  return ll1 - ll0;
+}
+
+bool hmm_discriminator::predict_state(std::span<const float> trace) const {
+  return log_likelihood_ratio(trace) >= threshold_;
+}
+
+std::size_t hmm_discriminator::parameter_count() const {
+  return 4 * mean0_i_.size() + 3;  // means + sigma + survival + threshold
+}
+
+}  // namespace klinq::baselines

@@ -1,0 +1,90 @@
+#include "klinq/baselines/lda.hpp"
+
+#include "klinq/common/error.hpp"
+#include "klinq/linalg/solve.hpp"
+
+namespace klinq::baselines {
+
+lda_discriminator::lda_discriminator(dsp::interval_averager averager,
+                                     std::vector<double> weights,
+                                     double offset,
+                                     std::size_t samples_per_quadrature)
+    : averager_(averager),
+      weights_(std::move(weights)),
+      offset_(offset),
+      samples_per_quadrature_(samples_per_quadrature) {}
+
+lda_discriminator lda_discriminator::fit(const data::trace_dataset& train,
+                                         std::size_t groups_per_quadrature,
+                                         double ridge) {
+  const dsp::interval_averager averager(groups_per_quadrature);
+  const la::matrix_f features = averager.apply_all(train);
+  const std::size_t dim = features.cols();
+
+  const auto rows0 = train.rows_with_label(false);
+  const auto rows1 = train.rows_with_label(true);
+  KLINQ_REQUIRE(rows0.size() > dim && rows1.size() > dim,
+                "lda: need more shots than feature dimensions per class");
+
+  // Class means.
+  std::vector<double> mu0(dim, 0.0);
+  std::vector<double> mu1(dim, 0.0);
+  for (const auto r : rows0) {
+    for (std::size_t c = 0; c < dim; ++c) mu0[c] += features(r, c);
+  }
+  for (const auto r : rows1) {
+    for (std::size_t c = 0; c < dim; ++c) mu1[c] += features(r, c);
+  }
+  for (std::size_t c = 0; c < dim; ++c) {
+    mu0[c] /= static_cast<double>(rows0.size());
+    mu1[c] /= static_cast<double>(rows1.size());
+  }
+
+  // Pooled within-class covariance with a ridge for conditioning.
+  la::matrix_d cov(dim, dim, 0.0);
+  auto accumulate = [&](const std::vector<std::size_t>& rows,
+                        const std::vector<double>& mu) {
+    for (const auto r : rows) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double di = features(r, i) - mu[i];
+        for (std::size_t j = i; j < dim; ++j) {
+          cov(i, j) += di * (features(r, j) - mu[j]);
+        }
+      }
+    }
+  };
+  accumulate(rows0, mu0);
+  accumulate(rows1, mu1);
+  const double denom = static_cast<double>(rows0.size() + rows1.size() - 2);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = i; j < dim; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+    cov(i, i) += ridge;
+  }
+
+  // w = Σ⁻¹(μ0 − μ1); decision offset at the projected midpoint.
+  std::vector<double> diff(dim);
+  for (std::size_t c = 0; c < dim; ++c) diff[c] = mu0[c] - mu1[c];
+  std::vector<double> w = la::solve_linear_system(cov, diff);
+  double mid = 0.0;
+  for (std::size_t c = 0; c < dim; ++c) mid += w[c] * 0.5 * (mu0[c] + mu1[c]);
+
+  return lda_discriminator(averager, std::move(w), mid,
+                           train.samples_per_quadrature());
+}
+
+bool lda_discriminator::predict_state(std::span<const float> trace) const {
+  thread_local std::vector<float> averaged;
+  averaged.assign(averager_.output_width(), 0.0f);
+  averager_.apply(trace, samples_per_quadrature_, averaged);
+  double projection = 0.0;
+  for (std::size_t c = 0; c < averaged.size(); ++c) {
+    projection += weights_[c] * averaged[c];
+  }
+  // Projection above midpoint ⇒ closer to μ0 ⇒ ground state.
+  return projection < offset_;
+}
+
+}  // namespace klinq::baselines

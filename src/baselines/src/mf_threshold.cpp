@@ -1,0 +1,33 @@
+#include "klinq/baselines/mf_threshold.hpp"
+
+namespace klinq::baselines {
+
+double discriminator::accuracy(const data::trace_dataset& dataset) const {
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    correct +=
+        (predict_state(dataset.trace(r)) == dataset.label_state(r)) ? 1 : 0;
+  }
+  return dataset.empty() ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(dataset.size());
+}
+
+mf_threshold_discriminator::mf_threshold_discriminator(
+    dsp::matched_filter filter, float threshold)
+    : filter_(std::move(filter)), threshold_(threshold) {}
+
+mf_threshold_discriminator mf_threshold_discriminator::fit(
+    const data::trace_dataset& train) {
+  auto filter = dsp::matched_filter::fit(train);
+  const float threshold = filter.fit_threshold(train);
+  return mf_threshold_discriminator(std::move(filter), threshold);
+}
+
+bool mf_threshold_discriminator::predict_state(
+    std::span<const float> trace) const {
+  // Envelope points from |1⟩ toward |0⟩: output below threshold ⇒ excited.
+  return !filter_.classify_as_ground(trace, threshold_);
+}
+
+}  // namespace klinq::baselines

@@ -1,0 +1,117 @@
+#include "klinq/baselines/svm.hpp"
+
+#include <numeric>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/rng.hpp"
+
+namespace klinq::baselines {
+
+svm_discriminator svm_discriminator::fit(const data::trace_dataset& train,
+                                         const svm_config& config) {
+  KLINQ_REQUIRE(train.size() > 1, "svm: empty training set");
+  KLINQ_REQUIRE(config.lambda > 0, "svm: lambda must be positive");
+
+  svm_discriminator model;
+  model.averager_ = dsp::interval_averager(config.groups_per_quadrature);
+  model.samples_per_quadrature_ = train.samples_per_quadrature();
+  const la::matrix_f features = model.averager_.apply_all(train);
+  const std::size_t dim = features.cols();
+
+  // Standardize features for stable steps; fold the scaling into the final
+  // weights afterwards so predict works on raw averaged features.
+  std::vector<double> mean(dim, 0.0);
+  std::vector<double> scale(dim, 0.0);
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    for (std::size_t c = 0; c < dim; ++c) mean[c] += features(r, c);
+  }
+  for (auto& m : mean) m /= static_cast<double>(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double d = features(r, c) - mean[c];
+      scale[c] += d * d;
+    }
+  }
+  for (auto& s : scale) {
+    s = std::sqrt(std::max(s / static_cast<double>(features.rows()), 1e-12));
+  }
+
+  // Pegasos with iterate averaging over the second half of training.
+  std::vector<double> w(dim, 0.0);
+  double b = 0.0;
+  std::vector<double> w_avg(dim, 0.0);
+  double b_avg = 0.0;
+  std::size_t avg_count = 0;
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+  xoshiro256 rng(config.seed);
+  std::size_t t = 0;
+  const std::size_t total_steps = config.epochs * train.size();
+  // Step-size offset keeps the first steps bounded (classic Pegasos blows
+  // up on step 1 when eta_1 = 1/lambda is huge).
+  const double t_offset = 1.0 / config.lambda;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t i = train.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    for (const std::size_t r : order) {
+      ++t;
+      const double eta =
+          1.0 / (config.lambda * (static_cast<double>(t) + t_offset));
+      const double y = train.label_state(r) ? 1.0 : -1.0;
+      double margin = b;
+      const auto row = features.row(r);
+      for (std::size_t c = 0; c < dim; ++c) {
+        margin += w[c] * (row[c] - mean[c]) / scale[c];
+      }
+      // Subgradient step: shrink + (hinge-active) push.
+      const double shrink = 1.0 - eta * config.lambda;
+      for (auto& wc : w) wc *= shrink;
+      if (y * margin < 1.0) {
+        for (std::size_t c = 0; c < dim; ++c) {
+          w[c] += eta * y * (row[c] - mean[c]) / scale[c];
+        }
+        b += eta * y;
+      }
+      if (t > total_steps / 2) {
+        for (std::size_t c = 0; c < dim; ++c) w_avg[c] += w[c];
+        b_avg += b;
+        ++avg_count;
+      }
+    }
+  }
+  if (avg_count > 0) {
+    for (auto& wc : w_avg) wc /= static_cast<double>(avg_count);
+    b_avg /= static_cast<double>(avg_count);
+  } else {
+    w_avg = w;
+    b_avg = b;
+  }
+
+  // Fold standardization back: w'ᵀx + b' ≡ w_avgᵀ((x−mean)/scale) + b_avg.
+  model.weights_.assign(dim, 0.0);
+  model.bias_ = b_avg;
+  for (std::size_t c = 0; c < dim; ++c) {
+    model.weights_[c] = w_avg[c] / scale[c];
+    model.bias_ -= w_avg[c] * mean[c] / scale[c];
+  }
+  return model;
+}
+
+double svm_discriminator::decision_value(std::span<const float> trace) const {
+  thread_local std::vector<float> averaged;
+  averaged.assign(averager_.output_width(), 0.0f);
+  averager_.apply(trace, samples_per_quadrature_, averaged);
+  double value = bias_;
+  for (std::size_t c = 0; c < averaged.size(); ++c) {
+    value += weights_[c] * averaged[c];
+  }
+  return value;
+}
+
+bool svm_discriminator::predict_state(std::span<const float> trace) const {
+  return decision_value(trace) >= 0.0;
+}
+
+}  // namespace klinq::baselines

@@ -1,0 +1,30 @@
+// Checked narrowing conversions (GSL narrow-style).
+#pragma once
+
+#include <type_traits>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq {
+
+/// Convert between arithmetic types, throwing numeric_error if the value does
+/// not round-trip (i.e. the conversion would narrow away information).
+template <class To, class From>
+constexpr To checked_cast(From value) {
+  static_assert(std::is_arithmetic_v<To> && std::is_arithmetic_v<From>,
+                "checked_cast requires arithmetic types");
+  const To result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      ((result < To{}) != (value < From{}))) {
+    throw numeric_error("checked_cast: value does not fit in target type");
+  }
+  return result;
+}
+
+/// Unchecked narrowing for hot paths where the range is already validated.
+template <class To, class From>
+constexpr To narrow_cast(From value) noexcept {
+  return static_cast<To>(value);
+}
+
+}  // namespace klinq

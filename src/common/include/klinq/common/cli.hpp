@@ -1,0 +1,55 @@
+// Tiny declarative command-line parser used by benches and examples.
+//
+//   klinq::cli_parser cli("bench_table1", "Reproduces Table I");
+//   cli.add_flag("paper-scale", "use 15k/35k traces per permutation");
+//   cli.add_option("seed", "RNG seed", "42");
+//   cli.parse(argc, argv);               // throws invalid_argument_error
+//   auto seed = cli.get_int("seed");
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace klinq {
+
+class cli_parser {
+ public:
+  cli_parser(std::string program, std::string description);
+
+  /// Boolean switch, e.g. --paper-scale. Default false.
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Valued option, e.g. --seed 42 or --seed=42.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parses argv. Returns false (after printing usage) when --help was given;
+  /// throws invalid_argument_error on unknown or malformed arguments.
+  bool parse(int argc, const char* const* argv);
+
+  bool get_flag(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct entry {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool flag_set = false;
+  };
+
+  const entry& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, entry> entries_;
+  std::vector<std::string> declaration_order_;
+};
+
+}  // namespace klinq

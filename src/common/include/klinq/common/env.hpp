@@ -1,0 +1,18 @@
+// Typed environment-variable access with defaults (bench scaling knobs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace klinq {
+
+/// Returns the value of `name`, or `fallback` when unset.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+/// Returns the integer value of `name`, or `fallback` when unset/unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Returns the double value of `name`, or `fallback` when unset/unparsable.
+double env_double(const std::string& name, double fallback);
+
+}  // namespace klinq

@@ -1,0 +1,82 @@
+// Error handling primitives for the KLiNQ library.
+//
+// All library errors are reported via exceptions derived from klinq::error.
+// Precondition violations use KLINQ_REQUIRE which throws invalid_argument_error
+// with file/line context; internal invariants use KLINQ_ASSERT which throws
+// logic_error_bug (these indicate a library bug, not a user mistake).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace klinq {
+
+/// Base class of every exception thrown by the KLiNQ library.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class invalid_argument_error : public error {
+ public:
+  explicit invalid_argument_error(const std::string& what) : error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug inside the library.
+class logic_error_bug : public error {
+ public:
+  explicit logic_error_bug(const std::string& what) : error(what) {}
+};
+
+/// File or serialization format problem.
+class io_error : public error {
+ public:
+  explicit io_error(const std::string& what) : error(what) {}
+};
+
+/// Numeric issue (overflow outside saturating paths, non-finite loss, ...).
+class numeric_error : public error {
+ public:
+  explicit numeric_error(const std::string& what) : error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require_failure(std::string_view cond,
+                                               std::string_view msg,
+                                               std::string_view file,
+                                               int line) {
+  throw invalid_argument_error(std::string("precondition failed: ") +
+                               std::string(cond) + " — " + std::string(msg) +
+                               " (" + std::string(file) + ":" +
+                               std::to_string(line) + ")");
+}
+
+[[noreturn]] inline void throw_assert_failure(std::string_view cond,
+                                              std::string_view file,
+                                              int line) {
+  throw logic_error_bug(std::string("internal invariant failed: ") +
+                        std::string(cond) + " (" + std::string(file) + ":" +
+                        std::to_string(line) + ")");
+}
+}  // namespace detail
+
+}  // namespace klinq
+
+/// Validate a documented precondition of a public API.
+#define KLINQ_REQUIRE(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::klinq::detail::throw_require_failure(#cond, (msg), __FILE__,     \
+                                             __LINE__);                  \
+    }                                                                    \
+  } while (false)
+
+/// Check an internal invariant; failure means a library bug.
+#define KLINQ_ASSERT(cond)                                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::klinq::detail::throw_assert_failure(#cond, __FILE__, __LINE__);  \
+    }                                                                    \
+  } while (false)

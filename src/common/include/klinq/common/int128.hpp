@@ -1,0 +1,13 @@
+// 128-bit integer aliases.
+//
+// GCC/Clang's __int128 is used for full-precision fixed-point intermediates
+// (a 32×32-bit multiply needs 64 bits; wide accumulators need more). The
+// __extension__ marker keeps -Wpedantic builds clean.
+#pragma once
+
+namespace klinq {
+
+__extension__ typedef __int128 int128;
+__extension__ typedef unsigned __int128 uint128;
+
+}  // namespace klinq

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for coarse timing in benches and progress logs.
+#pragma once
+
+#include <chrono>
+
+namespace klinq {
+
+class stopwatch {
+ public:
+  stopwatch() noexcept : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace klinq

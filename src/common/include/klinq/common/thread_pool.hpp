@@ -1,0 +1,61 @@
+// Minimal work-sharing thread pool with a blocking parallel_for.
+//
+// The pool is used by the GEMM kernels and the dataset generator. A single
+// process-wide pool (global_thread_pool) avoids oversubscription; individual
+// components never spawn their own threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace klinq {
+
+class thread_pool {
+ public:
+  /// Creates `worker_count` workers; 0 means std::thread::hardware_concurrency.
+  explicit thread_pool(std::size_t worker_count = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool plus the calling thread. Blocks until all work is done.
+  /// Exceptions from body are rethrown on the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Like parallel_for but hands each worker a [chunk_begin, chunk_end) range,
+  /// which amortizes the per-index std::function call on hot loops.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& chunk_body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool sized to the hardware; created on first use.
+thread_pool& global_thread_pool();
+
+/// Convenience wrappers over the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body);
+
+}  // namespace klinq

@@ -1,0 +1,128 @@
+#include "klinq/common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq {
+
+cli_parser::cli_parser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void cli_parser::add_flag(const std::string& name, const std::string& help) {
+  KLINQ_REQUIRE(!entries_.count(name), "duplicate CLI entry: " + name);
+  entries_[name] = entry{help, "", /*is_flag=*/true, /*flag_set=*/false};
+  declaration_order_.push_back(name);
+}
+
+void cli_parser::add_option(const std::string& name, const std::string& help,
+                            const std::string& default_value) {
+  KLINQ_REQUIRE(!entries_.count(name), "duplicate CLI entry: " + name);
+  entries_[name] = entry{help, default_value, /*is_flag=*/false, false};
+  declaration_order_.push_back(name);
+}
+
+bool cli_parser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw invalid_argument_error("unexpected positional argument: " + arg +
+                                   "\n" + usage());
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
+    const auto it = entries_.find(arg);
+    if (it == entries_.end()) {
+      throw invalid_argument_error("unknown option --" + arg + "\n" + usage());
+    }
+    entry& e = it->second;
+    if (e.is_flag) {
+      if (has_inline_value) {
+        throw invalid_argument_error("flag --" + arg + " takes no value");
+      }
+      e.flag_set = true;
+    } else {
+      if (!has_inline_value) {
+        if (i + 1 >= argc) {
+          throw invalid_argument_error("option --" + arg + " expects a value");
+        }
+        value = argv[++i];
+      }
+      e.value = value;
+    }
+  }
+  return true;
+}
+
+const cli_parser::entry& cli_parser::find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  KLINQ_REQUIRE(it != entries_.end(), "undeclared CLI entry: " + name);
+  return it->second;
+}
+
+bool cli_parser::get_flag(const std::string& name) const {
+  const entry& e = find(name);
+  KLINQ_REQUIRE(e.is_flag, "--" + name + " is not a flag");
+  return e.flag_set;
+}
+
+const std::string& cli_parser::get_string(const std::string& name) const {
+  const entry& e = find(name);
+  KLINQ_REQUIRE(!e.is_flag, "--" + name + " is a flag, not an option");
+  return e.value;
+}
+
+std::int64_t cli_parser::get_int(const std::string& name) const {
+  const std::string& text = get_string(name);
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t parsed = std::stoll(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return parsed;
+  } catch (const std::exception&) {
+    throw invalid_argument_error("option --" + name +
+                                 " expects an integer, got '" + text + "'");
+  }
+}
+
+double cli_parser::get_double(const std::string& name) const {
+  const std::string& text = get_string(name);
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return parsed;
+  } catch (const std::exception&) {
+    throw invalid_argument_error("option --" + name +
+                                 " expects a number, got '" + text + "'");
+  }
+}
+
+std::string cli_parser::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : declaration_order_) {
+    const entry& e = entries_.at(name);
+    out << "  --" << name;
+    if (!e.is_flag) out << " <value>";
+    out << "\n      " << e.help;
+    if (!e.is_flag) out << " (default: " << e.value << ")";
+    out << "\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+}  // namespace klinq

@@ -1,0 +1,36 @@
+#include "klinq/common/env.hpp"
+
+#include <cstdlib>
+
+#include "klinq/common/log.hpp"
+
+namespace klinq {
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  return value != nullptr ? std::string(value) : fallback;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return fallback;
+  try {
+    return std::stoll(value);
+  } catch (const std::exception&) {
+    log_warn("ignoring unparsable ", name, "='", value, "'");
+    return fallback;
+  }
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return fallback;
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    log_warn("ignoring unparsable ", name, "='", value, "'");
+    return fallback;
+  }
+}
+
+}  // namespace klinq

@@ -1,0 +1,58 @@
+#include "klinq/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace klinq {
+
+namespace {
+
+log_level level_from_env() {
+  const char* env = std::getenv("KLINQ_LOG");
+  if (env == nullptr) return log_level::info;
+  const std::string value(env);
+  if (value == "debug") return log_level::debug;
+  if (value == "info") return log_level::info;
+  if (value == "warn") return log_level::warn;
+  if (value == "error") return log_level::error;
+  if (value == "off") return log_level::off;
+  return log_level::info;
+}
+
+std::atomic<log_level>& level_storage() {
+  static std::atomic<log_level> level{level_from_env()};
+  return level;
+}
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO ";
+    case log_level::warn: return "WARN ";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+log_level get_log_level() noexcept {
+  return level_storage().load(std::memory_order_relaxed);
+}
+
+void set_log_level(log_level level) noexcept {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_message(log_level level, const std::string& message) {
+  if (level < get_log_level()) return;
+  static std::mutex io_mutex;
+  const std::lock_guard lock(io_mutex);
+  std::fprintf(stderr, "[klinq %s] %s\n", level_name(level), message.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace klinq

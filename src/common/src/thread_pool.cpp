@@ -1,0 +1,141 @@
+#include "klinq/common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace klinq {
+
+thread_pool::thread_pool(std::size_t worker_count) {
+  if (worker_count == 0) {
+    worker_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  const std::size_t spawned = worker_count > 1 ? worker_count - 1 : 0;
+  workers_.reserve(spawned);
+  for (std::size_t i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void thread_pool::parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t parallelism = workers_.size() + 1;
+  const std::size_t chunk_count = std::min(total, parallelism);
+  if (chunk_count <= 1) {
+    chunk_body(begin, end);
+    return;
+  }
+
+  // Heap-allocated and shared with every task: a stack-allocated state
+  // would be destroyed the instant the waiting caller observes completion,
+  // racing the last worker's unlock/notify on the same mutex/cv
+  // (use-after-free that intermittently deadlocks the pool).
+  struct shared_state {
+    std::mutex done_mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;  // guarded by done_mutex
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<shared_state>();
+  state->remaining = chunk_count - 1;
+
+  const std::size_t base = total / chunk_count;
+  const std::size_t extra = total % chunk_count;
+  std::size_t cursor = begin;
+  std::size_t first_begin = 0;
+  std::size_t first_end = 0;
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t chunk_begin = cursor;
+    const std::size_t chunk_end = cursor + len;
+    cursor = chunk_end;
+    if (c == 0) {
+      // Reserve the first chunk for the calling thread.
+      first_begin = chunk_begin;
+      first_end = chunk_end;
+      continue;
+    }
+    const std::lock_guard lock(mutex_);
+    tasks_.push([state, &chunk_body, chunk_begin, chunk_end] {
+      std::exception_ptr error;
+      try {
+        chunk_body(chunk_begin, chunk_end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const std::lock_guard done_lock(state->done_mutex);
+      if (error && !state->first_error) state->first_error = error;
+      --state->remaining;
+      if (state->remaining == 0) state->done.notify_one();
+    });
+  }
+  task_ready_.notify_all();
+
+  try {
+    chunk_body(first_begin, first_end);
+  } catch (...) {
+    const std::lock_guard done_lock(state->done_mutex);
+    if (!state->first_error) state->first_error = std::current_exception();
+  }
+
+  std::unique_lock done_lock(state->done_mutex);
+  state->done.wait(done_lock, [&] { return state->remaining == 0; });
+  const std::exception_ptr error = state->first_error;
+  done_lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void thread_pool::parallel_for(std::size_t begin, std::size_t end,
+                               const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(begin, end,
+                       [&body](std::size_t chunk_begin, std::size_t chunk_end) {
+                         for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                           body(i);
+                         }
+                       });
+}
+
+thread_pool& global_thread_pool() {
+  static thread_pool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  global_thread_pool().parallel_for(begin, end, body);
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body) {
+  global_thread_pool().parallel_for_chunked(begin, end, chunk_body);
+}
+
+}  // namespace klinq

@@ -1,0 +1,32 @@
+// Readout-fidelity metrics (paper §III-A).
+//
+// The paper's primary metric is the geometric mean of per-qubit assignment
+// fidelities, F_GM = (∏ F_i)^{1/N}; Table I reports F5Q (all qubits) and
+// F4Q (excluding the noisy qubit 2).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace klinq::core {
+
+struct fidelity_report {
+  std::string label;
+  std::vector<double> per_qubit;
+
+  /// Geometric mean across all qubits (F5Q for the 5-qubit system).
+  double geometric_mean_all() const;
+
+  /// Geometric mean excluding one qubit (F4Q excludes index 1 ≡ qubit 2).
+  double geometric_mean_excluding(std::size_t excluded_qubit) const;
+};
+
+/// Prints a Table-I-style row: label, per-qubit fidelities, F5Q, F4Q.
+void print_fidelity_row(const fidelity_report& report, std::ostream& out);
+
+/// Prints the Table-I-style header for `qubit_count` qubits.
+void print_fidelity_header(std::size_t qubit_count, std::ostream& out);
+
+}  // namespace klinq::core

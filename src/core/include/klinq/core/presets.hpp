@@ -1,0 +1,32 @@
+// Paper architecture presets (§III-D): which student serves which qubit.
+//
+// FNN-A (31-16-8-1, 64 ns averaging)  → qubits 1, 4, 5 (indices 0, 3, 4)
+// FNN-B (201-16-8-1, 10 ns averaging) → qubits 2, 3    (indices 1, 2)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "klinq/kd/distiller.hpp"
+
+namespace klinq::core {
+
+enum class student_arch { fnn_a, fnn_b };
+
+/// The paper's qubit→architecture assignment (0-indexed qubits).
+student_arch arch_for_qubit(std::size_t qubit);
+
+const char* arch_name(student_arch arch);
+
+/// Averaging groups per quadrature for an architecture (15 or 100).
+std::size_t groups_for_arch(student_arch arch);
+
+/// Full student training configuration for an architecture.
+kd::student_config student_config_for(student_arch arch,
+                                      std::uint64_t seed = 7);
+
+/// Expected parameter counts (Fig. 5 arithmetic) for validation.
+std::size_t expected_student_params(student_arch arch);   // 657 / 3377
+std::size_t expected_teacher_params();                    // 1 627 001
+
+}  // namespace klinq::core

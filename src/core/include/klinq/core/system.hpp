@@ -1,0 +1,56 @@
+// KLiNQ system facade: one compact discriminator per qubit, independently
+// trained and independently measurable — the property that enables
+// mid-circuit measurement (paper §I contribution 2).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "klinq/core/fidelity.hpp"
+#include "klinq/core/qubit_discriminator.hpp"
+#include "klinq/kd/teacher.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+namespace klinq::core {
+
+struct system_config {
+  /// Device, shot counts and generation seed.
+  qsim::dataset_spec dataset;
+  kd::teacher_config teacher{};
+  std::uint64_t student_seed = 7;
+  /// false ⇒ hard-label-only students (ablation).
+  bool use_distillation = true;
+  /// Teacher cache directory ("" disables; default honours KLINQ_CACHE_DIR).
+  std::string cache_dir = "env";
+};
+
+class klinq_system {
+ public:
+  /// Trains one student per qubit: generate data → (cached) teacher →
+  /// distill → quantize to Q16.16.
+  static klinq_system train(const system_config& config);
+
+  std::size_t qubit_count() const noexcept { return discriminators_.size(); }
+
+  const qubit_discriminator& discriminator(std::size_t qubit) const;
+
+  /// Independent (mid-circuit capable) hardware-path measurement of one
+  /// qubit from its channel trace.
+  bool measure(std::size_t qubit, std::span<const float> trace,
+               std::size_t samples_per_quadrature) const;
+
+  /// Regenerates each qubit's test split and scores the fixed-point path.
+  fidelity_report evaluate(const qsim::dataset_spec& spec,
+                           const std::string& label = "KLiNQ") const;
+
+  /// Persists one student file per qubit under `directory`.
+  void save_directory(const std::string& directory) const;
+  static klinq_system load_directory(const std::string& directory,
+                                     std::size_t qubit_count);
+
+ private:
+  std::vector<qubit_discriminator> discriminators_;
+};
+
+}  // namespace klinq::core

@@ -1,0 +1,47 @@
+// Training orchestration shared by benches and the system facade.
+//
+// The heavy artifact is the per-qubit teacher (1.63 M parameters); it is
+// trained once per (device, shots, seed, teacher-config, qubit) and cached.
+// Students are cheap and are re-distilled per trace duration — soft labels
+// always come from the full-duration teacher (the teacher observed the whole
+// 1 µs trace of the same shots; distilling its knowledge into a student that
+// only sees a prefix is privileged-information distillation and avoids
+// retraining five teachers per duration point).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "klinq/core/cache.hpp"
+#include "klinq/core/presets.hpp"
+#include "klinq/kd/distiller.hpp"
+#include "klinq/kd/teacher.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+namespace klinq::core {
+
+/// Canonical config string for cache keying (covers every field that
+/// changes the trained teacher).
+std::string teacher_cache_key(const qsim::dataset_spec& spec,
+                              std::size_t qubit,
+                              const kd::teacher_config& config);
+
+/// Loads the teacher from cache or trains it on `train` and stores it.
+kd::teacher_model obtain_teacher(const qsim::dataset_spec& spec,
+                                 std::size_t qubit,
+                                 const data::trace_dataset& train,
+                                 const kd::teacher_config& config,
+                                 artifact_cache& cache);
+
+/// Distills a student for one qubit at a given trace duration. `full_train`
+/// and `teacher_logits` are at the full generated duration; the trace is
+/// sliced internally. Pass use_distillation = false for the hard-label-only
+/// ablation.
+kd::student_model distill_for_duration(const data::trace_dataset& full_train,
+                                       std::span<const float> teacher_logits,
+                                       std::size_t qubit, double duration_ns,
+                                       std::uint64_t seed = 7,
+                                       bool use_distillation = true);
+
+}  // namespace klinq::core

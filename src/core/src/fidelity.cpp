@@ -1,0 +1,48 @@
+#include "klinq/core/fidelity.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/math.hpp"
+
+namespace klinq::core {
+
+double fidelity_report::geometric_mean_all() const {
+  return geometric_mean(per_qubit);
+}
+
+double fidelity_report::geometric_mean_excluding(
+    std::size_t excluded_qubit) const {
+  KLINQ_REQUIRE(excluded_qubit < per_qubit.size(),
+                "fidelity_report: excluded qubit out of range");
+  std::vector<double> kept;
+  kept.reserve(per_qubit.size() - 1);
+  for (std::size_t q = 0; q < per_qubit.size(); ++q) {
+    if (q != excluded_qubit) kept.push_back(per_qubit[q]);
+  }
+  return geometric_mean(kept);
+}
+
+void print_fidelity_header(std::size_t qubit_count, std::ostream& out) {
+  out << std::left << std::setw(18) << "Design";
+  for (std::size_t q = 0; q < qubit_count; ++q) {
+    out << std::right << std::setw(9) << ("Qubit " + std::to_string(q + 1));
+  }
+  out << std::right << std::setw(9) << "F5Q" << std::setw(9) << "F4Q" << "\n";
+}
+
+void print_fidelity_row(const fidelity_report& report, std::ostream& out) {
+  out << std::left << std::setw(18) << report.label << std::right
+      << std::fixed << std::setprecision(3);
+  for (const double f : report.per_qubit) {
+    out << std::setw(9) << f;
+  }
+  out << std::setw(9) << report.geometric_mean_all();
+  if (report.per_qubit.size() > 1) {
+    out << std::setw(9) << report.geometric_mean_excluding(1);
+  }
+  out << "\n";
+}
+
+}  // namespace klinq::core

@@ -1,0 +1,50 @@
+#include "klinq/core/presets.hpp"
+
+#include "klinq/common/error.hpp"
+
+namespace klinq::core {
+
+student_arch arch_for_qubit(std::size_t qubit) {
+  KLINQ_REQUIRE(qubit < 5, "arch_for_qubit: paper system has 5 qubits");
+  // Qubits 2 and 3 (indices 1, 2) have suboptimal SNR → larger FNN-B.
+  return (qubit == 1 || qubit == 2) ? student_arch::fnn_b
+                                    : student_arch::fnn_a;
+}
+
+const char* arch_name(student_arch arch) {
+  return arch == student_arch::fnn_a ? "FNN-A" : "FNN-B";
+}
+
+std::size_t groups_for_arch(student_arch arch) {
+  return arch == student_arch::fnn_a ? 15 : 100;
+}
+
+kd::student_config student_config_for(student_arch arch, std::uint64_t seed) {
+  kd::student_config config;
+  config.groups_per_quadrature = groups_for_arch(arch);
+  config.hidden = {16, 8};
+  config.use_matched_filter = true;
+  config.normalization = dsp::norm_mode::pow2_shift;
+  // alpha weighs hard labels vs teacher soft labels. The paper's regime
+  // (480 k shots) supports a strong teacher and a balanced alpha; at
+  // laptop-scale shot counts the teacher is noisier, so the calibrated
+  // default leans harder on ground truth while keeping the KD term.
+  config.distillation = {.alpha = 0.7,
+                         .temperature = 2.0,
+                         .mode = nn::soften_mode::soft_probability};
+  config.epochs = 60;
+  config.batch_size = 32;
+  config.learning_rate = 2e-3f;
+  config.lr_decay = 0.97f;
+  config.seed = seed;
+  return config;
+}
+
+std::size_t expected_student_params(student_arch arch) {
+  // in·16+16 + 16·8+8 + 8·1+1 with in = 31 or 201.
+  return arch == student_arch::fnn_a ? 657u : 3377u;
+}
+
+std::size_t expected_teacher_params() { return 1627001u; }
+
+}  // namespace klinq::core

@@ -1,0 +1,21 @@
+// Binary dataset persistence (artifact cache + external tooling).
+//
+// Format (little-endian):
+//   magic "KLNQDAT1" | u64 n_traces | u64 samples_per_quadrature |
+//   f32 features[n × 2N] | f32 labels[n] | u8 permutations[n]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "klinq/data/trace_dataset.hpp"
+
+namespace klinq::data {
+
+void save_dataset(const trace_dataset& ds, std::ostream& out);
+void save_dataset_file(const trace_dataset& ds, const std::string& path);
+
+trace_dataset load_dataset(std::istream& in);
+trace_dataset load_dataset_file(const std::string& path);
+
+}  // namespace klinq::data

@@ -1,0 +1,51 @@
+// Interval averaging with dynamic regrouping (paper §III-B-1 / §III-D).
+//
+// The student networks have a *fixed* input size: G averaged values per
+// quadrature (FNN-A: G = 15, FNN-B: G = 100 for the 1 µs trace). When the
+// trace length changes, the number of samples averaged per group adapts so
+// the output stays G — group g covers samples [gN/G, (g+1)N/G).
+//
+// At N = 500: G = 15 ⇒ ~33-sample (≈64 ns) intervals; G = 100 ⇒ 5-sample
+// (10 ns) intervals, matching the paper's two presets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "klinq/data/trace_dataset.hpp"
+#include "klinq/linalg/matrix.hpp"
+
+namespace klinq::dsp {
+
+class interval_averager {
+ public:
+  /// `groups_per_quadrature` is G; output width is 2G (I block then Q block).
+  explicit interval_averager(std::size_t groups_per_quadrature);
+
+  std::size_t groups_per_quadrature() const noexcept { return groups_; }
+  std::size_t output_width() const noexcept { return 2 * groups_; }
+
+  /// Group boundary: first sample index of group g for an N-sample trace.
+  /// g may equal G, giving N (the end sentinel).
+  static std::size_t group_begin(std::size_t g, std::size_t n,
+                                 std::size_t groups) noexcept {
+    return g * n / groups;
+  }
+
+  /// Samples in group g; never zero when N >= G.
+  std::size_t group_size(std::size_t g, std::size_t n) const;
+
+  /// Averages one flattened [I|Q] trace of N complex samples into
+  /// `out` (2G entries). Requires N >= G.
+  void apply(std::span<const float> trace, std::size_t samples_per_quadrature,
+             std::span<float> out) const;
+
+  /// Averages every row of a dataset into a (n × 2G) feature matrix.
+  la::matrix_f apply_all(const data::trace_dataset& dataset) const;
+
+ private:
+  std::size_t groups_;
+};
+
+}  // namespace klinq::dsp

@@ -1,0 +1,51 @@
+// Digital down-conversion: channelize one qubit's tone out of a
+// frequency-multiplexed feedline trace.
+//
+// y(t) = LPF[ (I(t) + jQ(t)) · e^{−jω_q t} ] — complex mix to baseband,
+// then low-pass filtering to reject the other qubits' tones. This is the
+// demodulation step the paper's §I criticizes HERQULES for needing; KLiNQ's
+// per-qubit channels arrive already down-converted. The module lets the
+// extension bench quantify what digital channelization costs relative to
+// the ideal per-qubit channel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "klinq/data/trace_dataset.hpp"
+#include "klinq/dsp/fir.hpp"
+
+namespace klinq::dsp {
+
+struct ddc_config {
+  /// Tone frequency to shift to baseband (MHz).
+  double if_freq_mhz = 0.0;
+  /// Low-pass taps (odd). 201 taps at 500 MS/s gives a ≈8 MHz transition —
+  /// enough to separate the preset's 15 MHz-spaced tones.
+  std::size_t fir_taps = 201;
+  /// Low-pass cutoff (MHz).
+  double cutoff_mhz = 7.0;
+  /// ADC sample rate (MHz); the library default is the paper's 500 MS/s.
+  double sample_rate_mhz = 500.0;
+};
+
+class digital_down_converter {
+ public:
+  explicit digital_down_converter(ddc_config config);
+
+  const ddc_config& config() const noexcept { return config_; }
+
+  /// Converts one flattened [I|Q] feedline trace of N complex samples into
+  /// the baseband [I|Q] channel trace at the configured tone.
+  std::vector<float> convert(std::span<const float> feedline,
+                             std::size_t samples_per_quadrature) const;
+
+  /// Channelizes every row of a feedline dataset (labels preserved).
+  data::trace_dataset convert_all(const data::trace_dataset& feedline) const;
+
+ private:
+  ddc_config config_;
+  fir_filter lowpass_;
+};
+
+}  // namespace klinq::dsp

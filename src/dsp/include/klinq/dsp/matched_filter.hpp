@@ -1,0 +1,59 @@
+// Matched filter for qubit-state discrimination (paper §III-B-2).
+//
+// The envelope is fit from labelled training traces as
+//     MF[n] = mean(T0[n] − T1[n]) / var(T0[n] − T1[n])
+// per flattened sample n (I and Q blocks alike), where T0/T1 are the
+// ground-/excited-state trace ensembles. Inference applies the envelope as a
+// dot product, yielding one scalar feature that maximally separates the two
+// state ensembles under per-sample Gaussian noise.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "klinq/data/trace_dataset.hpp"
+
+namespace klinq::dsp {
+
+class matched_filter {
+ public:
+  matched_filter() = default;
+
+  /// Constructs from a precomputed envelope (deserialization, tests).
+  explicit matched_filter(std::vector<float> envelope);
+
+  /// Fits the envelope from a labelled dataset; requires at least one trace
+  /// of each state. `var_floor` guards against zero-variance samples.
+  static matched_filter fit(const data::trace_dataset& dataset,
+                            float var_floor = 1e-12f);
+
+  bool is_fitted() const noexcept { return !envelope_.empty(); }
+  std::size_t input_width() const noexcept { return envelope_.size(); }
+  std::span<const float> envelope() const noexcept {
+    return std::span<const float>(envelope_);
+  }
+
+  /// Dot product of the envelope with one flattened trace.
+  float apply(std::span<const float> trace) const;
+
+  /// Applies to every row of a dataset.
+  std::vector<float> apply_all(const data::trace_dataset& dataset) const;
+
+  /// Classifies by thresholding the MF output: output >= threshold ⇒ state 0
+  /// (the envelope points from |1⟩ toward |0⟩ by construction).
+  bool classify_as_ground(std::span<const float> trace,
+                          float threshold) const;
+
+  /// Midpoint between the two class means of the MF output on a dataset —
+  /// the natural operating threshold.
+  float fit_threshold(const data::trace_dataset& dataset) const;
+
+  void save(std::ostream& out) const;
+  static matched_filter load(std::istream& in);
+
+ private:
+  std::vector<float> envelope_;
+};
+
+}  // namespace klinq::dsp

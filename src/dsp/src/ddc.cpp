@@ -1,0 +1,59 @@
+#include "klinq/dsp/ddc.hpp"
+
+#include <cmath>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq::dsp {
+
+digital_down_converter::digital_down_converter(ddc_config config)
+    : config_(config),
+      lowpass_(design_lowpass_fir(config.fir_taps,
+                                  config.cutoff_mhz / config.sample_rate_mhz)) {
+  KLINQ_REQUIRE(config_.sample_rate_mhz > 0, "ddc: bad sample rate");
+  KLINQ_REQUIRE(config_.cutoff_mhz > 0 &&
+                    config_.cutoff_mhz < config_.sample_rate_mhz / 2,
+                "ddc: cutoff must be below Nyquist");
+}
+
+std::vector<float> digital_down_converter::convert(
+    std::span<const float> feedline, std::size_t samples_per_quadrature) const {
+  const std::size_t n = samples_per_quadrature;
+  KLINQ_REQUIRE(feedline.size() == 2 * n, "ddc: feedline width != 2N");
+
+  // Complex mix: (I + jQ) · e^{−jωk}.
+  const double omega = 2.0 * 3.14159265358979323846 * config_.if_freq_mhz /
+                       config_.sample_rate_mhz;
+  std::vector<float> mixed_i(n);
+  std::vector<float> mixed_q(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double angle = omega * static_cast<double>(k);
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    const double i_val = feedline[k];
+    const double q_val = feedline[n + k];
+    mixed_i[k] = static_cast<float>(c * i_val + s * q_val);
+    mixed_q[k] = static_cast<float>(-s * i_val + c * q_val);
+  }
+
+  // Low-pass both quadratures to reject neighbouring tones.
+  std::vector<float> out(2 * n);
+  lowpass_.apply(mixed_i, std::span<float>(out.data(), n));
+  lowpass_.apply(mixed_q, std::span<float>(out.data() + n, n));
+  return out;
+}
+
+data::trace_dataset digital_down_converter::convert_all(
+    const data::trace_dataset& feedline) const {
+  data::trace_dataset out(feedline.size(), feedline.samples_per_quadrature());
+  out.resize_traces(feedline.size());
+  for (std::size_t r = 0; r < feedline.size(); ++r) {
+    const auto channel =
+        convert(feedline.trace(r), feedline.samples_per_quadrature());
+    out.set_trace(r, channel, feedline.label_state(r),
+                  feedline.permutations()[r]);
+  }
+  return out;
+}
+
+}  // namespace klinq::dsp

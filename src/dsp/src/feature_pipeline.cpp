@@ -1,0 +1,109 @@
+#include "klinq/dsp/feature_pipeline.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq::dsp {
+
+feature_pipeline feature_pipeline::fit(const data::trace_dataset& train,
+                                       const feature_pipeline_config& config) {
+  KLINQ_REQUIRE(train.size() > 1, "feature_pipeline::fit: empty training set");
+  feature_pipeline pipeline;
+  pipeline.config_ = config;
+  pipeline.averager_ = interval_averager(config.groups_per_quadrature);
+  if (config.use_matched_filter) {
+    pipeline.filter_ = matched_filter::fit(train);
+  }
+
+  // Build the un-normalized feature matrix, then calibrate the normalizer.
+  const std::size_t width = pipeline.output_width();
+  la::matrix_f features(train.size(), width);
+  for (std::size_t r = 0; r < train.size(); ++r) {
+    const auto trace = train.trace(r);
+    const auto row = features.row(r);
+    pipeline.averager_.apply(trace, train.samples_per_quadrature(),
+                             row.subspan(0, pipeline.averager_.output_width()));
+    if (config.use_matched_filter) {
+      row[width - 1] = pipeline.filter_.apply(trace);
+    }
+  }
+  pipeline.normalizer_ =
+      feature_normalizer::fit(features, config.normalization);
+  return pipeline;
+}
+
+void feature_pipeline::extract(std::span<const float> trace,
+                               std::size_t samples_per_quadrature,
+                               std::span<float> out) const {
+  KLINQ_REQUIRE(is_fitted(), "feature_pipeline::extract before fit");
+  KLINQ_REQUIRE(out.size() == output_width(),
+                "feature_pipeline::extract: bad output width");
+  averager_.apply(trace, samples_per_quadrature,
+                  out.subspan(0, averager_.output_width()));
+  if (config_.use_matched_filter) {
+    out[out.size() - 1] = filter_.apply(trace);
+  }
+  normalizer_.apply(out);
+}
+
+la::matrix_f feature_pipeline::extract_all(
+    const data::trace_dataset& dataset) const {
+  la::matrix_f features(dataset.size(), output_width());
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    extract(dataset.trace(r), dataset.samples_per_quadrature(),
+            features.row(r));
+  }
+  return features;
+}
+
+namespace {
+constexpr std::array<char, 8> kMagic = {'K', 'L', 'N', 'Q', 'F', 'P', 'L', '1'};
+}
+
+void feature_pipeline::save(std::ostream& out) const {
+  KLINQ_REQUIRE(is_fitted(), "feature_pipeline::save before fit");
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t groups = config_.groups_per_quadrature;
+  out.write(reinterpret_cast<const char*>(&groups), sizeof(groups));
+  const std::uint8_t use_mf = config_.use_matched_filter ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&use_mf), 1);
+  const auto mode_raw = static_cast<std::uint8_t>(config_.normalization);
+  out.write(reinterpret_cast<const char*>(&mode_raw), 1);
+  if (config_.use_matched_filter) filter_.save(out);
+  normalizer_.save(out);
+  if (!out) throw io_error("feature_pipeline::save: stream write failed");
+}
+
+feature_pipeline feature_pipeline::load(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw io_error("feature_pipeline::load: bad magic");
+  }
+  std::uint64_t groups = 0;
+  in.read(reinterpret_cast<char*>(&groups), sizeof(groups));
+  std::uint8_t use_mf = 0;
+  in.read(reinterpret_cast<char*>(&use_mf), 1);
+  std::uint8_t mode_raw = 0;
+  in.read(reinterpret_cast<char*>(&mode_raw), 1);
+  if (!in) throw io_error("feature_pipeline::load: truncated header");
+  KLINQ_REQUIRE(groups > 0 && groups < (1u << 20),
+                "feature_pipeline::load: implausible group count");
+  KLINQ_REQUIRE(mode_raw <= 2, "feature_pipeline::load: unknown norm mode");
+
+  feature_pipeline pipeline;
+  pipeline.config_.groups_per_quadrature = static_cast<std::size_t>(groups);
+  pipeline.config_.use_matched_filter = (use_mf != 0);
+  pipeline.config_.normalization = static_cast<norm_mode>(mode_raw);
+  pipeline.averager_ = interval_averager(pipeline.config_.groups_per_quadrature);
+  if (pipeline.config_.use_matched_filter) {
+    pipeline.filter_ = matched_filter::load(in);
+  }
+  pipeline.normalizer_ = feature_normalizer::load(in);
+  return pipeline;
+}
+
+}  // namespace klinq::dsp

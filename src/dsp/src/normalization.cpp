@@ -1,0 +1,119 @@
+#include "klinq/dsp/normalization.hpp"
+
+#include <array>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/math.hpp"
+
+namespace klinq::dsp {
+
+feature_normalizer feature_normalizer::fit(const la::matrix_f& features,
+                                           norm_mode mode,
+                                           double sigma_floor) {
+  KLINQ_REQUIRE(features.rows() > 1, "normalizer::fit: need >= 2 rows");
+  const std::size_t width = features.cols();
+  feature_normalizer out;
+  out.mode_ = mode;
+  out.x_min_.resize(width);
+  out.sigma_.resize(width);
+  out.shift_exponent_.resize(width);
+
+  for (std::size_t c = 0; c < width; ++c) {
+    running_stats stats;
+    float min_value = features(0, c);
+    for (std::size_t r = 0; r < features.rows(); ++r) {
+      const float v = features(r, c);
+      stats.add(v);
+      if (v < min_value) min_value = v;
+    }
+    const double sigma = std::max(stats.stddev(), sigma_floor);
+    out.x_min_[c] = mode == norm_mode::zscore
+                        ? static_cast<float>(stats.mean())
+                        : min_value;
+    out.sigma_[c] = static_cast<float>(sigma);
+    out.shift_exponent_[c] = nearest_power_of_two_exponent(sigma);
+  }
+  return out;
+}
+
+float feature_normalizer::effective_sigma(std::size_t feature) const {
+  KLINQ_REQUIRE(feature < feature_width(),
+                "effective_sigma: feature out of range");
+  if (mode_ == norm_mode::pow2_shift) {
+    return std::ldexp(1.0f, shift_exponent_[feature]);
+  }
+  return sigma_[feature];
+}
+
+void feature_normalizer::apply(std::span<float> features) const {
+  KLINQ_REQUIRE(is_fitted(), "normalizer::apply before fit");
+  KLINQ_REQUIRE(features.size() == feature_width(),
+                "normalizer::apply: width mismatch");
+  for (std::size_t c = 0; c < features.size(); ++c) {
+    const float centered = features[c] - x_min_[c];
+    if (mode_ == norm_mode::pow2_shift) {
+      // ldexp(x, -k) is exactly the hardware's arithmetic shift by k.
+      features[c] = std::ldexp(centered, -shift_exponent_[c]);
+    } else {
+      features[c] = centered / sigma_[c];
+    }
+  }
+}
+
+void feature_normalizer::apply_all(la::matrix_f& features) const {
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    apply(features.row(r));
+  }
+}
+
+namespace {
+constexpr std::array<char, 8> kMagic = {'K', 'L', 'N', 'Q', 'N', 'R', 'M', '1'};
+}
+
+void feature_normalizer::save(std::ostream& out) const {
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t width = feature_width();
+  out.write(reinterpret_cast<const char*>(&width), sizeof(width));
+  const auto mode_raw = static_cast<std::uint8_t>(mode_);
+  out.write(reinterpret_cast<const char*>(&mode_raw), 1);
+  out.write(reinterpret_cast<const char*>(x_min_.data()),
+            static_cast<std::streamsize>(width * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(sigma_.data()),
+            static_cast<std::streamsize>(width * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(shift_exponent_.data()),
+            static_cast<std::streamsize>(width * sizeof(int)));
+  if (!out) throw io_error("normalizer::save: stream write failed");
+}
+
+feature_normalizer feature_normalizer::load(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) throw io_error("normalizer::load: bad magic");
+  std::uint64_t width = 0;
+  in.read(reinterpret_cast<char*>(&width), sizeof(width));
+  std::uint8_t mode_raw = 0;
+  in.read(reinterpret_cast<char*>(&mode_raw), 1);
+  if (!in) throw io_error("normalizer::load: truncated header");
+  KLINQ_REQUIRE(width > 0 && width < (1u << 24),
+                "normalizer::load: implausible width");
+  KLINQ_REQUIRE(mode_raw <= 2, "normalizer::load: unknown mode");
+
+  feature_normalizer out;
+  out.mode_ = static_cast<norm_mode>(mode_raw);
+  out.x_min_.resize(width);
+  out.sigma_.resize(width);
+  out.shift_exponent_.resize(width);
+  in.read(reinterpret_cast<char*>(out.x_min_.data()),
+          static_cast<std::streamsize>(width * sizeof(float)));
+  in.read(reinterpret_cast<char*>(out.sigma_.data()),
+          static_cast<std::streamsize>(width * sizeof(float)));
+  in.read(reinterpret_cast<char*>(out.shift_exponent_.data()),
+          static_cast<std::streamsize>(width * sizeof(int)));
+  if (!in) throw io_error("normalizer::load: truncated payload");
+  return out;
+}
+
+}  // namespace klinq::dsp

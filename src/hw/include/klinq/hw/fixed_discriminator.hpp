@@ -1,0 +1,84 @@
+// End-to-end fixed-point qubit discriminator: the deployable FPGA model.
+//
+// Combines the fixed front-end (AVG/NORM/MF) with the quantized student
+// network. predict_state() is the full ADC-to-decision path in hardware
+// numerics; agreement_with_float() quantifies how often the fixed datapath
+// reproduces the float model's decision (the paper's "maintains
+// discrimination accuracy" claim for Q16.16).
+#pragma once
+
+#include <span>
+
+#include "klinq/data/trace_dataset.hpp"
+#include "klinq/hw/fixed_frontend.hpp"
+#include "klinq/hw/quantized_network.hpp"
+#include "klinq/kd/distiller.hpp"
+
+namespace klinq::hw {
+
+template <class Fixed>
+class fixed_discriminator {
+ public:
+  fixed_discriminator() = default;
+
+  /// Quantizes a trained student model into hardware form.
+  explicit fixed_discriminator(const kd::student_model& student)
+      : frontend_(student.pipeline()), net_(student.net()) {
+    KLINQ_REQUIRE(frontend_.output_width() == net_.input_dim(),
+                  "fixed_discriminator: front-end/network width mismatch");
+  }
+
+  const fixed_frontend<Fixed>& frontend() const noexcept { return frontend_; }
+  const quantized_network<Fixed>& net() const noexcept { return net_; }
+
+  /// Output logit register for one float (ADC) trace.
+  Fixed logit(std::span<const float> trace,
+              std::size_t samples_per_quadrature) const {
+    const std::vector<Fixed> quantized =
+        fixed_frontend<Fixed>::quantize_trace(trace);
+    thread_local std::vector<Fixed> features;
+    features.assign(frontend_.output_width(), Fixed::zero());
+    frontend_.extract(quantized, samples_per_quadrature, features);
+    return net_.forward_logit(features);
+  }
+
+  bool predict_state(std::span<const float> trace,
+                     std::size_t samples_per_quadrature) const {
+    return !logit(trace, samples_per_quadrature).sign_bit();
+  }
+
+  /// Assignment accuracy of the fixed-point datapath on a dataset.
+  double accuracy(const data::trace_dataset& dataset) const {
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < dataset.size(); ++r) {
+      const bool predicted =
+          predict_state(dataset.trace(r), dataset.samples_per_quadrature());
+      correct += (predicted == dataset.label_state(r)) ? 1 : 0;
+    }
+    return dataset.empty() ? 0.0
+                           : static_cast<double>(correct) /
+                                 static_cast<double>(dataset.size());
+  }
+
+  /// Fraction of traces where fixed and float decisions agree.
+  double agreement_with_float(const kd::student_model& student,
+                              const data::trace_dataset& dataset) const {
+    std::size_t agree = 0;
+    for (std::size_t r = 0; r < dataset.size(); ++r) {
+      const bool fixed_decision =
+          predict_state(dataset.trace(r), dataset.samples_per_quadrature());
+      const bool float_decision = student.predict_state(
+          dataset.trace(r), dataset.samples_per_quadrature());
+      agree += (fixed_decision == float_decision) ? 1 : 0;
+    }
+    return dataset.empty() ? 1.0
+                           : static_cast<double>(agree) /
+                                 static_cast<double>(dataset.size());
+  }
+
+ private:
+  fixed_frontend<Fixed> frontend_;
+  quantized_network<Fixed> net_;
+};
+
+}  // namespace klinq::hw

@@ -1,0 +1,119 @@
+// Fixed-point data pre-processing front-end (paper §IV, Fig. 3).
+//
+// Mirrors the PL pipeline ahead of the fully connected layers:
+//   AVG   — per-group adder tree, then multiply by a precomputed reciprocal
+//           (a configuration constant; the datapath never divides),
+//   NORM  — subtract the calibrated x_min, arithmetic-shift by the
+//           power-of-two σ exponent (the paper's division-free normalizer),
+//   MF    — wide MAC of the quantized envelope against the raw trace,
+//           normalized through its own (x_min, shift) pair,
+//   CONCAT — [avg I | avg Q | MF] forms the student network input.
+//
+// Constructed from a fitted float feature_pipeline; all calibration
+// constants are quantized once at build time, exactly like writing the
+// FPGA's parameter BRAM.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "klinq/common/error.hpp"
+#include "klinq/dsp/feature_pipeline.hpp"
+#include "klinq/fixed/fixed.hpp"
+
+namespace klinq::hw {
+
+template <class Fixed>
+class fixed_frontend {
+ public:
+  fixed_frontend() = default;
+
+  explicit fixed_frontend(const dsp::feature_pipeline& pipeline) {
+    KLINQ_REQUIRE(pipeline.is_fitted(), "fixed_frontend: unfitted pipeline");
+    KLINQ_REQUIRE(
+        pipeline.normalizer().mode() == dsp::norm_mode::pow2_shift,
+        "fixed_frontend: hardware requires power-of-two normalization");
+    groups_ = pipeline.averager().groups_per_quadrature();
+    use_mf_ = pipeline.config().use_matched_filter;
+    if (use_mf_) {
+      for (const float w : pipeline.filter().envelope()) {
+        mf_envelope_.push_back(Fixed::from_double(w));
+      }
+    }
+    const auto& norm = pipeline.normalizer();
+    for (std::size_t c = 0; c < norm.feature_width(); ++c) {
+      x_min_.push_back(Fixed::from_double(norm.x_min()[c]));
+    }
+    shift_.assign(norm.shift_exponents().begin(),
+                  norm.shift_exponents().end());
+  }
+
+  std::size_t output_width() const noexcept {
+    return 2 * groups_ + (use_mf_ ? 1 : 0);
+  }
+  std::size_t groups_per_quadrature() const noexcept { return groups_; }
+  bool uses_matched_filter() const noexcept { return use_mf_; }
+
+  /// Quantizes a float ADC trace into the fixed input register file.
+  static std::vector<Fixed> quantize_trace(std::span<const float> trace) {
+    std::vector<Fixed> out;
+    out.reserve(trace.size());
+    for (const float v : trace) out.push_back(Fixed::from_double(v));
+    return out;
+  }
+
+  /// Runs AVG → NORM ∥ MF → CONCAT on a quantized trace of N complex
+  /// samples. `out` must have output_width() entries.
+  void extract(std::span<const Fixed> trace,
+               std::size_t samples_per_quadrature,
+               std::span<Fixed> out) const {
+    const std::size_t n = samples_per_quadrature;
+    KLINQ_REQUIRE(trace.size() == 2 * n, "fixed_frontend: trace width != 2N");
+    KLINQ_REQUIRE(out.size() == output_width(),
+                  "fixed_frontend: bad output span");
+    KLINQ_REQUIRE(n >= groups_, "fixed_frontend: fewer samples than groups");
+    KLINQ_REQUIRE(!use_mf_ || mf_envelope_.size() == 2 * n,
+                  "fixed_frontend: envelope width does not match this trace "
+                  "duration (rebuild the front-end for the new duration)");
+
+    // AVG: adder tree per group, multiply by reciprocal group length.
+    for (std::size_t quadrature = 0; quadrature < 2; ++quadrature) {
+      for (std::size_t g = 0; g < groups_; ++g) {
+        const std::size_t begin = g * n / groups_;
+        const std::size_t end = (g + 1) * n / groups_;
+        fx::fixed_accumulator<Fixed> acc;
+        for (std::size_t s = begin; s < end; ++s) {
+          acc.add(trace[quadrature * n + s]);
+        }
+        // Reciprocal is a configuration constant (per group length), not a
+        // runtime division.
+        const Fixed reciprocal =
+            Fixed::from_double(1.0 / static_cast<double>(end - begin));
+        out[quadrature * groups_ + g] = acc.result() * reciprocal;
+      }
+    }
+
+    // MF: wide MAC over the raw quantized trace.
+    if (use_mf_) {
+      fx::fixed_accumulator<Fixed> acc;
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        acc.add(mf_envelope_[i] * trace[i]);
+      }
+      out[out.size() - 1] = acc.result();
+    }
+
+    // NORM: (x − x_min) >> k for every concatenated feature.
+    for (std::size_t c = 0; c < out.size(); ++c) {
+      out[c] = (out[c] - x_min_[c]).shifted_right(shift_[c]);
+    }
+  }
+
+ private:
+  std::size_t groups_ = 0;
+  bool use_mf_ = false;
+  std::vector<Fixed> mf_envelope_;
+  std::vector<Fixed> x_min_;
+  std::vector<int> shift_;
+};
+
+}  // namespace klinq::hw

@@ -1,0 +1,131 @@
+// Fixed-point FNN inference engine (paper §IV).
+//
+// Bit-accurate software model of the FPGA datapath:
+//   * weights/biases quantized from the trained float network,
+//   * per-neuron MAC: full-precision products rounded back to F fractional
+//     bits (the DSP post-scaler), summed in a wide accumulator with a single
+//     saturation at the adder-tree root,
+//   * ReLU realized as the RTL does it — inspect the sign bit, zero or pass,
+//   * overflow managed by saturation in the activation stage.
+//
+// Templated on the fixed format so the word-width ablation (Q8.8 / Q12.12 /
+// Q16.16 / Q24.24) reuses one implementation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "klinq/common/error.hpp"
+#include "klinq/fixed/fixed.hpp"
+#include "klinq/nn/network.hpp"
+
+namespace klinq::hw {
+
+template <class Fixed>
+class quantized_network {
+ public:
+  quantized_network() = default;
+
+  /// Quantizes every parameter of a trained float network.
+  explicit quantized_network(const nn::network& net) {
+    input_dim_ = net.input_dim();
+    layers_.reserve(net.layer_count());
+    for (std::size_t l = 0; l < net.layer_count(); ++l) {
+      const nn::dense_layer& src = net.layer(l);
+      layer quantized;
+      quantized.in_dim = src.in_dim();
+      quantized.out_dim = src.out_dim();
+      quantized.act = src.act();
+      quantized.weights.reserve(src.weights().size());
+      for (const float w : src.weights().flat()) {
+        quantized.weights.push_back(Fixed::from_double(w));
+      }
+      quantized.bias.reserve(src.bias().size());
+      for (const float b : src.bias()) {
+        quantized.bias.push_back(Fixed::from_double(b));
+      }
+      layers_.push_back(std::move(quantized));
+    }
+  }
+
+  std::size_t input_dim() const noexcept { return input_dim_; }
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+
+  /// Input widths per layer, e.g. {31, 16, 8} for FNN-A — drives the
+  /// adder-tree terms of the cycle and resource models.
+  std::vector<std::size_t> layer_input_widths() const {
+    std::vector<std::size_t> widths;
+    widths.reserve(layers_.size());
+    for (const auto& l : layers_) widths.push_back(l.in_dim);
+    return widths;
+  }
+
+  std::size_t parameter_count() const noexcept {
+    std::size_t total = 0;
+    for (const auto& l : layers_) total += l.weights.size() + l.bias.size();
+    return total;
+  }
+
+  /// Raw quantized tensors (row-major out×in), e.g. for RTL export.
+  const std::vector<Fixed>& layer_weights(std::size_t index) const {
+    KLINQ_REQUIRE(index < layers_.size(), "layer_weights: index out of range");
+    return layers_[index].weights;
+  }
+  const std::vector<Fixed>& layer_bias(std::size_t index) const {
+    KLINQ_REQUIRE(index < layers_.size(), "layer_bias: index out of range");
+    return layers_[index].bias;
+  }
+
+  /// Full fixed-point forward pass; returns the output logit register.
+  Fixed forward_logit(std::span<const Fixed> input) const {
+    KLINQ_REQUIRE(!layers_.empty(), "quantized_network: empty network");
+    KLINQ_REQUIRE(input.size() == input_dim_,
+                  "quantized_network: bad input width");
+    thread_local std::vector<Fixed> buffer_a;
+    thread_local std::vector<Fixed> buffer_b;
+    buffer_a.assign(input.begin(), input.end());
+    std::vector<Fixed>* current = &buffer_a;
+    std::vector<Fixed>* next = &buffer_b;
+    for (const layer& l : layers_) {
+      next->assign(l.out_dim, Fixed::zero());
+      for (std::size_t neuron = 0; neuron < l.out_dim; ++neuron) {
+        // MAC with wide accumulator: products are rounded to F fractional
+        // bits (as the DSP output register), summed without intermediate
+        // clamping, saturated once at the tree root.
+        fx::fixed_accumulator<Fixed> acc;
+        const Fixed* weight_row = l.weights.data() + neuron * l.in_dim;
+        for (std::size_t i = 0; i < l.in_dim; ++i) {
+          acc.add(weight_row[i] * (*current)[i]);
+        }
+        acc.add(l.bias[neuron]);
+        Fixed value = acc.result();
+        if (l.act == nn::activation::relu) {
+          // RTL ReLU: sign-bit check.
+          if (value.sign_bit()) value = Fixed::zero();
+        }
+        (*next)[neuron] = value;
+      }
+      std::swap(current, next);
+    }
+    return current->front();
+  }
+
+  /// Hard decision: output register sign bit clear ⇒ state 1 ≡ logit >= 0.
+  bool predict_state(std::span<const Fixed> input) const {
+    return !forward_logit(input).sign_bit();
+  }
+
+ private:
+  struct layer {
+    std::size_t in_dim = 0;
+    std::size_t out_dim = 0;
+    nn::activation act = nn::activation::identity;
+    std::vector<Fixed> weights;  // (out × in) row-major
+    std::vector<Fixed> bias;
+  };
+
+  std::size_t input_dim_ = 0;
+  std::vector<layer> layers_;
+};
+
+}  // namespace klinq::hw

@@ -1,0 +1,37 @@
+// Table III assembly: resource utilization + latency per component.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "klinq/hw/cycle_model.hpp"
+#include "klinq/hw/resource_model.hpp"
+
+namespace klinq::hw {
+
+struct component_report {
+  std::string component;   // "MF", "AVG&NORM (Q1,4,5)", ...
+  resource_estimate resources;
+  std::size_t latency_cycles = 0;
+};
+
+struct utilization_report {
+  std::vector<component_report> rows;
+  device_capacity capacity;
+  /// End-to-end latency per configuration (paper-style serial sum).
+  std::size_t total_cycles_fnn_a = 0;
+  std::size_t total_cycles_fnn_b = 0;
+};
+
+/// Builds the full Table III equivalent for both datapath configurations.
+utilization_report build_utilization_report(
+    latency_mode mode = latency_mode::paper_calibrated,
+    const resource_calibration& cal = {},
+    std::size_t trace_samples = 500);
+
+/// Pretty-prints in the paper's row layout with utilization percentages.
+void print_utilization_report(const utilization_report& report,
+                              std::ostream& out);
+
+}  // namespace klinq::hw

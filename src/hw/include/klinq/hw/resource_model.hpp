@@ -1,0 +1,79 @@
+// FPGA resource estimator (paper Table III, ZCU216 target).
+//
+// Parameterized first-order area model. Counts are derived from the module
+// structure (multiplier counts after time-multiplexing, adder-tree widths,
+// pipeline register files) scaled by calibration constants fitted against
+// the paper's reported utilization. The estimator's goal is the *shape* of
+// Table III — MF dominates DSP usage, AVG&NORM synthesizes to zero DSPs
+// (shift-based normalization), FNN-B costs ≈4× FNN-A — with absolute
+// numbers within a few tens of percent (residuals are tabulated in
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "klinq/hw/cycle_model.hpp"
+
+namespace klinq::hw {
+
+struct resource_estimate {
+  std::size_t lut = 0;
+  std::size_t ff = 0;
+  std::size_t dsp = 0;
+
+  resource_estimate& operator+=(const resource_estimate& other) {
+    lut += other.lut;
+    ff += other.ff;
+    dsp += other.dsp;
+    return *this;
+  }
+};
+
+/// ZCU216 (XCZU49DR) device totals, for utilization percentages.
+struct device_capacity {
+  std::size_t lut = 425280;
+  std::size_t ff = 850560;
+  std::size_t dsp = 4272;
+};
+
+/// Calibration constants. Defaults are fitted to Table III; the MF module
+/// uses full 32×32 multipliers (3 DSP48E2 each), while the network neurons
+/// use single-DSP multiply-accumulate slices — matching how the paper's
+/// design spends an order of magnitude more DSPs on the shared MF than on
+/// each per-qubit network.
+struct resource_calibration {
+  std::size_t word_bits = 32;
+  // --- MF module ---
+  std::size_t mf_time_mux = 8;      // input folding factor
+  double mf_dsp_per_mult = 3.0;     // 32×32 product on DSP48E2
+  double mf_lut_per_mult = 150.0;   // operand muxing + control per multiplier
+  std::size_t mf_pipeline_stages = 3;
+  // --- AVG&NORM module ---
+  double avg_lut_per_adder_bit = 0.55;
+  double avg_ff_per_tree_bit = 2.0;
+  // --- network module ---
+  std::size_t net_time_mux = 16;    // inputs share a MAC slice over 16 rounds
+  double net_dsp_per_mult = 1.0;
+  double net_lut_per_mult = 110.0;
+  double net_lut_per_adder_bit = 0.12;
+  double net_ff_per_mult_bit = 4.0;
+};
+
+/// MF block over 2N trace inputs (shared across all qubits).
+resource_estimate estimate_mf(const datapath_config& config,
+                              const resource_calibration& cal = {});
+
+/// Per-qubit AVG&NORM block (2G parallel group trees + normalizers).
+resource_estimate estimate_avg_norm(const datapath_config& config,
+                                    const resource_calibration& cal = {});
+
+/// Per-qubit FC network block.
+resource_estimate estimate_network(const datapath_config& config,
+                                   const resource_calibration& cal = {});
+
+/// Utilization percentage against a device capacity.
+double utilization_pct(std::size_t used, std::size_t capacity);
+
+}  // namespace klinq::hw

@@ -1,0 +1,126 @@
+#include "klinq/hw/cycle_model.hpp"
+
+#include <algorithm>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/math.hpp"
+
+namespace klinq::hw {
+
+std::size_t datapath_config::max_group_size() const {
+  KLINQ_REQUIRE(groups_per_quadrature > 0, "datapath: zero groups");
+  return (trace_samples + groups_per_quadrature - 1) / groups_per_quadrature;
+}
+
+bool supports_runtime_duration(const datapath_config& config,
+                               std::size_t runtime_trace_samples) {
+  KLINQ_REQUIRE(runtime_trace_samples >= config.groups_per_quadrature,
+                "runtime trace shorter than one sample per group");
+  datapath_config runtime = config;
+  runtime.trace_samples = runtime_trace_samples;
+  return runtime.max_group_size() <= config.max_group_size();
+}
+
+datapath_config fnn_a_datapath(std::size_t trace_samples) {
+  return {.name = "FNN-A",
+          .trace_samples = trace_samples,
+          .groups_per_quadrature = 15,
+          .layer_inputs = {31, 16, 8}};
+}
+
+datapath_config fnn_b_datapath(std::size_t trace_samples) {
+  return {.name = "FNN-B",
+          .trace_samples = trace_samples,
+          .groups_per_quadrature = 100,
+          .layer_inputs = {201, 16, 8}};
+}
+
+std::size_t latency_breakdown::stage_cycles(const std::string& name) const {
+  for (const auto& stage : stages) {
+    if (stage.name == name) return stage.cycles;
+  }
+  throw invalid_argument_error("latency_breakdown: no stage named " + name);
+}
+
+namespace {
+
+std::size_t adder_tree_cycles(std::size_t inputs) {
+  // ⌈log2 n⌉ tree levels plus the bias/final-accumulate stage.
+  return static_cast<std::size_t>(ceil_log2(inputs)) + 1;
+}
+
+std::size_t mf_cycles(const datapath_config& config, latency_mode mode) {
+  if (mode == latency_mode::analytic) {
+    // Fully parallel MAC over 2N inputs: multiply pipeline + full tree + reg.
+    return pipeline_timing::multiplier_stages +
+           adder_tree_cycles(2 * config.trace_samples) +
+           pipeline_timing::output_register;
+  }
+  // Calibrated: the MF MAC is folded into 32-element chunks whose partial
+  // sums stream through a fixed 32-input tree — latency is set by one fold.
+  return pipeline_timing::multiplier_stages +
+         adder_tree_cycles(pipeline_timing::mf_fold_width) +
+         pipeline_timing::output_register;
+}
+
+std::size_t avg_norm_cycles(const datapath_config& config, latency_mode mode) {
+  const std::size_t group_tree =
+      static_cast<std::size_t>(ceil_log2(config.max_group_size()));
+  if (mode == latency_mode::analytic) {
+    // Tree + reciprocal multiply + normalize + register.
+    return group_tree + 1 + pipeline_timing::normalize_cycles +
+           pipeline_timing::output_register;
+  }
+  // Calibrated: the reciprocal multiply overlaps the last tree level.
+  return group_tree + pipeline_timing::normalize_cycles +
+         pipeline_timing::output_register;
+}
+
+std::size_t network_cycles(const datapath_config& config, latency_mode mode) {
+  KLINQ_REQUIRE(!config.layer_inputs.empty(), "datapath: no layers");
+  if (mode == latency_mode::analytic) {
+    std::size_t total = 0;
+    for (const std::size_t n_in : config.layer_inputs) {
+      total += pipeline_timing::multiplier_stages + adder_tree_cycles(n_in) +
+               pipeline_timing::relu_cycles;
+    }
+    return total;
+  }
+  // Calibrated: only the first layer's multiply+tree is exposed; later
+  // layers are fully pipelined behind it and add a single drain cycle plus
+  // the final output register:
+  //   4 + (⌈log2 n₁⌉ + 1) + 1 (ReLU) + 1 (output)
+  // FNN-A: 4+6+1+1 = 12, FNN-B: 4+9+1+1 = 15, exactly Table III.
+  return pipeline_timing::multiplier_stages +
+         adder_tree_cycles(config.layer_inputs.front()) +
+         pipeline_timing::relu_cycles + pipeline_timing::output_register;
+}
+
+}  // namespace
+
+throughput_estimate estimate_throughput(const datapath_config& config,
+                                        latency_mode mode, double clock_ghz) {
+  KLINQ_REQUIRE(clock_ghz > 0, "throughput: clock must be positive");
+  const latency_breakdown latency = compute_latency(config, mode);
+  throughput_estimate estimate;
+  estimate.decision_latency_ns = latency.serial_ns(clock_ghz);
+  const double trace_ns =
+      static_cast<double>(config.trace_samples) * 2.0;  // 500 MS/s sampling
+  estimate.total_readout_ns = trace_ns + estimate.decision_latency_ns;
+  estimate.shots_per_second = 1e9 / trace_ns;  // pipelined: II = trace time
+  return estimate;
+}
+
+latency_breakdown compute_latency(const datapath_config& config,
+                                  latency_mode mode) {
+  latency_breakdown result;
+  const std::size_t mf = mf_cycles(config, mode);
+  const std::size_t avg = avg_norm_cycles(config, mode);
+  const std::size_t net = network_cycles(config, mode);
+  result.stages = {{"MF", mf}, {"AVG&NORM", avg}, {"Network", net}};
+  result.total_serial_cycles = mf + avg + net;
+  result.total_critical_path_cycles = std::max(mf, avg) + net;
+  return result;
+}
+
+}  // namespace klinq::hw

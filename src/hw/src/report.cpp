@@ -1,0 +1,55 @@
+#include "klinq/hw/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace klinq::hw {
+
+utilization_report build_utilization_report(latency_mode mode,
+                                            const resource_calibration& cal,
+                                            std::size_t trace_samples) {
+  const datapath_config config_a = fnn_a_datapath(trace_samples);
+  const datapath_config config_b = fnn_b_datapath(trace_samples);
+  const latency_breakdown lat_a = compute_latency(config_a, mode);
+  const latency_breakdown lat_b = compute_latency(config_b, mode);
+
+  utilization_report report;
+  // MF is shared (time-multiplexed across qubits): counted once.
+  report.rows.push_back({"MF (shared)", estimate_mf(config_a, cal),
+                         lat_a.stage_cycles("MF")});
+  report.rows.push_back({"AVG&NORM (Q1,4,5)", estimate_avg_norm(config_a, cal),
+                         lat_a.stage_cycles("AVG&NORM")});
+  report.rows.push_back({"Network (Q1,4,5)", estimate_network(config_a, cal),
+                         lat_a.stage_cycles("Network")});
+  report.rows.push_back({"AVG&NORM (Q2,3)", estimate_avg_norm(config_b, cal),
+                         lat_b.stage_cycles("AVG&NORM")});
+  report.rows.push_back({"Network (Q2,3)", estimate_network(config_b, cal),
+                         lat_b.stage_cycles("Network")});
+  report.total_cycles_fnn_a = lat_a.total_serial_cycles;
+  report.total_cycles_fnn_b = lat_b.total_serial_cycles;
+  return report;
+}
+
+void print_utilization_report(const utilization_report& report,
+                              std::ostream& out) {
+  out << std::left << std::setw(22) << "Component" << std::right
+      << std::setw(10) << "LUT" << std::setw(8) << "(%)" << std::setw(10)
+      << "FF" << std::setw(8) << "(%)" << std::setw(8) << "DSP"
+      << std::setw(8) << "(%)" << std::setw(14) << "Latency(cyc)" << "\n";
+  for (const auto& row : report.rows) {
+    out << std::left << std::setw(22) << row.component << std::right
+        << std::setw(10) << row.resources.lut << std::setw(7) << std::fixed
+        << std::setprecision(2)
+        << utilization_pct(row.resources.lut, report.capacity.lut) << "%"
+        << std::setw(10) << row.resources.ff << std::setw(7)
+        << utilization_pct(row.resources.ff, report.capacity.ff) << "%"
+        << std::setw(8) << row.resources.dsp << std::setw(7)
+        << utilization_pct(row.resources.dsp, report.capacity.dsp) << "%"
+        << std::setw(13) << row.latency_cycles << "\n";
+  }
+  out << "End-to-end latency:  FNN-A " << report.total_cycles_fnn_a
+      << " cycles, FNN-B " << report.total_cycles_fnn_b
+      << " cycles (1 cycle = 1 ns at the paper's pipeline rate)\n";
+}
+
+}  // namespace klinq::hw

@@ -1,0 +1,90 @@
+#include "klinq/hw/resource_model.hpp"
+
+#include <cmath>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/math.hpp"
+
+namespace klinq::hw {
+
+namespace {
+
+std::size_t round_count(double value) {
+  return static_cast<std::size_t>(std::llround(value));
+}
+
+}  // namespace
+
+resource_estimate estimate_mf(const datapath_config& config,
+                              const resource_calibration& cal) {
+  KLINQ_REQUIRE(cal.mf_time_mux > 0, "resource: mf_time_mux must be > 0");
+  const std::size_t inputs = 2 * config.trace_samples;
+  const std::size_t parallel_mults =
+      (inputs + cal.mf_time_mux - 1) / cal.mf_time_mux;
+
+  resource_estimate est;
+  est.dsp = round_count(static_cast<double>(parallel_mults) *
+                        cal.mf_dsp_per_mult);
+  // Adder tree over the parallel partial products (double-width operands)
+  // plus per-multiplier glue.
+  const std::size_t tree_adders = parallel_mults > 0 ? parallel_mults - 1 : 0;
+  est.lut = round_count(
+      static_cast<double>(parallel_mults) * cal.mf_lut_per_mult +
+      static_cast<double>(tree_adders) * 2.0 * cal.word_bits *
+          cal.avg_lut_per_adder_bit);
+  est.ff = parallel_mults * 2 * cal.word_bits * cal.mf_pipeline_stages;
+  return est;
+}
+
+resource_estimate estimate_avg_norm(const datapath_config& config,
+                                    const resource_calibration& cal) {
+  const std::size_t groups = 2 * config.groups_per_quadrature;
+  const std::size_t group_size = config.max_group_size();
+  const std::size_t adders_per_group = group_size > 0 ? group_size - 1 : 0;
+  const std::size_t tree_depth =
+      static_cast<std::size_t>(ceil_log2(group_size));
+
+  resource_estimate est;
+  est.dsp = 0;  // shift-based normalization: no DSP blocks by construction
+  // Group adder trees + the subtract/shift normalizer per feature.
+  est.lut = round_count(static_cast<double>(groups) *
+                        (static_cast<double>(adders_per_group + 2) *
+                         cal.word_bits * cal.avg_lut_per_adder_bit));
+  est.ff = round_count(static_cast<double>(groups) * cal.word_bits *
+                       static_cast<double>(tree_depth) *
+                       cal.avg_ff_per_tree_bit);
+  return est;
+}
+
+resource_estimate estimate_network(const datapath_config& config,
+                                   const resource_calibration& cal) {
+  KLINQ_REQUIRE(cal.net_time_mux > 0, "resource: net_time_mux must be > 0");
+  resource_estimate est;
+  double mults_total = 0.0;
+  double adder_bits = 0.0;
+  // Each layer: out_dim parallel neurons; a neuron multiplexes its inputs
+  // over net_time_mux rounds on ceil(in/time_mux) MAC slices, then reduces
+  // through an in-input adder tree.
+  const std::vector<std::size_t>& inputs = config.layer_inputs;
+  for (std::size_t l = 0; l < inputs.size(); ++l) {
+    const std::size_t in_dim = inputs[l];
+    const std::size_t out_dim =
+        (l + 1 < inputs.size()) ? inputs[l + 1] : 1;  // final logit neuron
+    const std::size_t mults_per_neuron =
+        (in_dim + cal.net_time_mux - 1) / cal.net_time_mux;
+    mults_total += static_cast<double>(out_dim * mults_per_neuron);
+    adder_bits += static_cast<double>(out_dim * (in_dim - 1)) * cal.word_bits;
+  }
+  est.dsp = round_count(mults_total * cal.net_dsp_per_mult);
+  est.lut = round_count(mults_total * cal.net_lut_per_mult +
+                        adder_bits * cal.net_lut_per_adder_bit);
+  est.ff = round_count(mults_total * cal.word_bits * cal.net_ff_per_mult_bit);
+  return est;
+}
+
+double utilization_pct(std::size_t used, std::size_t capacity) {
+  KLINQ_REQUIRE(capacity > 0, "utilization: zero capacity");
+  return 100.0 * static_cast<double>(used) / static_cast<double>(capacity);
+}
+
+}  // namespace klinq::hw

@@ -1,0 +1,164 @@
+#include "klinq/hw/verilog_emitter.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq::hw {
+
+namespace {
+
+/// 32-bit two's-complement hex literal of a Q16.16 register value.
+std::string hex32(std::int64_t raw) {
+  const auto bits = static_cast<std::uint32_t>(static_cast<std::int32_t>(raw));
+  std::ostringstream out;
+  out << "32'h" << std::hex << std::setw(8) << std::setfill('0') << bits;
+  return out.str();
+}
+
+}  // namespace
+
+std::string emit_student_verilog(const quantized_network<fx::q16_16>& net,
+                                 const verilog_options& options) {
+  KLINQ_REQUIRE(net.layer_count() > 0, "verilog emitter: empty network");
+  const auto widths = net.layer_input_widths();
+  const std::size_t n_layers = net.layer_count();
+
+  std::ostringstream v;
+  v << "// " << options.banner << "\n";
+  v << "// topology:";
+  for (const auto w : widths) v << " " << w;
+  v << " -> 1 ; " << net.parameter_count()
+    << " parameters, Q16.16 saturating arithmetic\n";
+  v << "`timescale 1ns/1ps\n\n";
+  v << "module " << options.module_name << " (\n";
+  v << "    input  logic clk,\n";
+  v << "    input  logic rst,\n";
+  v << "    input  logic in_valid,\n";
+  v << "    input  logic signed [" << widths.front() * 32 - 1
+    << ":0] in_bus,\n";
+  v << "    output logic out_valid,\n";
+  v << "    output logic out_state,\n";
+  v << "    output logic signed [31:0] out_logit\n";
+  v << ");\n\n";
+
+  // Saturation helper: clamp a 64-bit accumulator to the Q16.16 rails —
+  // the activation stage's overflow handling (paper §IV).
+  v << "  function automatic logic signed [31:0] sat64 (input logic signed "
+       "[63:0] acc);\n";
+  v << "    if (acc > 64'sh000000007fffffff) sat64 = 32'sh7fffffff;\n";
+  v << "    else if (acc < -64'sh0000000080000000) sat64 = 32'sh80000000;\n";
+  v << "    else sat64 = acc[31:0];\n";
+  v << "  endfunction\n\n";
+
+  // Q16.16 multiply: 64-bit product, arithmetic shift back by 16.\n
+  v << "  function automatic logic signed [63:0] qmul (input logic signed "
+       "[31:0] a, input logic signed [31:0] b);\n";
+  v << "    logic signed [63:0] wide;\n";
+  v << "    begin\n";
+  v << "      wide = $signed(a) * $signed(b);\n";
+  v << "      qmul = wide >>> 16;\n";
+  v << "    end\n";
+  v << "  endfunction\n\n";
+
+  // Weight/bias localparams per layer.
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const std::size_t in_dim = widths[l];
+    const std::size_t out_dim = (l + 1 < n_layers) ? widths[l + 1] : 1;
+    v << "  // layer " << l << ": " << in_dim << " -> " << out_dim
+      << (l + 1 < n_layers ? " (ReLU)" : " (logit)") << "\n";
+    v << "  localparam logic signed [31:0] L" << l << "_W [0:"
+      << in_dim * out_dim - 1 << "] = '{\n    ";
+    const auto& weights = net.layer_weights(l);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      v << hex32(weights[i].raw());
+      if (i + 1 < weights.size()) v << (i % 8 == 7 ? ",\n    " : ", ");
+    }
+    v << "};\n";
+    const auto& bias = net.layer_bias(l);
+    v << "  localparam logic signed [31:0] L" << l << "_B [0:" << out_dim - 1
+      << "] = '{";
+    for (std::size_t i = 0; i < bias.size(); ++i) {
+      v << hex32(bias[i].raw());
+      if (i + 1 < bias.size()) v << ", ";
+    }
+    v << "};\n\n";
+  }
+
+  // Per-stage registers and valid pipeline.
+  v << "  logic [" << n_layers << ":0] valid_pipe;\n";
+  for (std::size_t l = 0; l <= n_layers; ++l) {
+    const std::size_t width = l < n_layers ? widths[l] : 1;
+    v << "  logic signed [31:0] stage" << l << " [0:" << width - 1 << "];\n";
+  }
+  v << "\n  // stage 0: unpack the input bus\n";
+  v << "  always_ff @(posedge clk) begin\n";
+  v << "    if (rst) valid_pipe <= '0;\n";
+  v << "    else begin\n";
+  v << "      valid_pipe <= {valid_pipe[" << n_layers - 1 << ":0], in_valid};\n";
+  v << "      for (int i = 0; i < " << widths.front() << "; i++)\n";
+  v << "        stage0[i] <= in_bus[i*32 +: 32];\n";
+
+  // One pipeline stage per layer: parallel neurons, MAC, bias, ReLU.
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const std::size_t in_dim = widths[l];
+    const std::size_t out_dim = (l + 1 < n_layers) ? widths[l + 1] : 1;
+    const bool is_last = (l + 1 == n_layers);
+    v << "      // layer " << l << "\n";
+    v << "      for (int n = 0; n < " << out_dim << "; n++) begin\n";
+    v << "        automatic logic signed [63:0] acc;\n";
+    v << "        acc = {{32{L" << l << "_B[n][31]}}, L" << l << "_B[n]};\n";
+    v << "        for (int i = 0; i < " << in_dim << "; i++)\n";
+    v << "          acc = acc + qmul(L" << l << "_W[n*" << in_dim
+      << " + i], stage" << l << "[i]);\n";
+    if (is_last) {
+      v << "        stage" << l + 1 << "[n] <= sat64(acc);\n";
+    } else {
+      v << "        stage" << l + 1
+        << "[n] <= sat64(acc) < 0 ? 32'sd0 : sat64(acc);  // sign-bit ReLU\n";
+    }
+    v << "      end\n";
+  }
+  v << "    end\n";
+  v << "  end\n\n";
+
+  v << "  assign out_valid = valid_pipe[" << n_layers << "];\n";
+  v << "  assign out_logit = stage" << n_layers << "[0];\n";
+  v << "  assign out_state = ~out_logit[31];  // sign-bit decision\n\n";
+  v << "endmodule\n";
+  return v.str();
+}
+
+std::string emit_student_testbench(const quantized_network<fx::q16_16>& net,
+                                   const verilog_options& options) {
+  const auto widths = net.layer_input_widths();
+  const std::size_t in_dim = widths.front();
+  std::ostringstream v;
+  v << "// testbench for " << options.module_name << "\n";
+  v << "`timescale 1ns/1ps\n\n";
+  v << "module " << options.module_name << "_tb;\n";
+  v << "  logic clk = 0, rst = 1, in_valid = 0;\n";
+  v << "  logic signed [" << in_dim * 32 - 1 << ":0] in_bus = '0;\n";
+  v << "  logic out_valid, out_state;\n";
+  v << "  logic signed [31:0] out_logit;\n\n";
+  v << "  " << options.module_name << " dut (.*);\n\n";
+  v << "  always #5 clk = ~clk;\n\n";
+  v << "  initial begin\n";
+  v << "    repeat (2) @(posedge clk);\n";
+  v << "    rst = 0;\n";
+  v << "    // drive an all-ones Q16.16 feature vector\n";
+  v << "    for (int i = 0; i < " << in_dim << "; i++)\n";
+  v << "      in_bus[i*32 +: 32] = 32'sh00010000;\n";
+  v << "    in_valid = 1;\n";
+  v << "    @(posedge clk);\n";
+  v << "    in_valid = 0;\n";
+  v << "    wait (out_valid);\n";
+  v << "    $display(\"logit=%0d state=%0d\", out_logit, out_state);\n";
+  v << "    $finish;\n";
+  v << "  end\n";
+  v << "endmodule\n";
+  return v.str();
+}
+
+}  // namespace klinq::hw

@@ -1,0 +1,80 @@
+// Teacher model: the paper's large per-qubit FNN (§III-A).
+//
+// Architecture 2N-1000-500-250-1 trained on raw flattened I/Q traces
+// (1000 inputs at 1 µs). Inputs are z-score standardized with statistics
+// fitted on the training set — the teacher runs offline in software, so it
+// is free to use exact division (unlike the FPGA students).
+//
+// The same trainer doubles as the "Baseline FNN [3]" of Table I: the
+// baseline *is* this architecture evaluated as an independent per-qubit
+// discriminator, which is also why the paper quotes the baseline at 1.63 M
+// parameters = one teacher.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "klinq/data/trace_dataset.hpp"
+#include "klinq/dsp/normalization.hpp"
+#include "klinq/nn/network.hpp"
+
+namespace klinq::kd {
+
+struct teacher_config {
+  std::vector<std::size_t> hidden = {1000, 500, 250};
+  std::size_t epochs = 5;
+  std::size_t batch_size = 32;
+  float learning_rate = 1e-3f;
+  /// Mild decoupled L2 + trace-noise augmentation keep the 1.63 M-parameter
+  /// teacher from memorizing modest shot counts.
+  float weight_decay = 1e-3f;
+  float augment_noise_sigma = 0.25f;
+  float lr_decay = 0.8f;
+  std::uint64_t seed = 1;
+};
+
+/// A trained teacher: input standardizer + network. The standardizer is part
+/// of the model — logits are only meaningful for identically scaled inputs.
+class teacher_model {
+ public:
+  teacher_model() = default;
+  teacher_model(nn::network net, dsp::feature_normalizer input_norm);
+
+  const nn::network& net() const noexcept { return net_; }
+  const dsp::feature_normalizer& input_norm() const noexcept {
+    return input_norm_;
+  }
+
+  std::size_t parameter_count() const noexcept {
+    return net_.parameter_count();
+  }
+
+  /// Raw logit for one flattened trace (standardizes internally).
+  float logit(std::span<const float> trace) const;
+
+  /// Hard state decision (logit >= 0).
+  bool predict_state(std::span<const float> trace) const;
+
+  /// Logits for every row — the distillation soft-label source.
+  std::vector<float> logits_for(const data::trace_dataset& dataset) const;
+
+  /// Assignment accuracy against dataset labels.
+  double accuracy(const data::trace_dataset& dataset) const;
+
+  void save(std::ostream& out) const;
+  static teacher_model load(std::istream& in);
+
+ private:
+  /// Standardizes a whole dataset into a feature matrix.
+  la::matrix_f standardized(const data::trace_dataset& dataset) const;
+
+  nn::network net_;
+  dsp::feature_normalizer input_norm_;
+};
+
+/// Trains a teacher on one qubit's raw-trace dataset.
+teacher_model train_teacher(const data::trace_dataset& train,
+                            const teacher_config& config);
+
+}  // namespace klinq::kd

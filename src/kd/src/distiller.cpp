@@ -1,0 +1,99 @@
+#include "klinq/kd/distiller.hpp"
+
+#include <istream>
+#include <memory>
+#include <ostream>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/log.hpp"
+#include "klinq/common/stopwatch.hpp"
+#include "klinq/nn/serialize.hpp"
+#include "klinq/nn/trainer.hpp"
+
+namespace klinq::kd {
+
+student_model::student_model(dsp::feature_pipeline pipeline, nn::network net)
+    : pipeline_(std::move(pipeline)), net_(std::move(net)) {
+  KLINQ_REQUIRE(pipeline_.output_width() == net_.input_dim(),
+                "student_model: pipeline width != network input");
+}
+
+float student_model::logit(std::span<const float> trace,
+                           std::size_t samples_per_quadrature) const {
+  thread_local std::vector<float> features;
+  features.assign(pipeline_.output_width(), 0.0f);
+  pipeline_.extract(trace, samples_per_quadrature, features);
+  return net_.predict_logit(features);
+}
+
+bool student_model::predict_state(std::span<const float> trace,
+                                  std::size_t samples_per_quadrature) const {
+  return logit(trace, samples_per_quadrature) >= 0.0f;
+}
+
+double student_model::accuracy(const data::trace_dataset& dataset) const {
+  const la::matrix_f features = pipeline_.extract_all(dataset);
+  return nn::classification_accuracy(net_, features, dataset.labels());
+}
+
+void student_model::save(std::ostream& out) const {
+  pipeline_.save(out);
+  nn::save_network(net_, out);
+}
+
+student_model student_model::load(std::istream& in) {
+  dsp::feature_pipeline pipeline = dsp::feature_pipeline::load(in);
+  nn::network net = nn::load_network(in);
+  return student_model(std::move(pipeline), std::move(net));
+}
+
+student_model distill_student(const data::trace_dataset& train,
+                              std::span<const float> teacher_logits,
+                              const student_config& config) {
+  KLINQ_REQUIRE(train.size() > 1, "distill_student: empty training set");
+  KLINQ_REQUIRE(teacher_logits.empty() || teacher_logits.size() == train.size(),
+                "distill_student: teacher logit count != train size");
+  stopwatch timer;
+
+  auto pipeline = dsp::feature_pipeline::fit(
+      train, {.groups_per_quadrature = config.groups_per_quadrature,
+              .use_matched_filter = config.use_matched_filter,
+              .normalization = config.normalization});
+  const la::matrix_f features = pipeline.extract_all(train);
+
+  nn::network net = nn::make_mlp(pipeline.output_width(), config.hidden);
+  xoshiro256 rng(config.seed);
+  net.initialize(nn::weight_init::he_normal, rng);
+
+  // Loss selection: composite distillation when soft labels are available,
+  // plain BCE otherwise (ablation path; equivalent to alpha = 1).
+  std::unique_ptr<nn::loss_fn> loss;
+  if (teacher_logits.empty()) {
+    loss = std::make_unique<nn::bce_with_logits_loss>(train.labels());
+  } else {
+    loss = std::make_unique<nn::distillation_loss>(
+        train.labels(), teacher_logits, config.distillation);
+  }
+
+  const auto result = nn::train_network(
+      net, features, *loss,
+      {.epochs = config.epochs,
+       .batch_size = config.batch_size,
+       .learning_rate = config.learning_rate,
+       .weight_decay = config.weight_decay,
+       .lr_decay = config.lr_decay,
+       .seed = config.seed});
+  log_info("student ", net.topology_string(), " distilled: ",
+           result.epochs_run, " epochs, final loss ", result.final_loss(),
+           ", ", timer.seconds(), " s");
+  return student_model(std::move(pipeline), std::move(net));
+}
+
+double compression_rate(std::size_t teacher_params,
+                        std::size_t student_params) {
+  KLINQ_REQUIRE(teacher_params > 0, "compression_rate: empty teacher");
+  return 1.0 - static_cast<double>(student_params) /
+                   static_cast<double>(teacher_params);
+}
+
+}  // namespace klinq::kd

@@ -1,0 +1,96 @@
+#include "klinq/kd/teacher.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/log.hpp"
+#include "klinq/common/stopwatch.hpp"
+#include "klinq/nn/serialize.hpp"
+#include "klinq/nn/trainer.hpp"
+
+namespace klinq::kd {
+
+teacher_model::teacher_model(nn::network net,
+                             dsp::feature_normalizer input_norm)
+    : net_(std::move(net)), input_norm_(std::move(input_norm)) {
+  KLINQ_REQUIRE(net_.input_dim() == input_norm_.feature_width(),
+                "teacher_model: normalizer width != network input");
+}
+
+la::matrix_f teacher_model::standardized(
+    const data::trace_dataset& dataset) const {
+  KLINQ_REQUIRE(dataset.feature_width() == net_.input_dim(),
+                "teacher_model: dataset width != network input");
+  la::matrix_f features = dataset.features();
+  input_norm_.apply_all(features);
+  return features;
+}
+
+float teacher_model::logit(std::span<const float> trace) const {
+  KLINQ_REQUIRE(trace.size() == net_.input_dim(),
+                "teacher_model::logit: bad trace width");
+  std::vector<float> standardized_trace(trace.begin(), trace.end());
+  input_norm_.apply(standardized_trace);
+  return net_.predict_logit(standardized_trace);
+}
+
+bool teacher_model::predict_state(std::span<const float> trace) const {
+  return logit(trace) >= 0.0f;
+}
+
+std::vector<float> teacher_model::logits_for(
+    const data::trace_dataset& dataset) const {
+  const la::matrix_f features = standardized(dataset);
+  return nn::compute_logits(net_, features);
+}
+
+double teacher_model::accuracy(const data::trace_dataset& dataset) const {
+  const la::matrix_f features = standardized(dataset);
+  return nn::classification_accuracy(net_, features, dataset.labels());
+}
+
+void teacher_model::save(std::ostream& out) const {
+  nn::save_network(net_, out);
+  input_norm_.save(out);
+}
+
+teacher_model teacher_model::load(std::istream& in) {
+  nn::network net = nn::load_network(in);
+  dsp::feature_normalizer norm = dsp::feature_normalizer::load(in);
+  return teacher_model(std::move(net), std::move(norm));
+}
+
+teacher_model train_teacher(const data::trace_dataset& train,
+                            const teacher_config& config) {
+  KLINQ_REQUIRE(train.size() > 1, "train_teacher: empty training set");
+  stopwatch timer;
+
+  // True z-score standardization (software-side model): the 1000-input
+  // teacher needs zero-mean inputs to optimize well.
+  auto input_norm =
+      dsp::feature_normalizer::fit(train.features(), dsp::norm_mode::zscore);
+  la::matrix_f features = train.features();
+  input_norm.apply_all(features);
+
+  nn::network net = nn::make_mlp(train.feature_width(), config.hidden);
+  xoshiro256 rng(config.seed);
+  net.initialize(nn::weight_init::he_normal, rng);
+
+  const nn::bce_with_logits_loss loss(train.labels());
+  const auto result = nn::train_network(
+      net, features, loss,
+      {.epochs = config.epochs,
+       .batch_size = config.batch_size,
+       .learning_rate = config.learning_rate,
+       .weight_decay = config.weight_decay,
+       .augment_noise_sigma = config.augment_noise_sigma,
+       .lr_decay = config.lr_decay,
+       .seed = config.seed});
+  log_info("teacher ", net.topology_string(), " trained: ",
+           result.epochs_run, " epochs, final loss ", result.final_loss(),
+           ", ", timer.seconds(), " s");
+  return teacher_model(std::move(net), std::move(input_norm));
+}
+
+}  // namespace klinq::kd

@@ -1,0 +1,46 @@
+// Threaded single-precision matrix kernels for NN training.
+//
+// Three layouts cover every pass of backprop without materializing
+// transposes:
+//   gemm_nt : C = A · Bᵀ   (forward:   Y[b,o]  = X[b,i]  · W[o,i])
+//   gemm_nn : C = A · B    (backward:  dX[b,i] = dY[b,o] · W[o,i] as A·B)
+//   gemm_tn : C = Aᵀ · B   (gradient:  dW[o,i] = dY[b,o]ᵀ · X[b,i])
+// plus fused bias/accumulate options where the trainer needs them.
+// All kernels parallelize over row blocks of C via the global thread pool.
+#pragma once
+
+#include <span>
+
+#include "klinq/linalg/matrix.hpp"
+
+namespace klinq::la {
+
+/// C = A(m×k) · B(n×k)ᵀ → (m×n). If bias is non-empty it must have n entries
+/// and is added to every row. `accumulate` adds into C instead of overwriting.
+void gemm_nt(const matrix_f& a, const matrix_f& b, matrix_f& c,
+             std::span<const float> bias = {}, bool accumulate = false);
+
+/// C = A(m×k) · B(k×n) → (m×n).
+void gemm_nn(const matrix_f& a, const matrix_f& b, matrix_f& c,
+             bool accumulate = false);
+
+/// C = A(k×m)ᵀ · B(k×n) → (m×n).
+void gemm_tn(const matrix_f& a, const matrix_f& b, matrix_f& c,
+             bool accumulate = false);
+
+/// y = M(m×n) · x(n) (+ bias). y must have m entries.
+void gemv(const matrix_f& m, std::span<const float> x, std::span<float> y,
+          std::span<const float> bias = {});
+
+/// Dot product of equal-length spans.
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// y += alpha * x.
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// Column-wise sum of a (rows×cols) matrix into out(cols); used for bias
+/// gradients. `accumulate` adds into out.
+void column_sums(const matrix_f& m, std::span<float> out,
+                 bool accumulate = false);
+
+}  // namespace klinq::la

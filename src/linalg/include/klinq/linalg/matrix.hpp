@@ -1,0 +1,91 @@
+// Dense row-major matrix and vector views.
+//
+// This is deliberately a small, concrete container — not an expression
+// template library. The NN trainer needs: owning storage, row spans, and the
+// GEMM/GEMV kernels in gemm.hpp. Element type is float throughout training;
+// the fixed-point engine has its own containers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq::la {
+
+template <class T>
+class matrix {
+ public:
+  matrix() = default;
+
+  matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::vector<T> data) {
+    KLINQ_REQUIRE(data.size() == rows * cols,
+                  "matrix::from_rows: data size mismatch");
+    matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  T& at(std::size_t r, std::size_t c) {
+    KLINQ_REQUIRE(r < rows_ && c < cols_, "matrix::at: index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    KLINQ_REQUIRE(r < rows_ && c < cols_, "matrix::at: index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  std::span<T> row(std::size_t r) noexcept {
+    return std::span<T>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const T> row(std::size_t r) const noexcept {
+    return std::span<const T>(data_.data() + r * cols_, cols_);
+  }
+
+  std::span<T> flat() noexcept { return std::span<T>(data_); }
+  std::span<const T> flat() const noexcept {
+    return std::span<const T>(data_);
+  }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  void fill(T value) noexcept { data_.assign(data_.size(), value); }
+
+  void resize(std::size_t rows, std::size_t cols, T fill_value = T{}) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill_value);
+  }
+
+  friend bool operator==(const matrix& a, const matrix& b) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using matrix_f = matrix<float>;
+using matrix_d = matrix<double>;
+
+}  // namespace klinq::la

@@ -1,0 +1,17 @@
+// Dense linear solve (Gaussian elimination with partial pivoting).
+//
+// Used by the LDA baseline to invert the pooled covariance; sizes are small
+// (tens of features), so a straightforward O(n³) elimination suffices.
+#pragma once
+
+#include <vector>
+
+#include "klinq/linalg/matrix.hpp"
+
+namespace klinq::la {
+
+/// Solves A·x = b for square A (modifies copies; inputs untouched).
+/// Throws numeric_error when A is singular to working precision.
+std::vector<double> solve_linear_system(matrix_d a, std::vector<double> b);
+
+}  // namespace klinq::la

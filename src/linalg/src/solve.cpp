@@ -1,0 +1,50 @@
+#include "klinq/linalg/solve.hpp"
+
+#include <cmath>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq::la {
+
+std::vector<double> solve_linear_system(matrix_d a, std::vector<double> b) {
+  KLINQ_REQUIRE(a.rows() == a.cols(), "solve: matrix must be square");
+  KLINQ_REQUIRE(b.size() == a.rows(), "solve: rhs size mismatch");
+  const std::size_t n = a.rows();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      throw numeric_error("solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= a(r, c) * x[c];
+    x[r] = acc / a(r, r);
+  }
+  return x;
+}
+
+}  // namespace klinq::la

@@ -1,0 +1,68 @@
+// Activation functions used by the readout networks.
+//
+// The paper's networks use ReLU between layers and a single logit output;
+// sigmoid is provided for probability readout and softened distillation
+// targets. Identity marks the final (logit) layer during training.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq::nn {
+
+enum class activation : std::uint8_t { identity = 0, relu = 1, sigmoid = 2 };
+
+inline const char* activation_name(activation a) {
+  switch (a) {
+    case activation::identity: return "identity";
+    case activation::relu: return "relu";
+    case activation::sigmoid: return "sigmoid";
+  }
+  return "unknown";
+}
+
+inline activation activation_from_name(const std::string& name) {
+  if (name == "identity") return activation::identity;
+  if (name == "relu") return activation::relu;
+  if (name == "sigmoid") return activation::sigmoid;
+  throw invalid_argument_error("unknown activation: " + name);
+}
+
+inline float apply_activation(activation a, float x) noexcept {
+  switch (a) {
+    case activation::identity: return x;
+    case activation::relu: return x > 0.0f ? x : 0.0f;
+    case activation::sigmoid: {
+      if (x >= 0.0f) {
+        const float z = std::exp(-x);
+        return 1.0f / (1.0f + z);
+      }
+      const float z = std::exp(x);
+      return z / (1.0f + z);
+    }
+  }
+  return x;
+}
+
+/// Derivative expressed through the *post-activation* value y = f(x), which
+/// is what the backward pass has cached.
+inline float activation_derivative_from_output(activation a,
+                                               float y) noexcept {
+  switch (a) {
+    case activation::identity: return 1.0f;
+    case activation::relu: return y > 0.0f ? 1.0f : 0.0f;
+    case activation::sigmoid: return y * (1.0f - y);
+  }
+  return 1.0f;
+}
+
+inline void apply_activation(activation a, std::span<float> values) noexcept {
+  if (a == activation::identity) return;
+  for (float& v : values) v = apply_activation(a, v);
+}
+
+}  // namespace klinq::nn

@@ -1,0 +1,40 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "klinq/common/rng.hpp"
+
+namespace klinq::nn {
+
+enum class weight_init { he_normal, xavier_uniform, zeros };
+
+/// Fill `weights` (fan_out × fan_in flattened) according to the scheme.
+inline void initialize_weights(weight_init scheme, std::span<float> weights,
+                               std::size_t fan_in, std::size_t fan_out,
+                               xoshiro256& rng) {
+  switch (scheme) {
+    case weight_init::he_normal: {
+      const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+      for (float& w : weights) {
+        w = static_cast<float>(rng.normal(0.0, stddev));
+      }
+      return;
+    }
+    case weight_init::xavier_uniform: {
+      const double bound =
+          std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+      for (float& w : weights) {
+        w = static_cast<float>(rng.uniform(-bound, bound));
+      }
+      return;
+    }
+    case weight_init::zeros: {
+      for (float& w : weights) w = 0.0f;
+      return;
+    }
+  }
+}
+
+}  // namespace klinq::nn

@@ -1,0 +1,102 @@
+// Feed-forward network container (the paper's FNN family).
+//
+// A network is a stack of dense layers. During training the final layer is
+// an identity (logit) layer and losses are computed on logits; at inference
+// predict_logit()/predict_probability() expose both views. The binary
+// readout decision is logit >= 0 (equivalently probability >= 0.5).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "klinq/common/rng.hpp"
+#include "klinq/linalg/matrix.hpp"
+#include "klinq/nn/dense_layer.hpp"
+
+namespace klinq::nn {
+
+/// One entry of a network topology description.
+struct layer_spec {
+  std::size_t width = 0;
+  activation act = activation::relu;
+};
+
+/// Scratch buffers reused across forward/backward calls. Keeping them outside
+/// the network makes const networks safely shareable across threads.
+struct forward_workspace {
+  std::vector<la::matrix_f> pre;   // pre-activation per layer
+  std::vector<la::matrix_f> post;  // post-activation per layer
+};
+
+struct gradient_buffers {
+  std::vector<la::matrix_f> d_weights;
+  std::vector<std::vector<float>> d_bias;
+  std::vector<la::matrix_f> d_pre;  // scratch: dLoss/d(pre-act) per layer
+};
+
+class network {
+ public:
+  network() = default;
+
+  /// Builds input_dim → specs[0] → … → specs.back(). The final spec is the
+  /// output layer (typically {1, identity} for a binary logit head).
+  network(std::size_t input_dim, std::initializer_list<layer_spec> specs);
+  network(std::size_t input_dim, const std::vector<layer_spec>& specs);
+
+  std::size_t input_dim() const noexcept { return input_dim_; }
+  std::size_t output_dim() const noexcept {
+    return layers_.empty() ? 0 : layers_.back().out_dim();
+  }
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  dense_layer& layer(std::size_t i) { return layers_.at(i); }
+  const dense_layer& layer(std::size_t i) const { return layers_.at(i); }
+
+  /// Total trainable parameters (weights + biases) — Fig. 5's metric.
+  std::size_t parameter_count() const noexcept;
+
+  /// Human-readable topology, e.g. "31-16-8-1".
+  std::string topology_string() const;
+
+  void initialize(weight_init scheme, xoshiro256& rng);
+
+  /// Batch forward; returns the final-layer post-activation (batch × out).
+  const la::matrix_f& forward(const la::matrix_f& input,
+                              forward_workspace& ws) const;
+
+  /// Single-sample forward returning the first output (binary logit head).
+  float predict_logit(std::span<const float> input) const;
+
+  /// Sigmoid of the logit.
+  float predict_probability(std::span<const float> input) const;
+
+  /// Hard decision: logit >= 0.
+  bool predict_state(std::span<const float> input) const;
+
+  /// Backward from dLoss/d(final pre-activation). `input` must be the same
+  /// batch that produced `ws`. Fills grads (resizing on first use).
+  void backward(const la::matrix_f& input, const forward_workspace& ws,
+                const la::matrix_f& d_logits, gradient_buffers& grads) const;
+
+  /// Applies `fn(param, grad)` over every parameter/gradient pair, layer by
+  /// layer — the optimizer's update hook.
+  void for_each_parameter(
+      gradient_buffers& grads,
+      const std::function<void(std::span<float>, std::span<const float>)>& fn);
+
+ private:
+  std::size_t input_dim_ = 0;
+  std::vector<dense_layer> layers_;
+};
+
+/// Builds the paper's architectures by name (see core/presets for the
+/// qubit-to-architecture mapping):
+///   teacher      : in-1000-500-250-1 (ReLU hidden, logit out)
+///   student      : in-16-8-1
+network make_mlp(std::size_t input_dim, const std::vector<std::size_t>& hidden,
+                 std::size_t output_dim = 1);
+
+}  // namespace klinq::nn

@@ -1,0 +1,82 @@
+// Gradient-descent optimizers.
+//
+// Optimizers are stateful per parameter tensor; state slots are keyed by the
+// order in which network::for_each_parameter visits tensors, which is stable
+// for a given network topology.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace klinq::nn {
+
+class optimizer {
+ public:
+  virtual ~optimizer() = default;
+
+  /// Called once per minibatch before the parameter sweep.
+  virtual void begin_step() {}
+
+  /// In-place update of one parameter tensor given its gradient. Called in a
+  /// fixed tensor order every step.
+  virtual void update(std::size_t tensor_index, std::span<float> params,
+                      std::span<const float> grads) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct sgd_config {
+  float learning_rate = 1e-2f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class sgd_optimizer final : public optimizer {
+ public:
+  explicit sgd_optimizer(sgd_config config) : config_(config) {}
+
+  void update(std::size_t tensor_index, std::span<float> params,
+              std::span<const float> grads) override;
+
+  std::string name() const override { return "sgd"; }
+
+  void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+  float learning_rate() const noexcept { return config_.learning_rate; }
+
+ private:
+  sgd_config config_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+struct adam_config {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class adam_optimizer final : public optimizer {
+ public:
+  explicit adam_optimizer(adam_config config) : config_(config) {}
+
+  void begin_step() override { ++step_; }
+  void update(std::size_t tensor_index, std::span<float> params,
+              std::span<const float> grads) override;
+
+  std::string name() const override { return "adam"; }
+
+  void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+  float learning_rate() const noexcept { return config_.learning_rate; }
+
+ private:
+  adam_config config_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  std::size_t step_ = 0;
+};
+
+}  // namespace klinq::nn

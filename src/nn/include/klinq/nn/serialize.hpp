@@ -1,0 +1,21 @@
+// Binary model (de)serialization.
+//
+// Format (little-endian):
+//   magic "KLNQNET1" | u64 input_dim | u64 layer_count |
+//   per layer: u64 out_dim | u8 activation | f32 weights[out×in] | f32 bias[out]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "klinq/nn/network.hpp"
+
+namespace klinq::nn {
+
+void save_network(const network& net, std::ostream& out);
+void save_network_file(const network& net, const std::string& path);
+
+network load_network(std::istream& in);
+network load_network_file(const std::string& path);
+
+}  // namespace klinq::nn

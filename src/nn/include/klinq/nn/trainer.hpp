@@ -1,0 +1,67 @@
+// Minibatch SGD training loop.
+//
+// The trainer is loss-agnostic: teacher pre-training uses
+// bce_with_logits_loss, student distillation uses distillation_loss. Both
+// the teacher (1.6 M parameters) and students (hundreds of parameters) go
+// through the same loop; GEMM threading makes the teacher tractable.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "klinq/common/rng.hpp"
+#include "klinq/linalg/matrix.hpp"
+#include "klinq/nn/loss.hpp"
+#include "klinq/nn/network.hpp"
+#include "klinq/nn/optimizer.hpp"
+
+namespace klinq::nn {
+
+struct train_config {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 64;
+  float learning_rate = 1e-3f;
+  /// L2 regularization strength (decoupled, applied by the optimizer).
+  /// Essential for the over-parameterized teacher on modest shot counts.
+  float weight_decay = 0.0f;
+  /// Gaussian noise added to inputs each time a minibatch is assembled —
+  /// readout traces are noise-dominated, so jittering them is the natural
+  /// augmentation and strongly suppresses teacher overfitting. Expressed in
+  /// units of the (already standardized) input features.
+  float augment_noise_sigma = 0.0f;
+  /// Multiplied into the learning rate after each epoch (1 = constant).
+  float lr_decay = 1.0f;
+  std::uint64_t seed = 1;
+  bool shuffle = true;
+  /// Stop early when the epoch loss improves by less than this relative
+  /// amount twice in a row (0 disables early stopping).
+  double early_stop_rel_tol = 0.0;
+  /// Called after each epoch with (epoch, mean loss); may be empty.
+  std::function<void(std::size_t, double)> on_epoch;
+};
+
+struct train_result {
+  std::vector<double> epoch_losses;
+  std::size_t epochs_run = 0;
+  bool early_stopped = false;
+  double final_loss() const {
+    return epoch_losses.empty() ? 0.0 : epoch_losses.back();
+  }
+};
+
+/// Trains `net` on `features` (samples × input_dim) with the given loss.
+/// Uses Adam. Throws numeric_error if the loss becomes non-finite.
+train_result train_network(network& net, const la::matrix_f& features,
+                           const loss_fn& loss, const train_config& config);
+
+/// Computes the raw logits of `net` for every row of `features`.
+std::vector<float> compute_logits(const network& net,
+                                  const la::matrix_f& features);
+
+/// Fraction of rows whose thresholded logit matches labels (accuracy).
+double classification_accuracy(const network& net, const la::matrix_f& features,
+                               std::span<const float> labels);
+
+}  // namespace klinq::nn

@@ -1,0 +1,134 @@
+#include "klinq/nn/network.hpp"
+
+#include <functional>
+#include <sstream>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/math.hpp"
+
+namespace klinq::nn {
+
+network::network(std::size_t input_dim, std::initializer_list<layer_spec> specs)
+    : network(input_dim, std::vector<layer_spec>(specs)) {}
+
+network::network(std::size_t input_dim, const std::vector<layer_spec>& specs)
+    : input_dim_(input_dim) {
+  KLINQ_REQUIRE(input_dim > 0, "network: input_dim must be positive");
+  KLINQ_REQUIRE(!specs.empty(), "network: at least one layer required");
+  std::size_t prev = input_dim;
+  layers_.reserve(specs.size());
+  for (const layer_spec& spec : specs) {
+    KLINQ_REQUIRE(spec.width > 0, "network: layer width must be positive");
+    layers_.emplace_back(prev, spec.width, spec.act);
+    prev = spec.width;
+  }
+}
+
+std::size_t network::parameter_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer.parameter_count();
+  return total;
+}
+
+std::string network::topology_string() const {
+  std::ostringstream out;
+  out << input_dim_;
+  for (const auto& layer : layers_) out << "-" << layer.out_dim();
+  return out.str();
+}
+
+void network::initialize(weight_init scheme, xoshiro256& rng) {
+  for (auto& layer : layers_) layer.initialize(scheme, rng);
+}
+
+const la::matrix_f& network::forward(const la::matrix_f& input,
+                                     forward_workspace& ws) const {
+  KLINQ_REQUIRE(input.cols() == input_dim_, "network::forward: bad input dim");
+  ws.pre.resize(layers_.size());
+  ws.post.resize(layers_.size());
+  const la::matrix_f* current = &input;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].forward(*current, ws.pre[l], ws.post[l]);
+    current = &ws.post[l];
+  }
+  return ws.post.back();
+}
+
+float network::predict_logit(std::span<const float> input) const {
+  KLINQ_REQUIRE(input.size() == input_dim_, "predict_logit: bad input dim");
+  thread_local std::vector<float> buffer_a;
+  thread_local std::vector<float> buffer_b;
+  buffer_a.assign(input.begin(), input.end());
+  std::vector<float>* in = &buffer_a;
+  std::vector<float>* out = &buffer_b;
+  for (const auto& layer : layers_) {
+    out->assign(layer.out_dim(), 0.0f);
+    layer.forward_single(*in, *out);
+    std::swap(in, out);
+  }
+  return in->front();
+}
+
+float network::predict_probability(std::span<const float> input) const {
+  return static_cast<float>(sigmoid(predict_logit(input)));
+}
+
+bool network::predict_state(std::span<const float> input) const {
+  return predict_logit(input) >= 0.0f;
+}
+
+void network::backward(const la::matrix_f& input, const forward_workspace& ws,
+                       const la::matrix_f& d_logits,
+                       gradient_buffers& grads) const {
+  KLINQ_REQUIRE(ws.post.size() == layers_.size(),
+                "network::backward: workspace does not match a forward pass");
+  const std::size_t n_layers = layers_.size();
+  grads.d_weights.resize(n_layers);
+  grads.d_bias.resize(n_layers);
+  grads.d_pre.resize(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    grads.d_bias[l].assign(layers_[l].out_dim(), 0.0f);
+  }
+
+  grads.d_pre[n_layers - 1] = d_logits;
+  for (std::size_t l = n_layers; l-- > 0;) {
+    const la::matrix_f& layer_input = (l == 0) ? input : ws.post[l - 1];
+    la::matrix_f* d_input = (l == 0) ? nullptr : &grads.d_pre[l - 1];
+    layers_[l].backward(layer_input, grads.d_pre[l], grads.d_weights[l],
+                        grads.d_bias[l], d_input);
+    if (l > 0) {
+      // Fold the previous layer's activation derivative into d_pre[l-1]:
+      // d_pre = d_post ⊙ f'(post).
+      const activation prev_act = layers_[l - 1].act();
+      const auto post = ws.post[l - 1].flat();
+      const auto d = grads.d_pre[l - 1].flat();
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        d[i] *= activation_derivative_from_output(prev_act, post[i]);
+      }
+    }
+  }
+}
+
+void network::for_each_parameter(
+    gradient_buffers& grads,
+    const std::function<void(std::span<float>, std::span<const float>)>& fn) {
+  KLINQ_REQUIRE(grads.d_weights.size() == layers_.size(),
+                "for_each_parameter: gradients do not match network");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    fn(layers_[l].weights().flat(), grads.d_weights[l].flat());
+    fn(layers_[l].bias(), std::span<const float>(grads.d_bias[l]));
+  }
+}
+
+network make_mlp(std::size_t input_dim, const std::vector<std::size_t>& hidden,
+                 std::size_t output_dim) {
+  std::vector<layer_spec> specs;
+  specs.reserve(hidden.size() + 1);
+  for (const std::size_t width : hidden) {
+    specs.push_back({width, activation::relu});
+  }
+  specs.push_back({output_dim, activation::identity});
+  return network(input_dim, specs);
+}
+
+}  // namespace klinq::nn

@@ -1,0 +1,61 @@
+#include "klinq/nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq::nn {
+
+namespace {
+
+std::vector<float>& state_slot(std::vector<std::vector<float>>& slots,
+                               std::size_t index, std::size_t size) {
+  if (slots.size() <= index) slots.resize(index + 1);
+  auto& slot = slots[index];
+  if (slot.size() != size) slot.assign(size, 0.0f);
+  return slot;
+}
+
+}  // namespace
+
+void sgd_optimizer::update(std::size_t tensor_index, std::span<float> params,
+                           std::span<const float> grads) {
+  KLINQ_REQUIRE(params.size() == grads.size(), "sgd: size mismatch");
+  auto& velocity = state_slot(velocity_, tensor_index, params.size());
+  const float lr = config_.learning_rate;
+  const float mu = config_.momentum;
+  const float wd = config_.weight_decay;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g = grads[i] + wd * params[i];
+    velocity[i] = mu * velocity[i] - lr * g;
+    params[i] += velocity[i];
+  }
+}
+
+void adam_optimizer::update(std::size_t tensor_index, std::span<float> params,
+                            std::span<const float> grads) {
+  KLINQ_REQUIRE(params.size() == grads.size(), "adam: size mismatch");
+  KLINQ_REQUIRE(step_ > 0, "adam: begin_step() must be called before update");
+  auto& m = state_slot(m_, tensor_index, params.size());
+  auto& v = state_slot(v_, tensor_index, params.size());
+  const float lr = config_.learning_rate;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float eps = config_.epsilon;
+  const float wd = config_.weight_decay;
+  const double bias1 = 1.0 - std::pow(static_cast<double>(b1), step_);
+  const double bias2 = 1.0 - std::pow(static_cast<double>(b2), step_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g = grads[i];
+    m[i] = b1 * m[i] + (1.0f - b1) * g;
+    v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+    const double m_hat = m[i] / bias1;
+    const double v_hat = v[i] / bias2;
+    // Decoupled weight decay (AdamW): regularization is not distorted by
+    // the adaptive second-moment scaling.
+    params[i] -= static_cast<float>(lr * (m_hat / (std::sqrt(v_hat) + eps) +
+                                          wd * params[i]));
+  }
+}
+
+}  // namespace klinq::nn

@@ -1,0 +1,140 @@
+#include "klinq/nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/log.hpp"
+
+namespace klinq::nn {
+
+train_result train_network(network& net, const la::matrix_f& features,
+                           const loss_fn& loss, const train_config& config) {
+  KLINQ_REQUIRE(features.rows() > 0, "train_network: empty dataset");
+  KLINQ_REQUIRE(features.cols() == net.input_dim(),
+                "train_network: feature width != network input");
+  KLINQ_REQUIRE(config.batch_size > 0, "train_network: batch_size must be > 0");
+
+  const std::size_t n_samples = features.rows();
+  const std::size_t batch = std::min(config.batch_size, n_samples);
+
+  xoshiro256 rng(config.seed);
+  std::vector<std::size_t> order(n_samples);
+  std::iota(order.begin(), order.end(), 0);
+
+  adam_optimizer opt(adam_config{.learning_rate = config.learning_rate,
+                                 .weight_decay = config.weight_decay});
+  forward_workspace ws;
+  gradient_buffers grads;
+  la::matrix_f batch_features(batch, features.cols());
+  la::matrix_f d_logits;
+
+  train_result result;
+  double previous_loss = std::numeric_limits<double>::infinity();
+  std::size_t stall_count = 0;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) {
+      for (std::size_t i = n_samples; i > 1; --i) {
+        std::swap(order[i - 1], order[rng.uniform_index(i)]);
+      }
+    }
+
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start + batch <= n_samples; start += batch) {
+      // Gather the minibatch rows (drop the ragged tail: with shuffling every
+      // sample is still visited in expectation).
+      const std::span<const std::size_t> indices(order.data() + start, batch);
+      if (batch_features.rows() != batch) {
+        batch_features.resize(batch, features.cols());
+      }
+      for (std::size_t i = 0; i < batch; ++i) {
+        const auto src = features.row(indices[i]);
+        std::copy(src.begin(), src.end(), batch_features.row(i).begin());
+      }
+      if (config.augment_noise_sigma > 0.0f) {
+        for (float& v : batch_features.flat()) {
+          v += static_cast<float>(
+              rng.normal(0.0, config.augment_noise_sigma));
+        }
+      }
+
+      const la::matrix_f& logits = net.forward(batch_features, ws);
+      const double batch_loss = loss.compute(logits, indices, d_logits);
+      if (!std::isfinite(batch_loss)) {
+        throw numeric_error("train_network: loss diverged (non-finite)");
+      }
+      net.backward(batch_features, ws, d_logits, grads);
+
+      opt.begin_step();
+      std::size_t tensor_index = 0;
+      net.for_each_parameter(
+          grads, [&](std::span<float> params, std::span<const float> g) {
+            opt.update(tensor_index++, params, g);
+          });
+
+      epoch_loss += batch_loss;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+    result.epoch_losses.push_back(epoch_loss);
+    result.epochs_run = epoch + 1;
+    if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
+    log_debug("epoch ", epoch, " loss ", epoch_loss);
+
+    opt.set_learning_rate(opt.learning_rate() * config.lr_decay);
+
+    if (config.early_stop_rel_tol > 0.0 && std::isfinite(previous_loss)) {
+      const double improvement =
+          (previous_loss - epoch_loss) / std::max(std::abs(previous_loss), 1e-12);
+      stall_count = improvement < config.early_stop_rel_tol ? stall_count + 1 : 0;
+      if (stall_count >= 2) {
+        result.early_stopped = true;
+        break;
+      }
+    }
+    previous_loss = epoch_loss;
+  }
+  return result;
+}
+
+std::vector<float> compute_logits(const network& net,
+                                  const la::matrix_f& features) {
+  KLINQ_REQUIRE(features.cols() == net.input_dim(),
+                "compute_logits: feature width != network input");
+  // Batch the forward pass; chunking bounds workspace memory for the teacher.
+  constexpr std::size_t kChunk = 512;
+  std::vector<float> logits(features.rows());
+  forward_workspace ws;
+  la::matrix_f chunk_rows;
+  for (std::size_t start = 0; start < features.rows(); start += kChunk) {
+    const std::size_t count = std::min(kChunk, features.rows() - start);
+    chunk_rows.resize(count, features.cols());
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto src = features.row(start + i);
+      std::copy(src.begin(), src.end(), chunk_rows.row(i).begin());
+    }
+    const la::matrix_f& out = net.forward(chunk_rows, ws);
+    for (std::size_t i = 0; i < count; ++i) logits[start + i] = out(i, 0);
+  }
+  return logits;
+}
+
+double classification_accuracy(const network& net,
+                               const la::matrix_f& features,
+                               std::span<const float> labels) {
+  KLINQ_REQUIRE(labels.size() == features.rows(),
+                "classification_accuracy: label count mismatch");
+  const std::vector<float> logits = compute_logits(net, features);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const bool predicted = logits[i] >= 0.0f;
+    const bool truth = labels[i] >= 0.5f;
+    correct += (predicted == truth) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.size());
+}
+
+}  // namespace klinq::nn

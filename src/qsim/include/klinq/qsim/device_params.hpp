@@ -1,0 +1,79 @@
+// Physical model parameters for the synthetic readout device.
+//
+// The paper evaluates on real traces from a five-qubit superconducting
+// processor (Lienhard et al.). We replace that dataset with a dispersive-
+// readout simulator whose per-qubit parameters reproduce the statistical
+// structure the discriminators see:
+//
+//   * state-dependent steady-state IQ response (separation sets the SNR),
+//   * resonator ring-up (first-order response, time constant tau_ring_ns) —
+//     early samples carry little state information,
+//   * additive white Gaussian noise per sample and quadrature,
+//   * mid-readout T1 relaxation: an excited qubit may decay during the
+//     measurement, after which the resonator relaxes toward the ground-state
+//     response — the dominant duration-dependent error,
+//   * state-preparation error: the label is the *intended* state; with small
+//     probability the qubit starts in the other state (fidelity floor),
+//   * per-shot gain and phase jitter (slow electronics drift),
+//   * inter-qubit crosstalk: each qubit's channel picks up a scaled copy of
+//     its neighbours' signals (frequency-multiplexed readout leakage) —
+//     the effect the paper blames for qubit 2's poor fidelity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "klinq/linalg/matrix.hpp"
+
+namespace klinq::qsim {
+
+/// IQ-plane point (arbitrary ADC units).
+struct iq_point {
+  double i = 0.0;
+  double q = 0.0;
+};
+
+struct qubit_params {
+  /// Steady-state resonator response when the qubit is in |0⟩ / |1⟩.
+  iq_point ground{};
+  iq_point excited{};
+  /// Resonator response time constant (ns).
+  double tau_ring_ns = 100.0;
+  /// White-noise standard deviation per sample per quadrature.
+  double noise_sigma = 1.0;
+  /// Energy-relaxation time T1 (ns).
+  double t1_ns = 40000.0;
+  /// Probability that the prepared state differs from the label.
+  double prep_error = 0.002;
+  /// Relative per-shot gain jitter (multiplicative, Gaussian sigma).
+  double gain_jitter = 0.01;
+  /// Per-shot phase jitter in radians (Gaussian sigma).
+  double phase_jitter = 0.005;
+  /// Readout intermediate frequency (MHz) — used only by the multiplexed
+  /// feedline mode; per-qubit baseband channels are already down-converted.
+  double if_freq_mhz = 0.0;
+};
+
+struct device_params {
+  std::vector<qubit_params> qubits;
+  /// crosstalk(q, p): fraction of qubit p's clean signal leaking into qubit
+  /// q's channel (diagonal ignored). Empty matrix = no crosstalk.
+  la::matrix_d crosstalk;
+  /// Full generated trace length (ns); benches slice shorter durations.
+  double trace_duration_ns = 1000.0;
+
+  std::size_t qubit_count() const noexcept { return qubits.size(); }
+
+  /// Throws invalid_argument_error if shapes/values are inconsistent.
+  void validate() const;
+};
+
+/// Calibrated five-qubit preset mirroring the paper's device: qubit 2 is
+/// noisy and crosstalk-afflicted, qubit 5 is T1-limited (its fidelity peaks
+/// at shorter traces), qubits 1/4/5 are high-SNR (FNN-A group).
+device_params lienhard5q_preset();
+
+/// Single-qubit toy preset for tests: high SNR, fast convergence.
+device_params single_qubit_test_preset();
+
+}  // namespace klinq::qsim

@@ -1,0 +1,85 @@
+// Calibrated device presets.
+//
+// The lienhard5q preset is tuned so the full KLiNQ pipeline (averaging + MF
+// + distilled student, Q16.16 inference) lands near the paper's Table I
+// per-qubit fidelities at 1 µs and reproduces the Table II duration trends:
+//
+//   * Q1: high SNR, slow-ish ring-up — degrades gently below 750 ns.
+//   * Q2: small IQ separation and heavy crosstalk from both neighbours —
+//     the paper's problem qubit (≈ 0.75 fidelity).
+//   * Q3: moderate SNR, moderate crosstalk (FNN-B group with Q2).
+//   * Q4: moderate-high SNR, somewhat short T1.
+//   * Q5: very high SNR but the shortest T1 — its fidelity *peaks at shorter
+//     traces*, reproducing the paper's highlighted 550–750 ns optimum.
+//
+// Separation magnitudes follow the matched-filter error model
+// err ≈ Q(|Δ|·sqrt(N_eff)/(2σ)) with N_eff ≈ 450 effective samples at 1 µs
+// (ring-up excluded), then fine-tuned empirically against the student
+// pipeline (see tests/test_calibration.cpp).
+#include <cmath>
+
+#include "klinq/qsim/device_params.hpp"
+
+namespace klinq::qsim {
+
+namespace {
+
+/// Builds a qubit whose |0⟩/|1⟩ responses are separated by `separation`
+/// at angle `angle_rad` around a common operating point.
+qubit_params make_qubit(double separation, double angle_rad, double tau_ring,
+                        double t1_ns, double prep_error, double if_freq_mhz) {
+  qubit_params qp;
+  const double di = 0.5 * separation * std::cos(angle_rad);
+  const double dq = 0.5 * separation * std::sin(angle_rad);
+  // Operating point away from the origin: normalization offsets matter.
+  qp.ground = iq_point{2.0 - di, 1.2 - dq};
+  qp.excited = iq_point{2.0 + di, 1.2 + dq};
+  qp.tau_ring_ns = tau_ring;
+  qp.noise_sigma = 1.0;
+  qp.t1_ns = t1_ns;
+  qp.prep_error = prep_error;
+  // Jitter acts on the full trajectory including the DC operating point, so
+  // even sub-percent levels contribute visibly to the class overlap.
+  qp.gain_jitter = 0.006;
+  qp.phase_jitter = 0.004;
+  qp.if_freq_mhz = if_freq_mhz;
+  return qp;
+}
+
+}  // namespace
+
+device_params lienhard5q_preset() {
+  device_params device;
+  device.trace_duration_ns = 1000.0;
+  device.qubits = {
+      //         separation  angle   tau    T1(ns)  prep    IF(MHz)
+      make_qubit(0.205, 0.35, 80.0, 20000.0, 0.002, 10.0),   // Q1
+      make_qubit(0.090, 1.10, 120.0, 20000.0, 0.005, 25.0),  // Q2
+      make_qubit(0.156, 2.00, 100.0, 15000.0, 0.003, 40.0),  // Q3
+      make_qubit(0.164, 2.70, 90.0, 12000.0, 0.004, 55.0),   // Q4
+      make_qubit(0.300, 5.10, 60.0, 5500.0, 0.010, 70.0),    // Q5
+  };
+
+  la::matrix_d crosstalk(5, 5, 0.0);
+  // Q2 (index 1) is the crosstalk victim, as in the paper.
+  crosstalk(1, 0) = 0.22;
+  crosstalk(1, 2) = 0.18;
+  // Moderate nearest-neighbour leakage elsewhere.
+  crosstalk(0, 1) = 0.04;
+  crosstalk(2, 1) = 0.08;
+  crosstalk(2, 3) = 0.06;
+  crosstalk(3, 2) = 0.05;
+  crosstalk(3, 4) = 0.04;
+  crosstalk(4, 3) = 0.03;
+  device.crosstalk = std::move(crosstalk);
+  return device;
+}
+
+device_params single_qubit_test_preset() {
+  device_params device;
+  device.trace_duration_ns = 1000.0;
+  device.qubits = {make_qubit(0.5, 0.8, 50.0, 100000.0, 0.0, 10.0)};
+  return device;
+}
+
+}  // namespace klinq::qsim

@@ -1,0 +1,163 @@
+#include "klinq/qsim/readout_simulator.hpp"
+
+#include <cmath>
+
+#include "klinq/common/error.hpp"
+#include "klinq/data/trace_dataset.hpp"
+
+namespace klinq::qsim {
+
+void device_params::validate() const {
+  KLINQ_REQUIRE(!qubits.empty(), "device_params: no qubits");
+  KLINQ_REQUIRE(trace_duration_ns > 0, "device_params: bad duration");
+  for (const auto& q : qubits) {
+    KLINQ_REQUIRE(q.tau_ring_ns > 0, "device_params: tau_ring must be > 0");
+    KLINQ_REQUIRE(q.noise_sigma >= 0, "device_params: negative noise");
+    KLINQ_REQUIRE(q.t1_ns > 0, "device_params: T1 must be > 0");
+    KLINQ_REQUIRE(q.prep_error >= 0 && q.prep_error < 0.5,
+                  "device_params: prep_error must be in [0, 0.5)");
+  }
+  if (!crosstalk.empty()) {
+    KLINQ_REQUIRE(crosstalk.rows() == qubits.size() &&
+                      crosstalk.cols() == qubits.size(),
+                  "device_params: crosstalk matrix shape mismatch");
+  }
+}
+
+readout_simulator::readout_simulator(device_params params)
+    : params_(std::move(params)) {
+  params_.validate();
+  samples_ = data::samples_for_duration_ns(params_.trace_duration_ns);
+  KLINQ_REQUIRE(samples_ > 0, "readout_simulator: zero-sample trace");
+}
+
+namespace {
+
+/// First-order resonator update over one sample period.
+/// alpha = 1 − exp(−dt/tau) is precomputed by the caller.
+inline void relax_toward(iq_point& state, const iq_point& target,
+                         double alpha) noexcept {
+  state.i += (target.i - state.i) * alpha;
+  state.q += (target.q - state.q) * alpha;
+}
+
+}  // namespace
+
+void readout_simulator::clean_trajectory(std::size_t qubit, bool excited,
+                                         double decay_time_ns,
+                                         std::vector<float>& i_out,
+                                         std::vector<float>& q_out) const {
+  KLINQ_REQUIRE(qubit < params_.qubit_count(),
+                "clean_trajectory: qubit index out of range");
+  const qubit_params& qp = params_.qubits[qubit];
+  const double dt = data::kSamplePeriodNs;
+  const double alpha = 1.0 - std::exp(-dt / qp.tau_ring_ns);
+
+  i_out.assign(samples_, 0.0f);
+  q_out.assign(samples_, 0.0f);
+  iq_point state{};  // resonator starts empty
+  bool is_excited = excited;
+  for (std::size_t s = 0; s < samples_; ++s) {
+    const double t = static_cast<double>(s) * dt;
+    if (is_excited && decay_time_ns >= 0.0 && t >= decay_time_ns) {
+      is_excited = false;
+    }
+    const iq_point& target = is_excited ? qp.excited : qp.ground;
+    relax_toward(state, target, alpha);
+    i_out[s] = static_cast<float>(state.i);
+    q_out[s] = static_cast<float>(state.q);
+  }
+}
+
+shot_result readout_simulator::simulate_shot(std::uint32_t permutation,
+                                             xoshiro256& rng) const {
+  const std::size_t n_qubits = params_.qubit_count();
+  const std::size_t n = samples_;
+
+  shot_result shot;
+  shot.channels.assign(n_qubits, std::vector<float>(2 * n, 0.0f));
+  shot.decay_time_ns.assign(n_qubits, -1.0);
+
+  // Pass 1: clean per-qubit signals (before crosstalk/noise), including
+  // preparation errors, T1 decay and per-shot gain/phase jitter.
+  std::vector<std::vector<float>> clean_i(n_qubits);
+  std::vector<std::vector<float>> clean_q(n_qubits);
+  for (std::size_t q = 0; q < n_qubits; ++q) {
+    const qubit_params& qp = params_.qubits[q];
+    const bool prepared = ((permutation >> q) & 1u) != 0;
+    const bool actual = rng.bernoulli(qp.prep_error) ? !prepared : prepared;
+    if (actual) shot.actual_initial_states |= (1u << q);
+
+    double decay_ns = -1.0;
+    if (actual) {
+      const double td = rng.exponential(qp.t1_ns);
+      if (td < params_.trace_duration_ns) {
+        decay_ns = td;
+        shot.decay_time_ns[q] = td;
+      }
+    }
+    clean_trajectory(q, actual, decay_ns, clean_i[q], clean_q[q]);
+
+    // Per-shot gain/phase jitter rotates and scales the whole trajectory.
+    const double gain = 1.0 + rng.normal(0.0, qp.gain_jitter);
+    const double phase = rng.normal(0.0, qp.phase_jitter);
+    const double c = std::cos(phase) * gain;
+    const double s = std::sin(phase) * gain;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double i_val = clean_i[q][k];
+      const double q_val = clean_q[q][k];
+      clean_i[q][k] = static_cast<float>(c * i_val - s * q_val);
+      clean_q[q][k] = static_cast<float>(s * i_val + c * q_val);
+    }
+  }
+
+  // Pass 2: crosstalk mixing + additive white noise per channel.
+  const bool has_crosstalk = !params_.crosstalk.empty();
+  for (std::size_t q = 0; q < n_qubits; ++q) {
+    const qubit_params& qp = params_.qubits[q];
+    auto& channel = shot.channels[q];
+    for (std::size_t k = 0; k < n; ++k) {
+      double i_val = clean_i[q][k];
+      double q_val = clean_q[q][k];
+      if (has_crosstalk) {
+        for (std::size_t p = 0; p < n_qubits; ++p) {
+          if (p == q) continue;
+          const double coupling = params_.crosstalk(q, p);
+          if (coupling == 0.0) continue;
+          i_val += coupling * clean_i[p][k];
+          q_val += coupling * clean_q[p][k];
+        }
+      }
+      channel[k] = static_cast<float>(i_val + rng.normal(0.0, qp.noise_sigma));
+      channel[n + k] =
+          static_cast<float>(q_val + rng.normal(0.0, qp.noise_sigma));
+    }
+  }
+  return shot;
+}
+
+std::vector<float> readout_simulator::multiplex_feedline(
+    const shot_result& shot) const {
+  KLINQ_REQUIRE(shot.channels.size() == params_.qubit_count(),
+                "multiplex_feedline: shot does not match device");
+  const std::size_t n = samples_;
+  const double dt_us = data::kSamplePeriodNs * 1e-3;
+  std::vector<float> feedline(2 * n, 0.0f);
+  for (std::size_t q = 0; q < params_.qubit_count(); ++q) {
+    const double omega =
+        2.0 * 3.14159265358979323846 * params_.qubits[q].if_freq_mhz * dt_us;
+    const auto& channel = shot.channels[q];
+    for (std::size_t k = 0; k < n; ++k) {
+      const double angle = omega * static_cast<double>(k);
+      const double c = std::cos(angle);
+      const double s = std::sin(angle);
+      // Complex up-conversion: (I + jQ) · e^{jωk}.
+      feedline[k] += static_cast<float>(c * channel[k] - s * channel[n + k]);
+      feedline[n + k] +=
+          static_cast<float>(s * channel[k] + c * channel[n + k]);
+    }
+  }
+  return feedline;
+}
+
+}  // namespace klinq::qsim

@@ -1,0 +1,139 @@
+// Tests for the comparison discriminators: MF threshold, LDA, baseline FNN,
+// HERQULES.
+#include <gtest/gtest.h>
+
+#include "klinq/baselines/baseline_fnn.hpp"
+#include "klinq/baselines/herqules.hpp"
+#include "klinq/baselines/lda.hpp"
+#include "klinq/baselines/mf_threshold.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+namespace {
+
+using namespace klinq;
+
+const qsim::qubit_dataset& tiny_data() {
+  static const qsim::qubit_dataset data = [] {
+    qsim::dataset_spec spec;
+    spec.device = qsim::single_qubit_test_preset();
+    spec.shots_per_permutation_train = 400;
+    spec.shots_per_permutation_test = 300;
+    spec.seed = 31;
+    return qsim::build_qubit_dataset(spec, 0);
+  }();
+  return data;
+}
+
+TEST(MfThreshold, HighAccuracyOnEasyQubit) {
+  const auto model = baselines::mf_threshold_discriminator::fit(
+      tiny_data().train);
+  EXPECT_GT(model.accuracy(tiny_data().test), 0.98);
+}
+
+TEST(MfThreshold, ParameterCountIsEnvelopePlusThreshold) {
+  const auto model = baselines::mf_threshold_discriminator::fit(
+      tiny_data().train);
+  EXPECT_EQ(model.parameter_count(), 1000u + 1u);
+  EXPECT_EQ(model.name(), "mf-threshold");
+}
+
+TEST(Lda, HighAccuracyOnEasyQubit) {
+  const auto model = baselines::lda_discriminator::fit(tiny_data().train, 15);
+  EXPECT_GT(model.accuracy(tiny_data().test), 0.98);
+  EXPECT_EQ(model.name(), "lda");
+  EXPECT_EQ(model.parameter_count(), 31u);  // 30 weights + offset
+}
+
+TEST(Lda, RejectsTooFewShots) {
+  // 2 shots per class << 30 features.
+  qsim::dataset_spec spec;
+  spec.device = qsim::single_qubit_test_preset();
+  spec.shots_per_permutation_train = 2;
+  spec.shots_per_permutation_test = 2;
+  const auto data = qsim::build_qubit_dataset(spec, 0);
+  EXPECT_THROW(baselines::lda_discriminator::fit(data.train, 15),
+               invalid_argument_error);
+}
+
+TEST(BaselineFnn, WrapsTeacherModel) {
+  kd::teacher_config config;
+  config.hidden = {32, 16};
+  config.epochs = 20;
+  config.batch_size = 16;
+  const auto model =
+      baselines::baseline_fnn_discriminator::fit(tiny_data().train, config);
+  EXPECT_GT(model.accuracy(tiny_data().test), 0.97);
+  EXPECT_EQ(model.name(), "baseline-fnn");
+  EXPECT_EQ(model.parameter_count(), model.model().parameter_count());
+}
+
+TEST(BaselineFnn, FullSizeParameterCount) {
+  // The real baseline architecture carries the paper's 1.63 M parameters.
+  // (Construction only — no training at this size in unit tests.)
+  const auto net = nn::make_mlp(1000, {1000, 500, 250});
+  EXPECT_EQ(net.parameter_count(), 1627001u);
+}
+
+TEST(Herqules, LearnsEasyQubit) {
+  baselines::herqules_config config;
+  config.epochs = 80;
+  config.batch_size = 16;
+  const auto model =
+      baselines::herqules_discriminator::fit(tiny_data().train, config);
+  EXPECT_GT(model.accuracy(tiny_data().test), 0.96);
+  EXPECT_EQ(model.name(), "herqules");
+  EXPECT_EQ(model.segment_count(), 3u);  // independent-readout default
+}
+
+TEST(Herqules, ParameterCountCountsFiltersAndNet) {
+  baselines::herqules_config config;
+  config.epochs = 2;
+  const auto model =
+      baselines::herqules_discriminator::fit(tiny_data().train, config);
+  // 3 segment envelopes spanning the whole 1000-wide trace + FNN 3-32-16-1.
+  const std::size_t fnn_params = 3 * 32 + 32 + 32 * 16 + 16 + 16 + 1;
+  EXPECT_EQ(model.parameter_count(), 1000u + fnn_params);
+}
+
+TEST(Herqules, WorksOnSlicedDurations) {
+  baselines::herqules_config config;
+  config.epochs = 60;
+  config.batch_size = 16;
+  const auto sliced_train = tiny_data().train.sliced_to_duration_ns(500.0);
+  const auto sliced_test = tiny_data().test.sliced_to_duration_ns(500.0);
+  const auto model =
+      baselines::herqules_discriminator::fit(sliced_train, config);
+  EXPECT_GT(model.accuracy(sliced_test), 0.9);
+}
+
+TEST(Herqules, RejectsMoreSegmentsThanSamples) {
+  baselines::herqules_config config;
+  config.segments = 600;  // > 500 samples
+  EXPECT_THROW(
+      baselines::herqules_discriminator::fit(tiny_data().train, config),
+      invalid_argument_error);
+}
+
+TEST(Herqules, RejectsWrongTraceWidthAtPredict) {
+  baselines::herqules_config config;
+  config.epochs = 2;
+  const auto model =
+      baselines::herqules_discriminator::fit(tiny_data().train, config);
+  const std::vector<float> wrong(500, 0.0f);
+  EXPECT_THROW(model.predict_state(wrong), invalid_argument_error);
+}
+
+TEST(AllBaselines, AccuracyHelperAgreesWithManualLoop) {
+  const auto model = baselines::mf_threshold_discriminator::fit(
+      tiny_data().train);
+  const auto& test = tiny_data().test;
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < test.size(); ++r) {
+    correct +=
+        (model.predict_state(test.trace(r)) == test.label_state(r)) ? 1 : 0;
+  }
+  EXPECT_DOUBLE_EQ(model.accuracy(test),
+                   static_cast<double>(correct) / test.size());
+}
+
+}  // namespace

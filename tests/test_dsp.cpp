@@ -1,0 +1,289 @@
+// Tests for DSP: matched filter, interval averaging, normalization, pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "klinq/common/math.hpp"
+#include "klinq/common/rng.hpp"
+#include "klinq/dsp/averager.hpp"
+#include "klinq/dsp/feature_pipeline.hpp"
+#include "klinq/dsp/matched_filter.hpp"
+#include "klinq/dsp/normalization.hpp"
+
+namespace {
+
+using namespace klinq;
+using data::trace_dataset;
+
+/// Builds a toy dataset: class-0 traces centred at +mu, class-1 at −mu,
+/// Gaussian noise sigma, N complex samples.
+trace_dataset make_gaussian_dataset(std::size_t per_class, std::size_t n,
+                                    double mu, double sigma,
+                                    std::uint64_t seed) {
+  trace_dataset ds(2 * per_class, n);
+  ds.resize_traces(2 * per_class);
+  xoshiro256 rng(seed);
+  std::vector<float> trace(2 * n);
+  for (std::size_t k = 0; k < 2 * per_class; ++k) {
+    const bool excited = k % 2 == 1;
+    const double centre = excited ? -mu : mu;
+    for (auto& v : trace) {
+      v = static_cast<float>(centre + rng.normal(0.0, sigma));
+    }
+    ds.set_trace(k, trace, excited);
+  }
+  return ds;
+}
+
+TEST(MatchedFilter, EnvelopePointsFromExcitedToGround) {
+  const auto ds = make_gaussian_dataset(200, 20, 1.0, 0.5, 1);
+  const auto mf = dsp::matched_filter::fit(ds);
+  ASSERT_TRUE(mf.is_fitted());
+  EXPECT_EQ(mf.input_width(), 40u);
+  // mean(T0 − T1) = +2mu > 0 at every sample.
+  for (const float w : mf.envelope()) EXPECT_GT(w, 0.0f);
+}
+
+TEST(MatchedFilter, EnvelopeMagnitudeIsMeanOverVariance) {
+  const auto ds = make_gaussian_dataset(2000, 8, 1.0, 0.5, 2);
+  const auto mf = dsp::matched_filter::fit(ds);
+  // mean diff = 2.0; var(T0−T1) = 2·0.25 = 0.5 ⇒ envelope ≈ 4.
+  for (const float w : mf.envelope()) EXPECT_NEAR(w, 4.0f, 0.5f);
+}
+
+TEST(MatchedFilter, SeparatesClassesAlmostPerfectly) {
+  const auto train = make_gaussian_dataset(300, 50, 0.5, 1.0, 3);
+  const auto test = make_gaussian_dataset(300, 50, 0.5, 1.0, 4);
+  const auto mf = dsp::matched_filter::fit(train);
+  const float threshold = mf.fit_threshold(train);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < test.size(); ++r) {
+    const bool predicted_ground =
+        mf.classify_as_ground(test.trace(r), threshold);
+    correct += (predicted_ground == !test.label_state(r)) ? 1 : 0;
+  }
+  // d = 2·0.5·sqrt(100 samples)/1.0 = 10 ⇒ error ≈ Q(5) ≈ 3e−7.
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.999);
+}
+
+TEST(MatchedFilter, ApplyAllMatchesApply) {
+  const auto ds = make_gaussian_dataset(10, 6, 1.0, 0.3, 5);
+  const auto mf = dsp::matched_filter::fit(ds);
+  const auto all = mf.apply_all(ds);
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    EXPECT_FLOAT_EQ(all[r], mf.apply(ds.trace(r)));
+  }
+}
+
+TEST(MatchedFilter, FitRequiresBothClasses) {
+  trace_dataset ds(4, 5);
+  ds.resize_traces(4);
+  const std::vector<float> t(10, 1.0f);
+  for (std::size_t i = 0; i < 4; ++i) ds.set_trace(i, t, false);
+  EXPECT_THROW(dsp::matched_filter::fit(ds), invalid_argument_error);
+}
+
+TEST(MatchedFilter, SaveLoadRoundTrip) {
+  const auto ds = make_gaussian_dataset(50, 12, 0.8, 0.4, 6);
+  const auto mf = dsp::matched_filter::fit(ds);
+  std::stringstream stream;
+  mf.save(stream);
+  const auto restored = dsp::matched_filter::load(stream);
+  ASSERT_EQ(restored.input_width(), mf.input_width());
+  EXPECT_FLOAT_EQ(restored.apply(ds.trace(0)), mf.apply(ds.trace(0)));
+}
+
+TEST(Averager, PaperGroupGeometry) {
+  // 500 samples, G = 15 (FNN-A): groups of 33/34 samples ≈ 64 ns intervals.
+  const dsp::interval_averager avg_a(15);
+  EXPECT_EQ(avg_a.output_width(), 30u);
+  std::size_t total = 0;
+  for (std::size_t g = 0; g < 15; ++g) total += avg_a.group_size(g, 500);
+  EXPECT_EQ(total, 500u);
+  // G = 100 (FNN-B): exactly 5-sample (10 ns) groups.
+  const dsp::interval_averager avg_b(100);
+  for (std::size_t g = 0; g < 100; ++g) {
+    EXPECT_EQ(avg_b.group_size(g, 500), 5u);
+  }
+}
+
+TEST(Averager, DynamicRegroupingKeepsOutputWidth) {
+  // Paper §III-D: shorter traces, same G — group sizes adapt.
+  const dsp::interval_averager avg(15);
+  for (const std::size_t n : {500u, 475u, 375u, 275u, 250u}) {
+    std::vector<float> trace(2 * n, 1.0f);
+    std::vector<float> out(avg.output_width());
+    avg.apply(trace, n, out);
+    for (const float v : out) EXPECT_FLOAT_EQ(v, 1.0f);
+  }
+}
+
+TEST(Averager, AveragesGroupsCorrectly) {
+  // 8 samples, 2 groups → averages of first and second half.
+  const dsp::interval_averager avg(2);
+  std::vector<float> trace(16);
+  for (std::size_t s = 0; s < 8; ++s) {
+    trace[s] = static_cast<float>(s);        // I: 0..7
+    trace[8 + s] = static_cast<float>(10 + s);  // Q: 10..17
+  }
+  std::vector<float> out(4);
+  avg.apply(trace, 8, out);
+  EXPECT_FLOAT_EQ(out[0], 1.5f);   // mean(0..3)
+  EXPECT_FLOAT_EQ(out[1], 5.5f);   // mean(4..7)
+  EXPECT_FLOAT_EQ(out[2], 11.5f);  // mean(10..13)
+  EXPECT_FLOAT_EQ(out[3], 15.5f);  // mean(14..17)
+}
+
+TEST(Averager, NoiseVarianceShrinksWithGroupSize) {
+  xoshiro256 rng(7);
+  const std::size_t n = 500;
+  const dsp::interval_averager avg(15);
+  running_stats stats;
+  std::vector<float> trace(2 * n);
+  std::vector<float> out(avg.output_width());
+  for (int shot = 0; shot < 300; ++shot) {
+    for (auto& v : trace) v = static_cast<float>(rng.normal(0.0, 1.0));
+    avg.apply(trace, n, out);
+    for (const float v : out) stats.add(v);
+  }
+  // Group size ≈ 33 ⇒ averaged sigma ≈ 1/sqrt(33) ≈ 0.174.
+  EXPECT_NEAR(stats.stddev(), 1.0 / std::sqrt(500.0 / 15.0), 0.02);
+}
+
+TEST(Averager, RejectsFewerSamplesThanGroups) {
+  const dsp::interval_averager avg(100);
+  std::vector<float> trace(2 * 50, 0.0f);
+  std::vector<float> out(avg.output_width());
+  EXPECT_THROW(avg.apply(trace, 50, out), invalid_argument_error);
+}
+
+TEST(Normalizer, ExactModeZeroMinUnitSigma) {
+  xoshiro256 rng(8);
+  la::matrix_f features(5000, 3);
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    features(r, 0) = static_cast<float>(rng.normal(10.0, 2.0));
+    features(r, 1) = static_cast<float>(rng.normal(-5.0, 0.5));
+    features(r, 2) = static_cast<float>(rng.normal(0.0, 8.0));
+  }
+  const auto norm =
+      dsp::feature_normalizer::fit(features, dsp::norm_mode::exact);
+  auto copy = features;
+  norm.apply_all(copy);
+  for (std::size_t c = 0; c < 3; ++c) {
+    running_stats stats;
+    float min_v = copy(0, c);
+    for (std::size_t r = 0; r < copy.rows(); ++r) {
+      stats.add(copy(r, c));
+      min_v = std::min(min_v, copy(r, c));
+    }
+    EXPECT_NEAR(min_v, 0.0f, 1e-4f);       // (x − x_min) ⇒ min = 0
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.05);  // σ-normalized
+  }
+}
+
+TEST(Normalizer, Pow2ModeUsesPowerOfTwoSigma) {
+  xoshiro256 rng(9);
+  la::matrix_f features(2000, 1);
+  for (auto& v : features.flat()) v = static_cast<float>(rng.normal(0.0, 3.0));
+  const auto norm =
+      dsp::feature_normalizer::fit(features, dsp::norm_mode::pow2_shift);
+  // σ ≈ 3 ⇒ nearest power of two is 4 ⇒ shift exponent 2.
+  EXPECT_EQ(norm.shift_exponents()[0], 2);
+  EXPECT_FLOAT_EQ(norm.effective_sigma(0), 4.0f);
+  // Normalized values are (x − min)/4, within a factor ~2 of exact.
+  std::vector<float> row{norm.x_min()[0] + 8.0f};
+  norm.apply(row);
+  EXPECT_FLOAT_EQ(row[0], 2.0f);
+}
+
+TEST(Normalizer, SigmaFloorPreventsBlowup) {
+  la::matrix_f features(10, 1, 5.0f);  // constant feature, σ = 0
+  const auto norm = dsp::feature_normalizer::fit(features);
+  std::vector<float> row{5.0f};
+  norm.apply(row);
+  EXPECT_TRUE(std::isfinite(row[0]));
+  EXPECT_FLOAT_EQ(row[0], 0.0f);
+}
+
+TEST(Normalizer, SaveLoadRoundTrip) {
+  xoshiro256 rng(10);
+  la::matrix_f features(100, 4);
+  for (auto& v : features.flat()) v = static_cast<float>(rng.uniform(-5, 5));
+  const auto norm = dsp::feature_normalizer::fit(features);
+  std::stringstream stream;
+  norm.save(stream);
+  const auto restored = dsp::feature_normalizer::load(stream);
+  ASSERT_EQ(restored.feature_width(), 4u);
+  EXPECT_EQ(restored.mode(), norm.mode());
+  std::vector<float> row_a{1.0f, 2.0f, 3.0f, 4.0f};
+  auto row_b = row_a;
+  norm.apply(row_a);
+  restored.apply(row_b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(row_a[i], row_b[i]);
+}
+
+TEST(Pipeline, OutputWidthMatchesPaperArchitectures) {
+  const auto ds = make_gaussian_dataset(100, 500, 0.3, 1.0, 11);
+  // FNN-A front-end: G = 15 ⇒ 31 inputs.
+  const auto pipe_a =
+      dsp::feature_pipeline::fit(ds, {.groups_per_quadrature = 15});
+  EXPECT_EQ(pipe_a.output_width(), 31u);
+  // FNN-B front-end: G = 100 ⇒ 201 inputs.
+  const auto pipe_b =
+      dsp::feature_pipeline::fit(ds, {.groups_per_quadrature = 100});
+  EXPECT_EQ(pipe_b.output_width(), 201u);
+}
+
+TEST(Pipeline, WithoutMatchedFilterDropsFeature) {
+  const auto ds = make_gaussian_dataset(100, 100, 0.3, 1.0, 12);
+  const auto pipe = dsp::feature_pipeline::fit(
+      ds, {.groups_per_quadrature = 10, .use_matched_filter = false});
+  EXPECT_EQ(pipe.output_width(), 20u);
+}
+
+TEST(Pipeline, ExtractAllMatchesExtract) {
+  const auto ds = make_gaussian_dataset(30, 60, 0.4, 0.8, 13);
+  const auto pipe =
+      dsp::feature_pipeline::fit(ds, {.groups_per_quadrature = 6});
+  const auto all = pipe.extract_all(ds);
+  std::vector<float> row(pipe.output_width());
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    pipe.extract(ds.trace(r), ds.samples_per_quadrature(), row);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      EXPECT_FLOAT_EQ(all(r, c), row[c]);
+    }
+  }
+}
+
+TEST(Pipeline, FeaturesSeparateClasses) {
+  const auto train = make_gaussian_dataset(400, 200, 0.25, 1.0, 14);
+  const auto pipe =
+      dsp::feature_pipeline::fit(train, {.groups_per_quadrature = 10});
+  const auto features = pipe.extract_all(train);
+  // The MF feature (last column) alone should separate the classes well.
+  running_stats s0;
+  running_stats s1;
+  for (std::size_t r = 0; r < train.size(); ++r) {
+    (train.label_state(r) ? s1 : s0).add(features(r, features.cols() - 1));
+  }
+  const double gap = std::abs(s0.mean() - s1.mean());
+  EXPECT_GT(gap, 3.0 * std::max(s0.stddev(), s1.stddev()));
+}
+
+TEST(Pipeline, SaveLoadRoundTrip) {
+  const auto ds = make_gaussian_dataset(50, 40, 0.5, 0.7, 15);
+  const auto pipe =
+      dsp::feature_pipeline::fit(ds, {.groups_per_quadrature = 4});
+  std::stringstream stream;
+  pipe.save(stream);
+  const auto restored = dsp::feature_pipeline::load(stream);
+  ASSERT_EQ(restored.output_width(), pipe.output_width());
+  std::vector<float> a(pipe.output_width());
+  std::vector<float> b(pipe.output_width());
+  pipe.extract(ds.trace(3), ds.samples_per_quadrature(), a);
+  restored.extract(ds.trace(3), ds.samples_per_quadrature(), b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+}  // namespace

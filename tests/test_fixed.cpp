@@ -1,0 +1,244 @@
+// Tests for the fixed-point arithmetic library (Q16.16 hardware semantics).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "klinq/common/rng.hpp"
+#include "klinq/fixed/fixed.hpp"
+
+namespace {
+
+using klinq::fx::fixed;
+using klinq::fx::fixed_accumulator;
+using klinq::fx::fixed_cast;
+using klinq::fx::q12_12;
+using klinq::fx::q16_16;
+using klinq::fx::q8_8;
+
+TEST(Fixed, ZeroAndOne) {
+  EXPECT_EQ(q16_16::zero().raw(), 0);
+  EXPECT_EQ(q16_16::one().raw(), 1 << 16);
+  EXPECT_DOUBLE_EQ(q16_16::one().to_double(), 1.0);
+}
+
+TEST(Fixed, ResolutionIsOneLsb) {
+  EXPECT_DOUBLE_EQ(q16_16::resolution(), 1.0 / 65536.0);
+  EXPECT_DOUBLE_EQ(q8_8::resolution(), 1.0 / 256.0);
+}
+
+TEST(Fixed, FromDoubleRoundsToNearest) {
+  // 0.5 LSB above a representable value rounds up.
+  const double lsb = q16_16::resolution();
+  EXPECT_EQ(q16_16::from_double(3.0 + 0.6 * lsb).raw(),
+            q16_16::from_double(3.0).raw() + 1);
+  EXPECT_EQ(q16_16::from_double(3.0 + 0.4 * lsb).raw(),
+            q16_16::from_double(3.0).raw());
+}
+
+TEST(Fixed, FromDoubleSaturatesAtRails) {
+  EXPECT_EQ(q16_16::from_double(1e9).raw(), q16_16::raw_max);
+  EXPECT_EQ(q16_16::from_double(-1e9).raw(), q16_16::raw_min);
+  EXPECT_DOUBLE_EQ(q16_16::max_value().to_double(),
+                   32768.0 - q16_16::resolution());
+  EXPECT_DOUBLE_EQ(q16_16::min_value().to_double(), -32768.0);
+}
+
+TEST(Fixed, NanBecomesZero) {
+  EXPECT_EQ(q16_16::from_double(std::nan("")).raw(), 0);
+}
+
+TEST(Fixed, AdditionExact) {
+  const auto a = q16_16::from_double(1.25);
+  const auto b = q16_16::from_double(2.5);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+}
+
+TEST(Fixed, AdditionSaturatesPositive) {
+  const auto big = q16_16::from_double(30000.0);
+  const auto sum = big + big;
+  EXPECT_TRUE(sum.is_saturated());
+  EXPECT_EQ(sum.raw(), q16_16::raw_max);
+}
+
+TEST(Fixed, SubtractionSaturatesNegative) {
+  const auto big = q16_16::from_double(-30000.0);
+  const auto diff = big + big;
+  EXPECT_EQ(diff.raw(), q16_16::raw_min);
+}
+
+TEST(Fixed, MultiplicationBasics) {
+  const auto a = q16_16::from_double(1.5);
+  const auto b = q16_16::from_double(-2.0);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), -3.0);
+  EXPECT_DOUBLE_EQ((a * q16_16::one()).to_double(), 1.5);
+  EXPECT_DOUBLE_EQ((a * q16_16::zero()).to_double(), 0.0);
+}
+
+TEST(Fixed, MultiplicationSaturates) {
+  const auto a = q16_16::from_double(1000.0);
+  const auto b = q16_16::from_double(1000.0);
+  EXPECT_EQ((a * b).raw(), q16_16::raw_max);
+  EXPECT_EQ((a * -b).raw(), q16_16::raw_min);
+}
+
+TEST(Fixed, DivisionMatchesDouble) {
+  const auto a = q16_16::from_double(7.5);
+  const auto b = q16_16::from_double(2.5);
+  EXPECT_NEAR((a / b).to_double(), 3.0, q16_16::resolution());
+  EXPECT_THROW(a / q16_16::zero(), klinq::invalid_argument_error);
+}
+
+TEST(Fixed, NegationAndComparison) {
+  const auto a = q16_16::from_double(2.0);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -2.0);
+  EXPECT_LT(-a, a);
+  EXPECT_EQ(a, q16_16::from_double(2.0));
+}
+
+TEST(Fixed, NegationOfMinSaturates) {
+  EXPECT_EQ((-q16_16::min_value()).raw(), q16_16::raw_max);
+}
+
+TEST(Fixed, ShiftRightIsDivideByPowerOfTwo) {
+  const auto a = q16_16::from_double(10.0);
+  EXPECT_DOUBLE_EQ(a.shifted_right(1).to_double(), 5.0);
+  EXPECT_DOUBLE_EQ(a.shifted_right(3).to_double(), 1.25);
+  EXPECT_DOUBLE_EQ(a.shifted_right(0).to_double(), 10.0);
+}
+
+TEST(Fixed, ShiftRightRoundsToNearest) {
+  // 3 LSB >> 1 = 1.5 LSB → rounds to 2 (away from zero on ties).
+  const auto three_lsb = q16_16::from_raw(3);
+  EXPECT_EQ(three_lsb.shifted_right(1).raw(), 2);
+  const auto neg_three = q16_16::from_raw(-3);
+  EXPECT_EQ(neg_three.shifted_right(1).raw(), -2);
+}
+
+TEST(Fixed, ShiftLeftIsMultiplyByPowerOfTwo) {
+  const auto a = q16_16::from_double(1.5);
+  EXPECT_DOUBLE_EQ(a.shifted_left(2).to_double(), 6.0);
+}
+
+TEST(Fixed, ShiftLeftSaturates) {
+  const auto a = q16_16::from_double(20000.0);
+  EXPECT_EQ(a.shifted_left(4).raw(), q16_16::raw_max);
+}
+
+TEST(Fixed, NegativeShiftDelegates) {
+  const auto a = q16_16::from_double(4.0);
+  EXPECT_DOUBLE_EQ(a.shifted_right(-1).to_double(), 8.0);
+  EXPECT_DOUBLE_EQ(a.shifted_left(-1).to_double(), 2.0);
+}
+
+TEST(Fixed, SignBitMatchesSign) {
+  EXPECT_FALSE(q16_16::from_double(1.0).sign_bit());
+  EXPECT_TRUE(q16_16::from_double(-0.5).sign_bit());
+  EXPECT_FALSE(q16_16::zero().sign_bit());
+}
+
+TEST(Fixed, ToIntFloor) {
+  EXPECT_EQ(q16_16::from_double(2.75).to_int_floor(), 2);
+  EXPECT_EQ(q16_16::from_double(-2.25).to_int_floor(), -3);
+}
+
+TEST(FixedCast, WideningPreservesValue) {
+  const auto narrow = q8_8::from_double(1.625);
+  const auto wide = fixed_cast<q16_16>(narrow);
+  EXPECT_DOUBLE_EQ(wide.to_double(), 1.625);
+}
+
+TEST(FixedCast, NarrowingRoundsAndSaturates) {
+  const auto wide = q16_16::from_double(100.7);
+  const auto narrow = fixed_cast<q8_8>(wide);
+  EXPECT_NEAR(narrow.to_double(), 100.7, q8_8::resolution());
+  // Out of q8.8 range saturates.
+  const auto too_big = q16_16::from_double(300.0);
+  EXPECT_EQ(fixed_cast<q8_8>(too_big).raw(), q8_8::raw_max);
+  const auto too_small = q16_16::from_double(-300.0);
+  EXPECT_EQ(fixed_cast<q8_8>(too_small).raw(), q8_8::raw_min);
+}
+
+TEST(FixedAccumulator, SumsWithoutIntermediateSaturation) {
+  // Sum of 10 values each near the positive rail would saturate pairwise;
+  // the wide accumulator must survive a positive/negative cancellation.
+  fixed_accumulator<q16_16> acc;
+  const auto big = q16_16::from_double(30000.0);
+  for (int i = 0; i < 10; ++i) acc.add(big);
+  for (int i = 0; i < 10; ++i) acc.add(-big);
+  EXPECT_DOUBLE_EQ(acc.result().to_double(), 0.0);
+}
+
+TEST(FixedAccumulator, SaturatesOnlyAtExtraction) {
+  fixed_accumulator<q16_16> acc;
+  const auto big = q16_16::from_double(30000.0);
+  acc.add(big);
+  acc.add(big);
+  EXPECT_EQ(acc.result().raw(), q16_16::raw_max);
+}
+
+TEST(FixedAccumulator, Reset) {
+  fixed_accumulator<q16_16> acc;
+  acc.add(q16_16::one());
+  acc.reset();
+  EXPECT_EQ(acc.result().raw(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Property-style sweeps: fixed-point ops track double-precision reference
+// within quantization error across random values and formats.
+// ---------------------------------------------------------------------------
+
+class FixedPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixedPropertyTest, ArithmeticTracksDoubleReference) {
+  klinq::xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double a = rng.uniform(-100.0, 100.0);
+    const double b = rng.uniform(-100.0, 100.0);
+    const auto fa = q16_16::from_double(a);
+    const auto fb = q16_16::from_double(b);
+    const double lsb = q16_16::resolution();
+
+    EXPECT_NEAR((fa + fb).to_double(), a + b, 2 * lsb);
+    EXPECT_NEAR((fa - fb).to_double(), a - b, 2 * lsb);
+    // Multiplication error ≲ |a|·lsb/2 + |b|·lsb/2 + lsb.
+    const double mul_tol = (std::abs(a) + std::abs(b)) * lsb + lsb;
+    EXPECT_NEAR((fa * fb).to_double(), a * b, mul_tol);
+  }
+}
+
+TEST_P(FixedPropertyTest, RoundTripWithinHalfLsb) {
+  klinq::xoshiro256 rng(GetParam() ^ 0xABCDEF);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double x = rng.uniform(-30000.0, 30000.0);
+    EXPECT_NEAR(q16_16::from_double(x).to_double(), x,
+                0.5 * q16_16::resolution() + 1e-12);
+  }
+}
+
+TEST_P(FixedPropertyTest, ShiftEqualsLdexp) {
+  klinq::xoshiro256 rng(GetParam() ^ 0x555);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double x = rng.uniform(-1000.0, 1000.0);
+    const int k = static_cast<int>(rng.uniform_index(8));
+    const auto fx_val = q16_16::from_double(x);
+    EXPECT_NEAR(fx_val.shifted_right(k).to_double(), std::ldexp(x, -k),
+                q16_16::resolution() * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedPropertyTest,
+                         ::testing::Values(1u, 42u, 2026u, 0xDEADBEEFu));
+
+// The q12.12 format behaves identically modulo its own resolution/rails.
+TEST(FixedFormats, Q12MirrorsQ16Semantics) {
+  const auto a = q12_12::from_double(1.5);
+  const auto b = q12_12::from_double(0.25);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), 0.375);
+  EXPECT_EQ(q12_12::from_double(1e6).raw(), q12_12::raw_max);
+  EXPECT_DOUBLE_EQ(q12_12::max_value().to_double(),
+                   2048.0 - q12_12::resolution());
+}
+
+}  // namespace

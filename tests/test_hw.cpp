@@ -1,0 +1,322 @@
+// Tests for the hardware model: fixed-point inference vs float reference,
+// cycle-accurate latency (Table III), resource estimation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "klinq/hw/cycle_model.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+#include "klinq/hw/fixed_frontend.hpp"
+#include "klinq/hw/quantized_network.hpp"
+#include "klinq/hw/report.hpp"
+#include "klinq/hw/resource_model.hpp"
+#include "klinq/kd/distiller.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+namespace {
+
+using namespace klinq;
+using fx::q16_16;
+using fx::q8_8;
+
+const qsim::qubit_dataset& tiny_data() {
+  static const qsim::qubit_dataset data = [] {
+    qsim::dataset_spec spec;
+    spec.device = qsim::single_qubit_test_preset();
+    spec.shots_per_permutation_train = 400;
+    spec.shots_per_permutation_test = 300;
+    spec.seed = 9;
+    return qsim::build_qubit_dataset(spec, 0);
+  }();
+  return data;
+}
+
+const kd::student_model& tiny_student() {
+  static const kd::student_model student = [] {
+    kd::student_config config;
+    config.groups_per_quadrature = 15;
+    config.epochs = 25;
+    config.seed = 4;
+    return kd::distill_student(tiny_data().train, {}, config);
+  }();
+  return student;
+}
+
+// ---------------------------------------------------------------------------
+// Quantized network numerics
+// ---------------------------------------------------------------------------
+
+TEST(QuantizedNetwork, MatchesFloatOnSmallNet) {
+  xoshiro256 rng(1);
+  auto net = nn::make_mlp(4, {6, 3});
+  net.initialize(nn::weight_init::he_normal, rng);
+  const hw::quantized_network<q16_16> fixed_net(net);
+  EXPECT_EQ(fixed_net.input_dim(), 4u);
+  EXPECT_EQ(fixed_net.parameter_count(), net.parameter_count());
+
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> input(4);
+    for (auto& v : input) v = static_cast<float>(rng.uniform(-3, 3));
+    std::vector<q16_16> fixed_input;
+    for (const float v : input) fixed_input.push_back(q16_16::from_double(v));
+    const float float_logit = net.predict_logit(input);
+    const double fixed_logit = fixed_net.forward_logit(fixed_input).to_double();
+    EXPECT_NEAR(fixed_logit, float_logit, 0.01)
+        << "trial " << trial;
+  }
+}
+
+TEST(QuantizedNetwork, ReluZeroesNegativePreactivations) {
+  // Single neuron with weight −1: positive input ⇒ negative pre-activation
+  // ⇒ ReLU outputs zero ⇒ final logit equals the output layer bias.
+  nn::network net(1, {{1, nn::activation::relu}, {1, nn::activation::identity}});
+  net.layer(0).weights()(0, 0) = -1.0f;
+  net.layer(0).bias()[0] = 0.0f;
+  net.layer(1).weights()(0, 0) = 1.0f;
+  net.layer(1).bias()[0] = 0.25f;
+  const hw::quantized_network<q16_16> fixed_net(net);
+  const std::vector<q16_16> input{q16_16::from_double(2.0)};
+  EXPECT_DOUBLE_EQ(fixed_net.forward_logit(input).to_double(), 0.25);
+}
+
+TEST(QuantizedNetwork, SaturatesInsteadOfWrapping) {
+  // Huge weights drive the accumulator past the Q16.16 rail; the activation
+  // stage must clamp, not wrap to negative.
+  nn::network net(2, {{1, nn::activation::identity}});
+  net.layer(0).weights()(0, 0) = 30000.0f;
+  net.layer(0).weights()(0, 1) = 30000.0f;
+  net.layer(0).bias()[0] = 0.0f;
+  const hw::quantized_network<q16_16> fixed_net(net);
+  const std::vector<q16_16> input{q16_16::from_double(2.0),
+                                  q16_16::from_double(2.0)};
+  const q16_16 logit = fixed_net.forward_logit(input);
+  EXPECT_TRUE(logit.is_saturated());
+  EXPECT_FALSE(logit.sign_bit());
+}
+
+TEST(QuantizedNetwork, PredictStateIsSignBit) {
+  nn::network net(1, {{1, nn::activation::identity}});
+  net.layer(0).weights()(0, 0) = 1.0f;
+  net.layer(0).bias()[0] = 0.0f;
+  const hw::quantized_network<q16_16> fixed_net(net);
+  EXPECT_TRUE(fixed_net.predict_state(
+      std::vector<q16_16>{q16_16::from_double(0.5)}));
+  EXPECT_FALSE(fixed_net.predict_state(
+      std::vector<q16_16>{q16_16::from_double(-0.5)}));
+}
+
+// ---------------------------------------------------------------------------
+// Fixed front-end
+// ---------------------------------------------------------------------------
+
+TEST(FixedFrontend, MatchesFloatPipelineClosely) {
+  const auto& student = tiny_student();
+  const auto& test = tiny_data().test;
+  const hw::fixed_frontend<q16_16> frontend(student.pipeline());
+  ASSERT_EQ(frontend.output_width(), student.pipeline().output_width());
+
+  std::vector<float> float_features(student.pipeline().output_width());
+  std::vector<q16_16> fixed_features(frontend.output_width());
+  const std::size_t n = test.samples_per_quadrature();
+  for (std::size_t r = 0; r < 50; ++r) {
+    student.pipeline().extract(test.trace(r), n, float_features);
+    const auto quantized =
+        hw::fixed_frontend<q16_16>::quantize_trace(test.trace(r));
+    frontend.extract(quantized, n, fixed_features);
+    for (std::size_t c = 0; c < float_features.size(); ++c) {
+      EXPECT_NEAR(fixed_features[c].to_double(), float_features[c], 0.02)
+          << "row " << r << " feature " << c;
+    }
+  }
+}
+
+TEST(FixedFrontend, RequiresPow2Normalization) {
+  kd::student_config config;
+  config.groups_per_quadrature = 15;
+  config.normalization = dsp::norm_mode::exact;
+  config.epochs = 2;
+  const auto student = kd::distill_student(tiny_data().train, {}, config);
+  EXPECT_THROW(hw::fixed_frontend<q16_16>(student.pipeline()),
+               invalid_argument_error);
+}
+
+TEST(FixedFrontend, RejectsWrongDuration) {
+  const auto& student = tiny_student();
+  const hw::fixed_frontend<q16_16> frontend(student.pipeline());
+  // Envelope fitted at 500 samples; a 250-sample trace must be rejected.
+  std::vector<q16_16> short_trace(500, q16_16::zero());
+  std::vector<q16_16> out(frontend.output_width());
+  EXPECT_THROW(frontend.extract(short_trace, 250, out),
+               invalid_argument_error);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end fixed discriminator
+// ---------------------------------------------------------------------------
+
+TEST(FixedDiscriminator, AccuracyMatchesFloatModel) {
+  const auto& student = tiny_student();
+  const auto& test = tiny_data().test;
+  const hw::fixed_discriminator<q16_16> hw_model(student);
+  const double float_acc = student.accuracy(test);
+  const double fixed_acc = hw_model.accuracy(test);
+  // Paper claim: Q16.16 maintains discrimination accuracy.
+  EXPECT_NEAR(fixed_acc, float_acc, 0.005);
+  EXPECT_GT(hw_model.agreement_with_float(student, test), 0.995);
+}
+
+TEST(FixedDiscriminator, NarrowFormatDegrades) {
+  const auto& student = tiny_student();
+  const auto& test = tiny_data().test;
+  const hw::fixed_discriminator<q16_16> wide(student);
+  const hw::fixed_discriminator<q8_8> narrow(student);
+  // Q8.8 saturates on the MF accumulation → agreement drops measurably.
+  EXPECT_LE(narrow.agreement_with_float(student, test),
+            wide.agreement_with_float(student, test));
+}
+
+// ---------------------------------------------------------------------------
+// Cycle model (Table III latencies)
+// ---------------------------------------------------------------------------
+
+TEST(CycleModel, PaperCalibratedReproducesTable3) {
+  const auto lat_a = hw::compute_latency(hw::fnn_a_datapath(),
+                                         hw::latency_mode::paper_calibrated);
+  EXPECT_EQ(lat_a.stage_cycles("MF"), 11u);
+  EXPECT_EQ(lat_a.stage_cycles("AVG&NORM"), 9u);
+  EXPECT_EQ(lat_a.stage_cycles("Network"), 12u);
+  EXPECT_EQ(lat_a.total_serial_cycles, 32u);
+
+  const auto lat_b = hw::compute_latency(hw::fnn_b_datapath(),
+                                         hw::latency_mode::paper_calibrated);
+  EXPECT_EQ(lat_b.stage_cycles("MF"), 11u);
+  EXPECT_EQ(lat_b.stage_cycles("AVG&NORM"), 6u);
+  EXPECT_EQ(lat_b.stage_cycles("Network"), 15u);
+  EXPECT_EQ(lat_b.total_serial_cycles, 32u);
+}
+
+TEST(CycleModel, BothConfigsCoincideAt32ns) {
+  // The paper highlights that both configurations "coincidentally" land on
+  // the same 32 ns total — structural property of the calibrated model.
+  const auto a = hw::compute_latency(hw::fnn_a_datapath(),
+                                     hw::latency_mode::paper_calibrated);
+  const auto b = hw::compute_latency(hw::fnn_b_datapath(),
+                                     hw::latency_mode::paper_calibrated);
+  EXPECT_EQ(a.total_serial_cycles, b.total_serial_cycles);
+  EXPECT_DOUBLE_EQ(a.serial_ns(), 32.0);
+}
+
+TEST(CycleModel, LatencyConstantAcrossAcceptedDurations) {
+  // §V-D: latency is fixed at synthesis; hardware built for the 1 µs config
+  // accepts every shorter Table-II duration (550 ns = 275 samples, etc.)
+  // without re-synthesis, so the 32-cycle figure holds across durations.
+  const auto config_a = hw::fnn_a_datapath(500);
+  const auto config_b = hw::fnn_b_datapath(500);
+  for (const std::size_t runtime_samples : {475u, 375u, 275u, 250u}) {
+    EXPECT_TRUE(hw::supports_runtime_duration(config_a, runtime_samples));
+    EXPECT_TRUE(hw::supports_runtime_duration(config_b, runtime_samples));
+  }
+  EXPECT_EQ(hw::compute_latency(config_a, hw::latency_mode::paper_calibrated)
+                .total_serial_cycles,
+            32u);
+  // A trace shorter than one sample per FNN-B group is rejected.
+  EXPECT_THROW(hw::supports_runtime_duration(config_b, 50),
+               invalid_argument_error);
+}
+
+TEST(CycleModel, AnalyticModeIsUpperBound) {
+  for (const auto& config : {hw::fnn_a_datapath(), hw::fnn_b_datapath()}) {
+    const auto analytic =
+        hw::compute_latency(config, hw::latency_mode::analytic);
+    const auto calibrated =
+        hw::compute_latency(config, hw::latency_mode::paper_calibrated);
+    EXPECT_GE(analytic.total_serial_cycles, calibrated.total_serial_cycles);
+  }
+}
+
+TEST(CycleModel, CriticalPathShorterThanSerialSum) {
+  const auto lat = hw::compute_latency(hw::fnn_a_datapath(),
+                                       hw::latency_mode::paper_calibrated);
+  // MF (11) and AVG&NORM (9) overlap: critical path = 11 + 12 = 23.
+  EXPECT_EQ(lat.total_critical_path_cycles, 23u);
+  EXPECT_LT(lat.total_critical_path_cycles, lat.total_serial_cycles);
+}
+
+TEST(CycleModel, AdderTreeDepthDrivesNetworkGap) {
+  // Network latency difference B − A = ⌈log2 201⌉ − ⌈log2 31⌉ = 3.
+  const auto a = hw::compute_latency(hw::fnn_a_datapath(),
+                                     hw::latency_mode::paper_calibrated);
+  const auto b = hw::compute_latency(hw::fnn_b_datapath(),
+                                     hw::latency_mode::paper_calibrated);
+  EXPECT_EQ(b.stage_cycles("Network") - a.stage_cycles("Network"), 3u);
+}
+
+TEST(CycleModel, UnknownStageThrows) {
+  const auto lat = hw::compute_latency(hw::fnn_a_datapath(),
+                                       hw::latency_mode::paper_calibrated);
+  EXPECT_THROW(lat.stage_cycles("DMA"), invalid_argument_error);
+}
+
+// ---------------------------------------------------------------------------
+// Resource model (Table III utilization)
+// ---------------------------------------------------------------------------
+
+TEST(ResourceModel, MfDspMatchesPaper) {
+  const auto est = hw::estimate_mf(hw::fnn_a_datapath());
+  EXPECT_EQ(est.dsp, 375u);  // paper: 375 DSP for the shared MF
+  // LUT/FF within 20 % of the paper's 27180 / 24052.
+  EXPECT_NEAR(static_cast<double>(est.lut), 27180.0, 0.2 * 27180.0);
+  EXPECT_NEAR(static_cast<double>(est.ff), 24052.0, 0.2 * 24052.0);
+}
+
+TEST(ResourceModel, AvgNormUsesZeroDsp) {
+  // Shift-based normalization: no DSP blocks, by construction.
+  EXPECT_EQ(hw::estimate_avg_norm(hw::fnn_a_datapath()).dsp, 0u);
+  EXPECT_EQ(hw::estimate_avg_norm(hw::fnn_b_datapath()).dsp, 0u);
+}
+
+TEST(ResourceModel, AvgNormLutNearPaper) {
+  const auto est_a = hw::estimate_avg_norm(hw::fnn_a_datapath());
+  const auto est_b = hw::estimate_avg_norm(hw::fnn_b_datapath());
+  EXPECT_NEAR(static_cast<double>(est_a.lut), 17770.0, 0.15 * 17770.0);
+  EXPECT_NEAR(static_cast<double>(est_b.lut), 19600.0, 0.15 * 19600.0);
+}
+
+TEST(ResourceModel, NetworkBCostsRoughlyFourTimesA) {
+  const auto est_a = hw::estimate_network(hw::fnn_a_datapath());
+  const auto est_b = hw::estimate_network(hw::fnn_b_datapath());
+  EXPECT_GT(est_b.dsp, 3 * est_a.dsp);
+  EXPECT_LT(est_b.dsp, 8 * est_a.dsp);
+  EXPECT_GT(est_b.lut, est_a.lut);
+  EXPECT_GT(est_b.ff, est_a.ff);
+}
+
+TEST(ResourceModel, NetworkDspNearPaper) {
+  // Paper: 55 (FNN-A) and 226 (FNN-B); model lands within ±30 %.
+  const auto est_a = hw::estimate_network(hw::fnn_a_datapath());
+  const auto est_b = hw::estimate_network(hw::fnn_b_datapath());
+  EXPECT_NEAR(static_cast<double>(est_a.dsp), 55.0, 0.3 * 55.0);
+  EXPECT_NEAR(static_cast<double>(est_b.dsp), 226.0, 0.3 * 226.0);
+}
+
+TEST(ResourceModel, UtilizationPercentages) {
+  EXPECT_DOUBLE_EQ(hw::utilization_pct(100, 1000), 10.0);
+  EXPECT_THROW(hw::utilization_pct(1, 0), invalid_argument_error);
+  // MF DSP share of the ZCU216: paper says 8.78 %.
+  const auto est = hw::estimate_mf(hw::fnn_a_datapath());
+  const hw::device_capacity capacity;
+  EXPECT_NEAR(hw::utilization_pct(est.dsp, capacity.dsp), 8.78, 0.3);
+}
+
+TEST(Report, BuildsAllRowsAndTotals) {
+  const auto report = hw::build_utilization_report();
+  ASSERT_EQ(report.rows.size(), 5u);
+  EXPECT_EQ(report.total_cycles_fnn_a, 32u);
+  EXPECT_EQ(report.total_cycles_fnn_b, 32u);
+  std::ostringstream out;
+  hw::print_utilization_report(report, out);
+  EXPECT_NE(out.str().find("MF (shared)"), std::string::npos);
+  EXPECT_NE(out.str().find("End-to-end latency"), std::string::npos);
+}
+
+}  // namespace

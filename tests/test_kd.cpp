@@ -1,0 +1,182 @@
+// Tests for knowledge distillation: teacher training, student distillation,
+// compression accounting. Uses a small single-qubit device and a reduced
+// teacher so the whole file runs in seconds.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "klinq/kd/distiller.hpp"
+#include "klinq/kd/teacher.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+namespace {
+
+using namespace klinq;
+
+/// Shared tiny dataset: one easy qubit, 1 µs traces.
+const qsim::qubit_dataset& tiny_data() {
+  static const qsim::qubit_dataset data = [] {
+    qsim::dataset_spec spec;
+    spec.device = qsim::single_qubit_test_preset();
+    spec.shots_per_permutation_train = 400;
+    spec.shots_per_permutation_test = 300;
+    spec.seed = 5;
+    return qsim::build_qubit_dataset(spec, 0);
+  }();
+  return data;
+}
+
+kd::teacher_config tiny_teacher_config() {
+  kd::teacher_config config;
+  config.hidden = {64, 32};  // reduced for test speed; same code path
+  config.epochs = 25;        // small dataset ⇒ more epochs for enough steps
+  config.batch_size = 16;
+  config.learning_rate = 1e-3f;
+  config.lr_decay = 0.95f;
+  config.seed = 2;
+  return config;
+}
+
+TEST(Teacher, LearnsEasyQubit) {
+  const auto& data = tiny_data();
+  const auto teacher = kd::train_teacher(data.train, tiny_teacher_config());
+  EXPECT_GT(teacher.accuracy(data.test), 0.97);
+}
+
+TEST(Teacher, LogitsSeparateClasses) {
+  const auto& data = tiny_data();
+  const auto teacher = kd::train_teacher(data.train, tiny_teacher_config());
+  const auto logits = teacher.logits_for(data.train);
+  ASSERT_EQ(logits.size(), data.train.size());
+  double mean0 = 0.0;
+  double mean1 = 0.0;
+  std::size_t n0 = 0;
+  std::size_t n1 = 0;
+  for (std::size_t r = 0; r < logits.size(); ++r) {
+    if (data.train.label_state(r)) {
+      mean1 += logits[r];
+      ++n1;
+    } else {
+      mean0 += logits[r];
+      ++n0;
+    }
+  }
+  mean0 /= static_cast<double>(n0);
+  mean1 /= static_cast<double>(n1);
+  EXPECT_GT(mean1, 0.0);  // excited → positive logit
+  EXPECT_LT(mean0, 0.0);
+}
+
+TEST(Teacher, PredictStateMatchesLogitSign) {
+  const auto& data = tiny_data();
+  const auto teacher = kd::train_teacher(data.train, tiny_teacher_config());
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_EQ(teacher.predict_state(data.test.trace(r)),
+              teacher.logit(data.test.trace(r)) >= 0.0f);
+  }
+}
+
+TEST(Teacher, SaveLoadRoundTrip) {
+  const auto& data = tiny_data();
+  const auto teacher = kd::train_teacher(data.train, tiny_teacher_config());
+  std::stringstream stream;
+  teacher.save(stream);
+  const auto restored = kd::teacher_model::load(stream);
+  EXPECT_EQ(restored.parameter_count(), teacher.parameter_count());
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_FLOAT_EQ(restored.logit(data.test.trace(r)),
+                    teacher.logit(data.test.trace(r)));
+  }
+}
+
+TEST(Teacher, RejectsEmptyDataset) {
+  data::trace_dataset empty(0, 500);
+  EXPECT_THROW(kd::train_teacher(empty, tiny_teacher_config()),
+               invalid_argument_error);
+}
+
+kd::student_config tiny_student_config() {
+  kd::student_config config;
+  config.groups_per_quadrature = 15;
+  config.epochs = 80;  // small dataset ⇒ more epochs for enough steps
+  config.batch_size = 16;
+  config.seed = 3;
+  return config;
+}
+
+TEST(Student, DistilledStudentMatchesTeacherAccuracy) {
+  const auto& data = tiny_data();
+  const auto teacher = kd::train_teacher(data.train, tiny_teacher_config());
+  const auto logits = teacher.logits_for(data.train);
+  const auto student =
+      kd::distill_student(data.train, logits, tiny_student_config());
+  const double teacher_acc = teacher.accuracy(data.test);
+  const double student_acc = student.accuracy(data.test);
+  // High-SNR qubit: the compact student keeps nearly all of the accuracy.
+  EXPECT_GT(student_acc, teacher_acc - 0.02);
+}
+
+TEST(Student, HardLabelTrainingWorksWithoutTeacher) {
+  const auto& data = tiny_data();
+  const auto student =
+      kd::distill_student(data.train, {}, tiny_student_config());
+  EXPECT_GT(student.accuracy(data.test), 0.95);
+}
+
+TEST(Student, ParameterCountMatchesPaperArithmetic) {
+  const auto& data = tiny_data();
+  const auto student =
+      kd::distill_student(data.train, {}, tiny_student_config());
+  EXPECT_EQ(student.parameter_count(), 657u);  // FNN-A
+  kd::student_config large = tiny_student_config();
+  large.groups_per_quadrature = 100;
+  const auto student_b = kd::distill_student(data.train, {}, large);
+  EXPECT_EQ(student_b.parameter_count(), 3377u);  // FNN-B
+}
+
+TEST(Student, PredictStateMatchesLogitSign) {
+  const auto& data = tiny_data();
+  const auto student =
+      kd::distill_student(data.train, {}, tiny_student_config());
+  const std::size_t n = data.test.samples_per_quadrature();
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_EQ(student.predict_state(data.test.trace(r), n),
+              student.logit(data.test.trace(r), n) >= 0.0f);
+  }
+}
+
+TEST(Student, SaveLoadRoundTrip) {
+  const auto& data = tiny_data();
+  const auto student =
+      kd::distill_student(data.train, {}, tiny_student_config());
+  std::stringstream stream;
+  student.save(stream);
+  const auto restored = kd::student_model::load(stream);
+  const std::size_t n = data.test.samples_per_quadrature();
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_FLOAT_EQ(restored.logit(data.test.trace(r), n),
+                    student.logit(data.test.trace(r), n));
+  }
+}
+
+TEST(Student, RejectsMismatchedTeacherLogits) {
+  const auto& data = tiny_data();
+  const std::vector<float> wrong(data.train.size() - 1, 0.0f);
+  EXPECT_THROW(kd::distill_student(data.train, wrong, tiny_student_config()),
+               invalid_argument_error);
+}
+
+TEST(Compression, PaperRates) {
+  // Five teachers (8 135 005) vs five students (3·657 + 2·3377 = 8 725):
+  // NCR ≈ 99.89 % (paper §V-C).
+  const std::size_t teachers = 5 * 1627001;
+  const std::size_t students = 3 * 657 + 2 * 3377;
+  EXPECT_NEAR(kd::compression_rate(teachers, students), 0.9989, 2e-4);
+  // Against the single-network baseline (1.63 M): ≈ 99.46 % for all five
+  // students; the paper quotes 98.93 % using both student sizes summed
+  // differently — we check the per-model rates bracket it.
+  EXPECT_GT(kd::compression_rate(1627001, students), 0.989);
+  EXPECT_THROW(kd::compression_rate(0, 1), invalid_argument_error);
+}
+
+}  // namespace

@@ -1,0 +1,363 @@
+// Tests for the NN module: analytic gradients vs finite differences,
+// training convergence, losses, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "klinq/common/rng.hpp"
+#include "klinq/nn/loss.hpp"
+#include "klinq/nn/network.hpp"
+#include "klinq/nn/serialize.hpp"
+#include "klinq/nn/trainer.hpp"
+
+namespace {
+
+using namespace klinq;
+using la::matrix_f;
+
+TEST(Activation, ReluClampsNegative) {
+  EXPECT_FLOAT_EQ(nn::apply_activation(nn::activation::relu, -2.0f), 0.0f);
+  EXPECT_FLOAT_EQ(nn::apply_activation(nn::activation::relu, 3.0f), 3.0f);
+}
+
+TEST(Activation, SigmoidStable) {
+  EXPECT_NEAR(nn::apply_activation(nn::activation::sigmoid, 0.0f), 0.5f, 1e-6);
+  EXPECT_NEAR(nn::apply_activation(nn::activation::sigmoid, 100.0f), 1.0f,
+              1e-6);
+  EXPECT_NEAR(nn::apply_activation(nn::activation::sigmoid, -100.0f), 0.0f,
+              1e-6);
+}
+
+TEST(Activation, NameRoundTrip) {
+  for (const auto a : {nn::activation::identity, nn::activation::relu,
+                       nn::activation::sigmoid}) {
+    EXPECT_EQ(nn::activation_from_name(nn::activation_name(a)), a);
+  }
+  EXPECT_THROW(nn::activation_from_name("gelu"), invalid_argument_error);
+}
+
+TEST(Network, TopologyAndParameterCount) {
+  const auto net = nn::make_mlp(31, {16, 8});
+  EXPECT_EQ(net.topology_string(), "31-16-8-1");
+  // Paper Fig. 5 arithmetic: 31·16+16 + 16·8+8 + 8·1+1 = 657.
+  EXPECT_EQ(net.parameter_count(), 657u);
+}
+
+TEST(Network, PaperParameterCounts) {
+  // FNN-B: 201-16-8-1 = 3377; two of them = 6754 (Fig. 5).
+  EXPECT_EQ(nn::make_mlp(201, {16, 8}).parameter_count(), 3377u);
+  // Teacher: 1000-1000-500-250-1 ⇒ 1 627 001 ≈ the paper's 1.63 M baseline.
+  EXPECT_EQ(nn::make_mlp(1000, {1000, 500, 250}).parameter_count(), 1627001u);
+}
+
+TEST(Network, ForwardShapes) {
+  xoshiro256 rng(5);
+  auto net = nn::make_mlp(4, {8, 3});
+  net.initialize(nn::weight_init::he_normal, rng);
+  matrix_f input(10, 4, 0.5f);
+  nn::forward_workspace ws;
+  const auto& out = net.forward(input, ws);
+  EXPECT_EQ(out.rows(), 10u);
+  EXPECT_EQ(out.cols(), 1u);
+}
+
+TEST(Network, PredictConsistentWithBatchForward) {
+  xoshiro256 rng(6);
+  auto net = nn::make_mlp(5, {7, 3});
+  net.initialize(nn::weight_init::he_normal, rng);
+  matrix_f input(3, 5);
+  for (auto& v : input.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+  nn::forward_workspace ws;
+  const auto& out = net.forward(input, ws);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(net.predict_logit(input.row(r)), out(r, 0), 1e-5);
+  }
+}
+
+TEST(Network, PredictProbabilityIsSigmoidOfLogit) {
+  xoshiro256 rng(7);
+  auto net = nn::make_mlp(3, {4});
+  net.initialize(nn::weight_init::he_normal, rng);
+  const std::vector<float> x{0.1f, -0.2f, 0.3f};
+  const float logit = net.predict_logit(x);
+  EXPECT_NEAR(net.predict_probability(x), 1.0 / (1.0 + std::exp(-logit)),
+              1e-6);
+  EXPECT_EQ(net.predict_state(x), logit >= 0.0f);
+}
+
+TEST(Network, RejectsBadInput) {
+  auto net = nn::make_mlp(4, {2});
+  const std::vector<float> wrong(3);
+  EXPECT_THROW(net.predict_logit(wrong), invalid_argument_error);
+  EXPECT_THROW(nn::network(0, {{1, nn::activation::relu}}),
+               invalid_argument_error);
+}
+
+// Finite-difference gradient check across every parameter of a small net.
+// Sigmoid hidden layers keep the loss smooth: ReLU kinks would bias the
+// numeric derivative whenever a pre-activation crosses zero within ±eps
+// (the ReLU backward path is exercised by the training-convergence tests).
+TEST(Gradients, AnalyticMatchesFiniteDifference) {
+  xoshiro256 rng(8);
+  nn::network net(3, {{4, nn::activation::sigmoid},
+                      {2, nn::activation::sigmoid},
+                      {1, nn::activation::identity}});
+  net.initialize(nn::weight_init::he_normal, rng);
+
+  matrix_f features(6, 3);
+  std::vector<float> labels(6);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      features(r, c) = static_cast<float>(rng.uniform(-1, 1));
+    }
+    labels[r] = (r % 2 == 0) ? 1.0f : 0.0f;
+  }
+  const nn::bce_with_logits_loss loss(labels);
+  std::vector<std::size_t> indices(6);
+  for (std::size_t i = 0; i < 6; ++i) indices[i] = i;
+
+  // Analytic gradients.
+  nn::forward_workspace ws;
+  nn::gradient_buffers grads;
+  matrix_f d_logits;
+  const auto& logits = net.forward(features, ws);
+  loss.compute(logits, indices, d_logits);
+  net.backward(features, ws, d_logits, grads);
+
+  // Numeric gradients for every layer/tensor element.
+  const float eps = 1e-3f;
+  auto loss_value = [&]() {
+    nn::forward_workspace ws2;
+    matrix_f d2;
+    return loss.compute(net.forward(features, ws2), indices, d2);
+  };
+  for (std::size_t l = 0; l < net.layer_count(); ++l) {
+    auto weights = net.layer(l).weights().flat();
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const float saved = weights[i];
+      weights[i] = saved + eps;
+      const double up = loss_value();
+      weights[i] = saved - eps;
+      const double down = loss_value();
+      weights[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(grads.d_weights[l].flat()[i], numeric, 5e-3)
+          << "layer " << l << " weight " << i;
+    }
+    auto bias = net.layer(l).bias();
+    for (std::size_t i = 0; i < bias.size(); ++i) {
+      const float saved = bias[i];
+      bias[i] = saved + eps;
+      const double up = loss_value();
+      bias[i] = saved - eps;
+      const double down = loss_value();
+      bias[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(grads.d_bias[l][i], numeric, 5e-3)
+          << "layer " << l << " bias " << i;
+    }
+  }
+}
+
+TEST(Gradients, DistillationLossGradientCheck) {
+  xoshiro256 rng(9);
+  nn::network net(2, {{3, nn::activation::sigmoid},
+                      {1, nn::activation::identity}});
+  net.initialize(nn::weight_init::he_normal, rng);
+
+  matrix_f features(4, 2);
+  std::vector<float> labels{1, 0, 1, 0};
+  std::vector<float> teacher{2.5f, -1.0f, 0.7f, -3.0f};
+  for (auto& v : features.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+  const nn::distillation_loss loss(
+      labels, teacher,
+      {.alpha = 0.3, .temperature = 2.0,
+       .mode = nn::soften_mode::soft_probability});
+  std::vector<std::size_t> indices{0, 1, 2, 3};
+
+  nn::forward_workspace ws;
+  nn::gradient_buffers grads;
+  matrix_f d_logits;
+  loss.compute(net.forward(features, ws), indices, d_logits);
+  net.backward(features, ws, d_logits, grads);
+
+  const float eps = 1e-3f;
+  auto loss_value = [&]() {
+    nn::forward_workspace ws2;
+    matrix_f d2;
+    return loss.compute(net.forward(features, ws2), indices, d2);
+  };
+  auto weights = net.layer(0).weights().flat();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const float saved = weights[i];
+    weights[i] = saved + eps;
+    const double up = loss_value();
+    weights[i] = saved - eps;
+    const double down = loss_value();
+    weights[i] = saved;
+    EXPECT_NEAR(grads.d_weights[0].flat()[i], (up - down) / (2.0 * eps), 5e-3);
+  }
+}
+
+TEST(Loss, BceMatchesClosedForm) {
+  const std::vector<float> labels{1.0f, 0.0f};
+  const nn::bce_with_logits_loss loss(labels);
+  matrix_f logits(2, 1);
+  logits(0, 0) = 2.0f;   // label 1 → loss = softplus(2) − 2
+  logits(1, 0) = -1.0f;  // label 0 → loss = softplus(−1)
+  matrix_f d;
+  const std::vector<std::size_t> idx{0, 1};
+  const double value = loss.compute(logits, idx, d);
+  const double expected =
+      0.5 * ((std::log1p(std::exp(-2.0))) + std::log1p(std::exp(-1.0)));
+  EXPECT_NEAR(value, expected, 1e-9);
+}
+
+TEST(Loss, DistillationInterpolatesBetweenTerms) {
+  const std::vector<float> labels{1.0f};
+  const std::vector<float> teacher{4.0f};
+  matrix_f logits(1, 1);
+  logits(0, 0) = 4.0f;  // student == teacher ⇒ KD term = 0
+  const std::vector<std::size_t> idx{0};
+  matrix_f d;
+
+  const nn::distillation_loss pure_kd(
+      labels, teacher, {.alpha = 0.0, .temperature = 2.0});
+  EXPECT_NEAR(pure_kd.compute(logits, idx, d), 0.0, 1e-9);
+
+  const nn::distillation_loss pure_ce(
+      labels, teacher, {.alpha = 1.0, .temperature = 2.0});
+  const nn::bce_with_logits_loss bce(labels);
+  matrix_f d2;
+  EXPECT_NEAR(pure_ce.compute(logits, idx, d), bce.compute(logits, idx, d2),
+              1e-9);
+}
+
+TEST(Loss, DistillationValidatesConfig) {
+  const std::vector<float> labels{1.0f};
+  const std::vector<float> teacher{1.0f};
+  EXPECT_THROW(nn::distillation_loss(labels, teacher, {.alpha = 1.5}),
+               invalid_argument_error);
+  EXPECT_THROW(nn::distillation_loss(labels, teacher, {.temperature = 0.5}),
+               invalid_argument_error);
+}
+
+TEST(Training, LearnsLinearlySeparableData) {
+  xoshiro256 rng(10);
+  const std::size_t n = 400;
+  matrix_f features(n, 2);
+  std::vector<float> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool cls = i % 2 == 0;
+    const double cx = cls ? 1.0 : -1.0;
+    features(i, 0) = static_cast<float>(cx + rng.normal(0.0, 0.3));
+    features(i, 1) = static_cast<float>(-cx + rng.normal(0.0, 0.3));
+    labels[i] = cls ? 1.0f : 0.0f;
+  }
+  auto net = nn::make_mlp(2, {8});
+  net.initialize(nn::weight_init::he_normal, rng);
+  const nn::bce_with_logits_loss loss(labels);
+  const auto result = nn::train_network(
+      net, features, loss,
+      {.epochs = 30, .batch_size = 32, .learning_rate = 0.01f, .seed = 3});
+  EXPECT_GT(result.epochs_run, 0u);
+  EXPECT_LT(result.final_loss(), 0.2);
+  EXPECT_GT(nn::classification_accuracy(net, features, labels), 0.97);
+}
+
+TEST(Training, LearnsXorWithHiddenLayer) {
+  xoshiro256 rng(11);
+  const std::size_t n = 600;
+  matrix_f features(n, 2);
+  std::vector<float> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool a = rng.bernoulli(0.5);
+    const bool b = rng.bernoulli(0.5);
+    features(i, 0) = (a ? 1.0f : -1.0f) +
+                     static_cast<float>(rng.normal(0.0, 0.15));
+    features(i, 1) = (b ? 1.0f : -1.0f) +
+                     static_cast<float>(rng.normal(0.0, 0.15));
+    labels[i] = (a != b) ? 1.0f : 0.0f;
+  }
+  auto net = nn::make_mlp(2, {16, 8});
+  net.initialize(nn::weight_init::he_normal, rng);
+  const nn::bce_with_logits_loss loss(labels);
+  nn::train_network(net, features, loss,
+                    {.epochs = 60, .batch_size = 32,
+                     .learning_rate = 0.01f, .seed = 4});
+  EXPECT_GT(nn::classification_accuracy(net, features, labels), 0.95);
+}
+
+TEST(Training, EarlyStoppingTriggers) {
+  // Labels independent of features: the loss plateaus at ln 2 and the
+  // relative-improvement criterion must fire well before 200 epochs.
+  xoshiro256 rng(12);
+  matrix_f features(128, 2);
+  std::vector<float> labels(128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    features(i, 0) = static_cast<float>(rng.normal());
+    features(i, 1) = static_cast<float>(rng.normal());
+    labels[i] = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  auto net = nn::make_mlp(2, {4});
+  net.initialize(nn::weight_init::he_normal, rng);
+  const nn::bce_with_logits_loss loss(labels);
+  const auto result = nn::train_network(
+      net, features, loss,
+      {.epochs = 200, .batch_size = 32, .learning_rate = 0.01f,
+       .seed = 5, .early_stop_rel_tol = 1e-3});
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_LT(result.epochs_run, 200u);
+}
+
+TEST(Training, EpochCallbackFires) {
+  xoshiro256 rng(13);
+  matrix_f features(8, 1, 1.0f);
+  std::vector<float> labels(8, 1.0f);
+  auto net = nn::make_mlp(1, {2});
+  net.initialize(nn::weight_init::he_normal, rng);
+  const nn::bce_with_logits_loss loss(labels);
+  std::size_t calls = 0;
+  nn::train_config cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 4;
+  cfg.on_epoch = [&](std::size_t, double) { ++calls; };
+  nn::train_network(net, features, loss, cfg);
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  xoshiro256 rng(14);
+  auto net = nn::make_mlp(7, {5, 3});
+  net.initialize(nn::weight_init::he_normal, rng);
+  std::stringstream stream;
+  nn::save_network(net, stream);
+  const auto restored = nn::load_network(stream);
+
+  EXPECT_EQ(restored.input_dim(), net.input_dim());
+  EXPECT_EQ(restored.topology_string(), net.topology_string());
+  EXPECT_EQ(restored.parameter_count(), net.parameter_count());
+  const std::vector<float> probe{0.1f, 0.2f, -0.3f, 0.4f, 0.0f, -0.1f, 0.9f};
+  EXPECT_FLOAT_EQ(restored.predict_logit(probe), net.predict_logit(probe));
+}
+
+TEST(Serialize, RejectsCorruptMagic) {
+  std::stringstream stream;
+  stream << "GARBAGE!";
+  EXPECT_THROW(nn::load_network(stream), io_error);
+}
+
+TEST(Serialize, RejectsTruncatedPayload) {
+  xoshiro256 rng(15);
+  auto net = nn::make_mlp(4, {3});
+  net.initialize(nn::weight_init::he_normal, rng);
+  std::stringstream stream;
+  nn::save_network(net, stream);
+  const std::string full = stream.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(nn::load_network(cut), io_error);
+}
+
+}  // namespace

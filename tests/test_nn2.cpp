@@ -1,0 +1,266 @@
+// Optimizer-level and trainer-detail tests: update rules checked against
+// hand-computed steps, regularization effects, loss variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "klinq/common/rng.hpp"
+#include "klinq/nn/loss.hpp"
+#include "klinq/nn/network.hpp"
+#include "klinq/nn/optimizer.hpp"
+#include "klinq/nn/trainer.hpp"
+
+namespace {
+
+using namespace klinq;
+
+TEST(Sgd, PlainStepMatchesHandComputation) {
+  nn::sgd_optimizer opt({.learning_rate = 0.1f, .momentum = 0.0f});
+  std::vector<float> params{1.0f, -2.0f};
+  const std::vector<float> grads{0.5f, -1.0f};
+  opt.begin_step();
+  opt.update(0, params, grads);
+  EXPECT_FLOAT_EQ(params[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(params[1], -2.0f + 0.1f * 1.0f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  nn::sgd_optimizer opt({.learning_rate = 0.1f, .momentum = 0.5f});
+  std::vector<float> params{0.0f};
+  const std::vector<float> grads{1.0f};
+  opt.update(0, params, grads);   // v = −0.1 ; p = −0.1
+  EXPECT_FLOAT_EQ(params[0], -0.1f);
+  opt.update(0, params, grads);   // v = 0.5·(−0.1) − 0.1 = −0.15 ; p = −0.25
+  EXPECT_FLOAT_EQ(params[0], -0.25f);
+}
+
+TEST(Sgd, WeightDecayAddsL2Gradient) {
+  nn::sgd_optimizer opt(
+      {.learning_rate = 0.1f, .momentum = 0.0f, .weight_decay = 0.5f});
+  std::vector<float> params{2.0f};
+  const std::vector<float> grads{0.0f};
+  opt.update(0, params, grads);  // g = 0 + 0.5·2 = 1 → p = 2 − 0.1
+  EXPECT_FLOAT_EQ(params[0], 1.9f);
+}
+
+TEST(Adam, FirstStepHasUnitScaleTimesLr) {
+  // With bias correction, the first Adam step is ≈ lr·sign(grad).
+  nn::adam_optimizer opt({.learning_rate = 0.01f});
+  std::vector<float> params{0.0f, 0.0f};
+  const std::vector<float> grads{0.3f, -7.0f};
+  opt.begin_step();
+  opt.update(0, params, grads);
+  EXPECT_NEAR(params[0], -0.01f, 1e-4);
+  EXPECT_NEAR(params[1], 0.01f, 1e-4);
+}
+
+TEST(Adam, RequiresBeginStep) {
+  nn::adam_optimizer opt({});
+  std::vector<float> params{0.0f};
+  const std::vector<float> grads{1.0f};
+  EXPECT_THROW(opt.update(0, params, grads), invalid_argument_error);
+}
+
+TEST(Adam, DecoupledWeightDecayShrinksIdleParameters) {
+  nn::adam_optimizer opt({.learning_rate = 0.1f, .weight_decay = 0.1f});
+  std::vector<float> params{10.0f};
+  const std::vector<float> grads{0.0f};
+  for (int step = 0; step < 10; ++step) {
+    opt.begin_step();
+    opt.update(0, params, grads);
+  }
+  // Pure decay: ×(1 − lr·wd)^10 = 0.99^10.
+  EXPECT_NEAR(params[0], 10.0f * std::pow(0.99f, 10), 1e-3);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimize (p − 3)²: gradient 2(p − 3).
+  nn::adam_optimizer opt({.learning_rate = 0.05f});
+  std::vector<float> params{-5.0f};
+  for (int step = 0; step < 2000; ++step) {
+    const std::vector<float> grads{2.0f * (params[0] - 3.0f)};
+    opt.begin_step();
+    opt.update(0, params, grads);
+  }
+  EXPECT_NEAR(params[0], 3.0f, 1e-2);
+}
+
+TEST(Adam, TensorSlotsAreIndependent) {
+  nn::adam_optimizer opt({.learning_rate = 0.01f});
+  std::vector<float> a{0.0f};
+  std::vector<float> b{0.0f};
+  const std::vector<float> ga{1.0f};
+  const std::vector<float> gb{-1.0f};
+  for (int step = 0; step < 5; ++step) {
+    opt.begin_step();
+    opt.update(0, a, ga);
+    opt.update(1, b, gb);
+  }
+  EXPECT_LT(a[0], 0.0f);
+  EXPECT_GT(b[0], 0.0f);
+  EXPECT_NEAR(a[0], -b[0], 1e-6);  // symmetric problems, symmetric state
+}
+
+TEST(Optimizer, SizeMismatchThrows) {
+  nn::adam_optimizer adam({});
+  adam.begin_step();
+  std::vector<float> params{0.0f, 0.0f};
+  const std::vector<float> grads{1.0f};
+  EXPECT_THROW(adam.update(0, params, grads), invalid_argument_error);
+  nn::sgd_optimizer sgd({});
+  EXPECT_THROW(sgd.update(0, params, grads), invalid_argument_error);
+}
+
+TEST(Loss, DistillationRawLogitModeGradCheck) {
+  xoshiro256 rng(3);
+  nn::network net(2, {{3, nn::activation::sigmoid},
+                      {1, nn::activation::identity}});
+  net.initialize(nn::weight_init::he_normal, rng);
+  la::matrix_f features(4, 2);
+  for (auto& v : features.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+  const std::vector<float> labels{1, 0, 0, 1};
+  const std::vector<float> teacher{0.5f, -2.0f, -0.3f, 4.0f};
+  const nn::distillation_loss loss(
+      labels, teacher,
+      {.alpha = 0.6, .temperature = 3.0, .mode = nn::soften_mode::raw_logit});
+  const std::vector<std::size_t> idx{0, 1, 2, 3};
+
+  nn::forward_workspace ws;
+  nn::gradient_buffers grads;
+  la::matrix_f d_logits;
+  loss.compute(net.forward(features, ws), idx, d_logits);
+  net.backward(features, ws, d_logits, grads);
+
+  auto loss_value = [&]() {
+    nn::forward_workspace ws2;
+    la::matrix_f d2;
+    return loss.compute(net.forward(features, ws2), idx, d2);
+  };
+  const float eps = 1e-3f;
+  auto weights = net.layer(0).weights().flat();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const float saved = weights[i];
+    weights[i] = saved + eps;
+    const double up = loss_value();
+    weights[i] = saved - eps;
+    const double down = loss_value();
+    weights[i] = saved;
+    EXPECT_NEAR(grads.d_weights[0].flat()[i], (up - down) / (2.0 * eps), 5e-3);
+  }
+}
+
+TEST(Loss, TemperatureSoftensKdGradient) {
+  // Higher temperature ⇒ smaller KD gradient magnitude for the same logits.
+  const std::vector<float> labels{1.0f};
+  const std::vector<float> teacher{4.0f};
+  la::matrix_f logits(1, 1);
+  logits(0, 0) = -4.0f;  // far from the teacher
+  const std::vector<std::size_t> idx{0};
+  la::matrix_f d_cold;
+  la::matrix_f d_hot;
+  nn::distillation_loss cold(labels, teacher, {.alpha = 0.0,
+                                               .temperature = 1.0});
+  nn::distillation_loss hot(labels, teacher, {.alpha = 0.0,
+                                              .temperature = 8.0});
+  cold.compute(logits, idx, d_cold);
+  hot.compute(logits, idx, d_hot);
+  EXPECT_GT(std::abs(d_cold(0, 0)), std::abs(d_hot(0, 0)));
+}
+
+TEST(Trainer, MakeMlpWithoutHiddenIsLogisticRegression) {
+  xoshiro256 rng(4);
+  auto net = nn::make_mlp(3, {});
+  EXPECT_EQ(net.layer_count(), 1u);
+  EXPECT_EQ(net.parameter_count(), 4u);  // 3 weights + bias
+  net.initialize(nn::weight_init::he_normal, rng);
+
+  la::matrix_f features(200, 3);
+  std::vector<float> labels(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const bool cls = i % 2 == 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      features(i, c) =
+          static_cast<float>((cls ? 0.8 : -0.8) + rng.normal(0.0, 0.5));
+    }
+    labels[i] = cls ? 1.0f : 0.0f;
+  }
+  const nn::bce_with_logits_loss loss(labels);
+  nn::train_network(net, features, loss,
+                    {.epochs = 30, .batch_size = 16, .learning_rate = 0.05f});
+  EXPECT_GT(nn::classification_accuracy(net, features, labels), 0.9);
+}
+
+TEST(Trainer, NoiseAugmentationActsAsRegularizer) {
+  // Tiny dataset, over-parameterized net: augmentation must not destroy
+  // training and keeps weights smaller (a proxy for regularization).
+  xoshiro256 rng(5);
+  la::matrix_f features(40, 10);
+  std::vector<float> labels(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const bool cls = i % 2 == 0;
+    for (std::size_t c = 0; c < 10; ++c) {
+      features(i, c) =
+          static_cast<float>((cls ? 0.4 : -0.4) + rng.normal(0.0, 1.0));
+    }
+    labels[i] = cls ? 1.0f : 0.0f;
+  }
+  auto train_once = [&](float aug) {
+    auto net = nn::make_mlp(10, {32});
+    xoshiro256 init_rng(6);
+    net.initialize(nn::weight_init::he_normal, init_rng);
+    const nn::bce_with_logits_loss loss(labels);
+    nn::train_network(net, features, loss,
+                      {.epochs = 60, .batch_size = 8,
+                       .learning_rate = 0.01f,
+                       .augment_noise_sigma = aug, .seed = 7});
+    double norm = 0.0;
+    for (const float w : net.layer(0).weights().flat()) {
+      norm += static_cast<double>(w) * w;
+    }
+    return norm;
+  };
+  EXPECT_LT(train_once(1.0f), train_once(0.0f));
+}
+
+TEST(Trainer, RejectsBadConfigs) {
+  auto net = nn::make_mlp(2, {2});
+  la::matrix_f features(4, 2, 1.0f);
+  const std::vector<float> labels{1, 0, 1, 0};
+  const nn::bce_with_logits_loss loss(labels);
+  EXPECT_THROW(
+      nn::train_network(net, features, loss, {.epochs = 1, .batch_size = 0}),
+      invalid_argument_error);
+  la::matrix_f wrong(4, 3, 1.0f);
+  EXPECT_THROW(nn::train_network(net, wrong, loss, {.epochs = 1}),
+               invalid_argument_error);
+  la::matrix_f empty(0, 2);
+  EXPECT_THROW(nn::train_network(net, empty, loss, {.epochs = 1}),
+               invalid_argument_error);
+}
+
+TEST(Trainer, ShuffleOffIsDeterministicAcrossRuns) {
+  auto make_and_train = [&] {
+    auto net = nn::make_mlp(2, {4});
+    xoshiro256 rng(8);
+    net.initialize(nn::weight_init::he_normal, rng);
+    la::matrix_f features(32, 2);
+    std::vector<float> labels(32);
+    xoshiro256 data_rng(9);
+    for (std::size_t i = 0; i < 32; ++i) {
+      features(i, 0) = static_cast<float>(data_rng.normal());
+      features(i, 1) = static_cast<float>(data_rng.normal());
+      labels[i] = data_rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    }
+    const nn::bce_with_logits_loss loss(labels);
+    nn::train_config cfg;
+    cfg.epochs = 5;
+    cfg.batch_size = 8;
+    cfg.shuffle = false;
+    const auto result = nn::train_network(net, features, loss, cfg);
+    return result.epoch_losses;
+  };
+  EXPECT_EQ(make_and_train(), make_and_train());
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+// Cross-module property tests: invariants checked over randomized sweeps
+// (parameterized by seed) rather than hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "klinq/common/math.hpp"
+#include "klinq/common/rng.hpp"
+#include "klinq/data/trace_dataset.hpp"
+#include "klinq/dsp/averager.hpp"
+#include "klinq/dsp/matched_filter.hpp"
+#include "klinq/fixed/fixed.hpp"
+#include "klinq/hw/cycle_model.hpp"
+#include "klinq/hw/quantized_network.hpp"
+#include "klinq/nn/serialize.hpp"
+
+namespace {
+
+using namespace klinq;
+using fx::q16_16;
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- averager: balanced-partition property ---------------------------------
+
+TEST_P(SeededProperty, AveragerPartitionIsBalancedAndComplete) {
+  xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t groups = 1 + rng.uniform_index(64);
+    const std::size_t n = groups + rng.uniform_index(1000);
+    const dsp::interval_averager avg(groups);
+    std::size_t total = 0;
+    std::size_t min_size = n;
+    std::size_t max_size = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t size = avg.group_size(g, n);
+      EXPECT_GT(size, 0u);
+      total += size;
+      min_size = std::min(min_size, size);
+      max_size = std::max(max_size, size);
+    }
+    EXPECT_EQ(total, n);                 // complete cover, no overlap
+    EXPECT_LE(max_size - min_size, 1u);  // balanced within one sample
+  }
+}
+
+TEST_P(SeededProperty, AveragerPreservesConstantTraces) {
+  xoshiro256 rng(GetParam() ^ 0x11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t groups = 1 + rng.uniform_index(32);
+    const std::size_t n = groups + rng.uniform_index(400);
+    const double value = rng.uniform(-50.0, 50.0);
+    const dsp::interval_averager avg(groups);
+    std::vector<float> trace(2 * n, static_cast<float>(value));
+    std::vector<float> out(avg.output_width());
+    avg.apply(trace, n, out);
+    for (const float v : out) EXPECT_NEAR(v, value, 1e-3);
+  }
+}
+
+// --- dataset: slicing composition -------------------------------------------
+
+TEST_P(SeededProperty, DatasetSliceComposes) {
+  xoshiro256 rng(GetParam() ^ 0x22);
+  data::trace_dataset ds(6, 40);
+  ds.resize_traces(6);
+  std::vector<float> trace(80);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (auto& v : trace) v = static_cast<float>(rng.normal());
+    ds.set_trace(r, trace, r % 2 == 0, static_cast<std::uint8_t>(r));
+  }
+  // slice(slice(ds, 30), 10) must equal slice(ds, 10).
+  const auto via_two_steps = ds.sliced_to_samples(30).sliced_to_samples(10);
+  const auto direct = ds.sliced_to_samples(10);
+  ASSERT_EQ(via_two_steps.feature_width(), direct.feature_width());
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < direct.feature_width(); ++c) {
+      EXPECT_FLOAT_EQ(via_two_steps.trace(r)[c], direct.trace(r)[c]);
+    }
+  }
+}
+
+// --- fixed point: algebraic invariants --------------------------------------
+
+TEST_P(SeededProperty, FixedAdditionIsCommutativeAndMonotone) {
+  xoshiro256 rng(GetParam() ^ 0x33);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = q16_16::from_double(rng.uniform(-20000, 20000));
+    const auto b = q16_16::from_double(rng.uniform(-20000, 20000));
+    const auto c = q16_16::from_double(rng.uniform(0, 100));
+    EXPECT_EQ((a + b).raw(), (b + a).raw());
+    EXPECT_GE((a + c).raw(), a.raw());  // adding non-negative never decreases
+  }
+}
+
+TEST_P(SeededProperty, FixedNegationIsInvolutionAwayFromRail) {
+  xoshiro256 rng(GetParam() ^ 0x44);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = q16_16::from_double(rng.uniform(-30000, 30000));
+    EXPECT_EQ((-(-a)).raw(), a.raw());
+  }
+}
+
+TEST_P(SeededProperty, FixedMultiplicationOrderIndependent) {
+  xoshiro256 rng(GetParam() ^ 0x55);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = q16_16::from_double(rng.uniform(-100, 100));
+    const auto b = q16_16::from_double(rng.uniform(-100, 100));
+    EXPECT_EQ((a * b).raw(), (b * a).raw());
+  }
+}
+
+TEST_P(SeededProperty, FixedCastWideningIsLossless) {
+  xoshiro256 rng(GetParam() ^ 0x66);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto narrow = fx::q8_8::from_double(rng.uniform(-100, 100));
+    const auto wide = fx::fixed_cast<q16_16>(narrow);
+    const auto back = fx::fixed_cast<fx::q8_8>(wide);
+    EXPECT_EQ(back.raw(), narrow.raw());
+  }
+}
+
+// --- matched filter: SNR improvement property --------------------------------
+
+TEST_P(SeededProperty, MatchedFilterBeatsSingleSampleSnr) {
+  xoshiro256 rng(GetParam() ^ 0x77);
+  const std::size_t n = 50;
+  const std::size_t shots = 400;
+  data::trace_dataset ds(shots, n);
+  ds.resize_traces(shots);
+  std::vector<float> trace(2 * n);
+  const double delta = 0.3;  // per-sample separation, sigma = 1
+  for (std::size_t s = 0; s < shots; ++s) {
+    const bool excited = s % 2 == 1;
+    for (auto& v : trace) {
+      v = static_cast<float>((excited ? -delta : delta) + rng.normal());
+    }
+    ds.set_trace(s, trace, excited);
+  }
+  const auto mf = dsp::matched_filter::fit(ds);
+  running_stats out0;
+  running_stats out1;
+  for (std::size_t s = 0; s < shots; ++s) {
+    (ds.label_state(s) ? out1 : out0).add(mf.apply(ds.trace(s)));
+  }
+  const double mf_snr = std::abs(out0.mean() - out1.mean()) /
+                        std::max(out0.stddev(), out1.stddev());
+  // Integrating 2n samples should multiply the SNR by ≈ sqrt(2n) ≈ 10;
+  // require at least half of that to be robust to estimation noise.
+  EXPECT_GT(mf_snr, 0.5 * 2.0 * delta * std::sqrt(2.0 * n) / 2.0);
+}
+
+// --- network serialization fuzz ----------------------------------------------
+
+TEST_P(SeededProperty, RandomNetworkSerializationRoundTrips) {
+  xoshiro256 rng(GetParam() ^ 0x88);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t input = 1 + rng.uniform_index(40);
+    std::vector<std::size_t> hidden;
+    const std::size_t depth = rng.uniform_index(3);
+    for (std::size_t l = 0; l < depth; ++l) {
+      hidden.push_back(1 + rng.uniform_index(24));
+    }
+    auto net = nn::make_mlp(input, hidden);
+    net.initialize(nn::weight_init::xavier_uniform, rng);
+
+    std::stringstream stream;
+    nn::save_network(net, stream);
+    const auto restored = nn::load_network(stream);
+    ASSERT_EQ(restored.topology_string(), net.topology_string());
+
+    std::vector<float> probe(input);
+    for (auto& v : probe) v = static_cast<float>(rng.uniform(-2, 2));
+    EXPECT_FLOAT_EQ(restored.predict_logit(probe), net.predict_logit(probe));
+  }
+}
+
+// --- quantized network: decision agreement on random nets --------------------
+
+TEST_P(SeededProperty, QuantizedDecisionsTrackFloatOnConfidentInputs) {
+  xoshiro256 rng(GetParam() ^ 0x99);
+  auto net = nn::make_mlp(8, {12, 6});
+  net.initialize(nn::weight_init::he_normal, rng);
+  const hw::quantized_network<q16_16> fixed_net(net);
+  std::size_t checked = 0;
+  std::size_t agreed = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<float> input(8);
+    for (auto& v : input) v = static_cast<float>(rng.uniform(-2, 2));
+    const float logit = net.predict_logit(input);
+    if (std::abs(logit) < 0.05f) continue;  // near-threshold: either is fine
+    std::vector<q16_16> fixed_input;
+    for (const float v : input) fixed_input.push_back(q16_16::from_double(v));
+    ++checked;
+    agreed += (fixed_net.predict_state(fixed_input) == (logit >= 0)) ? 1 : 0;
+  }
+  ASSERT_GT(checked, 100u);
+  EXPECT_EQ(agreed, checked);  // Q16.16 never flips a confident decision
+}
+
+// --- cycle model monotonicity -------------------------------------------------
+
+TEST_P(SeededProperty, LatencyMonotoneInFirstLayerWidth) {
+  xoshiro256 rng(GetParam() ^ 0xAA);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t small_width = 2 + rng.uniform_index(100);
+    const std::size_t big_width = small_width * 2;
+    hw::datapath_config small_config = hw::fnn_a_datapath();
+    small_config.layer_inputs[0] = small_width;
+    hw::datapath_config big_config = hw::fnn_a_datapath();
+    big_config.layer_inputs[0] = big_width;
+    for (const auto mode :
+         {hw::latency_mode::analytic, hw::latency_mode::paper_calibrated}) {
+      EXPECT_LE(hw::compute_latency(small_config, mode).total_serial_cycles,
+                hw::compute_latency(big_config, mode).total_serial_cycles);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 0xBEEFu));
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Structural tests of the Verilog emitter: the generated RTL must contain
+// exactly the trained parameters, balanced module structure, and the
+// documented interface. (No simulator in this environment; correctness of
+// the numerics is covered by the bit-accurate C++ twin the RTL mirrors.)
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "klinq/common/rng.hpp"
+#include "klinq/hw/quantized_network.hpp"
+#include "klinq/hw/verilog_emitter.hpp"
+#include "klinq/nn/network.hpp"
+
+namespace {
+
+using namespace klinq;
+
+hw::quantized_network<fx::q16_16> small_net(std::uint64_t seed = 3) {
+  xoshiro256 rng(seed);
+  auto net = nn::make_mlp(31, {16, 8});  // FNN-A shape
+  net.initialize(nn::weight_init::he_normal, rng);
+  return hw::quantized_network<fx::q16_16>(net);
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Verilog, ContainsModuleWithConfiguredName) {
+  const auto rtl = hw::emit_student_verilog(small_net(),
+                                            {.module_name = "my_readout"});
+  EXPECT_NE(rtl.find("module my_readout ("), std::string::npos);
+  EXPECT_NE(rtl.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, EmitsEveryParameterExactlyOnce) {
+  const auto net = small_net();
+  const auto rtl = hw::emit_student_verilog(net);
+  // Every weight/bias appears as one 32'h literal; the two helper functions
+  // contribute the four saturation-rail constants (sh, not 'h).
+  EXPECT_EQ(count_occurrences(rtl, "32'h"), net.parameter_count());
+}
+
+TEST(Verilog, DeclaresInterfacePorts) {
+  const auto rtl = hw::emit_student_verilog(small_net());
+  EXPECT_NE(rtl.find("input  logic clk"), std::string::npos);
+  EXPECT_NE(rtl.find("input  logic in_valid"), std::string::npos);
+  // 31 inputs × 32 bits ⇒ bus [991:0].
+  EXPECT_NE(rtl.find("[991:0] in_bus"), std::string::npos);
+  EXPECT_NE(rtl.find("output logic out_state"), std::string::npos);
+  EXPECT_NE(rtl.find("output logic signed [31:0] out_logit"),
+            std::string::npos);
+}
+
+TEST(Verilog, ImplementsSignBitReluAndSaturation) {
+  const auto rtl = hw::emit_student_verilog(small_net());
+  EXPECT_NE(rtl.find("sign-bit ReLU"), std::string::npos);
+  EXPECT_NE(rtl.find("function automatic logic signed [31:0] sat64"),
+            std::string::npos);
+  EXPECT_NE(rtl.find("qmul"), std::string::npos);
+  // Q16.16 post-multiply scaling: arithmetic shift right by 16.
+  EXPECT_NE(rtl.find(">>> 16"), std::string::npos);
+}
+
+TEST(Verilog, OneWeightArrayPerLayer) {
+  const auto rtl = hw::emit_student_verilog(small_net());
+  EXPECT_NE(rtl.find("L0_W [0:495]"), std::string::npos);  // 16×31
+  EXPECT_NE(rtl.find("L1_W [0:127]"), std::string::npos);  // 8×16
+  EXPECT_NE(rtl.find("L2_W [0:7]"), std::string::npos);    // 1×8
+  EXPECT_NE(rtl.find("L0_B [0:15]"), std::string::npos);
+  EXPECT_NE(rtl.find("L2_B [0:0]"), std::string::npos);
+}
+
+TEST(Verilog, DeterministicOutput) {
+  const auto a = hw::emit_student_verilog(small_net(7));
+  const auto b = hw::emit_student_verilog(small_net(7));
+  EXPECT_EQ(a, b);
+  const auto c = hw::emit_student_verilog(small_net(8));
+  EXPECT_NE(a, c);  // different weights ⇒ different literals
+}
+
+TEST(Verilog, TopologyCommentMatchesNetwork) {
+  const auto rtl = hw::emit_student_verilog(small_net());
+  EXPECT_NE(rtl.find("topology: 31 16 8 -> 1 ; 657 parameters"),
+            std::string::npos);
+}
+
+TEST(Verilog, TestbenchInstantiatesDut) {
+  const auto tb = hw::emit_student_testbench(small_net(),
+                                             {.module_name = "my_readout"});
+  EXPECT_NE(tb.find("module my_readout_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("my_readout dut (.*);"), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+}
+
+TEST(Verilog, BalancedBeginEndStructure) {
+  const auto rtl = hw::emit_student_verilog(small_net());
+  // "begin"/"end" tokens: count with word boundaries via regex.
+  const std::regex begin_re("\\bbegin\\b");
+  const std::regex end_re("\\bend\\b");
+  const auto begins = std::distance(
+      std::sregex_iterator(rtl.begin(), rtl.end(), begin_re), {});
+  const auto ends = std::distance(
+      std::sregex_iterator(rtl.begin(), rtl.end(), end_re), {});
+  EXPECT_EQ(begins, ends);
+  EXPECT_EQ(count_occurrences(rtl, "module "), 1u);
+  EXPECT_EQ(count_occurrences(rtl, "endmodule"), 1u);
+}
+
+TEST(Verilog, RejectsEmptyNetwork) {
+  hw::quantized_network<fx::q16_16> empty;
+  EXPECT_THROW(hw::emit_student_verilog(empty), invalid_argument_error);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+// klinq_eval — evaluate saved KLiNQ student models on freshly generated
+// test data (fixed-point path and float path, plus their agreement).
+//
+//   klinq_eval --model-dir ./models --qubits 5 --seed 42
+#include <cstdio>
+
+#include "klinq/common/cli.hpp"
+#include "klinq/core/system.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace klinq;
+  cli_parser cli("klinq_eval", "evaluate saved KLiNQ student models");
+  cli.add_option("model-dir", "directory with qubit<i>.klinq files",
+                 "./models");
+  cli.add_option("qubits", "number of qubit models to load", "5");
+  cli.add_option("traces-test", "test shots per state permutation", "300");
+  cli.add_option("seed", "dataset generation seed (test split only)", "42");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const auto n_qubits = static_cast<std::size_t>(cli.get_int("qubits"));
+    KLINQ_REQUIRE(n_qubits >= 1 && n_qubits <= 5,
+                  "--qubits must be between 1 and 5");
+    const auto system = core::klinq_system::load_directory(
+        cli.get_string("model-dir"), n_qubits);
+
+    qsim::dataset_spec spec;
+    spec.device = qsim::lienhard5q_preset();
+    spec.device.qubits.resize(n_qubits);
+    if (n_qubits < 5) {
+      la::matrix_d crosstalk(n_qubits, n_qubits, 0.0);
+      for (std::size_t i = 0; i < n_qubits; ++i) {
+        for (std::size_t j = 0; j < n_qubits; ++j) {
+          crosstalk(i, j) = spec.device.crosstalk(i, j);
+        }
+      }
+      spec.device.crosstalk = std::move(crosstalk);
+    }
+    spec.shots_per_permutation_train = 1;  // unused by evaluation
+    spec.shots_per_permutation_test =
+        static_cast<std::size_t>(cli.get_int("traces-test"));
+    spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+    std::printf("%-8s %12s %12s %12s %10s\n", "qubit", "fixed(Q16.16)",
+                "float", "agreement", "params");
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      const auto data = qsim::build_qubit_dataset(spec, q);
+      const auto& disc = system.discriminator(q);
+      std::printf("%-8zu %12.4f %12.4f %11.2f%% %10zu\n", q + 1,
+                  disc.fixed_accuracy(data.test),
+                  disc.float_accuracy(data.test),
+                  100.0 * disc.fixed_float_agreement(data.test),
+                  disc.parameter_count());
+    }
+    return 0;
+  } catch (const error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,52 @@
+// klinq_export_verilog — export a saved student model as synthesizable
+// SystemVerilog (module + testbench).
+//
+//   klinq_export_verilog --model ./models/qubit0.klinq \
+//                        --module-name klinq_q1 --out-prefix rtl/klinq_q1
+#include <cstdio>
+#include <fstream>
+
+#include "klinq/common/cli.hpp"
+#include "klinq/core/qubit_discriminator.hpp"
+#include "klinq/hw/verilog_emitter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace klinq;
+  cli_parser cli("klinq_export_verilog",
+                 "export a saved student model as SystemVerilog");
+  cli.add_option("model", "path to a qubit<i>.klinq student file",
+                 "./models/qubit0.klinq");
+  cli.add_option("module-name", "Verilog module name", "klinq_student");
+  cli.add_option("out-prefix", "output prefix (<prefix>.sv, <prefix>_tb.sv)",
+                 "klinq_student");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    std::ifstream in(cli.get_string("model"), std::ios::binary);
+    if (!in) throw io_error("cannot open model: " + cli.get_string("model"));
+    const auto discriminator = core::qubit_discriminator::load(in);
+    const auto& net = discriminator.hardware().net();
+
+    const hw::verilog_options options{
+        .module_name = cli.get_string("module-name"),
+        .banner = "exported from " + cli.get_string("model")};
+    const std::string prefix = cli.get_string("out-prefix");
+    {
+      std::ofstream out(prefix + ".sv");
+      if (!out) throw io_error("cannot write " + prefix + ".sv");
+      out << hw::emit_student_verilog(net, options);
+    }
+    {
+      std::ofstream out(prefix + "_tb.sv");
+      if (!out) throw io_error("cannot write " + prefix + "_tb.sv");
+      out << hw::emit_student_testbench(net, options);
+    }
+    std::printf("wrote %s.sv and %s_tb.sv (%zu parameters, topology %s)\n",
+                prefix.c_str(), prefix.c_str(), net.parameter_count(),
+                discriminator.student().net().topology_string().c_str());
+    return 0;
+  } catch (const error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,71 @@
+// klinq_train — train a KLiNQ system on the synthetic device and save the
+// per-qubit student models.
+//
+//   klinq_train --out-dir ./models --qubits 5 --traces-train 300 --seed 42
+//
+// Produces qubit<i>.klinq files loadable by klinq_eval,
+// klinq_export_verilog, or core::klinq_system::load_directory.
+#include <cstdio>
+#include <iostream>
+
+#include "klinq/common/cli.hpp"
+#include "klinq/common/stopwatch.hpp"
+#include "klinq/core/system.hpp"
+#include "klinq/qsim/device_params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace klinq;
+  cli_parser cli("klinq_train", "train and save a KLiNQ readout system");
+  cli.add_option("out-dir", "output directory for student models", "./models");
+  cli.add_option("qubits", "number of qubits (prefix of the 5-qubit preset)",
+                 "5");
+  cli.add_option("traces-train", "train shots per state permutation", "300");
+  cli.add_option("traces-test", "test shots per state permutation", "300");
+  cli.add_option("seed", "dataset generation seed", "42");
+  cli.add_option("teacher-epochs", "teacher training epochs", "5");
+  cli.add_flag("no-distill", "train students on hard labels only");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const auto n_qubits = static_cast<std::size_t>(cli.get_int("qubits"));
+    KLINQ_REQUIRE(n_qubits >= 1 && n_qubits <= 5,
+                  "--qubits must be between 1 and 5");
+
+    core::system_config config;
+    config.dataset.device = qsim::lienhard5q_preset();
+    if (n_qubits < 5) {
+      config.dataset.device.qubits.resize(n_qubits);
+      // Shrink the crosstalk matrix to the kept channels.
+      la::matrix_d crosstalk(n_qubits, n_qubits, 0.0);
+      for (std::size_t i = 0; i < n_qubits; ++i) {
+        for (std::size_t j = 0; j < n_qubits; ++j) {
+          crosstalk(i, j) = config.dataset.device.crosstalk(i, j);
+        }
+      }
+      config.dataset.device.crosstalk = std::move(crosstalk);
+    }
+    config.dataset.shots_per_permutation_train =
+        static_cast<std::size_t>(cli.get_int("traces-train"));
+    config.dataset.shots_per_permutation_test =
+        static_cast<std::size_t>(cli.get_int("traces-test"));
+    config.dataset.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    config.teacher.epochs =
+        static_cast<std::size_t>(cli.get_int("teacher-epochs"));
+    config.use_distillation = !cli.get_flag("no-distill");
+
+    stopwatch timer;
+    const core::klinq_system system = core::klinq_system::train(config);
+    system.save_directory(cli.get_string("out-dir"));
+    std::printf("saved %zu student model(s) to %s (%.1f s)\n",
+                system.qubit_count(), cli.get_string("out-dir").c_str(),
+                timer.seconds());
+
+    const auto report = system.evaluate(config.dataset);
+    core::print_fidelity_header(report.per_qubit.size(), std::cout);
+    core::print_fidelity_row(report, std::cout);
+    return 0;
+  } catch (const error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
