@@ -1,0 +1,128 @@
+// Google-benchmark throughput benches for the batched inference engine.
+//
+// Measures shots/sec of the dataset-scale evaluation paths at batch sizes
+// {1, 32, 256, 4096}, float and Q16.16, plus the GEMM microkernel they stand
+// on. Batch 1 is the old per-shot serial path (the batched APIs fall back to
+// it below their parallel thresholds), so the items_per_second trajectory
+// directly shows what blocking + the scratch arena + the thread pool buy.
+//
+// Machine-readable snapshots:
+//   bench_batch --benchmark_out=BENCH_batch.json --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "klinq/common/rng.hpp"
+#include "klinq/fixed/fixed.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+#include "klinq/kd/distiller.hpp"
+#include "klinq/linalg/gemm.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+namespace {
+
+using namespace klinq;
+using fx::q16_16;
+
+// Shared fixture: one easy qubit, a distilled FNN-A student, its Q16.16
+// twin, and 4096 test shots so the largest batch is a real block.
+struct fixture {
+  qsim::qubit_dataset data;
+  kd::student_model student;
+  hw::fixed_discriminator<q16_16> hw_student;
+
+  fixture() {
+    qsim::dataset_spec spec;
+    spec.device = qsim::single_qubit_test_preset();
+    spec.shots_per_permutation_train = 300;
+    spec.shots_per_permutation_test = 2048;
+    spec.seed = 5;
+    data = qsim::build_qubit_dataset(spec, 0);
+    kd::student_config config;
+    config.groups_per_quadrature = 15;
+    config.epochs = 8;
+    student = kd::distill_student(data.train, {}, config);
+    hw_student = hw::fixed_discriminator<q16_16>(student);
+  }
+};
+
+fixture& shared_fixture() {
+  static fixture f;
+  return f;
+}
+
+data::trace_dataset first_rows(const data::trace_dataset& ds,
+                               std::size_t count) {
+  std::vector<std::size_t> rows(count);
+  std::iota(rows.begin(), rows.end(), 0);
+  return ds.subset(rows);
+}
+
+/// Float student path: trace → features → FNN logit, one block per iteration.
+void BM_StudentFloatBatch(benchmark::State& state) {
+  auto& f = shared_fixture();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const data::trace_dataset block = first_rows(f.data.test, batch);
+  kd::student_scratch scratch;
+  std::vector<float> logits(batch);
+  for (auto _ : state) {
+    f.student.predict_batch(block, logits, scratch);
+    benchmark::DoNotOptimize(logits.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_StudentFloatBatch)
+    ->Arg(1)
+    ->Arg(32)
+    ->Arg(256)
+    ->Arg(4096)
+    ->UseRealTime();
+
+/// Fixed-point (Q16.16) path: quantize → AVG/NORM/MF → blocked FC datapath.
+void BM_StudentFixedBatch(benchmark::State& state) {
+  auto& f = shared_fixture();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const data::trace_dataset block = first_rows(f.data.test, batch);
+  std::vector<q16_16> registers(batch);
+  for (auto _ : state) {
+    f.hw_student.logits(block, registers);
+    benchmark::DoNotOptimize(registers.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_StudentFixedBatch)
+    ->Arg(1)
+    ->Arg(32)
+    ->Arg(256)
+    ->Arg(4096)
+    ->UseRealTime();
+
+/// The register-blocked kernel the batched float path stands on:
+/// (batch × 31) · (16 × 31)ᵀ — the student's first (widest) layer.
+void BM_GemmNtStudentLayer(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  xoshiro256 rng(17);
+  la::matrix_f a(batch, 31);
+  la::matrix_f b(16, 31);
+  for (auto& v : a.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  la::matrix_f c(batch, 16);
+  for (auto _ : state) {
+    la::gemm_nt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_GemmNtStudentLayer)->Arg(32)->Arg(256)->Arg(4096)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -107,9 +107,12 @@ void BM_StudentInferenceFixed(benchmark::State& state) {
   auto& f = shared_fixture();
   std::size_t row = 0;
   const std::size_t n = f.data.test.samples_per_quadrature();
+  // Scratch reused across shots so the bench measures the datapath, not
+  // per-shot allocation.
+  hw::discriminator_scratch<q16_16> scratch;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        f.hw_student.predict_state(f.data.test.trace(row), n));
+        f.hw_student.predict_state(f.data.test.trace(row), n, scratch));
     row = (row + 1) % f.data.test.size();
   }
   state.SetItemsProcessed(state.iterations());
@@ -124,8 +127,10 @@ void BM_QuantizedNetworkForward(benchmark::State& state) {
   std::vector<q16_16> features(f.hw_student.frontend().output_width());
   f.hw_student.frontend().extract(
       quantized, f.data.test.samples_per_quadrature(), features);
+  hw::quantized_scratch<q16_16> scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(f.hw_student.net().forward_logit(features));
+    benchmark::DoNotOptimize(
+        f.hw_student.net().forward_logit(features, scratch));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -51,6 +51,9 @@ int main() {
   std::size_t corrections = 0;
   std::size_t correct_reads = 0;
   const std::size_t shots = 200;
+  // One scratch arena reused across every shot: the measurement loop
+  // performs no per-shot heap allocation once the buffers are warm.
+  core::qubit_discriminator::measurement_scratch scratch;
   for (std::size_t shot = 0; shot < shots; ++shot) {
     // Alternate the ancilla preparation; data qubits in superposition-ish
     // random states (their channels are never read here).
@@ -62,7 +65,7 @@ int main() {
 
     const bool outcome =
         system.measure(ancilla, result.channels[ancilla],
-                       sim.samples_per_quadrature());
+                       sim.samples_per_quadrature(), scratch);
     if (outcome) ++corrections;  // feedback: would trigger conditional X
     if (outcome == ancilla_prepared) ++correct_reads;
 

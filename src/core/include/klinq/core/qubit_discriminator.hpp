@@ -5,6 +5,7 @@
 // (mid-circuit) readout.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <span>
 
@@ -30,9 +31,23 @@ class qubit_discriminator {
     return student_.parameter_count();
   }
 
+  /// Reusable buffers for repeated measure() calls (mid-circuit readout
+  /// loops): zero allocation per shot once warm.
+  using measurement_scratch = hw::discriminator_scratch<fx::q16_16>;
+
   /// Hardware-path measurement of one flattened [I|Q] trace.
   bool measure(std::span<const float> trace,
                std::size_t samples_per_quadrature) const;
+
+  /// Allocation-free per-shot measurement through caller-provided scratch.
+  bool measure(std::span<const float> trace,
+               std::size_t samples_per_quadrature,
+               measurement_scratch& scratch) const;
+
+  /// Batched hardware-path measurement: one decision (1 = state |1⟩) per
+  /// dataset row, evaluated through the blocked fixed-point engine.
+  void measure_batch(const data::trace_dataset& traces,
+                     std::span<std::uint8_t> out) const;
 
   /// Float-path accuracy on a dataset.
   double float_accuracy(const data::trace_dataset& test) const;

@@ -40,6 +40,12 @@ class klinq_system {
   bool measure(std::size_t qubit, std::span<const float> trace,
                std::size_t samples_per_quadrature) const;
 
+  /// Allocation-free variant for repeated-measurement loops; `scratch` is
+  /// reusable across qubits and shots.
+  bool measure(std::size_t qubit, std::span<const float> trace,
+               std::size_t samples_per_quadrature,
+               qubit_discriminator::measurement_scratch& scratch) const;
+
   /// Regenerates each qubit's test split and scores the fixed-point path.
   fidelity_report evaluate(const qsim::dataset_spec& spec,
                            const std::string& label = "KLiNQ") const;

@@ -10,6 +10,17 @@ bool qubit_discriminator::measure(std::span<const float> trace,
   return hardware_.predict_state(trace, samples_per_quadrature);
 }
 
+bool qubit_discriminator::measure(std::span<const float> trace,
+                                  std::size_t samples_per_quadrature,
+                                  measurement_scratch& scratch) const {
+  return hardware_.predict_state(trace, samples_per_quadrature, scratch);
+}
+
+void qubit_discriminator::measure_batch(const data::trace_dataset& traces,
+                                        std::span<std::uint8_t> out) const {
+  hardware_.predict_states(traces, out);
+}
+
 double qubit_discriminator::float_accuracy(
     const data::trace_dataset& test) const {
   return student_.accuracy(test);

@@ -43,6 +43,13 @@ bool klinq_system::measure(std::size_t qubit, std::span<const float> trace,
   return discriminator(qubit).measure(trace, samples_per_quadrature);
 }
 
+bool klinq_system::measure(
+    std::size_t qubit, std::span<const float> trace,
+    std::size_t samples_per_quadrature,
+    qubit_discriminator::measurement_scratch& scratch) const {
+  return discriminator(qubit).measure(trace, samples_per_quadrature, scratch);
+}
+
 fidelity_report klinq_system::evaluate(const qsim::dataset_spec& spec,
                                        const std::string& label) const {
   KLINQ_REQUIRE(spec.device.qubit_count() == qubit_count(),

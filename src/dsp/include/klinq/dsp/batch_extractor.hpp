@@ -1,0 +1,44 @@
+// Batched feature extraction: the dataset-scale front of the inference
+// engine.
+//
+// Runs feature_pipeline::extract over a block of traces into a preallocated
+// feature matrix, parallelized over the global thread pool. Each trace's
+// features are written directly into its output row, so steady-state
+// extraction performs no per-shot heap allocation; repeated extract() calls
+// into the same matrix reuse its storage.
+#pragma once
+
+#include <cstddef>
+
+#include "klinq/data/trace_dataset.hpp"
+#include "klinq/dsp/feature_pipeline.hpp"
+#include "klinq/linalg/matrix.hpp"
+
+namespace klinq::dsp {
+
+class batch_extractor {
+ public:
+  batch_extractor() = default;
+
+  /// Non-owning: `pipeline` must be fitted and outlive the extractor.
+  explicit batch_extractor(const feature_pipeline& pipeline);
+
+  const feature_pipeline& pipeline() const noexcept { return *pipeline_; }
+
+  /// Extracts every trace of `dataset` into `out`, resized to
+  /// (dataset.size() × output_width). Blocks of traces run in parallel on
+  /// the global thread pool; results are independent of worker count.
+  void extract(const data::trace_dataset& dataset, la::matrix_f& out) const;
+
+  /// Serial extraction of dataset rows [row_begin, row_end) into out rows
+  /// [out_row_begin, out_row_begin + count). `out` must already be sized;
+  /// no allocation. Building block for custom sharding.
+  void extract_block(const data::trace_dataset& dataset, std::size_t row_begin,
+                     std::size_t row_end, la::matrix_f& out,
+                     std::size_t out_row_begin = 0) const;
+
+ private:
+  const feature_pipeline* pipeline_ = nullptr;
+};
+
+}  // namespace klinq::dsp

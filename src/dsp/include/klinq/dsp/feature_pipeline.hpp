@@ -55,6 +55,7 @@ class feature_pipeline {
                std::span<float> out) const;
 
   /// Extracts features for every row of a dataset → (n × output_width).
+  /// Runs through batch_extractor (thread-pool-parallel over trace blocks).
   la::matrix_f extract_all(const data::trace_dataset& dataset) const;
 
   void save(std::ostream& out) const;

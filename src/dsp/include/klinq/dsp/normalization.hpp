@@ -66,9 +66,14 @@ class feature_normalizer {
   static feature_normalizer load(std::istream& in);
 
  private:
+  /// Recomputes the cached 2^-k multipliers from shift_exponent_ (derived
+  /// state; not serialized).
+  void rebuild_pow2_scale();
+
   std::vector<float> x_min_;
   std::vector<float> sigma_;
   std::vector<int> shift_exponent_;
+  std::vector<float> pow2_scale_;
   norm_mode mode_ = norm_mode::pow2_shift;
 };
 

@@ -1,0 +1,53 @@
+#include "klinq/dsp/batch_extractor.hpp"
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/thread_pool.hpp"
+
+namespace klinq::dsp {
+
+namespace {
+/// Datasets smaller than this extract serially — pool dispatch costs more
+/// than the work.
+constexpr std::size_t kParallelTraceThreshold = 32;
+}  // namespace
+
+batch_extractor::batch_extractor(const feature_pipeline& pipeline)
+    : pipeline_(&pipeline) {
+  KLINQ_REQUIRE(pipeline.is_fitted(), "batch_extractor: unfitted pipeline");
+}
+
+void batch_extractor::extract(const data::trace_dataset& dataset,
+                              la::matrix_f& out) const {
+  KLINQ_REQUIRE(pipeline_ != nullptr, "batch_extractor: default-constructed");
+  const std::size_t width = pipeline_->output_width();
+  if (out.rows() != dataset.size() || out.cols() != width) {
+    out.resize(dataset.size(), width);
+  }
+  if (dataset.size() < kParallelTraceThreshold) {
+    extract_block(dataset, 0, dataset.size(), out, 0);
+    return;
+  }
+  parallel_for_chunked(0, dataset.size(),
+                       [&](std::size_t begin, std::size_t end) {
+                         extract_block(dataset, begin, end, out, begin);
+                       });
+}
+
+void batch_extractor::extract_block(const data::trace_dataset& dataset,
+                                    std::size_t row_begin, std::size_t row_end,
+                                    la::matrix_f& out,
+                                    std::size_t out_row_begin) const {
+  KLINQ_REQUIRE(pipeline_ != nullptr, "batch_extractor: default-constructed");
+  KLINQ_REQUIRE(row_begin <= row_end && row_end <= dataset.size(),
+                "batch_extractor: row range out of bounds");
+  KLINQ_REQUIRE(out_row_begin + (row_end - row_begin) <= out.rows() &&
+                    out.cols() == pipeline_->output_width(),
+                "batch_extractor: output block out of bounds");
+  const std::size_t n = dataset.samples_per_quadrature();
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    pipeline_->extract(dataset.trace(r), n,
+                       out.row(out_row_begin + (r - row_begin)));
+  }
+}
+
+}  // namespace klinq::dsp

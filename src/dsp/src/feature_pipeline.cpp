@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "klinq/common/error.hpp"
+#include "klinq/dsp/batch_extractor.hpp"
 
 namespace klinq::dsp {
 
@@ -51,11 +52,8 @@ void feature_pipeline::extract(std::span<const float> trace,
 
 la::matrix_f feature_pipeline::extract_all(
     const data::trace_dataset& dataset) const {
-  la::matrix_f features(dataset.size(), output_width());
-  for (std::size_t r = 0; r < dataset.size(); ++r) {
-    extract(dataset.trace(r), dataset.samples_per_quadrature(),
-            features.row(r));
-  }
+  la::matrix_f features;
+  batch_extractor(*this).extract(dataset, features);
   return features;
 }
 

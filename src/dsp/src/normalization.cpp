@@ -36,7 +36,18 @@ feature_normalizer feature_normalizer::fit(const la::matrix_f& features,
     out.sigma_[c] = static_cast<float>(sigma);
     out.shift_exponent_[c] = nearest_power_of_two_exponent(sigma);
   }
+  out.rebuild_pow2_scale();
   return out;
+}
+
+void feature_normalizer::rebuild_pow2_scale() {
+  // Multiplying by the exactly-representable float 2^-k matches
+  // ldexp(x, -k) bit for bit (powers of two only adjust the exponent), but
+  // avoids a libm call per feature on the extraction hot path.
+  pow2_scale_.resize(shift_exponent_.size());
+  for (std::size_t c = 0; c < shift_exponent_.size(); ++c) {
+    pow2_scale_[c] = std::ldexp(1.0f, -shift_exponent_[c]);
+  }
 }
 
 float feature_normalizer::effective_sigma(std::size_t feature) const {
@@ -52,13 +63,14 @@ void feature_normalizer::apply(std::span<float> features) const {
   KLINQ_REQUIRE(is_fitted(), "normalizer::apply before fit");
   KLINQ_REQUIRE(features.size() == feature_width(),
                 "normalizer::apply: width mismatch");
-  for (std::size_t c = 0; c < features.size(); ++c) {
-    const float centered = features[c] - x_min_[c];
-    if (mode_ == norm_mode::pow2_shift) {
-      // ldexp(x, -k) is exactly the hardware's arithmetic shift by k.
-      features[c] = std::ldexp(centered, -shift_exponent_[c]);
-    } else {
-      features[c] = centered / sigma_[c];
+  if (mode_ == norm_mode::pow2_shift) {
+    // (x − x_min) · 2^-k is exactly the hardware's arithmetic shift by k.
+    for (std::size_t c = 0; c < features.size(); ++c) {
+      features[c] = (features[c] - x_min_[c]) * pow2_scale_[c];
+    }
+  } else {
+    for (std::size_t c = 0; c < features.size(); ++c) {
+      features[c] = (features[c] - x_min_[c]) / sigma_[c];
     }
   }
 }
@@ -113,6 +125,7 @@ feature_normalizer feature_normalizer::load(std::istream& in) {
   in.read(reinterpret_cast<char*>(out.shift_exponent_.data()),
           static_cast<std::streamsize>(width * sizeof(int)));
   if (!in) throw io_error("normalizer::load: truncated payload");
+  out.rebuild_pow2_scale();
   return out;
 }
 

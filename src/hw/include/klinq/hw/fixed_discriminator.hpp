@@ -5,16 +5,33 @@
 // numerics; agreement_with_float() quantifies how often the fixed datapath
 // reproduces the float model's decision (the paper's "maintains
 // discrimination accuracy" claim for Q16.16).
+//
+// Dataset-scale evaluation goes through logits(): traces are quantized and
+// feature-extracted into cache-blocked tiles and pushed through the batched
+// fixed-point forward, parallelized over the global thread pool with one
+// scratch arena per worker chunk — bit-identical to the single-shot path.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
+#include "klinq/common/thread_pool.hpp"
 #include "klinq/data/trace_dataset.hpp"
 #include "klinq/hw/fixed_frontend.hpp"
 #include "klinq/hw/quantized_network.hpp"
 #include "klinq/kd/distiller.hpp"
 
 namespace klinq::hw {
+
+/// Reusable buffers for the full trace→decision path: the quantized trace
+/// register file, a feature tile, and the network's ping-pong arena.
+template <class Fixed>
+struct discriminator_scratch {
+  std::vector<Fixed> trace;
+  la::matrix<Fixed> features;
+  quantized_scratch<Fixed> net;
+};
 
 template <class Fixed>
 class fixed_discriminator {
@@ -31,15 +48,35 @@ class fixed_discriminator {
   const fixed_frontend<Fixed>& frontend() const noexcept { return frontend_; }
   const quantized_network<Fixed>& net() const noexcept { return net_; }
 
-  /// Output logit register for one float (ADC) trace.
+  /// Output logit register for one float (ADC) trace, through caller-provided
+  /// scratch (allocation-free when reused).
+  Fixed logit(std::span<const float> trace, std::size_t samples_per_quadrature,
+              discriminator_scratch<Fixed>& scratch) const {
+    scratch.trace.resize(trace.size());
+    fixed_frontend<Fixed>::quantize_trace(trace, scratch.trace);
+    if (scratch.features.rows() != 1 ||
+        scratch.features.cols() != frontend_.output_width()) {
+      scratch.features.resize(1, frontend_.output_width());
+    }
+    frontend_.extract(scratch.trace, samples_per_quadrature,
+                      scratch.features.row(0));
+    return net_.forward_logit(scratch.features.row(0), scratch.net);
+  }
+
+  /// Convenience single-shot overload (allocates its own scratch).
   Fixed logit(std::span<const float> trace,
               std::size_t samples_per_quadrature) const {
-    const std::vector<Fixed> quantized =
-        fixed_frontend<Fixed>::quantize_trace(trace);
-    thread_local std::vector<Fixed> features;
-    features.assign(frontend_.output_width(), Fixed::zero());
-    frontend_.extract(quantized, samples_per_quadrature, features);
-    return net_.forward_logit(features);
+    discriminator_scratch<Fixed> scratch;
+    return logit(trace, samples_per_quadrature, scratch);
+  }
+
+  /// Per-shot decision through caller-provided scratch — the repeated-
+  /// measurement (mid-circuit) hot path: zero allocation once the scratch
+  /// is warm.
+  bool predict_state(std::span<const float> trace,
+                     std::size_t samples_per_quadrature,
+                     discriminator_scratch<Fixed>& scratch) const {
+    return !logit(trace, samples_per_quadrature, scratch).sign_bit();
   }
 
   bool predict_state(std::span<const float> trace,
@@ -47,33 +84,83 @@ class fixed_discriminator {
     return !logit(trace, samples_per_quadrature).sign_bit();
   }
 
+  /// Batched ADC-to-logit evaluation: one output register per dataset row.
+  /// Parallelized over trace blocks; bit-identical to logit() per trace.
+  void logits(const data::trace_dataset& dataset, std::span<Fixed> out) const {
+    KLINQ_REQUIRE(out.size() == dataset.size(),
+                  "fixed_discriminator: one logit per trace required");
+    if (dataset.empty()) return;
+    const std::size_t n = dataset.samples_per_quadrature();
+    const auto evaluate_block = [&](std::size_t begin, std::size_t end) {
+      // One scratch arena per worker chunk: allocations are per-chunk (a
+      // handful per pool dispatch), never per shot.
+      discriminator_scratch<Fixed> scratch;
+      const std::size_t width = frontend_.output_width();
+      constexpr std::size_t kTile = quantized_network<Fixed>::kBatchTile;
+      scratch.trace.resize(dataset.feature_width());
+      for (std::size_t tile_begin = begin; tile_begin < end;
+           tile_begin += kTile) {
+        const std::size_t tile = std::min(kTile, end - tile_begin);
+        if (scratch.features.rows() != tile ||
+            scratch.features.cols() != width) {
+          scratch.features.resize(tile, width);
+        }
+        for (std::size_t s = 0; s < tile; ++s) {
+          fixed_frontend<Fixed>::quantize_trace(dataset.trace(tile_begin + s),
+                                                scratch.trace);
+          frontend_.extract(scratch.trace, n, scratch.features.row(s));
+        }
+        net_.forward_logits(scratch.features, out.subspan(tile_begin, tile),
+                            scratch.net);
+      }
+    };
+    if (dataset.size() < quantized_network<Fixed>::kBatchTile) {
+      evaluate_block(0, dataset.size());
+      return;
+    }
+    parallel_for_chunked(0, dataset.size(), evaluate_block);
+  }
+
+  /// Batched hard decisions (1 = state |1⟩), one per dataset row.
+  void predict_states(const data::trace_dataset& dataset,
+                      std::span<std::uint8_t> out) const {
+    KLINQ_REQUIRE(out.size() == dataset.size(),
+                  "fixed_discriminator: one decision per trace required");
+    std::vector<Fixed> registers(dataset.size());
+    logits(dataset, registers);
+    for (std::size_t r = 0; r < registers.size(); ++r) {
+      out[r] = registers[r].sign_bit() ? 0 : 1;
+    }
+  }
+
   /// Assignment accuracy of the fixed-point datapath on a dataset.
   double accuracy(const data::trace_dataset& dataset) const {
+    if (dataset.empty()) return 0.0;
+    std::vector<Fixed> registers(dataset.size());
+    logits(dataset, registers);
     std::size_t correct = 0;
-    for (std::size_t r = 0; r < dataset.size(); ++r) {
-      const bool predicted =
-          predict_state(dataset.trace(r), dataset.samples_per_quadrature());
+    for (std::size_t r = 0; r < registers.size(); ++r) {
+      const bool predicted = !registers[r].sign_bit();
       correct += (predicted == dataset.label_state(r)) ? 1 : 0;
     }
-    return dataset.empty() ? 0.0
-                           : static_cast<double>(correct) /
-                                 static_cast<double>(dataset.size());
+    return static_cast<double>(correct) /
+           static_cast<double>(dataset.size());
   }
 
   /// Fraction of traces where fixed and float decisions agree.
   double agreement_with_float(const kd::student_model& student,
                               const data::trace_dataset& dataset) const {
+    if (dataset.empty()) return 1.0;
+    std::vector<Fixed> registers(dataset.size());
+    logits(dataset, registers);
+    const std::vector<float> float_logits = student.predict_batch(dataset);
     std::size_t agree = 0;
-    for (std::size_t r = 0; r < dataset.size(); ++r) {
-      const bool fixed_decision =
-          predict_state(dataset.trace(r), dataset.samples_per_quadrature());
-      const bool float_decision = student.predict_state(
-          dataset.trace(r), dataset.samples_per_quadrature());
+    for (std::size_t r = 0; r < registers.size(); ++r) {
+      const bool fixed_decision = !registers[r].sign_bit();
+      const bool float_decision = float_logits[r] >= 0.0f;
       agree += (fixed_decision == float_decision) ? 1 : 0;
     }
-    return dataset.empty() ? 1.0
-                           : static_cast<double>(agree) /
-                                 static_cast<double>(dataset.size());
+    return static_cast<double>(agree) / static_cast<double>(dataset.size());
   }
 
  private:

@@ -54,11 +54,21 @@ class fixed_frontend {
   std::size_t groups_per_quadrature() const noexcept { return groups_; }
   bool uses_matched_filter() const noexcept { return use_mf_; }
 
+  /// Quantizes a float ADC trace into a caller-provided register file
+  /// (allocation-free hot path for batched evaluation).
+  static void quantize_trace(std::span<const float> trace,
+                             std::span<Fixed> out) {
+    KLINQ_REQUIRE(out.size() == trace.size(),
+                  "fixed_frontend: quantize output width != trace width");
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      out[i] = Fixed::from_double(trace[i]);
+    }
+  }
+
   /// Quantizes a float ADC trace into the fixed input register file.
   static std::vector<Fixed> quantize_trace(std::span<const float> trace) {
-    std::vector<Fixed> out;
-    out.reserve(trace.size());
-    for (const float v : trace) out.push_back(Fixed::from_double(v));
+    std::vector<Fixed> out(trace.size());
+    quantize_trace(trace, out);
     return out;
   }
 

@@ -12,14 +12,26 @@
 // Q16.16 / Q24.24) reuses one implementation.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
 #include "klinq/common/error.hpp"
 #include "klinq/fixed/fixed.hpp"
+#include "klinq/linalg/matrix.hpp"
 #include "klinq/nn/network.hpp"
 
 namespace klinq::hw {
+
+/// Reusable ping-pong activation buffers for the fixed-point forward pass.
+/// Explicit (caller-owned) rather than thread_local: const networks stay
+/// safely shareable, reentrancy is by construction, and steady-state batched
+/// evaluation performs zero heap allocations.
+template <class Fixed>
+struct quantized_scratch {
+  std::vector<Fixed> a;
+  std::vector<Fixed> b;
+};
 
 template <class Fixed>
 class quantized_network {
@@ -76,38 +88,81 @@ class quantized_network {
     return layers_[index].bias;
   }
 
-  /// Full fixed-point forward pass; returns the output logit register.
-  Fixed forward_logit(std::span<const Fixed> input) const {
+  /// Shots per cache block of the batched forward: the input tile
+  /// (kBatchTile × 201 registers for FNN-B) stays L1/L2-resident while each
+  /// weight row is streamed across it once.
+  static constexpr std::size_t kBatchTile = 64;
+
+  /// Full fixed-point forward pass through caller-provided scratch; returns
+  /// the output logit register.
+  Fixed forward_logit(std::span<const Fixed> input,
+                      quantized_scratch<Fixed>& scratch) const {
     KLINQ_REQUIRE(!layers_.empty(), "quantized_network: empty network");
     KLINQ_REQUIRE(input.size() == input_dim_,
                   "quantized_network: bad input width");
-    thread_local std::vector<Fixed> buffer_a;
-    thread_local std::vector<Fixed> buffer_b;
-    buffer_a.assign(input.begin(), input.end());
-    std::vector<Fixed>* current = &buffer_a;
-    std::vector<Fixed>* next = &buffer_b;
+    scratch.a.assign(input.begin(), input.end());
+    std::vector<Fixed>* current = &scratch.a;
+    std::vector<Fixed>* next = &scratch.b;
     for (const layer& l : layers_) {
       next->assign(l.out_dim, Fixed::zero());
       for (std::size_t neuron = 0; neuron < l.out_dim; ++neuron) {
-        // MAC with wide accumulator: products are rounded to F fractional
-        // bits (as the DSP output register), summed without intermediate
-        // clamping, saturated once at the tree root.
-        fx::fixed_accumulator<Fixed> acc;
-        const Fixed* weight_row = l.weights.data() + neuron * l.in_dim;
-        for (std::size_t i = 0; i < l.in_dim; ++i) {
-          acc.add(weight_row[i] * (*current)[i]);
-        }
-        acc.add(l.bias[neuron]);
-        Fixed value = acc.result();
-        if (l.act == nn::activation::relu) {
-          // RTL ReLU: sign-bit check.
-          if (value.sign_bit()) value = Fixed::zero();
-        }
-        (*next)[neuron] = value;
+        (*next)[neuron] = neuron_mac(l, neuron, current->data());
       }
       std::swap(current, next);
     }
     return current->front();
+  }
+
+  /// Convenience single-shot overload (allocates its own scratch).
+  Fixed forward_logit(std::span<const Fixed> input) const {
+    quantized_scratch<Fixed> scratch;
+    return forward_logit(input, scratch);
+  }
+
+  /// Batched forward: `inputs` is (shots × input_dim); writes one output
+  /// logit register per row. Shots are processed in cache-blocked tiles of
+  /// kBatchTile so each weight row loads once per tile; results are
+  /// bit-identical to forward_logit on every row. Steady-state evaluation
+  /// through a reused scratch performs zero heap allocations.
+  void forward_logits(const la::matrix<Fixed>& inputs, std::span<Fixed> out,
+                      quantized_scratch<Fixed>& scratch) const {
+    KLINQ_REQUIRE(!layers_.empty(), "quantized_network: empty network");
+    KLINQ_REQUIRE(inputs.cols() == input_dim_,
+                  "quantized_network: bad input width");
+    KLINQ_REQUIRE(out.size() == inputs.rows(),
+                  "quantized_network: one output register per shot required");
+    std::size_t max_width = input_dim_;
+    for (const layer& l : layers_) max_width = std::max(max_width, l.out_dim);
+    scratch.a.resize(kBatchTile * max_width);
+    scratch.b.resize(kBatchTile * max_width);
+
+    for (std::size_t tile_begin = 0; tile_begin < inputs.rows();
+         tile_begin += kBatchTile) {
+      const std::size_t tile =
+          std::min(kBatchTile, inputs.rows() - tile_begin);
+      Fixed* current = scratch.a.data();
+      Fixed* next = scratch.b.data();
+      for (std::size_t s = 0; s < tile; ++s) {
+        const auto row = inputs.row(tile_begin + s);
+        std::copy(row.begin(), row.end(), current + s * input_dim_);
+      }
+      std::size_t width = input_dim_;
+      for (const layer& l : layers_) {
+        // Neuron-outer / shot-inner: one weight-row load per tile, with the
+        // per-shot MAC order identical to the single-shot path.
+        for (std::size_t neuron = 0; neuron < l.out_dim; ++neuron) {
+          for (std::size_t s = 0; s < tile; ++s) {
+            next[s * l.out_dim + neuron] =
+                neuron_mac(l, neuron, current + s * width);
+          }
+        }
+        std::swap(current, next);
+        width = l.out_dim;
+      }
+      for (std::size_t s = 0; s < tile; ++s) {
+        out[tile_begin + s] = current[s * width];
+      }
+    }
   }
 
   /// Hard decision: output register sign bit clear ⇒ state 1 ≡ logit >= 0.
@@ -123,6 +178,25 @@ class quantized_network {
     std::vector<Fixed> weights;  // (out × in) row-major
     std::vector<Fixed> bias;
   };
+
+  /// One neuron's datapath: MAC with wide accumulator — products rounded to
+  /// F fractional bits (the DSP post-scaler), summed without intermediate
+  /// clamping, saturated once at the adder-tree root — then the RTL's
+  /// sign-bit ReLU.
+  static Fixed neuron_mac(const layer& l, std::size_t neuron,
+                          const Fixed* input) {
+    fx::fixed_accumulator<Fixed> acc;
+    const Fixed* weight_row = l.weights.data() + neuron * l.in_dim;
+    for (std::size_t i = 0; i < l.in_dim; ++i) {
+      acc.add(weight_row[i] * input[i]);
+    }
+    acc.add(l.bias[neuron]);
+    Fixed value = acc.result();
+    if (l.act == nn::activation::relu && value.sign_bit()) {
+      value = Fixed::zero();
+    }
+    return value;
+  }
 
   std::size_t input_dim_ = 0;
   std::vector<layer> layers_;

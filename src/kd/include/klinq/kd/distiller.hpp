@@ -39,6 +39,14 @@ struct student_config {
   std::uint64_t seed = 7;
 };
 
+/// Reusable buffers for student_model::predict_batch: the extracted feature
+/// block plus the network's ping-pong activation arena. Reusing one scratch
+/// across calls of the same batch size makes evaluation allocation-free.
+struct student_scratch {
+  la::matrix_f features;
+  nn::inference_scratch net;
+};
+
 /// A deployable student: feature pipeline + compact network.
 class student_model {
  public:
@@ -60,7 +68,17 @@ class student_model {
   bool predict_state(std::span<const float> trace,
                      std::size_t samples_per_quadrature) const;
 
-  /// Assignment accuracy on a dataset.
+  /// Batched inference over a whole dataset: parallel feature extraction
+  /// followed by one GEMM per layer. Writes one logit per dataset row into
+  /// `logits_out`; bit-identical to logit() on each trace.
+  void predict_batch(const data::trace_dataset& dataset,
+                     std::span<float> logits_out,
+                     student_scratch& scratch) const;
+
+  /// Convenience overload with internal scratch.
+  std::vector<float> predict_batch(const data::trace_dataset& dataset) const;
+
+  /// Assignment accuracy on a dataset (batched path).
   double accuracy(const data::trace_dataset& dataset) const;
 
   void save(std::ostream& out) const;

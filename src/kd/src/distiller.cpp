@@ -7,6 +7,7 @@
 #include "klinq/common/error.hpp"
 #include "klinq/common/log.hpp"
 #include "klinq/common/stopwatch.hpp"
+#include "klinq/dsp/batch_extractor.hpp"
 #include "klinq/nn/serialize.hpp"
 #include "klinq/nn/trainer.hpp"
 
@@ -31,9 +32,31 @@ bool student_model::predict_state(std::span<const float> trace,
   return logit(trace, samples_per_quadrature) >= 0.0f;
 }
 
+void student_model::predict_batch(const data::trace_dataset& dataset,
+                                  std::span<float> logits_out,
+                                  student_scratch& scratch) const {
+  KLINQ_REQUIRE(logits_out.size() == dataset.size(),
+                "student_model::predict_batch: one logit per trace required");
+  dsp::batch_extractor(pipeline_).extract(dataset, scratch.features);
+  net_.predict_logits(scratch.features, logits_out, scratch.net);
+}
+
+std::vector<float> student_model::predict_batch(
+    const data::trace_dataset& dataset) const {
+  student_scratch scratch;
+  std::vector<float> logits(dataset.size());
+  predict_batch(dataset, logits, scratch);
+  return logits;
+}
+
 double student_model::accuracy(const data::trace_dataset& dataset) const {
-  const la::matrix_f features = pipeline_.extract_all(dataset);
-  return nn::classification_accuracy(net_, features, dataset.labels());
+  if (dataset.empty()) return 0.0;
+  const std::vector<float> logits = predict_batch(dataset);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < logits.size(); ++r) {
+    correct += ((logits[r] >= 0.0f) == dataset.label_state(r)) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.size());
 }
 
 void student_model::save(std::ostream& out) const {

@@ -41,8 +41,16 @@ class dense_layer {
 
   /// Forward for a batch: writes pre-activation into `pre` (batch × out) and
   /// post-activation into `post`. `pre` and `post` are resized as needed.
+  /// For identity activation the two are equal, so the GEMM writes straight
+  /// into `post` and `pre` is left untouched — callers wanting the
+  /// pre-activation of an identity layer should read `post`.
   void forward(const la::matrix_f& input, la::matrix_f& pre,
                la::matrix_f& post) const;
+
+  /// Inference-only batch forward: GEMM into `out` (resized to batch × out),
+  /// activation applied in place. No pre-activation is kept, so steady-state
+  /// evaluation through a reused `out` performs no allocation.
+  void forward_inference(const la::matrix_f& input, la::matrix_f& out) const;
 
   /// Single-sample forward into caller-provided buffer (inference hot path).
   void forward_single(std::span<const float> input,

@@ -38,6 +38,14 @@ struct gradient_buffers {
   std::vector<la::matrix_f> d_pre;  // scratch: dLoss/d(pre-act) per layer
 };
 
+/// Ping-pong activation matrices for batched inference. Reusing one scratch
+/// across predict_logits calls of the same batch size makes steady-state
+/// evaluation allocation-free (matrix resize never shrinks capacity).
+struct inference_scratch {
+  la::matrix_f ping;
+  la::matrix_f pong;
+};
+
 class network {
  public:
   network() = default;
@@ -69,6 +77,16 @@ class network {
 
   /// Single-sample forward returning the first output (binary logit head).
   float predict_logit(std::span<const float> input) const;
+
+  /// Batched inference: one GEMM per layer over the whole block, writing the
+  /// first output of every row into `out` (size = input.rows()). Bit-identical
+  /// to predict_logit on each row. Zero heap allocation at steady state when
+  /// `scratch` is reused with a constant batch size.
+  void predict_logits(const la::matrix_f& input, std::span<float> out,
+                      inference_scratch& scratch) const;
+
+  /// Convenience overload with internal scratch.
+  std::vector<float> predict_logits(const la::matrix_f& input) const;
 
   /// Sigmoid of the logit.
   float predict_probability(std::span<const float> input) const;

@@ -20,6 +20,12 @@ void dense_layer::initialize(weight_init scheme, xoshiro256& rng) {
 void dense_layer::forward(const la::matrix_f& input, la::matrix_f& pre,
                           la::matrix_f& post) const {
   KLINQ_REQUIRE(input.cols() == in_dim(), "dense_layer::forward: bad input");
+  if (act_ == activation::identity) {
+    // Pre- and post-activation coincide: GEMM straight into `post` instead
+    // of materializing `pre` and copying the whole matrix.
+    forward_inference(input, post);
+    return;
+  }
   if (pre.rows() != input.rows() || pre.cols() != out_dim()) {
     pre.resize(input.rows(), out_dim());
   }
@@ -27,15 +33,22 @@ void dense_layer::forward(const la::matrix_f& input, la::matrix_f& pre,
   if (post.rows() != pre.rows() || post.cols() != pre.cols()) {
     post.resize(pre.rows(), pre.cols());
   }
-  if (act_ == activation::identity) {
-    post = pre;
-    return;
-  }
   const auto src = pre.flat();
   const auto dst = post.flat();
   for (std::size_t i = 0; i < src.size(); ++i) {
     dst[i] = apply_activation(act_, src[i]);
   }
+}
+
+void dense_layer::forward_inference(const la::matrix_f& input,
+                                    la::matrix_f& out) const {
+  KLINQ_REQUIRE(input.cols() == in_dim(),
+                "dense_layer::forward_inference: bad input");
+  if (out.rows() != input.rows() || out.cols() != out_dim()) {
+    out.resize(input.rows(), out_dim());
+  }
+  la::gemm_nt(input, weights_, out, bias());
+  apply_activation(act_, out.flat());
 }
 
 void dense_layer::forward_single(std::span<const float> input,

@@ -69,6 +69,32 @@ float network::predict_logit(std::span<const float> input) const {
   return in->front();
 }
 
+void network::predict_logits(const la::matrix_f& input, std::span<float> out,
+                             inference_scratch& scratch) const {
+  KLINQ_REQUIRE(!layers_.empty(), "predict_logits: empty network");
+  KLINQ_REQUIRE(input.cols() == input_dim_, "predict_logits: bad input dim");
+  KLINQ_REQUIRE(out.size() == input.rows(),
+                "predict_logits: output span must have one entry per row");
+  const la::matrix_f* current = &input;
+  for (const auto& layer : layers_) {
+    la::matrix_f* next =
+        (current == &scratch.ping) ? &scratch.pong : &scratch.ping;
+    layer.forward_inference(*current, *next);
+    current = next;
+  }
+  const la::matrix_f& logits = *current;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    out[r] = logits(r, 0);
+  }
+}
+
+std::vector<float> network::predict_logits(const la::matrix_f& input) const {
+  inference_scratch scratch;
+  std::vector<float> out(input.rows());
+  predict_logits(input, out, scratch);
+  return out;
+}
+
 float network::predict_probability(std::span<const float> input) const {
   return static_cast<float>(sigmoid(predict_logit(input)));
 }

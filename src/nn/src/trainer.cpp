@@ -104,10 +104,11 @@ std::vector<float> compute_logits(const network& net,
                                   const la::matrix_f& features) {
   KLINQ_REQUIRE(features.cols() == net.input_dim(),
                 "compute_logits: feature width != network input");
-  // Batch the forward pass; chunking bounds workspace memory for the teacher.
-  constexpr std::size_t kChunk = 512;
+  // Chunking bounds scratch memory for the 1000-wide teacher; the scratch
+  // arena is reused so the steady state allocates nothing per chunk.
+  constexpr std::size_t kChunk = 2048;
   std::vector<float> logits(features.rows());
-  forward_workspace ws;
+  inference_scratch scratch;
   la::matrix_f chunk_rows;
   for (std::size_t start = 0; start < features.rows(); start += kChunk) {
     const std::size_t count = std::min(kChunk, features.rows() - start);
@@ -116,8 +117,9 @@ std::vector<float> compute_logits(const network& net,
       const auto src = features.row(start + i);
       std::copy(src.begin(), src.end(), chunk_rows.row(i).begin());
     }
-    const la::matrix_f& out = net.forward(chunk_rows, ws);
-    for (std::size_t i = 0; i < count; ++i) logits[start + i] = out(i, 0);
+    net.predict_logits(chunk_rows,
+                       std::span<float>(logits.data() + start, count),
+                       scratch);
   }
   return logits;
 }

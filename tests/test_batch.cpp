@@ -1,0 +1,260 @@
+// Batched-vs-single-shot parity for the zero-allocation inference engine.
+//
+// The contract under test: the batched APIs (gemm_nt-based float inference,
+// blocked fixed-point forward, parallel feature extraction) produce EXACTLY
+// the results of the single-shot APIs — bitwise float equality and bit-exact
+// Q16.16 registers — across batch sizes that hit the microkernel main tiles,
+// its row/column edges, and the thread-pool parallel path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "klinq/common/rng.hpp"
+#include "klinq/core/qubit_discriminator.hpp"
+#include "klinq/dsp/batch_extractor.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+#include "klinq/kd/distiller.hpp"
+#include "klinq/linalg/gemm.hpp"
+#include "klinq/nn/network.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+
+namespace {
+
+using namespace klinq;
+using fx::q16_16;
+
+la::matrix_f random_matrix(std::size_t rows, std::size_t cols,
+                           xoshiro256& rng) {
+  la::matrix_f m(rows, cols);
+  for (auto& v : m.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+// Shared fixture: one quick student + hardware twin on a small dataset big
+// enough to cross the thread-pool and GEMM parallel thresholds.
+struct engine_fixture {
+  qsim::qubit_dataset data;
+  kd::student_model student;
+  hw::fixed_discriminator<q16_16> hw_student;
+
+  engine_fixture() {
+    qsim::dataset_spec spec;
+    spec.device = qsim::single_qubit_test_preset();
+    spec.shots_per_permutation_train = 150;
+    spec.shots_per_permutation_test = 64;
+    spec.seed = 11;
+    data = qsim::build_qubit_dataset(spec, 0);
+    kd::student_config config;
+    config.groups_per_quadrature = 15;
+    config.epochs = 5;
+    student = kd::distill_student(data.train, {}, config);
+    hw_student = hw::fixed_discriminator<q16_16>(student);
+  }
+};
+
+engine_fixture& fixture() {
+  static engine_fixture f;
+  return f;
+}
+
+data::trace_dataset first_rows(const data::trace_dataset& ds,
+                               std::size_t count) {
+  std::vector<std::size_t> rows(count);
+  std::iota(rows.begin(), rows.end(), 0);
+  return ds.subset(rows);
+}
+
+// --- linalg: GEMM and GEMV must share one reduction order ------------------
+
+TEST(BatchParity, GemmNtBitIdenticalToGemv) {
+  xoshiro256 rng(42);
+  // Shapes hit the 2×4 main tile, odd row/column edges, and k tails.
+  const struct { std::size_t m, n, k; } shapes[] = {
+      {1, 1, 1}, {2, 4, 8}, {5, 7, 13}, {9, 16, 31}, {64, 8, 31}};
+  for (const auto& s : shapes) {
+    const la::matrix_f a = random_matrix(s.m, s.k, rng);
+    const la::matrix_f b = random_matrix(s.n, s.k, rng);
+    std::vector<float> bias(s.n);
+    for (auto& v : bias) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+    la::matrix_f c(s.m, s.n);
+    la::gemm_nt(a, b, c, bias);
+    std::vector<float> y(s.n);
+    for (std::size_t i = 0; i < s.m; ++i) {
+      la::gemv(b, a.row(i), y, bias);
+      for (std::size_t j = 0; j < s.n; ++j) {
+        ASSERT_EQ(c(i, j), y[j]) << "shape " << s.m << "x" << s.n << "x" << s.k
+                                 << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// --- nn: batched predict_logits vs single-shot predict_logit ---------------
+
+TEST(BatchParity, NetworkBatchedLogitsExactlyMatchSingleShot) {
+  xoshiro256 rng(7);
+  nn::network net = nn::make_mlp(31, {16, 8});
+  net.initialize(nn::weight_init::he_normal, rng);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}}) {
+    const la::matrix_f input = random_matrix(batch, 31, rng);
+    nn::inference_scratch scratch;
+    std::vector<float> batched(batch);
+    net.predict_logits(input, batched, scratch);
+    for (std::size_t r = 0; r < batch; ++r) {
+      ASSERT_EQ(batched[r], net.predict_logit(input.row(r)))
+          << "batch " << batch << " row " << r;
+    }
+  }
+}
+
+TEST(BatchParity, NetworkScratchReuseAcrossBatchSizesIsStable) {
+  xoshiro256 rng(19);
+  nn::network net = nn::make_mlp(31, {16, 8});
+  net.initialize(nn::weight_init::he_normal, rng);
+  const la::matrix_f big = random_matrix(64, 31, rng);
+  nn::inference_scratch scratch;
+  std::vector<float> first(64);
+  net.predict_logits(big, first, scratch);
+  // Shrink, grow, and repeat through the same arena — results must not drift.
+  const la::matrix_f small = random_matrix(3, 31, rng);
+  std::vector<float> tmp(3);
+  net.predict_logits(small, tmp, scratch);
+  std::vector<float> again(64);
+  net.predict_logits(big, again, scratch);
+  EXPECT_EQ(first, again);
+}
+
+// --- dsp: parallel batch extraction vs serial extract ----------------------
+
+TEST(BatchParity, BatchExtractorMatchesSerialExtract) {
+  auto& f = fixture();
+  const auto& pipeline = f.student.pipeline();
+  const auto& ds = f.data.test;
+  la::matrix_f batched;
+  dsp::batch_extractor(pipeline).extract(ds, batched);
+  ASSERT_EQ(batched.rows(), ds.size());
+  std::vector<float> row(pipeline.output_width());
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    pipeline.extract(ds.trace(r), ds.samples_per_quadrature(), row);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      ASSERT_EQ(batched(r, c), row[c]) << "row " << r << " col " << c;
+    }
+  }
+}
+
+// --- kd: student predict_batch vs per-trace logit --------------------------
+
+TEST(BatchParity, StudentPredictBatchExactlyMatchesSingleShot) {
+  auto& f = fixture();
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}}) {
+    const data::trace_dataset subset = first_rows(f.data.test, batch);
+    const std::vector<float> batched = f.student.predict_batch(subset);
+    for (std::size_t r = 0; r < batch; ++r) {
+      ASSERT_EQ(batched[r],
+                f.student.logit(subset.trace(r),
+                                subset.samples_per_quadrature()))
+          << "batch " << batch << " row " << r;
+    }
+  }
+}
+
+TEST(BatchParity, StudentPredictBatchUnderThreadPool) {
+  auto& f = fixture();
+  // Full test set: larger than every serial-fallback threshold, so the
+  // parallel extraction and threaded GEMM paths are exercised.
+  const auto& ds = f.data.test;
+  ASSERT_GE(ds.size(), 64u);
+  const std::vector<float> batched = f.student.predict_batch(ds);
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    ASSERT_EQ(batched[r],
+              f.student.logit(ds.trace(r), ds.samples_per_quadrature()));
+  }
+}
+
+// --- hw: blocked fixed-point engine vs single-shot registers ---------------
+
+TEST(BatchParity, FixedBatchedLogitsBitExact) {
+  auto& f = fixture();
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}}) {
+    const data::trace_dataset subset = first_rows(f.data.test, batch);
+    std::vector<q16_16> batched(batch);
+    f.hw_student.logits(subset, batched);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const q16_16 single = f.hw_student.logit(
+          subset.trace(r), subset.samples_per_quadrature());
+      ASSERT_EQ(batched[r].raw(), single.raw())
+          << "batch " << batch << " row " << r;
+    }
+  }
+}
+
+TEST(BatchParity, FixedBatchedLogitsUnderThreadPool) {
+  auto& f = fixture();
+  const auto& ds = f.data.test;
+  std::vector<q16_16> batched(ds.size());
+  f.hw_student.logits(ds, batched);
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    const q16_16 single =
+        f.hw_student.logit(ds.trace(r), ds.samples_per_quadrature());
+    ASSERT_EQ(batched[r].raw(), single.raw()) << "row " << r;
+  }
+}
+
+TEST(BatchParity, QuantizedNetworkScratchReuseBitExact) {
+  auto& f = fixture();
+  const auto& net = f.hw_student.net();
+  const auto quantized =
+      hw::fixed_frontend<q16_16>::quantize_trace(f.data.test.trace(0));
+  std::vector<q16_16> features(f.hw_student.frontend().output_width());
+  f.hw_student.frontend().extract(
+      quantized, f.data.test.samples_per_quadrature(), features);
+  hw::quantized_scratch<q16_16> scratch;
+  const q16_16 first = net.forward_logit(features, scratch);
+  // Reused (dirty) scratch must give the same register as a fresh one.
+  const q16_16 second = net.forward_logit(features, scratch);
+  EXPECT_EQ(first.raw(), second.raw());
+  EXPECT_EQ(first.raw(), net.forward_logit(features).raw());
+}
+
+// --- core: batched measurement matches the public decision API -------------
+
+TEST(BatchParity, MeasureBatchMatchesMeasure) {
+  auto& f = fixture();
+  const core::qubit_discriminator disc(f.student);
+  const auto& ds = f.data.test;
+  std::vector<std::uint8_t> decisions(ds.size());
+  disc.measure_batch(ds, decisions);
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    const bool single = disc.measure(ds.trace(r), ds.samples_per_quadrature());
+    EXPECT_EQ(decisions[r] != 0, single) << "row " << r;
+  }
+}
+
+// --- nn: identity layers no longer materialize a pre-activation copy -------
+
+TEST(BatchParity, IdentityLayerWritesDirectlyToPost) {
+  xoshiro256 rng(3);
+  nn::dense_layer layer(8, 4, nn::activation::identity);
+  layer.initialize(nn::weight_init::he_normal, rng);
+  const la::matrix_f input = random_matrix(5, 8, rng);
+  la::matrix_f pre;
+  la::matrix_f post;
+  layer.forward(input, pre, post);
+  EXPECT_TRUE(pre.empty());  // identity: GEMM goes straight into post
+  ASSERT_EQ(post.rows(), 5u);
+  ASSERT_EQ(post.cols(), 4u);
+  std::vector<float> y(4);
+  for (std::size_t r = 0; r < 5; ++r) {
+    la::gemv(layer.weights(), input.row(r), y, layer.bias());
+    for (std::size_t c = 0; c < 4; ++c) {
+      ASSERT_EQ(post(r, c), y[c]);
+    }
+  }
+}
+
+}  // namespace

@@ -1,7 +1,7 @@
 // klinq_export_verilog — export a saved student model as synthesizable
 // SystemVerilog (module + testbench).
 //
-//   klinq_export_verilog --model ./models/qubit0.klinq \
+//   klinq_export_verilog --model ./models/qubit0.klinq
 //                        --module-name klinq_q1 --out-prefix rtl/klinq_q1
 #include <cstdio>
 #include <fstream>
