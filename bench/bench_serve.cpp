@@ -1,0 +1,198 @@
+// Sharded serving vs serial per-qubit throughput.
+//
+// "serial" is the pre-serve system behavior: qubits evaluated one after
+// another through the batched engine (which may still parallelize inside a
+// single qubit's block). "sharded" streams every qubit's blocks through the
+// readout_server concurrently, which also overlaps the per-qubit front-end
+// (quantize + extract) across qubits. Both paths produce bit-identical
+// registers/logits (tests/test_serve.cpp), so the comparison is pure
+// scheduling.
+//
+// Machine-readable snapshot:
+//   bench_serve --out BENCH_serve.json
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "klinq/common/cli.hpp"
+#include "klinq/common/error.hpp"
+#include "klinq/common/stopwatch.hpp"
+#include "klinq/common/thread_pool.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+#include "klinq/kd/distiller.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+#include "klinq/serve/readout_server.hpp"
+
+namespace {
+
+using namespace klinq;
+using fx::q16_16;
+
+struct qubit_stack {
+  qsim::qubit_dataset data;
+  kd::student_model student;
+  hw::fixed_discriminator<q16_16> hardware;
+};
+
+struct run_record {
+  std::string engine;
+  std::string mode;
+  std::size_t shots = 0;
+  double seconds = 0.0;
+  double p50_ms = -1.0;  // server modes only
+  double p99_ms = -1.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_parser cli("bench_serve",
+                 "sharded serving vs serial per-qubit throughput");
+  cli.add_option("qubits", "number of simulated qubit channels", "3");
+  cli.add_option("traces-train", "train shots per state permutation", "200");
+  cli.add_option("traces-test", "test shots per state permutation", "512");
+  cli.add_option("rounds", "evaluation passes over every qubit block", "8");
+  cli.add_option("shard-shots", "rows per shard (0 = default)", "0");
+  cli.add_option("seed", "dataset generation seed", "42");
+  cli.add_option("out", "JSON output path (empty = stdout only)",
+                 "BENCH_serve.json");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const auto n_qubits = static_cast<std::size_t>(cli.get_int("qubits"));
+    const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+    const auto shard_shots =
+        static_cast<std::size_t>(cli.get_int("shard-shots"));
+
+    std::printf("building %zu qubit stacks...\n", n_qubits);
+    std::vector<qubit_stack> stacks;
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      qsim::dataset_spec spec;
+      spec.device = qsim::single_qubit_test_preset();
+      spec.shots_per_permutation_train =
+          static_cast<std::size_t>(cli.get_int("traces-train"));
+      spec.shots_per_permutation_test =
+          static_cast<std::size_t>(cli.get_int("traces-test"));
+      spec.seed = static_cast<std::uint64_t>(cli.get_int("seed")) + q;
+      qubit_stack stack;
+      stack.data = qsim::build_qubit_dataset(spec, 0);
+      kd::student_config config;
+      config.epochs = 6;
+      config.seed = 7 + q;
+      stack.student = kd::distill_student(stack.data.train, {}, config);
+      stack.hardware = hw::fixed_discriminator<q16_16>(stack.student);
+      stacks.push_back(std::move(stack));
+    }
+    const std::size_t block = stacks[0].data.test.size();
+    const std::size_t total_shots = rounds * n_qubits * block;
+
+    std::vector<run_record> records;
+
+    // --- serial per-qubit (the pre-serve klinq_system behavior) ----------
+    {
+      std::vector<q16_16> registers(block);
+      stopwatch timer;
+      for (std::size_t round = 0; round < rounds; ++round) {
+        for (const qubit_stack& stack : stacks) {
+          stack.hardware.logits(stack.data.test, registers);
+        }
+      }
+      records.push_back(
+          {"fixed-q16.16", "serial-per-qubit", total_shots, timer.seconds()});
+    }
+    {
+      kd::student_scratch scratch;
+      std::vector<float> logits(block);
+      stopwatch timer;
+      for (std::size_t round = 0; round < rounds; ++round) {
+        for (const qubit_stack& stack : stacks) {
+          stack.student.predict_batch(stack.data.test, logits, scratch);
+        }
+      }
+      records.push_back(
+          {"float-student", "serial-per-qubit", total_shots, timer.seconds()});
+    }
+
+    // --- sharded server ---------------------------------------------------
+    std::size_t effective_shard_shots = shard_shots;
+    for (const serve::engine_kind engine :
+         {serve::engine_kind::fixed_q16, serve::engine_kind::float_student}) {
+      std::vector<serve::qubit_engine> engines;
+      for (const qubit_stack& stack : stacks) {
+        engines.push_back({&stack.student, &stack.hardware});
+      }
+      serve::readout_server server(
+          std::move(engines),
+          {.shard_shots = shard_shots, .max_inflight = 2 * n_qubits});
+      effective_shard_shots = server.shard_shots();
+      serve::readout_result result;
+      stopwatch timer;
+      for (std::size_t round = 0; round < rounds; ++round) {
+        std::vector<serve::ticket> tickets;
+        for (std::size_t q = 0; q < n_qubits; ++q) {
+          tickets.push_back(
+              server.submit({q, &stacks[q].data.test, engine}));
+        }
+        for (const serve::ticket t : tickets) server.wait(t, result);
+      }
+      const double seconds = timer.seconds();
+      const serve::server_stats stats = server.stats();
+      records.push_back({serve::engine_name(engine), "sharded-server",
+                         total_shots, seconds,
+                         stats.latency_p50_seconds * 1e3,
+                         stats.latency_p99_seconds * 1e3});
+    }
+
+    // --- report -----------------------------------------------------------
+    const std::size_t workers = global_thread_pool().worker_count() + 1;
+    std::printf("\n%zu pool worker(s), %zu qubits x %zu rounds x %zu shots\n",
+                workers, n_qubits, rounds, block);
+    for (const run_record& r : records) {
+      std::printf("  %-14s %-18s %8.0f shots/s", r.engine.c_str(),
+                  r.mode.c_str(),
+                  static_cast<double>(r.shots) / r.seconds);
+      if (r.p50_ms >= 0.0) {
+        std::printf("   p50 %.2f ms  p99 %.2f ms", r.p50_ms, r.p99_ms);
+      }
+      std::printf("\n");
+    }
+
+    const std::string out_path = cli.get_string("out");
+    if (!out_path.empty()) {
+      std::FILE* out = std::fopen(out_path.c_str(), "w");
+      KLINQ_REQUIRE(out != nullptr, "bench_serve: cannot write " + out_path);
+      std::fprintf(out,
+                   "{\n"
+                   "  \"bench\": \"bench_serve\",\n"
+                   "  \"pool_workers\": %zu,\n"
+                   "  \"qubits\": %zu,\n"
+                   "  \"block_shots\": %zu,\n"
+                   "  \"rounds\": %zu,\n"
+                   "  \"shard_shots\": %zu,\n"
+                   "  \"results\": [\n",
+                   workers, n_qubits, block, rounds, effective_shard_shots);
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        const run_record& r = records[i];
+        std::fprintf(out,
+                     "    {\"engine\": \"%s\", \"mode\": \"%s\", "
+                     "\"shots\": %zu, \"seconds\": %.6f, "
+                     "\"shots_per_second\": %.1f",
+                     r.engine.c_str(), r.mode.c_str(), r.shots, r.seconds,
+                     static_cast<double>(r.shots) / r.seconds);
+        if (r.p50_ms >= 0.0) {
+          std::fprintf(out,
+                       ", \"latency_p50_ms\": %.4f, \"latency_p99_ms\": %.4f",
+                       r.p50_ms, r.p99_ms);
+        }
+        std::fprintf(out, "}%s\n", i + 1 < records.size() ? "," : "");
+      }
+      std::fprintf(out, "  ]\n}\n");
+      std::fclose(out);
+      std::printf("\nwrote %s\n", out_path.c_str());
+    }
+    return 0;
+  } catch (const error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,8 +1,16 @@
-// Minimal work-sharing thread pool with a blocking parallel_for.
+// Minimal work-sharing thread pool with a blocking parallel_for and an
+// asynchronous submit().
 //
-// The pool is used by the GEMM kernels and the dataset generator. A single
-// process-wide pool (global_thread_pool) avoids oversubscription; individual
-// components never spawn their own threads.
+// The pool is used by the GEMM kernels, the dataset generator and the serve
+// shard scheduler. A single process-wide pool (global_thread_pool) avoids
+// oversubscription; individual components never spawn their own threads.
+//
+// Nesting: code already running on a pool worker (a submitted task or a
+// parallel_for chunk) may call parallel_for again — the nested call runs its
+// range serially inline instead of re-entering the queue. Without this, two
+// saturated workers waiting on each other's queued sub-chunks deadlock the
+// pool; with it, the outer dispatch level owns all the parallelism and inner
+// loops degrade to the (bit-identical) serial path.
 #pragma once
 
 #include <condition_variable>
@@ -26,9 +34,25 @@ class thread_pool {
 
   std::size_t worker_count() const noexcept { return workers_.size(); }
 
+  /// Enqueues one task for asynchronous execution and returns immediately.
+  /// Tasks share the FIFO queue with parallel_for chunks. The task runs
+  /// inline on the calling thread before submit() returns when the pool has
+  /// no spawned workers (single-CPU host) or when the caller is itself a
+  /// pool worker (queueing there and blocking on completion could deadlock
+  /// a saturated pool, like nested parallel_for) — callers must not rely on
+  /// concurrency, only on eventual completion. Exceptions escaping the task
+  /// terminate (there is nowhere to rethrow them); wrap fallible work and
+  /// route errors through your own completion state.
+  void submit(std::function<void()> task);
+
+  /// True when the current thread is one of this pool's workers (or is
+  /// running an inline-executed submit on a workerless pool).
+  static bool on_worker() noexcept;
+
   /// Runs body(i) for i in [begin, end), partitioned into contiguous chunks
   /// across the pool plus the calling thread. Blocks until all work is done.
   /// Exceptions from body are rethrown on the caller (first one wins).
+  /// Reentrant: called from a pool worker, the range runs serially inline.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 

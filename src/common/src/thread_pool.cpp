@@ -6,6 +6,25 @@
 
 namespace klinq {
 
+namespace {
+
+// Set for the lifetime of a worker thread (and during inline submit
+// execution on a workerless pool). parallel_for consults it to decide
+// between dispatching chunks and degrading to the serial inline path.
+thread_local bool t_on_pool_worker = false;
+
+struct worker_scope {
+  bool previous;
+  worker_scope() noexcept : previous(t_on_pool_worker) {
+    t_on_pool_worker = true;
+  }
+  ~worker_scope() { t_on_pool_worker = previous; }
+};
+
+}  // namespace
+
+bool thread_pool::on_worker() noexcept { return t_on_pool_worker; }
+
 thread_pool::thread_pool(std::size_t worker_count) {
   if (worker_count == 0) {
     worker_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -28,6 +47,7 @@ thread_pool::~thread_pool() {
 }
 
 void thread_pool::worker_loop() {
+  const worker_scope scope;
   for (;;) {
     std::function<void()> task;
     {
@@ -41,10 +61,38 @@ void thread_pool::worker_loop() {
   }
 }
 
+void thread_pool::submit(std::function<void()> task) {
+  if (workers_.empty() || t_on_pool_worker) {
+    // Run inline before returning when there is nobody safe to hand the
+    // task to: either the pool has no background workers (single-CPU host),
+    // or the submitter *is* a pool worker — queueing from a worker and then
+    // blocking on the task's completion (e.g. readout_server::wait) could
+    // deadlock a saturated pool exactly like nested parallel_for. Mark the
+    // thread as a worker for the duration so nested dispatch stays serial,
+    // matching how the task would behave on a real worker.
+    const worker_scope scope;
+    task();
+    return;
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
 void thread_pool::parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& chunk_body) {
   if (begin >= end) return;
+  if (t_on_pool_worker) {
+    // Nested dispatch from inside a pool task: queueing sub-chunks and
+    // blocking on them can deadlock a saturated pool (every worker waiting
+    // on work only another worker could pop). The outer level owns the
+    // parallelism; run this range serially.
+    chunk_body(begin, end);
+    return;
+  }
   const std::size_t total = end - begin;
   const std::size_t parallelism = workers_.size() + 1;
   const std::size_t chunk_count = std::min(total, parallelism);
@@ -99,6 +147,11 @@ void thread_pool::parallel_for_chunked(
   task_ready_.notify_all();
 
   try {
+    // The caller's reserved chunk runs under the worker flag too, so nested
+    // dispatch from it degrades to serial exactly like the queued chunks —
+    // otherwise its inner loops would queue sub-chunks behind every
+    // outstanding outer chunk and stall on them.
+    const worker_scope scope;
     chunk_body(first_begin, first_end);
   } catch (...) {
     const std::lock_guard done_lock(state->done_mutex);

@@ -11,6 +11,7 @@
 #include "klinq/core/qubit_discriminator.hpp"
 #include "klinq/kd/teacher.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
+#include "klinq/serve/readout_server.hpp"
 
 namespace klinq::core {
 
@@ -45,6 +46,22 @@ class klinq_system {
   bool measure(std::size_t qubit, std::span<const float> trace,
                std::size_t samples_per_quadrature,
                qubit_discriminator::measurement_scratch& scratch) const;
+
+  /// Non-owning serving handles for every qubit's deployed models, in qubit
+  /// order — the constructor argument of serve::readout_server. The system
+  /// must outlive any server built on them.
+  std::vector<serve::qubit_engine> serve_engines() const;
+
+  /// Sharded multi-qubit measurement: one trace block per qubit (null to
+  /// skip a qubit), evaluated concurrently through a serve::readout_server
+  /// on the global pool. decisions[q][r] is qubit q's hard decision for
+  /// trace r (1 = state |1⟩); bit-identical to the serial per-qubit
+  /// measure_batch. Long-lived streaming callers should hold their own
+  /// readout_server (built on serve_engines()) instead of paying this
+  /// convenience wrapper's per-call server setup.
+  std::vector<std::vector<std::uint8_t>> measure_batch(
+      std::span<const data::trace_dataset* const> per_qubit_traces,
+      serve::engine_kind engine = serve::engine_kind::fixed_q16) const;
 
   /// Regenerates each qubit's test split and scores the fixed-point path.
   fidelity_report evaluate(const qsim::dataset_spec& spec,

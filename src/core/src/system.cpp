@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
 
 #include "klinq/common/error.hpp"
 #include "klinq/common/log.hpp"
@@ -48,6 +49,39 @@ bool klinq_system::measure(
     std::size_t samples_per_quadrature,
     qubit_discriminator::measurement_scratch& scratch) const {
   return discriminator(qubit).measure(trace, samples_per_quadrature, scratch);
+}
+
+std::vector<serve::qubit_engine> klinq_system::serve_engines() const {
+  std::vector<serve::qubit_engine> engines;
+  engines.reserve(discriminators_.size());
+  for (const qubit_discriminator& disc : discriminators_) {
+    engines.push_back({&disc.student(), &disc.hardware()});
+  }
+  return engines;
+}
+
+std::vector<std::vector<std::uint8_t>> klinq_system::measure_batch(
+    std::span<const data::trace_dataset* const> per_qubit_traces,
+    serve::engine_kind engine) const {
+  KLINQ_REQUIRE(per_qubit_traces.size() == qubit_count(),
+                "klinq_system::measure_batch: one trace block per qubit "
+                "required (null to skip a qubit)");
+  if (qubit_count() == 0) return {};
+  // All submits happen before the first wait, so the backpressure window
+  // must admit one open ticket per qubit or the submit loop self-deadlocks.
+  serve::readout_server server(serve_engines(),
+                               {.max_inflight = qubit_count()});
+  std::vector<std::optional<serve::ticket>> tickets(qubit_count());
+  for (std::size_t q = 0; q < qubit_count(); ++q) {
+    if (per_qubit_traces[q] == nullptr) continue;
+    tickets[q] = server.submit({q, per_qubit_traces[q], engine});
+  }
+  std::vector<std::vector<std::uint8_t>> decisions(qubit_count());
+  for (std::size_t q = 0; q < qubit_count(); ++q) {
+    if (!tickets[q].has_value()) continue;
+    decisions[q] = std::move(server.wait(*tickets[q]).states);
+  }
+  return decisions;
 }
 
 fidelity_report klinq_system::evaluate(const qsim::dataset_spec& spec,

@@ -29,6 +29,21 @@
 
 namespace klinq::fx {
 
+/// Round-to-nearest, ties away from zero — bit-exact with std::llround for
+/// |value| < 2^62, without the libm call. Truncation toward zero is exact,
+/// and for |value| < 2^53 the remainder `value - trunc(value)` is computed
+/// exactly (the fractional bits of a double are representable on their own),
+/// so the half-way comparison is exact too; for |value| >= 2^53 doubles are
+/// already integers and the remainder is exactly zero. This is the per-sample
+/// hot path of fixed_frontend::quantize_trace (1000 calls per shot).
+constexpr std::int64_t round_half_away_from_zero(double value) noexcept {
+  const auto truncated = static_cast<std::int64_t>(value);
+  const double remainder = value - static_cast<double>(truncated);
+  if (remainder >= 0.5) return truncated + 1;
+  if (remainder <= -0.5) return truncated - 1;
+  return truncated;
+}
+
 template <int IntBits, int FracBits>
 class fixed {
   static_assert(IntBits >= 2, "need at least sign bit plus one integer bit");
@@ -60,14 +75,15 @@ class fixed {
     return f;
   }
 
-  /// Rounds a real number to the nearest representable value; saturates.
-  static fixed from_double(double value) noexcept {
-    if (std::isnan(value)) return fixed{};  // hardware has no NaN; define as 0
+  /// Rounds a real number to the nearest representable value (ties away from
+  /// zero, matching llround bit for bit); saturates.
+  static constexpr fixed from_double(double value) noexcept {
+    if (value != value) return fixed{};  // hardware has no NaN; define as 0
     const double scaled =
         value * static_cast<double>(std::int64_t{1} << FracBits);
     if (scaled >= static_cast<double>(raw_max)) return from_raw(raw_max);
     if (scaled <= static_cast<double>(raw_min)) return from_raw(raw_min);
-    return from_raw(static_cast<std::int64_t>(std::llround(scaled)));
+    return from_raw(round_half_away_from_zero(scaled));
   }
 
   static constexpr fixed from_int(std::int64_t value) noexcept {

@@ -84,35 +84,53 @@ class fixed_discriminator {
     return !logit(trace, samples_per_quadrature).sign_bit();
   }
 
+  /// Serial ADC-to-logit evaluation of dataset rows [row_begin, row_end)
+  /// through caller-provided scratch: quantize + extract into cache-blocked
+  /// tiles, then the batched fixed-point forward. Writes out[r - row_begin]
+  /// for each row r; bit-identical to logit() per trace. Zero steady-state
+  /// allocation once the scratch is warm — this is the serve engine's shard
+  /// executor.
+  void logits_block(const data::trace_dataset& dataset, std::size_t row_begin,
+                    std::size_t row_end, std::span<Fixed> out,
+                    discriminator_scratch<Fixed>& scratch) const {
+    KLINQ_REQUIRE(row_begin <= row_end && row_end <= dataset.size(),
+                  "fixed_discriminator: row range out of bounds");
+    KLINQ_REQUIRE(out.size() == row_end - row_begin,
+                  "fixed_discriminator: one logit per row required");
+    const std::size_t n = dataset.samples_per_quadrature();
+    const std::size_t width = frontend_.output_width();
+    constexpr std::size_t kTile = quantized_network<Fixed>::kBatchTile;
+    scratch.trace.resize(dataset.feature_width());
+    for (std::size_t tile_begin = row_begin; tile_begin < row_end;
+         tile_begin += kTile) {
+      const std::size_t tile = std::min(kTile, row_end - tile_begin);
+      if (scratch.features.rows() != tile ||
+          scratch.features.cols() != width) {
+        scratch.features.resize(tile, width);
+      }
+      for (std::size_t s = 0; s < tile; ++s) {
+        fixed_frontend<Fixed>::quantize_trace(dataset.trace(tile_begin + s),
+                                              scratch.trace);
+        frontend_.extract(scratch.trace, n, scratch.features.row(s));
+      }
+      net_.forward_logits(scratch.features,
+                          out.subspan(tile_begin - row_begin, tile),
+                          scratch.net);
+    }
+  }
+
   /// Batched ADC-to-logit evaluation: one output register per dataset row.
   /// Parallelized over trace blocks; bit-identical to logit() per trace.
   void logits(const data::trace_dataset& dataset, std::span<Fixed> out) const {
     KLINQ_REQUIRE(out.size() == dataset.size(),
                   "fixed_discriminator: one logit per trace required");
     if (dataset.empty()) return;
-    const std::size_t n = dataset.samples_per_quadrature();
     const auto evaluate_block = [&](std::size_t begin, std::size_t end) {
       // One scratch arena per worker chunk: allocations are per-chunk (a
       // handful per pool dispatch), never per shot.
       discriminator_scratch<Fixed> scratch;
-      const std::size_t width = frontend_.output_width();
-      constexpr std::size_t kTile = quantized_network<Fixed>::kBatchTile;
-      scratch.trace.resize(dataset.feature_width());
-      for (std::size_t tile_begin = begin; tile_begin < end;
-           tile_begin += kTile) {
-        const std::size_t tile = std::min(kTile, end - tile_begin);
-        if (scratch.features.rows() != tile ||
-            scratch.features.cols() != width) {
-          scratch.features.resize(tile, width);
-        }
-        for (std::size_t s = 0; s < tile; ++s) {
-          fixed_frontend<Fixed>::quantize_trace(dataset.trace(tile_begin + s),
-                                                scratch.trace);
-          frontend_.extract(scratch.trace, n, scratch.features.row(s));
-        }
-        net_.forward_logits(scratch.features, out.subspan(tile_begin, tile),
-                            scratch.net);
-      }
+      logits_block(dataset, begin, end, out.subspan(begin, end - begin),
+                   scratch);
     };
     if (dataset.size() < quantized_network<Fixed>::kBatchTile) {
       evaluate_block(0, dataset.size());

@@ -78,6 +78,15 @@ class student_model {
   /// Convenience overload with internal scratch.
   std::vector<float> predict_batch(const data::trace_dataset& dataset) const;
 
+  /// Serial float-path evaluation of dataset rows [row_begin, row_end)
+  /// through caller-provided scratch: extraction + batched inference, with
+  /// logits_out[r - row_begin] for each row r. Bit-identical to logit() per
+  /// trace and zero steady-state allocation once the scratch is warm — the
+  /// serve engine's float shard executor.
+  void predict_block(const data::trace_dataset& dataset, std::size_t row_begin,
+                     std::size_t row_end, std::span<float> logits_out,
+                     student_scratch& scratch) const;
+
   /// Assignment accuracy on a dataset (batched path).
   double accuracy(const data::trace_dataset& dataset) const;
 

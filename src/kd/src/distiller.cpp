@@ -49,6 +49,25 @@ std::vector<float> student_model::predict_batch(
   return logits;
 }
 
+void student_model::predict_block(const data::trace_dataset& dataset,
+                                  std::size_t row_begin, std::size_t row_end,
+                                  std::span<float> logits_out,
+                                  student_scratch& scratch) const {
+  KLINQ_REQUIRE(row_begin <= row_end && row_end <= dataset.size(),
+                "student_model::predict_block: row range out of bounds");
+  const std::size_t count = row_end - row_begin;
+  KLINQ_REQUIRE(logits_out.size() == count,
+                "student_model::predict_block: one logit per row required");
+  if (count == 0) return;
+  const std::size_t width = pipeline_.output_width();
+  if (scratch.features.rows() != count || scratch.features.cols() != width) {
+    scratch.features.resize(count, width);
+  }
+  dsp::batch_extractor(pipeline_)
+      .extract_block(dataset, row_begin, row_end, scratch.features);
+  net_.predict_logits(scratch.features, logits_out, scratch.net);
+}
+
 double student_model::accuracy(const data::trace_dataset& dataset) const {
   if (dataset.empty()) return 0.0;
   const std::vector<float> logits = predict_batch(dataset);

@@ -56,7 +56,10 @@ struct train_result {
 train_result train_network(network& net, const la::matrix_f& features,
                            const loss_fn& loss, const train_config& config);
 
-/// Computes the raw logits of `net` for every row of `features`.
+/// Computes the raw logits of `net` for every row of `features`. Rows are
+/// processed in L2-sized chunks threaded across the global pool (one scratch
+/// arena per worker); results are bit-identical to predict_logit per row
+/// regardless of chunk size or worker count.
 std::vector<float> compute_logits(const network& net,
                                   const la::matrix_f& features);
 

@@ -1,0 +1,125 @@
+// Streaming multi-qubit readout server (the ROADMAP's "multi-qubit sharded
+// serving" item).
+//
+// submit() splits a (qubit × trace-block) request into shards and enqueues
+// them on the shared thread pool; shards of different requests — and of
+// different qubits — interleave freely because every qubit's discriminator
+// is independent (the paper's per-qubit property). Results come back through
+// tickets: poll() to test, wait() to block and collect. All shard outputs
+// are bit-identical to the serial per-qubit path (Q16.16 registers and
+// float logits), enforced by tests/test_serve.cpp.
+//
+// Backpressure: at most `max_inflight` tickets may be unresolved at once;
+// submit() blocks until a slot frees, try_submit() returns nullopt instead.
+// This bounds both queue memory and result-buffer memory under sustained
+// overload.
+//
+// Steady-state allocation: completed slots and shard arenas are recycled
+// through free-lists. The wait(ticket, result&) overload swaps buffers with
+// the caller, so a submit/wait loop that reuses one readout_result performs
+// zero heap allocations once warm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "klinq/common/stopwatch.hpp"
+#include "klinq/serve/request.hpp"
+#include "klinq/serve/shard_scheduler.hpp"
+#include "klinq/serve/telemetry.hpp"
+
+namespace klinq::serve {
+
+struct server_config {
+  /// Rows per shard; 0 = scheduler default (four cache tiles).
+  std::size_t shard_shots = 0;
+  /// Maximum unresolved tickets before submit() blocks.
+  std::size_t max_inflight = 64;
+};
+
+class readout_server {
+ public:
+  /// Serves the given per-qubit engines (borrowed; must outlive the server).
+  explicit readout_server(std::vector<qubit_engine> qubits,
+                          server_config config = {});
+
+  /// Blocks until every enqueued shard has finished (unconsumed results are
+  /// discarded).
+  ~readout_server();
+
+  readout_server(const readout_server&) = delete;
+  readout_server& operator=(const readout_server&) = delete;
+
+  std::size_t qubit_count() const noexcept { return qubits_.size(); }
+  std::size_t shard_shots() const noexcept { return scheduler_.shard_shots(); }
+
+  /// Enqueues a request, blocking while the server is at max_inflight.
+  /// Throws invalid_argument_error for a bad qubit index, null traces, or a
+  /// missing engine path.
+  ticket submit(const readout_request& request);
+
+  /// Non-blocking submit: nullopt when the server is at max_inflight.
+  std::optional<ticket> try_submit(const readout_request& request);
+
+  /// True once the ticket's result is complete (wait() will not block).
+  bool poll(ticket t) const;
+
+  /// Blocks until complete and returns the result, consuming the ticket.
+  readout_result wait(ticket t);
+
+  /// Zero-allocation variant: swaps the completed buffers into `out`
+  /// (out's previous buffers are recycled into the slot pool).
+  void wait(ticket t, readout_result& out);
+
+  /// Blocks until every currently submitted request has completed (results
+  /// stay claimable by ticket).
+  void drain();
+
+  server_stats stats() const;
+
+ private:
+  struct slot {
+    std::uint64_t id = 0;
+    readout_result result;
+    std::size_t shots = 0;
+    std::size_t remaining_shards = 0;  // guarded by mutex_
+    bool done = false;                 // guarded by mutex_
+    std::exception_ptr error;          // first shard failure; rethrown by wait
+    stopwatch timer;
+  };
+
+  const qubit_engine& engine_for(const readout_request& request) const;
+  ticket submit_locked(const readout_request& request,
+                       std::unique_lock<std::mutex>& lock);
+  void run_shard(slot& s, const readout_request& request, std::size_t begin,
+                 std::size_t end, shard_arena& arena) const;
+  void recycle_locked(std::unique_ptr<slot> s, readout_result* swap_with);
+
+  std::vector<qubit_engine> qubits_;
+  server_config config_;
+  shard_scheduler scheduler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable completed_;  // slot done / all shards drained
+  std::condition_variable capacity_;   // inflight dropped below the bound
+  std::uint64_t next_ticket_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<slot>> active_;
+  std::vector<std::unique_ptr<slot>> free_slots_;
+  std::size_t outstanding_shards_ = 0;
+
+  // Telemetry (guarded by mutex_).
+  stopwatch uptime_;
+  std::uint64_t requests_submitted_ = 0;
+  std::uint64_t requests_completed_ = 0;
+  std::uint64_t shots_submitted_ = 0;
+  std::uint64_t shots_completed_ = 0;
+  latency_histogram latency_;
+};
+
+}  // namespace klinq::serve

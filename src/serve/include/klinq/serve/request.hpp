@@ -1,0 +1,69 @@
+// Request/result types of the sharded readout serving engine.
+//
+// The serving unit mirrors the paper's deployment unit: one independent
+// discriminator per qubit (§I contribution 2), which makes qubit × trace-
+// block work items shardable with no cross-qubit synchronization. A request
+// borrows a trace block for one qubit and names the engine to run it
+// through; the result carries the hard decisions plus the engine's native
+// logits (Q16.16 registers or float), bit-identical to the serial per-qubit
+// path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "klinq/data/trace_dataset.hpp"
+#include "klinq/fixed/fixed.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+#include "klinq/kd/distiller.hpp"
+
+namespace klinq::serve {
+
+/// Which datapath evaluates the traces.
+enum class engine_kind : std::uint8_t {
+  /// Bit-accurate Q16.16 hardware model (the FPGA decision).
+  fixed_q16,
+  /// Distilled float student (the software reference).
+  float_student,
+};
+
+const char* engine_name(engine_kind engine) noexcept;
+
+/// Non-owning handles to one qubit's deployed models. Either pointer may be
+/// null when that path is not served; submitting a request for a missing
+/// path throws. Both models must outlive the server.
+struct qubit_engine {
+  const kd::student_model* student = nullptr;
+  const hw::fixed_discriminator<fx::q16_16>* hardware = nullptr;
+};
+
+/// One unit of streamed work: a block of traces for one qubit. The dataset
+/// is borrowed and must stay alive and unmodified until the ticket is
+/// consumed (or the server is destroyed).
+struct readout_request {
+  std::size_t qubit = 0;
+  const data::trace_dataset* traces = nullptr;
+  engine_kind engine = engine_kind::fixed_q16;
+};
+
+/// Completed measurement of one request. `states[r]` is the hard decision
+/// (1 = state |1⟩) for trace r; the engine's native logits ride along in
+/// `registers` (fixed_q16) or `logits` (float_student) — the other vector is
+/// empty. Values are bit-identical to the serial per-qubit path.
+struct readout_result {
+  std::size_t qubit = 0;
+  engine_kind engine = engine_kind::fixed_q16;
+  std::vector<std::uint8_t> states;
+  std::vector<fx::q16_16> registers;
+  std::vector<float> logits;
+  /// submit() → completion wall time.
+  double latency_seconds = 0.0;
+};
+
+/// Opaque handle returned by submit(); consumed by wait().
+struct ticket {
+  std::uint64_t id = 0;
+};
+
+}  // namespace klinq::serve

@@ -1,0 +1,258 @@
+#include "klinq/serve/readout_server.hpp"
+
+#include <exception>
+#include <span>
+#include <utility>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq::serve {
+
+const char* engine_name(engine_kind engine) noexcept {
+  switch (engine) {
+    case engine_kind::fixed_q16:
+      return "fixed-q16.16";
+    case engine_kind::float_student:
+      return "float-student";
+  }
+  return "unknown";
+}
+
+readout_server::readout_server(std::vector<qubit_engine> qubits,
+                               server_config config)
+    : qubits_(std::move(qubits)),
+      config_(config),
+      scheduler_(global_thread_pool(), config.shard_shots) {
+  KLINQ_REQUIRE(!qubits_.empty(), "readout_server: no qubit engines");
+  KLINQ_REQUIRE(config_.max_inflight > 0,
+                "readout_server: max_inflight must be positive");
+}
+
+readout_server::~readout_server() {
+  // Unconsumed results are discarded, but every enqueued shard still holds a
+  // pointer into this server — wait for all of them before tearing down.
+  std::unique_lock lock(mutex_);
+  completed_.wait(lock, [this] { return outstanding_shards_ == 0; });
+}
+
+const qubit_engine& readout_server::engine_for(
+    const readout_request& request) const {
+  KLINQ_REQUIRE(request.qubit < qubits_.size(),
+                "readout_server: qubit index out of range");
+  KLINQ_REQUIRE(request.traces != nullptr,
+                "readout_server: request has no trace block");
+  const qubit_engine& engine = qubits_[request.qubit];
+  if (request.engine == engine_kind::fixed_q16) {
+    KLINQ_REQUIRE(engine.hardware != nullptr,
+                  "readout_server: qubit has no fixed-point engine");
+  } else {
+    KLINQ_REQUIRE(engine.student != nullptr,
+                  "readout_server: qubit has no float engine");
+  }
+  return engine;
+}
+
+ticket readout_server::submit(const readout_request& request) {
+  engine_for(request);  // validate before queueing
+  std::unique_lock lock(mutex_);
+  capacity_.wait(lock,
+                 [this] { return active_.size() < config_.max_inflight; });
+  return submit_locked(request, lock);
+}
+
+std::optional<ticket> readout_server::try_submit(
+    const readout_request& request) {
+  engine_for(request);
+  std::unique_lock lock(mutex_);
+  if (active_.size() >= config_.max_inflight) return std::nullopt;
+  return submit_locked(request, lock);
+}
+
+ticket readout_server::submit_locked(const readout_request& request,
+                                     std::unique_lock<std::mutex>& lock) {
+  const std::size_t shots = request.traces->size();
+
+  std::unique_ptr<slot> s;
+  if (!free_slots_.empty()) {
+    s = std::move(free_slots_.back());
+    free_slots_.pop_back();
+  } else {
+    s = std::make_unique<slot>();
+  }
+  s->id = next_ticket_++;
+  s->shots = shots;
+  s->remaining_shards = shots == 0 ? 0 : scheduler_.shard_count(shots);
+  s->done = false;
+  s->error = nullptr;
+  s->result.qubit = request.qubit;
+  s->result.engine = request.engine;
+  s->result.latency_seconds = 0.0;
+  // Recycled slots keep vector capacity: these resizes allocate only until
+  // the pool has seen this request size once.
+  s->result.states.resize(shots);
+  if (request.engine == engine_kind::fixed_q16) {
+    s->result.registers.resize(shots);
+    s->result.logits.clear();
+  } else {
+    s->result.logits.resize(shots);
+    s->result.registers.clear();
+  }
+  s->timer.reset();
+
+  slot* raw = s.get();
+  const ticket t{raw->id};
+  active_.emplace(raw->id, std::move(s));
+  ++requests_submitted_;
+  shots_submitted_ += shots;
+  outstanding_shards_ += raw->remaining_shards;
+
+  if (shots == 0) {
+    raw->done = true;
+    ++requests_completed_;
+    latency_.record(raw->timer.seconds());
+    completed_.notify_all();
+    return t;
+  }
+
+  // Dispatch outside the lock: the pool has its own mutex, and shards may
+  // even run inline here on a workerless (single-CPU) pool. The slot cannot
+  // complete early — remaining_shards is already final.
+  lock.unlock();
+  const readout_request req = request;
+  scheduler_.dispatch(
+      shots, [this, req, raw](std::size_t begin, std::size_t end,
+                              shard_arena& arena) {
+        std::exception_ptr error;
+        try {
+          run_shard(*raw, req, begin, end, arena);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        const std::lock_guard done_lock(mutex_);
+        if (error && !raw->error) raw->error = error;
+        --outstanding_shards_;
+        if (--raw->remaining_shards == 0) {
+          raw->done = true;
+          raw->result.latency_seconds = raw->timer.seconds();
+          ++requests_completed_;
+          shots_completed_ += raw->shots;
+          latency_.record(raw->result.latency_seconds);
+        }
+        if (raw->done || outstanding_shards_ == 0) completed_.notify_all();
+      });
+  return t;
+}
+
+void readout_server::run_shard(slot& s, const readout_request& request,
+                               std::size_t begin, std::size_t end,
+                               shard_arena& arena) const {
+  const qubit_engine& engine = qubits_[request.qubit];
+  const std::size_t count = end - begin;
+  // Shards write disjoint row ranges of the slot's buffers: no locking on
+  // the data plane.
+  if (request.engine == engine_kind::fixed_q16) {
+    const auto registers =
+        std::span<fx::q16_16>(s.result.registers).subspan(begin, count);
+    engine.hardware->logits_block(*request.traces, begin, end, registers,
+                                  arena.fixed);
+    for (std::size_t r = begin; r < end; ++r) {
+      s.result.states[r] = s.result.registers[r].sign_bit() ? 0 : 1;
+    }
+  } else {
+    const auto logits =
+        std::span<float>(s.result.logits).subspan(begin, count);
+    engine.student->predict_block(*request.traces, begin, end, logits,
+                                  arena.student);
+    for (std::size_t r = begin; r < end; ++r) {
+      s.result.states[r] = (s.result.logits[r] >= 0.0f) ? 1 : 0;
+    }
+  }
+}
+
+bool readout_server::poll(ticket t) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = active_.find(t.id);
+  KLINQ_REQUIRE(it != active_.end(),
+                "readout_server: unknown or already-consumed ticket");
+  return it->second->done;
+}
+
+readout_result readout_server::wait(ticket t) {
+  readout_result result;
+  wait(t, result);
+  return result;
+}
+
+void readout_server::wait(ticket t, readout_result& out) {
+  std::unique_lock lock(mutex_);
+  slot* raw;
+  {
+    const auto it = active_.find(t.id);
+    KLINQ_REQUIRE(it != active_.end(),
+                  "readout_server: unknown or already-consumed ticket");
+    raw = it->second.get();
+  }
+  // Slot objects are stable (unique_ptrs shuttle between active_ and the
+  // free-list), so `raw` outlives the wait even if a racing wait() consumes
+  // the ticket; the predicate also wakes on disappearance so that race ends
+  // in the throw below rather than in a stale-iterator dereference.
+  completed_.wait(lock, [this, raw, &t] {
+    return raw->done || active_.find(t.id) == active_.end();
+  });
+  const auto it = active_.find(t.id);
+  KLINQ_REQUIRE(it != active_.end(),
+                "readout_server: ticket consumed by a concurrent wait");
+
+  std::unique_ptr<slot> s = std::move(it->second);
+  active_.erase(it);
+  capacity_.notify_one();
+
+  const std::exception_ptr error = s->error;
+  s->error = nullptr;
+  recycle_locked(std::move(s), error ? nullptr : &out);
+  if (error) {
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void readout_server::recycle_locked(std::unique_ptr<slot> s,
+                                    readout_result* swap_with) {
+  if (swap_with != nullptr) {
+    swap_with->qubit = s->result.qubit;
+    swap_with->engine = s->result.engine;
+    swap_with->latency_seconds = s->result.latency_seconds;
+    // Swapping (not moving) hands the caller's old buffers to the recycled
+    // slot, so a submit/wait loop reusing one readout_result settles into
+    // zero allocations.
+    swap_with->states.swap(s->result.states);
+    swap_with->registers.swap(s->result.registers);
+    swap_with->logits.swap(s->result.logits);
+  }
+  free_slots_.push_back(std::move(s));
+}
+
+void readout_server::drain() {
+  std::unique_lock lock(mutex_);
+  completed_.wait(lock, [this] { return outstanding_shards_ == 0; });
+}
+
+server_stats readout_server::stats() const {
+  const std::lock_guard lock(mutex_);
+  server_stats snapshot;
+  snapshot.requests_submitted = requests_submitted_;
+  snapshot.requests_completed = requests_completed_;
+  snapshot.shots_submitted = shots_submitted_;
+  snapshot.shots_completed = shots_completed_;
+  snapshot.inflight = active_.size();
+  snapshot.uptime_seconds = uptime_.seconds();
+  snapshot.shots_per_second =
+      snapshot.uptime_seconds > 0.0
+          ? static_cast<double>(shots_completed_) / snapshot.uptime_seconds
+          : 0.0;
+  snapshot.latency_p50_seconds = latency_.quantile(0.50);
+  snapshot.latency_p99_seconds = latency_.quantile(0.99);
+  return snapshot;
+}
+
+}  // namespace klinq::serve

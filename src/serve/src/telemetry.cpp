@@ -1,0 +1,55 @@
+#include "klinq/serve/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace klinq::serve {
+
+namespace {
+
+constexpr std::size_t kUnderflowBin = 0;
+constexpr std::size_t kFirstLogBin = 1;
+
+}  // namespace
+
+void latency_histogram::record(double seconds) noexcept {
+  std::size_t bin;
+  if (!(seconds > 0.0) || seconds < kMinSeconds) {
+    bin = kUnderflowBin;
+  } else {
+    const double position =
+        std::log10(seconds / kMinSeconds) * kBinsPerDecade;
+    const auto log_bin = static_cast<std::size_t>(position);
+    bin = std::min(kFirstLogBin + log_bin, bins_.size() - 1);
+  }
+  ++bins_[bin];
+  ++count_;
+}
+
+double latency_histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based; ceil so q = 1 is the max bin.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    seen += bins_[b];
+    if (seen < rank) continue;
+    if (b == kUnderflowBin) return kMinSeconds;
+    const double decade_pos =
+        static_cast<double>(b - kFirstLogBin) / kBinsPerDecade;
+    const double low = kMinSeconds * std::pow(10.0, decade_pos);
+    // Geometric midpoint of the bin (its width is one kBinsPerDecade-th of
+    // a decade).
+    return low * std::pow(10.0, 0.5 / kBinsPerDecade);
+  }
+  return kMinSeconds * std::pow(10.0, kDecades);  // unreachable
+}
+
+void latency_histogram::reset() noexcept {
+  bins_.fill(0);
+  count_ = 0;
+}
+
+}  // namespace klinq::serve

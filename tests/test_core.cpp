@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include "klinq/core/cache.hpp"
 #include "klinq/core/fidelity.hpp"
@@ -187,6 +188,33 @@ TEST(System, SaveLoadDirectoryRoundTrip) {
               system.measure(1, data.test.trace(r), n));
   }
   std::filesystem::remove_all(dir);
+}
+
+TEST(System, SaveLoadDirectoryBitIdenticalMeasurements) {
+  // Round-tripping through the on-disk format must reproduce the trained
+  // system exactly: bit-exact Q16.16 registers (the FPGA decisions ride on
+  // them) and bitwise-equal float logits, on every qubit and trace.
+  const auto& system = tiny_system();
+  const std::string dir = "./test_system_artifacts_bitexact";
+  system.save_directory(dir);
+  const auto restored = core::klinq_system::load_directory(dir, 2);
+  std::filesystem::remove_all(dir);
+  for (std::size_t q = 0; q < system.qubit_count(); ++q) {
+    const auto data = qsim::build_qubit_dataset(tiny_spec(), q);
+    std::vector<fx::q16_16> trained_registers(data.test.size());
+    std::vector<fx::q16_16> loaded_registers(data.test.size());
+    system.discriminator(q).hardware().logits(data.test, trained_registers);
+    restored.discriminator(q).hardware().logits(data.test, loaded_registers);
+    for (std::size_t r = 0; r < data.test.size(); ++r) {
+      ASSERT_EQ(loaded_registers[r].raw(), trained_registers[r].raw())
+          << "qubit " << q << " row " << r;
+    }
+    const auto trained_logits =
+        system.discriminator(q).student().predict_batch(data.test);
+    const auto loaded_logits =
+        restored.discriminator(q).student().predict_batch(data.test);
+    ASSERT_EQ(loaded_logits, trained_logits) << "qubit " << q;
+  }
 }
 
 TEST(System, FixedAndFloatPathsAgree) {

@@ -241,4 +241,70 @@ TEST(FixedFormats, Q12MirrorsQ16Semantics) {
                    2048.0 - q12_12::resolution());
 }
 
+// --- manual round-half-away-from-zero vs libm llround ----------------------
+//
+// The trace quantizer (fixed_frontend::quantize_trace → fixed::from_double)
+// used to pay one libm llround per sample (1000/shot); the manual
+// replacement must be bit-exact against it everywhere in the conversion
+// domain, including negatives, exact halves and the saturation boundary.
+
+TEST(Rounding, ManualHalfAwayMatchesLlroundOnHalfwayLattice) {
+  // Every quarter step around zero: k/4 covers exact integers, halves (the
+  // tie case in both signs) and non-tie fractions.
+  for (std::int64_t k = -8000; k <= 8000; ++k) {
+    const double value = static_cast<double>(k) / 4.0;
+    ASSERT_EQ(klinq::fx::round_half_away_from_zero(value), std::llround(value))
+        << "value " << value;
+  }
+  // Ties just off the lattice: the nearest double below/above k + 0.5 must
+  // not round as a tie.
+  for (std::int64_t k = -50; k <= 50; ++k) {
+    const double tie = static_cast<double>(k) + 0.5;
+    ASSERT_EQ(klinq::fx::round_half_away_from_zero(
+                  std::nextafter(tie, -1e18)),
+              std::llround(std::nextafter(tie, -1e18)));
+    ASSERT_EQ(klinq::fx::round_half_away_from_zero(
+                  std::nextafter(tie, 1e18)),
+              std::llround(std::nextafter(tie, 1e18)));
+  }
+}
+
+TEST(Rounding, ManualHalfAwayMatchesLlroundOnRandomSweep) {
+  klinq::xoshiro256 rng(123);
+  for (int i = 0; i < 200000; ++i) {
+    // Spans the Q16.16 scaled domain (|raw| < 2^31) and well beyond.
+    const double value = rng.uniform(-4.0e9, 4.0e9);
+    ASSERT_EQ(klinq::fx::round_half_away_from_zero(value), std::llround(value))
+        << "value " << value;
+  }
+}
+
+TEST(Rounding, FromDoubleMatchesLlroundReferenceIncludingSaturation) {
+  // Reference: the old llround-based conversion with the same rail checks.
+  const auto reference = [](double value) -> std::int64_t {
+    if (std::isnan(value)) return 0;
+    const double scaled = value * 65536.0;
+    if (scaled >= static_cast<double>(q16_16::raw_max)) return q16_16::raw_max;
+    if (scaled <= static_cast<double>(q16_16::raw_min)) return q16_16::raw_min;
+    return std::llround(scaled);
+  };
+  klinq::xoshiro256 rng(77);
+  for (int i = 0; i < 100000; ++i) {
+    const double value = rng.uniform(-70000.0, 70000.0);  // crosses both rails
+    ASSERT_EQ(q16_16::from_double(value).raw(), reference(value))
+        << "value " << value;
+  }
+  // Halfway LSB steps: value = (k + 0.5) / 2^16 scales to an exact tie.
+  for (std::int64_t k = -1000; k <= 1000; ++k) {
+    const double value = (static_cast<double>(k) + 0.5) / 65536.0;
+    ASSERT_EQ(q16_16::from_double(value).raw(), reference(value))
+        << "value " << value;
+  }
+  for (const double edge :
+       {32767.9999, 32768.0, 1e9, -32768.0, -32768.0001, -1e9, 0.0, -0.0}) {
+    ASSERT_EQ(q16_16::from_double(edge).raw(), reference(edge))
+        << "value " << edge;
+  }
+}
+
 }  // namespace

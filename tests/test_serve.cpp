@@ -1,0 +1,490 @@
+// Sharded serving engine vs the serial per-qubit path.
+//
+// The contract under test: every result the readout_server hands back —
+// Q16.16 registers, float logits, hard decisions — is bit-identical to the
+// serial per-qubit batched evaluation, across shard sizes, qubit counts and
+// concurrent submitters; plus the facade semantics (tickets, backpressure,
+// telemetry) and the thread-pool submit/nesting machinery underneath it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/rng.hpp"
+#include "klinq/common/thread_pool.hpp"
+#include "klinq/core/qubit_discriminator.hpp"
+#include "klinq/core/system.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+#include "klinq/kd/distiller.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+#include "klinq/serve/readout_server.hpp"
+#include "klinq/serve/shard_scheduler.hpp"
+#include "klinq/serve/telemetry.hpp"
+
+namespace {
+
+using namespace klinq;
+using fx::q16_16;
+
+constexpr std::size_t kQubits = 3;
+
+// Three independent "qubits": distinct datasets and students (no teacher —
+// serve doesn't care how the students were trained). Test blocks are large
+// enough (300 shots) to cross several shard boundaries at the default and
+// custom shard sizes.
+struct serve_fixture {
+  std::vector<qsim::qubit_dataset> data;
+  std::vector<kd::student_model> students;
+  std::vector<hw::fixed_discriminator<q16_16>> hardware;
+  // Serial-path references, one per qubit.
+  std::vector<std::vector<q16_16>> expected_registers;
+  std::vector<std::vector<float>> expected_logits;
+
+  serve_fixture() {
+    for (std::size_t q = 0; q < kQubits; ++q) {
+      qsim::dataset_spec spec;
+      spec.device = qsim::single_qubit_test_preset();
+      spec.shots_per_permutation_train = 150;
+      spec.shots_per_permutation_test = 150;
+      spec.seed = 11 + q;
+      data.push_back(qsim::build_qubit_dataset(spec, 0));
+      kd::student_config config;
+      config.groups_per_quadrature = 15;
+      config.epochs = 5;
+      config.seed = 7 + q;
+      students.push_back(kd::distill_student(data[q].train, {}, config));
+      hardware.emplace_back(students[q]);
+
+      const auto& test = data[q].test;
+      std::vector<q16_16> registers(test.size());
+      hardware[q].logits(test, registers);
+      expected_registers.push_back(std::move(registers));
+      expected_logits.push_back(students[q].predict_batch(test));
+    }
+  }
+
+  std::vector<serve::qubit_engine> engines() const {
+    std::vector<serve::qubit_engine> out;
+    for (std::size_t q = 0; q < kQubits; ++q) {
+      out.push_back({&students[q], &hardware[q]});
+    }
+    return out;
+  }
+};
+
+serve_fixture& fixture() {
+  static serve_fixture f;
+  return f;
+}
+
+void expect_fixed_result(const serve::readout_result& result, std::size_t q) {
+  auto& f = fixture();
+  const auto& expected = f.expected_registers[q];
+  ASSERT_EQ(result.engine, serve::engine_kind::fixed_q16);
+  ASSERT_EQ(result.qubit, q);
+  ASSERT_EQ(result.registers.size(), expected.size());
+  ASSERT_EQ(result.states.size(), expected.size());
+  ASSERT_TRUE(result.logits.empty());
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    ASSERT_EQ(result.registers[r].raw(), expected[r].raw())
+        << "qubit " << q << " row " << r;
+    ASSERT_EQ(result.states[r] != 0, !expected[r].sign_bit())
+        << "qubit " << q << " row " << r;
+  }
+}
+
+void expect_float_result(const serve::readout_result& result, std::size_t q) {
+  auto& f = fixture();
+  const auto& expected = f.expected_logits[q];
+  ASSERT_EQ(result.engine, serve::engine_kind::float_student);
+  ASSERT_EQ(result.logits.size(), expected.size());
+  ASSERT_TRUE(result.registers.empty());
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    ASSERT_EQ(result.logits[r], expected[r]) << "qubit " << q << " row " << r;
+    ASSERT_EQ(result.states[r] != 0, expected[r] >= 0.0f)
+        << "qubit " << q << " row " << r;
+  }
+}
+
+// --- bit-identity across shard sizes and engines ---------------------------
+
+TEST(Serve, FixedBitExactAcrossShardSizes) {
+  auto& f = fixture();
+  // 64 = one cache tile per shard, 128 = several shards per request,
+  // 100000 = single shard (whole request serial inside one task).
+  for (const std::size_t shard_shots : {64u, 128u, 100000u}) {
+    serve::readout_server server(f.engines(), {.shard_shots = shard_shots});
+    std::vector<serve::ticket> tickets;
+    for (std::size_t q = 0; q < kQubits; ++q) {
+      tickets.push_back(server.submit(
+          {q, &f.data[q].test, serve::engine_kind::fixed_q16}));
+    }
+    for (std::size_t q = 0; q < kQubits; ++q) {
+      const serve::readout_result result = server.wait(tickets[q]);
+      expect_fixed_result(result, q);
+      EXPECT_GE(result.latency_seconds, 0.0);
+    }
+  }
+}
+
+TEST(Serve, FloatBitExactAcrossShardSizes) {
+  auto& f = fixture();
+  for (const std::size_t shard_shots : {64u, 192u, 100000u}) {
+    serve::readout_server server(f.engines(), {.shard_shots = shard_shots});
+    std::vector<serve::ticket> tickets;
+    for (std::size_t q = 0; q < kQubits; ++q) {
+      tickets.push_back(server.submit(
+          {q, &f.data[q].test, serve::engine_kind::float_student}));
+    }
+    for (std::size_t q = 0; q < kQubits; ++q) {
+      expect_float_result(server.wait(tickets[q]), q);
+    }
+  }
+}
+
+TEST(Serve, MixedEnginesInterleaved) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines(), {.shard_shots = 64});
+  std::vector<serve::ticket> fixed_tickets;
+  std::vector<serve::ticket> float_tickets;
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    fixed_tickets.push_back(
+        server.submit({q, &f.data[q].test, serve::engine_kind::fixed_q16}));
+    float_tickets.push_back(server.submit(
+        {q, &f.data[q].test, serve::engine_kind::float_student}));
+  }
+  // Collect in reverse submit order to exercise out-of-order claiming.
+  for (std::size_t q = kQubits; q-- > 0;) {
+    expect_float_result(server.wait(float_tickets[q]), q);
+    expect_fixed_result(server.wait(fixed_tickets[q]), q);
+  }
+}
+
+TEST(Serve, ConcurrentSubmittersBitExact) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines(),
+                               {.shard_shots = 64, .max_inflight = 4});
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRequestsPerThread = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  for (std::size_t thread_index = 0; thread_index < kThreads;
+       ++thread_index) {
+    submitters.emplace_back([&, thread_index] {
+      // Each submitter reuses one result object: the steady-state
+      // (buffer-swapping) wait path under contention.
+      serve::readout_result result;
+      for (std::size_t i = 0; i < kRequestsPerThread; ++i) {
+        const std::size_t q = (thread_index + i) % kQubits;
+        const bool fixed = ((thread_index + i) % 2) == 0;
+        const serve::ticket t = server.submit(
+            {q, &f.data[q].test,
+             fixed ? serve::engine_kind::fixed_q16
+                   : serve::engine_kind::float_student});
+        server.wait(t, result);
+        if (fixed) {
+          const auto& expected = f.expected_registers[q];
+          for (std::size_t r = 0; r < expected.size(); ++r) {
+            if (result.registers[r].raw() != expected[r].raw()) ++failures;
+          }
+        } else {
+          const auto& expected = f.expected_logits[q];
+          for (std::size_t r = 0; r < expected.size(); ++r) {
+            if (result.logits[r] != expected[r]) ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  const serve::server_stats stats = server.stats();
+  EXPECT_EQ(stats.requests_completed, kThreads * kRequestsPerThread);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+// --- facade semantics ------------------------------------------------------
+
+TEST(Serve, BackpressureCountsUnconsumedTickets) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines(), {.max_inflight = 1});
+  const serve::ticket first =
+      server.submit({0, &f.data[0].test, serve::engine_kind::fixed_q16});
+  server.drain();  // completed but not consumed: still occupies the window
+  EXPECT_FALSE(
+      server
+          .try_submit({1, &f.data[1].test, serve::engine_kind::fixed_q16})
+          .has_value());
+  expect_fixed_result(server.wait(first), 0);
+  const auto second =
+      server.try_submit({1, &f.data[1].test, serve::engine_kind::fixed_q16});
+  ASSERT_TRUE(second.has_value());
+  expect_fixed_result(server.wait(*second), 1);
+}
+
+TEST(Serve, PollAndTicketLifecycle) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  const serve::ticket t =
+      server.submit({1, &f.data[1].test, serve::engine_kind::fixed_q16});
+  server.drain();
+  EXPECT_TRUE(server.poll(t));
+  expect_fixed_result(server.wait(t), 1);
+  // Consumed tickets are unknown to the server.
+  EXPECT_THROW(server.poll(t), invalid_argument_error);
+  EXPECT_THROW(server.wait(t), invalid_argument_error);
+}
+
+TEST(Serve, RejectsInvalidRequests) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  EXPECT_THROW(
+      server.submit({kQubits, &f.data[0].test, serve::engine_kind::fixed_q16}),
+      invalid_argument_error);
+  EXPECT_THROW(server.submit({0, nullptr, serve::engine_kind::fixed_q16}),
+               invalid_argument_error);
+  // A qubit with no float engine registered rejects float requests.
+  std::vector<serve::qubit_engine> fixed_only = f.engines();
+  fixed_only[0].student = nullptr;
+  serve::readout_server hardware_server(std::move(fixed_only));
+  EXPECT_THROW(hardware_server.submit(
+                   {0, &f.data[0].test, serve::engine_kind::float_student}),
+               invalid_argument_error);
+}
+
+TEST(Serve, EmptyRequestCompletesImmediately) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  const data::trace_dataset empty;
+  const serve::ticket t =
+      server.submit({0, &empty, serve::engine_kind::fixed_q16});
+  EXPECT_TRUE(server.poll(t));
+  const serve::readout_result result = server.wait(t);
+  EXPECT_TRUE(result.states.empty());
+  EXPECT_TRUE(result.registers.empty());
+}
+
+TEST(Serve, StatsCountShotsAndLatency) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines(), {.shard_shots = 64});
+  std::vector<serve::ticket> tickets;
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    tickets.push_back(
+        server.submit({q, &f.data[q].test, serve::engine_kind::fixed_q16}));
+  }
+  for (const serve::ticket t : tickets) server.wait(t);
+  const serve::server_stats stats = server.stats();
+  std::size_t total_shots = 0;
+  for (std::size_t q = 0; q < kQubits; ++q) total_shots += f.data[q].test.size();
+  EXPECT_EQ(stats.requests_submitted, kQubits);
+  EXPECT_EQ(stats.requests_completed, kQubits);
+  EXPECT_EQ(stats.shots_submitted, total_shots);
+  EXPECT_EQ(stats.shots_completed, total_shots);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_GT(stats.uptime_seconds, 0.0);
+  EXPECT_GT(stats.shots_per_second, 0.0);
+  EXPECT_GT(stats.latency_p50_seconds, 0.0);
+  EXPECT_GE(stats.latency_p99_seconds, stats.latency_p50_seconds);
+}
+
+TEST(Serve, ArenasAreRecycledAcrossRequests) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines(), {.shard_shots = 64});
+  for (int round = 0; round < 3; ++round) {
+    const serve::ticket t =
+        server.submit({0, &f.data[0].test, serve::engine_kind::fixed_q16});
+    server.wait(t);
+  }
+  // The scheduler is internal to the server; probe arena recycling through a
+  // standalone scheduler on the same pool: after drain() every arena is back
+  // in the free-list, and a second dispatch must not grow it.
+  serve::shard_scheduler scheduler(global_thread_pool(), 64);
+  std::atomic<int> ran{0};
+  const auto count_rows = [&](std::size_t, std::size_t, serve::shard_arena&) {
+    ++ran;
+  };
+  scheduler.dispatch(256, count_rows);
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_GE(scheduler.pooled_arena_count(), 1u);
+  // A second wave reuses parked arenas: the pool never exceeds the peak
+  // shard concurrency, which is bounded by the shard count.
+  scheduler.dispatch(256, count_rows);
+  scheduler.drain();
+  EXPECT_GE(scheduler.pooled_arena_count(), 1u);
+  EXPECT_LE(scheduler.pooled_arena_count(), 4u);
+}
+
+// --- shard scheduler -------------------------------------------------------
+
+TEST(ShardScheduler, RoundsShardSizeToWholeTiles) {
+  auto& pool = global_thread_pool();
+  EXPECT_EQ(serve::shard_scheduler(pool, 0).shard_shots(), 256u);  // default
+  EXPECT_EQ(serve::shard_scheduler(pool, 1).shard_shots(), 64u);
+  EXPECT_EQ(serve::shard_scheduler(pool, 64).shard_shots(), 64u);
+  EXPECT_EQ(serve::shard_scheduler(pool, 65).shard_shots(), 128u);
+  // Absurd sizes (e.g. -1 wrapped through a CLI cast) clamp instead of
+  // overflowing the tile round-up to a zero shard size.
+  EXPECT_GT(serve::shard_scheduler(pool, static_cast<std::size_t>(-1))
+                .shard_shots(),
+            0u);
+  const serve::shard_scheduler scheduler(pool, 128);
+  EXPECT_EQ(scheduler.shard_count(1), 1u);
+  EXPECT_EQ(scheduler.shard_count(128), 1u);
+  EXPECT_EQ(scheduler.shard_count(129), 2u);
+  EXPECT_EQ(scheduler.shard_count(512), 4u);
+}
+
+TEST(ShardScheduler, DispatchCoversEveryRowExactlyOnce) {
+  serve::shard_scheduler scheduler(global_thread_pool(), 64);
+  constexpr std::size_t kShots = 300;  // non-multiple: last shard is ragged
+  std::vector<std::atomic<int>> touched(kShots);
+  scheduler.dispatch(kShots, [&](std::size_t begin, std::size_t end,
+                                 serve::shard_arena&) {
+    for (std::size_t r = begin; r < end; ++r) ++touched[r];
+  });
+  scheduler.drain();
+  for (std::size_t r = 0; r < kShots; ++r) {
+    ASSERT_EQ(touched[r].load(), 1) << "row " << r;
+  }
+}
+
+// --- thread pool: submit + nested parallel_for -----------------------------
+
+TEST(ThreadPool, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> counter{0};
+  {
+    thread_pool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // dtor drains the queue
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitRunsInlineOnWorkerlessPool) {
+  thread_pool pool(1);  // spawns zero background workers
+  ASSERT_EQ(pool.worker_count(), 0u);
+  bool ran = false;
+  pool.submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);  // completed synchronously
+}
+
+TEST(ThreadPool, SubmitFromWorkerRunsInline) {
+  thread_pool pool(4);
+  std::atomic<bool> completed_synchronously{false};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    // A worker re-submitting and then blocking on the task could deadlock a
+    // saturated pool, so worker-side submits must complete inline.
+    bool inner_ran = false;
+    pool.submit([&inner_ran] { inner_ran = true; });
+    completed_synchronously = inner_ran;
+    done = true;
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_TRUE(completed_synchronously.load());
+}
+
+TEST(ThreadPool, NestedParallelForInsideSubmitDoesNotDeadlock) {
+  thread_pool pool(2);
+  std::atomic<int> total{0};
+  std::atomic<int> done{0};
+  constexpr int kTasks = 8;
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&] {
+      // Nested dispatch onto the same (possibly saturated) pool: must run
+      // serially inline rather than deadlock.
+      pool.parallel_for(0, 10, [&](std::size_t) { ++total; });
+      ++done;
+    });
+  }
+  while (done.load() < kTasks) std::this_thread::yield();
+  EXPECT_EQ(total.load(), kTasks * 10);
+}
+
+TEST(ThreadPool, OnWorkerFlagVisibleInsideTasks) {
+  EXPECT_FALSE(thread_pool::on_worker());
+  thread_pool pool(2);
+  std::atomic<int> inside{0};
+  std::atomic<bool> checked{false};
+  pool.submit([&] {
+    inside = thread_pool::on_worker() ? 1 : 0;
+    checked = true;
+  });
+  while (!checked.load()) std::this_thread::yield();
+  EXPECT_EQ(inside.load(), 1);
+  EXPECT_FALSE(thread_pool::on_worker());
+}
+
+// --- telemetry -------------------------------------------------------------
+
+TEST(Telemetry, HistogramQuantilesLandInTheRightBin) {
+  serve::latency_histogram histogram;
+  EXPECT_EQ(histogram.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 90; ++i) histogram.record(1e-3);
+  for (int i = 0; i < 10; ++i) histogram.record(1.0);
+  EXPECT_EQ(histogram.count(), 100u);
+  // p50 falls in the 1 ms bin, p99 in the 1 s bin; log-binning at 16 bins
+  // per decade bounds relative error to ~15%.
+  EXPECT_NEAR(histogram.quantile(0.50), 1e-3, 0.2e-3);
+  EXPECT_NEAR(histogram.quantile(0.99), 1.0, 0.2);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.quantile(0.99), 0.0);
+}
+
+TEST(Telemetry, HistogramHandlesExtremes) {
+  serve::latency_histogram histogram;
+  histogram.record(0.0);      // underflow bin
+  histogram.record(1e-12);    // below floor
+  histogram.record(1e6);      // overflow bin
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_GT(histogram.quantile(1.0), 10.0);   // max lands in overflow
+  EXPECT_LE(histogram.quantile(0.0), serve::latency_histogram::kMinSeconds);
+}
+
+// --- system facade on the server -------------------------------------------
+
+TEST(SystemServe, MeasureBatchMatchesSerialPerQubit) {
+  auto& f = fixture();
+  // Assemble a klinq_system from the fixture students via the on-disk
+  // format (the trained-system constructor path needs a teacher).
+  const std::string dir = "./test_serve_system";
+  std::filesystem::create_directories(dir);
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    const core::qubit_discriminator disc(f.students[q]);
+    std::ofstream out(dir + "/qubit" + std::to_string(q) + ".klinq",
+                      std::ios::binary);
+    disc.save(out);
+  }
+  const core::klinq_system system =
+      core::klinq_system::load_directory(dir, kQubits);
+  std::filesystem::remove_all(dir);
+
+  std::vector<const data::trace_dataset*> blocks;
+  for (std::size_t q = 0; q < kQubits; ++q) blocks.push_back(&f.data[q].test);
+  const auto sharded = system.measure_batch(blocks);
+
+  ASSERT_EQ(sharded.size(), kQubits);
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    std::vector<std::uint8_t> serial(f.data[q].test.size());
+    system.discriminator(q).measure_batch(f.data[q].test, serial);
+    ASSERT_EQ(sharded[q], serial) << "qubit " << q;
+  }
+
+  // Null entries skip qubits.
+  blocks[1] = nullptr;
+  const auto partial = system.measure_batch(blocks);
+  EXPECT_TRUE(partial[1].empty());
+  EXPECT_EQ(partial[0], sharded[0]);
+  EXPECT_EQ(partial[2], sharded[2]);
+}
+
+}  // namespace

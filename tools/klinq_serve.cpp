@@ -1,0 +1,141 @@
+// klinq_serve — drive a sustained multi-qubit readout workload through the
+// sharded serving engine and report its telemetry.
+//
+//   klinq_serve --qubits 3 --rounds 16 --engine fixed --shard-shots 256
+//
+// Builds one compact student per simulated qubit (hard labels only — the
+// serving fabric does not care how students were trained; use klinq_train +
+// core::klinq_system for the full distillation pipeline), then streams
+// `rounds` trace-block requests per qubit through a readout_server under
+// bounded backpressure, spot-checks the returned decisions against the
+// serial per-qubit path, and prints shots/sec plus p50/p99 latency.
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "klinq/common/cli.hpp"
+#include "klinq/common/error.hpp"
+#include "klinq/common/stopwatch.hpp"
+#include "klinq/common/thread_pool.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+#include "klinq/kd/distiller.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+#include "klinq/serve/readout_server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace klinq;
+  cli_parser cli("klinq_serve",
+                 "stream a multi-qubit readout workload through the sharded "
+                 "serving engine");
+  cli.add_option("qubits", "number of simulated qubit channels", "3");
+  cli.add_option("traces-train", "train shots per state permutation", "200");
+  cli.add_option("traces-test", "test shots per state permutation (block "
+                 "size is 2x this)", "512");
+  cli.add_option("rounds", "requests streamed per qubit", "16");
+  cli.add_option("engine", "datapath: fixed | float", "fixed");
+  cli.add_option("shard-shots", "rows per shard (0 = default)", "0");
+  cli.add_option("max-inflight", "backpressure bound on open tickets", "16");
+  cli.add_option("seed", "dataset generation seed", "42");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const auto n_qubits = static_cast<std::size_t>(cli.get_int("qubits"));
+    KLINQ_REQUIRE(n_qubits >= 1, "--qubits must be positive");
+    const std::string engine_flag = cli.get_string("engine");
+    KLINQ_REQUIRE(engine_flag == "fixed" || engine_flag == "float",
+                  "--engine must be 'fixed' or 'float'");
+    const serve::engine_kind engine = engine_flag == "fixed"
+                                          ? serve::engine_kind::fixed_q16
+                                          : serve::engine_kind::float_student;
+    const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+
+    // One independent channel per qubit: distinct dataset seed + student.
+    std::printf("training %zu student(s)...\n", n_qubits);
+    std::vector<qsim::qubit_dataset> data;
+    std::vector<kd::student_model> students;
+    std::vector<hw::fixed_discriminator<fx::q16_16>> hardware;
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      qsim::dataset_spec spec;
+      spec.device = qsim::single_qubit_test_preset();
+      spec.shots_per_permutation_train =
+          static_cast<std::size_t>(cli.get_int("traces-train"));
+      spec.shots_per_permutation_test =
+          static_cast<std::size_t>(cli.get_int("traces-test"));
+      spec.seed = static_cast<std::uint64_t>(cli.get_int("seed")) + q;
+      data.push_back(qsim::build_qubit_dataset(spec, 0));
+      kd::student_config config;
+      config.epochs = 6;
+      config.seed = 7 + q;
+      students.push_back(kd::distill_student(data[q].train, {}, config));
+      hardware.emplace_back(students[q]);
+    }
+
+    std::vector<serve::qubit_engine> engines;
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      engines.push_back({&students[q], &hardware[q]});
+    }
+    serve::readout_server server(
+        std::move(engines),
+        {.shard_shots = static_cast<std::size_t>(cli.get_int("shard-shots")),
+         .max_inflight = static_cast<std::size_t>(cli.get_int("max-inflight"))});
+
+    const std::size_t block = data[0].test.size();
+    std::printf(
+        "streaming %zu rounds x %zu qubits (blocks of %zu shots, %s engine, "
+        "shard %zu shots, %zu pool workers)...\n",
+        rounds, n_qubits, block, serve::engine_name(engine),
+        server.shard_shots(), global_thread_pool().worker_count() + 1);
+
+    // Streaming loop: keep up to max_inflight tickets open, consuming the
+    // oldest whenever submit would block. One reused result object keeps the
+    // steady state allocation-free.
+    stopwatch timer;
+    std::vector<serve::ticket> open;
+    serve::readout_result result;
+    std::size_t mismatches = 0;
+    const auto consume_oldest = [&] {
+      server.wait(open.front(), result);
+      open.erase(open.begin());
+      // Spot-check: the first decision of every block must match the serial
+      // per-qubit path.
+      const auto& ds = data[result.qubit].test;
+      const bool serial =
+          engine == serve::engine_kind::fixed_q16
+              ? !hardware[result.qubit]
+                     .logit(ds.trace(0), ds.samples_per_quadrature())
+                     .sign_bit()
+              : students[result.qubit].logit(
+                    ds.trace(0), ds.samples_per_quadrature()) >= 0.0f;
+      if ((result.states[0] != 0) != serial) ++mismatches;
+    };
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (std::size_t q = 0; q < n_qubits; ++q) {
+        std::optional<serve::ticket> t;
+        while (!(t = server.try_submit({q, &data[q].test, engine}))) {
+          consume_oldest();
+        }
+        open.push_back(*t);
+      }
+    }
+    while (!open.empty()) consume_oldest();
+    const double elapsed = timer.seconds();
+
+    const serve::server_stats stats = server.stats();
+    std::printf(
+        "\nserved %llu requests / %llu shots in %.3f s\n"
+        "  throughput  %.0f shots/s\n"
+        "  latency     p50 %.3f ms   p99 %.3f ms\n"
+        "  spot-check  %s\n",
+        static_cast<unsigned long long>(stats.requests_completed),
+        static_cast<unsigned long long>(stats.shots_completed), elapsed,
+        static_cast<double>(stats.shots_completed) / elapsed,
+        stats.latency_p50_seconds * 1e3, stats.latency_p99_seconds * 1e3,
+        mismatches == 0 ? "all decisions match the serial path"
+                        : "MISMATCH vs serial path");
+    return mismatches == 0 ? 0 : 1;
+  } catch (const error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
