@@ -14,6 +14,8 @@
 #include <numeric>
 #include <vector>
 
+#include "bench_gbench.hpp"
+
 #include "klinq/common/rng.hpp"
 #include "klinq/fixed/fixed.hpp"
 #include "klinq/hw/fixed_discriminator.hpp"
@@ -125,4 +127,4 @@ BENCHMARK(BM_GemmNtStudentLayer)->Arg(32)->Arg(256)->Arg(4096)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+KLINQ_BENCHMARK_MAIN();

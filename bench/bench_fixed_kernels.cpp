@@ -1,0 +1,169 @@
+// Google-benchmark throughput benches for the fixed-point MAC kernels.
+//
+// Measures mac_row / mac_tile / quantize_block per dispatch tier (int128
+// reference, scalar64, AVX2 where the host has it) and per format (Q8.8,
+// Q16.16), in MACs/sec (row/tile) and samples/sec (quantize). Shapes match
+// the real datapath: 201-wide rows (FNN-B's first layer), 64-shot tiles,
+// 1000-sample traces. The reference rows quantify exactly what the int64
+// post-scaler buys over the int128 round-shift.
+//
+// Machine-readable snapshot:
+//   bench_fixed_kernels --benchmark_out=BENCH_fixed.json
+//                       --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_gbench.hpp"
+#include "klinq/common/rng.hpp"
+#include "klinq/fixed/fixed.hpp"
+#include "klinq/fixed/fixed_kernels.hpp"
+
+namespace {
+
+using namespace klinq;
+namespace kernels = fx::kernels;
+using fx::fixed_accumulator;
+using fx::q16_16;
+using fx::q8_8;
+
+template <class Fixed>
+std::vector<std::int32_t> random_raws(std::size_t n, std::uint64_t seed) {
+  xoshiro256 rng(seed);
+  std::vector<std::int32_t> raws(n);
+  for (auto& raw : raws) {
+    raw = static_cast<std::int32_t>(
+        rng.uniform(static_cast<double>(Fixed::raw_min) / 4,
+                    static_cast<double>(Fixed::raw_max) / 4));
+  }
+  return raws;
+}
+
+// --- mac_row: one 201-wide neuron row --------------------------------------
+
+template <class Fixed>
+void BM_MacRowReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto weights = random_raws<Fixed>(n, 1);
+  const auto inputs = random_raws<Fixed>(n, 2);
+  for (auto _ : state) {
+    fixed_accumulator<Fixed> acc;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc.add(Fixed::from_raw(weights[i]) * Fixed::from_raw(inputs[i]));
+    }
+    benchmark::DoNotOptimize(acc.result());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+template <class Fixed, auto MacRow>
+void BM_MacRowKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto weights = random_raws<Fixed>(n, 1);
+  const auto inputs = random_raws<Fixed>(n, 2);
+  const auto spec = kernels::spec_of<Fixed>();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MacRow(weights.data(), inputs.data(), n, 0, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+// --- mac_tile: one layer over a 64-shot tile -------------------------------
+
+template <class Fixed, auto MacTile>
+void BM_MacTileKernel(benchmark::State& state) {
+  constexpr std::size_t stride = kernels::max_tile_lanes;
+  const auto out_dim = static_cast<std::size_t>(state.range(0));
+  const auto in_dim = static_cast<std::size_t>(state.range(1));
+  const auto weights = random_raws<Fixed>(out_dim * in_dim, 3);
+  const auto bias = random_raws<Fixed>(out_dim, 4);
+  const auto plane = random_raws<Fixed>(in_dim * stride, 5);
+  std::vector<std::int32_t> out(out_dim * stride);
+  const auto spec = kernels::spec_of<Fixed>();
+  for (auto _ : state) {
+    MacTile(weights.data(), bias.data(), out_dim, in_dim, plane.data(),
+            stride, stride, true, out.data(), spec);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out_dim * in_dim *
+                                                    stride));
+}
+
+// --- quantize_block: one 1000-sample trace ---------------------------------
+
+template <class Fixed>
+void BM_QuantizeBlockReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  xoshiro256 rng(6);
+  std::vector<float> trace(n);
+  for (auto& v : trace) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  std::vector<std::int32_t> out(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::int32_t>(Fixed::from_double(trace[i]).raw());
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+template <class Fixed, auto QuantizeBlock>
+void BM_QuantizeBlockKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  xoshiro256 rng(6);
+  std::vector<float> trace(n);
+  for (auto& v : trace) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  std::vector<std::int32_t> out(n);
+  const auto spec = kernels::spec_of<Fixed>();
+  for (auto _ : state) {
+    QuantizeBlock(trace.data(), n, out.data(), spec);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+#define KLINQ_KERNEL_BENCHES(Fixed, tag)                                      \
+  BENCHMARK(BM_MacRowReference<Fixed>)->Name("BM_MacRow_int128ref_" tag)      \
+      ->Arg(201);                                                             \
+  BENCHMARK((BM_MacRowKernel<Fixed, kernels::scalar64::mac_row>))             \
+      ->Name("BM_MacRow_scalar64_" tag)->Arg(201);                            \
+  BENCHMARK((BM_MacRowKernel<Fixed, kernels::avx2::mac_row>))                 \
+      ->Name("BM_MacRow_avx2_" tag)->Arg(201);                                \
+  BENCHMARK((BM_MacTileKernel<Fixed, kernels::scalar64::mac_tile>))           \
+      ->Name("BM_MacTile_scalar64_" tag)->Args({16, 201});                    \
+  BENCHMARK((BM_MacTileKernel<Fixed, kernels::avx2::mac_tile>))               \
+      ->Name("BM_MacTile_avx2_" tag)->Args({16, 201});                        \
+  BENCHMARK(BM_QuantizeBlockReference<Fixed>)                                 \
+      ->Name("BM_QuantizeBlock_ref_" tag)->Arg(1000);                         \
+  BENCHMARK((BM_QuantizeBlockKernel<Fixed, kernels::scalar64::quantize_block>))\
+      ->Name("BM_QuantizeBlock_scalar64_" tag)->Arg(1000);                    \
+  BENCHMARK((BM_QuantizeBlockKernel<Fixed, kernels::avx2::quantize_block>))   \
+      ->Name("BM_QuantizeBlock_avx2_" tag)->Arg(1000)
+
+KLINQ_KERNEL_BENCHES(q16_16, "q16.16");
+KLINQ_KERNEL_BENCHES(q8_8, "q8.8");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  klinq::bench::add_klinq_context();
+  benchmark::AddCustomContext(
+      "klinq_avx2_available",
+      klinq::fx::kernels::avx2_available() ? "true" : "false");
+  // On hosts without AVX2 the avx2:: entry points must not run (and on
+  // non-SIMD builds they alias scalar64); skip them instead of faulting or
+  // reporting duplicate numbers.
+  if (!klinq::fx::kernels::avx2_available()) {
+    benchmark::RunSpecifiedBenchmarks("-BM_.*_avx2_.*");
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

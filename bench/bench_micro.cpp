@@ -6,6 +6,8 @@
 
 #include <vector>
 
+#include "bench_gbench.hpp"
+
 #include "klinq/common/rng.hpp"
 #include "klinq/fixed/fixed.hpp"
 #include "klinq/hw/fixed_discriminator.hpp"
@@ -150,4 +152,4 @@ BENCHMARK(BM_TraceGeneration5Q);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+KLINQ_BENCHMARK_MAIN();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "klinq/common/cli.hpp"
+#include "klinq/common/cpu_dispatch.hpp"
 #include "klinq/common/error.hpp"
 #include "klinq/common/stopwatch.hpp"
 #include "klinq/common/thread_pool.hpp"
@@ -22,6 +23,10 @@
 #include "klinq/kd/distiller.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
 #include "klinq/serve/readout_server.hpp"
+
+#ifndef KLINQ_BUILD_TYPE
+#define KLINQ_BUILD_TYPE "unknown"
+#endif
 
 namespace {
 
@@ -145,8 +150,11 @@ int main(int argc, char** argv) {
 
     // --- report -----------------------------------------------------------
     const std::size_t workers = global_thread_pool().worker_count() + 1;
-    std::printf("\n%zu pool worker(s), %zu qubits x %zu rounds x %zu shots\n",
-                workers, n_qubits, rounds, block);
+    const char* simd_tier = simd_tier_name(active_simd_tier());
+    std::printf(
+        "\n%zu pool worker(s), %zu qubits x %zu rounds x %zu shots "
+        "(%s build, %s fixed kernels)\n",
+        workers, n_qubits, rounds, block, KLINQ_BUILD_TYPE, simd_tier);
     for (const run_record& r : records) {
       std::printf("  %-14s %-18s %8.0f shots/s", r.engine.c_str(),
                   r.mode.c_str(),
@@ -164,13 +172,16 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "{\n"
                    "  \"bench\": \"bench_serve\",\n"
+                   "  \"build_type\": \"%s\",\n"
+                   "  \"simd_tier\": \"%s\",\n"
                    "  \"pool_workers\": %zu,\n"
                    "  \"qubits\": %zu,\n"
                    "  \"block_shots\": %zu,\n"
                    "  \"rounds\": %zu,\n"
                    "  \"shard_shots\": %zu,\n"
                    "  \"results\": [\n",
-                   workers, n_qubits, block, rounds, effective_shard_shots);
+                   KLINQ_BUILD_TYPE, simd_tier, workers, n_qubits, block,
+                   rounds, effective_shard_shots);
       for (std::size_t i = 0; i < records.size(); ++i) {
         const run_record& r = records[i];
         std::fprintf(out,

@@ -1,0 +1,54 @@
+// Cache-line-aligned storage for kernel register planes.
+//
+// The vectorized fixed-point kernels stream contiguous int32 planes
+// (weights, activation tiles); starting every plane on a cache-line boundary
+// keeps SIMD loads within single lines and tiles from straddling lines
+// shared with unrelated data. std::vector's default allocator only
+// guarantees alignof(std::max_align_t), so planes use this allocator.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace klinq {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <class T, std::size_t Alignment = kCacheLineBytes>
+struct aligned_allocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  aligned_allocator() noexcept = default;
+  template <class U>
+  aligned_allocator(const aligned_allocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = aligned_allocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const aligned_allocator&,
+                         const aligned_allocator&) noexcept {
+    return true;
+  }
+};
+
+/// Cache-line-aligned vector for raw register planes.
+template <class T>
+using aligned_vector = std::vector<T, aligned_allocator<T>>;
+
+}  // namespace klinq

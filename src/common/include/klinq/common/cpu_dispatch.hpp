@@ -1,0 +1,48 @@
+// Runtime CPU-feature dispatch for the vectorized kernel tiers.
+//
+// The fixed-point MAC kernels (klinq/fixed/fixed_kernels.hpp) ship two
+// implementations: a branchless int64 scalar path that any host runs, and an
+// AVX2 path compiled per-function (GCC/Clang target attributes) on x86-64.
+// Which one executes is decided once per process:
+//
+//   * compile time — KLINQ_HAVE_X86_SIMD gates whether the AVX2 bodies exist
+//     at all (x86-64 GCC/Clang builds, unless -DKLINQ_DISABLE_SIMD removes
+//     them so non-AVX2 hosts exercise the scalar fallback in CI),
+//   * run time — cpuid (__builtin_cpu_supports) confirms the executing host
+//     actually has AVX2; builds with -march=native that already imply AVX2
+//     (__AVX2__) skip the cpuid,
+//   * override — KLINQ_SIMD=scalar pins the scalar tier for A/B measurement;
+//     KLINQ_SIMD=avx2|auto picks AVX2 when available and falls back
+//     otherwise (requesting a tier the host lacks never faults).
+//
+// Benches record the resolved tier in their emitted JSON so a committed
+// snapshot says which datapath produced it.
+#pragma once
+
+#if !defined(KLINQ_DISABLE_SIMD) && (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define KLINQ_HAVE_X86_SIMD 1
+#else
+#define KLINQ_HAVE_X86_SIMD 0
+#endif
+
+namespace klinq {
+
+/// Kernel implementation tiers, narrowest capability first.
+enum class simd_tier {
+  scalar64,  ///< branchless int64 scalar kernels (always available)
+  avx2,      ///< 4-lane int64 AVX2 kernels
+};
+
+/// True when the executing CPU reports AVX2 (false on non-x86 builds and
+/// when KLINQ_DISABLE_SIMD compiled the SIMD paths out).
+bool cpu_supports_avx2() noexcept;
+
+/// The tier the dispatched kernels run at, resolved once per process from
+/// the compile gate, cpuid and the KLINQ_SIMD override.
+simd_tier active_simd_tier() noexcept;
+
+/// Stable lowercase name ("scalar64", "avx2") for logs and BENCH json.
+const char* simd_tier_name(simd_tier tier) noexcept;
+
+}  // namespace klinq

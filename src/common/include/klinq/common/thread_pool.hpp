@@ -6,11 +6,14 @@
 // oversubscription; individual components never spawn their own threads.
 //
 // Nesting: code already running on a pool worker (a submitted task or a
-// parallel_for chunk) may call parallel_for again — the nested call runs its
-// range serially inline instead of re-entering the queue. Without this, two
-// saturated workers waiting on each other's queued sub-chunks deadlock the
-// pool; with it, the outer dispatch level owns all the parallelism and inner
-// loops degrade to the (bit-identical) serial path.
+// parallel_for chunk) may call parallel_for again — the nested call queues
+// its chunks like any other and then work-steals while blocked: instead of
+// sleeping, a waiting caller drains the shared task queue (its own
+// sub-chunks, or anyone else's). Two saturated workers can therefore never
+// deadlock on each other's queued sub-chunks — a blocked thread always makes
+// progress on whatever is queued, and only sleeps once every outstanding
+// chunk of its own dispatch is already executing elsewhere. Results are
+// chunking-invariant, so stealing changes scheduling, never values.
 #pragma once
 
 #include <condition_variable>
@@ -50,9 +53,11 @@ class thread_pool {
   static bool on_worker() noexcept;
 
   /// Runs body(i) for i in [begin, end), partitioned into contiguous chunks
-  /// across the pool plus the calling thread. Blocks until all work is done.
-  /// Exceptions from body are rethrown on the caller (first one wins).
-  /// Reentrant: called from a pool worker, the range runs serially inline.
+  /// across the pool plus the calling thread. Blocks until all work is done,
+  /// draining the task queue while blocked (work-stealing wait) so nested
+  /// dispatch from a pool worker parallelizes instead of degrading to the
+  /// serial inline path. Exceptions from body are rethrown on the caller
+  /// (first one wins).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 

@@ -1,0 +1,49 @@
+#include "klinq/common/cpu_dispatch.hpp"
+
+#include "klinq/common/env.hpp"
+
+namespace klinq {
+
+bool cpu_supports_avx2() noexcept {
+#if KLINQ_HAVE_X86_SIMD
+#if defined(__AVX2__)
+  // The whole build already assumes AVX2 (-march=...); no cpuid needed.
+  return true;
+#else
+  return __builtin_cpu_supports("avx2") != 0;
+#endif
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+simd_tier resolve_tier() {
+  const std::string preference = env_string("KLINQ_SIMD", "auto");
+  if (preference == "scalar" || preference == "scalar64") {
+    return simd_tier::scalar64;
+  }
+  // "avx2" and "auto" both defer to the runtime check: requesting a tier the
+  // host cannot execute falls back instead of faulting on the first kernel.
+  return cpu_supports_avx2() ? simd_tier::avx2 : simd_tier::scalar64;
+}
+
+}  // namespace
+
+simd_tier active_simd_tier() noexcept {
+  static const simd_tier tier = resolve_tier();
+  return tier;
+}
+
+const char* simd_tier_name(simd_tier tier) noexcept {
+  switch (tier) {
+    case simd_tier::avx2:
+      return "avx2";
+    case simd_tier::scalar64:
+      break;
+  }
+  return "scalar64";
+}
+
+}  // namespace klinq

@@ -9,8 +9,9 @@ namespace klinq {
 namespace {
 
 // Set for the lifetime of a worker thread (and during inline submit
-// execution on a workerless pool). parallel_for consults it to decide
-// between dispatching chunks and degrading to the serial inline path.
+// execution on a workerless pool). submit() consults it to decide between
+// queueing and running inline; parallel_for dispatches chunks regardless
+// because its work-stealing wait keeps nested dispatch deadlock-free.
 thread_local bool t_on_pool_worker = false;
 
 struct worker_scope {
@@ -65,11 +66,13 @@ void thread_pool::submit(std::function<void()> task) {
   if (workers_.empty() || t_on_pool_worker) {
     // Run inline before returning when there is nobody safe to hand the
     // task to: either the pool has no background workers (single-CPU host),
-    // or the submitter *is* a pool worker — queueing from a worker and then
-    // blocking on the task's completion (e.g. readout_server::wait) could
-    // deadlock a saturated pool exactly like nested parallel_for. Mark the
-    // thread as a worker for the duration so nested dispatch stays serial,
-    // matching how the task would behave on a real worker.
+    // or the submitter *is* a pool worker. Unlike parallel_for — whose
+    // work-stealing wait makes queueing from a worker safe — submit()'s
+    // caller may block on the task's completion through a channel the pool
+    // cannot see (e.g. readout_server::wait on a condition variable), so a
+    // queued-from-worker task could deadlock a saturated pool. Mark the
+    // thread as a worker for the duration so the task behaves exactly as it
+    // would on a real worker.
     const worker_scope scope;
     task();
     return;
@@ -85,14 +88,6 @@ void thread_pool::parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& chunk_body) {
   if (begin >= end) return;
-  if (t_on_pool_worker) {
-    // Nested dispatch from inside a pool task: queueing sub-chunks and
-    // blocking on them can deadlock a saturated pool (every worker waiting
-    // on work only another worker could pop). The outer level owns the
-    // parallelism; run this range serially.
-    chunk_body(begin, end);
-    return;
-  }
   const std::size_t total = end - begin;
   const std::size_t parallelism = workers_.size() + 1;
   const std::size_t chunk_count = std::min(total, parallelism);
@@ -147,10 +142,8 @@ void thread_pool::parallel_for_chunked(
   task_ready_.notify_all();
 
   try {
-    // The caller's reserved chunk runs under the worker flag too, so nested
-    // dispatch from it degrades to serial exactly like the queued chunks —
-    // otherwise its inner loops would queue sub-chunks behind every
-    // outstanding outer chunk and stall on them.
+    // The caller's reserved chunk runs under the worker flag so its own
+    // nested dispatch behaves exactly like a queued chunk's.
     const worker_scope scope;
     chunk_body(first_begin, first_end);
   } catch (...) {
@@ -158,10 +151,50 @@ void thread_pool::parallel_for_chunked(
     if (!state->first_error) state->first_error = std::current_exception();
   }
 
-  std::unique_lock done_lock(state->done_mutex);
-  state->done.wait(done_lock, [&] { return state->remaining == 0; });
-  const std::exception_ptr error = state->first_error;
-  done_lock.unlock();
+  // Work-stealing wait: instead of sleeping while chunks are outstanding,
+  // drain the shared task queue. This is what makes nested dispatch safe —
+  // a worker blocked here executes queued tasks (its own sub-chunks, or
+  // anyone else's), so a saturated pool can never end up with every thread
+  // asleep waiting for work only another sleeper could pop. Sleeping on the
+  // completion signal is reserved for the moment the queue is empty, which
+  // means every outstanding chunk is already executing on some other thread
+  // and will signal completion itself. A drained task may be an unrelated
+  // long-running chunk (the usual help-first caveat: joining can execute
+  // foreign work), which delays this caller but never deadlocks it.
+  for (;;) {
+    {
+      const std::lock_guard done_lock(state->done_mutex);
+      if (state->remaining == 0) break;
+    }
+    std::function<void()> task;
+    {
+      const std::lock_guard lock(mutex_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+    }
+    if (task) {
+      const worker_scope scope;
+      try {
+        task();
+      } catch (...) {
+        // parallel_for chunks trap their own exceptions; a throwing
+        // submit() task terminates exactly as it would on a worker thread.
+        std::terminate();
+      }
+      continue;
+    }
+    std::unique_lock done_lock(state->done_mutex);
+    state->done.wait(done_lock, [&] { return state->remaining == 0; });
+    break;
+  }
+
+  std::exception_ptr error;
+  {
+    const std::lock_guard done_lock(state->done_mutex);
+    error = state->first_error;
+  }
   if (error) std::rethrow_exception(error);
 }
 

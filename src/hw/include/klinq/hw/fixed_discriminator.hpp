@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "klinq/common/aligned.hpp"
 #include "klinq/common/thread_pool.hpp"
 #include "klinq/data/trace_dataset.hpp"
 #include "klinq/hw/fixed_frontend.hpp"
@@ -25,12 +26,18 @@
 namespace klinq::hw {
 
 /// Reusable buffers for the full trace→decision path: the quantized trace
-/// register file, a feature tile, and the network's ping-pong arena.
+/// register file, a feature tile, and the network's ping-pong arena. The
+/// `_raw` members back the kernel fast path (32-bit formats): the quantized
+/// trace, the feature-major feature plane and the tile's output logits as
+/// raw int32 registers.
 template <class Fixed>
 struct discriminator_scratch {
   std::vector<Fixed> trace;
   la::matrix<Fixed> features;
   quantized_scratch<Fixed> net;
+  aligned_vector<std::int32_t> trace_raw;
+  aligned_vector<std::int32_t> plane_raw;
+  aligned_vector<std::int32_t> logits_raw;
 };
 
 template <class Fixed>
@@ -52,15 +59,27 @@ class fixed_discriminator {
   /// scratch (allocation-free when reused).
   Fixed logit(std::span<const float> trace, std::size_t samples_per_quadrature,
               discriminator_scratch<Fixed>& scratch) const {
-    scratch.trace.resize(trace.size());
-    fixed_frontend<Fixed>::quantize_trace(trace, scratch.trace);
-    if (scratch.features.rows() != 1 ||
-        scratch.features.cols() != frontend_.output_width()) {
-      scratch.features.resize(1, frontend_.output_width());
+    if constexpr (quantized_network<Fixed>::kernel_fast_path) {
+      // Raw-register pipeline, exactly like one lane of logits_block — the
+      // mid-circuit repeated-measurement hot path.
+      scratch.trace_raw.resize(trace.size());
+      fixed_frontend<Fixed>::quantize_trace_raw(trace, scratch.trace_raw);
+      scratch.plane_raw.resize(frontend_.output_width());
+      frontend_.extract_raw(scratch.trace_raw, samples_per_quadrature,
+                            scratch.plane_raw.data(), 1);
+      return Fixed::from_raw(
+          net_.forward_logit_raw(scratch.plane_raw.data(), scratch.net));
+    } else {
+      scratch.trace.resize(trace.size());
+      fixed_frontend<Fixed>::quantize_trace(trace, scratch.trace);
+      if (scratch.features.rows() != 1 ||
+          scratch.features.cols() != frontend_.output_width()) {
+        scratch.features.resize(1, frontend_.output_width());
+      }
+      frontend_.extract(scratch.trace, samples_per_quadrature,
+                        scratch.features.row(0));
+      return net_.forward_logit(scratch.features.row(0), scratch.net);
     }
-    frontend_.extract(scratch.trace, samples_per_quadrature,
-                      scratch.features.row(0));
-    return net_.forward_logit(scratch.features.row(0), scratch.net);
   }
 
   /// Convenience single-shot overload (allocates its own scratch).
@@ -100,22 +119,61 @@ class fixed_discriminator {
     const std::size_t n = dataset.samples_per_quadrature();
     const std::size_t width = frontend_.output_width();
     constexpr std::size_t kTile = quantized_network<Fixed>::kBatchTile;
-    scratch.trace.resize(dataset.feature_width());
-    for (std::size_t tile_begin = row_begin; tile_begin < row_end;
-         tile_begin += kTile) {
-      const std::size_t tile = std::min(kTile, row_end - tile_begin);
-      if (scratch.features.rows() != tile ||
-          scratch.features.cols() != width) {
-        scratch.features.resize(tile, width);
+    if constexpr (quantized_network<Fixed>::kernel_fast_path) {
+      // Raw-register pipeline: quantize and extract straight into the
+      // feature-major plane, forward the whole tile through the dispatched
+      // kernels — no fixed<I,F> temporaries anywhere on the hot path.
+      scratch.trace_raw.resize(dataset.feature_width());
+      scratch.plane_raw.resize(width * kTile);
+      scratch.logits_raw.resize(kTile);
+      for (std::size_t tile_begin = row_begin; tile_begin < row_end;
+           tile_begin += kTile) {
+        const std::size_t tile = std::min(kTile, row_end - tile_begin);
+        if (tile < 4) {
+          // Too few shots for the tile kernel's lanes: extract contiguously
+          // and run the row kernel, which vectorizes along the features.
+          for (std::size_t s = 0; s < tile; ++s) {
+            fixed_frontend<Fixed>::quantize_trace_raw(
+                dataset.trace(tile_begin + s), scratch.trace_raw);
+            frontend_.extract_raw(scratch.trace_raw, n,
+                                  scratch.plane_raw.data(), 1);
+            out[tile_begin - row_begin + s] = Fixed::from_raw(
+                net_.forward_logit_raw(scratch.plane_raw.data(),
+                                       scratch.net));
+          }
+          continue;
+        }
+        for (std::size_t s = 0; s < tile; ++s) {
+          fixed_frontend<Fixed>::quantize_trace_raw(
+              dataset.trace(tile_begin + s), scratch.trace_raw);
+          frontend_.extract_raw(scratch.trace_raw, n,
+                                scratch.plane_raw.data() + s, kTile);
+        }
+        net_.forward_logits_plane(scratch.plane_raw.data(), tile,
+                                  scratch.logits_raw.data(), scratch.net);
+        for (std::size_t s = 0; s < tile; ++s) {
+          out[tile_begin - row_begin + s] =
+              Fixed::from_raw(scratch.logits_raw[s]);
+        }
       }
-      for (std::size_t s = 0; s < tile; ++s) {
-        fixed_frontend<Fixed>::quantize_trace(dataset.trace(tile_begin + s),
-                                              scratch.trace);
-        frontend_.extract(scratch.trace, n, scratch.features.row(s));
+    } else {
+      scratch.trace.resize(dataset.feature_width());
+      for (std::size_t tile_begin = row_begin; tile_begin < row_end;
+           tile_begin += kTile) {
+        const std::size_t tile = std::min(kTile, row_end - tile_begin);
+        if (scratch.features.rows() != tile ||
+            scratch.features.cols() != width) {
+          scratch.features.resize(tile, width);
+        }
+        for (std::size_t s = 0; s < tile; ++s) {
+          fixed_frontend<Fixed>::quantize_trace(dataset.trace(tile_begin + s),
+                                                scratch.trace);
+          frontend_.extract(scratch.trace, n, scratch.features.row(s));
+        }
+        net_.forward_logits(scratch.features,
+                            out.subspan(tile_begin - row_begin, tile),
+                            scratch.net);
       }
-      net_.forward_logits(scratch.features,
-                          out.subspan(tile_begin - row_begin, tile),
-                          scratch.net);
     }
   }
 

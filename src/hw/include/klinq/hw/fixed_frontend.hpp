@@ -14,18 +14,26 @@
 // FPGA's parameter BRAM.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "klinq/common/aligned.hpp"
 #include "klinq/common/error.hpp"
 #include "klinq/dsp/feature_pipeline.hpp"
 #include "klinq/fixed/fixed.hpp"
+#include "klinq/fixed/fixed_kernels.hpp"
 
 namespace klinq::hw {
 
 template <class Fixed>
 class fixed_frontend {
  public:
+  /// True when this format runs the vectorized raw-register kernels (see
+  /// fixed_kernels.hpp); Q24.24 stays on the fixed<I,F> reference path.
+  static constexpr bool kernel_fast_path =
+      fx::kernels::has_int64_fast_path<Fixed>;
+
   fixed_frontend() = default;
 
   explicit fixed_frontend(const dsp::feature_pipeline& pipeline) {
@@ -38,6 +46,12 @@ class fixed_frontend {
     if (use_mf_) {
       for (const float w : pipeline.filter().envelope()) {
         mf_envelope_.push_back(Fixed::from_double(w));
+      }
+      if constexpr (kernel_fast_path) {
+        mf_envelope_raw_.reserve(mf_envelope_.size());
+        for (const Fixed w : mf_envelope_) {
+          mf_envelope_raw_.push_back(static_cast<std::int32_t>(w.raw()));
+        }
       }
     }
     const auto& norm = pipeline.normalizer();
@@ -70,6 +84,19 @@ class fixed_frontend {
     std::vector<Fixed> out(trace.size());
     quantize_trace(trace, out);
     return out;
+  }
+
+  /// Fast path: quantizes a float ADC trace into raw int32 registers through
+  /// the dispatched quantize_block kernel — bit-identical to quantize_trace
+  /// (Fixed::from_double) per sample.
+  static void quantize_trace_raw(std::span<const float> trace,
+                                 std::span<std::int32_t> out)
+    requires(kernel_fast_path)
+  {
+    KLINQ_REQUIRE(out.size() == trace.size(),
+                  "fixed_frontend: quantize output width != trace width");
+    fx::kernels::quantize_block(trace.data(), trace.size(), out.data(),
+                                kSpec);
   }
 
   /// Runs AVG → NORM ∥ MF → CONCAT on a quantized trace of N complex
@@ -118,10 +145,89 @@ class fixed_frontend {
     }
   }
 
+  /// Fast-path extract over a raw register plane — bit-identical to
+  /// extract() per feature. Writes feature c to out[c * out_stride]; a
+  /// stride of quantized_network::kBatchTile lays consecutive shots out
+  /// feature-major, directly consumable by forward_logits_plane. The big
+  /// loops (AVG adder trees, the 2N-wide MF MAC) run on int32/int64 raws
+  /// with the kernel post-scaler; the handful of per-feature NORM ops reuse
+  /// the fixed<I,F> reference arithmetic.
+  void extract_raw(std::span<const std::int32_t> trace,
+                   std::size_t samples_per_quadrature, std::int32_t* out,
+                   std::size_t out_stride) const
+    requires(kernel_fast_path)
+  {
+    const std::size_t n = samples_per_quadrature;
+    KLINQ_REQUIRE(trace.size() == 2 * n, "fixed_frontend: trace width != 2N");
+    KLINQ_REQUIRE(n >= groups_, "fixed_frontend: fewer samples than groups");
+    KLINQ_REQUIRE(!use_mf_ || mf_envelope_.size() == 2 * n,
+                  "fixed_frontend: envelope width does not match this trace "
+                  "duration (rebuild the front-end for the new duration)");
+
+    // AVG: adder tree per group (exact int64 sum, one saturation), multiply
+    // by the reciprocal group length through the kernel post-scaler. Group
+    // lengths take at most two values (floor/ceil of n/groups), so the
+    // reciprocal — a configuration constant in hardware — is recomputed
+    // only when the length changes, not per group.
+    std::size_t cached_length = 0;
+    std::int64_t cached_reciprocal = 0;
+    for (std::size_t quadrature = 0; quadrature < 2; ++quadrature) {
+      for (std::size_t g = 0; g < groups_; ++g) {
+        const std::size_t begin = g * n / groups_;
+        const std::size_t end = (g + 1) * n / groups_;
+        if (end - begin != cached_length) {
+          cached_length = end - begin;
+          cached_reciprocal =
+              Fixed::from_double(1.0 / static_cast<double>(cached_length))
+                  .raw();
+        }
+        const std::int32_t* samples = trace.data() + quadrature * n;
+        const std::int64_t sum =
+            fx::kernels::sum_row(samples + begin, end - begin);
+        const std::int64_t tree =
+            fx::kernels::clamp_raw(sum, Fixed::raw_min, Fixed::raw_max);
+        out[(quadrature * groups_ + g) * out_stride] =
+            static_cast<std::int32_t>(fx::kernels::round_shift_clamp(
+                tree * cached_reciprocal, Fixed::frac_bits, Fixed::raw_min,
+                Fixed::raw_max));
+      }
+    }
+
+    // MF: wide MAC over the raw quantized trace.
+    const std::size_t width = output_width();
+    if (use_mf_) {
+      out[(width - 1) * out_stride] =
+          static_cast<std::int32_t>(fx::kernels::mac_row(
+              mf_envelope_raw_.data(), trace.data(), trace.size(), 0, kSpec));
+    }
+
+    // NORM: (x − x_min) >> k for every concatenated feature. For k >= 0 the
+    // kernel post-scaler IS shifted_right (round to nearest on the
+    // magnitude, ties away, then the rails); negative exponents (a
+    // saturating shift left) fall back to the reference arithmetic.
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::int64_t diff = fx::kernels::clamp_raw(
+          out[c * out_stride] - x_min_[c].raw(), Fixed::raw_min,
+          Fixed::raw_max);
+      if (shift_[c] >= 0) {
+        out[c * out_stride] =
+            static_cast<std::int32_t>(fx::kernels::round_shift_clamp(
+                diff, shift_[c], Fixed::raw_min, Fixed::raw_max));
+      } else {
+        out[c * out_stride] = static_cast<std::int32_t>(
+            Fixed::from_raw(diff).shifted_left(-shift_[c]).raw());
+      }
+    }
+  }
+
  private:
+  static constexpr fx::kernels::mac_spec kSpec =
+      fx::kernels::spec_or_default<Fixed>();
+
   std::size_t groups_ = 0;
   bool use_mf_ = false;
   std::vector<Fixed> mf_envelope_;
+  aligned_vector<std::int32_t> mf_envelope_raw_;
   std::vector<Fixed> x_min_;
   std::vector<int> shift_;
 };

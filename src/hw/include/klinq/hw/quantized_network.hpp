@@ -9,33 +9,51 @@
 //   * overflow managed by saturation in the activation stage.
 //
 // Templated on the fixed format so the word-width ablation (Q8.8 / Q12.12 /
-// Q16.16 / Q24.24) reuses one implementation.
+// Q16.16 / Q24.24) reuses one implementation. Formats whose registers fit
+// 32 bits (every ablation format except Q24.24) additionally keep each
+// layer's parameters as cache-aligned raw int32 planes and run the MAC
+// loops through the vectorized kernels in klinq/fixed/fixed_kernels.hpp
+// (branchless int64 scalar or AVX2, runtime-dispatched) — bit-identical to
+// the fixed<I,F> reference path by construction (tests/test_fixed_kernels.cpp
+// proves it adversarially). Q24.24 stays on the int128 reference path.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "klinq/common/aligned.hpp"
 #include "klinq/common/error.hpp"
 #include "klinq/fixed/fixed.hpp"
+#include "klinq/fixed/fixed_kernels.hpp"
 #include "klinq/linalg/matrix.hpp"
 #include "klinq/nn/network.hpp"
 
 namespace klinq::hw {
 
-/// Reusable ping-pong activation buffers for the fixed-point forward pass.
-/// Explicit (caller-owned) rather than thread_local: const networks stay
-/// safely shareable, reentrancy is by construction, and steady-state batched
-/// evaluation performs zero heap allocations.
+/// Reusable buffers for the fixed-point forward pass. Explicit
+/// (caller-owned) rather than thread_local: const networks stay safely
+/// shareable, reentrancy is by construction, and steady-state batched
+/// evaluation performs zero heap allocations. `a`/`b` are the reference
+/// path's ping-pong activations; the `_raw` planes back the kernel fast
+/// path (feature-major int32 tiles).
 template <class Fixed>
 struct quantized_scratch {
   std::vector<Fixed> a;
   std::vector<Fixed> b;
+  aligned_vector<std::int32_t> a_raw;
+  aligned_vector<std::int32_t> b_raw;
+  aligned_vector<std::int32_t> in_raw;
 };
 
 template <class Fixed>
 class quantized_network {
  public:
+  /// True when this format runs the vectorized raw-register kernels.
+  static constexpr bool kernel_fast_path =
+      fx::kernels::has_int64_fast_path<Fixed>;
+
   quantized_network() = default;
 
   /// Quantizes every parameter of a trained float network.
@@ -55,6 +73,19 @@ class quantized_network {
       quantized.bias.reserve(src.bias().size());
       for (const float b : src.bias()) {
         quantized.bias.push_back(Fixed::from_double(b));
+      }
+      if constexpr (kernel_fast_path) {
+        // Raw SoA planes for the kernels: registers fit int32 exactly
+        // (rails included) whenever the fast path is enabled.
+        quantized.weights_raw.reserve(quantized.weights.size());
+        for (const Fixed w : quantized.weights) {
+          quantized.weights_raw.push_back(
+              static_cast<std::int32_t>(w.raw()));
+        }
+        quantized.bias_raw.reserve(quantized.bias.size());
+        for (const Fixed b : quantized.bias) {
+          quantized.bias_raw.push_back(static_cast<std::int32_t>(b.raw()));
+        }
       }
       layers_.push_back(std::move(quantized));
     }
@@ -90,8 +121,9 @@ class quantized_network {
 
   /// Shots per cache block of the batched forward: the input tile
   /// (kBatchTile × 201 registers for FNN-B) stays L1/L2-resident while each
-  /// weight row is streamed across it once.
-  static constexpr std::size_t kBatchTile = 64;
+  /// weight row is streamed across it once. Matches the kernel layer's lane
+  /// cap so tiles vectorize whole.
+  static constexpr std::size_t kBatchTile = fx::kernels::max_tile_lanes;
 
   /// Full fixed-point forward pass through caller-provided scratch; returns
   /// the output logit register.
@@ -100,23 +132,95 @@ class quantized_network {
     KLINQ_REQUIRE(!layers_.empty(), "quantized_network: empty network");
     KLINQ_REQUIRE(input.size() == input_dim_,
                   "quantized_network: bad input width");
-    scratch.a.assign(input.begin(), input.end());
-    std::vector<Fixed>* current = &scratch.a;
-    std::vector<Fixed>* next = &scratch.b;
-    for (const layer& l : layers_) {
-      next->assign(l.out_dim, Fixed::zero());
-      for (std::size_t neuron = 0; neuron < l.out_dim; ++neuron) {
-        (*next)[neuron] = neuron_mac(l, neuron, current->data());
+    if constexpr (kernel_fast_path) {
+      scratch.in_raw.resize(input_dim_);
+      for (std::size_t i = 0; i < input_dim_; ++i) {
+        scratch.in_raw[i] = static_cast<std::int32_t>(input[i].raw());
       }
-      std::swap(current, next);
+      return Fixed::from_raw(forward_logit_raw(scratch.in_raw.data(),
+                                               scratch));
+    } else {
+      scratch.a.assign(input.begin(), input.end());
+      std::vector<Fixed>* current = &scratch.a;
+      std::vector<Fixed>* next = &scratch.b;
+      for (const layer& l : layers_) {
+        next->assign(l.out_dim, Fixed::zero());
+        for (std::size_t neuron = 0; neuron < l.out_dim; ++neuron) {
+          (*next)[neuron] = neuron_mac(l, neuron, current->data());
+        }
+        std::swap(current, next);
+      }
+      return current->front();
     }
-    return current->front();
   }
 
   /// Convenience single-shot overload (allocates its own scratch).
   Fixed forward_logit(std::span<const Fixed> input) const {
     quantized_scratch<Fixed> scratch;
     return forward_logit(input, scratch);
+  }
+
+  /// Fast-path single-shot forward over a contiguous raw register row: one
+  /// mac_row per neuron (the dispatched row kernel vectorizes along the
+  /// inputs, where a one-lane tile could not). Bit-identical to
+  /// forward_logit; returns the raw output logit.
+  std::int32_t forward_logit_raw(const std::int32_t* input,
+                                 quantized_scratch<Fixed>& scratch) const
+    requires(kernel_fast_path)
+  {
+    KLINQ_REQUIRE(!layers_.empty(), "quantized_network: empty network");
+    const std::size_t width = max_width();
+    scratch.a_raw.resize(width);
+    scratch.b_raw.resize(width);
+    const std::int32_t* current = input;
+    std::int32_t* planes[2] = {scratch.a_raw.data(), scratch.b_raw.data()};
+    int which = 0;
+    for (const layer& l : layers_) {
+      std::int32_t* next = planes[which];
+      const bool relu = l.act == nn::activation::relu;
+      for (std::size_t neuron = 0; neuron < l.out_dim; ++neuron) {
+        std::int64_t value = fx::kernels::mac_row(
+            l.weights_raw.data() + neuron * l.in_dim, current, l.in_dim,
+            l.bias_raw[neuron], kSpec);
+        if (relu && value < 0) value = 0;
+        next[neuron] = static_cast<std::int32_t>(value);
+      }
+      current = next;
+      which ^= 1;
+    }
+    return current[0];
+  }
+
+  /// Fast-path batched forward over a feature-major raw-register plane:
+  /// `in_plane` holds input_dim rows of kBatchTile int32 lanes (shot s of
+  /// feature i at in_plane[i * kBatchTile + s]); writes one raw output logit
+  /// per shot to out_raw[0..tile). Bit-identical to forward_logit per lane.
+  void forward_logits_plane(const std::int32_t* in_plane, std::size_t tile,
+                            std::int32_t* out_raw,
+                            quantized_scratch<Fixed>& scratch) const
+    requires(kernel_fast_path)
+  {
+    KLINQ_REQUIRE(!layers_.empty(), "quantized_network: empty network");
+    KLINQ_REQUIRE(tile <= kBatchTile,
+                  "quantized_network: tile exceeds kBatchTile lanes");
+    const std::size_t width = max_width();
+    scratch.a_raw.resize(kBatchTile * width);
+    scratch.b_raw.resize(kBatchTile * width);
+    // First layer reads the caller's plane while writing a_raw, then the
+    // planes ping-pong — the input is never overwritten mid-layer.
+    const std::int32_t* current = in_plane;
+    std::int32_t* planes[2] = {scratch.a_raw.data(), scratch.b_raw.data()};
+    int which = 0;
+    for (const layer& l : layers_) {
+      std::int32_t* next = planes[which];
+      fx::kernels::mac_tile(l.weights_raw.data(), l.bias_raw.data(),
+                            l.out_dim, l.in_dim, current, tile, kBatchTile,
+                            l.act == nn::activation::relu, next, kSpec);
+      current = next;
+      which ^= 1;
+    }
+    // The logit is row 0 of the final plane.
+    std::copy(current, current + tile, out_raw);
   }
 
   /// Batched forward: `inputs` is (shots × input_dim); writes one output
@@ -131,36 +235,58 @@ class quantized_network {
                   "quantized_network: bad input width");
     KLINQ_REQUIRE(out.size() == inputs.rows(),
                   "quantized_network: one output register per shot required");
-    std::size_t max_width = input_dim_;
-    for (const layer& l : layers_) max_width = std::max(max_width, l.out_dim);
-    scratch.a.resize(kBatchTile * max_width);
-    scratch.b.resize(kBatchTile * max_width);
-
-    for (std::size_t tile_begin = 0; tile_begin < inputs.rows();
-         tile_begin += kBatchTile) {
-      const std::size_t tile =
-          std::min(kBatchTile, inputs.rows() - tile_begin);
-      Fixed* current = scratch.a.data();
-      Fixed* next = scratch.b.data();
-      for (std::size_t s = 0; s < tile; ++s) {
-        const auto row = inputs.row(tile_begin + s);
-        std::copy(row.begin(), row.end(), current + s * input_dim_);
-      }
-      std::size_t width = input_dim_;
-      for (const layer& l : layers_) {
-        // Neuron-outer / shot-inner: one weight-row load per tile, with the
-        // per-shot MAC order identical to the single-shot path.
-        for (std::size_t neuron = 0; neuron < l.out_dim; ++neuron) {
-          for (std::size_t s = 0; s < tile; ++s) {
-            next[s * l.out_dim + neuron] =
-                neuron_mac(l, neuron, current + s * width);
+    if constexpr (kernel_fast_path) {
+      scratch.in_raw.resize(kBatchTile * input_dim_);
+      aligned_vector<std::int32_t>& plane = scratch.in_raw;
+      std::int32_t logits_raw[kBatchTile];
+      for (std::size_t tile_begin = 0; tile_begin < inputs.rows();
+           tile_begin += kBatchTile) {
+        const std::size_t tile =
+            std::min(kBatchTile, inputs.rows() - tile_begin);
+        // Transpose the shot-major tile into the feature-major plane.
+        for (std::size_t s = 0; s < tile; ++s) {
+          const auto row = inputs.row(tile_begin + s);
+          for (std::size_t i = 0; i < input_dim_; ++i) {
+            plane[i * kBatchTile + s] =
+                static_cast<std::int32_t>(row[i].raw());
           }
         }
-        std::swap(current, next);
-        width = l.out_dim;
+        forward_logits_plane(plane.data(), tile, logits_raw, scratch);
+        for (std::size_t s = 0; s < tile; ++s) {
+          out[tile_begin + s] = Fixed::from_raw(logits_raw[s]);
+        }
       }
-      for (std::size_t s = 0; s < tile; ++s) {
-        out[tile_begin + s] = current[s * width];
+    } else {
+      std::size_t width_cap = max_width();
+      scratch.a.resize(kBatchTile * width_cap);
+      scratch.b.resize(kBatchTile * width_cap);
+
+      for (std::size_t tile_begin = 0; tile_begin < inputs.rows();
+           tile_begin += kBatchTile) {
+        const std::size_t tile =
+            std::min(kBatchTile, inputs.rows() - tile_begin);
+        Fixed* current = scratch.a.data();
+        Fixed* next = scratch.b.data();
+        for (std::size_t s = 0; s < tile; ++s) {
+          const auto row = inputs.row(tile_begin + s);
+          std::copy(row.begin(), row.end(), current + s * input_dim_);
+        }
+        std::size_t width = input_dim_;
+        for (const layer& l : layers_) {
+          // Neuron-outer / shot-inner: one weight-row load per tile, with the
+          // per-shot MAC order identical to the single-shot path.
+          for (std::size_t neuron = 0; neuron < l.out_dim; ++neuron) {
+            for (std::size_t s = 0; s < tile; ++s) {
+              next[s * l.out_dim + neuron] =
+                  neuron_mac(l, neuron, current + s * width);
+            }
+          }
+          std::swap(current, next);
+          width = l.out_dim;
+        }
+        for (std::size_t s = 0; s < tile; ++s) {
+          out[tile_begin + s] = current[s * width];
+        }
       }
     }
   }
@@ -177,12 +303,24 @@ class quantized_network {
     nn::activation act = nn::activation::identity;
     std::vector<Fixed> weights;  // (out × in) row-major
     std::vector<Fixed> bias;
+    // Fast-path twins of weights/bias as cache-aligned raw int32 planes.
+    aligned_vector<std::int32_t> weights_raw;
+    aligned_vector<std::int32_t> bias_raw;
   };
 
-  /// One neuron's datapath: MAC with wide accumulator — products rounded to
-  /// F fractional bits (the DSP post-scaler), summed without intermediate
-  /// clamping, saturated once at the adder-tree root — then the RTL's
-  /// sign-bit ReLU.
+  static constexpr fx::kernels::mac_spec kSpec =
+      fx::kernels::spec_or_default<Fixed>();
+
+  std::size_t max_width() const noexcept {
+    std::size_t width = input_dim_;
+    for (const layer& l : layers_) width = std::max(width, l.out_dim);
+    return width;
+  }
+
+  /// One neuron's datapath on the int128 reference path: MAC with wide
+  /// accumulator — products rounded to F fractional bits (the DSP
+  /// post-scaler), summed without intermediate clamping, saturated once at
+  /// the adder-tree root — then the RTL's sign-bit ReLU.
   static Fixed neuron_mac(const layer& l, std::size_t neuron,
                           const Fixed* input) {
     fx::fixed_accumulator<Fixed> acc;

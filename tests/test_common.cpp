@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "klinq/common/cast.hpp"
@@ -143,6 +145,59 @@ TEST(ThreadPool, SingleWorkerStillRuns) {
     for (std::size_t i = b; i < e; ++i) sum += static_cast<int>(i);
   });
   EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, NestedParallelForCoversEveryIndexExactlyOnce) {
+  // Nested dispatch from inside a chunk queues sub-chunks like any other
+  // caller; the work-stealing wait keeps a saturated pool deadlock-free.
+  thread_pool pool(4);
+  constexpr std::size_t outer = 8;
+  constexpr std::size_t inner = 250;
+  std::vector<std::atomic<int>> counts(outer * inner);
+  pool.parallel_for(0, outer, [&](std::size_t i) {
+    pool.parallel_for(0, inner, [&](std::size_t j) {
+      counts[i * inner + j].fetch_add(1);
+    });
+  });
+  for (const auto& c : counts) ASSERT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+  thread_pool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 4,
+                        [&](std::size_t) {
+                          pool.parallel_for(0, 64, [](std::size_t j) {
+                            if (j == 33) throw std::runtime_error("inner");
+                          });
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, BlockedCallerDrainsQueueWhileWorkersAreBusy) {
+  // One spawned worker, parked on a gate. parallel_for's queued chunk can
+  // only run if the blocked caller drains the queue itself — the pre-
+  // work-stealing scheduler would sleep here until the gate opened.
+  thread_pool pool(2);
+  std::atomic<bool> parked{false};
+  std::atomic<bool> gate{false};
+  std::atomic<bool> worker_timed_out{false};
+  pool.submit([&] {
+    parked = true;
+    for (int spin = 0; spin < 10000 && !gate.load(); ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!gate.load()) worker_timed_out = true;
+  });
+  while (!parked.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<std::atomic<int>> counts(16);
+  pool.parallel_for(0, counts.size(),
+                    [&](std::size_t i) { counts[i].fetch_add(1); });
+  gate = true;  // parallel_for returned while the worker was still parked
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+  EXPECT_FALSE(worker_timed_out.load());
 }
 
 TEST(Math, CeilLog2MatchesDefinition) {
