@@ -21,6 +21,7 @@
 #include "klinq/hw/fixed_discriminator.hpp"
 #include "klinq/kd/distiller.hpp"
 #include "klinq/linalg/gemm.hpp"
+#include "klinq/nn/kernels.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
 
 namespace {
@@ -105,8 +106,23 @@ BENCHMARK(BM_StudentFixedBatch)
     ->Arg(4096)
     ->UseRealTime();
 
-/// The register-blocked kernel the batched float path stands on:
-/// (batch × 31) · (16 × 31)ᵀ — the student's first (widest) layer.
+/// The true single-shot float API (logit(): fused extraction + per-neuron
+/// dot), the serve float engine's per-shot latency floor.
+void BM_StudentSingleShotLogit(benchmark::State& state) {
+  auto& f = shared_fixture();
+  const auto trace = f.data.test.trace(0);
+  const std::size_t n = f.data.test.samples_per_quadrature();
+  for (auto _ : state) {
+    const float logit = f.student.logit(trace, n);
+    benchmark::DoNotOptimize(logit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StudentSingleShotLogit)->UseRealTime();
+
+/// The la:: scalar reference GEMM on the student's first (widest) layer:
+/// (batch × 31) · (16 × 31)ᵀ — kept as the baseline the dispatched kernels
+/// are compared against.
 void BM_GemmNtStudentLayer(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   xoshiro256 rng(17);
@@ -124,6 +140,32 @@ void BM_GemmNtStudentLayer(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_GemmNtStudentLayer)->Arg(32)->Arg(256)->Arg(4096)->UseRealTime();
+
+/// The dispatched float kernel (nn::kernels::gemm_nt_bias_act, AVX2 FMA
+/// where available) on the same first-layer shape, bias + ReLU fused — the
+/// microkernel the inference engine actually runs.
+void BM_NnKernelsGemmNtStudentLayer(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  xoshiro256 rng(17);
+  la::matrix_f a(batch, 31);
+  la::matrix_f b(16, 31);
+  for (auto& v : a.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> bias(16, 0.1f);
+  la::matrix_f c(batch, 16);
+  for (auto _ : state) {
+    nn::kernels::gemm_nt_bias_act(a, b, c, bias, nn::activation::relu);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_NnKernelsGemmNtStudentLayer)
+    ->Arg(32)
+    ->Arg(256)
+    ->Arg(4096)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,10 +1,15 @@
-// Shared main() for the Google-Benchmark benches: stamps the build type and
-// the resolved SIMD dispatch tier into the benchmark context, so every
-// emitted BENCH json records how it was produced ("klinq_build_type",
-// "klinq_simd_tier" — see README "Performance").
+// Shared main() for the Google-Benchmark benches: stamps the build type,
+// the resolved SIMD dispatch tiers (fixed + float, which differ under
+// KLINQ_DETERMINISTIC), the host's hardware concurrency and the
+// fused/unfused float-path flag into the benchmark context, so every
+// emitted BENCH json records how it was produced ("klinq_*" keys — see
+// README "Performance").
 #pragma once
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
 
 #include "klinq/common/cpu_dispatch.hpp"
 
@@ -20,6 +25,14 @@ inline void add_klinq_context() {
   benchmark::AddCustomContext("klinq_build_type", build_type());
   benchmark::AddCustomContext("klinq_simd_tier",
                               simd_tier_name(active_simd_tier()));
+  benchmark::AddCustomContext("klinq_float_tier",
+                              simd_tier_name(active_float_simd_tier()));
+  benchmark::AddCustomContext(
+      "klinq_hw_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext(
+      "klinq_float_path",
+      fused_float_path_enabled() ? "fused" : "unfused");
 }
 
 }  // namespace klinq::bench

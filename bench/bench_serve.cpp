@@ -10,8 +10,10 @@
 //
 // Machine-readable snapshot:
 //   bench_serve --out BENCH_serve.json
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "klinq/common/cli.hpp"
@@ -58,6 +60,8 @@ int main(int argc, char** argv) {
   cli.add_option("traces-test", "test shots per state permutation", "512");
   cli.add_option("rounds", "evaluation passes over every qubit block", "8");
   cli.add_option("shard-shots", "rows per shard (0 = default)", "0");
+  cli.add_option("small-shots",
+                 "shots per request in the coalescing comparison", "16");
   cli.add_option("seed", "dataset generation seed", "42");
   cli.add_option("out", "JSON output path (empty = stdout only)",
                  "BENCH_serve.json");
@@ -118,6 +122,59 @@ int main(int argc, char** argv) {
           {"float-student", "serial-per-qubit", total_shots, timer.seconds()});
     }
 
+    // --- many small same-qubit requests: coalescing off vs on -------------
+    // Mid-circuit-style traffic: each qubit's block arrives as a stream of
+    // --small-shots-sized requests (default 16). With coalescing on, the
+    // server merges them into full-shard batches — one pool round-trip and
+    // one arena acquisition per batch instead of per request.
+    const auto small_shots =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     cli.get_int("small-shots")));
+    std::vector<std::vector<data::trace_dataset>> small_blocks(n_qubits);
+    std::size_t small_requests_per_round = 0;
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      for (std::size_t begin = 0; begin < block; begin += small_shots) {
+        const std::size_t end = std::min(begin + small_shots, block);
+        std::vector<std::size_t> rows;
+        for (std::size_t r = begin; r < end; ++r) rows.push_back(r);
+        small_blocks[q].push_back(stacks[q].data.test.subset(rows));
+        ++small_requests_per_round;
+      }
+    }
+    for (const bool coalesce : {false, true}) {
+      for (const serve::engine_kind engine :
+           {serve::engine_kind::fixed_q16,
+            serve::engine_kind::float_student}) {
+        std::vector<serve::qubit_engine> engines;
+        for (const qubit_stack& stack : stacks) {
+          engines.push_back({&stack.student, &stack.hardware});
+        }
+        serve::readout_server server(
+            std::move(engines),
+            {.shard_shots = shard_shots,
+             .max_inflight = small_requests_per_round + 1,
+             .coalesce_shots = coalesce ? small_shots : 0});
+        serve::readout_result result;
+        stopwatch timer;
+        for (std::size_t round = 0; round < rounds; ++round) {
+          std::vector<serve::ticket> tickets;
+          for (std::size_t q = 0; q < n_qubits; ++q) {
+            for (const data::trace_dataset& small : small_blocks[q]) {
+              tickets.push_back(server.submit({q, &small, engine}));
+            }
+          }
+          for (const serve::ticket t : tickets) server.wait(t, result);
+        }
+        const double seconds = timer.seconds();
+        const serve::server_stats stats = server.stats();
+        records.push_back(
+            {std::string(serve::engine_name(engine)),
+             coalesce ? "small-requests-coalesced" : "small-requests",
+             total_shots, seconds, stats.latency_p50_seconds * 1e3,
+             stats.latency_p99_seconds * 1e3});
+      }
+    }
+
     // --- sharded server ---------------------------------------------------
     std::size_t effective_shard_shots = shard_shots;
     for (const serve::engine_kind engine :
@@ -151,10 +208,15 @@ int main(int argc, char** argv) {
     // --- report -----------------------------------------------------------
     const std::size_t workers = global_thread_pool().worker_count() + 1;
     const char* simd_tier = simd_tier_name(active_simd_tier());
+    const char* float_tier = simd_tier_name(active_float_simd_tier());
+    const char* float_path =
+        fused_float_path_enabled() ? "fused" : "unfused";
     std::printf(
-        "\n%zu pool worker(s), %zu qubits x %zu rounds x %zu shots "
-        "(%s build, %s fixed kernels)\n",
-        workers, n_qubits, rounds, block, KLINQ_BUILD_TYPE, simd_tier);
+        "\n%zu pool worker(s), hw_concurrency %u, %zu qubits x %zu rounds x "
+        "%zu shots (%s build, %s fixed kernels, %s float kernels, %s float "
+        "path)\n",
+        workers, std::thread::hardware_concurrency(), n_qubits, rounds, block,
+        KLINQ_BUILD_TYPE, simd_tier, float_tier, float_path);
     for (const run_record& r : records) {
       std::printf("  %-14s %-18s %8.0f shots/s", r.engine.c_str(),
                   r.mode.c_str(),
@@ -174,14 +236,19 @@ int main(int argc, char** argv) {
                    "  \"bench\": \"bench_serve\",\n"
                    "  \"build_type\": \"%s\",\n"
                    "  \"simd_tier\": \"%s\",\n"
+                   "  \"float_tier\": \"%s\",\n"
+                   "  \"float_path\": \"%s\",\n"
+                   "  \"hw_concurrency\": %u,\n"
                    "  \"pool_workers\": %zu,\n"
                    "  \"qubits\": %zu,\n"
                    "  \"block_shots\": %zu,\n"
                    "  \"rounds\": %zu,\n"
                    "  \"shard_shots\": %zu,\n"
+                   "  \"small_request_shots\": %zu,\n"
                    "  \"results\": [\n",
-                   KLINQ_BUILD_TYPE, simd_tier, workers, n_qubits, block,
-                   rounds, effective_shard_shots);
+                   KLINQ_BUILD_TYPE, simd_tier, float_tier, float_path,
+                   std::thread::hardware_concurrency(), workers, n_qubits,
+                   block, rounds, effective_shard_shots, small_shots);
       for (std::size_t i = 0; i < records.size(); ++i) {
         const run_record& r = records[i];
         std::fprintf(out,

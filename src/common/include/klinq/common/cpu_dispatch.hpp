@@ -45,4 +45,25 @@ simd_tier active_simd_tier() noexcept;
 /// Stable lowercase name ("scalar64", "avx2") for logs and BENCH json.
 const char* simd_tier_name(simd_tier tier) noexcept;
 
+/// True when KLINQ_DETERMINISTIC=1|true|on requests host-independent float
+/// results. The fixed-point kernels are bit-identical across tiers, so this
+/// only affects the float kernels (klinq/nn/kernels.hpp): FMA contraction
+/// and 8-lane reassociation make the AVX2 float tier differ from scalar in
+/// the last ULPs, and pinning the scalar tier removes that variation.
+bool deterministic_float_mode() noexcept;
+
+/// The tier the dispatched FLOAT kernels run at: active_simd_tier() unless
+/// deterministic mode pins scalar64. Resolved once per process.
+simd_tier active_float_simd_tier() noexcept;
+
+/// True unless KLINQ_FUSED=0|false|off requests the legacy two-phase float
+/// inference path (materialize the feature matrix, then batched FC) instead
+/// of the fused per-tile extract→FC→logits pipeline. Both paths are bitwise
+/// identical (the float plane kernels are lane-invariant); the switch
+/// exists for A/B benchmarking and is stamped into BENCH json context.
+/// Lives beside the other process-wide datapath mode flags so reading it
+/// never drags module dependencies into the benches. Resolved once per
+/// process.
+bool fused_float_path_enabled() noexcept;
+
 }  // namespace klinq

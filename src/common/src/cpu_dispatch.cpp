@@ -36,6 +36,28 @@ simd_tier active_simd_tier() noexcept {
   return tier;
 }
 
+bool deterministic_float_mode() noexcept {
+  static const bool mode = [] {
+    const std::string v = env_string("KLINQ_DETERMINISTIC", "0");
+    return v == "1" || v == "true" || v == "on";
+  }();
+  return mode;
+}
+
+simd_tier active_float_simd_tier() noexcept {
+  static const simd_tier tier =
+      deterministic_float_mode() ? simd_tier::scalar64 : active_simd_tier();
+  return tier;
+}
+
+bool fused_float_path_enabled() noexcept {
+  static const bool fused = [] {
+    const std::string v = env_string("KLINQ_FUSED", "1");
+    return !(v == "0" || v == "false" || v == "off");
+  }();
+  return fused;
+}
+
 const char* simd_tier_name(simd_tier tier) noexcept {
   switch (tier) {
     case simd_tier::avx2:

@@ -37,6 +37,17 @@ class batch_extractor {
                      std::size_t row_end, la::matrix_f& out,
                      std::size_t out_row_begin = 0) const;
 
+  /// Fused-path tile producer: extracts dataset rows
+  /// [row_begin, row_begin + lanes) straight into a feature-major plane —
+  /// feature i of shot s at plane[i * stride + s] — the layout the float
+  /// plane kernels (klinq/nn/kernels.hpp) consume as the first-layer GEMM
+  /// panel, so no full feature matrix is ever materialized. Pad lanes
+  /// [lanes, nn::kernels::padded_lanes(lanes)) are zero-filled; requires
+  /// padded_lanes(lanes) <= stride. Per-shot feature values are identical to
+  /// extract()/extract_block — only the layout differs.
+  void extract_tile(const data::trace_dataset& dataset, std::size_t row_begin,
+                    std::size_t lanes, float* plane, std::size_t stride) const;
+
  private:
   const feature_pipeline* pipeline_ = nullptr;
 };

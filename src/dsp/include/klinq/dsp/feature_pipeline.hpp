@@ -62,6 +62,14 @@ class feature_pipeline {
   static feature_pipeline load(std::istream& in);
 
  private:
+  /// The un-normalized feature row: fused single-pass grouped means + MF
+  /// partials per quadrature (one stream over the trace instead of an
+  /// averager pass plus an MF pass). Shared by fit() and extract() so the
+  /// normalizer is calibrated on exactly the values extract() produces.
+  void extract_unnormalized(std::span<const float> trace,
+                            std::size_t samples_per_quadrature,
+                            std::span<float> out) const;
+
   feature_pipeline_config config_{};
   interval_averager averager_{15};
   matched_filter filter_;

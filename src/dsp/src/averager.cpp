@@ -1,6 +1,7 @@
 #include "klinq/dsp/averager.hpp"
 
 #include "klinq/common/error.hpp"
+#include "klinq/nn/kernels.hpp"
 
 namespace klinq::dsp {
 
@@ -28,23 +29,10 @@ void interval_averager::apply(std::span<const float> trace,
     for (std::size_t g = 0; g < groups_; ++g) {
       const std::size_t begin = group_begin(g, n, groups_);
       const std::size_t end = group_begin(g + 1, n, groups_);
-      // Four independent accumulator lanes break the serial float-add
-      // dependency chain (the extraction hot spot at N = 500).
-      const float* p = trace.data() + in_base + begin;
+      // Dispatched group sum: AVX2 8-lane adds where available; the scalar
+      // tier keeps the seed's 4-lane accumulator order bit for bit.
       const std::size_t len = end - begin;
-      float acc0 = 0.0f;
-      float acc1 = 0.0f;
-      float acc2 = 0.0f;
-      float acc3 = 0.0f;
-      std::size_t s = 0;
-      for (; s + 4 <= len; s += 4) {
-        acc0 += p[s];
-        acc1 += p[s + 1];
-        acc2 += p[s + 2];
-        acc3 += p[s + 3];
-      }
-      float acc = (acc0 + acc1) + (acc2 + acc3);
-      for (; s < len; ++s) acc += p[s];
+      const float acc = nn::kernels::sum(trace.data() + in_base + begin, len);
       out[out_base + g] = acc / static_cast<float>(len);
     }
   }

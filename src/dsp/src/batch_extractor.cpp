@@ -1,7 +1,10 @@
 #include "klinq/dsp/batch_extractor.hpp"
 
+#include <vector>
+
 #include "klinq/common/error.hpp"
 #include "klinq/common/thread_pool.hpp"
+#include "klinq/nn/kernels.hpp"
 
 namespace klinq::dsp {
 
@@ -47,6 +50,31 @@ void batch_extractor::extract_block(const data::trace_dataset& dataset,
   for (std::size_t r = row_begin; r < row_end; ++r) {
     pipeline_->extract(dataset.trace(r), n,
                        out.row(out_row_begin + (r - row_begin)));
+  }
+}
+
+void batch_extractor::extract_tile(const data::trace_dataset& dataset,
+                                   std::size_t row_begin, std::size_t lanes,
+                                   float* plane, std::size_t stride) const {
+  KLINQ_REQUIRE(pipeline_ != nullptr, "batch_extractor: default-constructed");
+  KLINQ_REQUIRE(row_begin + lanes <= dataset.size(),
+                "batch_extractor: tile rows out of bounds");
+  const std::size_t padded = nn::kernels::padded_lanes(lanes);
+  KLINQ_REQUIRE(padded <= stride,
+                "batch_extractor: stride too small for padded lanes");
+  const std::size_t width = pipeline_->output_width();
+  const std::size_t n = dataset.samples_per_quadrature();
+  // One contiguous feature row per shot, scattered into the plane lanes:
+  // the scatter is width stores against the ~2N-sample extraction, and the
+  // per-shot values are exactly those of extract_block.
+  thread_local std::vector<float> row;
+  row.resize(width);
+  for (std::size_t s = 0; s < lanes; ++s) {
+    pipeline_->extract(dataset.trace(row_begin + s), n, row);
+    for (std::size_t i = 0; i < width; ++i) plane[i * stride + s] = row[i];
+  }
+  for (std::size_t s = lanes; s < padded; ++s) {
+    for (std::size_t i = 0; i < width; ++i) plane[i * stride + s] = 0.0f;
   }
 }
 

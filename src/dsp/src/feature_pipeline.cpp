@@ -6,6 +6,7 @@
 
 #include "klinq/common/error.hpp"
 #include "klinq/dsp/batch_extractor.hpp"
+#include "klinq/nn/kernels.hpp"
 
 namespace klinq::dsp {
 
@@ -20,20 +21,42 @@ feature_pipeline feature_pipeline::fit(const data::trace_dataset& train,
   }
 
   // Build the un-normalized feature matrix, then calibrate the normalizer.
+  // Goes through the same fused extraction pass extract() runs, so the
+  // calibration sees exactly the deployed arithmetic.
   const std::size_t width = pipeline.output_width();
   la::matrix_f features(train.size(), width);
   for (std::size_t r = 0; r < train.size(); ++r) {
-    const auto trace = train.trace(r);
-    const auto row = features.row(r);
-    pipeline.averager_.apply(trace, train.samples_per_quadrature(),
-                             row.subspan(0, pipeline.averager_.output_width()));
-    if (config.use_matched_filter) {
-      row[width - 1] = pipeline.filter_.apply(trace);
-    }
+    pipeline.extract_unnormalized(train.trace(r),
+                                  train.samples_per_quadrature(),
+                                  features.row(r));
   }
   pipeline.normalizer_ =
       feature_normalizer::fit(features, config.normalization);
   return pipeline;
+}
+
+void feature_pipeline::extract_unnormalized(std::span<const float> trace,
+                                            std::size_t samples_per_quadrature,
+                                            std::span<float> out) const {
+  const std::size_t n = samples_per_quadrature;
+  const std::size_t groups = averager_.groups_per_quadrature();
+  KLINQ_REQUIRE(trace.size() == 2 * n,
+                "feature_pipeline: trace width != 2N");
+  KLINQ_REQUIRE(n >= groups, "feature_pipeline: fewer samples than groups");
+  const float* envelope = nullptr;
+  if (config_.use_matched_filter) {
+    KLINQ_REQUIRE(filter_.input_width() == trace.size(),
+                  "feature_pipeline: matched-filter width mismatch");
+    envelope = filter_.envelope().data();
+  }
+  float mf = 0.0f;
+  for (std::size_t quadrature = 0; quadrature < 2; ++quadrature) {
+    const std::size_t base = quadrature * n;
+    mf += nn::kernels::grouped_mean_dot(
+        trace.data() + base, envelope != nullptr ? envelope + base : nullptr,
+        n, groups, out.data() + quadrature * groups);
+  }
+  if (config_.use_matched_filter) out[out.size() - 1] = mf;
 }
 
 void feature_pipeline::extract(std::span<const float> trace,
@@ -42,11 +65,7 @@ void feature_pipeline::extract(std::span<const float> trace,
   KLINQ_REQUIRE(is_fitted(), "feature_pipeline::extract before fit");
   KLINQ_REQUIRE(out.size() == output_width(),
                 "feature_pipeline::extract: bad output width");
-  averager_.apply(trace, samples_per_quadrature,
-                  out.subspan(0, averager_.output_width()));
-  if (config_.use_matched_filter) {
-    out[out.size() - 1] = filter_.apply(trace);
-  }
+  extract_unnormalized(trace, samples_per_quadrature, out);
   normalizer_.apply(out);
 }
 

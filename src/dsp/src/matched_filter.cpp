@@ -5,7 +5,7 @@
 #include <ostream>
 
 #include "klinq/common/error.hpp"
-#include "klinq/linalg/gemm.hpp"
+#include "klinq/nn/kernels.hpp"
 
 namespace klinq::dsp {
 
@@ -68,7 +68,10 @@ float matched_filter::apply(std::span<const float> trace) const {
   KLINQ_REQUIRE(is_fitted(), "matched_filter::apply before fit");
   KLINQ_REQUIRE(trace.size() == envelope_.size(),
                 "matched_filter::apply: trace width mismatch");
-  return la::dot(trace, envelope());
+  // The 2N-wide MAC is the extraction hot spot; the dispatched kernel runs
+  // it with AVX2 FMA where available (scalar tier = the seed's la::dot
+  // order, pinned by KLINQ_DETERMINISTIC).
+  return nn::kernels::dot(trace.data(), envelope_.data(), trace.size());
 }
 
 std::vector<float> matched_filter::apply_all(

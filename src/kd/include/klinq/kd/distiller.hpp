@@ -39,13 +39,16 @@ struct student_config {
   std::uint64_t seed = 7;
 };
 
-/// Reusable buffers for student_model::predict_batch: the extracted feature
-/// block plus the network's ping-pong activation arena. Reusing one scratch
-/// across calls of the same batch size makes evaluation allocation-free.
+/// Reusable buffers for student_model::predict_batch: the network's panel +
+/// plane arena (which the fused extract→logits path writes tiles into), plus
+/// the feature matrix the unfused (KLINQ_FUSED=0) path materializes. Reusing
+/// one scratch across calls of the same batch size makes evaluation
+/// allocation-free.
 struct student_scratch {
   la::matrix_f features;
   nn::inference_scratch net;
 };
+
 
 /// A deployable student: feature pipeline + compact network.
 class student_model {
@@ -68,9 +71,12 @@ class student_model {
   bool predict_state(std::span<const float> trace,
                      std::size_t samples_per_quadrature) const;
 
-  /// Batched inference over a whole dataset: parallel feature extraction
-  /// followed by one GEMM per layer. Writes one logit per dataset row into
-  /// `logits_out`; bit-identical to logit() on each trace.
+  /// Batched inference over a whole dataset: fused extract→FC→logits tiles
+  /// (dsp::batch_extractor::extract_tile feeding the float plane kernels),
+  /// parallelized over tile-aligned chunks. Writes one logit per dataset row
+  /// into `logits_out`. Logits are invariant to batch size, chunking and
+  /// worker count within the active float tier, and match logit() per trace
+  /// to rounding tolerance (the single-shot path reduces in dot order).
   void predict_batch(const data::trace_dataset& dataset,
                      std::span<float> logits_out,
                      student_scratch& scratch) const;
@@ -79,10 +85,11 @@ class student_model {
   std::vector<float> predict_batch(const data::trace_dataset& dataset) const;
 
   /// Serial float-path evaluation of dataset rows [row_begin, row_end)
-  /// through caller-provided scratch: extraction + batched inference, with
-  /// logits_out[r - row_begin] for each row r. Bit-identical to logit() per
-  /// trace and zero steady-state allocation once the scratch is warm — the
-  /// serve engine's float shard executor.
+  /// through caller-provided scratch: fused extract→FC→logits per 64-shot
+  /// tile out of the scratch arenas, with logits_out[r - row_begin] for each
+  /// row r. Bitwise-identical to predict_batch on the same rows and zero
+  /// steady-state allocation once the scratch is warm — the serve engine's
+  /// float shard executor.
   void predict_block(const data::trace_dataset& dataset, std::size_t row_begin,
                      std::size_t row_end, std::span<float> logits_out,
                      student_scratch& scratch) const;

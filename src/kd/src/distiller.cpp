@@ -1,13 +1,17 @@
 #include "klinq/kd/distiller.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <memory>
 #include <ostream>
 
+#include "klinq/common/cpu_dispatch.hpp"
 #include "klinq/common/error.hpp"
 #include "klinq/common/log.hpp"
 #include "klinq/common/stopwatch.hpp"
+#include "klinq/common/thread_pool.hpp"
 #include "klinq/dsp/batch_extractor.hpp"
+#include "klinq/nn/kernels.hpp"
 #include "klinq/nn/serialize.hpp"
 #include "klinq/nn/trainer.hpp"
 
@@ -37,8 +41,33 @@ void student_model::predict_batch(const data::trace_dataset& dataset,
                                   student_scratch& scratch) const {
   KLINQ_REQUIRE(logits_out.size() == dataset.size(),
                 "student_model::predict_batch: one logit per trace required");
-  dsp::batch_extractor(pipeline_).extract(dataset, scratch.features);
-  net_.predict_logits(scratch.features, logits_out, scratch.net);
+  if (dataset.empty()) return;
+  if (!fused_float_path_enabled()) {
+    // Legacy two-phase path (A/B reference): materialize the feature matrix,
+    // then the batched FC — bitwise-identical to the fused path because the
+    // plane kernels are lane-invariant.
+    dsp::batch_extractor(pipeline_).extract(dataset, scratch.features);
+    net_.predict_logits(scratch.features, logits_out, scratch.net);
+    return;
+  }
+  constexpr std::size_t kTile = nn::kernels::max_tile_lanes;
+  const std::size_t tiles = (dataset.size() + kTile - 1) / kTile;
+  if (tiles < 4) {
+    predict_block(dataset, 0, dataset.size(), logits_out, scratch);
+    return;
+  }
+  // Tile-aligned chunks across the pool with a persistent per-thread
+  // scratch arena (warm after the first dispatch — no steady-state
+  // allocation). Each chunk runs the fused extract→FC→logits pipeline
+  // serially; results are chunking-invariant.
+  parallel_for_chunked(0, tiles, [&](std::size_t tile_begin,
+                                     std::size_t tile_end) {
+    thread_local student_scratch local;
+    const std::size_t begin = tile_begin * kTile;
+    const std::size_t end = std::min(tile_end * kTile, dataset.size());
+    predict_block(dataset, begin, end,
+                  logits_out.subspan(begin, end - begin), local);
+  });
 }
 
 std::vector<float> student_model::predict_batch(
@@ -60,12 +89,29 @@ void student_model::predict_block(const data::trace_dataset& dataset,
                 "student_model::predict_block: one logit per row required");
   if (count == 0) return;
   const std::size_t width = pipeline_.output_width();
-  if (scratch.features.rows() != count || scratch.features.cols() != width) {
-    scratch.features.resize(count, width);
+  if (!fused_float_path_enabled()) {
+    if (scratch.features.rows() != count || scratch.features.cols() != width) {
+      scratch.features.resize(count, width);
+    }
+    dsp::batch_extractor(pipeline_)
+        .extract_block(dataset, row_begin, row_end, scratch.features);
+    net_.predict_logits(scratch.features, logits_out, scratch.net);
+    return;
   }
-  dsp::batch_extractor(pipeline_)
-      .extract_block(dataset, row_begin, row_end, scratch.features);
-  net_.predict_logits(scratch.features, logits_out, scratch.net);
+  // Fused pipeline: each 64-shot tile is extracted feature-major straight
+  // into the first-layer panel and pushed through the plane kernels — the
+  // feature matrix never exists, and the tile stays cache-resident from
+  // extraction through the logit head.
+  constexpr std::size_t kTile = nn::kernels::max_tile_lanes;
+  const dsp::batch_extractor extractor(pipeline_);
+  scratch.net.panel.resize(width * kTile);
+  for (std::size_t offset = 0; offset < count; offset += kTile) {
+    const std::size_t lanes = std::min(kTile, count - offset);
+    extractor.extract_tile(dataset, row_begin + offset, lanes,
+                           scratch.net.panel.data(), kTile);
+    net_.predict_logits_plane(scratch.net.panel.data(), lanes, kTile,
+                              logits_out.data() + offset, scratch.net);
+  }
 }
 
 double student_model::accuracy(const data::trace_dataset& dataset) const {

@@ -51,11 +51,11 @@ inline float dot_lanes(const float* a, const float* b, std::size_t k) {
 /// teacher's k = 1000) stays L1-resident while every row of A streams across
 /// it, so each B row loads from cache m times instead of from memory.
 ///
-/// Measured note: an explicit 2×4 register-tiled microkernel (64 scalar
-/// accumulators) was tried here and lost ~2× to this shape — GCC SLP-
-/// vectorizes the 4-lane dot into a single vector accumulator, and the tile
-/// variants defeat that pattern. Panel blocking keeps the vector-friendly
-/// reduction and adds the cache reuse.
+/// This module is the dependency-free scalar reference (and the backward-
+/// pass workhorse). The float inference hot path no longer runs through it:
+/// klinq/nn/kernels.hpp provides the runtime-dispatched AVX2-FMA/scalar
+/// forward kernels (gemm_nt / gemm_nt_bias_act over packed feature-major
+/// tiles), and the nn layer calls those directly.
 constexpr std::size_t kNtPanelRows = 8;
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "klinq/common/aligned.hpp"
 #include "klinq/common/rng.hpp"
 #include "klinq/linalg/matrix.hpp"
 #include "klinq/nn/dense_layer.hpp"
@@ -38,12 +39,15 @@ struct gradient_buffers {
   std::vector<la::matrix_f> d_pre;  // scratch: dLoss/d(pre-act) per layer
 };
 
-/// Ping-pong activation matrices for batched inference. Reusing one scratch
-/// across predict_logits calls of the same batch size makes steady-state
-/// evaluation allocation-free (matrix resize never shrinks capacity).
+/// Reusable buffers for batched inference: the feature-major input panel
+/// (one max_tile_lanes-shot tile) plus ping-pong activation planes for the
+/// layer stack. Reusing one scratch across predict_logits calls makes
+/// steady-state evaluation allocation-free (vector resize never shrinks
+/// capacity).
 struct inference_scratch {
-  la::matrix_f ping;
-  la::matrix_f pong;
+  aligned_vector<float> panel;
+  aligned_vector<float> plane_a;
+  aligned_vector<float> plane_b;
 };
 
 class network {
@@ -78,12 +82,28 @@ class network {
   /// Single-sample forward returning the first output (binary logit head).
   float predict_logit(std::span<const float> input) const;
 
-  /// Batched inference: one GEMM per layer over the whole block, writing the
-  /// first output of every row into `out` (size = input.rows()). Bit-identical
-  /// to predict_logit on each row. Zero heap allocation at steady state when
-  /// `scratch` is reused with a constant batch size.
+  /// Batched inference through the dispatched float plane kernels
+  /// (klinq/nn/kernels.hpp): rows are packed into feature-major tiles of
+  /// kernels::max_tile_lanes shots and every layer runs as one fc_plane pass
+  /// per tile, writing the first output of every row into `out`
+  /// (size = input.rows()). A shot's logit is invariant to batch size, tile
+  /// position and worker count within the active float tier (lane-invariant
+  /// kernels), but matches predict_logit only to rounding tolerance — the
+  /// single-shot path reduces in dot order. Zero heap allocation at steady
+  /// state when `scratch` is reused.
   void predict_logits(const la::matrix_f& input, std::span<float> out,
                       inference_scratch& scratch) const;
+
+  /// Plane-native inference: runs the layer stack over a feature-major tile
+  /// (`in_plane` holds input_dim rows of `stride` lanes; shot s of feature i
+  /// at in_plane[i * stride + s]) and writes one logit per lane. Requires
+  /// kernels::padded_lanes(lanes) <= stride with finite pad lanes (the
+  /// packers and dsp::batch_extractor::extract_tile zero-fill them). This is
+  /// the fused extract→logits entry point — predict_logits rides on it after
+  /// packing.
+  void predict_logits_plane(const float* in_plane, std::size_t lanes,
+                            std::size_t stride, float* out,
+                            inference_scratch& scratch) const;
 
   /// Convenience overload with internal scratch.
   std::vector<float> predict_logits(const la::matrix_f& input) const;

@@ -2,6 +2,7 @@
 
 #include "klinq/common/error.hpp"
 #include "klinq/linalg/gemm.hpp"
+#include "klinq/nn/kernels.hpp"
 
 namespace klinq::nn {
 
@@ -29,7 +30,7 @@ void dense_layer::forward(const la::matrix_f& input, la::matrix_f& pre,
   if (pre.rows() != input.rows() || pre.cols() != out_dim()) {
     pre.resize(input.rows(), out_dim());
   }
-  la::gemm_nt(input, weights_, pre, bias());
+  kernels::gemm_nt(input, weights_, pre, bias());
   if (post.rows() != pre.rows() || post.cols() != pre.cols()) {
     post.resize(pre.rows(), pre.cols());
   }
@@ -47,15 +48,22 @@ void dense_layer::forward_inference(const la::matrix_f& input,
   if (out.rows() != input.rows() || out.cols() != out_dim()) {
     out.resize(input.rows(), out_dim());
   }
-  la::gemm_nt(input, weights_, out, bias());
-  apply_activation(act_, out.flat());
+  // Dispatched AVX2/scalar forward GEMM with the bias add and ReLU fused
+  // into the microkernel store (klinq/nn/kernels.hpp).
+  kernels::gemm_nt_bias_act(input, weights_, out, bias(), act_);
 }
 
 void dense_layer::forward_single(std::span<const float> input,
                                  std::span<float> output) const {
   KLINQ_REQUIRE(input.size() == in_dim() && output.size() == out_dim(),
                 "dense_layer::forward_single: bad spans");
-  la::gemv(weights_, input, output, bias());
+  // One dispatched dot per neuron — the AVX2 tier cuts single-shot latency;
+  // the scalar tier keeps the seed's gemv reduction order bit for bit.
+  for (std::size_t o = 0; o < out_dim(); ++o) {
+    output[o] = kernels::dot(weights_.data() + o * in_dim(), input.data(),
+                             in_dim()) +
+                bias_[o];
+  }
   apply_activation(act_, output);
 }
 

@@ -1,0 +1,677 @@
+#include "klinq/nn/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "klinq/common/aligned.hpp"
+#include "klinq/common/error.hpp"
+#include "klinq/common/thread_pool.hpp"
+
+#if KLINQ_HAVE_X86_SIMD
+#include <immintrin.h>
+#endif
+
+namespace klinq::nn::kernels {
+
+// ---------------------------------------------------------------------------
+// scalar tier
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  // The seed's 4-lane reduction (gemm.cpp dot_lanes), kept verbatim so the
+  // pinned scalar tier reproduces historical numerics bit for bit.
+  float acc0 = 0.0f;
+  float acc1 = 0.0f;
+  float acc2 = 0.0f;
+  float acc3 = 0.0f;
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    acc0 += a[p] * b[p];
+    acc1 += a[p + 1] * b[p + 1];
+    acc2 += a[p + 2] * b[p + 2];
+    acc3 += a[p + 3] * b[p + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; p < n; ++p) acc += a[p] * b[p];
+  return acc;
+}
+
+float sum(const float* values, std::size_t n) noexcept {
+  // Same 4-lane order as the seed's interval_averager accumulation.
+  float acc0 = 0.0f;
+  float acc1 = 0.0f;
+  float acc2 = 0.0f;
+  float acc3 = 0.0f;
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    acc0 += values[p];
+    acc1 += values[p + 1];
+    acc2 += values[p + 2];
+    acc3 += values[p + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; p < n; ++p) acc += values[p];
+  return acc;
+}
+
+float grouped_mean_dot(const float* values, const float* weights,
+                       std::size_t n, std::size_t groups,
+                       float* out_means) noexcept {
+  // One pass serves both features. The group sums reduce per group (their
+  // boundaries demand it), but the matched-filter accumulators persist
+  // across groups — lanes for the vectorizable body, one scalar chain for
+  // the per-group tails — and reduce once at the end. Group boundaries
+  // (floor(g·n/groups)) advance by Bresenham carry instead of two integer
+  // divisions per group — at ~33-sample groups the divisions would cost
+  // more than the sums.
+  float dot0 = 0.0f;
+  float dot1 = 0.0f;
+  float dot2 = 0.0f;
+  float dot3 = 0.0f;
+  float dot_tail = 0.0f;
+  const std::size_t quotient = n / groups;
+  const std::size_t remainder = n % groups;
+  std::size_t begin = 0;
+  std::size_t carry = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::size_t len = quotient;
+    carry += remainder;
+    if (carry >= groups) {
+      carry -= groups;
+      ++len;
+    }
+    const float* p = values + begin;
+    const float* w = weights != nullptr ? weights + begin : nullptr;
+    begin += len;
+    float sum0 = 0.0f;
+    float sum1 = 0.0f;
+    float sum2 = 0.0f;
+    float sum3 = 0.0f;
+    std::size_t s = 0;
+    if (w != nullptr) {
+      for (; s + 4 <= len; s += 4) {
+        sum0 += p[s];
+        sum1 += p[s + 1];
+        sum2 += p[s + 2];
+        sum3 += p[s + 3];
+        dot0 += p[s] * w[s];
+        dot1 += p[s + 1] * w[s + 1];
+        dot2 += p[s + 2] * w[s + 2];
+        dot3 += p[s + 3] * w[s + 3];
+      }
+      float acc = (sum0 + sum1) + (sum2 + sum3);
+      for (; s < len; ++s) {
+        acc += p[s];
+        dot_tail += p[s] * w[s];
+      }
+      out_means[g] = acc / static_cast<float>(len);
+    } else {
+      for (; s + 4 <= len; s += 4) {
+        sum0 += p[s];
+        sum1 += p[s + 1];
+        sum2 += p[s + 2];
+        sum3 += p[s + 3];
+      }
+      float acc = (sum0 + sum1) + (sum2 + sum3);
+      for (; s < len; ++s) acc += p[s];
+      out_means[g] = acc / static_cast<float>(len);
+    }
+  }
+  return (dot0 + dot1) + (dot2 + dot3) + dot_tail;
+}
+
+void fc_plane(const float* weights, const float* bias, std::size_t out_dim,
+              std::size_t in_dim, const float* in_plane, std::size_t lanes,
+              std::size_t stride, bool relu, float* out_plane) noexcept {
+  const std::size_t padded = padded_lanes(lanes);
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    const float* w = weights + o * in_dim;
+    const float bias_value = bias != nullptr ? bias[o] : 0.0f;
+    float* out_row = out_plane + o * stride;
+    for (std::size_t s0 = 0; s0 < padded; s0 += lane_group) {
+      // One whole lane group per pass; per lane the accumulation over i is
+      // strictly ascending, so GCC SLP-vectorizes the group and a lane's
+      // value never depends on its position in the tile.
+      float acc[lane_group];
+      for (std::size_t l = 0; l < lane_group; ++l) acc[l] = bias_value;
+      const float* column = in_plane + s0;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        const float wv = w[i];
+        const float* lane = column + i * stride;
+        for (std::size_t l = 0; l < lane_group; ++l) acc[l] += wv * lane[l];
+      }
+      for (std::size_t l = 0; l < lane_group; ++l) {
+        const float value = acc[l];
+        out_row[s0 + l] = relu && value < 0.0f ? 0.0f : value;
+      }
+    }
+  }
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// avx2 tier
+// ---------------------------------------------------------------------------
+
+#if KLINQ_HAVE_X86_SIMD
+
+namespace {
+
+// Per-function target("avx2,fma") keeps the rest of the library buildable
+// without -mavx2 while the runtime dispatcher guards execution via cpuid.
+
+/// Fixed-order horizontal reduction of one 8-lane accumulator: low+high
+/// halves, then pairwise within the 4-lane result.
+__attribute__((target("avx2,fma"))) inline float reduce_lanes(__m256 acc) {
+  const __m128 lo = _mm256_castps256_ps128(acc);
+  const __m128 hi = _mm256_extractf128_ps(acc, 1);
+  const __m128 quad = _mm_add_ps(lo, hi);
+  const __m128 pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+  const __m128 one =
+      _mm_add_ss(pair, _mm_shuffle_ps(pair, pair, _MM_SHUFFLE(1, 1, 1, 1)));
+  return _mm_cvtss_f32(one);
+}
+
+__attribute__((target("avx2,fma"))) float dot_avx2(const float* a,
+                                                   const float* b,
+                                                   std::size_t n) noexcept {
+  // Four independent FMA accumulators hide the 4-cycle FMA latency on the
+  // 2N-wide matched-filter MAC; combined pairwise in a fixed order so the
+  // result depends only on (a, b, n).
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  const __m256 acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                   _mm256_add_ps(acc2, acc3));
+  float total = reduce_lanes(acc);
+  // FMA tail keeps the whole reduction contraction-consistent.
+  for (; i < n; ++i) total = std::fmaf(a[i], b[i], total);
+  return total;
+}
+
+__attribute__((target("avx2,fma"))) float sum_avx2(const float* values,
+                                                   std::size_t n) noexcept {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(values + i));
+    acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(values + i + 8));
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(values + i));
+  }
+  float total = reduce_lanes(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) total += values[i];
+  return total;
+}
+
+/// Horizontal sums of four 8-lane accumulators in one hadd tree:
+/// returns [Σa, Σb, Σc, Σd]. Amortizes the per-group reduction the interval
+/// means need — one tree per four groups instead of four serial reductions.
+__attribute__((target("avx2,fma"))) inline __m128 reduce_four(__m256 a,
+                                                              __m256 b,
+                                                              __m256 c,
+                                                              __m256 d) {
+  const __m256 ab = _mm256_hadd_ps(a, b);
+  const __m256 cd = _mm256_hadd_ps(c, d);
+  const __m256 quad = _mm256_hadd_ps(ab, cd);
+  return _mm_add_ps(_mm256_castps256_ps128(quad),
+                    _mm256_extractf128_ps(quad, 1));
+}
+
+/// Per-group accumulation state that persists across groups: the two
+/// matched-filter FMA lanes and the scalar tail chain.
+struct mean_dot_state {
+  __m256 dot_acc0;
+  __m256 dot_acc1;
+  float dot_tail;
+};
+
+/// Accumulates one group's vector sum into *acc and its tail samples into
+/// *tail; the matched-filter accumulators in *state ride along when
+/// weights are present. `p`/`w` point at the group's first sample.
+__attribute__((target("avx2,fma"))) inline void accumulate_group(
+    const float* p, const float* w, std::size_t len, mean_dot_state* state,
+    __m256* acc, float* tail) noexcept {
+  __m256 sum0 = _mm256_setzero_ps();
+  __m256 sum1 = _mm256_setzero_ps();
+  float t = 0.0f;
+  std::size_t s = 0;
+  if (w != nullptr) {
+    for (; s + 16 <= len; s += 16) {
+      const __m256 v0 = _mm256_loadu_ps(p + s);
+      const __m256 v1 = _mm256_loadu_ps(p + s + 8);
+      sum0 = _mm256_add_ps(sum0, v0);
+      sum1 = _mm256_add_ps(sum1, v1);
+      state->dot_acc0 =
+          _mm256_fmadd_ps(v0, _mm256_loadu_ps(w + s), state->dot_acc0);
+      state->dot_acc1 =
+          _mm256_fmadd_ps(v1, _mm256_loadu_ps(w + s + 8), state->dot_acc1);
+    }
+    for (; s + 8 <= len; s += 8) {
+      const __m256 v = _mm256_loadu_ps(p + s);
+      sum0 = _mm256_add_ps(sum0, v);
+      state->dot_acc0 =
+          _mm256_fmadd_ps(v, _mm256_loadu_ps(w + s), state->dot_acc0);
+    }
+    for (; s < len; ++s) {
+      t += p[s];
+      state->dot_tail = std::fmaf(p[s], w[s], state->dot_tail);
+    }
+  } else {
+    for (; s + 16 <= len; s += 16) {
+      sum0 = _mm256_add_ps(sum0, _mm256_loadu_ps(p + s));
+      sum1 = _mm256_add_ps(sum1, _mm256_loadu_ps(p + s + 8));
+    }
+    for (; s + 8 <= len; s += 8) {
+      sum0 = _mm256_add_ps(sum0, _mm256_loadu_ps(p + s));
+    }
+    for (; s < len; ++s) t += p[s];
+  }
+  *acc = _mm256_add_ps(sum0, sum1);
+  *tail = t;
+}
+
+__attribute__((target("avx2,fma"))) float grouped_mean_dot_avx2(
+    const float* values, const float* weights, std::size_t n,
+    std::size_t groups, float* out_means) noexcept {
+  // 8-lane fused pass. Per group one vector loop feeds both the group-sum
+  // accumulator (reduced per group — the boundaries demand it) and the
+  // matched-filter FMA accumulators, which persist across groups and reduce
+  // once at the end; per-group tail samples feed scalar chains. Groups are
+  // processed four at a time so their horizontal reductions share one hadd
+  // tree and one vector divide, and group boundaries advance by Bresenham
+  // carry (floor(g·n/groups) without per-group integer division).
+  mean_dot_state state{_mm256_setzero_ps(), _mm256_setzero_ps(), 0.0f};
+  const std::size_t quotient = n / groups;
+  const std::size_t remainder = n % groups;
+  std::size_t begin = 0;
+  std::size_t carry = 0;
+  const auto next_len = [&]() noexcept {
+    std::size_t len = quotient;
+    carry += remainder;
+    if (carry >= groups) {
+      carry -= groups;
+      ++len;
+    }
+    return len;
+  };
+
+  std::size_t g = 0;
+  for (; g + 4 <= groups; g += 4) {
+    __m256 acc[4];
+    alignas(16) float tails[4];
+    alignas(16) float lens[4];
+    for (std::size_t k = 0; k < 4; ++k) {
+      const std::size_t len = next_len();
+      accumulate_group(values + begin,
+                       weights != nullptr ? weights + begin : nullptr, len,
+                       &state, &acc[k], &tails[k]);
+      lens[k] = static_cast<float>(len);
+      begin += len;
+    }
+    const __m128 sums =
+        _mm_add_ps(reduce_four(acc[0], acc[1], acc[2], acc[3]),
+                   _mm_load_ps(tails));
+    _mm_storeu_ps(out_means + g, _mm_div_ps(sums, _mm_load_ps(lens)));
+  }
+  for (; g < groups; ++g) {
+    __m256 acc;
+    float tail;
+    const std::size_t len = next_len();
+    accumulate_group(values + begin,
+                     weights != nullptr ? weights + begin : nullptr, len,
+                     &state, &acc, &tail);
+    begin += len;
+    out_means[g] = (reduce_lanes(acc) + tail) / static_cast<float>(len);
+  }
+  return reduce_lanes(_mm256_add_ps(state.dot_acc0, state.dot_acc1)) +
+         state.dot_tail;
+}
+
+__attribute__((target("avx2,fma"))) void fc_plane_avx2(
+    const float* weights, const float* bias, std::size_t out_dim,
+    std::size_t in_dim, const float* in_plane, std::size_t lanes,
+    std::size_t stride, bool relu, float* out_plane) noexcept {
+  const std::size_t padded = padded_lanes(lanes);
+  const __m256 zero = _mm256_setzero_ps();
+  // Two neurons x two lane groups per pass: each plane load feeds two FMAs
+  // (one per neuron), so the inner loop is FMA-bound instead of load-bound.
+  // Per (neuron, lane) the accumulation is the identical ascending FMA
+  // chain in every variant below — lane position in the tile never changes
+  // a shot's value.
+  std::size_t o = 0;
+  for (; o + 2 <= out_dim; o += 2) {
+    const float* w0 = weights + o * in_dim;
+    const float* w1 = w0 + in_dim;
+    const __m256 b0 = _mm256_set1_ps(bias != nullptr ? bias[o] : 0.0f);
+    const __m256 b1 = _mm256_set1_ps(bias != nullptr ? bias[o + 1] : 0.0f);
+    float* out0 = out_plane + o * stride;
+    float* out1 = out0 + stride;
+    std::size_t s = 0;
+    for (; s + 2 * lane_group <= padded; s += 2 * lane_group) {
+      __m256 acc00 = b0;
+      __m256 acc01 = b0;
+      __m256 acc10 = b1;
+      __m256 acc11 = b1;
+      const float* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        const float* lane = column + i * stride;
+        const __m256 x0 = _mm256_loadu_ps(lane);
+        const __m256 x1 = _mm256_loadu_ps(lane + lane_group);
+        const __m256 wv0 = _mm256_set1_ps(w0[i]);
+        const __m256 wv1 = _mm256_set1_ps(w1[i]);
+        acc00 = _mm256_fmadd_ps(wv0, x0, acc00);
+        acc01 = _mm256_fmadd_ps(wv0, x1, acc01);
+        acc10 = _mm256_fmadd_ps(wv1, x0, acc10);
+        acc11 = _mm256_fmadd_ps(wv1, x1, acc11);
+      }
+      if (relu) {
+        acc00 = _mm256_max_ps(acc00, zero);
+        acc01 = _mm256_max_ps(acc01, zero);
+        acc10 = _mm256_max_ps(acc10, zero);
+        acc11 = _mm256_max_ps(acc11, zero);
+      }
+      _mm256_storeu_ps(out0 + s, acc00);
+      _mm256_storeu_ps(out0 + s + lane_group, acc01);
+      _mm256_storeu_ps(out1 + s, acc10);
+      _mm256_storeu_ps(out1 + s + lane_group, acc11);
+    }
+    for (; s < padded; s += lane_group) {
+      __m256 acc0 = b0;
+      __m256 acc1 = b1;
+      const float* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        const __m256 x = _mm256_loadu_ps(column + i * stride);
+        acc0 = _mm256_fmadd_ps(_mm256_set1_ps(w0[i]), x, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_set1_ps(w1[i]), x, acc1);
+      }
+      if (relu) {
+        acc0 = _mm256_max_ps(acc0, zero);
+        acc1 = _mm256_max_ps(acc1, zero);
+      }
+      _mm256_storeu_ps(out0 + s, acc0);
+      _mm256_storeu_ps(out1 + s, acc1);
+    }
+  }
+  for (; o < out_dim; ++o) {
+    const float* w = weights + o * in_dim;
+    const __m256 b = _mm256_set1_ps(bias != nullptr ? bias[o] : 0.0f);
+    float* out_row = out_plane + o * stride;
+    for (std::size_t s = 0; s < padded; s += lane_group) {
+      __m256 acc = b;
+      const float* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(w[i]),
+                              _mm256_loadu_ps(column + i * stride), acc);
+      }
+      if (relu) acc = _mm256_max_ps(acc, zero);
+      _mm256_storeu_ps(out_row + s, acc);
+    }
+  }
+}
+
+}  // namespace
+
+namespace avx2 {
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  return dot_avx2(a, b, n);
+}
+
+float sum(const float* values, std::size_t n) noexcept {
+  return sum_avx2(values, n);
+}
+
+float grouped_mean_dot(const float* values, const float* weights,
+                       std::size_t n, std::size_t groups,
+                       float* out_means) noexcept {
+  return grouped_mean_dot_avx2(values, weights, n, groups, out_means);
+}
+
+void fc_plane(const float* weights, const float* bias, std::size_t out_dim,
+              std::size_t in_dim, const float* in_plane, std::size_t lanes,
+              std::size_t stride, bool relu, float* out_plane) noexcept {
+  fc_plane_avx2(weights, bias, out_dim, in_dim, in_plane, lanes, stride, relu,
+                out_plane);
+}
+
+}  // namespace avx2
+
+#else  // !KLINQ_HAVE_X86_SIMD
+
+// Keep the avx2:: entry points linkable on builds without the SIMD bodies;
+// avx2_available() reports false, so the parity harness skips rather than
+// comparing scalar against itself.
+namespace avx2 {
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  return scalar::dot(a, b, n);
+}
+
+float sum(const float* values, std::size_t n) noexcept {
+  return scalar::sum(values, n);
+}
+
+float grouped_mean_dot(const float* values, const float* weights,
+                       std::size_t n, std::size_t groups,
+                       float* out_means) noexcept {
+  return scalar::grouped_mean_dot(values, weights, n, groups, out_means);
+}
+
+void fc_plane(const float* weights, const float* bias, std::size_t out_dim,
+              std::size_t in_dim, const float* in_plane, std::size_t lanes,
+              std::size_t stride, bool relu, float* out_plane) noexcept {
+  scalar::fc_plane(weights, bias, out_dim, in_dim, in_plane, lanes, stride,
+                   relu, out_plane);
+}
+
+}  // namespace avx2
+
+#endif  // KLINQ_HAVE_X86_SIMD
+
+bool avx2_available() noexcept {
+  return KLINQ_HAVE_X86_SIMD != 0 && cpu_supports_avx2();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct kernel_table {
+  float (*dot)(const float*, const float*, std::size_t) noexcept;
+  float (*sum)(const float*, std::size_t) noexcept;
+  float (*grouped_mean_dot)(const float*, const float*, std::size_t,
+                            std::size_t, float*) noexcept;
+  void (*fc_plane)(const float*, const float*, std::size_t, std::size_t,
+                   const float*, std::size_t, std::size_t, bool,
+                   float*) noexcept;
+};
+
+const kernel_table& active_table() noexcept {
+  static const kernel_table table = [] {
+    if (active_float_simd_tier() == simd_tier::avx2) {
+      return kernel_table{avx2::dot, avx2::sum, avx2::grouped_mean_dot,
+                          avx2::fc_plane};
+    }
+    return kernel_table{scalar::dot, scalar::sum, scalar::grouped_mean_dot,
+                        scalar::fc_plane};
+  }();
+  return table;
+}
+
+}  // namespace
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  return active_table().dot(a, b, n);
+}
+
+float sum(const float* values, std::size_t n) noexcept {
+  return active_table().sum(values, n);
+}
+
+float grouped_mean_dot(const float* values, const float* weights,
+                       std::size_t n, std::size_t groups,
+                       float* out_means) noexcept {
+  return active_table().grouped_mean_dot(values, weights, n, groups,
+                                         out_means);
+}
+
+void fc_plane(const float* weights, const float* bias, std::size_t out_dim,
+              std::size_t in_dim, const float* in_plane, std::size_t lanes,
+              std::size_t stride, bool relu, float* out_plane) noexcept {
+  active_table().fc_plane(weights, bias, out_dim, in_dim, in_plane, lanes,
+                          stride, relu, out_plane);
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+void pack_rows(const float* rows, std::size_t count, std::size_t width,
+               std::size_t row_stride, float* plane,
+               std::size_t stride) noexcept {
+  // Row-outer scatter: each source row is read contiguously once; the
+  // strided plane writes stay within one cache line per 16 rows.
+  for (std::size_t r = 0; r < count; ++r) {
+    const float* src = rows + r * row_stride;
+    for (std::size_t i = 0; i < width; ++i) plane[i * stride + r] = src[i];
+  }
+  const std::size_t padded = padded_lanes(count);
+  for (std::size_t r = count; r < padded; ++r) {
+    for (std::size_t i = 0; i < width; ++i) plane[i * stride + r] = 0.0f;
+  }
+}
+
+void unpack_plane(const float* plane, std::size_t out_dim, std::size_t stride,
+                  std::size_t count, float* rows, std::size_t row_stride,
+                  bool accumulate) noexcept {
+  for (std::size_t r = 0; r < count; ++r) {
+    float* dst = rows + r * row_stride;
+    if (accumulate) {
+      for (std::size_t o = 0; o < out_dim; ++o) dst[o] += plane[o * stride + r];
+    } else {
+      for (std::size_t o = 0; o < out_dim; ++o) dst[o] = plane[o * stride + r];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix drivers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Flops below which the row-tile loop stays single-threaded (same bar as
+/// the la:: kernels).
+constexpr std::size_t kParallelFlopThreshold = 1u << 16;
+
+/// Per-thread packing scratch: the feature-major A panel and the plane the
+/// microkernel writes, reused across calls (and across tiles of one call).
+struct panel_scratch {
+  aligned_vector<float> panel;
+  aligned_vector<float> out_plane;
+};
+
+panel_scratch& tls_panels() {
+  thread_local panel_scratch scratch;
+  return scratch;
+}
+
+void gemm_nt_driver(const la::matrix_f& a, const la::matrix_f& b,
+                    la::matrix_f& c, std::span<const float> bias, bool relu,
+                    bool accumulate) {
+  KLINQ_REQUIRE(a.cols() == b.cols(), "nn::kernels::gemm_nt: inner dims");
+  KLINQ_REQUIRE(c.rows() == a.rows() && c.cols() == b.rows(),
+                "nn::kernels::gemm_nt: output shape mismatch");
+  KLINQ_REQUIRE(bias.empty() || bias.size() == b.rows(),
+                "nn::kernels::gemm_nt: bias length must equal out columns");
+  const std::size_t m = a.rows();
+  const std::size_t n = b.rows();
+  const std::size_t k = a.cols();
+  if (m == 0 || n == 0) return;
+  const float* bias_ptr = bias.empty() ? nullptr : bias.data();
+
+  if (m < lane_group) {
+    // Row blocks below one lane group: a packed tile would waste 8/m of the
+    // kernel work, so run one dispatched dot per output instead.
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* a_row = a.data() + i * k;
+      float* c_row = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        float value = dot(a_row, b.data() + j * k, k);
+        if (bias_ptr != nullptr) value += bias_ptr[j];
+        if (relu && value < 0.0f) value = 0.0f;
+        if (accumulate) {
+          c_row[j] += value;
+        } else {
+          c_row[j] = value;
+        }
+      }
+    }
+    return;
+  }
+
+  const std::size_t tiles = (m + max_tile_lanes - 1) / max_tile_lanes;
+  const auto run_tiles = [&](std::size_t tile_begin, std::size_t tile_end) {
+    panel_scratch& scratch = tls_panels();
+    scratch.panel.resize(k * max_tile_lanes);
+    scratch.out_plane.resize(n * max_tile_lanes);
+    for (std::size_t t = tile_begin; t < tile_end; ++t) {
+      const std::size_t row0 = t * max_tile_lanes;
+      const std::size_t rows = std::min(max_tile_lanes, m - row0);
+      pack_rows(a.data() + row0 * k, rows, k, k, scratch.panel.data(),
+                max_tile_lanes);
+      fc_plane(b.data(), bias_ptr, n, k, scratch.panel.data(), rows,
+               max_tile_lanes, relu, scratch.out_plane.data());
+      unpack_plane(scratch.out_plane.data(), n, max_tile_lanes, rows,
+                   c.data() + row0 * n, n, accumulate);
+    }
+  };
+  if (tiles == 1 || m * n * k < kParallelFlopThreshold) {
+    run_tiles(0, tiles);
+  } else {
+    parallel_for_chunked(0, tiles, run_tiles);
+  }
+}
+
+}  // namespace
+
+void gemm_nt_bias_act(const la::matrix_f& a, const la::matrix_f& b,
+                      la::matrix_f& c, std::span<const float> bias,
+                      activation act) {
+  gemm_nt_driver(a, b, c, bias, act == activation::relu,
+                 /*accumulate=*/false);
+  if (act != activation::relu && act != activation::identity) {
+    apply_activation(act, c.flat());
+  }
+}
+
+void gemm_nt(const la::matrix_f& a, const la::matrix_f& b, la::matrix_f& c,
+             std::span<const float> bias, bool accumulate) {
+  gemm_nt_driver(a, b, c, bias, /*relu=*/false, accumulate);
+}
+
+}  // namespace klinq::nn::kernels

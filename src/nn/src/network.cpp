@@ -1,10 +1,13 @@
 #include "klinq/nn/network.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <sstream>
 
 #include "klinq/common/error.hpp"
 #include "klinq/common/math.hpp"
+#include "klinq/common/thread_pool.hpp"
+#include "klinq/nn/kernels.hpp"
 
 namespace klinq::nn {
 
@@ -69,23 +72,77 @@ float network::predict_logit(std::span<const float> input) const {
   return in->front();
 }
 
+void network::predict_logits_plane(const float* in_plane, std::size_t lanes,
+                                   std::size_t stride, float* out,
+                                   inference_scratch& scratch) const {
+  KLINQ_REQUIRE(!layers_.empty(), "predict_logits_plane: empty network");
+  KLINQ_REQUIRE(kernels::padded_lanes(lanes) <= stride,
+                "predict_logits_plane: stride too small for padded lanes");
+  const std::size_t padded = kernels::padded_lanes(lanes);
+  std::size_t max_width = 0;
+  for (const auto& layer : layers_) {
+    max_width = std::max(max_width, layer.out_dim());
+  }
+  scratch.plane_a.resize(max_width * stride);
+  scratch.plane_b.resize(max_width * stride);
+  const float* current = in_plane;
+  float* next = scratch.plane_a.data();
+  for (const auto& layer : layers_) {
+    const activation act = layer.act();
+    kernels::fc_plane(layer.weights().data(), layer.bias().data(),
+                      layer.out_dim(), layer.in_dim(), current, lanes, stride,
+                      act == activation::relu, next);
+    if (act != activation::relu && act != activation::identity) {
+      // Rare non-fused activations (sigmoid) run row-wise over the padded
+      // lanes so pads stay finite for the next layer.
+      for (std::size_t o = 0; o < layer.out_dim(); ++o) {
+        apply_activation(act, std::span<float>(next + o * stride, padded));
+      }
+    }
+    current = next;
+    next = (current == scratch.plane_a.data()) ? scratch.plane_b.data()
+                                               : scratch.plane_a.data();
+  }
+  // The binary logit head lives in plane row 0.
+  for (std::size_t s = 0; s < lanes; ++s) out[s] = current[s];
+}
+
 void network::predict_logits(const la::matrix_f& input, std::span<float> out,
                              inference_scratch& scratch) const {
   KLINQ_REQUIRE(!layers_.empty(), "predict_logits: empty network");
   KLINQ_REQUIRE(input.cols() == input_dim_, "predict_logits: bad input dim");
   KLINQ_REQUIRE(out.size() == input.rows(),
                 "predict_logits: output span must have one entry per row");
-  const la::matrix_f* current = &input;
-  for (const auto& layer : layers_) {
-    la::matrix_f* next =
-        (current == &scratch.ping) ? &scratch.pong : &scratch.ping;
-    layer.forward_inference(*current, *next);
-    current = next;
+  const std::size_t rows = input.rows();
+  if (rows == 0) return;
+  const std::size_t k = input_dim_;
+  constexpr std::size_t kTile = kernels::max_tile_lanes;
+  const auto run_rows = [&](std::size_t begin, std::size_t end,
+                            inference_scratch& local) {
+    local.panel.resize(k * kTile);
+    for (std::size_t t = begin; t < end; t += kTile) {
+      const std::size_t count = std::min(kTile, end - t);
+      kernels::pack_rows(input.data() + t * k, count, k, k,
+                         local.panel.data(), kTile);
+      predict_logits_plane(local.panel.data(), count, kTile, out.data() + t,
+                           local);
+    }
+  };
+  // Beyond a few tiles, chunk tile-aligned ranges across the pool with one
+  // persistent per-thread scratch arena (warm after the first dispatch, so
+  // the steady state stays allocation-free). Results are chunking-invariant:
+  // the kernels are lane-invariant, so a shot's logit does not depend on
+  // where its tile boundary falls.
+  const std::size_t tiles = (rows + kTile - 1) / kTile;
+  if (tiles < 4) {
+    run_rows(0, rows, scratch);
+    return;
   }
-  const la::matrix_f& logits = *current;
-  for (std::size_t r = 0; r < logits.rows(); ++r) {
-    out[r] = logits(r, 0);
-  }
+  parallel_for_chunked(0, tiles, [&](std::size_t tile_begin,
+                                     std::size_t tile_end) {
+    thread_local inference_scratch local;
+    run_rows(tile_begin * kTile, std::min(tile_end * kTile, rows), local);
+  });
 }
 
 std::vector<float> network::predict_logits(const la::matrix_f& input) const {

@@ -12,25 +12,6 @@ namespace klinq::nn {
 
 namespace {
 
-/// Rows per inference chunk, sized so one chunk's working set — the input
-/// row copy plus the two ping-pong activation blocks at the widest layer —
-/// fits in roughly half of a typical per-core L2 (1 MiB), leaving the rest
-/// for the weight panels streaming through the GEMM. Rounded to multiples
-/// of 64 so the GEMM row blocks stay even; floors at 64 rows (the teacher's
-/// 1000-wide layers overshoot the target slightly rather than degrading to
-/// per-row dispatch) and caps at the old fixed 2048.
-std::size_t inference_chunk_rows(const network& net) {
-  constexpr std::size_t kL2TargetBytes = 512u * 1024u;
-  std::size_t max_width = net.input_dim();
-  for (std::size_t l = 0; l < net.layer_count(); ++l) {
-    max_width = std::max(max_width, net.layer(l).out_dim());
-  }
-  const std::size_t row_bytes =
-      sizeof(float) * (net.input_dim() + 2 * max_width);
-  const std::size_t rows = kL2TargetBytes / std::max<std::size_t>(1, row_bytes);
-  return std::clamp<std::size_t>(rows - rows % 64, 64, 2048);
-}
-
 }  // namespace
 
 train_result train_network(network& net, const la::matrix_f& features,
@@ -128,40 +109,13 @@ std::vector<float> compute_logits(const network& net,
                                   const la::matrix_f& features) {
   KLINQ_REQUIRE(features.cols() == net.input_dim(),
                 "compute_logits: feature width != network input");
-  // L2-aware chunking bounds scratch memory for the 1000-wide teacher, and
-  // whole chunks run in parallel on the pool — each worker range owns one
-  // scratch arena + row copy, reused across its chunks, so the steady state
-  // allocates only per pool dispatch, never per chunk iteration. GEMM calls
-  // nested inside a worker degrade to their serial (bit-identical) path, so
-  // chunk-level parallelism is the only dispatch level.
-  const std::size_t chunk = inference_chunk_rows(net);
-  const std::size_t cols = features.cols();
+  // predict_logits tiles in 64-shot feature-major panels, so its scratch is
+  // bounded by one panel per worker regardless of batch size, and it
+  // parallelizes across tiles itself — the old L2-aware outer chunking
+  // would only double-dispatch on top of that.
   std::vector<float> logits(features.rows());
-  const auto evaluate_rows = [&](std::size_t row_begin, std::size_t row_end) {
-    inference_scratch scratch;
-    la::matrix_f chunk_rows;
-    for (std::size_t start = row_begin; start < row_end; start += chunk) {
-      const std::size_t count = std::min(chunk, row_end - start);
-      // resize() zero-fills, which the copy below would immediately
-      // overwrite — only pay it when the shape actually changes (the
-      // ragged last chunk).
-      if (chunk_rows.rows() != count || chunk_rows.cols() != cols) {
-        chunk_rows.resize(count, cols);
-      }
-      // Rows are contiguous in the row-major source: one flat copy.
-      std::copy(features.data() + start * cols,
-                features.data() + (start + count) * cols, chunk_rows.data());
-      net.predict_logits(chunk_rows,
-                         std::span<float>(logits.data() + start, count),
-                         scratch);
-    }
-  };
-  if (features.rows() <= chunk) {
-    // Single chunk: keep the intra-GEMM threading instead of chunk-level.
-    evaluate_rows(0, features.rows());
-  } else {
-    parallel_for_chunked(0, features.rows(), evaluate_rows);
-  }
+  inference_scratch scratch;
+  net.predict_logits(features, logits, scratch);
   return logits;
 }
 

@@ -14,6 +14,22 @@
 // This bounds both queue memory and result-buffer memory under sustained
 // overload.
 //
+// Request coalescing (ROADMAP item): with `coalesce_shots` > 0, requests of
+// at most that many shots are held in a per-(qubit, engine) pending batch
+// and merged into ONE dispatched task — one queue round-trip and one arena
+// acquisition for the whole batch — once the batch accumulates a full
+// shard's worth of shots. Partial batches are flushed by wait() (only the
+// awaited ticket's batch — other streams keep accumulating), by drain() and
+// destruction (everything), and whenever the inflight window would
+// otherwise fill with undispatched parked work (submit at capacity,
+// try_submit returning nullopt, or parking itself meeting a full window) —
+// so every ticket completes and non-blocking producers cannot livelock.
+// poll() alone does NOT flush (a held ticket polls false until something
+// flushes). Members keep their own tickets/results, bit-identical to
+// uncoalesced execution; the trade is per-request latency (hold time is
+// included in the latency telemetry) for amortized per-request accounting —
+// built for mid-circuit clients streaming many small same-qubit blocks.
+//
 // Steady-state allocation: completed slots and shard arenas are recycled
 // through free-lists. The wait(ticket, result&) overload swaps buffers with
 // the caller, so a submit/wait loop that reuses one readout_result performs
@@ -27,6 +43,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "klinq/common/stopwatch.hpp"
@@ -41,6 +58,10 @@ struct server_config {
   std::size_t shard_shots = 0;
   /// Maximum unresolved tickets before submit() blocks.
   std::size_t max_inflight = 64;
+  /// Requests with at most this many shots are held and merged with other
+  /// pending small requests for the same (qubit, engine) into one dispatched
+  /// batch (see the coalescing note above). 0 disables coalescing.
+  std::size_t coalesce_shots = 0;
 };
 
 class readout_server {
@@ -94,11 +115,40 @@ class readout_server {
     stopwatch timer;
   };
 
+  /// One small request parked in a coalescing batch: the borrowed request
+  /// plus its already-allocated slot.
+  struct pending_member {
+    readout_request request;
+    slot* s = nullptr;
+  };
+  struct pending_batch {
+    std::vector<pending_member> members;
+    std::size_t shots = 0;
+  };
+
   const qubit_engine& engine_for(const readout_request& request) const;
   ticket submit_locked(const readout_request& request,
                        std::unique_lock<std::mutex>& lock);
   void run_shard(slot& s, const readout_request& request, std::size_t begin,
                  std::size_t end, shard_arena& arena) const;
+  /// Runs one contiguous row range of a request and performs the shard
+  /// completion accounting (shared by sharded dispatch and merged batches).
+  void execute_range(slot* raw, const readout_request& request,
+                     std::size_t begin, std::size_t end, shard_arena& arena);
+  /// Enqueues a merged batch as one scheduler task.
+  void dispatch_batch(pending_batch batch);
+  /// Dispatches every parked coalescing batch (drain/teardown and
+  /// capacity-limited submits call this so held tickets always complete;
+  /// submit_locked also flushes whenever parking would leave the inflight
+  /// window full of undispatched work).
+  void flush_pending();
+  /// Dispatches only the parked batch holding `t` (no-op when the ticket is
+  /// not parked) — wait()'s flush, which leaves other streams' batches
+  /// accumulating so prompt waiters don't defeat the amortization.
+  void flush_pending_for(ticket t);
+  /// Removes every parked batch from pending_ into `out` (caller dispatches
+  /// after unlocking).
+  void take_pending_locked(std::vector<pending_batch>& out);
   void recycle_locked(std::unique_ptr<slot> s, readout_result* swap_with);
 
   std::vector<qubit_engine> qubits_;
@@ -112,6 +162,10 @@ class readout_server {
   std::unordered_map<std::uint64_t, std::unique_ptr<slot>> active_;
   std::vector<std::unique_ptr<slot>> free_slots_;
   std::size_t outstanding_shards_ = 0;
+  /// Parked coalescing batches keyed by qubit * 2 + engine (guarded by
+  /// mutex_; their slots already live in active_ and count against
+  /// max_inflight and outstanding_shards_).
+  std::unordered_map<std::uint64_t, pending_batch> pending_;
 
   // Telemetry (guarded by mutex_).
   stopwatch uptime_;
@@ -119,6 +173,8 @@ class readout_server {
   std::uint64_t requests_completed_ = 0;
   std::uint64_t shots_submitted_ = 0;
   std::uint64_t shots_completed_ = 0;
+  std::uint64_t requests_coalesced_ = 0;
+  std::uint64_t coalesced_batches_ = 0;
   latency_histogram latency_;
 };
 

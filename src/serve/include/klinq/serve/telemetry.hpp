@@ -47,6 +47,12 @@ struct server_stats {
   std::uint64_t requests_completed = 0;
   std::uint64_t shots_submitted = 0;
   std::uint64_t shots_completed = 0;
+  /// Requests routed through the coalescing path (held and merged with
+  /// other small same-(qubit, engine) requests).
+  std::uint64_t requests_coalesced = 0;
+  /// Merged batches dispatched: each one cost a single pool round-trip and
+  /// arena acquisition for all of its member requests.
+  std::uint64_t coalesced_batches = 0;
   /// Requests submitted but not yet consumed by wait().
   std::size_t inflight = 0;
   double uptime_seconds = 0.0;

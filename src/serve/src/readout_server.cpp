@@ -30,7 +30,9 @@ readout_server::readout_server(std::vector<qubit_engine> qubits,
 
 readout_server::~readout_server() {
   // Unconsumed results are discarded, but every enqueued shard still holds a
-  // pointer into this server — wait for all of them before tearing down.
+  // pointer into this server — dispatch any parked coalescing batches, then
+  // wait for all of them before tearing down.
+  flush_pending();
   std::unique_lock lock(mutex_);
   completed_.wait(lock, [this] { return outstanding_shards_ == 0; });
 }
@@ -55,6 +57,17 @@ const qubit_engine& readout_server::engine_for(
 ticket readout_server::submit(const readout_request& request) {
   engine_for(request);  // validate before queueing
   std::unique_lock lock(mutex_);
+  // Parked coalescing batches can never be the reason the window is full:
+  // submit_locked flushes whenever parking meets a full window, so by the
+  // time this wait blocks every active slot holds dispatched work and a
+  // consumer's wait() will eventually free one.
+  if (active_.size() >= config_.max_inflight && !pending_.empty()) {
+    std::vector<pending_batch> ready;
+    take_pending_locked(ready);
+    lock.unlock();
+    for (pending_batch& batch : ready) dispatch_batch(std::move(batch));
+    lock.lock();
+  }
   capacity_.wait(lock,
                  [this] { return active_.size() < config_.max_inflight; });
   return submit_locked(request, lock);
@@ -64,13 +77,26 @@ std::optional<ticket> readout_server::try_submit(
     const readout_request& request) {
   engine_for(request);
   std::unique_lock lock(mutex_);
-  if (active_.size() >= config_.max_inflight) return std::nullopt;
+  if (active_.size() >= config_.max_inflight) {
+    // Non-blocking producers never call wait() before retrying: dispatch any
+    // parked batches so the held tickets can complete (and poll() can turn
+    // true) instead of livelocking the retry loop.
+    if (!pending_.empty()) {
+      std::vector<pending_batch> ready;
+      take_pending_locked(ready);
+      lock.unlock();
+      for (pending_batch& batch : ready) dispatch_batch(std::move(batch));
+    }
+    return std::nullopt;
+  }
   return submit_locked(request, lock);
 }
 
 ticket readout_server::submit_locked(const readout_request& request,
                                      std::unique_lock<std::mutex>& lock) {
   const std::size_t shots = request.traces->size();
+  const bool coalesce = config_.coalesce_shots > 0 && shots > 0 &&
+                        shots <= config_.coalesce_shots;
 
   std::unique_ptr<slot> s;
   if (!free_slots_.empty()) {
@@ -81,7 +107,9 @@ ticket readout_server::submit_locked(const readout_request& request,
   }
   s->id = next_ticket_++;
   s->shots = shots;
-  s->remaining_shards = shots == 0 ? 0 : scheduler_.shard_count(shots);
+  // A coalesced member executes as one range inside the merged task.
+  s->remaining_shards =
+      shots == 0 ? 0 : (coalesce ? 1 : scheduler_.shard_count(shots));
   s->done = false;
   s->error = nullptr;
   s->result.qubit = request.qubit;
@@ -114,6 +142,33 @@ ticket readout_server::submit_locked(const readout_request& request,
     return t;
   }
 
+  if (coalesce) {
+    const std::uint64_t key =
+        request.qubit * 2 + static_cast<std::uint64_t>(request.engine);
+    pending_batch& batch = pending_[key];
+    batch.members.push_back({request, raw});
+    batch.shots += shots;
+    ++requests_coalesced_;
+    std::vector<pending_batch> ready;
+    if (batch.shots >= scheduler_.shard_shots()) {
+      // A full shard's worth accumulated: dispatch the merged batch now.
+      ready.push_back(std::move(batch));
+      pending_.erase(key);
+      ++coalesced_batches_;
+    } else if (active_.size() < config_.max_inflight) {
+      return t;  // keep parking
+    }
+    if (active_.size() >= config_.max_inflight) {
+      // The window is full: nothing may stay parked (a producer that only
+      // polls or retries try_submit would otherwise never see these tickets
+      // complete), so flush every stream's batch, not just this one's.
+      take_pending_locked(ready);
+    }
+    lock.unlock();
+    for (pending_batch& b : ready) dispatch_batch(std::move(b));
+    return t;
+  }
+
   // Dispatch outside the lock: the pool has its own mutex, and shards may
   // even run inline here on a workerless (single-CPU) pool. The slot cannot
   // complete early — remaining_shards is already final.
@@ -122,25 +177,88 @@ ticket readout_server::submit_locked(const readout_request& request,
   scheduler_.dispatch(
       shots, [this, req, raw](std::size_t begin, std::size_t end,
                               shard_arena& arena) {
-        std::exception_ptr error;
-        try {
-          run_shard(*raw, req, begin, end, arena);
-        } catch (...) {
-          error = std::current_exception();
-        }
-        const std::lock_guard done_lock(mutex_);
-        if (error && !raw->error) raw->error = error;
-        --outstanding_shards_;
-        if (--raw->remaining_shards == 0) {
-          raw->done = true;
-          raw->result.latency_seconds = raw->timer.seconds();
-          ++requests_completed_;
-          shots_completed_ += raw->shots;
-          latency_.record(raw->result.latency_seconds);
-        }
-        if (raw->done || outstanding_shards_ == 0) completed_.notify_all();
+        execute_range(raw, req, begin, end, arena);
       });
   return t;
+}
+
+void readout_server::execute_range(slot* raw, const readout_request& request,
+                                   std::size_t begin, std::size_t end,
+                                   shard_arena& arena) {
+  std::exception_ptr error;
+  try {
+    run_shard(*raw, request, begin, end, arena);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  const std::lock_guard done_lock(mutex_);
+  if (error && !raw->error) raw->error = error;
+  --outstanding_shards_;
+  if (--raw->remaining_shards == 0) {
+    raw->done = true;
+    raw->result.latency_seconds = raw->timer.seconds();
+    ++requests_completed_;
+    shots_completed_ += raw->shots;
+    latency_.record(raw->result.latency_seconds);
+  }
+  if (raw->done || outstanding_shards_ == 0) completed_.notify_all();
+}
+
+void readout_server::dispatch_batch(pending_batch batch) {
+  // One scheduler task, one arena: every member runs its full row range
+  // back to back, completing (and waking waiters) individually.
+  scheduler_.dispatch_one(
+      [this, members = std::move(batch.members)](shard_arena& arena) {
+        for (const pending_member& member : members) {
+          execute_range(member.s, member.request, 0,
+                        member.request.traces->size(), arena);
+        }
+      });
+}
+
+void readout_server::take_pending_locked(std::vector<pending_batch>& out) {
+  // Counts exactly the batches it appends — `out` may already hold a batch
+  // the caller took (and counted) itself, e.g. submit_locked's full-shard
+  // batch when the window is simultaneously full.
+  out.reserve(out.size() + pending_.size());
+  for (auto& [key, batch] : pending_) {
+    if (batch.members.empty()) continue;
+    out.push_back(std::move(batch));
+    ++coalesced_batches_;
+  }
+  pending_.clear();
+}
+
+void readout_server::flush_pending() {
+  // Early-out keeps the default (coalescing-off) wait/drain path at a
+  // single mutex acquisition.
+  if (config_.coalesce_shots == 0) return;
+  std::vector<pending_batch> ready;
+  {
+    const std::lock_guard lock(mutex_);
+    take_pending_locked(ready);
+  }
+  for (pending_batch& batch : ready) dispatch_batch(std::move(batch));
+}
+
+void readout_server::flush_pending_for(ticket t) {
+  if (config_.coalesce_shots == 0) return;
+  std::optional<pending_batch> ready;
+  {
+    const std::lock_guard lock(mutex_);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      for (const pending_member& member : it->second.members) {
+        if (member.s->id == t.id) {
+          ready = std::move(it->second);
+          pending_.erase(it);
+          ++coalesced_batches_;
+          break;
+        }
+      }
+      if (ready) break;
+    }
+  }
+  if (ready) dispatch_batch(std::move(*ready));
 }
 
 void readout_server::run_shard(slot& s, const readout_request& request,
@@ -184,6 +302,10 @@ readout_result readout_server::wait(ticket t) {
 }
 
 void readout_server::wait(ticket t, readout_result& out) {
+  // The ticket may be parked in a coalescing batch; dispatch that batch (and
+  // only that one — other streams keep accumulating) so the wait below
+  // cannot block on work that was never enqueued.
+  flush_pending_for(t);
   std::unique_lock lock(mutex_);
   slot* raw;
   {
@@ -233,6 +355,7 @@ void readout_server::recycle_locked(std::unique_ptr<slot> s,
 }
 
 void readout_server::drain() {
+  flush_pending();
   std::unique_lock lock(mutex_);
   completed_.wait(lock, [this] { return outstanding_shards_ == 0; });
 }
@@ -244,6 +367,8 @@ server_stats readout_server::stats() const {
   snapshot.requests_completed = requests_completed_;
   snapshot.shots_submitted = shots_submitted_;
   snapshot.shots_completed = shots_completed_;
+  snapshot.requests_coalesced = requests_coalesced_;
+  snapshot.coalesced_batches = coalesced_batches_;
   snapshot.inflight = active_.size();
   snapshot.uptime_seconds = uptime_.seconds();
   snapshot.shots_per_second =

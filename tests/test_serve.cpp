@@ -321,6 +321,182 @@ TEST(Serve, ArenasAreRecycledAcrossRequests) {
   EXPECT_LE(scheduler.pooled_arena_count(), 4u);
 }
 
+// --- request coalescing ----------------------------------------------------
+
+// Split a dataset into consecutive blocks of at most `block` rows.
+std::vector<data::trace_dataset> split_blocks(const data::trace_dataset& ds,
+                                              std::size_t block) {
+  std::vector<data::trace_dataset> out;
+  for (std::size_t begin = 0; begin < ds.size(); begin += block) {
+    const std::size_t end = std::min(begin + block, ds.size());
+    std::vector<std::size_t> rows;
+    for (std::size_t r = begin; r < end; ++r) rows.push_back(r);
+    out.push_back(ds.subset(rows));
+  }
+  return out;
+}
+
+TEST(ServeCoalescing, SmallRequestsMergeBitExactAndAreCounted) {
+  auto& f = fixture();
+  // 25-shot requests, threshold 32, shard 128: five small submits fill one
+  // merged batch; the stragglers flush on wait().
+  serve::readout_server server(
+      f.engines(),
+      {.shard_shots = 128, .max_inflight = 256, .coalesce_shots = 32});
+  std::vector<std::vector<data::trace_dataset>> blocks(kQubits);
+  std::vector<std::vector<serve::ticket>> fixed_tickets(kQubits);
+  std::vector<std::vector<serve::ticket>> float_tickets(kQubits);
+  std::size_t small_submits = 0;
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    blocks[q] = split_blocks(f.data[q].test, 25);
+    for (const data::trace_dataset& block : blocks[q]) {
+      fixed_tickets[q].push_back(
+          server.submit({q, &block, serve::engine_kind::fixed_q16}));
+      float_tickets[q].push_back(
+          server.submit({q, &block, serve::engine_kind::float_student}));
+      small_submits += 2;
+    }
+  }
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    for (std::size_t b = 0; b < blocks[q].size(); ++b) {
+      const data::trace_dataset& block = blocks[q][b];
+      // Fixed path: bit-exact against the serial per-block evaluation.
+      const serve::readout_result fixed = server.wait(fixed_tickets[q][b]);
+      std::vector<q16_16> registers(block.size());
+      f.hardware[q].logits(block, registers);
+      ASSERT_EQ(fixed.registers.size(), registers.size());
+      for (std::size_t r = 0; r < registers.size(); ++r) {
+        ASSERT_EQ(fixed.registers[r].raw(), registers[r].raw())
+            << "qubit " << q << " block " << b << " row " << r;
+      }
+      // Float path: bitwise equal too (lane-invariant plane kernels).
+      const serve::readout_result floats = server.wait(float_tickets[q][b]);
+      const std::vector<float> logits = f.students[q].predict_batch(block);
+      ASSERT_EQ(floats.logits.size(), logits.size());
+      for (std::size_t r = 0; r < logits.size(); ++r) {
+        ASSERT_EQ(floats.logits[r], logits[r])
+            << "qubit " << q << " block " << b << " row " << r;
+      }
+    }
+  }
+  const serve::server_stats stats = server.stats();
+  EXPECT_EQ(stats.requests_coalesced, small_submits);
+  EXPECT_GE(stats.coalesced_batches, 1u);
+  // Merging amortizes accounting: far fewer dispatches than requests.
+  EXPECT_LT(stats.coalesced_batches, small_submits);
+  EXPECT_EQ(stats.requests_completed, stats.requests_submitted);
+}
+
+TEST(ServeCoalescing, WaitFlushesAPartialBatch) {
+  auto& f = fixture();
+  serve::readout_server server(
+      f.engines(), {.shard_shots = 256, .coalesce_shots = 64});
+  const auto blocks = split_blocks(f.data[0].test, 16);
+  const serve::ticket t =
+      server.submit({0, &blocks[0], serve::engine_kind::fixed_q16});
+  // One 16-shot request cannot fill a 256-shot shard: it stays parked, so
+  // poll() reports incomplete until something flushes.
+  EXPECT_FALSE(server.poll(t));
+  const serve::readout_result result = server.wait(t);  // wait() flushes
+  std::vector<q16_16> registers(blocks[0].size());
+  f.hardware[0].logits(blocks[0], registers);
+  for (std::size_t r = 0; r < registers.size(); ++r) {
+    ASSERT_EQ(result.registers[r].raw(), registers[r].raw()) << "row " << r;
+  }
+  EXPECT_EQ(server.stats().requests_coalesced, 1u);
+}
+
+TEST(ServeCoalescing, DestructionFlushesHeldBatches) {
+  auto& f = fixture();
+  const auto blocks = split_blocks(f.data[0].test, 16);
+  {
+    serve::readout_server server(
+        f.engines(), {.shard_shots = 256, .coalesce_shots = 64});
+    server.submit({0, &blocks[0], serve::engine_kind::float_student});
+    server.submit({0, &blocks[1], serve::engine_kind::float_student});
+    // No wait: the destructor must flush and drain without deadlocking.
+  }
+  SUCCEED();
+}
+
+// A non-blocking producer must not livelock: when parking would leave the
+// inflight window full of undispatched work, the server flushes, so held
+// tickets complete and poll() turns true without any wait()-side flush.
+TEST(ServeCoalescing, TrySubmitAtCapacityNeverLivelocks) {
+  auto& f = fixture();
+  serve::readout_server server(
+      f.engines(),
+      {.shard_shots = 256, .max_inflight = 2, .coalesce_shots = 64});
+  const auto blocks = split_blocks(f.data[0].test, 16);
+  const auto t0 =
+      server.try_submit({0, &blocks[0], serve::engine_kind::fixed_q16});
+  const auto t1 =
+      server.try_submit({0, &blocks[1], serve::engine_kind::fixed_q16});
+  ASSERT_TRUE(t0.has_value());
+  ASSERT_TRUE(t1.has_value());  // parking this one fills the window → flush
+  const auto t2 =
+      server.try_submit({0, &blocks[2], serve::engine_kind::fixed_q16});
+  EXPECT_FALSE(t2.has_value());  // window full of dispatched work
+  // Both held tickets complete without any wait()-driven flush.
+  for (int spin = 0;
+       spin < 10000 && !(server.poll(*t0) && server.poll(*t1)); ++spin) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(server.poll(*t0));
+  EXPECT_TRUE(server.poll(*t1));
+  server.wait(*t0);
+  server.wait(*t1);
+  EXPECT_TRUE(
+      server.try_submit({0, &blocks[2], serve::engine_kind::fixed_q16})
+          .has_value());
+}
+
+// A full-shard dispatch that fills the inflight window must also flush the
+// OTHER streams' parked batches — otherwise a poll-only producer on those
+// streams never sees its tickets complete.
+TEST(ServeCoalescing, FullShardDispatchAtCapacityFlushesOtherStreams) {
+  auto& f = fixture();
+  serve::readout_server server(
+      f.engines(),
+      {.shard_shots = 64, .max_inflight = 3, .coalesce_shots = 64});
+  const auto blocks = split_blocks(f.data[0].test, 32);
+  const auto small = split_blocks(f.data[1].test, 16);
+  // Stream A (qubit 1, float): one small request, parked.
+  const serve::ticket a =
+      server.submit({1, &small[0], serve::engine_kind::float_student});
+  // Stream B (qubit 0, fixed): two 32-shot requests complete a 64-shot
+  // shard; the second fills the window (active = 3 = max_inflight).
+  const serve::ticket b1 =
+      server.submit({0, &blocks[0], serve::engine_kind::fixed_q16});
+  const serve::ticket b2 =
+      server.submit({0, &blocks[1], serve::engine_kind::fixed_q16});
+  // Everything — including stream A's partial batch — must now be
+  // dispatched: poll turns true without any wait()-side flush.
+  for (int spin = 0; spin < 10000 && !(server.poll(a) && server.poll(b1) &&
+                                       server.poll(b2));
+       ++spin) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(server.poll(a));
+  EXPECT_TRUE(server.poll(b1));
+  EXPECT_TRUE(server.poll(b2));
+  server.wait(a);
+  server.wait(b1);
+  server.wait(b2);
+}
+
+TEST(ServeCoalescing, DisabledByDefault) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines(), {.shard_shots = 128});
+  const auto blocks = split_blocks(f.data[0].test, 16);
+  const serve::ticket t =
+      server.submit({0, &blocks[0], serve::engine_kind::fixed_q16});
+  server.wait(t);
+  const serve::server_stats stats = server.stats();
+  EXPECT_EQ(stats.requests_coalesced, 0u);
+  EXPECT_EQ(stats.coalesced_batches, 0u);
+}
+
 // --- shard scheduler -------------------------------------------------------
 
 TEST(ShardScheduler, RoundsShardSizeToWholeTiles) {
