@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "klinq/common/cli.hpp"
 #include "klinq/common/cpu_dispatch.hpp"
 #include "klinq/common/error.hpp"
@@ -24,6 +26,8 @@
 #include "klinq/hw/fixed_discriminator.hpp"
 #include "klinq/kd/distiller.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
+#include "klinq/registry/model_registry.hpp"
+#include "klinq/registry/snapshot.hpp"
 #include "klinq/serve/readout_server.hpp"
 
 #ifndef KLINQ_BUILD_TYPE
@@ -205,6 +209,71 @@ int main(int argc, char** argv) {
                          stats.latency_p99_seconds * 1e3});
     }
 
+    // --- registry-backed server -------------------------------------------
+    // Same workload through a versioned model registry: per-submit snapshot
+    // acquisition (one atomic shared_ptr load + lease bookkeeping) replaces
+    // the static engine lookup. Should land within noise of sharded-server.
+    // The churn variant additionally toggles the active version between two
+    // identical snapshots from a publisher thread — the registry's write
+    // path contending with acquisition at a realistic recalibration rate.
+    std::uint64_t churn_activations = 0;
+    std::uint64_t churn_switches_observed = 0;
+    for (const bool churn : {false, true}) {
+      registry::model_registry reg(n_qubits);
+      for (std::size_t q = 0; q < n_qubits; ++q) {
+        reg.publish(q, registry::model_snapshot(stacks[q].student));
+        // Second identical version per qubit: the churn target. Outputs are
+        // bit-identical, so version switches never change results.
+        reg.publish(q, registry::model_snapshot(stacks[q].student));
+      }
+      for (const serve::engine_kind engine :
+           {serve::engine_kind::fixed_q16,
+            serve::engine_kind::float_student}) {
+        serve::readout_server server(
+            reg, {.shard_shots = shard_shots, .max_inflight = 2 * n_qubits});
+        std::atomic<bool> stop_churn{false};
+        std::thread publisher;
+        if (churn) {
+          publisher = std::thread([&] {
+            std::uint64_t version = 1;
+            while (!stop_churn.load(std::memory_order_acquire)) {
+              for (std::size_t q = 0; q < n_qubits; ++q) {
+                reg.activate(q, version);
+              }
+              version = version == 1 ? 2 : 1;
+              std::this_thread::yield();
+            }
+          });
+        }
+        serve::readout_result result;
+        stopwatch timer;
+        for (std::size_t round = 0; round < rounds; ++round) {
+          std::vector<serve::ticket> tickets;
+          for (std::size_t q = 0; q < n_qubits; ++q) {
+            tickets.push_back(
+                server.submit({q, &stacks[q].data.test, engine}));
+          }
+          for (const serve::ticket t : tickets) server.wait(t, result);
+        }
+        const double seconds = timer.seconds();
+        if (churn) {
+          stop_churn.store(true, std::memory_order_release);
+          publisher.join();
+        }
+        const serve::server_stats stats = server.stats();
+        if (churn) {
+          churn_activations = reg.stats().activations;
+          churn_switches_observed = stats.version_switches;
+        }
+        records.push_back({serve::engine_name(engine),
+                           churn ? "sharded-registry-churn"
+                                 : "sharded-registry",
+                           total_shots, seconds,
+                           stats.latency_p50_seconds * 1e3,
+                           stats.latency_p99_seconds * 1e3});
+      }
+    }
+
     // --- report -----------------------------------------------------------
     const std::size_t workers = global_thread_pool().worker_count() + 1;
     const char* simd_tier = simd_tier_name(active_simd_tier());
@@ -214,9 +283,11 @@ int main(int argc, char** argv) {
     std::printf(
         "\n%zu pool worker(s), hw_concurrency %u, %zu qubits x %zu rounds x "
         "%zu shots (%s build, %s fixed kernels, %s float kernels, %s float "
-        "path)\n",
+        "path, %llu registry churn activations / %llu observed switches)\n",
         workers, std::thread::hardware_concurrency(), n_qubits, rounds, block,
-        KLINQ_BUILD_TYPE, simd_tier, float_tier, float_path);
+        KLINQ_BUILD_TYPE, simd_tier, float_tier, float_path,
+        static_cast<unsigned long long>(churn_activations),
+        static_cast<unsigned long long>(churn_switches_observed));
     for (const run_record& r : records) {
       std::printf("  %-14s %-18s %8.0f shots/s", r.engine.c_str(),
                   r.mode.c_str(),
@@ -245,10 +316,14 @@ int main(int argc, char** argv) {
                    "  \"rounds\": %zu,\n"
                    "  \"shard_shots\": %zu,\n"
                    "  \"small_request_shots\": %zu,\n"
+                   "  \"registry_churn_activations\": %llu,\n"
+                   "  \"registry_churn_switches_observed\": %llu,\n"
                    "  \"results\": [\n",
                    KLINQ_BUILD_TYPE, simd_tier, float_tier, float_path,
                    std::thread::hardware_concurrency(), workers, n_qubits,
-                   block, rounds, effective_shard_shots, small_shots);
+                   block, rounds, effective_shard_shots, small_shots,
+                   static_cast<unsigned long long>(churn_activations),
+                   static_cast<unsigned long long>(churn_switches_observed));
       for (std::size_t i = 0; i < records.size(); ++i) {
         const run_record& r = records[i];
         std::fprintf(out,

@@ -5,8 +5,10 @@
 //   f32 features[n × 2N] | f32 labels[n] | u8 permutations[n]
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "klinq/data/trace_dataset.hpp"
 
@@ -17,5 +19,18 @@ void save_dataset_file(const trace_dataset& ds, const std::string& path);
 
 trace_dataset load_dataset(std::istream& in);
 trace_dataset load_dataset_file(const std::string& path);
+
+/// Canonical on-disk name of one versioned per-qubit model snapshot:
+/// "qubit<q>_v<version>.snap". Versions are written unpadded (they are
+/// parsed, never lexically sorted).
+std::string versioned_snapshot_filename(std::size_t qubit,
+                                        std::uint64_t version);
+
+/// Parses a name produced by versioned_snapshot_filename back into its
+/// (qubit, version) pair. Returns false for anything else — directory
+/// scanners use this to skip foreign files instead of failing on them.
+bool parse_versioned_snapshot_filename(std::string_view filename,
+                                       std::size_t& qubit,
+                                       std::uint64_t& version);
 
 }  // namespace klinq::data

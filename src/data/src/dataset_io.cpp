@@ -87,4 +87,46 @@ trace_dataset load_dataset_file(const std::string& path) {
   return load_dataset(in);
 }
 
+std::string versioned_snapshot_filename(std::size_t qubit,
+                                        std::uint64_t version) {
+  return "qubit" + std::to_string(qubit) + "_v" + std::to_string(version) +
+         ".snap";
+}
+
+namespace {
+
+/// Consumes leading digits of `text` into `value`; false when there are
+/// none (overflow is not a concern: callers bound the digit count).
+bool parse_number(std::string_view& text, std::uint64_t& value) {
+  std::size_t digits = 0;
+  value = 0;
+  while (digits < text.size() && text[digits] >= '0' && text[digits] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(text[digits] - '0');
+    ++digits;
+  }
+  if (digits == 0 || digits > 19) return false;
+  text.remove_prefix(digits);
+  return true;
+}
+
+}  // namespace
+
+bool parse_versioned_snapshot_filename(std::string_view filename,
+                                       std::size_t& qubit,
+                                       std::uint64_t& version) {
+  constexpr std::string_view kPrefix = "qubit";
+  constexpr std::string_view kSeparator = "_v";
+  constexpr std::string_view kSuffix = ".snap";
+  if (filename.substr(0, kPrefix.size()) != kPrefix) return false;
+  filename.remove_prefix(kPrefix.size());
+  std::uint64_t qubit_value = 0;
+  if (!parse_number(filename, qubit_value)) return false;
+  if (filename.substr(0, kSeparator.size()) != kSeparator) return false;
+  filename.remove_prefix(kSeparator.size());
+  if (!parse_number(filename, version)) return false;
+  if (filename != kSuffix) return false;
+  qubit = static_cast<std::size_t>(qubit_value);
+  return true;
+}
+
 }  // namespace klinq::data

@@ -109,6 +109,33 @@ class quantized_network {
     return total;
   }
 
+  /// FNV-1a over the quantized parameter registers (raw bit patterns in
+  /// layer order, dims and activations mixed in) — a cheap integrity
+  /// fingerprint. Registry snapshots stamp it at save time and re-verify it
+  /// after requantizing the loaded student, so a file whose quantization no
+  /// longer reproduces the recorded registers is rejected instead of
+  /// silently serving different decisions.
+  std::uint64_t parameter_hash() const noexcept {
+    std::uint64_t hash = 14695981039346656037ull;
+    const auto mix = [&hash](std::uint64_t value) noexcept {
+      for (int b = 0; b < 64; b += 8) {
+        hash = (hash ^ ((value >> b) & 0xff)) * 1099511628211ull;
+      }
+    };
+    mix(input_dim_);
+    for (const auto& l : layers_) {
+      mix(l.out_dim);
+      mix(static_cast<std::uint64_t>(l.act));
+      for (const Fixed w : l.weights) {
+        mix(static_cast<std::uint64_t>(w.raw()));
+      }
+      for (const Fixed b : l.bias) {
+        mix(static_cast<std::uint64_t>(b.raw()));
+      }
+    }
+    return hash;
+  }
+
   /// Raw quantized tensors (row-major out×in), e.g. for RTL export.
   const std::vector<Fixed>& layer_weights(std::size_t index) const {
     KLINQ_REQUIRE(index < layers_.size(), "layer_weights: index out of range");

@@ -10,20 +10,66 @@
 
 namespace klinq::nn {
 
+namespace io {
+
+void write_u64(std::ostream& out, std::uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+std::uint64_t read_u64(std::istream& in, const char* context) {
+  std::uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) {
+    throw io_error(std::string(context) + ": truncated stream (u64)");
+  }
+  return value;
+}
+
+void write_f64(std::ostream& out, double value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+double read_f64(std::istream& in, const char* context) {
+  double value = 0.0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) {
+    throw io_error(std::string(context) + ": truncated stream (f64)");
+  }
+  return value;
+}
+
+void write_string(std::ostream& out, std::string_view value) {
+  write_u64(out, value.size());
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+std::string read_string(std::istream& in, const char* context,
+                        std::size_t max_bytes) {
+  const std::uint64_t length = read_u64(in, context);
+  if (length > max_bytes) {
+    throw io_error(std::string(context) + ": implausible string length");
+  }
+  std::string value(static_cast<std::size_t>(length), '\0');
+  in.read(value.data(), static_cast<std::streamsize>(value.size()));
+  if (!in) {
+    throw io_error(std::string(context) + ": truncated stream (string)");
+  }
+  return value;
+}
+
+}  // namespace io
+
 namespace {
 
 constexpr std::array<char, 8> kMagic = {'K', 'L', 'N', 'Q',
                                         'N', 'E', 'T', '1'};
 
 void write_u64(std::ostream& out, std::uint64_t value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  io::write_u64(out, value);
 }
 
 std::uint64_t read_u64(std::istream& in) {
-  std::uint64_t value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  if (!in) throw io_error("network deserialize: truncated stream (u64)");
-  return value;
+  return io::read_u64(in, "network deserialize");
 }
 
 void write_floats(std::ostream& out, std::span<const float> values) {

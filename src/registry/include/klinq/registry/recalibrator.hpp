@@ -1,0 +1,104 @@
+// Background recalibration worker: the closed drift→retrain→swap loop.
+//
+// A running recalibrator polls the drift monitor; when a qubit is flagged it
+// pulls that qubit's recent labeled calibration shots from the caller's
+// calibration_source, re-distills a student on them (kd::distill_student,
+// warm-started from the currently active model's weights by default),
+// publishes the result through the registry — live traffic hot-swaps onto
+// it at the next submit, in-flight requests finish on the old snapshot —
+// and rebaselines the monitor on the new model's own calibration margins so
+// the drift verdict resets.
+//
+// recalibrate(qubit) runs the same pipeline synchronously (deterministic
+// tests, admin tooling). Retraining happens on the recalibrator's thread
+// but the inner training loops use the shared pool like everything else.
+//
+// The registry, monitor and calibration source are borrowed and must
+// outlive the recalibrator; the destructor stops the worker first.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "klinq/data/trace_dataset.hpp"
+#include "klinq/kd/distiller.hpp"
+#include "klinq/registry/drift_monitor.hpp"
+#include "klinq/registry/model_registry.hpp"
+
+namespace klinq::registry {
+
+struct recalibration_config {
+  /// Retraining hyperparameters (epochs, lr, distillation off by default —
+  /// recalibration runs on hard labels from fresh calibration shots).
+  kd::student_config student{};
+  /// Drift-monitor polling cadence of the background worker.
+  double poll_interval_seconds = 0.02;
+  /// Initialize retraining from the active model's weights (see
+  /// student_config::warm_start). Disable to retrain from scratch.
+  bool warm_start = true;
+};
+
+struct recalibration_stats {
+  /// Drift-monitor sweeps performed by the background worker.
+  std::uint64_t scans = 0;
+  /// Successful retrain+publish cycles (background and synchronous).
+  std::uint64_t recalibrations = 0;
+  /// Cycles that threw (bad calibration data, say); the worker logs and
+  /// keeps going.
+  std::uint64_t failures = 0;
+};
+
+class recalibrator {
+ public:
+  /// Hands back one qubit's recent labeled calibration shots. Called from
+  /// the worker thread; must be thread-safe and may block (e.g. while
+  /// collecting shots).
+  using calibration_source =
+      std::function<data::trace_dataset(std::size_t qubit)>;
+
+  recalibrator(model_registry& registry, drift_monitor& monitor,
+               calibration_source source, recalibration_config config = {});
+
+  /// Stops the worker (blocking until it exits) before releasing borrows.
+  ~recalibrator();
+
+  recalibrator(const recalibrator&) = delete;
+  recalibrator& operator=(const recalibrator&) = delete;
+
+  /// Starts the background worker (idempotent).
+  void start();
+  /// Stops it and joins (idempotent; start() may be called again after).
+  void stop();
+  bool running() const noexcept;
+
+  /// Synchronously retrains `qubit` from its calibration source, publishes
+  /// the new snapshot and rebaselines the monitor. Returns the published
+  /// version. Throws on empty calibration data or training failure.
+  std::uint64_t recalibrate(std::size_t qubit);
+
+  recalibration_stats stats() const;
+
+ private:
+  void worker_loop();
+
+  model_registry& registry_;
+  drift_monitor& monitor_;
+  calibration_source source_;
+  recalibration_config config_;
+
+  mutable std::mutex mutex_;  // guards thread_ lifecycle + stop flag
+  std::condition_variable wake_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+
+  std::atomic<std::uint64_t> scans_{0};
+  std::atomic<std::uint64_t> recalibrations_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace klinq::registry

@@ -1,0 +1,347 @@
+#include "klinq/registry/model_registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "klinq/common/error.hpp"
+#include "klinq/data/dataset_io.hpp"
+
+namespace klinq::registry {
+
+namespace {
+
+// The active pointer is published with the shared_ptr atomic free functions:
+// writers (publish/activate/rollback, rare) store under the slot mutex,
+// acquire() loads with no lock at all — the RCU pattern the serving layer's
+// per-request leases rely on.
+snapshot_ptr atomic_active_load(const snapshot_ptr& active) {
+  return std::atomic_load_explicit(&active, std::memory_order_acquire);
+}
+
+void atomic_active_store(snapshot_ptr& active, snapshot_ptr value) {
+  std::atomic_store_explicit(&active, std::move(value),
+                             std::memory_order_release);
+}
+
+constexpr char kManifestName[] = "registry.manifest";
+constexpr std::uint64_t kManifestFormat = 1;
+
+}  // namespace
+
+model_registry::model_registry(std::size_t qubit_count,
+                               registry_config config)
+    : config_(config) {
+  KLINQ_REQUIRE(qubit_count > 0, "model_registry: no qubits");
+  KLINQ_REQUIRE(config_.keep_versions > 0,
+                "model_registry: keep_versions must be positive");
+  slots_.reserve(qubit_count);
+  for (std::size_t q = 0; q < qubit_count; ++q) {
+    slots_.push_back(std::make_unique<qubit_slot>());
+  }
+}
+
+model_registry::qubit_slot& model_registry::slot_checked(std::size_t qubit) {
+  KLINQ_REQUIRE(qubit < slots_.size(),
+                "model_registry: qubit index out of range");
+  return *slots_[qubit];
+}
+
+const model_registry::qubit_slot& model_registry::slot_checked(
+    std::size_t qubit) const {
+  KLINQ_REQUIRE(qubit < slots_.size(),
+                "model_registry: qubit index out of range");
+  return *slots_[qubit];
+}
+
+serve::engine_lease model_registry::acquire(std::size_t qubit) const {
+  const qubit_slot& slot = slot_checked(qubit);
+  snapshot_ptr snapshot = atomic_active_load(slot.active);
+  KLINQ_REQUIRE(snapshot != nullptr,
+                "model_registry: qubit has no published model");
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  return {snapshot->engines(), snapshot->info().version, std::move(snapshot)};
+}
+
+std::uint64_t model_registry::publish(std::size_t qubit,
+                                      model_snapshot snapshot) {
+  qubit_slot& slot = slot_checked(qubit);
+  const std::lock_guard lock(slot.mutex);
+  const std::uint64_t version = slot.next_version++;
+  snapshot.info_.version = version;
+  auto ptr = std::make_shared<const model_snapshot>(std::move(snapshot));
+  slot.versions.emplace_back(version, std::move(ptr));
+  published_.fetch_add(1, std::memory_order_relaxed);
+  if (!slot.pinned) activate_locked(slot, version);
+  retire_locked(slot);
+  return version;
+}
+
+void model_registry::activate_locked(qubit_slot& slot, std::uint64_t version) {
+  const auto it = std::find_if(
+      slot.versions.begin(), slot.versions.end(),
+      [version](const auto& entry) { return entry.first == version; });
+  KLINQ_REQUIRE(it != slot.versions.end(),
+                "model_registry: version unknown or retired");
+  atomic_active_store(slot.active, it->second);
+  activations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void model_registry::retire_locked(qubit_slot& slot) {
+  const snapshot_ptr active = atomic_active_load(slot.active);
+  const std::uint64_t active_version =
+      active != nullptr ? active->info().version : 0;
+  while (slot.versions.size() > config_.keep_versions) {
+    // Oldest non-active first; the active version survives retention even
+    // when it is the oldest (rollback targets shrink before service does).
+    const auto it = std::find_if(
+        slot.versions.begin(), slot.versions.end(),
+        [active_version](const auto& entry) {
+          return entry.first != active_version;
+        });
+    if (it == slot.versions.end()) break;
+    slot.versions.erase(it);
+  }
+}
+
+snapshot_ptr model_registry::active(std::size_t qubit) const {
+  return atomic_active_load(slot_checked(qubit).active);
+}
+
+std::uint64_t model_registry::active_version(std::size_t qubit) const {
+  const snapshot_ptr snapshot = active(qubit);
+  return snapshot != nullptr ? snapshot->info().version : 0;
+}
+
+snapshot_ptr model_registry::at(std::size_t qubit,
+                                std::uint64_t version) const {
+  const qubit_slot& slot = slot_checked(qubit);
+  const std::lock_guard lock(slot.mutex);
+  const auto it = std::find_if(
+      slot.versions.begin(), slot.versions.end(),
+      [version](const auto& entry) { return entry.first == version; });
+  KLINQ_REQUIRE(it != slot.versions.end(),
+                "model_registry: version unknown or retired");
+  return it->second;
+}
+
+void model_registry::activate(std::size_t qubit, std::uint64_t version) {
+  qubit_slot& slot = slot_checked(qubit);
+  const std::lock_guard lock(slot.mutex);
+  activate_locked(slot, version);
+  retire_locked(slot);
+}
+
+std::uint64_t model_registry::rollback(std::size_t qubit) {
+  qubit_slot& slot = slot_checked(qubit);
+  const std::lock_guard lock(slot.mutex);
+  const snapshot_ptr current = atomic_active_load(slot.active);
+  KLINQ_REQUIRE(current != nullptr,
+                "model_registry: qubit has no published model");
+  const std::uint64_t active_version = current->info().version;
+  std::uint64_t target = 0;
+  for (const auto& [version, snapshot] : slot.versions) {
+    if (version < active_version && version > target) target = version;
+  }
+  KLINQ_REQUIRE(target != 0,
+                "model_registry: no retained version older than the active "
+                "one to roll back to");
+  activate_locked(slot, target);
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  return target;
+}
+
+void model_registry::pin(std::size_t qubit, std::uint64_t version) {
+  qubit_slot& slot = slot_checked(qubit);
+  const std::lock_guard lock(slot.mutex);
+  activate_locked(slot, version);
+  slot.pinned = true;
+}
+
+void model_registry::unpin(std::size_t qubit) {
+  qubit_slot& slot = slot_checked(qubit);
+  const std::lock_guard lock(slot.mutex);
+  slot.pinned = false;
+}
+
+bool model_registry::pinned(std::size_t qubit) const {
+  const qubit_slot& slot = slot_checked(qubit);
+  const std::lock_guard lock(slot.mutex);
+  return slot.pinned;
+}
+
+std::vector<version_record> model_registry::list(std::size_t qubit) const {
+  const qubit_slot& slot = slot_checked(qubit);
+  const std::lock_guard lock(slot.mutex);
+  const snapshot_ptr active = atomic_active_load(slot.active);
+  const std::uint64_t active_version =
+      active != nullptr ? active->info().version : 0;
+  std::vector<version_record> records;
+  records.reserve(slot.versions.size());
+  for (const auto& [version, snapshot] : slot.versions) {
+    version_record record;
+    record.version = version;
+    record.active = version == active_version && active != nullptr;
+    record.pinned = record.active && slot.pinned;
+    record.info = snapshot->info();
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+registry_stats model_registry::stats() const {
+  registry_stats snapshot;
+  snapshot.published = published_.load(std::memory_order_relaxed);
+  snapshot.activations = activations_.load(std::memory_order_relaxed);
+  snapshot.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  snapshot.acquires = acquires_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void model_registry::save_directory(const std::string& directory) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  // Drop every snapshot file a previous save left behind: versions retired
+  // since then must not resurrect on the next load (retention would be
+  // silently violated). The retained set is rewritten below; foreign files
+  // never match the filename pattern and are left alone.
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
+    std::size_t qubit = 0;
+    std::uint64_t version = 0;
+    if (entry.is_regular_file() &&
+        data::parse_versioned_snapshot_filename(
+            entry.path().filename().string(), qubit, version)) {
+      fs::remove(entry.path());
+    }
+  }
+  std::ofstream manifest(directory + "/" + kManifestName);
+  if (!manifest) {
+    throw io_error("model_registry: cannot write manifest in " + directory);
+  }
+  manifest << "klinq-registry " << kManifestFormat << "\n"
+           << "qubits " << slots_.size() << "\n"
+           << "keep " << config_.keep_versions << "\n";
+  for (std::size_t q = 0; q < slots_.size(); ++q) {
+    const qubit_slot& slot = *slots_[q];
+    const std::lock_guard lock(slot.mutex);
+    const snapshot_ptr active = atomic_active_load(slot.active);
+    manifest << "qubit " << q << " next " << slot.next_version << " active "
+             << (active != nullptr ? active->info().version : 0) << " pinned "
+             << (slot.pinned ? 1 : 0) << "\n";
+    for (const auto& [version, snapshot] : slot.versions) {
+      const std::string path =
+          directory + "/" + data::versioned_snapshot_filename(q, version);
+      std::ofstream out(path, std::ios::binary);
+      if (!out) throw io_error("model_registry: cannot write " + path);
+      snapshot->save(out);
+    }
+  }
+  if (!manifest) {
+    throw io_error("model_registry: manifest write failed in " + directory);
+  }
+}
+
+std::unique_ptr<model_registry> model_registry::load_directory(
+    const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::ifstream manifest(directory + "/" + kManifestName);
+  if (!manifest) {
+    throw io_error("model_registry: no manifest in " + directory);
+  }
+  std::string tag;
+  std::uint64_t format = 0;
+  std::size_t qubit_count = 0;
+  registry_config config;
+  manifest >> tag >> format;
+  if (!manifest || tag != "klinq-registry" || format != kManifestFormat) {
+    throw io_error("model_registry: bad manifest header in " + directory);
+  }
+  manifest >> tag >> qubit_count;
+  if (!manifest || tag != "qubits" || qubit_count == 0) {
+    throw io_error("model_registry: bad manifest qubit count in " + directory);
+  }
+  manifest >> tag >> config.keep_versions;
+  if (!manifest || tag != "keep" || config.keep_versions == 0) {
+    throw io_error("model_registry: bad manifest retention in " + directory);
+  }
+
+  auto registry = std::make_unique<model_registry>(qubit_count, config);
+
+  // Snapshot files first (the manifest's active version must resolve).
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) continue;
+    std::size_t qubit = 0;
+    std::uint64_t version = 0;
+    if (!data::parse_versioned_snapshot_filename(
+            entry.path().filename().string(), qubit, version)) {
+      continue;  // foreign file; not ours to judge
+    }
+    if (qubit >= qubit_count) {
+      throw io_error("model_registry: snapshot file for unknown qubit: " +
+                     entry.path().string());
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) {
+      throw io_error("model_registry: cannot read " + entry.path().string());
+    }
+    model_snapshot snapshot = model_snapshot::load(in);
+    if (snapshot.info().version != version) {
+      throw io_error(
+          "model_registry: snapshot version does not match its filename: " +
+          entry.path().string());
+    }
+    qubit_slot& slot = *registry->slots_[qubit];
+    const std::lock_guard lock(slot.mutex);
+    slot.versions.emplace_back(
+        version, std::make_shared<const model_snapshot>(std::move(snapshot)));
+  }
+
+  // Manifest per-qubit state: restore ordering, counters, active and pin.
+  // Exactly one row per qubit is required — a truncated manifest (crash or
+  // disk-full during a previous save) must be rejected, not loaded as a
+  // registry whose tail qubits silently lost their state.
+  std::vector<bool> seen(qubit_count, false);
+  for (std::size_t row = 0; row < qubit_count; ++row) {
+    std::size_t qubit = 0;
+    std::uint64_t next = 0;
+    std::uint64_t active = 0;
+    int pinned = 0;
+    std::string next_tag;
+    std::string active_tag;
+    std::string pinned_tag;
+    if (!(manifest >> tag >> qubit >> next_tag >> next >> active_tag >>
+          active >> pinned_tag >> pinned) ||
+        tag != "qubit" || next_tag != "next" || active_tag != "active" ||
+        pinned_tag != "pinned" || qubit >= qubit_count || seen[qubit]) {
+      throw io_error("model_registry: bad or truncated manifest row in " +
+                     directory);
+    }
+    seen[qubit] = true;
+    qubit_slot& slot = *registry->slots_[qubit];
+    const std::lock_guard lock(slot.mutex);
+    std::sort(slot.versions.begin(), slot.versions.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::uint64_t max_version = 0;
+    for (const auto& [version, snapshot] : slot.versions) {
+      max_version = std::max(max_version, version);
+    }
+    slot.next_version = std::max(next, max_version + 1);
+    slot.pinned = pinned != 0;
+    if (active != 0) {
+      const auto it = std::find_if(
+          slot.versions.begin(), slot.versions.end(),
+          [active](const auto& entry) { return entry.first == active; });
+      if (it == slot.versions.end()) {
+        throw io_error(
+            "model_registry: manifest's active version has no snapshot "
+            "file in " +
+            directory);
+      }
+      atomic_active_store(slot.active, it->second);
+    }
+  }
+  return registry;
+}
+
+}  // namespace klinq::registry

@@ -1,0 +1,136 @@
+#include "klinq/registry/recalibrator.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/log.hpp"
+
+namespace klinq::registry {
+
+recalibrator::recalibrator(model_registry& registry, drift_monitor& monitor,
+                           calibration_source source,
+                           recalibration_config config)
+    : registry_(registry),
+      monitor_(monitor),
+      source_(std::move(source)),
+      config_(std::move(config)) {
+  KLINQ_REQUIRE(source_ != nullptr,
+                "recalibrator: calibration source required");
+  KLINQ_REQUIRE(registry_.qubit_count() == monitor_.qubit_count(),
+                "recalibrator: registry/monitor qubit count mismatch");
+  KLINQ_REQUIRE(config_.poll_interval_seconds > 0.0,
+                "recalibrator: poll interval must be positive");
+}
+
+recalibrator::~recalibrator() { stop(); }
+
+void recalibrator::start() {
+  const std::lock_guard lock(mutex_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { worker_loop(); });
+}
+
+void recalibrator::stop() {
+  std::thread worker;
+  {
+    const std::lock_guard lock(mutex_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+    worker = std::move(thread_);
+  }
+  wake_.notify_all();
+  worker.join();
+  running_.store(false, std::memory_order_release);
+}
+
+bool recalibrator::running() const noexcept {
+  return running_.load(std::memory_order_acquire);
+}
+
+std::uint64_t recalibrator::recalibrate(std::size_t qubit) {
+  try {
+    const data::trace_dataset calibration = source_(qubit);
+    KLINQ_REQUIRE(calibration.size() > 1,
+                  "recalibrator: empty calibration dataset");
+
+    kd::student_config student_config = config_.student;
+    // Warm start from the serving model: drift moves the feature
+    // distribution gradually, so the old weights beat a fresh random draw.
+    const snapshot_ptr previous = registry_.active(qubit);
+    if (config_.warm_start && previous != nullptr) {
+      student_config.warm_start = &previous->student().net();
+    }
+    kd::student_model student =
+        kd::distill_student(calibration, {}, student_config);
+
+    calibration_info info;
+    info.source = "recalibration";
+    info.created_unix_seconds = unix_now();
+    info.calibration_shots = calibration.size();
+    info.train_accuracy = student.accuracy(calibration);
+
+    const std::uint64_t version =
+        registry_.publish(qubit, model_snapshot(std::move(student), info));
+
+    // Rebaseline the monitor on the new model's own calibration margins
+    // (fixed path — that is what serves), so the drift verdict resets and
+    // the next window is judged against the fresh model.
+    const snapshot_ptr published = registry_.at(qubit, version);
+    std::vector<fx::q16_16> registers(calibration.size());
+    published->hardware().logits(calibration, registers);
+    std::vector<std::uint8_t> states(calibration.size());
+    std::vector<float> margins(calibration.size());
+    for (std::size_t r = 0; r < registers.size(); ++r) {
+      states[r] = registers[r].sign_bit() ? 0 : 1;
+      margins[r] = registers[r].to_float();
+    }
+    monitor_.rebaseline(qubit, states, margins);
+
+    recalibrations_.fetch_add(1, std::memory_order_relaxed);
+    log_info("recalibrated qubit ", qubit, " -> version ", version,
+             " (accuracy ", info.train_accuracy, " on ",
+             info.calibration_shots, " shots)");
+    return version;
+  } catch (...) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+void recalibrator::worker_loop() {
+  const auto interval =
+      std::chrono::duration<double>(config_.poll_interval_seconds);
+  std::unique_lock lock(mutex_);
+  while (!stop_requested_) {
+    if (wake_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    scans_.fetch_add(1, std::memory_order_relaxed);
+    for (const std::size_t qubit : monitor_.drifted_qubits()) {
+      try {
+        recalibrate(qubit);
+      } catch (const std::exception& e) {
+        // Counted by recalibrate(); keep scanning — one qubit's bad
+        // calibration data (or a throwing user calibration_source) must
+        // not stall the fleet, and nothing may escape this thread.
+        log_warn("recalibration of qubit ", qubit, " failed: ", e.what());
+      }
+    }
+    lock.lock();
+  }
+}
+
+recalibration_stats recalibrator::stats() const {
+  recalibration_stats snapshot;
+  snapshot.scans = scans_.load(std::memory_order_relaxed);
+  snapshot.recalibrations = recalibrations_.load(std::memory_order_relaxed);
+  snapshot.failures = failures_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+}  // namespace klinq::registry

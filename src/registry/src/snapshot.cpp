@@ -1,0 +1,75 @@
+#include "klinq/registry/snapshot.hpp"
+
+#include <array>
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "klinq/common/error.hpp"
+#include "klinq/nn/serialize.hpp"
+
+namespace klinq::registry {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'K', 'L', 'N', 'Q',
+                                        'S', 'N', 'P', '1'};
+constexpr std::uint64_t kFormatVersion = 1;
+
+}  // namespace
+
+double unix_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+model_snapshot::model_snapshot(kd::student_model student,
+                               calibration_info info)
+    : student_(std::move(student)),
+      hardware_(student_),
+      info_(std::move(info)) {}
+
+void model_snapshot::save(std::ostream& out) const {
+  namespace io = nn::io;
+  out.write(kMagic.data(), kMagic.size());
+  io::write_u64(out, kFormatVersion);
+  io::write_u64(out, info_.version);
+  io::write_string(out, info_.source);
+  io::write_f64(out, info_.created_unix_seconds);
+  io::write_u64(out, info_.calibration_shots);
+  io::write_f64(out, info_.train_accuracy);
+  io::write_u64(out, quantized_hash());
+  student_.save(out);
+  if (!out) throw io_error("snapshot serialize: stream write failed");
+}
+
+model_snapshot model_snapshot::load(std::istream& in) {
+  namespace io = nn::io;
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw io_error("snapshot deserialize: bad magic header");
+  }
+  const std::uint64_t format = io::read_u64(in, "snapshot deserialize");
+  if (format != kFormatVersion) {
+    throw io_error("snapshot deserialize: unsupported format version");
+  }
+  calibration_info info;
+  info.version = io::read_u64(in, "snapshot deserialize");
+  info.source = io::read_string(in, "snapshot deserialize");
+  info.created_unix_seconds = io::read_f64(in, "snapshot deserialize");
+  info.calibration_shots = io::read_u64(in, "snapshot deserialize");
+  info.train_accuracy = io::read_f64(in, "snapshot deserialize");
+  const std::uint64_t recorded_hash = io::read_u64(in, "snapshot deserialize");
+  model_snapshot snapshot(kd::student_model::load(in), std::move(info));
+  if (snapshot.quantized_hash() != recorded_hash) {
+    throw io_error(
+        "snapshot deserialize: quantized parameter hash mismatch (the "
+        "requantized student does not reproduce the recorded registers)");
+  }
+  return snapshot;
+}
+
+}  // namespace klinq::registry

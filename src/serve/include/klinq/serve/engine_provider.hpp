@@ -1,0 +1,70 @@
+// Engine acquisition seam between the readout server and model storage.
+//
+// The original readout_server bound a fixed std::vector<qubit_engine> at
+// construction — models could never change without stopping traffic. The
+// server now acquires its engines per request through this interface:
+//
+//   * engine_lease — one request's pinned view of a qubit's deployed models.
+//     The `hold` shared_ptr keeps the backing snapshot alive for as long as
+//     the lease exists, so a provider may publish a replacement at any time:
+//     in-flight requests finish on the model they started with, new submits
+//     pick up the new version (RCU-style reclamation, no reader locks).
+//   * engine_provider — anything that can hand out leases. The versioned
+//     implementation is klinq::registry::model_registry (hot-swap, rollback,
+//     pinning); static_engine_provider preserves the original fixed-binding
+//     behavior and backs the vector constructor of readout_server.
+//
+// acquire() runs once per *request* (never per shot or per shard), so a
+// provider implementation only needs to be cheap at request granularity; the
+// shot hot path touches nothing but the leased engine pointers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "klinq/serve/request.hpp"
+
+namespace klinq::serve {
+
+/// One request's pinned view of a qubit's deployed models. Copyable; the
+/// engine pointers stay valid while any copy's `hold` is alive.
+struct engine_lease {
+  qubit_engine engine{};
+  /// Provider-assigned model version (0 = unversioned/static binding).
+  std::uint64_t version = 0;
+  /// Keeps the backing model snapshot alive until the lease is dropped.
+  std::shared_ptr<const void> hold;
+};
+
+class engine_provider {
+ public:
+  virtual ~engine_provider() = default;
+
+  virtual std::size_t qubit_count() const = 0;
+
+  /// Returns the currently active engines for `qubit`. Thread-safe; called
+  /// concurrently from every submitting thread. Implementations must ensure
+  /// the leased pointers outlive the lease (via `hold`), even if a newer
+  /// version is published immediately after this returns.
+  virtual engine_lease acquire(std::size_t qubit) const = 0;
+};
+
+/// Construction-time engine binding (the pre-registry behavior): every lease
+/// is version 0 and borrows the same engines forever. The engines are
+/// borrowed and must outlive the provider.
+class static_engine_provider final : public engine_provider {
+ public:
+  explicit static_engine_provider(std::vector<qubit_engine> qubits)
+      : qubits_(std::move(qubits)) {}
+
+  std::size_t qubit_count() const noexcept override { return qubits_.size(); }
+
+  engine_lease acquire(std::size_t qubit) const override;
+
+ private:
+  std::vector<qubit_engine> qubits_;
+};
+
+}  // namespace klinq::serve

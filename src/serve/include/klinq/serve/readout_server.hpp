@@ -34,6 +34,19 @@
 // through free-lists. The wait(ticket, result&) overload swaps buffers with
 // the caller, so a submit/wait loop that reuses one readout_result performs
 // zero heap allocations once warm.
+//
+// Engine acquisition: the server resolves a request's engines through an
+// engine_provider at submit time (the vector constructor wraps a static
+// provider for the original fixed-binding behavior). A versioned provider —
+// klinq::registry::model_registry — may hot-swap models while traffic flows:
+// each request pins the version active at its submit and every one of its
+// shards runs on that snapshot (the lease's shared_ptr keeps it alive), so
+// publication is never disruptive and no request observes a torn model.
+//
+// Streaming partial results: server_config::on_shard delivers each finished
+// shard's row range (decisions + engine-native logits) from the worker
+// thread that produced it, before the whole request drains — see
+// shard_event in request.hpp for the aliasing/threading contract.
 #pragma once
 
 #include <cstddef>
@@ -47,6 +60,7 @@
 #include <vector>
 
 #include "klinq/common/stopwatch.hpp"
+#include "klinq/serve/engine_provider.hpp"
 #include "klinq/serve/request.hpp"
 #include "klinq/serve/shard_scheduler.hpp"
 #include "klinq/serve/telemetry.hpp"
@@ -54,20 +68,46 @@
 namespace klinq::serve {
 
 struct server_config {
-  /// Rows per shard; 0 = scheduler default (four cache tiles).
+  /// Rows per shard; 0 = scheduler default (four cache tiles). Validated at
+  /// server construction: values above kMaxShardShots (a wrapped negative
+  /// from a careless cast, say) are rejected instead of silently clamped.
   std::size_t shard_shots = 0;
-  /// Maximum unresolved tickets before submit() blocks.
+  /// Maximum unresolved tickets before submit() blocks. Must be positive.
   std::size_t max_inflight = 64;
   /// Requests with at most this many shots are held and merged with other
   /// pending small requests for the same (qubit, engine) into one dispatched
   /// batch (see the coalescing note above). 0 disables coalescing.
   std::size_t coalesce_shots = 0;
+  /// Streaming partial results: invoked from worker threads as each shard of
+  /// a request finishes (see shard_callback's contract in request.hpp).
+  /// Empty disables the per-shard notifications.
+  shard_callback on_shard;
+
+  /// Largest accepted shard_shots / coalesce_shots value; anything above is
+  /// a config bug, not a workload.
+  static constexpr std::size_t kMaxShardShots = std::size_t{1} << 24;
+
+  /// Throws invalid_argument_error on any inconsistent field (also run by
+  /// the readout_server constructor, so a bad config never half-starts a
+  /// server).
+  void validate() const;
 };
 
 class readout_server {
  public:
-  /// Serves the given per-qubit engines (borrowed; must outlive the server).
+  /// Serves the given per-qubit engines (borrowed; must outlive the server)
+  /// with a fixed construction-time binding — every result reports model
+  /// version 0. Each entry must expose at least one datapath; throws
+  /// invalid_argument_error otherwise (and for an empty vector or an invalid
+  /// config).
   explicit readout_server(std::vector<qubit_engine> qubits,
+                          server_config config = {});
+
+  /// Serves engines acquired per request from `provider` (borrowed; must
+  /// outlive the server) — the hot-swap path: each submit pins the version
+  /// active at submit time for every shard of that request, and results
+  /// report it in readout_result::model_version.
+  explicit readout_server(const engine_provider& provider,
                           server_config config = {});
 
   /// Blocks until every enqueued shard has finished (unconsumed results are
@@ -77,7 +117,7 @@ class readout_server {
   readout_server(const readout_server&) = delete;
   readout_server& operator=(const readout_server&) = delete;
 
-  std::size_t qubit_count() const noexcept { return qubits_.size(); }
+  std::size_t qubit_count() const noexcept { return provider_->qubit_count(); }
   std::size_t shard_shots() const noexcept { return scheduler_.shard_shots(); }
 
   /// Enqueues a request, blocking while the server is at max_inflight.
@@ -105,6 +145,9 @@ class readout_server {
   server_stats stats() const;
 
  private:
+  static constexpr std::uint64_t kNoVersionYet =
+      ~static_cast<std::uint64_t>(0);
+
   struct slot {
     std::uint64_t id = 0;
     readout_result result;
@@ -113,6 +156,9 @@ class readout_server {
     bool done = false;                 // guarded by mutex_
     std::exception_ptr error;          // first shard failure; rethrown by wait
     stopwatch timer;
+    /// The request's pinned model view: set at submit, read (lock-free) by
+    /// every shard executor, released when the last shard completes.
+    engine_lease lease;
   };
 
   /// One small request parked in a coalescing batch: the borrowed request
@@ -126,8 +172,11 @@ class readout_server {
     std::size_t shots = 0;
   };
 
-  const qubit_engine& engine_for(const readout_request& request) const;
-  ticket submit_locked(const readout_request& request,
+  /// Validates the request and acquires the provider's current engines for
+  /// it — the version active now is the one every shard of this request will
+  /// run on.
+  engine_lease lease_for(const readout_request& request) const;
+  ticket submit_locked(const readout_request& request, engine_lease lease,
                        std::unique_lock<std::mutex>& lock);
   void run_shard(slot& s, const readout_request& request, std::size_t begin,
                  std::size_t end, shard_arena& arena) const;
@@ -151,7 +200,9 @@ class readout_server {
   void take_pending_locked(std::vector<pending_batch>& out);
   void recycle_locked(std::unique_ptr<slot> s, readout_result* swap_with);
 
-  std::vector<qubit_engine> qubits_;
+  /// Backs the vector constructor; null when serving an external provider.
+  std::unique_ptr<static_engine_provider> owned_provider_;
+  const engine_provider* provider_ = nullptr;
   server_config config_;
   shard_scheduler scheduler_;
 
@@ -175,6 +226,11 @@ class readout_server {
   std::uint64_t shots_completed_ = 0;
   std::uint64_t requests_coalesced_ = 0;
   std::uint64_t coalesced_batches_ = 0;
+  std::uint64_t shard_events_ = 0;
+  std::uint64_t version_switches_ = 0;
+  /// Last acquired version per qubit (guarded by mutex_); the sentinel marks
+  /// "no request yet" so the first acquisition is not counted as a switch.
+  std::vector<std::uint64_t> last_version_;
   latency_histogram latency_;
 };
 

@@ -11,6 +11,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "klinq/data/trace_dataset.hpp"
@@ -59,11 +61,45 @@ struct readout_result {
   std::vector<float> logits;
   /// submit() → completion wall time.
   double latency_seconds = 0.0;
+  /// Model version that evaluated this request (0 = static engine binding).
+  /// Every shot of a request runs on the same version, even if the registry
+  /// published a replacement mid-flight (per-request version pinning).
+  std::uint64_t model_version = 0;
 };
 
 /// Opaque handle returned by submit(); consumed by wait().
 struct ticket {
   std::uint64_t id = 0;
 };
+
+/// Streaming partial-result notification: one finished shard of a request.
+/// The spans alias the request's result buffers for exactly the completed
+/// row range [row_begin, row_end); they are valid for the duration of the
+/// callback only (the final result is still claimed through the ticket —
+/// this is an early peek, not a transfer of ownership). Over a request's
+/// lifetime every row is reported exactly once, regardless of shard size or
+/// coalescing (a coalesced member arrives as one event covering its whole
+/// range); zero-shot requests produce no event.
+struct shard_event {
+  ticket request{};
+  std::size_t qubit = 0;
+  engine_kind engine = engine_kind::fixed_q16;
+  std::uint64_t model_version = 0;
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+  /// Hard decisions for [row_begin, row_end).
+  std::span<const std::uint8_t> states;
+  /// Engine-native logits for the range: `registers` on fixed_q16, `logits`
+  /// on float_student (the other span is empty).
+  std::span<const fx::q16_16> registers;
+  std::span<const float> logits;
+};
+
+/// Invoked from worker threads as each shard finishes — latency-critical
+/// consumers act on finished 64-shot tiles before the whole request drains.
+/// Must be thread-safe (shards of one request may complete concurrently)
+/// and fast (it runs on the shard executor); an exception thrown from the
+/// callback fails the request and is rethrown by wait().
+using shard_callback = std::function<void(const shard_event&)>;
 
 }  // namespace klinq::serve

@@ -53,6 +53,12 @@ struct server_stats {
   /// Merged batches dispatched: each one cost a single pool round-trip and
   /// arena acquisition for all of its member requests.
   std::uint64_t coalesced_batches = 0;
+  /// Shard-completion events delivered to server_config::on_shard.
+  std::uint64_t shard_events = 0;
+  /// Times a submit acquired a different model version for a qubit than that
+  /// qubit's previous request saw — the observed registry churn rate.
+  /// Always 0 with a static (construction-time) engine binding.
+  std::uint64_t version_switches = 0;
   /// Requests submitted but not yet consumed by wait().
   std::size_t inflight = 0;
   double uptime_seconds = 0.0;

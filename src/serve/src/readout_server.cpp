@@ -18,14 +18,51 @@ const char* engine_name(engine_kind engine) noexcept {
   return "unknown";
 }
 
+engine_lease static_engine_provider::acquire(std::size_t qubit) const {
+  KLINQ_REQUIRE(qubit < qubits_.size(),
+                "static_engine_provider: qubit index out of range");
+  return {qubits_[qubit], 0, nullptr};
+}
+
+void server_config::validate() const {
+  KLINQ_REQUIRE(max_inflight > 0,
+                "server_config: max_inflight must be positive");
+  KLINQ_REQUIRE(shard_shots <= kMaxShardShots,
+                "server_config: shard_shots is implausibly large (wrapped "
+                "negative?)");
+  KLINQ_REQUIRE(coalesce_shots <= kMaxShardShots,
+                "server_config: coalesce_shots is implausibly large (wrapped "
+                "negative?)");
+}
+
 readout_server::readout_server(std::vector<qubit_engine> qubits,
                                server_config config)
-    : qubits_(std::move(qubits)),
-      config_(config),
-      scheduler_(global_thread_pool(), config.shard_shots) {
-  KLINQ_REQUIRE(!qubits_.empty(), "readout_server: no qubit engines");
-  KLINQ_REQUIRE(config_.max_inflight > 0,
-                "readout_server: max_inflight must be positive");
+    : owned_provider_(std::make_unique<static_engine_provider>(
+          [&qubits] {
+            KLINQ_REQUIRE(!qubits.empty(), "readout_server: no qubit engines");
+            for (const qubit_engine& engine : qubits) {
+              KLINQ_REQUIRE(
+                  engine.student != nullptr || engine.hardware != nullptr,
+                  "readout_server: qubit engine exposes no datapath");
+            }
+            return std::move(qubits);
+          }())),
+      provider_(owned_provider_.get()),
+      config_(std::move(config)),
+      scheduler_(global_thread_pool(), config_.shard_shots),
+      last_version_(provider_->qubit_count(), kNoVersionYet) {
+  config_.validate();
+}
+
+readout_server::readout_server(const engine_provider& provider,
+                               server_config config)
+    : provider_(&provider),
+      config_(std::move(config)),
+      scheduler_(global_thread_pool(), config_.shard_shots),
+      last_version_(provider_->qubit_count(), kNoVersionYet) {
+  KLINQ_REQUIRE(provider_->qubit_count() > 0,
+                "readout_server: provider serves no qubits");
+  config_.validate();
 }
 
 readout_server::~readout_server() {
@@ -37,25 +74,27 @@ readout_server::~readout_server() {
   completed_.wait(lock, [this] { return outstanding_shards_ == 0; });
 }
 
-const qubit_engine& readout_server::engine_for(
-    const readout_request& request) const {
-  KLINQ_REQUIRE(request.qubit < qubits_.size(),
+engine_lease readout_server::lease_for(const readout_request& request) const {
+  KLINQ_REQUIRE(request.qubit < provider_->qubit_count(),
                 "readout_server: qubit index out of range");
   KLINQ_REQUIRE(request.traces != nullptr,
                 "readout_server: request has no trace block");
-  const qubit_engine& engine = qubits_[request.qubit];
+  engine_lease lease = provider_->acquire(request.qubit);
   if (request.engine == engine_kind::fixed_q16) {
-    KLINQ_REQUIRE(engine.hardware != nullptr,
+    KLINQ_REQUIRE(lease.engine.hardware != nullptr,
                   "readout_server: qubit has no fixed-point engine");
   } else {
-    KLINQ_REQUIRE(engine.student != nullptr,
+    KLINQ_REQUIRE(lease.engine.student != nullptr,
                   "readout_server: qubit has no float engine");
   }
-  return engine;
+  return lease;
 }
 
 ticket readout_server::submit(const readout_request& request) {
-  engine_for(request);  // validate before queueing
+  // Validate and acquire before queueing: the version active at submit time
+  // is the one this request is pinned to, even if it then blocks on
+  // capacity.
+  engine_lease lease = lease_for(request);
   std::unique_lock lock(mutex_);
   // Parked coalescing batches can never be the reason the window is full:
   // submit_locked flushes whenever parking meets a full window, so by the
@@ -70,12 +109,12 @@ ticket readout_server::submit(const readout_request& request) {
   }
   capacity_.wait(lock,
                  [this] { return active_.size() < config_.max_inflight; });
-  return submit_locked(request, lock);
+  return submit_locked(request, std::move(lease), lock);
 }
 
 std::optional<ticket> readout_server::try_submit(
     const readout_request& request) {
-  engine_for(request);
+  engine_lease lease = lease_for(request);
   std::unique_lock lock(mutex_);
   if (active_.size() >= config_.max_inflight) {
     // Non-blocking producers never call wait() before retrying: dispatch any
@@ -89,10 +128,11 @@ std::optional<ticket> readout_server::try_submit(
     }
     return std::nullopt;
   }
-  return submit_locked(request, lock);
+  return submit_locked(request, std::move(lease), lock);
 }
 
 ticket readout_server::submit_locked(const readout_request& request,
+                                     engine_lease lease,
                                      std::unique_lock<std::mutex>& lock) {
   const std::size_t shots = request.traces->size();
   const bool coalesce = config_.coalesce_shots > 0 && shots > 0 &&
@@ -115,6 +155,13 @@ ticket readout_server::submit_locked(const readout_request& request,
   s->result.qubit = request.qubit;
   s->result.engine = request.engine;
   s->result.latency_seconds = 0.0;
+  s->result.model_version = lease.version;
+  if (last_version_[request.qubit] != kNoVersionYet &&
+      last_version_[request.qubit] != lease.version) {
+    ++version_switches_;
+  }
+  last_version_[request.qubit] = lease.version;
+  s->lease = std::move(lease);
   // Recycled slots keep vector capacity: these resizes allocate only until
   // the pool has seen this request size once.
   s->result.states.resize(shots);
@@ -136,6 +183,7 @@ ticket readout_server::submit_locked(const readout_request& request,
 
   if (shots == 0) {
     raw->done = true;
+    raw->lease = engine_lease{};  // nothing will run; release the snapshot
     ++requests_completed_;
     latency_.record(raw->timer.seconds());
     completed_.notify_all();
@@ -186,16 +234,43 @@ void readout_server::execute_range(slot* raw, const readout_request& request,
                                    std::size_t begin, std::size_t end,
                                    shard_arena& arena) {
   std::exception_ptr error;
+  bool event_fired = false;
   try {
     run_shard(*raw, request, begin, end, arena);
+    if (config_.on_shard) {
+      // Safe to read the slot's buffers without the mutex: this shard is not
+      // yet accounted, so the request cannot complete (and its ticket cannot
+      // be consumed) until the callback returns.
+      shard_event event;
+      event.request = ticket{raw->id};
+      event.qubit = request.qubit;
+      event.engine = request.engine;
+      event.model_version = raw->result.model_version;
+      event.row_begin = begin;
+      event.row_end = end;
+      const std::size_t count = end - begin;
+      event.states = std::span<const std::uint8_t>(raw->result.states)
+                         .subspan(begin, count);
+      if (request.engine == engine_kind::fixed_q16) {
+        event.registers = std::span<const fx::q16_16>(raw->result.registers)
+                              .subspan(begin, count);
+      } else {
+        event.logits =
+            std::span<const float>(raw->result.logits).subspan(begin, count);
+      }
+      config_.on_shard(event);
+      event_fired = true;
+    }
   } catch (...) {
     error = std::current_exception();
   }
   const std::lock_guard done_lock(mutex_);
   if (error && !raw->error) raw->error = error;
+  if (event_fired) ++shard_events_;
   --outstanding_shards_;
   if (--raw->remaining_shards == 0) {
     raw->done = true;
+    raw->lease = engine_lease{};  // last shard done: release the snapshot
     raw->result.latency_seconds = raw->timer.seconds();
     ++requests_completed_;
     shots_completed_ += raw->shots;
@@ -264,7 +339,9 @@ void readout_server::flush_pending_for(ticket t) {
 void readout_server::run_shard(slot& s, const readout_request& request,
                                std::size_t begin, std::size_t end,
                                shard_arena& arena) const {
-  const qubit_engine& engine = qubits_[request.qubit];
+  // The slot's lease — not a fresh provider acquisition — so every shard of
+  // a request runs on the version pinned at submit time.
+  const qubit_engine& engine = s.lease.engine;
   const std::size_t count = end - begin;
   // Shards write disjoint row ranges of the slot's buffers: no locking on
   // the data plane.
@@ -340,10 +417,12 @@ void readout_server::wait(ticket t, readout_result& out) {
 
 void readout_server::recycle_locked(std::unique_ptr<slot> s,
                                     readout_result* swap_with) {
+  s->lease = engine_lease{};
   if (swap_with != nullptr) {
     swap_with->qubit = s->result.qubit;
     swap_with->engine = s->result.engine;
     swap_with->latency_seconds = s->result.latency_seconds;
+    swap_with->model_version = s->result.model_version;
     // Swapping (not moving) hands the caller's old buffers to the recycled
     // slot, so a submit/wait loop reusing one readout_result settles into
     // zero allocations.
@@ -369,6 +448,8 @@ server_stats readout_server::stats() const {
   snapshot.shots_completed = shots_completed_;
   snapshot.requests_coalesced = requests_coalesced_;
   snapshot.coalesced_batches = coalesced_batches_;
+  snapshot.shard_events = shard_events_;
+  snapshot.version_switches = version_switches_;
   snapshot.inflight = active_.size();
   snapshot.uptime_seconds = uptime_.seconds();
   snapshot.shots_per_second =

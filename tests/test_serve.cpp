@@ -241,6 +241,42 @@ TEST(Serve, PollAndTicketLifecycle) {
   EXPECT_THROW(server.wait(t), invalid_argument_error);
 }
 
+TEST(Serve, ConfigRejectsZeroMaxInflight) {
+  auto& f = fixture();
+  EXPECT_THROW(serve::readout_server(f.engines(), {.max_inflight = 0}),
+               invalid_argument_error);
+}
+
+TEST(Serve, ConfigRejectsAbsurdShardShots) {
+  auto& f = fixture();
+  // A wrapped negative from a careless CLI cast must be rejected up front,
+  // not silently clamped into a "valid" server.
+  EXPECT_THROW(
+      serve::readout_server(
+          f.engines(), {.shard_shots = static_cast<std::size_t>(-1)}),
+      invalid_argument_error);
+  EXPECT_THROW(
+      serve::readout_server(
+          f.engines(), {.coalesce_shots = static_cast<std::size_t>(-1)}),
+      invalid_argument_error);
+  // The documented boundary itself is accepted.
+  serve::readout_server ok(
+      f.engines(), {.shard_shots = serve::server_config::kMaxShardShots});
+}
+
+TEST(Serve, ConfigRejectsEmptyEngineSet) {
+  EXPECT_THROW(serve::readout_server(std::vector<serve::qubit_engine>{}),
+               invalid_argument_error);
+}
+
+TEST(Serve, ConfigRejectsEnginelessQubit) {
+  auto& f = fixture();
+  std::vector<serve::qubit_engine> engines = f.engines();
+  engines[1] = serve::qubit_engine{};  // neither datapath — a config bug
+  EXPECT_THROW(serve::readout_server(std::move(engines)),
+               invalid_argument_error);
+}
+
 TEST(Serve, RejectsInvalidRequests) {
   auto& f = fixture();
   serve::readout_server server(f.engines());
@@ -424,10 +460,13 @@ TEST(ServeCoalescing, DestructionFlushesHeldBatches) {
 // tickets complete and poll() turns true without any wait()-side flush.
 TEST(ServeCoalescing, TrySubmitAtCapacityNeverLivelocks) {
   auto& f = fixture();
+  // Declared before the server: the last try_submit's ticket is never
+  // waited, so its parked batch still borrows these blocks when the server
+  // destructor flushes it.
+  const auto blocks = split_blocks(f.data[0].test, 16);
   serve::readout_server server(
       f.engines(),
       {.shard_shots = 256, .max_inflight = 2, .coalesce_shots = 64});
-  const auto blocks = split_blocks(f.data[0].test, 16);
   const auto t0 =
       server.try_submit({0, &blocks[0], serve::engine_kind::fixed_q16});
   const auto t1 =
@@ -495,6 +534,143 @@ TEST(ServeCoalescing, DisabledByDefault) {
   const serve::server_stats stats = server.stats();
   EXPECT_EQ(stats.requests_coalesced, 0u);
   EXPECT_EQ(stats.coalesced_batches, 0u);
+}
+
+// --- streaming partial results (per-shard completion callback) -------------
+
+// Thread-safe collector for shard events: the callback runs on worker
+// threads, so everything it copies out must be synchronized.
+struct shard_event_log {
+  struct entry {
+    std::uint64_t ticket_id = 0;
+    std::size_t qubit = 0;
+    serve::engine_kind engine = serve::engine_kind::fixed_q16;
+    std::uint64_t model_version = 0;
+    std::size_t row_begin = 0;
+    std::size_t row_end = 0;
+    std::vector<std::uint8_t> states;
+    std::vector<q16_16> registers;
+    std::vector<float> logits;
+  };
+
+  std::mutex mutex;
+  std::vector<entry> entries;
+
+  serve::shard_callback callback() {
+    return [this](const serve::shard_event& event) {
+      entry e;
+      e.ticket_id = event.request.id;
+      e.qubit = event.qubit;
+      e.engine = event.engine;
+      e.model_version = event.model_version;
+      e.row_begin = event.row_begin;
+      e.row_end = event.row_end;
+      e.states.assign(event.states.begin(), event.states.end());
+      e.registers.assign(event.registers.begin(), event.registers.end());
+      e.logits.assign(event.logits.begin(), event.logits.end());
+      const std::lock_guard lock(mutex);
+      entries.push_back(std::move(e));
+    };
+  }
+};
+
+// The streaming contract: every row of a request is reported exactly once
+// with the same data the final result carries, no matter how the request is
+// chunked into shards.
+TEST(ServeStreaming, CallbackCoversEveryRowOnceAcrossShardSizes) {
+  auto& f = fixture();
+  for (const std::size_t shard_shots : {64u, 128u, 100000u}) {
+    shard_event_log log;
+    serve::readout_server server(
+        f.engines(),
+        {.shard_shots = shard_shots, .on_shard = log.callback()});
+    std::vector<serve::ticket> tickets;
+    for (std::size_t q = 0; q < kQubits; ++q) {
+      tickets.push_back(server.submit(
+          {q, &f.data[q].test, serve::engine_kind::fixed_q16}));
+    }
+    for (std::size_t q = 0; q < kQubits; ++q) {
+      const serve::readout_result result = server.wait(tickets[q]);
+      // Reassemble this ticket's events into per-row coverage counts and
+      // compare the streamed data against the final result.
+      const std::lock_guard lock(log.mutex);
+      std::vector<int> covered(result.states.size(), 0);
+      for (const auto& e : log.entries) {
+        if (e.ticket_id != tickets[q].id) continue;
+        EXPECT_EQ(e.qubit, q);
+        EXPECT_EQ(e.model_version, 0u);  // static engine binding
+        ASSERT_LE(e.row_end, result.states.size());
+        ASSERT_EQ(e.states.size(), e.row_end - e.row_begin);
+        ASSERT_EQ(e.registers.size(), e.row_end - e.row_begin);
+        for (std::size_t r = e.row_begin; r < e.row_end; ++r) {
+          ++covered[r];
+          EXPECT_EQ(e.states[r - e.row_begin], result.states[r]);
+          EXPECT_EQ(e.registers[r - e.row_begin].raw(),
+                    result.registers[r].raw());
+        }
+      }
+      for (std::size_t r = 0; r < covered.size(); ++r) {
+        ASSERT_EQ(covered[r], 1) << "shard " << shard_shots << " qubit " << q
+                                 << " row " << r;
+      }
+    }
+    const serve::server_stats stats = server.stats();
+    EXPECT_EQ(stats.shard_events,
+              static_cast<std::uint64_t>(log.entries.size()));
+    EXPECT_GE(stats.shard_events, kQubits);
+  }
+}
+
+TEST(ServeStreaming, FloatEventsCarryLogits) {
+  auto& f = fixture();
+  shard_event_log log;
+  serve::readout_server server(
+      f.engines(), {.shard_shots = 64, .on_shard = log.callback()});
+  const serve::ticket t =
+      server.submit({1, &f.data[1].test, serve::engine_kind::float_student});
+  const serve::readout_result result = server.wait(t);
+  const std::lock_guard lock(log.mutex);
+  std::size_t streamed_rows = 0;
+  for (const auto& e : log.entries) {
+    ASSERT_EQ(e.engine, serve::engine_kind::float_student);
+    ASSERT_TRUE(e.registers.empty());
+    for (std::size_t r = e.row_begin; r < e.row_end; ++r) {
+      EXPECT_EQ(e.logits[r - e.row_begin], result.logits[r]);
+    }
+    streamed_rows += e.row_end - e.row_begin;
+  }
+  EXPECT_EQ(streamed_rows, result.logits.size());
+}
+
+// A coalesced member executes as one contiguous range inside the merged
+// task, so it streams as exactly one event covering its whole block.
+TEST(ServeStreaming, CoalescedMemberStreamsOneFullRangeEvent) {
+  auto& f = fixture();
+  shard_event_log log;
+  serve::readout_server server(f.engines(),
+                               {.shard_shots = 256,
+                                .coalesce_shots = 64,
+                                .on_shard = log.callback()});
+  const auto blocks = split_blocks(f.data[0].test, 16);
+  const serve::ticket t =
+      server.submit({0, &blocks[0], serve::engine_kind::fixed_q16});
+  server.wait(t);
+  const std::lock_guard lock(log.mutex);
+  ASSERT_EQ(log.entries.size(), 1u);
+  EXPECT_EQ(log.entries[0].row_begin, 0u);
+  EXPECT_EQ(log.entries[0].row_end, blocks[0].size());
+}
+
+TEST(ServeStreaming, CallbackExceptionFailsTheRequest) {
+  auto& f = fixture();
+  serve::readout_server server(
+      f.engines(),
+      {.shard_shots = 64, .on_shard = [](const serve::shard_event&) {
+         throw numeric_error("consumer exploded");
+       }});
+  const serve::ticket t =
+      server.submit({0, &f.data[0].test, serve::engine_kind::fixed_q16});
+  EXPECT_THROW(server.wait(t), numeric_error);
 }
 
 // --- shard scheduler -------------------------------------------------------

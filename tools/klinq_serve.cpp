@@ -9,6 +9,21 @@
 // `rounds` trace-block requests per qubit through a readout_server under
 // bounded backpressure, spot-checks the returned decisions against the
 // serial per-qubit path, and prints shots/sec plus p50/p99 latency.
+//
+// Registry mode (--registry): the trained students are published into a
+// versioned klinq::registry::model_registry and served through it; midway
+// through the stream a retrained snapshot of qubit 0 is hot-swapped in
+// while traffic flows (results report the version that served them). Pass
+// --registry-dir to persist the store on exit.
+//
+// Admin mode (--registry-dir DIR --admin CMD) operates on a persisted
+// registry without serving:
+//   --admin list            print every qubit's retained versions
+//   --admin swap:<q>:<v>    activate version v for qubit q
+//   --admin rollback:<q>    activate the previous retained version
+//   --admin pin:<q>:<v>     activate v and freeze auto-activation
+//   --admin unpin:<q>       release the freeze
+// Mutating commands save the store back to the directory.
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -21,10 +36,94 @@
 #include "klinq/hw/fixed_discriminator.hpp"
 #include "klinq/kd/distiller.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
+#include "klinq/registry/model_registry.hpp"
+#include "klinq/registry/snapshot.hpp"
 #include "klinq/serve/readout_server.hpp"
 
+namespace {
+
+using namespace klinq;
+
+void print_registry(const registry::model_registry& reg) {
+  for (std::size_t q = 0; q < reg.qubit_count(); ++q) {
+    std::printf("qubit %zu:\n", q);
+    for (const registry::version_record& record : reg.list(q)) {
+      std::printf("  v%llu%s%s  source=%s shots=%llu accuracy=%.4f\n",
+                  static_cast<unsigned long long>(record.version),
+                  record.active ? " [active]" : "",
+                  record.pinned ? " [pinned]" : "",
+                  record.info.source.c_str(),
+                  static_cast<unsigned long long>(
+                      record.info.calibration_shots),
+                  record.info.train_accuracy);
+    }
+  }
+}
+
+/// Splits "cmd:arg1:arg2" into its pieces.
+std::vector<std::string> split_command(const std::string& command) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= command.size()) {
+    const std::size_t colon = command.find(':', begin);
+    if (colon == std::string::npos) {
+      parts.push_back(command.substr(begin));
+      break;
+    }
+    parts.push_back(command.substr(begin, colon - begin));
+    begin = colon + 1;
+  }
+  return parts;
+}
+
+int run_admin(const std::string& directory, const std::string& command) {
+  const std::vector<std::string> parts = split_command(command);
+  const auto reg = registry::model_registry::load_directory(directory);
+  const auto parse_number = [&](std::size_t index, const char* what) {
+    KLINQ_REQUIRE(index < parts.size(),
+                  std::string("--admin: missing ") + what + " argument");
+    try {
+      return static_cast<std::uint64_t>(std::stoull(parts[index]));
+    } catch (const std::exception&) {
+      throw invalid_argument_error(std::string("--admin: '") + parts[index] +
+                                   "' is not a valid " + what);
+    }
+  };
+  const auto parse_qubit = [&](std::size_t index) {
+    return static_cast<std::size_t>(parse_number(index, "qubit"));
+  };
+  const auto parse_version = [&](std::size_t index) {
+    return parse_number(index, "version");
+  };
+  bool mutated = true;
+  if (parts[0] == "list") {
+    mutated = false;
+  } else if (parts[0] == "swap") {
+    reg->activate(parse_qubit(1), parse_version(2));
+  } else if (parts[0] == "rollback") {
+    const std::size_t qubit = parse_qubit(1);
+    std::printf("rolled qubit %zu back to v%llu\n", qubit,
+                static_cast<unsigned long long>(reg->rollback(qubit)));
+  } else if (parts[0] == "pin") {
+    reg->pin(parse_qubit(1), parse_version(2));
+  } else if (parts[0] == "unpin") {
+    reg->unpin(parse_qubit(1));
+  } else {
+    throw invalid_argument_error(
+        "--admin: unknown command (expected list | swap:<q>:<v> | "
+        "rollback:<q> | pin:<q>:<v> | unpin:<q>)");
+  }
+  print_registry(*reg);
+  if (mutated) {
+    reg->save_directory(directory);
+    std::printf("saved %s\n", directory.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace klinq;
   cli_parser cli("klinq_serve",
                  "stream a multi-qubit readout workload through the sharded "
                  "serving engine");
@@ -37,8 +136,24 @@ int main(int argc, char** argv) {
   cli.add_option("shard-shots", "rows per shard (0 = default)", "0");
   cli.add_option("max-inflight", "backpressure bound on open tickets", "16");
   cli.add_option("seed", "dataset generation seed", "42");
+  cli.add_flag("registry",
+               "serve through a versioned model registry and hot-swap a "
+               "retrained qubit-0 snapshot mid-stream");
+  cli.add_option("registry-dir",
+                 "persist the registry here on exit (with --admin: the "
+                 "store to operate on)", "");
+  cli.add_option("admin",
+                 "registry admin command: list | swap:<q>:<v> | "
+                 "rollback:<q> | pin:<q>:<v> | unpin:<q>", "");
   try {
     if (!cli.parse(argc, argv)) return 0;
+
+    const std::string admin = cli.get_string("admin");
+    if (!admin.empty()) {
+      const std::string directory = cli.get_string("registry-dir");
+      KLINQ_REQUIRE(!directory.empty(), "--admin requires --registry-dir");
+      return run_admin(directory, admin);
+    }
 
     const auto n_qubits = static_cast<std::size_t>(cli.get_int("qubits"));
     KLINQ_REQUIRE(n_qubits >= 1, "--qubits must be positive");
@@ -49,6 +164,7 @@ int main(int argc, char** argv) {
                                           ? serve::engine_kind::fixed_q16
                                           : serve::engine_kind::float_student;
     const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+    const bool use_registry = cli.get_flag("registry");
 
     // One independent channel per qubit: distinct dataset seed + student.
     std::printf("training %zu student(s)...\n", n_qubits);
@@ -71,21 +187,39 @@ int main(int argc, char** argv) {
       hardware.emplace_back(students[q]);
     }
 
-    std::vector<serve::qubit_engine> engines;
-    for (std::size_t q = 0; q < n_qubits; ++q) {
-      engines.push_back({&students[q], &hardware[q]});
+    // Either a versioned registry or the static construction-time binding.
+    std::unique_ptr<registry::model_registry> reg;
+    std::optional<serve::readout_server> server;
+    const serve::server_config server_config{
+        .shard_shots = static_cast<std::size_t>(cli.get_int("shard-shots")),
+        .max_inflight =
+            static_cast<std::size_t>(cli.get_int("max-inflight"))};
+    if (use_registry) {
+      reg = std::make_unique<registry::model_registry>(n_qubits);
+      for (std::size_t q = 0; q < n_qubits; ++q) {
+        registry::calibration_info info;
+        info.source = "initial";
+        info.created_unix_seconds = registry::unix_now();
+        info.calibration_shots = data[q].train.size();
+        info.train_accuracy = students[q].accuracy(data[q].train);
+        reg->publish(q, registry::model_snapshot(students[q], info));
+      }
+      server.emplace(*reg, server_config);
+    } else {
+      std::vector<serve::qubit_engine> engines;
+      for (std::size_t q = 0; q < n_qubits; ++q) {
+        engines.push_back({&students[q], &hardware[q]});
+      }
+      server.emplace(std::move(engines), server_config);
     }
-    serve::readout_server server(
-        std::move(engines),
-        {.shard_shots = static_cast<std::size_t>(cli.get_int("shard-shots")),
-         .max_inflight = static_cast<std::size_t>(cli.get_int("max-inflight"))});
 
     const std::size_t block = data[0].test.size();
     std::printf(
         "streaming %zu rounds x %zu qubits (blocks of %zu shots, %s engine, "
-        "shard %zu shots, %zu pool workers)...\n",
+        "shard %zu shots, %zu pool workers%s)...\n",
         rounds, n_qubits, block, serve::engine_name(engine),
-        server.shard_shots(), global_thread_pool().worker_count() + 1);
+        server->shard_shots(), global_thread_pool().worker_count() + 1,
+        use_registry ? ", registry-backed" : "");
 
     // Streaming loop: keep up to max_inflight tickets open, consuming the
     // oldest whenever submit would block. One reused result object keeps the
@@ -94,9 +228,25 @@ int main(int argc, char** argv) {
     std::vector<serve::ticket> open;
     serve::readout_result result;
     std::size_t mismatches = 0;
+    std::uint64_t last_version_served = 0;
     const auto consume_oldest = [&] {
-      server.wait(open.front(), result);
+      server->wait(open.front(), result);
       open.erase(open.begin());
+      last_version_served = result.model_version;
+      if (use_registry) {
+        // Registry mode: check against whichever version served the block.
+        const auto snapshot = reg->at(result.qubit, result.model_version);
+        const auto& ds = data[result.qubit].test;
+        const bool serial =
+            engine == serve::engine_kind::fixed_q16
+                ? !snapshot->hardware()
+                       .logit(ds.trace(0), ds.samples_per_quadrature())
+                       .sign_bit()
+                : snapshot->student().logit(
+                      ds.trace(0), ds.samples_per_quadrature()) >= 0.0f;
+        if ((result.states[0] != 0) != serial) ++mismatches;
+        return;
+      }
       // Spot-check: the first decision of every block must match the serial
       // per-qubit path.
       const auto& ds = data[result.qubit].test;
@@ -110,9 +260,27 @@ int main(int argc, char** argv) {
       if ((result.states[0] != 0) != serial) ++mismatches;
     };
     for (std::size_t round = 0; round < rounds; ++round) {
+      if (use_registry && round == rounds / 2) {
+        // Mid-stream hot swap: retrain qubit 0 (fresh seed) and publish.
+        // In-flight requests finish on v1; later submits report v2.
+        kd::student_config config;
+        config.epochs = 6;
+        config.seed = 1007;
+        registry::calibration_info info;
+        info.source = "recalibration";
+        info.created_unix_seconds = registry::unix_now();
+        info.calibration_shots = data[0].train.size();
+        kd::student_model retrained =
+            kd::distill_student(data[0].train, {}, config);
+        info.train_accuracy = retrained.accuracy(data[0].train);
+        const std::uint64_t version = reg->publish(
+            0, registry::model_snapshot(std::move(retrained), info));
+        std::printf("hot-swapped qubit 0 -> v%llu mid-stream\n",
+                    static_cast<unsigned long long>(version));
+      }
       for (std::size_t q = 0; q < n_qubits; ++q) {
         std::optional<serve::ticket> t;
-        while (!(t = server.try_submit({q, &data[q].test, engine}))) {
+        while (!(t = server->try_submit({q, &data[q].test, engine}))) {
           consume_oldest();
         }
         open.push_back(*t);
@@ -121,7 +289,7 @@ int main(int argc, char** argv) {
     while (!open.empty()) consume_oldest();
     const double elapsed = timer.seconds();
 
-    const serve::server_stats stats = server.stats();
+    const serve::server_stats stats = server->stats();
     std::printf(
         "\nserved %llu requests / %llu shots in %.3f s\n"
         "  throughput  %.0f shots/s\n"
@@ -133,6 +301,23 @@ int main(int argc, char** argv) {
         stats.latency_p50_seconds * 1e3, stats.latency_p99_seconds * 1e3,
         mismatches == 0 ? "all decisions match the serial path"
                         : "MISMATCH vs serial path");
+    if (use_registry) {
+      const registry::registry_stats reg_stats = reg->stats();
+      std::printf(
+          "  registry    %llu published / %llu activations / %llu acquires, "
+          "%llu version switches observed, last served v%llu\n",
+          static_cast<unsigned long long>(reg_stats.published),
+          static_cast<unsigned long long>(reg_stats.activations),
+          static_cast<unsigned long long>(reg_stats.acquires),
+          static_cast<unsigned long long>(stats.version_switches),
+          static_cast<unsigned long long>(last_version_served));
+      print_registry(*reg);
+      const std::string directory = cli.get_string("registry-dir");
+      if (!directory.empty()) {
+        reg->save_directory(directory);
+        std::printf("saved registry to %s\n", directory.c_str());
+      }
+    }
     return mismatches == 0 ? 0 : 1;
   } catch (const error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
