@@ -33,4 +33,16 @@ bool parse_versioned_snapshot_filename(std::string_view filename,
                                        std::size_t& qubit,
                                        std::uint64_t& version);
 
+/// Writes `bytes` to `path` and fsyncs the file before closing, so the
+/// contents are on stable storage when this returns. Throws io_error on any
+/// failure (the partially written file may remain — callers write to a
+/// temporary name and rename over the destination; see replace_file).
+void write_file_durable(const std::string& path, std::string_view bytes);
+
+/// Atomically replaces `to` with `from` (POSIX rename semantics: readers see
+/// either the old file or the new one, never a mix), then fsyncs the parent
+/// directory so the rename itself survives a crash. Throws io_error on
+/// failure.
+void replace_file(const std::string& from, const std::string& to);
+
 }  // namespace klinq::data

@@ -1,0 +1,333 @@
+#include "klinq/fault/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "klinq/common/log.hpp"
+
+namespace klinq::fault {
+
+namespace detail {
+
+std::atomic<int> armed_sites{-1};  // -1: KLINQ_FAULT not parsed yet
+
+namespace {
+
+// splitmix64 — the per-site firing stream is hash(seed, invocation index),
+// so the decision sequence depends only on the seed and the order in which
+// the site is reached (lock-free: the index is an atomic counter).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+struct site_state {
+  std::string pattern;  // exact site name, or prefix when wildcard
+  bool wildcard = false;
+  fault_spec spec;
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> invocations{0};  // firing-stream index
+  std::atomic<std::uint64_t> fired{0};
+
+  /// Bernoulli draw from the deterministic per-site stream.
+  bool draw() {
+    const std::uint64_t n =
+        invocations.fetch_add(1, std::memory_order_relaxed);
+    return uniform01(mix64(spec.seed ^ n)) < spec.probability;
+  }
+};
+
+struct fault_registry {
+  std::mutex mutex;
+  /// unique_ptr keeps counter addresses stable while new sites are armed.
+  std::vector<std::unique_ptr<site_state>> sites;
+
+  // NOTE: the constructor must not call the public arm()/arm_from_string()
+  // free functions — they route through registry(), whose static-local
+  // initialization is exactly what is running here (re-entering it is a
+  // guard-variable deadlock). Everything goes through the member methods.
+  fault_registry() {
+    const char* env = std::getenv("KLINQ_FAULT");
+    if (env != nullptr && *env != '\0') {
+      try {
+        arm_text(env);
+      } catch (const std::exception& e) {
+        log_warn("ignoring malformed KLINQ_FAULT: ", e.what());
+      }
+    }
+    const std::lock_guard lock(mutex);
+    publish_count();
+  }
+
+  /// arm() on this instance: validates, replaces or appends the pattern.
+  void arm_pattern(const std::string& site, fault_spec spec) {
+    KLINQ_REQUIRE(!site.empty() && site != "*",
+                  "fault::arm: site name must be non-empty");
+    KLINQ_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
+                  "fault::arm: probability must be in [0, 1]");
+    const std::lock_guard lock(mutex);
+    const bool wildcard = site.back() == '*';
+    const std::string pattern =
+        wildcard ? site.substr(0, site.size() - 1) : site;
+    for (auto& state : sites) {
+      if (state->pattern == pattern && state->wildcard == wildcard) {
+        state->spec = spec;
+        state->evaluations.store(0, std::memory_order_relaxed);
+        state->invocations.store(0, std::memory_order_relaxed);
+        state->fired.store(0, std::memory_order_relaxed);
+        publish_count();
+        return;
+      }
+    }
+    auto state = std::make_unique<site_state>();
+    state->pattern = pattern;
+    state->wildcard = wildcard;
+    state->spec = spec;
+    sites.push_back(std::move(state));
+    publish_count();
+  }
+
+  /// arm_from_string() on this instance.
+  void arm_text(const std::string& text) {
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+      std::size_t comma = text.find(',', begin);
+      if (comma == std::string::npos) comma = text.size();
+      const std::string clause = text.substr(begin, comma - begin);
+      if (!clause.empty()) {
+        std::string site;
+        const fault_spec spec = parse_spec(clause, site);
+        arm_pattern(site, spec);
+      }
+      begin = comma + 1;
+    }
+  }
+
+  /// Requires mutex held (or construction).
+  void publish_count() {
+    int armed = 0;
+    for (const auto& site : sites) {
+      if (site->spec.mode != fault_mode::none) ++armed;
+    }
+    armed_sites.store(armed, std::memory_order_relaxed);
+  }
+
+  /// Requires mutex held. Exact match outranks prefix patterns; among
+  /// prefixes the longest wins.
+  site_state* find(std::string_view site) {
+    site_state* best = nullptr;
+    for (const auto& candidate : sites) {
+      if (candidate->spec.mode == fault_mode::none) continue;
+      if (!candidate->wildcard) {
+        if (candidate->pattern == site) return candidate.get();
+        continue;
+      }
+      if (site.substr(0, candidate->pattern.size()) == candidate->pattern &&
+          (best == nullptr || best->pattern.size() <
+                                  candidate->pattern.size())) {
+        best = candidate.get();
+      }
+    }
+    return best;
+  }
+};
+
+// Leaked singleton: fault points may be reached during static destruction
+// (server/registry members of globals tearing down).
+fault_registry& registry() {
+  static fault_registry* instance = new fault_registry();
+  return *instance;
+}
+
+}  // namespace
+
+action trigger_slow(const char* site) {
+  fault_registry& reg = registry();
+  fault_spec spec;
+  site_state* state = nullptr;
+  {
+    const std::lock_guard lock(reg.mutex);
+    state = reg.find(site);
+    // corrupt_bytes is a data-plane mode: it fires at corrupt() points
+    // only, and must not consume this site's firing stream here.
+    if (state == nullptr || state->spec.mode == fault_mode::corrupt_bytes) {
+      return action::none;
+    }
+    state->evaluations.fetch_add(1, std::memory_order_relaxed);
+    if (!state->draw()) return action::none;
+    state->fired.fetch_add(1, std::memory_order_relaxed);
+    spec = state->spec;
+  }
+  switch (spec.mode) {
+    case fault_mode::throw_error:
+      throw injected_fault(std::string("injected fault at ") + site);
+    case fault_mode::delay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(spec.delay_milliseconds));
+      return action::none;
+    case fault_mode::drop:
+      return action::drop;
+    case fault_mode::corrupt_bytes:  // data-plane mode; no-op on trigger()
+    case fault_mode::none:
+      return action::none;
+  }
+  return action::none;
+}
+
+void corrupt_slow(const char* site, void* data, std::size_t size) {
+  if (data == nullptr || size == 0) return;
+  fault_registry& reg = registry();
+  fault_spec spec;
+  {
+    const std::lock_guard lock(reg.mutex);
+    site_state* state = reg.find(site);
+    if (state == nullptr || state->spec.mode != fault_mode::corrupt_bytes) {
+      return;
+    }
+    state->evaluations.fetch_add(1, std::memory_order_relaxed);
+    if (!state->draw()) return;
+    state->fired.fetch_add(1, std::memory_order_relaxed);
+    spec = state->spec;
+  }
+  // Flip a deterministic sample of bytes (at least one, ~1/64 of the
+  // buffer) — enough to tear any serialized structure without being a
+  // trivially detectable truncation.
+  auto* bytes = static_cast<unsigned char*>(data);
+  const std::size_t flips = size / 64 + 1;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::uint64_t h = mix64(spec.seed ^ (0xc0ffee00ull + i));
+    bytes[h % size] ^= static_cast<unsigned char>(0xa5u ^ (h >> 32));
+  }
+}
+
+}  // namespace detail
+
+void arm(const std::string& site, fault_spec spec) {
+  detail::registry().arm_pattern(site, spec);
+}
+
+fault_spec parse_spec(const std::string& clause, std::string& site) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= clause.size()) {
+    const std::size_t colon = clause.find(':', begin);
+    if (colon == std::string::npos) {
+      parts.push_back(clause.substr(begin));
+      break;
+    }
+    parts.push_back(clause.substr(begin, colon - begin));
+    begin = colon + 1;
+  }
+  KLINQ_REQUIRE(parts.size() >= 2 && parts.size() <= 4 && !parts[0].empty(),
+                "fault spec must be <site>:<mode>[:<prob>[:<seed>]]");
+  site = parts[0];
+
+  fault_spec spec;
+  std::string mode = parts[1];
+  const std::size_t eq = mode.find('=');
+  std::string arg;
+  if (eq != std::string::npos) {
+    arg = mode.substr(eq + 1);
+    mode = mode.substr(0, eq);
+  }
+  if (mode == "throw") {
+    spec.mode = fault_mode::throw_error;
+  } else if (mode == "delay_ms") {
+    spec.mode = fault_mode::delay;
+    if (!arg.empty()) {
+      spec.delay_milliseconds =
+          static_cast<std::uint32_t>(std::stoul(arg));
+    }
+  } else if (mode == "corrupt_bytes") {
+    spec.mode = fault_mode::corrupt_bytes;
+  } else if (mode == "drop") {
+    spec.mode = fault_mode::drop;
+  } else {
+    throw invalid_argument_error(
+        "fault spec: unknown mode '" + mode +
+        "' (expected throw | delay_ms[=N] | corrupt_bytes | drop)");
+  }
+  try {
+    if (parts.size() >= 3 && !parts[2].empty()) {
+      spec.probability = std::stod(parts[2]);
+    }
+    if (parts.size() >= 4 && !parts[3].empty()) {
+      spec.seed = std::stoull(parts[3]);
+    }
+  } catch (const std::exception&) {
+    throw invalid_argument_error("fault spec: unparsable prob/seed in '" +
+                                 clause + "'");
+  }
+  KLINQ_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
+                "fault spec: probability must be in [0, 1]");
+  return spec;
+}
+
+void arm_from_string(const std::string& text) {
+  detail::registry().arm_text(text);
+}
+
+void disarm(const std::string& site) {
+  fault_spec off;
+  off.mode = fault_mode::none;
+  arm(site, off);
+}
+
+void disarm_all() {
+  detail::fault_registry& reg = detail::registry();
+  const std::lock_guard lock(reg.mutex);
+  reg.sites.clear();
+  reg.publish_count();
+}
+
+bool any_armed() {
+  detail::registry();  // force KLINQ_FAULT parsing
+  return detail::armed_sites.load(std::memory_order_relaxed) > 0;
+}
+
+bool armed(const std::string& site) {
+  detail::fault_registry& reg = detail::registry();
+  const std::lock_guard lock(reg.mutex);
+  return reg.find(site) != nullptr;
+}
+
+std::uint64_t fired(const std::string& site) {
+  detail::fault_registry& reg = detail::registry();
+  const std::lock_guard lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const auto& state : reg.sites) {
+    const std::string name =
+        state->wildcard ? state->pattern + "*" : state->pattern;
+    if (name == site) total += state->fired.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<site_report> report() {
+  detail::fault_registry& reg = detail::registry();
+  const std::lock_guard lock(reg.mutex);
+  std::vector<site_report> out;
+  out.reserve(reg.sites.size());
+  for (const auto& state : reg.sites) {
+    if (state->spec.mode == fault_mode::none) continue;
+    site_report row;
+    row.site = state->wildcard ? state->pattern + "*" : state->pattern;
+    row.spec = state->spec;
+    row.evaluations = state->evaluations.load(std::memory_order_relaxed);
+    row.fired = state->fired.load(std::memory_order_relaxed);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace klinq::fault

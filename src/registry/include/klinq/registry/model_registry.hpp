@@ -30,8 +30,21 @@
 //
 // Persistence: save_directory writes one "qubit<q>_v<version>.snap" file
 // per retained snapshot (data::versioned_snapshot_filename) plus a
-// "registry.manifest" recording active/pinned state; load_directory
-// restores the whole store (foreign files in the directory are ignored).
+// "registry.manifest" recording active/pinned state. Saves are crash-safe:
+// every file is written to a temporary sibling, fsynced and atomically
+// renamed into place, with the manifest rename as the commit point — a
+// crash at any instant leaves either the previous save or the new one on
+// disk, never a torn mix. load_directory is correspondingly tolerant: a
+// corrupt, truncated or hash-mismatched snapshot is quarantined (renamed to
+// "*.bad") instead of failing the open, and a qubit whose recorded active
+// version cannot be verified falls back to its newest verifiable version
+// (foreign files in the directory are ignored as before).
+//
+// Self-healing: the serving layer reports repeated shard failures through
+// engine_provider::demote(); the registry responds by rolling the qubit
+// back to the newest older retained version and marking it degraded() until
+// an explicit lifecycle action (publish/activate/rollback/pin) restores
+// confidence.
 #pragma once
 
 #include <atomic>
@@ -66,11 +79,17 @@ struct version_record {
 struct registry_stats {
   std::uint64_t published = 0;
   /// Active-version changes from any source (publish auto-activation,
-  /// explicit activate, rollback, pin).
+  /// explicit activate, rollback, pin, demote).
   std::uint64_t activations = 0;
+  /// Rollbacks from any source (explicit rollback() plus demote()).
   std::uint64_t rollbacks = 0;
   /// Leases handed to the serving layer.
   std::uint64_t acquires = 0;
+  /// Serve-reported health demotions that actually switched a version.
+  std::uint64_t demotions = 0;
+  /// Snapshot files load_directory renamed to "*.bad" because they were
+  /// corrupt, truncated or failed hash verification.
+  std::uint64_t quarantined = 0;
 };
 
 class model_registry final : public serve::engine_provider {
@@ -86,6 +105,13 @@ class model_registry final : public serve::engine_provider {
   /// Lease on the active snapshot: one atomic load, no locks. Throws
   /// invalid_argument_error when the qubit has no published version yet.
   serve::engine_lease acquire(std::size_t qubit) const override;
+  /// Health feedback from the serving layer: rolls the qubit back to the
+  /// newest retained version older than `version` and marks it degraded.
+  /// No-op (returns false) when `version` is no longer the active one —
+  /// another thread or an admin already moved the qubit on. When nothing
+  /// older is retained the qubit keeps serving but is still flagged
+  /// degraded.
+  bool demote(std::size_t qubit, std::uint64_t version) const noexcept override;
 
   // --- lifecycle ----------------------------------------------------------
   /// Appends `snapshot` as the qubit's next version (stamping
@@ -115,6 +141,10 @@ class model_registry final : public serve::engine_provider {
   void unpin(std::size_t qubit);
   bool pinned(std::size_t qubit) const;
 
+  /// True after demote() flagged the qubit; cleared by any explicit
+  /// lifecycle action (publish/activate/rollback/pin).
+  bool degraded(std::size_t qubit) const;
+
   /// Retained versions, oldest first.
   std::vector<version_record> list(std::size_t qubit) const;
 
@@ -134,6 +164,8 @@ class model_registry final : public serve::engine_provider {
     snapshot_ptr active;
     std::uint64_t next_version = 1;
     bool pinned = false;
+    /// Set by demote(); cleared by explicit lifecycle actions.
+    bool degraded = false;
   };
 
   qubit_slot& slot_checked(std::size_t qubit);
@@ -148,8 +180,13 @@ class model_registry final : public serve::engine_provider {
   std::vector<std::unique_ptr<qubit_slot>> slots_;
 
   std::atomic<std::uint64_t> published_{0};
-  std::atomic<std::uint64_t> activations_{0};
-  std::atomic<std::uint64_t> rollbacks_{0};
+  /// activations_/rollbacks_/demotions_ are mutable because demote() is
+  /// const (the engine_provider interface hands the server a const view)
+  /// yet performs a sanctioned state change.
+  mutable std::atomic<std::uint64_t> activations_{0};
+  mutable std::atomic<std::uint64_t> rollbacks_{0};
+  mutable std::atomic<std::uint64_t> demotions_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
   mutable std::atomic<std::uint64_t> acquires_{0};
 };
 

@@ -13,6 +13,15 @@
 // tests, admin tooling). Retraining happens on the recalibrator's thread
 // but the inner training loops use the shared pool like everything else.
 //
+// Robustness: a publish gate rejects candidates whose accuracy regresses
+// past publish_regression_tolerance below the serving model's on the same
+// calibration set (throwing recalibration_rejected — counted separately
+// from failures); the background worker retries transient failures with
+// exponential backoff and deterministic jitter; an optional watchdog
+// bounds each background attempt's wall time and flags attempts that
+// overrun as hung (the overrunning attempt keeps running detached from the
+// scan loop, its qubit is skipped until it finishes, and stop() drains it).
+//
 // The registry, monitor and calibration source are borrowed and must
 // outlive the recalibrator; the destructor stops the worker first.
 #pragma once
@@ -21,15 +30,27 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
+#include <vector>
 
+#include "klinq/common/error.hpp"
 #include "klinq/data/trace_dataset.hpp"
 #include "klinq/kd/distiller.hpp"
 #include "klinq/registry/drift_monitor.hpp"
 #include "klinq/registry/model_registry.hpp"
 
 namespace klinq::registry {
+
+/// The publish gate refused a retrained candidate because its accuracy on
+/// the calibration set regressed past publish_regression_tolerance below
+/// the currently serving model's. Not a failure of the pipeline — the
+/// serving model simply stays the better choice.
+class recalibration_rejected : public error {
+ public:
+  explicit recalibration_rejected(const std::string& what) : error(what) {}
+};
 
 struct recalibration_config {
   /// Retraining hyperparameters (epochs, lr, distillation off by default —
@@ -40,6 +61,22 @@ struct recalibration_config {
   /// Initialize retraining from the active model's weights (see
   /// student_config::warm_start). Disable to retrain from scratch.
   bool warm_start = true;
+  /// Extra attempts the background worker makes after a failed cycle
+  /// (synchronous recalibrate() never retries — the caller owns policy).
+  std::size_t max_retries = 2;
+  /// Base delay before the first retry; doubled per further retry and
+  /// jittered ±50% (deterministically, from the qubit/attempt pair) so a
+  /// fleet-wide fault does not resynchronize every qubit's retrain.
+  double retry_backoff_seconds = 0.05;
+  /// Candidate models may be this much worse (absolute accuracy on the
+  /// fresh calibration set) than the serving model before the publish gate
+  /// rejects them. 0 demands strict non-regression.
+  double publish_regression_tolerance = 0.02;
+  /// Wall-clock bound on one background attempt; an attempt still running
+  /// after this is counted hung and detached (its qubit is skipped until
+  /// it finishes). 0 disables the watchdog (attempts run inline on the
+  /// worker thread).
+  double watchdog_seconds = 0.0;
 };
 
 struct recalibration_stats {
@@ -50,6 +87,12 @@ struct recalibration_stats {
   /// Cycles that threw (bad calibration data, say); the worker logs and
   /// keeps going.
   std::uint64_t failures = 0;
+  /// Backoff re-attempts the background worker made after failed cycles.
+  std::uint64_t retries = 0;
+  /// Candidates the publish gate refused (not counted in failures).
+  std::uint64_t publish_rejections = 0;
+  /// Background attempts that overran watchdog_seconds.
+  std::uint64_t hung_retrains = 0;
 };
 
 class recalibrator {
@@ -72,6 +115,8 @@ class recalibrator {
   /// Starts the background worker (idempotent).
   void start();
   /// Stops it and joins (idempotent; start() may be called again after).
+  /// Also blocks until any watchdog-detached attempt finishes — they borrow
+  /// the registry/monitor/source and may not outlive this object.
   void stop();
   bool running() const noexcept;
 
@@ -83,22 +128,41 @@ class recalibrator {
   recalibration_stats stats() const;
 
  private:
+  enum class attempt_outcome { ok, failed, rejected, hung };
+
+  /// A watchdog-detached attempt still running on its own thread.
+  struct detached_attempt {
+    std::future<std::uint64_t> task;
+    std::size_t qubit = 0;
+  };
+
   void worker_loop();
+  /// One drifted qubit's full service: watchdogged attempt + retry loop.
+  /// Returns false when a stop request interrupted the backoff.
+  bool service_qubit(std::size_t qubit);
+  attempt_outcome run_attempt(std::size_t qubit);
+  /// Collects detached attempts that have since finished. Requires mutex_.
+  void reap_detached_locked();
+  bool qubit_detached_locked(std::size_t qubit) const;
 
   model_registry& registry_;
   drift_monitor& monitor_;
   calibration_source source_;
   recalibration_config config_;
 
-  mutable std::mutex mutex_;  // guards thread_ lifecycle + stop flag
+  mutable std::mutex mutex_;  // guards thread_ lifecycle, stop flag, detached_
   std::condition_variable wake_;
   std::thread thread_;
   bool stop_requested_ = false;
   std::atomic<bool> running_{false};
+  std::vector<detached_attempt> detached_;
 
   std::atomic<std::uint64_t> scans_{0};
   std::atomic<std::uint64_t> recalibrations_{0};
   std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> publish_rejections_{0};
+  std::atomic<std::uint64_t> hung_retrains_{0};
 };
 
 }  // namespace klinq::registry

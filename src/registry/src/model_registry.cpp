@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <system_error>
 #include <utility>
 
 #include "klinq/common/error.hpp"
+#include "klinq/common/log.hpp"
 #include "klinq/data/dataset_io.hpp"
+#include "klinq/fault/fault.hpp"
 
 namespace klinq::registry {
 
@@ -57,6 +65,7 @@ const model_registry::qubit_slot& model_registry::slot_checked(
 
 serve::engine_lease model_registry::acquire(std::size_t qubit) const {
   const qubit_slot& slot = slot_checked(qubit);
+  fault::trigger("registry.acquire");
   snapshot_ptr snapshot = atomic_active_load(slot.active);
   KLINQ_REQUIRE(snapshot != nullptr,
                 "model_registry: qubit has no published model");
@@ -75,6 +84,7 @@ std::uint64_t model_registry::publish(std::size_t qubit,
   published_.fetch_add(1, std::memory_order_relaxed);
   if (!slot.pinned) activate_locked(slot, version);
   retire_locked(slot);
+  slot.degraded = false;  // fresh model: confidence restored
   return version;
 }
 
@@ -131,6 +141,7 @@ void model_registry::activate(std::size_t qubit, std::uint64_t version) {
   const std::lock_guard lock(slot.mutex);
   activate_locked(slot, version);
   retire_locked(slot);
+  slot.degraded = false;
 }
 
 std::uint64_t model_registry::rollback(std::size_t qubit) {
@@ -149,7 +160,50 @@ std::uint64_t model_registry::rollback(std::size_t qubit) {
                 "one to roll back to");
   activate_locked(slot, target);
   rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  slot.degraded = false;
   return target;
+}
+
+bool model_registry::demote(std::size_t qubit,
+                            std::uint64_t version) const noexcept {
+  if (qubit >= slots_.size() || version == 0) return false;
+  try {
+    // unique_ptr does not propagate constness to the pointee, so the slot is
+    // mutable here; the counter members are declared mutable for the same
+    // reason. demote() is const only because engine_provider hands the
+    // serving layer a const view — the state change itself is sanctioned.
+    qubit_slot& slot = *slots_[qubit];
+    const std::lock_guard lock(slot.mutex);
+    const snapshot_ptr current = atomic_active_load(slot.active);
+    if (current == nullptr || current->info().version != version) {
+      return false;  // already moved on (another thread or an admin swap)
+    }
+    std::uint64_t target = 0;
+    for (const auto& [retained, snapshot] : slot.versions) {
+      if (retained < version && retained > target) target = retained;
+    }
+    if (target == 0) {
+      // Nothing older retained: keep serving the only model we have, but
+      // leave the health flag up so operators see the qubit is unwell.
+      slot.degraded = true;
+      log_warn("model_registry: qubit ", qubit, " v", version,
+               " reported failing but no older version is retained");
+      return false;
+    }
+    const auto it = std::find_if(
+        slot.versions.begin(), slot.versions.end(),
+        [target](const auto& entry) { return entry.first == target; });
+    atomic_active_store(slot.active, it->second);
+    slot.degraded = true;
+    activations_.fetch_add(1, std::memory_order_relaxed);
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    demotions_.fetch_add(1, std::memory_order_relaxed);
+    log_warn("model_registry: demoted qubit ", qubit, " v", version, " -> v",
+             target, " after serve-reported failures; qubit marked degraded");
+    return true;
+  } catch (...) {
+    return false;  // health feedback must never take down the failure path
+  }
 }
 
 void model_registry::pin(std::size_t qubit, std::uint64_t version) {
@@ -157,6 +211,7 @@ void model_registry::pin(std::size_t qubit, std::uint64_t version) {
   const std::lock_guard lock(slot.mutex);
   activate_locked(slot, version);
   slot.pinned = true;
+  slot.degraded = false;
 }
 
 void model_registry::unpin(std::size_t qubit) {
@@ -169,6 +224,12 @@ bool model_registry::pinned(std::size_t qubit) const {
   const qubit_slot& slot = slot_checked(qubit);
   const std::lock_guard lock(slot.mutex);
   return slot.pinned;
+}
+
+bool model_registry::degraded(std::size_t qubit) const {
+  const qubit_slot& slot = slot_checked(qubit);
+  const std::lock_guard lock(slot.mutex);
+  return slot.degraded;
 }
 
 std::vector<version_record> model_registry::list(std::size_t qubit) const {
@@ -196,49 +257,91 @@ registry_stats model_registry::stats() const {
   snapshot.activations = activations_.load(std::memory_order_relaxed);
   snapshot.rollbacks = rollbacks_.load(std::memory_order_relaxed);
   snapshot.acquires = acquires_.load(std::memory_order_relaxed);
+  snapshot.demotions = demotions_.load(std::memory_order_relaxed);
+  snapshot.quarantined = quarantined_.load(std::memory_order_relaxed);
   return snapshot;
 }
+
+namespace {
+
+/// Temporary names our own crash-safe save produces ("<snap>.tmp" /
+/// "registry.manifest.tmp") — swept after commit, skipped by the loader.
+bool is_registry_temp_file(std::string name) {
+  constexpr std::string_view kSuffix = ".tmp";
+  if (name.size() <= kSuffix.size() || !name.ends_with(kSuffix)) return false;
+  name.resize(name.size() - kSuffix.size());
+  std::size_t qubit = 0;
+  std::uint64_t version = 0;
+  return name == kManifestName ||
+         data::parse_versioned_snapshot_filename(name, qubit, version);
+}
+
+}  // namespace
 
 void model_registry::save_directory(const std::string& directory) const {
   namespace fs = std::filesystem;
   fs::create_directories(directory);
-  // Drop every snapshot file a previous save left behind: versions retired
-  // since then must not resurrect on the next load (retention would be
-  // silently violated). The retained set is rewritten below; foreign files
-  // never match the filename pattern and are left alone.
-  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
-    std::size_t qubit = 0;
-    std::uint64_t version = 0;
-    if (entry.is_regular_file() &&
-        data::parse_versioned_snapshot_filename(
-            entry.path().filename().string(), qubit, version)) {
-      fs::remove(entry.path());
-    }
-  }
-  std::ofstream manifest(directory + "/" + kManifestName);
-  if (!manifest) {
-    throw io_error("model_registry: cannot write manifest in " + directory);
-  }
-  manifest << "klinq-registry " << kManifestFormat << "\n"
-           << "qubits " << slots_.size() << "\n"
-           << "keep " << config_.keep_versions << "\n";
+
+  // Crash-safe save: every file is serialized to memory, written to a
+  // ".tmp" sibling, fsynced and atomically renamed into place. Snapshots go
+  // first; the manifest rename is the commit point. Files the previous save
+  // wrote stay untouched until the new manifest is durable, so a crash (or
+  // an injected fault) at any instant leaves the directory loadable —
+  // either the previous save's state or the new one, never a torn mix.
+  // Stray ".tmp" files from an interrupted save are ignored by the loader
+  // and swept on the next successful save.
+  std::ostringstream manifest_text;
+  manifest_text << "klinq-registry " << kManifestFormat << "\n"
+                << "qubits " << slots_.size() << "\n"
+                << "keep " << config_.keep_versions << "\n";
+  std::set<std::string> retained;
   for (std::size_t q = 0; q < slots_.size(); ++q) {
     const qubit_slot& slot = *slots_[q];
     const std::lock_guard lock(slot.mutex);
     const snapshot_ptr active = atomic_active_load(slot.active);
-    manifest << "qubit " << q << " next " << slot.next_version << " active "
-             << (active != nullptr ? active->info().version : 0) << " pinned "
-             << (slot.pinned ? 1 : 0) << "\n";
+    manifest_text << "qubit " << q << " next " << slot.next_version
+                  << " active "
+                  << (active != nullptr ? active->info().version : 0)
+                  << " pinned " << (slot.pinned ? 1 : 0) << "\n";
     for (const auto& [version, snapshot] : slot.versions) {
-      const std::string path =
-          directory + "/" + data::versioned_snapshot_filename(q, version);
-      std::ofstream out(path, std::ios::binary);
-      if (!out) throw io_error("model_registry: cannot write " + path);
-      snapshot->save(out);
+      const std::string name = data::versioned_snapshot_filename(q, version);
+      const std::string path = directory + "/" + name;
+      std::ostringstream serialized;
+      snapshot->save(serialized);
+      std::string bytes = serialized.str();
+      fault::trigger("registry.save.snapshot");
+      fault::corrupt("registry.save.snapshot", bytes.data(), bytes.size());
+      data::write_file_durable(path + ".tmp", bytes);
+      fault::trigger("registry.save.rename");  // "crash" before the rename
+      data::replace_file(path + ".tmp", path);
+      retained.insert(name);
     }
   }
-  if (!manifest) {
-    throw io_error("model_registry: manifest write failed in " + directory);
+  std::string manifest_bytes = manifest_text.str();
+  fault::trigger("registry.save.manifest");
+  fault::corrupt("registry.save.manifest", manifest_bytes.data(),
+                 manifest_bytes.size());
+  const std::string manifest_path = directory + "/" + kManifestName;
+  data::write_file_durable(manifest_path + ".tmp", manifest_bytes);
+  fault::trigger("registry.save.rename");  // "crash" before the commit point
+  data::replace_file(manifest_path + ".tmp", manifest_path);
+
+  // Committed. Now retire snapshot files the new manifest no longer
+  // references (versions retired since the previous save must not
+  // resurrect on the next load) plus temporaries left by an interrupted
+  // save. Best effort: a leftover only wastes disk, the loader skips it.
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    std::size_t qubit = 0;
+    std::uint64_t version = 0;
+    const bool retired_snapshot =
+        data::parse_versioned_snapshot_filename(name, qubit, version) &&
+        retained.count(name) == 0;
+    if (retired_snapshot || is_registry_temp_file(name)) {
+      std::error_code ec;
+      fs::remove(entry.path(), ec);
+    }
   }
 }
 
@@ -269,40 +372,63 @@ std::unique_ptr<model_registry> model_registry::load_directory(
   auto registry = std::make_unique<model_registry>(qubit_count, config);
 
   // Snapshot files first (the manifest's active version must resolve).
+  // A snapshot that cannot be read, deserialized or hash-verified — a
+  // crash-truncated write, bit rot, an injected corruption — is quarantined
+  // (renamed to "*.bad") instead of failing the open: losing one version
+  // must not take down every model in the store.
+  std::uint64_t quarantined = 0;
   for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
     if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
     std::size_t qubit = 0;
     std::uint64_t version = 0;
-    if (!data::parse_versioned_snapshot_filename(
-            entry.path().filename().string(), qubit, version)) {
-      continue;  // foreign file; not ours to judge
+    if (!data::parse_versioned_snapshot_filename(name, qubit, version)) {
+      continue;  // foreign file (or a stray .tmp); not ours to judge
     }
-    if (qubit >= qubit_count) {
-      throw io_error("model_registry: snapshot file for unknown qubit: " +
-                     entry.path().string());
+    try {
+      if (qubit >= qubit_count) {
+        throw io_error("snapshot file for unknown qubit");
+      }
+      std::ifstream in(entry.path(), std::ios::binary);
+      if (!in) throw io_error("cannot read snapshot file");
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      fault::trigger("registry.load.snapshot");
+      fault::corrupt("registry.load.snapshot", bytes.data(), bytes.size());
+      std::istringstream stream(std::move(bytes));
+      model_snapshot snapshot = model_snapshot::load(stream);
+      if (snapshot.info().version != version) {
+        throw io_error("snapshot version does not match its filename");
+      }
+      qubit_slot& slot = *registry->slots_[qubit];
+      const std::lock_guard lock(slot.mutex);
+      slot.versions.emplace_back(
+          version,
+          std::make_shared<const model_snapshot>(std::move(snapshot)));
+    } catch (const std::exception& failure) {
+      std::error_code ec;
+      fs::rename(entry.path(), fs::path(entry.path().string() + ".bad"), ec);
+      log_warn("model_registry: quarantined ", entry.path().string(),
+               ec ? " (rename failed, file left in place)" : " -> *.bad",
+               ": ", failure.what());
+      ++quarantined;
     }
-    std::ifstream in(entry.path(), std::ios::binary);
-    if (!in) {
-      throw io_error("model_registry: cannot read " + entry.path().string());
-    }
-    model_snapshot snapshot = model_snapshot::load(in);
-    if (snapshot.info().version != version) {
-      throw io_error(
-          "model_registry: snapshot version does not match its filename: " +
-          entry.path().string());
-    }
-    qubit_slot& slot = *registry->slots_[qubit];
-    const std::lock_guard lock(slot.mutex);
-    slot.versions.emplace_back(
-        version, std::make_shared<const model_snapshot>(std::move(snapshot)));
   }
+  registry->quarantined_.store(quarantined, std::memory_order_relaxed);
 
-  // Manifest per-qubit state: restore ordering, counters, active and pin.
-  // Exactly one row per qubit is required — a truncated manifest (crash or
-  // disk-full during a previous save) must be rejected, not loaded as a
-  // registry whose tail qubits silently lost their state.
+  // Manifest per-qubit rows: restore counters, active and pin. Rows are
+  // parsed line by line and tolerantly — a corrupt or missing row (torn
+  // write, truncation) costs that row's metadata, not the whole store: the
+  // affected qubits fall back to their newest verifiable snapshot below.
   std::vector<bool> seen(qubit_count, false);
-  for (std::size_t row = 0; row < qubit_count; ++row) {
+  std::vector<std::uint64_t> row_next(qubit_count, 0);
+  std::vector<std::uint64_t> row_active(qubit_count, 0);
+  std::vector<bool> row_pinned(qubit_count, false);
+  manifest.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
     std::size_t qubit = 0;
     std::uint64_t next = 0;
     std::uint64_t active = 0;
@@ -310,36 +436,59 @@ std::unique_ptr<model_registry> model_registry::load_directory(
     std::string next_tag;
     std::string active_tag;
     std::string pinned_tag;
-    if (!(manifest >> tag >> qubit >> next_tag >> next >> active_tag >>
-          active >> pinned_tag >> pinned) ||
-        tag != "qubit" || next_tag != "next" || active_tag != "active" ||
-        pinned_tag != "pinned" || qubit >= qubit_count || seen[qubit]) {
-      throw io_error("model_registry: bad or truncated manifest row in " +
-                     directory);
+    std::string trailing;
+    if (!(row >> tag >> qubit >> next_tag >> next >> active_tag >> active >>
+          pinned_tag >> pinned) ||
+        row >> trailing || tag != "qubit" || next_tag != "next" ||
+        active_tag != "active" || pinned_tag != "pinned" ||
+        qubit >= qubit_count || seen[qubit]) {
+      log_warn("model_registry: ignoring bad manifest row in ", directory,
+               ": '", line, "'");
+      continue;
     }
     seen[qubit] = true;
-    qubit_slot& slot = *registry->slots_[qubit];
+    row_next[qubit] = next;
+    row_active[qubit] = active;
+    row_pinned[qubit] = pinned != 0;
+  }
+
+  for (std::size_t q = 0; q < qubit_count; ++q) {
+    qubit_slot& slot = *registry->slots_[q];
     const std::lock_guard lock(slot.mutex);
     std::sort(slot.versions.begin(), slot.versions.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    std::uint64_t max_version = 0;
-    for (const auto& [version, snapshot] : slot.versions) {
-      max_version = std::max(max_version, version);
+    const std::uint64_t max_version =
+        slot.versions.empty() ? 0 : slot.versions.back().first;
+    slot.next_version = std::max(row_next[q], max_version + 1);
+    slot.pinned = seen[q] && row_pinned[q];
+    std::uint64_t desired = seen[q] ? row_active[q] : max_version;
+    if (!seen[q] && !slot.versions.empty()) {
+      log_warn("model_registry: qubit ", q,
+               " has no usable manifest row; activating newest verifiable "
+               "version v",
+               max_version);
     }
-    slot.next_version = std::max(next, max_version + 1);
-    slot.pinned = pinned != 0;
-    if (active != 0) {
-      const auto it = std::find_if(
-          slot.versions.begin(), slot.versions.end(),
-          [active](const auto& entry) { return entry.first == active; });
-      if (it == slot.versions.end()) {
-        throw io_error(
-            "model_registry: manifest's active version has no snapshot "
-            "file in " +
-            directory);
+    if (desired == 0) continue;  // deliberately inactive (or nothing loaded)
+    auto it = std::find_if(
+        slot.versions.begin(), slot.versions.end(),
+        [desired](const auto& entry) { return entry.first == desired; });
+    if (it == slot.versions.end()) {
+      // The recorded active version did not survive verification. Fall back
+      // to the newest version that did; a qubit with nothing verifiable is
+      // left unpublished (acquire() throws until something is published),
+      // but the registry still opens.
+      if (slot.versions.empty()) {
+        log_warn("model_registry: qubit ", q, " active v", desired,
+                 " unverifiable and no fallback version survives; qubit "
+                 "left unpublished");
+        continue;
       }
-      atomic_active_store(slot.active, it->second);
+      it = std::prev(slot.versions.end());
+      log_warn("model_registry: qubit ", q, " active v", desired,
+               " unverifiable; falling back to newest verifiable v",
+               it->first);
     }
+    atomic_active_store(slot.active, it->second);
   }
   return registry;
 }

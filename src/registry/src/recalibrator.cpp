@@ -1,13 +1,41 @@
 #include "klinq/registry/recalibrator.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 #include <vector>
 
 #include "klinq/common/error.hpp"
 #include "klinq/common/log.hpp"
+#include "klinq/fault/fault.hpp"
 
 namespace klinq::registry {
+
+namespace {
+
+/// splitmix64 finalizer — deterministic backoff jitter without touching any
+/// global RNG state (the retrain pipeline itself must stay reproducible).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Backoff before retry `attempt` (1-based) for `qubit`: base doubled per
+/// attempt, jittered into [0.5, 1.5)× deterministically per (qubit,
+/// attempt) so correlated fleet-wide failures decorrelate on retry.
+double backoff_seconds(const recalibration_config& config, std::size_t qubit,
+                       std::size_t attempt) {
+  const double base = config.retry_backoff_seconds *
+                      std::ldexp(1.0, static_cast<int>(attempt - 1));
+  const std::uint64_t bits = mix64((static_cast<std::uint64_t>(qubit) << 16) ^
+                                   static_cast<std::uint64_t>(attempt));
+  const double jitter = 0.5 + static_cast<double>(bits % 1024) / 1024.0;
+  return base * jitter;
+}
+
+}  // namespace
 
 recalibrator::recalibrator(model_registry& registry, drift_monitor& monitor,
                            calibration_source source,
@@ -22,6 +50,16 @@ recalibrator::recalibrator(model_registry& registry, drift_monitor& monitor,
                 "recalibrator: registry/monitor qubit count mismatch");
   KLINQ_REQUIRE(config_.poll_interval_seconds > 0.0,
                 "recalibrator: poll interval must be positive");
+  KLINQ_REQUIRE(std::isfinite(config_.retry_backoff_seconds) &&
+                    config_.retry_backoff_seconds >= 0.0,
+                "recalibrator: retry backoff must be finite and non-negative");
+  KLINQ_REQUIRE(std::isfinite(config_.publish_regression_tolerance) &&
+                    config_.publish_regression_tolerance >= 0.0,
+                "recalibrator: regression tolerance must be finite and "
+                "non-negative");
+  KLINQ_REQUIRE(std::isfinite(config_.watchdog_seconds) &&
+                    config_.watchdog_seconds >= 0.0,
+                "recalibrator: watchdog must be finite and non-negative");
 }
 
 recalibrator::~recalibrator() { stop(); }
@@ -38,13 +76,35 @@ void recalibrator::stop() {
   std::thread worker;
   {
     const std::lock_guard lock(mutex_);
-    if (!thread_.joinable()) return;
-    stop_requested_ = true;
-    worker = std::move(thread_);
+    if (thread_.joinable()) {
+      stop_requested_ = true;
+      worker = std::move(thread_);
+    }
   }
-  wake_.notify_all();
-  worker.join();
-  running_.store(false, std::memory_order_release);
+  if (worker.joinable()) {
+    wake_.notify_all();
+    worker.join();
+    running_.store(false, std::memory_order_release);
+  }
+  // Drain watchdog-detached attempts: they borrow the registry/monitor/
+  // source, so they must finish before our caller releases those borrows.
+  // Blocking here is the price of having let them overrun — the watchdog
+  // bounds the scan loop's latency, not the attempt's lifetime.
+  std::vector<detached_attempt> detached;
+  {
+    const std::lock_guard lock(mutex_);
+    detached.swap(detached_);
+  }
+  for (detached_attempt& attempt : detached) {
+    try {
+      attempt.task.get();
+      log_info("hung recalibration of qubit ", attempt.qubit,
+               " completed during stop()");
+    } catch (const std::exception& e) {
+      log_warn("hung recalibration of qubit ", attempt.qubit,
+               " failed during stop(): ", e.what());
+    }
+  }
 }
 
 bool recalibrator::running() const noexcept {
@@ -53,6 +113,7 @@ bool recalibrator::running() const noexcept {
 
 std::uint64_t recalibrator::recalibrate(std::size_t qubit) {
   try {
+    fault::trigger("recal.retrain");
     const data::trace_dataset calibration = source_(qubit);
     KLINQ_REQUIRE(calibration.size() > 1,
                   "recalibrator: empty calibration dataset");
@@ -67,11 +128,31 @@ std::uint64_t recalibrator::recalibrate(std::size_t qubit) {
     kd::student_model student =
         kd::distill_student(calibration, {}, student_config);
 
+    fault::trigger("recal.publish");
+    const double candidate_accuracy = student.accuracy(calibration);
+    if (previous != nullptr) {
+      // Publish gate: both models score the same fresh calibration shots —
+      // the only apples-to-apples comparison available. A candidate that
+      // regresses past the tolerance never reaches the registry; the
+      // serving model stays up and the rejection is visible in stats().
+      const double serving_accuracy = previous->student().accuracy(calibration);
+      if (candidate_accuracy + config_.publish_regression_tolerance <
+          serving_accuracy) {
+        publish_rejections_.fetch_add(1, std::memory_order_relaxed);
+        throw recalibration_rejected(
+            "recalibrator: qubit " + std::to_string(qubit) +
+            " candidate accuracy " + std::to_string(candidate_accuracy) +
+            " regresses past serving accuracy " +
+            std::to_string(serving_accuracy) + " (tolerance " +
+            std::to_string(config_.publish_regression_tolerance) + ")");
+      }
+    }
+
     calibration_info info;
     info.source = "recalibration";
     info.created_unix_seconds = unix_now();
     info.calibration_shots = calibration.size();
-    info.train_accuracy = student.accuracy(calibration);
+    info.train_accuracy = candidate_accuracy;
 
     const std::uint64_t version =
         registry_.publish(qubit, model_snapshot(std::move(student), info));
@@ -95,9 +176,63 @@ std::uint64_t recalibrator::recalibrate(std::size_t qubit) {
              " (accuracy ", info.train_accuracy, " on ",
              info.calibration_shots, " shots)");
     return version;
+  } catch (const recalibration_rejected&) {
+    // Gate rejections are counted by publish_rejections_, not failures_ —
+    // the pipeline worked; the candidate just was not better.
+    throw;
   } catch (...) {
     failures_.fetch_add(1, std::memory_order_relaxed);
     throw;
+  }
+}
+
+recalibrator::attempt_outcome recalibrator::run_attempt(std::size_t qubit) {
+  try {
+    if (config_.watchdog_seconds <= 0.0) {
+      recalibrate(qubit);
+      return attempt_outcome::ok;
+    }
+    auto task = std::async(std::launch::async,
+                           [this, qubit] { return recalibrate(qubit); });
+    if (task.wait_for(std::chrono::duration<double>(
+            config_.watchdog_seconds)) != std::future_status::ready) {
+      // Hung: detach the attempt from the scan loop so one stuck retrain
+      // (a blocking calibration_source, say) cannot stall the fleet. The
+      // thread keeps running; its qubit is skipped until it finishes and
+      // stop() drains whatever is still outstanding.
+      hung_retrains_.fetch_add(1, std::memory_order_relaxed);
+      log_error("recalibration of qubit ", qubit, " exceeded watchdog of ",
+                config_.watchdog_seconds, "s; detaching the attempt");
+      const std::lock_guard lock(mutex_);
+      detached_.push_back({std::move(task), qubit});
+      return attempt_outcome::hung;
+    }
+    task.get();
+    return attempt_outcome::ok;
+  } catch (const recalibration_rejected& e) {
+    log_warn("recalibration of qubit ", qubit,
+             " rejected by publish gate: ", e.what());
+    return attempt_outcome::rejected;
+  } catch (const std::exception& e) {
+    // Counted by recalibrate(); keep scanning — one qubit's bad calibration
+    // data (or a throwing user calibration_source) must not stall the
+    // fleet, and nothing may escape the worker thread.
+    log_warn("recalibration of qubit ", qubit, " failed: ", e.what());
+    return attempt_outcome::failed;
+  }
+}
+
+bool recalibrator::service_qubit(std::size_t qubit) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (run_attempt(qubit) != attempt_outcome::failed) return true;
+    if (attempt >= config_.max_retries) return true;  // give up this scan
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    const auto backoff = std::chrono::duration<double>(
+        backoff_seconds(config_, qubit, attempt + 1));
+    std::unique_lock lock(mutex_);
+    if (wake_.wait_for(lock, backoff, [this] { return stop_requested_; })) {
+      return false;  // stop request interrupted the backoff
+    }
   }
 }
 
@@ -109,20 +244,45 @@ void recalibrator::worker_loop() {
     if (wake_.wait_for(lock, interval, [this] { return stop_requested_; })) {
       break;
     }
+    reap_detached_locked();
     lock.unlock();
     scans_.fetch_add(1, std::memory_order_relaxed);
     for (const std::size_t qubit : monitor_.drifted_qubits()) {
-      try {
-        recalibrate(qubit);
-      } catch (const std::exception& e) {
-        // Counted by recalibrate(); keep scanning — one qubit's bad
-        // calibration data (or a throwing user calibration_source) must
-        // not stall the fleet, and nothing may escape this thread.
-        log_warn("recalibration of qubit ", qubit, " failed: ", e.what());
+      {
+        const std::lock_guard busy_lock(mutex_);
+        if (stop_requested_) return;
+        if (qubit_detached_locked(qubit)) continue;  // still hung from before
       }
+      if (!service_qubit(qubit)) return;
     }
     lock.lock();
   }
+}
+
+void recalibrator::reap_detached_locked() {
+  for (auto it = detached_.begin(); it != detached_.end();) {
+    if (it->task.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++it;
+      continue;
+    }
+    try {
+      it->task.get();
+      log_info("hung recalibration of qubit ", it->qubit,
+               " eventually completed");
+    } catch (const std::exception& e) {
+      log_warn("hung recalibration of qubit ", it->qubit,
+               " eventually failed: ", e.what());
+    }
+    it = detached_.erase(it);
+  }
+}
+
+bool recalibrator::qubit_detached_locked(std::size_t qubit) const {
+  for (const detached_attempt& attempt : detached_) {
+    if (attempt.qubit == qubit) return true;
+  }
+  return false;
 }
 
 recalibration_stats recalibrator::stats() const {
@@ -130,6 +290,10 @@ recalibration_stats recalibrator::stats() const {
   snapshot.scans = scans_.load(std::memory_order_relaxed);
   snapshot.recalibrations = recalibrations_.load(std::memory_order_relaxed);
   snapshot.failures = failures_.load(std::memory_order_relaxed);
+  snapshot.retries = retries_.load(std::memory_order_relaxed);
+  snapshot.publish_rejections =
+      publish_rejections_.load(std::memory_order_relaxed);
+  snapshot.hung_retrains = hung_retrains_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

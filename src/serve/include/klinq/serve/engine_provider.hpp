@@ -49,6 +49,20 @@ class engine_provider {
   /// the leased pointers outlive the lease (via `hold`), even if a newer
   /// version is published immediately after this returns.
   virtual engine_lease acquire(std::size_t qubit) const = 0;
+
+  /// Health feedback from the serving layer: the server observed
+  /// server_config::failure_threshold consecutive shard failures on
+  /// `version` of `qubit` and asks the provider to switch to a safer
+  /// version. Returns true when the served version changed (the registry
+  /// implementation rolls back to the newest older retained version and
+  /// marks the qubit degraded; a version that is no longer active is left
+  /// alone). Thread-safe; must not throw — this runs on the shard-failure
+  /// path, which must always reach completion accounting.
+  virtual bool demote(std::size_t qubit, std::uint64_t version) const noexcept {
+    (void)qubit;
+    (void)version;
+    return false;  // a static binding has nowhere to fall back to
+  }
 };
 
 /// Construction-time engine binding (the pre-registry behavior): every lease

@@ -47,6 +47,19 @@
 // shard's row range (decisions + engine-native logits) from the worker
 // thread that produced it, before the whole request drains — see
 // shard_event in request.hpp for the aliasing/threading contract.
+//
+// Failure model: a request always resolves — as ok, timed_out (its deadline
+// expired before every shard ran; late answers are worthless to feedback
+// loops, so unstarted shards are skipped rather than computed), cancelled
+// (cancel(ticket) landed in flight), or failed (a shard threw; wait()
+// rethrows). Skipped and failed shards still run completion accounting, so
+// wait() never blocks forever, arenas return to the pool, and coalesced
+// batches drain. Persistent failures self-heal: failure_threshold
+// consecutive shard failures on one qubit ask the engine provider to demote
+// the serving version (the registry rolls back to last-known-good). The
+// fault points compiled into this path (klinq/fault/fault.hpp:
+// "serve.submit.lease", "serve.shard.run") let tests and the --chaos demo
+// inject all of it deterministically.
 #pragma once
 
 #include <cstddef>
@@ -82,6 +95,17 @@ struct server_config {
   /// a request finishes (see shard_callback's contract in request.hpp).
   /// Empty disables the per-shard notifications.
   shard_callback on_shard;
+  /// Deadline applied to requests that do not carry their own
+  /// readout_request::deadline_seconds; 0 = no default deadline. Must be
+  /// finite and non-negative.
+  double default_deadline_seconds = 0.0;
+  /// Consecutive shard failures on one qubit before the server asks the
+  /// engine provider to demote the serving version (the registry rolls back
+  /// to last-known-good and marks the qubit degraded; a static binding
+  /// ignores the request). The counter resets on any successful shard and
+  /// after each demotion attempt. Must be positive — effectively disable
+  /// the policy with a large value, not 0.
+  std::size_t failure_threshold = 8;
 
   /// Largest accepted shard_shots / coalesce_shots value; anything above is
   /// a config bug, not a workload.
@@ -110,8 +134,9 @@ class readout_server {
   explicit readout_server(const engine_provider& provider,
                           server_config config = {});
 
-  /// Blocks until every enqueued shard has finished (unconsumed results are
-  /// discarded).
+  /// Blocks until every enqueued shard has finished. Unconsumed results are
+  /// discarded — but not silently: every dropped non-ok result is logged
+  /// (its counters were already recorded at completion time).
   ~readout_server();
 
   readout_server(const readout_server&) = delete;
@@ -132,11 +157,21 @@ class readout_server {
   bool poll(ticket t) const;
 
   /// Blocks until complete and returns the result, consuming the ticket.
+  /// The result's `status` reports how it resolved (ok / timed_out /
+  /// cancelled); a failed request rethrows its first shard error instead.
   readout_result wait(ticket t);
 
   /// Zero-allocation variant: swaps the completed buffers into `out`
   /// (out's previous buffers are recycled into the slot pool).
   void wait(ticket t, readout_result& out);
+
+  /// Requests cancellation of an in-flight ticket: shards that have not
+  /// started are skipped (running shards finish — cancellation is
+  /// shard-granular) and the ticket resolves with
+  /// request_status::cancelled. Returns false when the request had already
+  /// completed (its result stays claimable as-is); throws for an unknown or
+  /// consumed ticket. The ticket must still be consumed by wait().
+  bool cancel(ticket t);
 
   /// Blocks until every currently submitted request has completed (results
   /// stay claimable by ticket).
@@ -156,6 +191,15 @@ class readout_server {
     bool done = false;                 // guarded by mutex_
     std::exception_ptr error;          // first shard failure; rethrown by wait
     stopwatch timer;
+    /// Effective deadline (seconds from submit; 0 = none). Immutable after
+    /// submit, so shard executors read it without the mutex.
+    double deadline_seconds = 0.0;
+    /// Set by cancel() under mutex_ (so it cannot race the done flag), read
+    /// lock-free by shard executors deciding whether to skip.
+    std::atomic<bool> cancelled{false};
+    /// A shard was skipped because the deadline had expired (guarded by
+    /// mutex_).
+    bool deadline_expired = false;
     /// The request's pinned model view: set at submit, read (lock-free) by
     /// every shard executor, released when the last shard completes.
     engine_lease lease;
@@ -228,6 +272,14 @@ class readout_server {
   std::uint64_t coalesced_batches_ = 0;
   std::uint64_t shard_events_ = 0;
   std::uint64_t version_switches_ = 0;
+  std::uint64_t failed_requests_ = 0;
+  std::uint64_t timed_out_requests_ = 0;
+  std::uint64_t cancelled_requests_ = 0;
+  std::uint64_t shard_failures_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  /// Consecutive shard failures per qubit (guarded by mutex_); reaching
+  /// config_.failure_threshold triggers a provider demote and resets.
+  std::vector<std::size_t> consecutive_failures_;
   /// Last acquired version per qubit (guarded by mutex_); the sentinel marks
   /// "no request yet" so the first acquisition is not counted as a switch.
   std::vector<std::uint64_t> last_version_;

@@ -32,6 +32,25 @@ enum class engine_kind : std::uint8_t {
 
 const char* engine_name(engine_kind engine) noexcept;
 
+/// How a request resolved. Every submitted ticket reaches exactly one of
+/// these — a server never leaves a ticket unresolvable.
+enum class request_status : std::uint8_t {
+  /// All shards computed; buffers are bit-identical to the serial path.
+  ok,
+  /// The request's deadline expired before every shard ran: unstarted
+  /// shards were skipped. Rows covered by shards that did complete (and
+  /// were streamed via on_shard) are valid; the rest are unspecified.
+  timed_out,
+  /// cancel(ticket) landed while the request was in flight; remaining
+  /// shards were skipped. Buffer contents are unspecified.
+  cancelled,
+  /// A shard (or the on_shard callback) threw; wait() rethrows the first
+  /// error after consuming the ticket.
+  failed,
+};
+
+const char* status_name(request_status status) noexcept;
+
 /// Non-owning handles to one qubit's deployed models. Either pointer may be
 /// null when that path is not served; submitting a request for a missing
 /// path throws. Both models must outlive the server.
@@ -47,6 +66,14 @@ struct readout_request {
   std::size_t qubit = 0;
   const data::trace_dataset* traces = nullptr;
   engine_kind engine = engine_kind::fixed_q16;
+  /// Soft deadline in seconds from submit; 0 inherits
+  /// server_config::default_deadline_seconds (0 there too = no deadline).
+  /// Shards that have not started when it expires are skipped and the
+  /// ticket resolves with request_status::timed_out instead of making a
+  /// late answer (worthless to a feedback-loop caller) block wait().
+  /// A shard already running is finished, not interrupted — expiry is
+  /// checked at shard start, so enforcement granularity is one shard.
+  double deadline_seconds = 0.0;
 };
 
 /// Completed measurement of one request. `states[r]` is the hard decision
@@ -65,6 +92,9 @@ struct readout_result {
   /// Every shot of a request runs on the same version, even if the registry
   /// published a replacement mid-flight (per-request version pinning).
   std::uint64_t model_version = 0;
+  /// How the request resolved; buffers are fully valid only for ok (see
+  /// request_status for the per-status guarantees).
+  request_status status = request_status::ok;
 };
 
 /// Opaque handle returned by submit(); consumed by wait().

@@ -59,6 +59,23 @@ struct server_stats {
   /// qubit's previous request saw — the observed registry churn rate.
   /// Always 0 with a static (construction-time) engine binding.
   std::uint64_t version_switches = 0;
+  /// Requests that resolved with request_status::failed (a shard or
+  /// on_shard callback threw). Counted at completion time, so drain() and
+  /// the destructor surface failures even when nobody wait()s the ticket.
+  std::uint64_t failed_requests = 0;
+  /// Requests that resolved with request_status::timed_out (deadline
+  /// expired before every shard ran).
+  std::uint64_t timed_out_requests = 0;
+  /// Requests that resolved with request_status::cancelled.
+  std::uint64_t cancelled_requests = 0;
+  /// Individual shard executions that threw (several may belong to one
+  /// failed request).
+  std::uint64_t shard_failures = 0;
+  /// Automatic version demotions this server triggered: failure_threshold
+  /// consecutive shard failures on a qubit asked the engine provider to
+  /// demote the failing version and the provider switched (the registry
+  /// rolls back to last-known-good).
+  std::uint64_t rollbacks = 0;
   /// Requests submitted but not yet consumed by wait().
   std::size_t inflight = 0;
   double uptime_seconds = 0.0;

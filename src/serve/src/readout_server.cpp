@@ -1,10 +1,13 @@
 #include "klinq/serve/readout_server.hpp"
 
+#include <cmath>
 #include <exception>
 #include <span>
 #include <utility>
 
 #include "klinq/common/error.hpp"
+#include "klinq/common/log.hpp"
+#include "klinq/fault/fault.hpp"
 
 namespace klinq::serve {
 
@@ -14,6 +17,20 @@ const char* engine_name(engine_kind engine) noexcept {
       return "fixed-q16.16";
     case engine_kind::float_student:
       return "float-student";
+  }
+  return "unknown";
+}
+
+const char* status_name(request_status status) noexcept {
+  switch (status) {
+    case request_status::ok:
+      return "ok";
+    case request_status::timed_out:
+      return "timed-out";
+    case request_status::cancelled:
+      return "cancelled";
+    case request_status::failed:
+      return "failed";
   }
   return "unknown";
 }
@@ -33,6 +50,14 @@ void server_config::validate() const {
   KLINQ_REQUIRE(coalesce_shots <= kMaxShardShots,
                 "server_config: coalesce_shots is implausibly large (wrapped "
                 "negative?)");
+  KLINQ_REQUIRE(
+      std::isfinite(default_deadline_seconds) &&
+          default_deadline_seconds >= 0.0,
+      "server_config: default_deadline_seconds must be finite and "
+      "non-negative");
+  KLINQ_REQUIRE(failure_threshold > 0,
+                "server_config: failure_threshold must be positive (disable "
+                "the demote policy with a large value, not 0)");
 }
 
 readout_server::readout_server(std::vector<qubit_engine> qubits,
@@ -50,6 +75,7 @@ readout_server::readout_server(std::vector<qubit_engine> qubits,
       provider_(owned_provider_.get()),
       config_(std::move(config)),
       scheduler_(global_thread_pool(), config_.shard_shots),
+      consecutive_failures_(provider_->qubit_count(), 0),
       last_version_(provider_->qubit_count(), kNoVersionYet) {
   config_.validate();
 }
@@ -59,6 +85,7 @@ readout_server::readout_server(const engine_provider& provider,
     : provider_(&provider),
       config_(std::move(config)),
       scheduler_(global_thread_pool(), config_.shard_shots),
+      consecutive_failures_(provider_->qubit_count(), 0),
       last_version_(provider_->qubit_count(), kNoVersionYet) {
   KLINQ_REQUIRE(provider_->qubit_count() > 0,
                 "readout_server: provider serves no qubits");
@@ -72,6 +99,15 @@ readout_server::~readout_server() {
   flush_pending();
   std::unique_lock lock(mutex_);
   completed_.wait(lock, [this] { return outstanding_shards_ == 0; });
+  // The drop is silent no longer: every unconsumed non-ok result is logged
+  // on its way out (counters were recorded at completion time, so stats()
+  // already reflected these even while unclaimed).
+  for (const auto& [id, s] : active_) {
+    if (s->result.status == request_status::ok) continue;
+    log_warn("readout_server: dropping unconsumed ",
+             status_name(s->result.status), " ticket ", id, " (qubit ",
+             s->result.qubit, ", ", s->shots, " shots)");
+  }
 }
 
 engine_lease readout_server::lease_for(const readout_request& request) const {
@@ -79,6 +115,11 @@ engine_lease readout_server::lease_for(const readout_request& request) const {
                 "readout_server: qubit index out of range");
   KLINQ_REQUIRE(request.traces != nullptr,
                 "readout_server: request has no trace block");
+  KLINQ_REQUIRE(
+      std::isfinite(request.deadline_seconds) &&
+          request.deadline_seconds >= 0.0,
+      "readout_server: request deadline must be finite and non-negative");
+  fault::trigger("serve.submit.lease");
   engine_lease lease = provider_->acquire(request.qubit);
   if (request.engine == engine_kind::fixed_q16) {
     KLINQ_REQUIRE(lease.engine.hardware != nullptr,
@@ -152,9 +193,15 @@ ticket readout_server::submit_locked(const readout_request& request,
       shots == 0 ? 0 : (coalesce ? 1 : scheduler_.shard_count(shots));
   s->done = false;
   s->error = nullptr;
+  s->deadline_seconds = request.deadline_seconds > 0.0
+                            ? request.deadline_seconds
+                            : config_.default_deadline_seconds;
+  s->cancelled.store(false, std::memory_order_relaxed);
+  s->deadline_expired = false;
   s->result.qubit = request.qubit;
   s->result.engine = request.engine;
   s->result.latency_seconds = 0.0;
+  s->result.status = request_status::ok;
   s->result.model_version = lease.version;
   if (last_version_[request.qubit] != kNoVersionYet &&
       last_version_[request.qubit] != lease.version) {
@@ -235,48 +282,102 @@ void readout_server::execute_range(slot* raw, const readout_request& request,
                                    shard_arena& arena) {
   std::exception_ptr error;
   bool event_fired = false;
-  try {
-    run_shard(*raw, request, begin, end, arena);
-    if (config_.on_shard) {
-      // Safe to read the slot's buffers without the mutex: this shard is not
-      // yet accounted, so the request cannot complete (and its ticket cannot
-      // be consumed) until the callback returns.
-      shard_event event;
-      event.request = ticket{raw->id};
-      event.qubit = request.qubit;
-      event.engine = request.engine;
-      event.model_version = raw->result.model_version;
-      event.row_begin = begin;
-      event.row_end = end;
-      const std::size_t count = end - begin;
-      event.states = std::span<const std::uint8_t>(raw->result.states)
-                         .subspan(begin, count);
-      if (request.engine == engine_kind::fixed_q16) {
-        event.registers = std::span<const fx::q16_16>(raw->result.registers)
-                              .subspan(begin, count);
-      } else {
-        event.logits =
-            std::span<const float>(raw->result.logits).subspan(begin, count);
+  // Expiry/cancellation are checked at shard start: a skipped shard costs
+  // nothing but still runs the completion accounting below, which is what
+  // guarantees an expired or cancelled ticket resolves instead of blocking
+  // wait() forever.
+  bool skipped_cancelled = raw->cancelled.load(std::memory_order_relaxed);
+  bool skipped_deadline =
+      !skipped_cancelled && raw->deadline_seconds > 0.0 &&
+      raw->timer.seconds() >= raw->deadline_seconds;
+  if (!skipped_cancelled && !skipped_deadline) {
+    try {
+      if (fault::trigger("serve.shard.run") == fault::action::drop) {
+        throw fault::injected_fault(
+            "injected fault at serve.shard.run: shard result dropped");
       }
-      config_.on_shard(event);
-      event_fired = true;
+      run_shard(*raw, request, begin, end, arena);
+      if (config_.on_shard) {
+        // Safe to read the slot's buffers without the mutex: this shard is
+        // not yet accounted, so the request cannot complete (and its ticket
+        // cannot be consumed) until the callback returns.
+        shard_event event;
+        event.request = ticket{raw->id};
+        event.qubit = request.qubit;
+        event.engine = request.engine;
+        event.model_version = raw->result.model_version;
+        event.row_begin = begin;
+        event.row_end = end;
+        const std::size_t count = end - begin;
+        event.states = std::span<const std::uint8_t>(raw->result.states)
+                           .subspan(begin, count);
+        if (request.engine == engine_kind::fixed_q16) {
+          event.registers = std::span<const fx::q16_16>(raw->result.registers)
+                                .subspan(begin, count);
+        } else {
+          event.logits =
+              std::span<const float>(raw->result.logits).subspan(begin, count);
+        }
+        config_.on_shard(event);
+        event_fired = true;
+      }
+    } catch (...) {
+      error = std::current_exception();
     }
-  } catch (...) {
-    error = std::current_exception();
   }
-  const std::lock_guard done_lock(mutex_);
-  if (error && !raw->error) raw->error = error;
-  if (event_fired) ++shard_events_;
-  --outstanding_shards_;
-  if (--raw->remaining_shards == 0) {
-    raw->done = true;
-    raw->lease = engine_lease{};  // last shard done: release the snapshot
-    raw->result.latency_seconds = raw->timer.seconds();
-    ++requests_completed_;
-    shots_completed_ += raw->shots;
-    latency_.record(raw->result.latency_seconds);
+  // The provider demote (below) takes the provider's own locks, so the
+  // decision is made under mutex_ but the call happens after it releases.
+  bool demote_now = false;
+  std::uint64_t failing_version = 0;
+  const std::size_t qubit = request.qubit;
+  {
+    const std::lock_guard done_lock(mutex_);
+    if (error && !raw->error) raw->error = error;
+    if (event_fired) ++shard_events_;
+    if (skipped_deadline) raw->deadline_expired = true;
+    if (error) {
+      ++shard_failures_;
+      if (++consecutive_failures_[qubit] >= config_.failure_threshold) {
+        // Reset before demoting so the next window needs a full threshold
+        // of fresh failures (whether or not the provider switches).
+        consecutive_failures_[qubit] = 0;
+        demote_now = true;
+        failing_version = raw->result.model_version;
+      }
+    } else if (!skipped_cancelled && !skipped_deadline) {
+      consecutive_failures_[qubit] = 0;
+    }
+    --outstanding_shards_;
+    if (--raw->remaining_shards == 0) {
+      raw->done = true;
+      raw->lease = engine_lease{};  // last shard done: release the snapshot
+      raw->result.latency_seconds = raw->timer.seconds();
+      // Resolution precedence: an explicit cancel outranks expiry, expiry
+      // outranks a shard error (the caller asked for the answer's absence).
+      if (raw->cancelled.load(std::memory_order_relaxed)) {
+        raw->result.status = request_status::cancelled;
+        ++cancelled_requests_;
+      } else if (raw->deadline_expired) {
+        raw->result.status = request_status::timed_out;
+        ++timed_out_requests_;
+      } else if (raw->error) {
+        raw->result.status = request_status::failed;
+        ++failed_requests_;
+      } else {
+        raw->result.status = request_status::ok;
+      }
+      ++requests_completed_;
+      shots_completed_ += raw->shots;
+      latency_.record(raw->result.latency_seconds);
+    }
+    if (raw->done || outstanding_shards_ == 0) completed_.notify_all();
   }
-  if (raw->done || outstanding_shards_ == 0) completed_.notify_all();
+  // After notify the slot may already be consumed — only local state from
+  // here on.
+  if (demote_now && provider_->demote(qubit, failing_version)) {
+    const std::lock_guard lock(mutex_);
+    ++rollbacks_;
+  }
 }
 
 void readout_server::dispatch_batch(pending_batch batch) {
@@ -364,6 +465,26 @@ void readout_server::run_shard(slot& s, const readout_request& request,
   }
 }
 
+bool readout_server::cancel(ticket t) {
+  {
+    const std::lock_guard lock(mutex_);
+    const auto it = active_.find(t.id);
+    KLINQ_REQUIRE(it != active_.end(),
+                  "readout_server: unknown or already-consumed ticket");
+    slot* raw = it->second.get();
+    if (raw->done) return false;  // too late; the result stays claimable
+    // Under mutex_ so the flag cannot race the done transition: if the last
+    // shard has not completed yet, it (or a later skipped shard) will
+    // observe the flag and the request resolves as cancelled.
+    raw->cancelled.store(true, std::memory_order_relaxed);
+  }
+  // The ticket may be parked in a coalescing batch nothing else would flush
+  // (a cancelling producer typically stops submitting): dispatch that batch
+  // so the skip executes and the ticket resolves promptly.
+  flush_pending_for(t);
+  return true;
+}
+
 bool readout_server::poll(ticket t) const {
   const std::lock_guard lock(mutex_);
   const auto it = active_.find(t.id);
@@ -406,7 +527,11 @@ void readout_server::wait(ticket t, readout_result& out) {
   active_.erase(it);
   capacity_.notify_one();
 
-  const std::exception_ptr error = s->error;
+  // A failed request rethrows its first shard error; a timed-out or
+  // cancelled one resolves through the status field instead (any shard
+  // error it also collected is subsumed by the caller's own verdict).
+  const std::exception_ptr error =
+      s->result.status == request_status::failed ? s->error : nullptr;
   s->error = nullptr;
   recycle_locked(std::move(s), error ? nullptr : &out);
   if (error) {
@@ -423,6 +548,7 @@ void readout_server::recycle_locked(std::unique_ptr<slot> s,
     swap_with->engine = s->result.engine;
     swap_with->latency_seconds = s->result.latency_seconds;
     swap_with->model_version = s->result.model_version;
+    swap_with->status = s->result.status;
     // Swapping (not moving) hands the caller's old buffers to the recycled
     // slot, so a submit/wait loop reusing one readout_result settles into
     // zero allocations.
@@ -450,6 +576,11 @@ server_stats readout_server::stats() const {
   snapshot.coalesced_batches = coalesced_batches_;
   snapshot.shard_events = shard_events_;
   snapshot.version_switches = version_switches_;
+  snapshot.failed_requests = failed_requests_;
+  snapshot.timed_out_requests = timed_out_requests_;
+  snapshot.cancelled_requests = cancelled_requests_;
+  snapshot.shard_failures = shard_failures_;
+  snapshot.rollbacks = rollbacks_;
   snapshot.inflight = active_.size();
   snapshot.uptime_seconds = uptime_.seconds();
   snapshot.shots_per_second =

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -800,6 +801,110 @@ TEST(Telemetry, HistogramHandlesExtremes) {
   EXPECT_EQ(histogram.count(), 3u);
   EXPECT_GT(histogram.quantile(1.0), 10.0);   // max lands in overflow
   EXPECT_LE(histogram.quantile(0.0), serve::latency_histogram::kMinSeconds);
+}
+
+// --- failure model: config, deadlines, cancellation ------------------------
+
+TEST(ServeFailure, ConfigRejectsNegativeDeadlineDefault) {
+  auto& f = fixture();
+  EXPECT_THROW(
+      serve::readout_server(f.engines(), {.default_deadline_seconds = -0.5}),
+      invalid_argument_error);
+}
+
+TEST(ServeFailure, ConfigRejectsNonFiniteDeadlineDefault) {
+  auto& f = fixture();
+  EXPECT_THROW(
+      serve::readout_server(
+          f.engines(),
+          {.default_deadline_seconds =
+               std::numeric_limits<double>::infinity()}),
+      invalid_argument_error);
+  EXPECT_THROW(
+      serve::readout_server(
+          f.engines(),
+          {.default_deadline_seconds =
+               std::numeric_limits<double>::quiet_NaN()}),
+      invalid_argument_error);
+}
+
+TEST(ServeFailure, ConfigRejectsZeroFailureThreshold) {
+  auto& f = fixture();
+  // 0 would demote on every single failure; disabling the policy is spelled
+  // "large threshold", so 0 can only be a config bug.
+  EXPECT_THROW(serve::readout_server(f.engines(), {.failure_threshold = 0}),
+               invalid_argument_error);
+}
+
+TEST(ServeFailure, RejectsBadRequestDeadline) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  serve::readout_request request{0, &f.data[0].test,
+                                 serve::engine_kind::fixed_q16};
+  request.deadline_seconds = -1.0;
+  EXPECT_THROW(server.submit(request), invalid_argument_error);
+  request.deadline_seconds = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(server.submit(request), invalid_argument_error);
+}
+
+TEST(ServeFailure, ExpiredDeadlineResolvesTimedOut) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines(), {.shard_shots = 64});
+  // A deadline this tight has always expired by the time any shard starts
+  // (expiry is checked against the submit-time stopwatch), so every shard
+  // is skipped and the ticket must still resolve — as timed_out, not by
+  // blocking wait() forever.
+  serve::readout_request request{0, &f.data[0].test,
+                                 serve::engine_kind::fixed_q16};
+  request.deadline_seconds = 1e-12;
+  const serve::ticket t = server.submit(request);
+  const serve::readout_result result = server.wait(t);  // must not throw
+  EXPECT_EQ(result.status, serve::request_status::timed_out);
+  const serve::server_stats stats = server.stats();
+  EXPECT_EQ(stats.timed_out_requests, 1u);
+  EXPECT_EQ(stats.requests_completed, 1u);
+  EXPECT_EQ(stats.failed_requests, 0u);
+}
+
+TEST(ServeFailure, DefaultDeadlineAppliesToPlainRequests) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines(),
+                               {.default_deadline_seconds = 1e-12});
+  const serve::ticket t =
+      server.submit({0, &f.data[0].test, serve::engine_kind::fixed_q16});
+  EXPECT_EQ(server.wait(t).status, serve::request_status::timed_out);
+}
+
+TEST(ServeFailure, CancelParkedRequestResolvesCancelled) {
+  auto& f = fixture();
+  // A parked coalesced request is deterministically in flight: nothing
+  // dispatches it until cancel() flushes its batch, so the cancel flag is
+  // guaranteed to be seen before its range runs.
+  serve::readout_server server(
+      f.engines(), {.shard_shots = 256, .coalesce_shots = 64});
+  const auto blocks = split_blocks(f.data[0].test, 16);
+  const serve::ticket t =
+      server.submit({0, &blocks[0], serve::engine_kind::fixed_q16});
+  EXPECT_FALSE(server.poll(t));
+  EXPECT_TRUE(server.cancel(t));
+  const serve::readout_result result = server.wait(t);
+  EXPECT_EQ(result.status, serve::request_status::cancelled);
+  EXPECT_EQ(server.stats().cancelled_requests, 1u);
+}
+
+TEST(ServeFailure, CancelAfterCompletionReturnsFalse) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  const serve::ticket t =
+      server.submit({0, &f.data[0].test, serve::engine_kind::fixed_q16});
+  server.drain();
+  // Too late: the result is complete and stays claimable untouched.
+  EXPECT_FALSE(server.cancel(t));
+  const serve::readout_result result = server.wait(t);
+  EXPECT_EQ(result.status, serve::request_status::ok);
+  expect_fixed_result(result, 0);
+  // A consumed ticket is unknown.
+  EXPECT_THROW(server.cancel(t), invalid_argument_error);
 }
 
 // --- system facade on the server -------------------------------------------

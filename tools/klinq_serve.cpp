@@ -24,10 +24,20 @@
 //   --admin pin:<q>:<v>     activate v and freeze auto-activation
 //   --admin unpin:<q>       release the freeze
 // Mutating commands save the store back to the directory.
+//
+// Chaos mode (--chaos, implies --registry): a live demo of the failure
+// model. A "bad deploy" of qubit 0 goes out mid-stream, klinq::fault arms
+// shard/lease faults plus tiny deadlines and cancellations, the server's
+// failure threshold trips and the registry auto-rolls the qubit back to
+// last-known-good; the faults then disarm and the tail of the stream is
+// verified bit-clean on the rolled-back model. Exits non-zero unless the
+// rollback happened and recovery traffic spot-checks clean.
 #include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "klinq/fault/fault.hpp"
 
 #include "klinq/common/cli.hpp"
 #include "klinq/common/error.hpp"
@@ -139,6 +149,10 @@ int main(int argc, char** argv) {
   cli.add_flag("registry",
                "serve through a versioned model registry and hot-swap a "
                "retrained qubit-0 snapshot mid-stream");
+  cli.add_flag("chaos",
+               "failure-model demo: deploy a faulty qubit-0 snapshot "
+               "mid-stream, arm fault injection, and verify auto-rollback "
+               "plus clean recovery (implies --registry)");
   cli.add_option("registry-dir",
                  "persist the registry here on exit (with --admin: the "
                  "store to operate on)", "");
@@ -164,7 +178,8 @@ int main(int argc, char** argv) {
                                           ? serve::engine_kind::fixed_q16
                                           : serve::engine_kind::float_student;
     const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
-    const bool use_registry = cli.get_flag("registry");
+    const bool chaos = cli.get_flag("chaos");
+    const bool use_registry = cli.get_flag("registry") || chaos;
 
     // One independent channel per qubit: distinct dataset seed + student.
     std::printf("training %zu student(s)...\n", n_qubits);
@@ -190,10 +205,13 @@ int main(int argc, char** argv) {
     // Either a versioned registry or the static construction-time binding.
     std::unique_ptr<registry::model_registry> reg;
     std::optional<serve::readout_server> server;
-    const serve::server_config server_config{
+    serve::server_config server_config{
         .shard_shots = static_cast<std::size_t>(cli.get_int("shard-shots")),
         .max_inflight =
             static_cast<std::size_t>(cli.get_int("max-inflight"))};
+    // A low threshold makes the bad deploy trip the auto-rollback within a
+    // single request's shards.
+    if (chaos) server_config.failure_threshold = 4;
     if (use_registry) {
       reg = std::make_unique<registry::model_registry>(n_qubits);
       for (std::size_t q = 0; q < n_qubits; ++q) {
@@ -228,10 +246,19 @@ int main(int argc, char** argv) {
     std::vector<serve::ticket> open;
     serve::readout_result result;
     std::size_t mismatches = 0;
+    std::size_t rejected_submits = 0;
     std::uint64_t last_version_served = 0;
     const auto consume_oldest = [&] {
-      server->wait(open.front(), result);
+      const serve::ticket oldest = open.front();
       open.erase(open.begin());
+      try {
+        server->wait(oldest, result);
+      } catch (const fault::injected_fault&) {
+        return;  // injected shard error resurfaced at wait(); counted in stats
+      }
+      // Expired-deadline and cancelled requests resolve without registers;
+      // nothing to spot-check.
+      if (result.status != serve::request_status::ok) return;
       last_version_served = result.model_version;
       if (use_registry) {
         // Registry mode: check against whichever version served the block.
@@ -259,8 +286,37 @@ int main(int argc, char** argv) {
                     ds.trace(0), ds.samples_per_quadrature()) >= 0.0f;
       if ((result.states[0] != 0) != serial) ++mismatches;
     };
+    std::vector<fault::site_report> chaos_report;
+    std::size_t submit_index = 0;
     for (std::size_t round = 0; round < rounds; ++round) {
-      if (use_registry && round == rounds / 2) {
+      if (chaos && round == rounds / 3) {
+        // The "bad deploy": a retrained qubit-0 snapshot goes live and the
+        // armed fault points make its shards fail hard (and sprinkle lease
+        // rejections on submits). The failure threshold will trip and the
+        // server will ask the registry to demote back to v1.
+        kd::student_config config;
+        config.epochs = 6;
+        config.seed = 1007;
+        registry::calibration_info info;
+        info.source = "bad-deploy";
+        info.created_unix_seconds = registry::unix_now();
+        info.calibration_shots = data[0].train.size();
+        kd::student_model retrained =
+            kd::distill_student(data[0].train, {}, config);
+        info.train_accuracy = retrained.accuracy(data[0].train);
+        const std::uint64_t version = reg->publish(
+            0, registry::model_snapshot(std::move(retrained), info));
+        fault::arm_from_string(
+            "serve.shard.run:throw:0.85:7,serve.submit.lease:throw:0.05:11");
+        std::printf("chaos: deployed qubit 0 v%llu and armed faults\n",
+                    static_cast<unsigned long long>(version));
+      }
+      if (chaos && round == (2 * rounds) / 3) {
+        chaos_report = fault::report();
+        fault::disarm_all();
+        std::printf("chaos: faults disarmed; verifying recovery\n");
+      }
+      if (use_registry && !chaos && round == rounds / 2) {
         // Mid-stream hot swap: retrain qubit 0 (fresh seed) and publish.
         // In-flight requests finish on v1; later submits report v2.
         kd::student_config config;
@@ -279,14 +335,42 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(version));
       }
       for (std::size_t q = 0; q < n_qubits; ++q) {
+        serve::readout_request request{q, &data[q].test, engine};
+        const std::size_t index = submit_index++;
+        // Chaos traffic mixes in unservable deadlines and client cancels so
+        // every resolution path shows up in the final telemetry.
+        if (chaos && fault::any_armed() && index % 5 == 1) {
+          request.deadline_seconds = 1e-9;
+        }
         std::optional<serve::ticket> t;
-        while (!(t = server->try_submit({q, &data[q].test, engine}))) {
-          consume_oldest();
+        try {
+          while (!(t = server->try_submit(request))) consume_oldest();
+        } catch (const fault::injected_fault&) {
+          ++rejected_submits;  // lease fault: the request never got a ticket
+          continue;
+        }
+        if (chaos && fault::any_armed() && index % 7 == 2) {
+          server->cancel(*t);  // may race completion; either outcome is fine
         }
         open.push_back(*t);
       }
     }
     while (!open.empty()) consume_oldest();
+
+    bool chaos_ok = true;
+    if (chaos) {
+      // Recovery probes: with the faults gone, every qubit must serve clean
+      // again — qubit 0 on the auto-rolled-back v1.
+      for (std::size_t q = 0; q < n_qubits; ++q) {
+        const serve::ticket probe =
+            server->submit({q, &data[q].test, engine});
+        server->wait(probe, result);
+        if (result.status != serve::request_status::ok) chaos_ok = false;
+      }
+      if (reg->active_version(0) != 1) chaos_ok = false;
+      if (!reg->degraded(0)) chaos_ok = false;
+      if (reg->stats().demotions == 0) chaos_ok = false;
+    }
     const double elapsed = timer.seconds();
 
     const serve::server_stats stats = server->stats();
@@ -318,7 +402,37 @@ int main(int argc, char** argv) {
         std::printf("saved registry to %s\n", directory.c_str());
       }
     }
-    return mismatches == 0 ? 0 : 1;
+    if (chaos) {
+      const registry::registry_stats reg_stats = reg->stats();
+      std::printf(
+          "  chaos       %llu failed / %llu timed out / %llu cancelled "
+          "requests, %zu rejected submits\n"
+          "              %llu demotions -> %llu registry rollbacks "
+          "(%llu seen by serve)\n",
+          static_cast<unsigned long long>(stats.failed_requests),
+          static_cast<unsigned long long>(stats.timed_out_requests),
+          static_cast<unsigned long long>(stats.cancelled_requests),
+          rejected_submits,
+          static_cast<unsigned long long>(reg_stats.demotions),
+          static_cast<unsigned long long>(reg_stats.rollbacks),
+          static_cast<unsigned long long>(stats.rollbacks));
+      for (std::size_t q = 0; q < n_qubits; ++q) {
+        if (reg->degraded(q)) {
+          std::printf("              qubit %zu flagged degraded (active "
+                      "v%llu)\n",
+                      q, static_cast<unsigned long long>(
+                             reg->active_version(q)));
+        }
+      }
+      for (const fault::site_report& row : chaos_report) {
+        std::printf("              fault %-24s fired %llu / %llu\n",
+                    row.site.c_str(),
+                    static_cast<unsigned long long>(row.fired),
+                    static_cast<unsigned long long>(row.evaluations));
+      }
+      std::printf("  chaos smoke %s\n", chaos_ok ? "PASS" : "FAIL");
+    }
+    return mismatches == 0 && chaos_ok ? 0 : 1;
   } catch (const error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
