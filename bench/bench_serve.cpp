@@ -25,6 +25,7 @@
 #include "klinq/common/thread_pool.hpp"
 #include "klinq/hw/fixed_discriminator.hpp"
 #include "klinq/kd/distiller.hpp"
+#include "klinq/obs/metrics.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
 #include "klinq/registry/model_registry.hpp"
 #include "klinq/registry/snapshot.hpp"
@@ -52,7 +53,26 @@ struct run_record {
   double seconds = 0.0;
   double p50_ms = -1.0;  // server modes only
   double p99_ms = -1.0;
+  // Median per-stage spans from the server's klinq_serve_stage_seconds
+  // histograms (server modes only): where a request's time went —
+  // coalesce hold, scheduler queue wait, shard execution.
+  double hold_p50_ms = -1.0;
+  double queue_p50_ms = -1.0;
+  double exec_p50_ms = -1.0;
 };
+
+void fill_stage_breakdown(run_record& record,
+                          const serve::readout_server& server) {
+  const obs::metrics_snapshot snap = server.metrics().snapshot();
+  const auto p50_ms = [&snap](const char* stage) {
+    return snap.histogram_quantile("klinq_serve_stage_seconds",
+                                   {{"stage", stage}}, 0.5) *
+           1e3;
+  };
+  record.hold_p50_ms = p50_ms("hold");
+  record.queue_p50_ms = p50_ms("queue");
+  record.exec_p50_ms = p50_ms("exec");
+}
 
 }  // namespace
 
@@ -171,11 +191,14 @@ int main(int argc, char** argv) {
         }
         const double seconds = timer.seconds();
         const serve::server_stats stats = server.stats();
-        records.push_back(
-            {std::string(serve::engine_name(engine)),
-             coalesce ? "small-requests-coalesced" : "small-requests",
-             total_shots, seconds, stats.latency_p50_seconds * 1e3,
-             stats.latency_p99_seconds * 1e3});
+        run_record record{std::string(serve::engine_name(engine)),
+                          coalesce ? "small-requests-coalesced"
+                                   : "small-requests",
+                          total_shots, seconds,
+                          stats.latency_p50_seconds * 1e3,
+                          stats.latency_p99_seconds * 1e3};
+        fill_stage_breakdown(record, server);
+        records.push_back(std::move(record));
       }
     }
 
@@ -203,10 +226,12 @@ int main(int argc, char** argv) {
       }
       const double seconds = timer.seconds();
       const serve::server_stats stats = server.stats();
-      records.push_back({serve::engine_name(engine), "sharded-server",
-                         total_shots, seconds,
-                         stats.latency_p50_seconds * 1e3,
-                         stats.latency_p99_seconds * 1e3});
+      run_record record{serve::engine_name(engine), "sharded-server",
+                        total_shots, seconds,
+                        stats.latency_p50_seconds * 1e3,
+                        stats.latency_p99_seconds * 1e3};
+      fill_stage_breakdown(record, server);
+      records.push_back(std::move(record));
     }
 
     // --- registry-backed server -------------------------------------------
@@ -265,12 +290,14 @@ int main(int argc, char** argv) {
           churn_activations = reg.stats().activations;
           churn_switches_observed = stats.version_switches;
         }
-        records.push_back({serve::engine_name(engine),
-                           churn ? "sharded-registry-churn"
-                                 : "sharded-registry",
-                           total_shots, seconds,
-                           stats.latency_p50_seconds * 1e3,
-                           stats.latency_p99_seconds * 1e3});
+        run_record record{serve::engine_name(engine),
+                          churn ? "sharded-registry-churn"
+                                : "sharded-registry",
+                          total_shots, seconds,
+                          stats.latency_p50_seconds * 1e3,
+                          stats.latency_p99_seconds * 1e3};
+        fill_stage_breakdown(record, server);
+        records.push_back(std::move(record));
       }
     }
 
@@ -294,6 +321,10 @@ int main(int argc, char** argv) {
                   static_cast<double>(r.shots) / r.seconds);
       if (r.p50_ms >= 0.0) {
         std::printf("   p50 %.2f ms  p99 %.2f ms", r.p50_ms, r.p99_ms);
+      }
+      if (r.hold_p50_ms >= 0.0) {
+        std::printf("   hold/queue/exec p50 %.2f/%.2f/%.2f ms",
+                    r.hold_p50_ms, r.queue_p50_ms, r.exec_p50_ms);
       }
       std::printf("\n");
     }
@@ -336,6 +367,12 @@ int main(int argc, char** argv) {
           std::fprintf(out,
                        ", \"latency_p50_ms\": %.4f, \"latency_p99_ms\": %.4f",
                        r.p50_ms, r.p99_ms);
+        }
+        if (r.hold_p50_ms >= 0.0) {
+          std::fprintf(out,
+                       ", \"stage_p50_ms\": {\"hold\": %.4f, "
+                       "\"queue\": %.4f, \"exec\": %.4f}",
+                       r.hold_p50_ms, r.queue_p50_ms, r.exec_p50_ms);
         }
         std::fprintf(out, "}%s\n", i + 1 < records.size() ? "," : "");
       }

@@ -1,0 +1,64 @@
+// Periodic background JSONL metrics emitter.
+//
+// Appends one compact JSON snapshot line (exposition.hpp's json_text) to a
+// file every interval, plus a final line on stop, so any run — tests, the
+// CLI, a long soak — leaves a greppable time series behind. Enabled
+// programmatically or from the environment:
+//
+//   KLINQ_METRICS_FILE=/path/metrics.jsonl  KLINQ_METRICS_INTERVAL=2.5
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "klinq/obs/metrics.hpp"
+
+namespace klinq::obs {
+
+struct emitter_config {
+  std::string path;                // appended to; created when missing
+  double interval_seconds = 5.0;   // clamped to >= 10 ms
+};
+
+class metrics_emitter {
+ public:
+  /// Opens the file (throws io_error on failure) and starts the thread.
+  /// The registry must outlive the emitter.
+  metrics_emitter(metric_registry& metrics, emitter_config config);
+  ~metrics_emitter();
+
+  metrics_emitter(const metrics_emitter&) = delete;
+  metrics_emitter& operator=(const metrics_emitter&) = delete;
+
+  /// Writes one final snapshot line and joins the thread. Idempotent.
+  void stop();
+
+  std::uint64_t lines_written() const noexcept {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void write_line();
+
+  metric_registry& metrics_;
+  emitter_config config_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> lines_{0};
+  std::thread thread_;
+};
+
+/// Starts an emitter on `metrics` when KLINQ_METRICS_FILE is set (interval
+/// from KLINQ_METRICS_INTERVAL, default 5 s); null when unset.
+std::unique_ptr<metrics_emitter> start_emitter_from_env(
+    metric_registry& metrics);
+
+}  // namespace klinq::obs

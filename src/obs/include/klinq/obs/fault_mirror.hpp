@@ -1,0 +1,23 @@
+// Mirrors klinq::fault's per-site counters into a metric registry.
+//
+// Installed as a snapshot-time collector: each snapshot() reads
+// fault::report() and advances two counter families —
+//
+//   klinq_fault_evaluations_total{site="..."}
+//   klinq_fault_fired_total{site="..."}
+//
+// Deltas are tracked per site so the mirrored counters stay monotonic even
+// though fault counters reset when a site is re-armed (the delta clamps to
+// the new absolute count on a backwards jump).
+#pragma once
+
+#include <cstdint>
+
+#include "klinq/obs/metrics.hpp"
+
+namespace klinq::obs {
+
+/// Returns the collector id (metric_registry::remove_collector unbinds).
+std::uint64_t bind_fault_metrics(metric_registry& metrics);
+
+}  // namespace klinq::obs

@@ -1,0 +1,84 @@
+// Flight recorder: bounded capture of the requests worth looking at.
+//
+// Aggregate histograms tell you *that* p99 regressed; the flight recorder
+// tells you *which* requests did it and where their time went. It keeps two
+// bounded sets:
+//
+//  * every anomalous record (failed / timed-out / cancelled) in a ring that
+//    overwrites the oldest, and
+//  * the N slowest normal records seen so far.
+//
+// The admission gate (should_capture) is one or two relaxed atomic loads so
+// the serving hot path can consult it per completion without taking a lock;
+// only admitted records pay for building the span breakdown and the mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace klinq::obs {
+
+struct flight_stage {
+  std::string name;
+  double seconds = 0.0;
+};
+
+struct flight_record {
+  std::uint64_t id = 0;       // producer-side id (e.g. the serve ticket)
+  std::string kind;           // terminal status, e.g. "ok" / "failed"
+  bool anomalous = false;
+  double total_seconds = 0.0;
+  std::vector<flight_stage> stages;  // span breakdown, in wall order
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::uint64_t sequence = 0;  // capture order, monotonic per recorder
+};
+
+class flight_recorder {
+ public:
+  /// Capacities of the anomaly ring and the slowest set; 0/0 disables.
+  flight_recorder(std::size_t anomaly_capacity, std::size_t slowest_capacity)
+      : anomaly_capacity_(anomaly_capacity),
+        slowest_capacity_(slowest_capacity) {}
+
+  bool enabled() const noexcept {
+    return anomaly_capacity_ > 0 || slowest_capacity_ > 0;
+  }
+
+  /// Cheap pre-filter (relaxed loads, may rarely say yes to a record that
+  /// capture() then drops — never the reverse under a stable floor).
+  bool should_capture(double total_seconds, bool anomalous) const noexcept {
+    if (anomalous) return anomaly_capacity_ > 0;
+    return slowest_capacity_ > 0 &&
+           total_seconds > slowest_floor_.load(std::memory_order_relaxed);
+  }
+
+  void capture(flight_record record);
+
+  /// Anomalies oldest→newest, then the slowest set fastest→slowest.
+  std::vector<flight_record> records() const;
+
+  std::uint64_t captured() const noexcept {
+    return sequence_.load(std::memory_order_relaxed);
+  }
+
+  void clear();
+
+ private:
+  const std::size_t anomaly_capacity_;
+  const std::size_t slowest_capacity_;
+  // Entry bar for the slowest set: -inf until full, then its minimum.
+  std::atomic<double> slowest_floor_{
+      -std::numeric_limits<double>::infinity()};
+  std::atomic<std::uint64_t> sequence_{0};
+  mutable std::mutex mutex_;
+  std::vector<flight_record> anomalies_;  // ring, anomaly_next_ = oldest
+  std::size_t anomaly_next_ = 0;
+  std::vector<flight_record> slowest_;  // sorted ascending by total_seconds
+};
+
+}  // namespace klinq::obs

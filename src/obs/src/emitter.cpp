@@ -1,0 +1,79 @@
+#include "klinq/obs/emitter.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "klinq/common/env.hpp"
+#include "klinq/common/error.hpp"
+#include "klinq/obs/exposition.hpp"
+
+namespace klinq::obs {
+
+metrics_emitter::metrics_emitter(metric_registry& metrics,
+                                 emitter_config config)
+    : metrics_(metrics), config_(std::move(config)) {
+  KLINQ_REQUIRE(!config_.path.empty(),
+                "metrics_emitter: path must be non-empty");
+  config_.interval_seconds = std::max(config_.interval_seconds, 0.01);
+  file_ = std::fopen(config_.path.c_str(), "a");
+  if (file_ == nullptr) {
+    throw io_error("metrics_emitter: cannot open '" + config_.path + "'");
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+metrics_emitter::~metrics_emitter() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructor must not throw; a failed final write loses one line.
+  }
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void metrics_emitter::stop() {
+  {
+    const std::lock_guard lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  write_line();  // final snapshot so short runs still emit something
+  const std::lock_guard lock(mutex_);
+  stopped_ = true;
+}
+
+void metrics_emitter::run() {
+  const auto interval = std::chrono::duration<double>(config_.interval_seconds);
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    if (wake_.wait_for(lock, interval, [this] { return stopping_; })) {
+      return;  // final line is written by stop(), after the join
+    }
+    lock.unlock();
+    write_line();
+    lock.lock();
+  }
+}
+
+void metrics_emitter::write_line() {
+  const std::string line = json_text(metrics_.snapshot());
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::unique_ptr<metrics_emitter> start_emitter_from_env(
+    metric_registry& metrics) {
+  const std::string path = env_string("KLINQ_METRICS_FILE", "");
+  if (path.empty()) return nullptr;
+  emitter_config config;
+  config.path = path;
+  config.interval_seconds = env_double("KLINQ_METRICS_INTERVAL", 5.0);
+  return std::make_unique<metrics_emitter>(metrics, std::move(config));
+}
+
+}  // namespace klinq::obs

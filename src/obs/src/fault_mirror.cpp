@@ -1,0 +1,57 @@
+#include "klinq/obs/fault_mirror.hpp"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "klinq/fault/fault.hpp"
+
+namespace klinq::obs {
+
+namespace {
+
+struct site_cursor {
+  std::uint64_t evaluations = 0;
+  std::uint64_t fired = 0;
+};
+
+std::uint64_t advance(std::uint64_t& last, std::uint64_t now) {
+  // Re-arming a site resets its counters; treat a backwards jump as a
+  // fresh stream so the mirror stays monotonic.
+  const std::uint64_t delta = now >= last ? now - last : now;
+  last = now;
+  return delta;
+}
+
+}  // namespace
+
+std::uint64_t bind_fault_metrics(metric_registry& metrics) {
+  // The cursor map lives in the closure: one mirror binding, one stream of
+  // deltas. Collectors run serially inside snapshot(), and concurrent
+  // snapshot() calls serialize on the producer side being idempotent-ish;
+  // guard the cursors anyway so TSAN-clean concurrent dumps stay clean.
+  auto state = std::make_shared<
+      std::pair<std::mutex, std::unordered_map<std::string, site_cursor>>>();
+  return metrics.add_collector([&metrics, state] {
+    const std::lock_guard lock(state->first);
+    for (const auto& row : fault::report()) {
+      site_cursor& cursor = state->second[row.site];
+      const std::uint64_t evals = advance(cursor.evaluations, row.evaluations);
+      const std::uint64_t fired = advance(cursor.fired, row.fired);
+      // inc(0) still materializes the series, so every armed site shows
+      // up in the dump even before it fires.
+      const label_list labels{{"site", row.site}};
+      metrics
+          .get_counter("klinq_fault_evaluations_total", labels,
+                       "Fault-site evaluations (trigger/corrupt reached)")
+          .inc(evals);
+      metrics
+          .get_counter("klinq_fault_fired_total", labels,
+                       "Fault-site activations (injected fault fired)")
+          .inc(fired);
+    }
+  });
+}
+
+}  // namespace klinq::obs

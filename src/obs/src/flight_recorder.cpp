@@ -1,0 +1,63 @@
+#include "klinq/obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace klinq::obs {
+
+void flight_recorder::capture(flight_record record) {
+  if (!enabled()) return;
+  const std::lock_guard lock(mutex_);
+  record.sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (record.anomalous) {
+    if (anomaly_capacity_ == 0) return;
+    if (anomalies_.size() < anomaly_capacity_) {
+      anomalies_.push_back(std::move(record));
+    } else {
+      anomalies_[anomaly_next_] = std::move(record);
+      anomaly_next_ = (anomaly_next_ + 1) % anomaly_capacity_;
+    }
+    return;
+  }
+  if (slowest_capacity_ == 0) return;
+  // Re-check under the lock: the lock-free gate may race the floor.
+  if (slowest_.size() >= slowest_capacity_ &&
+      record.total_seconds <= slowest_.front().total_seconds) {
+    return;
+  }
+  const auto pos = std::lower_bound(
+      slowest_.begin(), slowest_.end(), record.total_seconds,
+      [](const flight_record& r, double t) { return r.total_seconds < t; });
+  slowest_.insert(pos, std::move(record));
+  if (slowest_.size() > slowest_capacity_) {
+    slowest_.erase(slowest_.begin());
+  }
+  if (slowest_.size() == slowest_capacity_) {
+    slowest_floor_.store(slowest_.front().total_seconds,
+                         std::memory_order_relaxed);
+  }
+}
+
+std::vector<flight_record> flight_recorder::records() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<flight_record> out;
+  out.reserve(anomalies_.size() + slowest_.size());
+  // Unroll the ring so anomalies come out oldest→newest.
+  const std::size_t n = anomalies_.size();
+  const std::size_t start = n < anomaly_capacity_ ? 0 : anomaly_next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(anomalies_[(start + i) % n]);
+  }
+  out.insert(out.end(), slowest_.begin(), slowest_.end());
+  return out;
+}
+
+void flight_recorder::clear() {
+  const std::lock_guard lock(mutex_);
+  anomalies_.clear();
+  anomaly_next_ = 0;
+  slowest_.clear();
+  slowest_floor_.store(-std::numeric_limits<double>::infinity(),
+                       std::memory_order_relaxed);
+}
+
+}  // namespace klinq::obs

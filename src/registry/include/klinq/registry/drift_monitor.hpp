@@ -33,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "klinq/obs/metrics.hpp"
 #include "klinq/serve/request.hpp"
 #include "klinq/serve/telemetry.hpp"
 
@@ -67,12 +68,20 @@ struct drift_status {
   bool confidence_collapsed = false;
   /// Any of the above, with both window and baseline past min_window_shots.
   bool drifted = false;
+  /// Scalar drift severity: the worst proxy's distance toward (and past) its
+  /// configured threshold, normalized so 1.0 is exactly at the threshold.
+  /// Computed whenever a baseline exists — even before min_window_shots —
+  /// so dashboards can watch drift build up before the boolean flips.
+  double score = 0.0;
 };
 
 class drift_monitor {
  public:
   explicit drift_monitor(std::size_t qubit_count,
                          drift_thresholds thresholds = {});
+
+  /// Unbinds the metrics collector (if bound).
+  ~drift_monitor();
 
   drift_monitor(const drift_monitor&) = delete;
   drift_monitor& operator=(const drift_monitor&) = delete;
@@ -112,6 +121,15 @@ class drift_monitor {
   /// Qubits whose status().drifted is set, ascending.
   std::vector<std::size_t> drifted_qubits() const;
 
+  /// Publishes per-qubit gauges into `metrics`, refreshed at snapshot time
+  /// through a collector: klinq_drift_window_shots, klinq_drift_class_balance,
+  /// klinq_drift_mean_abs_margin, klinq_drift_low_confidence_share,
+  /// klinq_drift_score and klinq_drift_drifted, each labeled {qubit}. The
+  /// monitor must outlive the binding (the destructor unbinds, or call
+  /// unbind_metrics() earlier). Rebinding replaces the previous binding.
+  void bind_metrics(obs::metric_registry& metrics);
+  void unbind_metrics();
+
  private:
   struct accumulator {
     std::uint64_t shots = 0;
@@ -141,8 +159,22 @@ class drift_monitor {
   static void fold(accumulator& into, std::span<const std::uint8_t> states,
                    MarginAt margin_at, double low_margin_floor);
 
+  /// Pre-resolved gauge cells for one qubit's bind_metrics() families.
+  struct gauge_cells {
+    obs::gauge* window_shots = nullptr;
+    obs::gauge* class_balance = nullptr;
+    obs::gauge* mean_abs_margin = nullptr;
+    obs::gauge* low_confidence_share = nullptr;
+    obs::gauge* score = nullptr;
+    obs::gauge* drifted = nullptr;
+  };
+
   drift_thresholds thresholds_;
   std::vector<std::unique_ptr<qubit_slot>> slots_;
+
+  obs::metric_registry* metrics_ = nullptr;
+  std::vector<gauge_cells> gauges_;
+  std::uint64_t collector_id_ = 0;
 };
 
 }  // namespace klinq::registry

@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "klinq/obs/metrics.hpp"
 #include "klinq/registry/snapshot.hpp"
 #include "klinq/serve/engine_provider.hpp"
 
@@ -66,6 +67,15 @@ struct registry_config {
   /// Retained versions per qubit (≥ 1). The active version is never
   /// retired, even when it is the oldest.
   std::size_t keep_versions = 4;
+  /// Metrics backend (borrowed; must outlive the registry). When set, the
+  /// registry mirrors its lifecycle counters as labeled families
+  /// (klinq_registry_publishes_total{qubit}, ..._activations_total,
+  /// ..._rollbacks_total, ..._demotions_total, ..._acquires_total,
+  /// ..._quarantined_total) and publishes per-qubit
+  /// klinq_registry_active_version / klinq_registry_degraded gauges,
+  /// refreshed at snapshot time through a collector. Null disables the
+  /// mirror; registry_stats works either way.
+  obs::metric_registry* metrics = nullptr;
 };
 
 /// One row of list(): a retained version's metadata plus its role.
@@ -96,6 +106,9 @@ class model_registry final : public serve::engine_provider {
  public:
   explicit model_registry(std::size_t qubit_count,
                           registry_config config = {});
+
+  /// Unbinds the gauge collector from registry_config::metrics (if any).
+  ~model_registry() override;
 
   model_registry(const model_registry&) = delete;
   model_registry& operator=(const model_registry&) = delete;
@@ -152,8 +165,11 @@ class model_registry final : public serve::engine_provider {
 
   // --- persistence --------------------------------------------------------
   void save_directory(const std::string& directory) const;
+  /// `base` seeds the loaded registry's configuration (notably
+  /// base.metrics); the manifest's recorded keep_versions wins over
+  /// base.keep_versions.
   static std::unique_ptr<model_registry> load_directory(
-      const std::string& directory);
+      const std::string& directory, registry_config base = {});
 
  private:
   struct qubit_slot {
@@ -168,16 +184,42 @@ class model_registry final : public serve::engine_provider {
     bool degraded = false;
   };
 
+  /// Pre-resolved per-qubit counter cells in config_.metrics. Empty when
+  /// the registry runs without a metrics backend; inc through bump() so
+  /// every site stays null-safe.
+  struct metric_cells {
+    obs::counter* publishes = nullptr;
+    obs::counter* activations = nullptr;
+    obs::counter* rollbacks = nullptr;
+    obs::counter* demotions = nullptr;
+    obs::gauge* active_version = nullptr;
+    obs::gauge* degraded = nullptr;
+  };
+
   qubit_slot& slot_checked(std::size_t qubit);
   const qubit_slot& slot_checked(std::size_t qubit) const;
-  /// Requires slot.mutex held.
-  void activate_locked(qubit_slot& slot, std::uint64_t version);
+  /// Requires slot.mutex held. `qubit` indexes the metric cells (slots do
+  /// not know their own position).
+  void activate_locked(qubit_slot& slot, std::size_t qubit,
+                       std::uint64_t version);
   void retire_locked(qubit_slot& slot);
   static snapshot_ptr load_active(const qubit_slot& slot);
+
+  void init_metrics();
+  static void bump(obs::counter* cell) {
+    if (cell != nullptr) cell->inc();
+  }
 
   registry_config config_;
   /// unique_ptr keeps slot addresses stable (mutexes are not movable).
   std::vector<std::unique_ptr<qubit_slot>> slots_;
+
+  std::vector<metric_cells> cells_;
+  obs::counter* acquires_cell_ = nullptr;
+  obs::counter* quarantined_cell_ = nullptr;
+  /// Collector refreshing the active-version / degraded gauges at snapshot
+  /// time; 0 when no metrics backend is bound.
+  std::uint64_t collector_id_ = 0;
 
   std::atomic<std::uint64_t> published_{0};
   /// activations_/rollbacks_/demotions_ are mutable because demote() is

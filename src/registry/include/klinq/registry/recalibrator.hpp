@@ -77,6 +77,12 @@ struct recalibration_config {
   /// it finishes). 0 disables the watchdog (attempts run inline on the
   /// worker thread).
   double watchdog_seconds = 0.0;
+  /// Metrics backend (borrowed; must outlive the recalibrator). When set,
+  /// the stats() counters are mirrored as klinq_recal_*_total families and
+  /// every recalibrate() call records its wall time into the
+  /// klinq_recal_retrain_seconds histogram, labeled by outcome
+  /// {outcome="ok"|"rejected"|"failed"}. Null disables the mirror.
+  obs::metric_registry* metrics = nullptr;
 };
 
 struct recalibration_stats {
@@ -141,6 +147,10 @@ class recalibrator {
   /// Returns false when a stop request interrupted the backoff.
   bool service_qubit(std::size_t qubit);
   attempt_outcome run_attempt(std::size_t qubit);
+  void init_metrics();
+  static void bump(obs::counter* cell) {
+    if (cell != nullptr) cell->inc();
+  }
   /// Collects detached attempts that have since finished. Requires mutex_.
   void reap_detached_locked();
   bool qubit_detached_locked(std::size_t qubit) const;
@@ -163,6 +173,18 @@ class recalibrator {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> publish_rejections_{0};
   std::atomic<std::uint64_t> hung_retrains_{0};
+
+  /// Pre-resolved cells in config_.metrics; all null when unset (bump() and
+  /// the recalibrate() timing block are null-safe).
+  obs::counter* scans_cell_ = nullptr;
+  obs::counter* recalibrations_cell_ = nullptr;
+  obs::counter* failures_cell_ = nullptr;
+  obs::counter* retries_cell_ = nullptr;
+  obs::counter* publish_rejections_cell_ = nullptr;
+  obs::counter* hung_retrains_cell_ = nullptr;
+  obs::log_histogram* retrain_seconds_ok_ = nullptr;
+  obs::log_histogram* retrain_seconds_rejected_ = nullptr;
+  obs::log_histogram* retrain_seconds_failed_ = nullptr;
 };
 
 }  // namespace klinq::registry

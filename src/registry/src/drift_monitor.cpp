@@ -1,6 +1,8 @@
 #include "klinq/registry/drift_monitor.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "klinq/common/error.hpp"
 
@@ -165,6 +167,30 @@ drift_status drift_monitor::status_locked(const qubit_slot& slot) const {
     status.drifted = status.balance_drifted || status.margin_collapsed ||
                      status.confidence_collapsed;
   }
+  // Severity score: each proxy normalized so 1.0 sits exactly at its
+  // threshold, the worst one wins. Unlike the booleans it does not wait for
+  // min_window_shots — a small window just produces a noisy early score.
+  if (slot.baseline.shots > 0 && slot.window.shots > 0) {
+    double score = 0.0;
+    if (thresholds_.class_balance_delta > 0.0) {
+      score = std::max(
+          score,
+          std::abs(status.class_balance - status.baseline_class_balance) /
+              thresholds_.class_balance_delta);
+    }
+    if (thresholds_.margin_collapse_fraction > 0.0 &&
+        status.baseline_mean_abs_margin > 0.0) {
+      const double collapse =
+          1.0 - status.mean_abs_margin / status.baseline_mean_abs_margin;
+      score = std::max(score,
+                       collapse / thresholds_.margin_collapse_fraction);
+    }
+    if (thresholds_.low_confidence_fraction > 0.0) {
+      score = std::max(score, status.low_confidence_share /
+                                  thresholds_.low_confidence_fraction);
+    }
+    status.score = std::max(score, 0.0);
+  }
   return status;
 }
 
@@ -180,6 +206,60 @@ std::vector<std::size_t> drift_monitor::drifted_qubits() const {
     if (status(q).drifted) drifted.push_back(q);
   }
   return drifted;
+}
+
+drift_monitor::~drift_monitor() { unbind_metrics(); }
+
+void drift_monitor::bind_metrics(obs::metric_registry& metrics) {
+  unbind_metrics();
+  gauges_.assign(slots_.size(), gauge_cells{});
+  for (std::size_t q = 0; q < slots_.size(); ++q) {
+    const obs::label_list labels{{"qubit", std::to_string(q)}};
+    gauge_cells& cells = gauges_[q];
+    cells.window_shots = &metrics.get_gauge(
+        "klinq_drift_window_shots", labels,
+        "Shots folded into the rolling observation window.");
+    cells.class_balance = &metrics.get_gauge(
+        "klinq_drift_class_balance", labels,
+        "Fraction of |1> decisions in the observation window.");
+    cells.mean_abs_margin = &metrics.get_gauge(
+        "klinq_drift_mean_abs_margin", labels,
+        "Mean |logit margin| of the observation window.");
+    cells.low_confidence_share = &metrics.get_gauge(
+        "klinq_drift_low_confidence_share", labels,
+        "Window share of shots whose |margin| fell below the baseline-derived "
+        "confidence floor.");
+    cells.score = &metrics.get_gauge(
+        "klinq_drift_score", labels,
+        "Drift severity: worst label-free proxy normalized so 1.0 is exactly "
+        "at its configured threshold.");
+    cells.drifted = &metrics.get_gauge(
+        "klinq_drift_drifted", labels,
+        "1 while the qubit is flagged drifted (a proxy past threshold with "
+        "enough window and baseline shots).");
+  }
+  collector_id_ = metrics.add_collector([this] {
+    for (std::size_t q = 0; q < slots_.size(); ++q) {
+      const drift_status s = status(q);
+      const gauge_cells& cells = gauges_[q];
+      cells.window_shots->set(static_cast<double>(s.window_shots));
+      cells.class_balance->set(s.class_balance);
+      cells.mean_abs_margin->set(s.mean_abs_margin);
+      cells.low_confidence_share->set(s.low_confidence_share);
+      cells.score->set(s.score);
+      cells.drifted->set(s.drifted ? 1.0 : 0.0);
+    }
+  });
+  metrics_ = &metrics;
+}
+
+void drift_monitor::unbind_metrics() {
+  if (metrics_ != nullptr && collector_id_ != 0) {
+    metrics_->remove_collector(collector_id_);
+  }
+  metrics_ = nullptr;
+  collector_id_ = 0;
+  gauges_.clear();
 }
 
 }  // namespace klinq::registry

@@ -48,6 +48,55 @@ model_registry::model_registry(std::size_t qubit_count,
   for (std::size_t q = 0; q < qubit_count; ++q) {
     slots_.push_back(std::make_unique<qubit_slot>());
   }
+  init_metrics();
+}
+
+model_registry::~model_registry() {
+  if (config_.metrics != nullptr && collector_id_ != 0) {
+    config_.metrics->remove_collector(collector_id_);
+  }
+}
+
+void model_registry::init_metrics() {
+  if (config_.metrics == nullptr) return;
+  obs::metric_registry& metrics = *config_.metrics;
+  acquires_cell_ =
+      &metrics.get_counter("klinq_registry_acquires_total", {},
+                           "Engine leases handed to the serving layer.");
+  quarantined_cell_ = &metrics.get_counter(
+      "klinq_registry_quarantined_total", {},
+      "Snapshot files load_directory quarantined (renamed to *.bad) because "
+      "they were corrupt, truncated or failed hash verification.");
+  cells_.resize(slots_.size());
+  for (std::size_t q = 0; q < slots_.size(); ++q) {
+    const obs::label_list labels{{"qubit", std::to_string(q)}};
+    metric_cells& cells = cells_[q];
+    cells.publishes =
+        &metrics.get_counter("klinq_registry_publishes_total", labels,
+                             "Model versions published.");
+    cells.activations = &metrics.get_counter(
+        "klinq_registry_activations_total", labels,
+        "Active-version changes from any source (publish auto-activation, "
+        "explicit activate, rollback, pin, demote).");
+    cells.rollbacks = &metrics.get_counter(
+        "klinq_registry_rollbacks_total", labels,
+        "Rollbacks from any source (explicit rollback() plus demote()).");
+    cells.demotions = &metrics.get_counter(
+        "klinq_registry_demotions_total", labels,
+        "Serve-reported health demotions that switched the active version.");
+    cells.active_version = &metrics.get_gauge(
+        "klinq_registry_active_version", labels,
+        "Currently active model version (0 = nothing published).");
+    cells.degraded = &metrics.get_gauge(
+        "klinq_registry_degraded", labels,
+        "1 while the qubit serves under a health-demotion flag.");
+  }
+  collector_id_ = metrics.add_collector([this] {
+    for (std::size_t q = 0; q < slots_.size(); ++q) {
+      cells_[q].active_version->set(static_cast<double>(active_version(q)));
+      cells_[q].degraded->set(degraded(q) ? 1.0 : 0.0);
+    }
+  });
 }
 
 model_registry::qubit_slot& model_registry::slot_checked(std::size_t qubit) {
@@ -70,6 +119,7 @@ serve::engine_lease model_registry::acquire(std::size_t qubit) const {
   KLINQ_REQUIRE(snapshot != nullptr,
                 "model_registry: qubit has no published model");
   acquires_.fetch_add(1, std::memory_order_relaxed);
+  bump(acquires_cell_);
   return {snapshot->engines(), snapshot->info().version, std::move(snapshot)};
 }
 
@@ -82,13 +132,15 @@ std::uint64_t model_registry::publish(std::size_t qubit,
   auto ptr = std::make_shared<const model_snapshot>(std::move(snapshot));
   slot.versions.emplace_back(version, std::move(ptr));
   published_.fetch_add(1, std::memory_order_relaxed);
-  if (!slot.pinned) activate_locked(slot, version);
+  bump(cells_.empty() ? nullptr : cells_[qubit].publishes);
+  if (!slot.pinned) activate_locked(slot, qubit, version);
   retire_locked(slot);
   slot.degraded = false;  // fresh model: confidence restored
   return version;
 }
 
-void model_registry::activate_locked(qubit_slot& slot, std::uint64_t version) {
+void model_registry::activate_locked(qubit_slot& slot, std::size_t qubit,
+                                     std::uint64_t version) {
   const auto it = std::find_if(
       slot.versions.begin(), slot.versions.end(),
       [version](const auto& entry) { return entry.first == version; });
@@ -96,6 +148,7 @@ void model_registry::activate_locked(qubit_slot& slot, std::uint64_t version) {
                 "model_registry: version unknown or retired");
   atomic_active_store(slot.active, it->second);
   activations_.fetch_add(1, std::memory_order_relaxed);
+  bump(cells_.empty() ? nullptr : cells_[qubit].activations);
 }
 
 void model_registry::retire_locked(qubit_slot& slot) {
@@ -139,7 +192,7 @@ snapshot_ptr model_registry::at(std::size_t qubit,
 void model_registry::activate(std::size_t qubit, std::uint64_t version) {
   qubit_slot& slot = slot_checked(qubit);
   const std::lock_guard lock(slot.mutex);
-  activate_locked(slot, version);
+  activate_locked(slot, qubit, version);
   retire_locked(slot);
   slot.degraded = false;
 }
@@ -158,8 +211,9 @@ std::uint64_t model_registry::rollback(std::size_t qubit) {
   KLINQ_REQUIRE(target != 0,
                 "model_registry: no retained version older than the active "
                 "one to roll back to");
-  activate_locked(slot, target);
+  activate_locked(slot, qubit, target);
   rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  bump(cells_.empty() ? nullptr : cells_[qubit].rollbacks);
   slot.degraded = false;
   return target;
 }
@@ -198,6 +252,11 @@ bool model_registry::demote(std::size_t qubit,
     activations_.fetch_add(1, std::memory_order_relaxed);
     rollbacks_.fetch_add(1, std::memory_order_relaxed);
     demotions_.fetch_add(1, std::memory_order_relaxed);
+    if (!cells_.empty()) {
+      bump(cells_[qubit].activations);
+      bump(cells_[qubit].rollbacks);
+      bump(cells_[qubit].demotions);
+    }
     log_warn("model_registry: demoted qubit ", qubit, " v", version, " -> v",
              target, " after serve-reported failures; qubit marked degraded");
     return true;
@@ -209,7 +268,7 @@ bool model_registry::demote(std::size_t qubit,
 void model_registry::pin(std::size_t qubit, std::uint64_t version) {
   qubit_slot& slot = slot_checked(qubit);
   const std::lock_guard lock(slot.mutex);
-  activate_locked(slot, version);
+  activate_locked(slot, qubit, version);
   slot.pinned = true;
   slot.degraded = false;
 }
@@ -346,7 +405,7 @@ void model_registry::save_directory(const std::string& directory) const {
 }
 
 std::unique_ptr<model_registry> model_registry::load_directory(
-    const std::string& directory) {
+    const std::string& directory, registry_config base) {
   namespace fs = std::filesystem;
   std::ifstream manifest(directory + "/" + kManifestName);
   if (!manifest) {
@@ -355,7 +414,7 @@ std::unique_ptr<model_registry> model_registry::load_directory(
   std::string tag;
   std::uint64_t format = 0;
   std::size_t qubit_count = 0;
-  registry_config config;
+  registry_config config = base;  // manifest keep_versions overrides below
   manifest >> tag >> format;
   if (!manifest || tag != "klinq-registry" || format != kManifestFormat) {
     throw io_error("model_registry: bad manifest header in " + directory);
@@ -415,6 +474,9 @@ std::unique_ptr<model_registry> model_registry::load_directory(
     }
   }
   registry->quarantined_.store(quarantined, std::memory_order_relaxed);
+  if (registry->quarantined_cell_ != nullptr && quarantined > 0) {
+    registry->quarantined_cell_->inc(quarantined);
+  }
 
   // Manifest per-qubit rows: restore counters, active and pin. Rows are
   // parsed line by line and tolerantly — a corrupt or missing row (torn

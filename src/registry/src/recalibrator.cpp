@@ -1,6 +1,7 @@
 #include "klinq/registry/recalibrator.hpp"
 
 #include <chrono>
+#include <string_view>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -60,6 +61,38 @@ recalibrator::recalibrator(model_registry& registry, drift_monitor& monitor,
   KLINQ_REQUIRE(std::isfinite(config_.watchdog_seconds) &&
                     config_.watchdog_seconds >= 0.0,
                 "recalibrator: watchdog must be finite and non-negative");
+  init_metrics();
+}
+
+void recalibrator::init_metrics() {
+  if (config_.metrics == nullptr) return;
+  obs::metric_registry& metrics = *config_.metrics;
+  scans_cell_ = &metrics.get_counter(
+      "klinq_recal_scans_total", {},
+      "Drift-monitor sweeps performed by the background worker.");
+  recalibrations_cell_ = &metrics.get_counter(
+      "klinq_recal_recalibrations_total", {},
+      "Successful retrain+publish cycles (background and synchronous).");
+  failures_cell_ =
+      &metrics.get_counter("klinq_recal_failures_total", {},
+                           "Recalibration cycles that threw.");
+  retries_cell_ = &metrics.get_counter(
+      "klinq_recal_retries_total", {},
+      "Backoff re-attempts the background worker made after failed cycles.");
+  publish_rejections_cell_ = &metrics.get_counter(
+      "klinq_recal_publish_rejections_total", {},
+      "Retrained candidates the publish gate refused (not failures).");
+  hung_retrains_cell_ = &metrics.get_counter(
+      "klinq_recal_hung_retrains_total", {},
+      "Background attempts that overran watchdog_seconds and were detached.");
+  const std::string_view help =
+      "Wall time of one recalibrate() cycle, by outcome.";
+  retrain_seconds_ok_ = &metrics.get_histogram("klinq_recal_retrain_seconds",
+                                               {{"outcome", "ok"}}, help);
+  retrain_seconds_rejected_ = &metrics.get_histogram(
+      "klinq_recal_retrain_seconds", {{"outcome", "rejected"}}, help);
+  retrain_seconds_failed_ = &metrics.get_histogram(
+      "klinq_recal_retrain_seconds", {{"outcome", "failed"}}, help);
 }
 
 recalibrator::~recalibrator() { stop(); }
@@ -112,6 +145,12 @@ bool recalibrator::running() const noexcept {
 }
 
 std::uint64_t recalibrator::recalibrate(std::size_t qubit) {
+  const auto started = std::chrono::steady_clock::now();
+  const auto elapsed = [started] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+        .count();
+  };
   try {
     fault::trigger("recal.retrain");
     const data::trace_dataset calibration = source_(qubit);
@@ -139,6 +178,7 @@ std::uint64_t recalibrator::recalibrate(std::size_t qubit) {
       if (candidate_accuracy + config_.publish_regression_tolerance <
           serving_accuracy) {
         publish_rejections_.fetch_add(1, std::memory_order_relaxed);
+        bump(publish_rejections_cell_);
         throw recalibration_rejected(
             "recalibrator: qubit " + std::to_string(qubit) +
             " candidate accuracy " + std::to_string(candidate_accuracy) +
@@ -172,6 +212,8 @@ std::uint64_t recalibrator::recalibrate(std::size_t qubit) {
     monitor_.rebaseline(qubit, states, margins);
 
     recalibrations_.fetch_add(1, std::memory_order_relaxed);
+    bump(recalibrations_cell_);
+    if (retrain_seconds_ok_ != nullptr) retrain_seconds_ok_->record(elapsed());
     log_info("recalibrated qubit ", qubit, " -> version ", version,
              " (accuracy ", info.train_accuracy, " on ",
              info.calibration_shots, " shots)");
@@ -179,9 +221,16 @@ std::uint64_t recalibrator::recalibrate(std::size_t qubit) {
   } catch (const recalibration_rejected&) {
     // Gate rejections are counted by publish_rejections_, not failures_ —
     // the pipeline worked; the candidate just was not better.
+    if (retrain_seconds_rejected_ != nullptr) {
+      retrain_seconds_rejected_->record(elapsed());
+    }
     throw;
   } catch (...) {
     failures_.fetch_add(1, std::memory_order_relaxed);
+    bump(failures_cell_);
+    if (retrain_seconds_failed_ != nullptr) {
+      retrain_seconds_failed_->record(elapsed());
+    }
     throw;
   }
 }
@@ -201,6 +250,7 @@ recalibrator::attempt_outcome recalibrator::run_attempt(std::size_t qubit) {
       // thread keeps running; its qubit is skipped until it finishes and
       // stop() drains whatever is still outstanding.
       hung_retrains_.fetch_add(1, std::memory_order_relaxed);
+      bump(hung_retrains_cell_);
       log_error("recalibration of qubit ", qubit, " exceeded watchdog of ",
                 config_.watchdog_seconds, "s; detaching the attempt");
       const std::lock_guard lock(mutex_);
@@ -227,6 +277,7 @@ bool recalibrator::service_qubit(std::size_t qubit) {
     if (run_attempt(qubit) != attempt_outcome::failed) return true;
     if (attempt >= config_.max_retries) return true;  // give up this scan
     retries_.fetch_add(1, std::memory_order_relaxed);
+    bump(retries_cell_);
     const auto backoff = std::chrono::duration<double>(
         backoff_seconds(config_, qubit, attempt + 1));
     std::unique_lock lock(mutex_);
@@ -247,6 +298,7 @@ void recalibrator::worker_loop() {
     reap_detached_locked();
     lock.unlock();
     scans_.fetch_add(1, std::memory_order_relaxed);
+    bump(scans_cell_);
     for (const std::size_t qubit : monitor_.drifted_qubits()) {
       {
         const std::lock_guard busy_lock(mutex_);

@@ -62,6 +62,7 @@
 // inject all of it deterministically.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <condition_variable>
@@ -73,6 +74,8 @@
 #include <vector>
 
 #include "klinq/common/stopwatch.hpp"
+#include "klinq/obs/flight_recorder.hpp"
+#include "klinq/obs/metrics.hpp"
 #include "klinq/serve/engine_provider.hpp"
 #include "klinq/serve/request.hpp"
 #include "klinq/serve/shard_scheduler.hpp"
@@ -106,6 +109,19 @@ struct server_config {
   /// after each demotion attempt. Must be positive — effectively disable
   /// the policy with a large value, not 0.
   std::size_t failure_threshold = 8;
+  /// Metrics backend (borrowed; must outlive the server). Null — the
+  /// default — gives the server a private registry, so per-server counts
+  /// stay isolated; point it at obs::default_registry() (as klinq_serve
+  /// does) to land every subsystem in one dump. Either way the families
+  /// are identical and readable through readout_server::metrics().
+  obs::metric_registry* metrics = nullptr;
+  /// Flight recorder capacities: every anomalous (failed / timed-out /
+  /// cancelled) completion is kept in a ring of `flight_anomalies`, and
+  /// the `flight_slowest` slowest ok completions are kept alongside. 0/0
+  /// disables capture entirely (the completion-path gate is one relaxed
+  /// load either way).
+  std::size_t flight_anomalies = 32;
+  std::size_t flight_slowest = 8;
 
   /// Largest accepted shard_shots / coalesce_shots value; anything above is
   /// a config bug, not a workload.
@@ -179,6 +195,18 @@ class readout_server {
 
   server_stats stats() const;
 
+  /// The metric registry backing this server's labeled families (the
+  /// private one, or server_config::metrics when shared). Snapshot/export
+  /// through it: metrics().prometheus_text(), metrics().snapshot(), ...
+  const obs::metric_registry& metrics() const noexcept { return *metrics_; }
+
+  /// Flight-recorder contents: every anomalous completion (bounded ring)
+  /// plus the slowest ok requests, each with its hold/queue/exec span
+  /// breakdown. See server_config::flight_anomalies / flight_slowest.
+  std::vector<obs::flight_record> flight_records() const {
+    return recorder_.records();
+  }
+
  private:
   static constexpr std::uint64_t kNoVersionYet =
       ~static_cast<std::uint64_t>(0);
@@ -203,6 +231,17 @@ class readout_server {
     /// The request's pinned model view: set at submit, read (lock-free) by
     /// every shard executor, released when the last shard completes.
     engine_lease lease;
+    // --- stage-tracing timestamps, all seconds relative to `timer` -------
+    /// When the request left the submit path for the scheduler (≈0 for a
+    /// direct dispatch; the coalesce hold time for a parked member).
+    /// Written by the single thread that dispatches, before the scheduler
+    /// enqueue, so shard executors read it race-free.
+    double dispatch_at = 0.0;
+    /// Earliest shard-execution start (min across shards; guarded by
+    /// mutex_). Negative until the first shard reports in.
+    double first_exec_at = -1.0;
+    /// Total shards this request was split into (for flight records).
+    std::size_t shard_count = 0;
   };
 
   /// One small request parked in a coalescing batch: the borrowed request
@@ -262,28 +301,68 @@ class readout_server {
   /// max_inflight and outstanding_shards_).
   std::unordered_map<std::uint64_t, pending_batch> pending_;
 
-  // Telemetry (guarded by mutex_).
+  // --- telemetry: labeled metric cells -----------------------------------
+  // Every count lives in a metric family of `metrics_` (the private
+  // registry, or server_config::metrics). Handles are pre-resolved here so
+  // the submit/shard paths never touch a registry lock — recording is the
+  // cell's relaxed atomic. stats() sums the cells back into server_stats.
+
+  /// Per-(qubit, engine, status) stage-histogram handles. The `ok` column
+  /// is resolved at construction (the hot path); anomalous statuses are
+  /// resolved lazily at their first completion (under mutex_ — the
+  /// anomaly path is not throughput-critical until it happens once).
+  struct stage_cells {
+    obs::log_histogram* hold = nullptr;
+    obs::log_histogram* queue = nullptr;
+    obs::log_histogram* exec = nullptr;
+  };
+  /// Handles for one (qubit, engine) pair.
+  struct engine_cells {
+    obs::counter* submitted = nullptr;
+    obs::counter* shots_submitted = nullptr;
+    obs::counter* shots_completed = nullptr;
+    obs::counter* shard_failures = nullptr;       // lazy (failure path)
+    std::array<obs::counter*, 4> completed{};     // by request_status
+    std::array<stage_cells, 4> stages{};          // by request_status
+    obs::log_histogram* shard_exec = nullptr;
+  };
+  struct qubit_cells {
+    obs::counter* version_switches = nullptr;
+    obs::counter* rollbacks = nullptr;            // lazy (failure path)
+  };
+
+  /// Resolves the eager handle tables against metrics_.
+  void init_metrics();
+  /// Returns the (qubit, engine, status) cells, resolving lazily for
+  /// non-ok statuses. Requires mutex_ (the lazy write).
+  engine_cells& cells_locked(std::size_t qubit, engine_kind engine);
+  stage_cells& stages_locked(std::size_t qubit, engine_kind engine,
+                             request_status status);
+  /// Completion bookkeeping shared by the shard path and the zero-shot
+  /// submit path: status counters, stage/latency records, flight-recorder
+  /// capture. Requires mutex_; `raw` must already be done with its status
+  /// and latency resolved.
+  void finish_request_locked(slot* raw, engine_kind engine);
+
+  std::unique_ptr<obs::metric_registry> owned_metrics_;
+  obs::metric_registry* metrics_ = nullptr;
+  obs::flight_recorder recorder_;
+
   stopwatch uptime_;
-  std::uint64_t requests_submitted_ = 0;
-  std::uint64_t requests_completed_ = 0;
-  std::uint64_t shots_submitted_ = 0;
-  std::uint64_t shots_completed_ = 0;
-  std::uint64_t requests_coalesced_ = 0;
-  std::uint64_t coalesced_batches_ = 0;
-  std::uint64_t shard_events_ = 0;
-  std::uint64_t version_switches_ = 0;
-  std::uint64_t failed_requests_ = 0;
-  std::uint64_t timed_out_requests_ = 0;
-  std::uint64_t cancelled_requests_ = 0;
-  std::uint64_t shard_failures_ = 0;
-  std::uint64_t rollbacks_ = 0;
+  std::vector<std::array<engine_cells, 2>> cells_;  // [qubit][engine_kind]
+  std::vector<qubit_cells> qubit_cells_;
+  obs::counter* requests_coalesced_cell_ = nullptr;
+  obs::counter* coalesced_batches_cell_ = nullptr;
+  obs::counter* shard_events_cell_ = nullptr;
+  obs::gauge* inflight_cell_ = nullptr;
+  obs::log_histogram* request_seconds_ = nullptr;
+
   /// Consecutive shard failures per qubit (guarded by mutex_); reaching
   /// config_.failure_threshold triggers a provider demote and resets.
   std::vector<std::size_t> consecutive_failures_;
   /// Last acquired version per qubit (guarded by mutex_); the sentinel marks
   /// "no request yet" so the first acquisition is not counted as a switch.
   std::vector<std::uint64_t> last_version_;
-  latency_histogram latency_;
 };
 
 }  // namespace klinq::serve

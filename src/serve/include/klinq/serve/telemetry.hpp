@@ -1,45 +1,28 @@
-// Built-in serving telemetry: counters plus a log-binned latency histogram.
+// Serving telemetry surface.
 //
-// The histogram trades exactness for O(1) memory and record(): latencies are
-// counted into logarithmic bins (kBinsPerDecade per decade from kMinSeconds
-// up), and quantiles report the geometric midpoint of the bin holding the
-// requested rank — a ≤ ~7% relative error at 16 bins/decade, plenty for p50/
-// p99 dashboards. Mutation is externally synchronized (the server records
-// under its own mutex).
+// The log-binned latency histogram that used to live here is now the
+// stack-wide `obs::log_histogram` (klinq/obs/histogram.hpp) — same binning
+// (16 bins/decade from 100 ns), but thread-safe lock-free recording, exact
+// min/max tracking, and within-bin interpolated quantiles (the old
+// geometric-midpoint answer survives as quantile_midpoint()). The alias
+// keeps the serving-era name compiling.
+//
+// `server_stats` remains the one-call lifetime summary. Since the obs PR it
+// is a *view*: readout_server keeps every count in labeled metric families
+// (per-{qubit, engine, status} counters, per-stage histograms — see
+// readout_server::metrics()) and stats() sums them back into this flat
+// struct, so existing callers and tests see identical numbers while
+// dashboards get the labeled series.
 #pragma once
 
-#include <array>
 #include <cstddef>
 #include <cstdint>
 
+#include "klinq/obs/histogram.hpp"
+
 namespace klinq::serve {
 
-class latency_histogram {
- public:
-  static constexpr double kMinSeconds = 1e-7;  // 100 ns floor
-  static constexpr int kBinsPerDecade = 16;
-  static constexpr int kDecades = 9;  // 100 ns .. 100 s
-
-  latency_histogram() { reset(); }
-
-  void record(double seconds) noexcept;
-
-  std::uint64_t count() const noexcept { return count_; }
-
-  /// Latency at quantile q in [0, 1] (q = 0.5 → p50). Returns the geometric
-  /// midpoint of the covering bin; 0 when the histogram is empty.
-  double quantile(double q) const noexcept;
-
-  void reset() noexcept;
-
- private:
-  // First slot: below kMinSeconds; last slot: overflow.
-  static constexpr std::size_t kBinCount =
-      static_cast<std::size_t>(kBinsPerDecade) * kDecades + 2;
-
-  std::array<std::uint64_t, kBinCount> bins_{};
-  std::uint64_t count_ = 0;
-};
+using latency_histogram = obs::log_histogram;
 
 /// Point-in-time snapshot of a server's counters.
 struct server_stats {

@@ -1,8 +1,10 @@
 #include "klinq/serve/readout_server.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <exception>
 #include <span>
+#include <string>
 #include <utility>
 
 #include "klinq/common/error.hpp"
@@ -75,9 +77,11 @@ readout_server::readout_server(std::vector<qubit_engine> qubits,
       provider_(owned_provider_.get()),
       config_(std::move(config)),
       scheduler_(global_thread_pool(), config_.shard_shots),
+      recorder_(config_.flight_anomalies, config_.flight_slowest),
       consecutive_failures_(provider_->qubit_count(), 0),
       last_version_(provider_->qubit_count(), kNoVersionYet) {
   config_.validate();
+  init_metrics();
 }
 
 readout_server::readout_server(const engine_provider& provider,
@@ -85,11 +89,153 @@ readout_server::readout_server(const engine_provider& provider,
     : provider_(&provider),
       config_(std::move(config)),
       scheduler_(global_thread_pool(), config_.shard_shots),
+      recorder_(config_.flight_anomalies, config_.flight_slowest),
       consecutive_failures_(provider_->qubit_count(), 0),
       last_version_(provider_->qubit_count(), kNoVersionYet) {
   KLINQ_REQUIRE(provider_->qubit_count() > 0,
                 "readout_server: provider serves no qubits");
   config_.validate();
+  init_metrics();
+}
+
+namespace {
+
+obs::log_histogram& stage_histogram(obs::metric_registry& metrics,
+                                    const char* stage,
+                                    const std::string& qubit,
+                                    const char* engine, const char* status) {
+  return metrics.get_histogram(
+      "klinq_serve_stage_seconds",
+      {{"stage", stage}, {"qubit", qubit}, {"engine", engine},
+       {"status", status}},
+      "Per-request stage durations: coalesce hold, queue wait, shard "
+      "execution");
+}
+
+}  // namespace
+
+void readout_server::init_metrics() {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::metric_registry>();
+    metrics_ = owned_metrics_.get();
+  }
+  obs::metric_registry& m = *metrics_;
+  requests_coalesced_cell_ =
+      &m.get_counter("klinq_serve_requests_coalesced_total", {},
+                     "Requests routed through the coalescing path");
+  coalesced_batches_cell_ =
+      &m.get_counter("klinq_serve_coalesced_batches_total", {},
+                     "Merged coalesced batches dispatched");
+  shard_events_cell_ =
+      &m.get_counter("klinq_serve_shard_events_total", {},
+                     "Shard completions delivered to on_shard");
+  inflight_cell_ = &m.get_gauge("klinq_serve_inflight", {},
+                                "Submitted requests not yet consumed");
+  request_seconds_ =
+      &m.get_histogram("klinq_serve_request_seconds", {},
+                       "Request latency, submit to completion");
+  const std::size_t qubits = provider_->qubit_count();
+  cells_.resize(qubits);
+  qubit_cells_.resize(qubits);
+  for (std::size_t q = 0; q < qubits; ++q) {
+    const std::string qs = std::to_string(q);
+    qubit_cells_[q].version_switches = &m.get_counter(
+        "klinq_serve_version_switches_total", {{"qubit", qs}},
+        "Submits that pinned a different model version than the qubit's "
+        "previous request");
+    for (std::size_t e = 0; e < cells_[q].size(); ++e) {
+      const char* en = engine_name(static_cast<engine_kind>(e));
+      const obs::label_list qe{{"qubit", qs}, {"engine", en}};
+      engine_cells& cells = cells_[q][e];
+      cells.submitted = &m.get_counter("klinq_serve_requests_submitted_total",
+                                       qe, "Requests accepted by submit");
+      cells.shots_submitted = &m.get_counter(
+          "klinq_serve_shots_submitted_total", qe, "Shots accepted");
+      cells.shots_completed =
+          &m.get_counter("klinq_serve_shots_completed_total", qe,
+                         "Shots whose request completed");
+      // The ok column is the hot path and resolves eagerly; anomalous
+      // statuses materialize on first occurrence (finish_request_locked).
+      cells.completed[0] = &m.get_counter(
+          "klinq_serve_requests_completed_total",
+          {{"qubit", qs}, {"engine", en}, {"status", "ok"}},
+          "Requests resolved, by terminal status");
+      cells.stages[0] = {&stage_histogram(m, "hold", qs, en, "ok"),
+                         &stage_histogram(m, "queue", qs, en, "ok"),
+                         &stage_histogram(m, "exec", qs, en, "ok")};
+      cells.shard_exec = &m.get_histogram("klinq_serve_shard_exec_seconds",
+                                          qe, "Single-shard execution time");
+    }
+  }
+}
+
+readout_server::engine_cells& readout_server::cells_locked(
+    std::size_t qubit, engine_kind engine) {
+  return cells_[qubit][static_cast<std::size_t>(engine)];
+}
+
+readout_server::stage_cells& readout_server::stages_locked(
+    std::size_t qubit, engine_kind engine, request_status status) {
+  stage_cells& st =
+      cells_locked(qubit, engine).stages[static_cast<std::size_t>(status)];
+  if (st.hold == nullptr) {
+    const std::string qs = std::to_string(qubit);
+    const char* en = engine_name(engine);
+    const char* sn = status_name(status);
+    st = {&stage_histogram(*metrics_, "hold", qs, en, sn),
+          &stage_histogram(*metrics_, "queue", qs, en, sn),
+          &stage_histogram(*metrics_, "exec", qs, en, sn)};
+  }
+  return st;
+}
+
+void readout_server::finish_request_locked(slot* raw, engine_kind engine) {
+  const std::size_t qubit = raw->result.qubit;
+  const request_status status = raw->result.status;
+  engine_cells& cells = cells_locked(qubit, engine);
+  obs::counter*& completed =
+      cells.completed[static_cast<std::size_t>(status)];
+  if (completed == nullptr) {
+    completed = &metrics_->get_counter(
+        "klinq_serve_requests_completed_total",
+        {{"qubit", std::to_string(qubit)}, {"engine", engine_name(engine)},
+         {"status", status_name(status)}},
+        "Requests resolved, by terminal status");
+  }
+  completed->inc();
+  cells.shots_completed->inc(raw->shots);
+  // Stage spans, all relative to the submit timer: hold is the coalesce
+  // park time (0 for direct dispatch), queue is scheduler wait until the
+  // first shard started, exec covers first shard start → last shard done.
+  const double total = raw->result.latency_seconds;
+  const double hold = raw->dispatch_at;
+  const double first =
+      raw->first_exec_at < 0.0 ? raw->dispatch_at : raw->first_exec_at;
+  const double queue = first - raw->dispatch_at;
+  const double exec = total - first;
+  stage_cells& stages = stages_locked(qubit, engine, status);
+  stages.hold->record(hold);
+  stages.queue->record(queue);
+  stages.exec->record(exec);
+  request_seconds_->record(total);
+  const bool anomalous = status != request_status::ok;
+  if (recorder_.enabled() && recorder_.should_capture(total, anomalous)) {
+    obs::flight_record rec;
+    rec.id = raw->id;
+    rec.kind = status_name(status);
+    rec.anomalous = anomalous;
+    rec.total_seconds = total;
+    rec.stages = {{"hold", hold}, {"queue", queue}, {"exec", exec}};
+    rec.attributes = {
+        {"qubit", std::to_string(qubit)},
+        {"engine", engine_name(engine)},
+        {"version", std::to_string(raw->result.model_version)},
+        {"shots", std::to_string(raw->shots)},
+        {"shards", std::to_string(raw->shard_count)}};
+    recorder_.capture(std::move(rec));
+  }
 }
 
 readout_server::~readout_server() {
@@ -205,7 +351,7 @@ ticket readout_server::submit_locked(const readout_request& request,
   s->result.model_version = lease.version;
   if (last_version_[request.qubit] != kNoVersionYet &&
       last_version_[request.qubit] != lease.version) {
-    ++version_switches_;
+    qubit_cells_[request.qubit].version_switches->inc();
   }
   last_version_[request.qubit] = lease.version;
   s->lease = std::move(lease);
@@ -219,20 +365,25 @@ ticket readout_server::submit_locked(const readout_request& request,
     s->result.logits.resize(shots);
     s->result.registers.clear();
   }
+  s->dispatch_at = 0.0;
+  s->first_exec_at = -1.0;
+  s->shard_count = s->remaining_shards;
   s->timer.reset();
 
   slot* raw = s.get();
   const ticket t{raw->id};
   active_.emplace(raw->id, std::move(s));
-  ++requests_submitted_;
-  shots_submitted_ += shots;
+  engine_cells& cells = cells_locked(request.qubit, request.engine);
+  cells.submitted->inc();
+  cells.shots_submitted->inc(shots);
+  inflight_cell_->set(static_cast<double>(active_.size()));
   outstanding_shards_ += raw->remaining_shards;
 
   if (shots == 0) {
     raw->done = true;
     raw->lease = engine_lease{};  // nothing will run; release the snapshot
-    ++requests_completed_;
-    latency_.record(raw->timer.seconds());
+    raw->result.latency_seconds = raw->timer.seconds();
+    finish_request_locked(raw, request.engine);
     completed_.notify_all();
     return t;
   }
@@ -243,13 +394,13 @@ ticket readout_server::submit_locked(const readout_request& request,
     pending_batch& batch = pending_[key];
     batch.members.push_back({request, raw});
     batch.shots += shots;
-    ++requests_coalesced_;
+    requests_coalesced_cell_->inc();
     std::vector<pending_batch> ready;
     if (batch.shots >= scheduler_.shard_shots()) {
       // A full shard's worth accumulated: dispatch the merged batch now.
       ready.push_back(std::move(batch));
       pending_.erase(key);
-      ++coalesced_batches_;
+      coalesced_batches_cell_->inc();
     } else if (active_.size() < config_.max_inflight) {
       return t;  // keep parking
     }
@@ -267,6 +418,7 @@ ticket readout_server::submit_locked(const readout_request& request,
   // Dispatch outside the lock: the pool has its own mutex, and shards may
   // even run inline here on a workerless (single-CPU) pool. The slot cannot
   // complete early — remaining_shards is already final.
+  raw->dispatch_at = raw->timer.seconds();
   lock.unlock();
   const readout_request req = request;
   scheduler_.dispatch(
@@ -280,6 +432,7 @@ ticket readout_server::submit_locked(const readout_request& request,
 void readout_server::execute_range(slot* raw, const readout_request& request,
                                    std::size_t begin, std::size_t end,
                                    shard_arena& arena) {
+  const double exec_begin = raw->timer.seconds();
   std::exception_ptr error;
   bool event_fired = false;
   // Expiry/cancellation are checked at shard start: a skipped shard costs
@@ -324,6 +477,10 @@ void readout_server::execute_range(slot* raw, const readout_request& request,
     } catch (...) {
       error = std::current_exception();
     }
+    // Per-shard execution time (ran or threw — either way it held a worker
+    // for this long). Lock-free: the cell is a pre-resolved histogram.
+    cells_locked(request.qubit, request.engine)
+        .shard_exec->record(raw->timer.seconds() - exec_begin);
   }
   // The provider demote (below) takes the provider's own locks, so the
   // decision is made under mutex_ but the call happens after it releases.
@@ -333,10 +490,21 @@ void readout_server::execute_range(slot* raw, const readout_request& request,
   {
     const std::lock_guard done_lock(mutex_);
     if (error && !raw->error) raw->error = error;
-    if (event_fired) ++shard_events_;
+    if (event_fired) shard_events_cell_->inc();
     if (skipped_deadline) raw->deadline_expired = true;
+    if (raw->first_exec_at < 0.0 || exec_begin < raw->first_exec_at) {
+      raw->first_exec_at = exec_begin;
+    }
     if (error) {
-      ++shard_failures_;
+      engine_cells& cells = cells_locked(qubit, request.engine);
+      if (cells.shard_failures == nullptr) {
+        cells.shard_failures = &metrics_->get_counter(
+            "klinq_serve_shard_failures_total",
+            {{"qubit", std::to_string(qubit)},
+             {"engine", engine_name(request.engine)}},
+            "Shard executions that threw");
+      }
+      cells.shard_failures->inc();
       if (++consecutive_failures_[qubit] >= config_.failure_threshold) {
         // Reset before demoting so the next window needs a full threshold
         // of fresh failures (whether or not the provider switches).
@@ -356,19 +524,14 @@ void readout_server::execute_range(slot* raw, const readout_request& request,
       // outranks a shard error (the caller asked for the answer's absence).
       if (raw->cancelled.load(std::memory_order_relaxed)) {
         raw->result.status = request_status::cancelled;
-        ++cancelled_requests_;
       } else if (raw->deadline_expired) {
         raw->result.status = request_status::timed_out;
-        ++timed_out_requests_;
       } else if (raw->error) {
         raw->result.status = request_status::failed;
-        ++failed_requests_;
       } else {
         raw->result.status = request_status::ok;
       }
-      ++requests_completed_;
-      shots_completed_ += raw->shots;
-      latency_.record(raw->result.latency_seconds);
+      finish_request_locked(raw, request.engine);
     }
     if (raw->done || outstanding_shards_ == 0) completed_.notify_all();
   }
@@ -376,11 +539,24 @@ void readout_server::execute_range(slot* raw, const readout_request& request,
   // here on.
   if (demote_now && provider_->demote(qubit, failing_version)) {
     const std::lock_guard lock(mutex_);
-    ++rollbacks_;
+    obs::counter*& cell = qubit_cells_[qubit].rollbacks;
+    if (cell == nullptr) {
+      cell = &metrics_->get_counter(
+          "klinq_serve_rollbacks_total", {{"qubit", std::to_string(qubit)}},
+          "Automatic demote-to-last-known-good rollbacks this server "
+          "triggered");
+    }
+    cell->inc();
   }
 }
 
 void readout_server::dispatch_batch(pending_batch batch) {
+  // End of the coalesce hold: stamped by the single thread that unparked
+  // the batch, before the scheduler enqueue, so executors read it
+  // race-free (the enqueue orders these writes before execution).
+  for (const pending_member& member : batch.members) {
+    member.s->dispatch_at = member.s->timer.seconds();
+  }
   // One scheduler task, one arena: every member runs its full row range
   // back to back, completing (and waking waiters) individually.
   scheduler_.dispatch_one(
@@ -400,7 +576,7 @@ void readout_server::take_pending_locked(std::vector<pending_batch>& out) {
   for (auto& [key, batch] : pending_) {
     if (batch.members.empty()) continue;
     out.push_back(std::move(batch));
-    ++coalesced_batches_;
+    coalesced_batches_cell_->inc();
   }
   pending_.clear();
 }
@@ -427,7 +603,7 @@ void readout_server::flush_pending_for(ticket t) {
         if (member.s->id == t.id) {
           ready = std::move(it->second);
           pending_.erase(it);
-          ++coalesced_batches_;
+          coalesced_batches_cell_->inc();
           break;
         }
       }
@@ -525,6 +701,7 @@ void readout_server::wait(ticket t, readout_result& out) {
 
   std::unique_ptr<slot> s = std::move(it->second);
   active_.erase(it);
+  inflight_cell_->set(static_cast<double>(active_.size()));
   capacity_.notify_one();
 
   // A failed request rethrows its first shard error; a timed-out or
@@ -566,29 +743,51 @@ void readout_server::drain() {
 }
 
 server_stats readout_server::stats() const {
+  // A view over the labeled metric cells: the flat lifetime struct is the
+  // sum of its per-{qubit, engine, status} series. Taken under mutex_ so
+  // the counts are mutually consistent (completions bump several cells
+  // under the same lock).
   const std::lock_guard lock(mutex_);
   server_stats snapshot;
-  snapshot.requests_submitted = requests_submitted_;
-  snapshot.requests_completed = requests_completed_;
-  snapshot.shots_submitted = shots_submitted_;
-  snapshot.shots_completed = shots_completed_;
-  snapshot.requests_coalesced = requests_coalesced_;
-  snapshot.coalesced_batches = coalesced_batches_;
-  snapshot.shard_events = shard_events_;
-  snapshot.version_switches = version_switches_;
-  snapshot.failed_requests = failed_requests_;
-  snapshot.timed_out_requests = timed_out_requests_;
-  snapshot.cancelled_requests = cancelled_requests_;
-  snapshot.shard_failures = shard_failures_;
-  snapshot.rollbacks = rollbacks_;
+  for (std::size_t q = 0; q < cells_.size(); ++q) {
+    for (const engine_cells& cells : cells_[q]) {
+      snapshot.requests_submitted += cells.submitted->value();
+      snapshot.shots_submitted += cells.shots_submitted->value();
+      snapshot.shots_completed += cells.shots_completed->value();
+      if (cells.shard_failures != nullptr) {
+        snapshot.shard_failures += cells.shard_failures->value();
+      }
+      for (std::size_t s = 0; s < cells.completed.size(); ++s) {
+        if (cells.completed[s] == nullptr) continue;  // never materialized
+        const std::uint64_t n = cells.completed[s]->value();
+        snapshot.requests_completed += n;
+        switch (static_cast<request_status>(s)) {
+          case request_status::ok: break;
+          case request_status::timed_out: snapshot.timed_out_requests += n;
+            break;
+          case request_status::cancelled: snapshot.cancelled_requests += n;
+            break;
+          case request_status::failed: snapshot.failed_requests += n; break;
+        }
+      }
+    }
+    snapshot.version_switches += qubit_cells_[q].version_switches->value();
+    if (qubit_cells_[q].rollbacks != nullptr) {
+      snapshot.rollbacks += qubit_cells_[q].rollbacks->value();
+    }
+  }
+  snapshot.requests_coalesced = requests_coalesced_cell_->value();
+  snapshot.coalesced_batches = coalesced_batches_cell_->value();
+  snapshot.shard_events = shard_events_cell_->value();
   snapshot.inflight = active_.size();
   snapshot.uptime_seconds = uptime_.seconds();
   snapshot.shots_per_second =
       snapshot.uptime_seconds > 0.0
-          ? static_cast<double>(shots_completed_) / snapshot.uptime_seconds
+          ? static_cast<double>(snapshot.shots_completed) /
+                snapshot.uptime_seconds
           : 0.0;
-  snapshot.latency_p50_seconds = latency_.quantile(0.50);
-  snapshot.latency_p99_seconds = latency_.quantile(0.99);
+  snapshot.latency_p50_seconds = request_seconds_->quantile(0.50);
+  snapshot.latency_p99_seconds = request_seconds_->quantile(0.99);
   return snapshot;
 }
 

@@ -1,0 +1,497 @@
+// klinq::obs — labeled metrics registry, exposition formats, flight
+// recorder, fault mirror and JSONL emitter.
+//
+// Contracts under test:
+//   * log_histogram: interpolated quantiles exact at the observed extremes
+//     and tighter than the legacy geometric midpoint (which survives as
+//     quantile_midpoint), min/max tracking, merge, non-finite handling;
+//   * metric_registry: find-or-create resolution returns stable cells,
+//     label canonicalization, kind/name validation, and a concurrent
+//     hammer (run under TSAN in CI) proving lock-free records plus
+//     concurrent resolution and snapshots lose nothing;
+//   * exposition: Prometheus text passes the strict linter and matches a
+//     golden rendering; the linter catches the malformed inputs it exists
+//     for; JSON snapshot lines are single-line and parseable-ish;
+//   * flight_recorder: anomaly ring overwrites oldest, slowest-N set keeps
+//     the right members, the admission gate stays cheap and truthful;
+//   * fault mirror: fault::report() deltas land as counters and survive
+//     the counter reset on re-arm;
+//   * metrics_emitter: background JSONL lines appear and stop() flushes a
+//     final one; environment wiring via KLINQ_METRICS_FILE.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "klinq/common/error.hpp"
+#include "klinq/fault/fault.hpp"
+#include "klinq/obs/emitter.hpp"
+#include "klinq/obs/exposition.hpp"
+#include "klinq/obs/fault_mirror.hpp"
+#include "klinq/obs/flight_recorder.hpp"
+#include "klinq/obs/histogram.hpp"
+#include "klinq/obs/metrics.hpp"
+
+namespace {
+
+using namespace klinq;
+
+// --- histogram -------------------------------------------------------------
+
+TEST(ObsHistogram, EmptyAndSingleValue) {
+  obs::log_histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+
+  h.record(3.7e-3);
+  EXPECT_EQ(h.count(), 1u);
+  // One observation: every quantile is that observation, exactly — the
+  // clamp to [min, max] removes the old midpoint bin error entirely.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.min(), 3.7e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 3.7e-3);
+}
+
+TEST(ObsHistogram, InterpolatedQuantileBeatsMidpoint) {
+  // 1000 samples spread uniformly (in log space) across two decades.
+  obs::log_histogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 1e-4 * std::pow(10.0, 2.0 * i / 999.0);
+    values.push_back(v);
+    h.record(v);
+  }
+  const double exact_p50 = values[499];
+  const double interp = h.quantile(0.5);
+  const double midpoint = h.quantile_midpoint(0.5);
+  EXPECT_LE(std::abs(interp - exact_p50) / exact_p50,
+            std::abs(midpoint - exact_p50) / exact_p50 + 1e-12);
+  // Interpolation error stays well under one bin width (~15%).
+  EXPECT_NEAR(interp, exact_p50, exact_p50 * 0.08);
+  // Extremes are exact.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), values.front());
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), values.back());
+}
+
+TEST(ObsHistogram, MidpointLegacyBehaviourPreserved) {
+  // The legacy answer for a single mid-bin sample is the geometric midpoint
+  // of its covering bin, not the sample itself.
+  obs::log_histogram h;
+  h.record(1.083e-3);
+  const double mid = h.quantile_midpoint(0.5);
+  const double lo = 1e-7;
+  // Find the covering bin edges the old way: 16 bins/decade from 1e-7.
+  const int bin = static_cast<int>(std::log10(1.083e-3 / lo) * 16.0);
+  const double lower = lo * std::pow(10.0, bin / 16.0);
+  const double upper = lo * std::pow(10.0, (bin + 1) / 16.0);
+  EXPECT_DOUBLE_EQ(mid, std::sqrt(lower * upper));
+  EXPECT_NE(mid, h.quantile(0.5));  // interpolated path clamps to the sample
+}
+
+TEST(ObsHistogram, MergeAndNonFinite) {
+  obs::log_histogram a;
+  obs::log_histogram b;
+  a.record(1e-3);
+  a.record(2e-3);
+  b.record(4e-3);
+  obs::histogram_data merged = a.data();
+  merged.merge(b.data());
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_DOUBLE_EQ(merged.min, 1e-3);
+  EXPECT_DOUBLE_EQ(merged.max, 4e-3);
+  EXPECT_NEAR(merged.sum, 7e-3, 1e-12);
+
+  obs::log_histogram nf;
+  nf.record(std::numeric_limits<double>::quiet_NaN());
+  nf.record(std::numeric_limits<double>::infinity());
+  nf.record(5e-2);
+  // Non-finite observations are counted (into underflow/overflow) but never
+  // poison sum/min/max.
+  EXPECT_EQ(nf.count(), 3u);
+  EXPECT_TRUE(std::isfinite(nf.sum()));
+  EXPECT_DOUBLE_EQ(nf.min(), 5e-2);
+  EXPECT_DOUBLE_EQ(nf.max(), 5e-2);
+}
+
+// --- registry resolution ---------------------------------------------------
+
+TEST(ObsRegistry, ResolutionIsStableAndOrderInsensitive) {
+  obs::metric_registry reg;
+  obs::counter& a =
+      reg.get_counter("requests_total", {{"qubit", "0"}, {"engine", "fixed"}});
+  obs::counter& b =
+      reg.get_counter("requests_total", {{"engine", "fixed"}, {"qubit", "0"}});
+  EXPECT_EQ(&a, &b);  // label order canonicalized away
+  obs::counter& c =
+      reg.get_counter("requests_total", {{"engine", "float"}, {"qubit", "0"}});
+  EXPECT_NE(&a, &c);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  const obs::metrics_snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("requests_total",
+                       {{"qubit", "0"}, {"engine", "fixed"}}),
+            3.0);
+  EXPECT_EQ(snap.value("requests_total",
+                       {{"engine", "float"}, {"qubit", "0"}}),
+            0.0);
+  EXPECT_EQ(snap.value("absent_family"), 0.0);
+}
+
+TEST(ObsRegistry, ValidationAndKindMismatch) {
+  obs::metric_registry reg;
+  EXPECT_THROW(reg.get_counter("bad name"), invalid_argument_error);
+  EXPECT_THROW(reg.get_counter("0leading_digit"), invalid_argument_error);
+  EXPECT_THROW(reg.get_counter("ok_name", {{"bad-key", "v"}}),
+               invalid_argument_error);
+  EXPECT_THROW(reg.get_counter("ok_name", {{"le", "v"}}),
+               invalid_argument_error);  // reserved by histogram exposition
+  EXPECT_THROW(reg.get_counter("ok_name", {{"k", "1"}, {"k", "2"}}),
+               invalid_argument_error);  // duplicate key
+
+  reg.get_counter("family_a");
+  EXPECT_THROW(reg.get_gauge("family_a"), invalid_argument_error);
+  EXPECT_THROW(reg.get_histogram("family_a"), invalid_argument_error);
+  // Label values are unconstrained (escaped at exposition time).
+  EXPECT_NO_THROW(reg.get_counter("family_b", {{"k", "weird \"value\"\n"}}));
+}
+
+TEST(ObsRegistry, HelpBackfillAndFamilyCount) {
+  obs::metric_registry reg;
+  reg.get_counter("documented_total", {{"k", "1"}}, "");
+  reg.get_counter("documented_total", {{"k", "2"}}, "Later help wins.");
+  const obs::metrics_snapshot snap = reg.snapshot();
+  const obs::family_snapshot* fam = snap.find("documented_total");
+  ASSERT_NE(fam, nullptr);
+  EXPECT_EQ(fam->help, "Later help wins.");
+  EXPECT_EQ(fam->series.size(), 2u);
+  EXPECT_EQ(reg.family_count(), 1u);
+}
+
+TEST(ObsRegistry, HistogramQuantileSubsetMatch) {
+  obs::metric_registry reg;
+  reg.get_histogram("stage_seconds", {{"stage", "exec"}, {"qubit", "0"}})
+      .record(1e-3);
+  reg.get_histogram("stage_seconds", {{"stage", "exec"}, {"qubit", "1"}})
+      .record(1e-1);
+  reg.get_histogram("stage_seconds", {{"stage", "hold"}, {"qubit", "0"}})
+      .record(1e1);
+  const obs::metrics_snapshot snap = reg.snapshot();
+  // Subset match over {stage=exec} merges both qubits but not "hold".
+  const double p100 =
+      snap.histogram_quantile("stage_seconds", {{"stage", "exec"}}, 1.0);
+  EXPECT_DOUBLE_EQ(p100, 1e-1);
+  const double p0 =
+      snap.histogram_quantile("stage_seconds", {{"stage", "exec"}}, 0.0);
+  EXPECT_DOUBLE_EQ(p0, 1e-3);
+  EXPECT_DOUBLE_EQ(snap.histogram_quantile("stage_seconds", {}, 1.0), 1e1);
+}
+
+TEST(ObsRegistry, CollectorsRunAtSnapshot) {
+  obs::metric_registry reg;
+  obs::gauge& g = reg.get_gauge("pulled_value");
+  std::atomic<int> pulls{0};
+  const std::uint64_t id = reg.add_collector([&] {
+    pulls.fetch_add(1);
+    g.set(42.0);
+  });
+  EXPECT_EQ(g.value(), 0.0);
+  const obs::metrics_snapshot snap = reg.snapshot();
+  EXPECT_EQ(pulls.load(), 1);
+  EXPECT_EQ(snap.value("pulled_value"), 42.0);
+  reg.remove_collector(id);
+  reg.snapshot();
+  EXPECT_EQ(pulls.load(), 1);  // unbound collectors never run again
+}
+
+// The TSAN target: concurrent increments through shared and distinct
+// resolved handles, concurrent resolution of fresh series, and concurrent
+// snapshots — exact totals at the end, no data races reported.
+TEST(ObsRegistry, ConcurrentHammer) {
+  obs::metric_registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  obs::counter& shared = reg.get_counter("hammer_shared_total");
+  obs::log_histogram& histo = reg.get_histogram("hammer_seconds");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      obs::counter& mine =
+          reg.get_counter("hammer_per_thread_total",
+                          {{"thread", std::to_string(t)}});
+      for (int i = 0; i < kIters; ++i) {
+        shared.inc();
+        mine.inc();
+        histo.record(1e-4 * (1 + (i % 7)));
+        if (i % 512 == 0) {
+          // Concurrent resolution of a fresh series + a full snapshot, both
+          // racing the lock-free records above.
+          reg.get_counter("hammer_burst_total",
+                          {{"thread", std::to_string(t)},
+                           {"burst", std::to_string(i / 512)}})
+              .inc();
+          reg.snapshot();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(shared.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(histo.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  const obs::metrics_snapshot snap = reg.snapshot();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.value("hammer_per_thread_total",
+                         {{"thread", std::to_string(t)}}),
+              static_cast<double>(kIters));
+  }
+}
+
+// --- exposition ------------------------------------------------------------
+
+TEST(ObsExposition, PrometheusGoldenScalarFamilies) {
+  obs::metric_registry reg;
+  reg.get_counter("demo_requests_total", {{"engine", "fixed"}, {"qubit", "0"}},
+                  "Requests served.")
+      .inc(7);
+  reg.get_counter("demo_requests_total", {{"engine", "fixed"}, {"qubit", "1"}})
+      .inc(2);
+  reg.get_gauge("demo_inflight", {}, "Open tickets.").set(3.0);
+  reg.get_gauge("demo_ratio", {{"kind", "es\"cape\\d\n"}}).set(0.25);
+
+  const std::string text = obs::prometheus_text(reg.snapshot());
+  const std::string expected =
+      "# HELP demo_inflight Open tickets.\n"
+      "# TYPE demo_inflight gauge\n"
+      "demo_inflight 3\n"
+      "# TYPE demo_ratio gauge\n"
+      "demo_ratio{kind=\"es\\\"cape\\\\d\\n\"} 0.25\n"
+      "# HELP demo_requests_total Requests served.\n"
+      "# TYPE demo_requests_total counter\n"
+      "demo_requests_total{engine=\"fixed\",qubit=\"0\"} 7\n"
+      "demo_requests_total{engine=\"fixed\",qubit=\"1\"} 2\n";
+  EXPECT_EQ(text, expected);
+  EXPECT_TRUE(obs::lint_prometheus_text(text).empty());
+}
+
+TEST(ObsExposition, PrometheusHistogramShapeAndLint) {
+  obs::metric_registry reg;
+  obs::log_histogram& h =
+      reg.get_histogram("demo_seconds", {{"stage", "exec"}}, "Stage time.");
+  h.record(1e-3);
+  h.record(2e-3);
+  h.record(5.0);
+  const std::string text = obs::prometheus_text(reg.snapshot());
+  ASSERT_TRUE(obs::lint_prometheus_text(text).empty())
+      << obs::lint_prometheus_text(text).front();
+  // Cumulative buckets end at +Inf == count; sum is the raw sum.
+  EXPECT_NE(text.find("# TYPE demo_seconds histogram"), std::string::npos);
+  EXPECT_NE(
+      text.find("demo_seconds_bucket{stage=\"exec\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_count{stage=\"exec\"} 3"),
+            std::string::npos);
+  // A bucket edge between 2e-3 and 5 must already hold 2.
+  EXPECT_NE(text.find("demo_seconds_bucket{stage=\"exec\",le=\"0.01\"} 2"),
+            std::string::npos);
+}
+
+TEST(ObsExposition, LintCatchesMalformedInput) {
+  const auto problems = [](const char* text) {
+    return obs::lint_prometheus_text(text);
+  };
+  EXPECT_FALSE(problems("1bad_name 3\n").empty());
+  EXPECT_FALSE(problems("ok_name notanumber\n").empty());
+  EXPECT_FALSE(problems("ok_name{k=unquoted} 1\n").empty());
+  EXPECT_FALSE(problems("ok_name{k=\"v\"} 1\nok_name{k=\"v\"} 2\n").empty());
+  EXPECT_FALSE(problems("# TYPE ok_name nonsense_type\n").empty());
+  EXPECT_FALSE(
+      problems("# TYPE ok_name counter\n# TYPE ok_name counter\n").empty());
+  // TYPE after the family already emitted samples.
+  EXPECT_FALSE(problems("ok_name 1\n# TYPE ok_name counter\n").empty());
+  // Bad escape in a label value.
+  EXPECT_FALSE(problems("ok_name{k=\"bad\\q\"} 1\n").empty());
+  // Clean inputs stay clean, including exotic-but-legal values.
+  EXPECT_TRUE(problems("ok_name +Inf\nother_name NaN 1712345678\n").empty());
+}
+
+TEST(ObsExposition, JsonSnapshotIsOneLine) {
+  obs::metric_registry reg;
+  reg.get_counter("j_total", {{"k", "v\"q\""}}).inc(5);
+  reg.get_histogram("j_seconds").record(2e-3);
+  const std::string line = obs::json_text(reg.snapshot());
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"j_total\""), std::string::npos);
+  EXPECT_NE(line.find("\"k\":\"v\\\"q\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("\"p50\""), std::string::npos);
+  EXPECT_NE(line.find("\"count\":1"), std::string::npos);
+}
+
+// --- flight recorder -------------------------------------------------------
+
+obs::flight_record make_record(std::uint64_t id, double total,
+                               bool anomalous) {
+  obs::flight_record r;
+  r.id = id;
+  r.kind = anomalous ? "failed" : "ok";
+  r.anomalous = anomalous;
+  r.total_seconds = total;
+  r.stages = {{"hold", total * 0.1}, {"queue", total * 0.2},
+              {"exec", total * 0.7}};
+  return r;
+}
+
+TEST(ObsFlightRecorder, AnomalyRingOverwritesOldest) {
+  obs::flight_recorder rec(3, 0);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(rec.should_capture(1e-3, true));
+    rec.capture(make_record(id, 1e-3, true));
+  }
+  const std::vector<obs::flight_record> records = rec.records();
+  ASSERT_EQ(records.size(), 3u);  // ring kept the newest three, oldest first
+  EXPECT_EQ(records[0].id, 3u);
+  EXPECT_EQ(records[1].id, 4u);
+  EXPECT_EQ(records[2].id, 5u);
+  EXPECT_FALSE(rec.should_capture(10.0, false));  // slowest set disabled
+}
+
+TEST(ObsFlightRecorder, SlowestSetKeepsTopN) {
+  obs::flight_recorder rec(0, 3);
+  const double totals[] = {5e-3, 1e-3, 9e-3, 2e-3, 7e-3, 4e-3};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (rec.should_capture(totals[i], false)) {
+      rec.capture(make_record(i, totals[i], false));
+    }
+  }
+  const std::vector<obs::flight_record> records = rec.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_DOUBLE_EQ(records[0].total_seconds, 5e-3);  // ascending
+  EXPECT_DOUBLE_EQ(records[1].total_seconds, 7e-3);
+  EXPECT_DOUBLE_EQ(records[2].total_seconds, 9e-3);
+  // Once full, the floor rejects anything at or below the current minimum.
+  EXPECT_FALSE(rec.should_capture(4e-3, false));
+  EXPECT_TRUE(rec.should_capture(6e-3, false));
+  EXPECT_FALSE(rec.should_capture(1.0, true));  // anomaly ring disabled
+  rec.clear();
+  EXPECT_TRUE(rec.records().empty());
+  EXPECT_TRUE(rec.should_capture(1e-9, false));  // floor reset
+}
+
+TEST(ObsFlightRecorder, StagesSurviveCapture) {
+  obs::flight_recorder rec(4, 4);
+  obs::flight_record r = make_record(17, 1e-2, false);
+  r.attributes = {{"qubit", "2"}, {"engine", "fixed-q16.16"}};
+  rec.capture(r);
+  const std::vector<obs::flight_record> records = rec.records();
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].stages.size(), 3u);
+  EXPECT_EQ(records[0].stages[0].name, "hold");
+  EXPECT_EQ(records[0].stages[2].name, "exec");
+  EXPECT_EQ(records[0].attributes[0].second, "2");
+  EXPECT_EQ(records[0].sequence, 1u);
+}
+
+// --- fault mirror ----------------------------------------------------------
+
+TEST(ObsFaultMirror, ReportDeltasBecomeCounters) {
+  fault::disarm_all();
+  obs::metric_registry reg;
+  const std::uint64_t id = obs::bind_fault_metrics(reg);
+  fault::arm_from_string("obs.test.site:throw:1.0:3");
+  for (int i = 0; i < 5; ++i) {
+    try {
+      fault::trigger("obs.test.site");
+    } catch (const fault::injected_fault&) {
+    }
+  }
+  obs::metrics_snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("klinq_fault_evaluations_total",
+                       {{"site", "obs.test.site"}}),
+            5.0);
+  EXPECT_EQ(snap.value("klinq_fault_fired_total",
+                       {{"site", "obs.test.site"}}),
+            5.0);  // probability 1.0: every evaluation fires
+
+  // Re-arming resets fault's internal counters; the mirror's cursors clamp
+  // instead of double-counting or going backwards.
+  fault::arm_from_string("obs.test.site:throw:1.0:3");
+  try {
+    fault::trigger("obs.test.site");
+  } catch (const fault::injected_fault&) {
+  }
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.value("klinq_fault_evaluations_total",
+                       {{"site", "obs.test.site"}}),
+            6.0);
+  fault::disarm_all();
+  reg.remove_collector(id);
+}
+
+// --- emitter ---------------------------------------------------------------
+
+std::string temp_path(const char* stem) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string(stem) + std::to_string(::getpid()) + ".jsonl"))
+      .string();
+}
+
+TEST(ObsEmitter, WritesJsonlLinesAndFinalFlush) {
+  const std::string path = temp_path("klinq_obs_emitter_");
+  std::filesystem::remove(path);
+  obs::metric_registry reg;
+  reg.get_counter("emitted_total").inc(9);
+  {
+    obs::metrics_emitter emitter(reg, {path, 0.02});
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    emitter.stop();
+    EXPECT_GE(emitter.lines_written(), 2u);  // ticks plus the final line
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"emitted_total\""), std::string::npos);
+  }
+  EXPECT_GE(lines, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(ObsEmitter, EnvironmentWiring) {
+  obs::metric_registry reg;
+  ::unsetenv("KLINQ_METRICS_FILE");
+  EXPECT_EQ(obs::start_emitter_from_env(reg), nullptr);
+
+  const std::string path = temp_path("klinq_obs_emitter_env_");
+  std::filesystem::remove(path);
+  ::setenv("KLINQ_METRICS_FILE", path.c_str(), 1);
+  ::setenv("KLINQ_METRICS_INTERVAL", "0.02", 1);
+  {
+    const auto emitter = obs::start_emitter_from_env(reg);
+    ASSERT_NE(emitter, nullptr);
+  }
+  ::unsetenv("KLINQ_METRICS_FILE");
+  ::unsetenv("KLINQ_METRICS_INTERVAL");
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -21,9 +21,14 @@
 #include "klinq/common/thread_pool.hpp"
 #include "klinq/core/qubit_discriminator.hpp"
 #include "klinq/core/system.hpp"
+#include "klinq/fault/fault.hpp"
 #include "klinq/hw/fixed_discriminator.hpp"
 #include "klinq/kd/distiller.hpp"
+#include "klinq/obs/exposition.hpp"
+#include "klinq/obs/fault_mirror.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
+#include "klinq/registry/drift_monitor.hpp"
+#include "klinq/registry/model_registry.hpp"
 #include "klinq/serve/readout_server.hpp"
 #include "klinq/serve/shard_scheduler.hpp"
 #include "klinq/serve/telemetry.hpp"
@@ -942,6 +947,191 @@ TEST(SystemServe, MeasureBatchMatchesSerialPerQubit) {
   EXPECT_TRUE(partial[1].empty());
   EXPECT_EQ(partial[0], sharded[0]);
   EXPECT_EQ(partial[2], sharded[2]);
+}
+
+// --- observability: stage tracing, flight recorder, full-stack dump --------
+
+TEST(ObsServe, StageSpansSumToRequestLatency) {
+  auto& f = fixture();
+  obs::metric_registry metrics;
+  serve::server_config config;
+  config.metrics = &metrics;
+  config.flight_slowest = 16;  // large enough to keep every ok request here
+  serve::readout_server server(f.engines(), config);
+
+  std::vector<serve::ticket> tickets;
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    tickets.push_back(
+        server.submit({q, &f.data[q].test, serve::engine_kind::fixed_q16}));
+    tickets.push_back(
+        server.submit({q, &f.data[q].test, serve::engine_kind::float_student}));
+  }
+  for (const serve::ticket t : tickets) {
+    EXPECT_EQ(server.wait(t).status, serve::request_status::ok);
+  }
+
+  const std::vector<obs::flight_record> records = server.flight_records();
+  ASSERT_EQ(records.size(), tickets.size());
+  for (const obs::flight_record& record : records) {
+    EXPECT_FALSE(record.anomalous);
+    EXPECT_EQ(record.kind, "ok");
+    ASSERT_EQ(record.stages.size(), 3u);
+    EXPECT_EQ(record.stages[0].name, "hold");
+    EXPECT_EQ(record.stages[1].name, "queue");
+    EXPECT_EQ(record.stages[2].name, "exec");
+    // The three spans tile the submit→completion interval exactly: hold ends
+    // where queue starts, queue where the first shard starts, exec at the
+    // last shard. Only float rounding separates their sum from the total.
+    double sum = 0.0;
+    for (const obs::flight_stage& stage : record.stages) sum += stage.seconds;
+    EXPECT_NEAR(sum, record.total_seconds,
+                1e-9 + 1e-6 * record.total_seconds);
+  }
+
+  // The same spans landed in the labeled stage histograms: one ok request
+  // per (qubit, engine), and a p100 exec span no longer than the slowest
+  // request end-to-end.
+  const obs::metrics_snapshot snap = metrics.snapshot();
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    const std::string qs = std::to_string(q);
+    for (const char* engine : {"fixed-q16.16", "float-student"}) {
+      EXPECT_EQ(snap.value("klinq_serve_requests_submitted_total",
+                           {{"qubit", qs}, {"engine", engine}}),
+                1.0);
+      EXPECT_EQ(snap.value("klinq_serve_requests_completed_total",
+                           {{"qubit", qs}, {"engine", engine},
+                            {"status", "ok"}}),
+                1.0);
+    }
+  }
+  const double exec_p100 = snap.histogram_quantile(
+      "klinq_serve_stage_seconds", {{"stage", "exec"}, {"status", "ok"}}, 1.0);
+  const double total_p100 =
+      snap.histogram_quantile("klinq_serve_request_seconds", {}, 1.0);
+  EXPECT_GT(exec_p100, 0.0);
+  EXPECT_LE(exec_p100, total_p100 * (1.0 + 1e-9));
+}
+
+TEST(ObsServe, FlightRecorderCapturesInjectedFaults) {
+  auto& f = fixture();
+  fault::disarm_all();
+  obs::metric_registry metrics;
+  serve::server_config config;
+  config.metrics = &metrics;
+  config.flight_anomalies = 4;
+  config.flight_slowest = 4;
+  serve::readout_server server(f.engines(), config);
+
+  // Baseline request so the recorder has a realistic "fast" latency on file.
+  EXPECT_EQ(server
+                .wait(server.submit(
+                    {0, &f.data[0].test, serve::engine_kind::fixed_q16}))
+                .status,
+            serve::request_status::ok);
+
+  // Delay every shard by 25 ms: the request still resolves ok, but slow
+  // enough that the slowest set must pick it up with its span breakdown.
+  fault::arm_from_string("serve.shard.run:delay_ms=25:1.0:7");
+  EXPECT_EQ(server
+                .wait(server.submit(
+                    {0, &f.data[0].test, serve::engine_kind::fixed_q16}))
+                .status,
+            serve::request_status::ok);
+  fault::disarm_all();
+
+  // Throw in the shard: the request resolves failed (wait rethrows) and the
+  // anomaly ring keeps its record.
+  fault::arm_from_string("serve.shard.run:throw:1.0:9");
+  const serve::ticket doomed =
+      server.submit({1, &f.data[1].test, serve::engine_kind::float_student});
+  EXPECT_THROW(server.wait(doomed), fault::injected_fault);
+  fault::disarm_all();
+
+  const std::vector<obs::flight_record> records = server.flight_records();
+  const obs::flight_record* failed = nullptr;
+  const obs::flight_record* slow_ok = nullptr;
+  for (const obs::flight_record& record : records) {
+    if (record.anomalous && record.kind == "failed") failed = &record;
+    if (!record.anomalous && record.total_seconds >= 0.02) slow_ok = &record;
+  }
+  ASSERT_NE(failed, nullptr) << "anomaly ring missed the failed request";
+  ASSERT_NE(slow_ok, nullptr) << "slowest set missed the delayed request";
+  for (const obs::flight_record* record : {failed, slow_ok}) {
+    ASSERT_EQ(record->stages.size(), 3u);
+    EXPECT_EQ(record->stages[0].name, "hold");
+    EXPECT_EQ(record->stages[1].name, "queue");
+    EXPECT_EQ(record->stages[2].name, "exec");
+  }
+  // The delay accrued inside shard execution, not while queued.
+  EXPECT_GE(slow_ok->stages[2].seconds, 0.02);
+
+  const obs::metrics_snapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.value("klinq_serve_requests_completed_total",
+                       {{"qubit", "1"}, {"engine", "float-student"},
+                        {"status", "failed"}}),
+            1.0);
+  EXPECT_EQ(server.stats().failed_requests, 1u);
+}
+
+TEST(ObsServe, FullStackPrometheusDumpLintsClean) {
+  auto& f = fixture();
+  fault::disarm_all();
+  // One shared registry backs every layer, the way tools/klinq_serve.cpp
+  // wires it: serve + model registry + drift monitor + fault mirror.
+  obs::metric_registry metrics;
+  obs::bind_fault_metrics(metrics);
+
+  registry::model_registry reg(kQubits,
+                               {.keep_versions = 2, .metrics = &metrics});
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    reg.publish(q, registry::model_snapshot(f.students[q]));
+  }
+
+  serve::server_config config;
+  config.metrics = &metrics;
+  serve::readout_server server(reg, config);
+
+  registry::drift_monitor monitor(kQubits);
+  monitor.bind_metrics(metrics);
+
+  // Armed across the traffic below so the fault mirror has fired sites to
+  // report (1 ms delay on every registry acquire, deterministic).
+  fault::arm_from_string("registry.acquire:delay_ms=1:1.0:29");
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    const serve::readout_result result = server.wait(server.submit(
+        {q, &f.data[q].test, serve::engine_kind::float_student}));
+    EXPECT_EQ(result.status, serve::request_status::ok);
+    monitor.observe(result);
+  }
+
+  const std::string text = metrics.prometheus_text();
+  fault::disarm_all();
+
+  // Every subsystem's families in one dump (labels render key-sorted, the
+  // histogram `le` last).
+  for (const char* needle : {
+           "klinq_serve_requests_submitted_total{engine=\"float-student\","
+           "qubit=\"0\"}",
+           "klinq_serve_requests_completed_total{engine=\"float-student\","
+           "qubit=\"0\",status=\"ok\"}",
+           "klinq_serve_stage_seconds_bucket{engine=\"float-student\","
+           "qubit=\"0\",stage=\"exec\",status=\"ok\"",
+           "klinq_serve_request_seconds_count",
+           "klinq_registry_publishes_total{qubit=\"1\"}",
+           "klinq_registry_activations_total{qubit=\"1\"}",
+           "klinq_registry_acquires_total",
+           "klinq_registry_active_version{qubit=\"2\"}",
+           "klinq_registry_degraded{qubit=\"0\"}",
+           "klinq_drift_score{qubit=\"0\"}",
+           "klinq_drift_window_shots{qubit=\"0\"}",
+           "klinq_fault_evaluations_total{site=\"registry.acquire\"}",
+           "klinq_fault_fired_total{site=\"registry.acquire\"}",
+       }) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  const std::vector<std::string> problems = obs::lint_prometheus_text(text);
+  EXPECT_TRUE(problems.empty())
+      << (problems.empty() ? "" : problems.front());
 }
 
 }  // namespace

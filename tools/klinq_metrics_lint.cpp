@@ -1,0 +1,59 @@
+// klinq_metrics_lint — validate Prometheus text exposition.
+//
+//   klinq_serve --registry --metrics-file metrics.prom
+//   klinq_metrics_lint metrics.prom
+//   klinq_serve --metrics-dump ... | klinq_metrics_lint
+//
+// Runs klinq::obs::lint_prometheus_text over the file argument (or stdin
+// when none is given) and prints one line per violation: malformed HELP/TYPE
+// comments, invalid metric or label names, unparsable sample values,
+// duplicate series, samples typed after the fact. Exits 0 on a clean
+// exposition, 1 when anything is flagged, 2 on I/O errors. CI pipes the
+// serve demo's exit dump through this to keep the exposition scrape-able.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "klinq/obs/exposition.hpp"
+
+int main(int argc, char** argv) {
+  if (argc > 2 || (argc == 2 && (std::string(argv[1]) == "-h" ||
+                                 std::string(argv[1]) == "--help"))) {
+    std::fprintf(stderr,
+                 "usage: klinq_metrics_lint [exposition.prom]\n"
+                 "lints Prometheus text exposition (stdin when no file is "
+                 "given); exits non-zero on violations\n");
+    return argc > 2 ? 2 : 0;
+  }
+
+  std::string text;
+  if (argc == 2) {
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "klinq_metrics_lint: cannot read %s\n", argv[1]);
+      return 2;
+    }
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  const std::vector<std::string> problems =
+      klinq::obs::lint_prometheus_text(text);
+  for (const std::string& problem : problems) {
+    std::printf("%s\n", problem.c_str());
+  }
+  if (problems.empty()) {
+    std::printf("ok: exposition is clean\n");
+    return 0;
+  }
+  std::printf("%zu problem(s) found\n", problems.size());
+  return 1;
+}

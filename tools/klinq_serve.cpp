@@ -33,6 +33,7 @@
 // verified bit-clean on the rolled-back model. Exits non-zero unless the
 // rollback happened and recovery traffic spot-checks clean.
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,6 +46,10 @@
 #include "klinq/common/thread_pool.hpp"
 #include "klinq/hw/fixed_discriminator.hpp"
 #include "klinq/kd/distiller.hpp"
+#include "klinq/obs/emitter.hpp"
+#include "klinq/obs/exposition.hpp"
+#include "klinq/obs/fault_mirror.hpp"
+#include "klinq/obs/metrics.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
 #include "klinq/registry/model_registry.hpp"
 #include "klinq/registry/snapshot.hpp"
@@ -159,6 +164,11 @@ int main(int argc, char** argv) {
   cli.add_option("admin",
                  "registry admin command: list | swap:<q>:<v> | "
                  "rollback:<q> | pin:<q>:<v> | unpin:<q>", "");
+  cli.add_flag("metrics-dump",
+               "print the full Prometheus metrics snapshot on exit "
+               "(implied by --registry / --chaos)");
+  cli.add_option("metrics-file",
+                 "also write the exit Prometheus snapshot to this file", "");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -180,6 +190,14 @@ int main(int argc, char** argv) {
     const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
     const bool chaos = cli.get_flag("chaos");
     const bool use_registry = cli.get_flag("registry") || chaos;
+
+    // One process-wide metrics backend shared by the server, the registry
+    // and the fault mirror, so the exit dump shows the whole stack. The
+    // JSONL emitter starts when KLINQ_METRICS_FILE is set.
+    obs::metric_registry& metrics = obs::default_registry();
+    obs::bind_fault_metrics(metrics);
+    const std::unique_ptr<obs::metrics_emitter> emitter =
+        obs::start_emitter_from_env(metrics);
 
     // One independent channel per qubit: distinct dataset seed + student.
     std::printf("training %zu student(s)...\n", n_qubits);
@@ -209,11 +227,14 @@ int main(int argc, char** argv) {
         .shard_shots = static_cast<std::size_t>(cli.get_int("shard-shots")),
         .max_inflight =
             static_cast<std::size_t>(cli.get_int("max-inflight"))};
+    server_config.metrics = &metrics;
     // A low threshold makes the bad deploy trip the auto-rollback within a
     // single request's shards.
     if (chaos) server_config.failure_threshold = 4;
     if (use_registry) {
-      reg = std::make_unique<registry::model_registry>(n_qubits);
+      registry::registry_config reg_config;
+      reg_config.metrics = &metrics;
+      reg = std::make_unique<registry::model_registry>(n_qubits, reg_config);
       for (std::size_t q = 0; q < n_qubits; ++q) {
         registry::calibration_info info;
         info.source = "initial";
@@ -313,6 +334,9 @@ int main(int argc, char** argv) {
       }
       if (chaos && round == (2 * rounds) / 3) {
         chaos_report = fault::report();
+        // Latch the fired counts into the metrics mirror before disarm_all()
+        // clears the fault sites (the mirror collects at snapshot time).
+        metrics.snapshot();
         fault::disarm_all();
         std::printf("chaos: faults disarmed; verifying recovery\n");
       }
@@ -430,7 +454,32 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(row.fired),
                     static_cast<unsigned long long>(row.evaluations));
       }
+      const std::vector<obs::flight_record> flights = server->flight_records();
+      std::size_t anomalous = 0;
+      for (const obs::flight_record& flight : flights) {
+        if (flight.anomalous) ++anomalous;
+      }
+      std::printf("              flight recorder holds %zu record(s), "
+                  "%zu anomalous\n",
+                  flights.size(), anomalous);
       std::printf("  chaos smoke %s\n", chaos_ok ? "PASS" : "FAIL");
+    }
+
+    // Exit metrics dump: the one-stop operational snapshot. Registry and
+    // chaos runs always print it (the whole point of those demos is seeing
+    // the stack's telemetry); plain runs opt in with --metrics-dump.
+    const bool dump_metrics = cli.get_flag("metrics-dump") || use_registry;
+    const std::string metrics_file = cli.get_string("metrics-file");
+    if (dump_metrics || !metrics_file.empty()) {
+      const std::string text = metrics.prometheus_text();
+      if (dump_metrics) std::printf("\n--- metrics ---\n%s", text.c_str());
+      if (!metrics_file.empty()) {
+        std::ofstream out(metrics_file);
+        KLINQ_REQUIRE(static_cast<bool>(out),
+                      "--metrics-file: cannot open " + metrics_file);
+        out << text;
+        std::printf("wrote metrics to %s\n", metrics_file.c_str());
+      }
     }
     return mismatches == 0 && chaos_ok ? 0 : 1;
   } catch (const error& e) {
