@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench_gbench.hpp"
@@ -167,6 +168,63 @@ BENCHMARK(BM_NnKernelsGemmNtStudentLayer)
     ->Arg(4096)
     ->UseRealTime();
 
+/// fc_plane per dispatch tier on the student's first layer over one full
+/// 64-lane shot tile — the lane-parallel kernel the serve engines (and the
+/// cross-request lane packer) run per layer. Unlike the gemm rows above,
+/// the lane dimension is the vector axis, so the avx512 rows show the
+/// 16-lane tier's headroom directly.
+template <auto FcPlane>
+void BM_FcPlaneStudentLayer(benchmark::State& state) {
+  constexpr std::size_t stride = nn::kernels::max_tile_lanes;
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t in_dim = 31;
+  constexpr std::size_t out_dim = 16;
+  xoshiro256 rng(17);
+  std::vector<float> weights(out_dim * in_dim);
+  std::vector<float> bias(out_dim, 0.1f);
+  std::vector<float> in_plane(in_dim * stride, 0.0f);
+  std::vector<float> out_plane(out_dim * stride);
+  for (auto& v : weights) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::size_t i = 0; i < in_dim; ++i) {
+    for (std::size_t s = 0; s < lanes; ++s) {
+      in_plane[i * stride + s] =
+          static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  for (auto _ : state) {
+    FcPlane(weights.data(), bias.data(), out_dim, in_dim, in_plane.data(),
+            lanes, stride, true, out_plane.data());
+    benchmark::DoNotOptimize(out_plane.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_FcPlaneStudentLayer<nn::kernels::scalar::fc_plane>)
+    ->Name("BM_FcPlane_scalar_studentL1")->Arg(64)->UseRealTime();
+BENCHMARK(BM_FcPlaneStudentLayer<nn::kernels::avx2::fc_plane>)
+    ->Name("BM_FcPlane_avx2_studentL1")->Arg(64)->UseRealTime();
+BENCHMARK(BM_FcPlaneStudentLayer<nn::kernels::avx512::fc_plane>)
+    ->Name("BM_FcPlane_avx512_studentL1")->Arg(64)->UseRealTime();
+
 }  // namespace
 
-KLINQ_BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  klinq::bench::add_klinq_context();
+  // Wide-tier fc_plane rows must not run on hosts lacking the tier (and on
+  // non-SIMD builds they alias scalar); skip instead of faulting or
+  // reporting duplicate numbers.
+  std::string filter;
+  if (!klinq::nn::kernels::avx2_available()) filter += "BM_.*_avx2_.*|";
+  if (!klinq::nn::kernels::avx512_available()) filter += "BM_.*_avx512_.*|";
+  if (!filter.empty()) {
+    filter.pop_back();  // trailing '|'
+    benchmark::RunSpecifiedBenchmarks(("-" + filter).c_str());
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,8 @@
 // Google-benchmark throughput benches for the fixed-point MAC kernels.
 //
 // Measures mac_row / mac_tile / quantize_block per dispatch tier (int128
-// reference, scalar64, AVX2 where the host has it) and per format (Q8.8,
-// Q16.16), in MACs/sec (row/tile) and samples/sec (quantize). Shapes match
+// reference, scalar64, AVX2/AVX-512 where the host has them) and per format
+// (Q8.8, Q16.16), in MACs/sec (row/tile) and samples/sec (quantize). Shapes match
 // the real datapath: 201-wide rows (FNN-B's first layer), 64-shot tiles,
 // 1000-sample traces. The reference rows quantify exactly what the int64
 // post-scaler buys over the int128 round-shift.
@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bench_gbench.hpp"
@@ -133,16 +134,22 @@ void BM_QuantizeBlockKernel(benchmark::State& state) {
       ->Name("BM_MacRow_scalar64_" tag)->Arg(201);                            \
   BENCHMARK((BM_MacRowKernel<Fixed, kernels::avx2::mac_row>))                 \
       ->Name("BM_MacRow_avx2_" tag)->Arg(201);                                \
+  BENCHMARK((BM_MacRowKernel<Fixed, kernels::avx512::mac_row>))               \
+      ->Name("BM_MacRow_avx512_" tag)->Arg(201);                              \
   BENCHMARK((BM_MacTileKernel<Fixed, kernels::scalar64::mac_tile>))           \
       ->Name("BM_MacTile_scalar64_" tag)->Args({16, 201});                    \
   BENCHMARK((BM_MacTileKernel<Fixed, kernels::avx2::mac_tile>))               \
       ->Name("BM_MacTile_avx2_" tag)->Args({16, 201});                        \
+  BENCHMARK((BM_MacTileKernel<Fixed, kernels::avx512::mac_tile>))             \
+      ->Name("BM_MacTile_avx512_" tag)->Args({16, 201});                      \
   BENCHMARK(BM_QuantizeBlockReference<Fixed>)                                 \
       ->Name("BM_QuantizeBlock_ref_" tag)->Arg(1000);                         \
   BENCHMARK((BM_QuantizeBlockKernel<Fixed, kernels::scalar64::quantize_block>))\
       ->Name("BM_QuantizeBlock_scalar64_" tag)->Arg(1000);                    \
   BENCHMARK((BM_QuantizeBlockKernel<Fixed, kernels::avx2::quantize_block>))   \
-      ->Name("BM_QuantizeBlock_avx2_" tag)->Arg(1000)
+      ->Name("BM_QuantizeBlock_avx2_" tag)->Arg(1000);                        \
+  BENCHMARK((BM_QuantizeBlockKernel<Fixed, kernels::avx512::quantize_block>)) \
+      ->Name("BM_QuantizeBlock_avx512_" tag)->Arg(1000)
 
 KLINQ_KERNEL_BENCHES(q16_16, "q16.16");
 KLINQ_KERNEL_BENCHES(q8_8, "q8.8");
@@ -156,11 +163,18 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext(
       "klinq_avx2_available",
       klinq::fx::kernels::avx2_available() ? "true" : "false");
-  // On hosts without AVX2 the avx2:: entry points must not run (and on
+  benchmark::AddCustomContext(
+      "klinq_avx512_available",
+      klinq::fx::kernels::avx512_available() ? "true" : "false");
+  // Wide-tier entry points must not run on hosts lacking the tier (and on
   // non-SIMD builds they alias scalar64); skip them instead of faulting or
   // reporting duplicate numbers.
-  if (!klinq::fx::kernels::avx2_available()) {
-    benchmark::RunSpecifiedBenchmarks("-BM_.*_avx2_.*");
+  std::string filter;
+  if (!klinq::fx::kernels::avx2_available()) filter += "BM_.*_avx2_.*|";
+  if (!klinq::fx::kernels::avx512_available()) filter += "BM_.*_avx512_.*|";
+  if (!filter.empty()) {
+    filter.pop_back();  // trailing '|'
+    benchmark::RunSpecifiedBenchmarks(("-" + filter).c_str());
   } else {
     benchmark::RunSpecifiedBenchmarks();
   }

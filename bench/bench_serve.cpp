@@ -11,6 +11,7 @@
 // Machine-readable snapshot:
 //   bench_serve --out BENCH_serve.json
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -59,6 +60,12 @@ struct run_record {
   double hold_p50_ms = -1.0;
   double queue_p50_ms = -1.0;
   double exec_p50_ms = -1.0;
+  // Lane-packing counters (modes with lane_pack_shots > 0 only): requests
+  // served through a shared kernel tile, tiles dispatched, and the mean
+  // occupied lanes per tile from klinq_serve_lane_occupancy.
+  std::uint64_t packed_requests = 0;
+  std::uint64_t packed_batches = 0;
+  double mean_pack_lanes = -1.0;
 };
 
 void fill_stage_breakdown(run_record& record,
@@ -72,6 +79,21 @@ void fill_stage_breakdown(run_record& record,
   record.hold_p50_ms = p50_ms("hold");
   record.queue_p50_ms = p50_ms("queue");
   record.exec_p50_ms = p50_ms("exec");
+}
+
+void fill_pack_stats(run_record& record,
+                     const serve::readout_server& server,
+                     const serve::server_stats& stats) {
+  record.packed_requests = stats.packed_requests;
+  record.packed_batches = stats.packed_batches;
+  const obs::metrics_snapshot snap = server.metrics().snapshot();
+  if (const obs::series_snapshot* occupancy =
+          snap.find("klinq_serve_lane_occupancy", {});
+      occupancy != nullptr && occupancy->histogram.count > 0) {
+    record.mean_pack_lanes =
+        occupancy->histogram.sum /
+        static_cast<double>(occupancy->histogram.count);
+  }
 }
 
 }  // namespace
@@ -146,11 +168,15 @@ int main(int argc, char** argv) {
           {"float-student", "serial-per-qubit", total_shots, timer.seconds()});
     }
 
-    // --- many small same-qubit requests: coalescing off vs on -------------
+    // --- many small same-qubit requests: direct / coalesced / lane-packed -
     // Mid-circuit-style traffic: each qubit's block arrives as a stream of
     // --small-shots-sized requests (default 16). With coalescing on, the
     // server merges them into full-shard batches — one pool round-trip and
-    // one arena acquisition per batch instead of per request.
+    // one arena acquisition per batch instead of per request. Lane packing
+    // additionally fuses the coalesced requests' shots into shared
+    // fc_plane / mac_tile kernel invocations, which is where single-shot
+    // traffic (--small-shots 1) recovers the SIMD lanes that per-request
+    // dispatch wastes.
     const auto small_shots =
         std::max<std::size_t>(1, static_cast<std::size_t>(
                                      cli.get_int("small-shots")));
@@ -165,7 +191,19 @@ int main(int argc, char** argv) {
         ++small_requests_per_round;
       }
     }
-    for (const bool coalesce : {false, true}) {
+    struct small_mode {
+      const char* name;
+      std::size_t coalesce_shots;
+      std::size_t lane_pack_shots;
+    };
+    const std::size_t pack_budget = std::min<std::size_t>(
+        small_shots, serve::server_config::kMaxLanePackShots);
+    const small_mode small_modes[] = {
+        {"small-requests", 0, 0},
+        {"small-requests-coalesced", small_shots, 0},
+        {"small-requests-lane-packed", small_shots, pack_budget},
+    };
+    for (const small_mode& mode : small_modes) {
       for (const serve::engine_kind engine :
            {serve::engine_kind::fixed_q16,
             serve::engine_kind::float_student}) {
@@ -177,7 +215,8 @@ int main(int argc, char** argv) {
             std::move(engines),
             {.shard_shots = shard_shots,
              .max_inflight = small_requests_per_round + 1,
-             .coalesce_shots = coalesce ? small_shots : 0});
+             .coalesce_shots = mode.coalesce_shots,
+             .lane_pack_shots = mode.lane_pack_shots});
         serve::readout_result result;
         stopwatch timer;
         for (std::size_t round = 0; round < rounds; ++round) {
@@ -191,13 +230,14 @@ int main(int argc, char** argv) {
         }
         const double seconds = timer.seconds();
         const serve::server_stats stats = server.stats();
-        run_record record{std::string(serve::engine_name(engine)),
-                          coalesce ? "small-requests-coalesced"
-                                   : "small-requests",
+        run_record record{std::string(serve::engine_name(engine)), mode.name,
                           total_shots, seconds,
                           stats.latency_p50_seconds * 1e3,
                           stats.latency_p99_seconds * 1e3};
         fill_stage_breakdown(record, server);
+        if (mode.lane_pack_shots > 0) {
+          fill_pack_stats(record, server, stats);
+        }
         records.push_back(std::move(record));
       }
     }
@@ -326,6 +366,12 @@ int main(int argc, char** argv) {
         std::printf("   hold/queue/exec p50 %.2f/%.2f/%.2f ms",
                     r.hold_p50_ms, r.queue_p50_ms, r.exec_p50_ms);
       }
+      if (r.packed_batches > 0) {
+        std::printf("   packed %llu req / %llu tiles (%.1f lanes/tile)",
+                    static_cast<unsigned long long>(r.packed_requests),
+                    static_cast<unsigned long long>(r.packed_batches),
+                    r.mean_pack_lanes);
+      }
       std::printf("\n");
     }
 
@@ -373,6 +419,15 @@ int main(int argc, char** argv) {
                        ", \"stage_p50_ms\": {\"hold\": %.4f, "
                        "\"queue\": %.4f, \"exec\": %.4f}",
                        r.hold_p50_ms, r.queue_p50_ms, r.exec_p50_ms);
+        }
+        if (r.packed_batches > 0) {
+          std::fprintf(out,
+                       ", \"packed_requests\": %llu, "
+                       "\"packed_batches\": %llu, "
+                       "\"mean_pack_lanes\": %.2f",
+                       static_cast<unsigned long long>(r.packed_requests),
+                       static_cast<unsigned long long>(r.packed_batches),
+                       r.mean_pack_lanes);
         }
         std::fprintf(out, "}%s\n", i + 1 < records.size() ? "," : "");
       }

@@ -17,6 +17,21 @@ bool cpu_supports_avx2() noexcept {
 #endif
 }
 
+bool cpu_supports_avx512() noexcept {
+#if KLINQ_HAVE_X86_SIMD
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512DQ__)
+  // The whole build already assumes the AVX-512 baseline; no cpuid needed.
+  return true;
+#else
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0;
+#endif
+#else
+  return false;
+#endif
+}
+
 namespace {
 
 simd_tier resolve_tier() {
@@ -24,8 +39,15 @@ simd_tier resolve_tier() {
   if (preference == "scalar" || preference == "scalar64") {
     return simd_tier::scalar64;
   }
-  // "avx2" and "auto" both defer to the runtime check: requesting a tier the
-  // host cannot execute falls back instead of faulting on the first kernel.
+  if (preference == "avx2") {
+    // An explicit avx2 pin caps dispatch there: it never silently upgrades
+    // to AVX-512, so A/B runs measure exactly the tier they asked for.
+    return cpu_supports_avx2() ? simd_tier::avx2 : simd_tier::scalar64;
+  }
+  // "avx512" and "auto" both defer to the runtime checks: pick the widest
+  // tier the host executes and fall back avx512 → avx2 → scalar instead of
+  // faulting on the first kernel.
+  if (cpu_supports_avx512()) return simd_tier::avx512;
   return cpu_supports_avx2() ? simd_tier::avx2 : simd_tier::scalar64;
 }
 
@@ -60,6 +82,8 @@ bool fused_float_path_enabled() noexcept {
 
 const char* simd_tier_name(simd_tier tier) noexcept {
   switch (tier) {
+    case simd_tier::avx512:
+      return "avx512";
     case simd_tier::avx2:
       return "avx2";
     case simd_tier::scalar64:

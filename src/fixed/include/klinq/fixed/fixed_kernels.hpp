@@ -20,12 +20,14 @@
 // integer addition is exact, so any summation order is bit-identical) and
 // saturate once at extraction, exactly like fixed_accumulator.
 //
-// Two implementation tiers share this contract: a scalar int64 path any
-// host runs, and an AVX2 path (4 x int64 lanes) selected at runtime via
-// klinq/common/cpu_dispatch.hpp. Both are bit-identical to the int128
-// reference by construction; tests/test_fixed_kernels.cpp proves it
-// adversarially. Wide formats (Q24.24) fail the int64 bound and stay on the
-// fixed<I,F> reference path — the hw:: layer gates on has_int64_fast_path.
+// Three implementation tiers share this contract: a scalar int64 path any
+// host runs, an AVX2 path (4 x int64 lanes) and an AVX-512 path (8 x int64
+// lanes), selected at runtime via klinq/common/cpu_dispatch.hpp. All are
+// bit-identical to the int128 reference by construction (integer arithmetic
+// is exact, so lane count and summation order don't matter);
+// tests/test_fixed_kernels.cpp proves it adversarially. Wide formats
+// (Q24.24) fail the int64 bound and stay on the fixed<I,F> reference path —
+// the hw:: layer gates on has_int64_fast_path.
 #pragma once
 
 #include <cstddef>
@@ -163,8 +165,35 @@ void quantize_block(const float* values, std::size_t n, std::int32_t* out,
 
 }  // namespace avx2
 
+/// AVX-512 tier (8 x int64 lanes, F+BW+DQ subsets). Same linkage contract as
+/// avx2::: the entry points exist on every build (forwarding to scalar64
+/// without the SIMD bodies); call them directly only when
+/// avx512_available().
+namespace avx512 {
+
+std::int64_t mac_row(const std::int32_t* weights, const std::int32_t* inputs,
+                     std::size_t n, std::int64_t bias_raw,
+                     const mac_spec& spec) noexcept;
+
+std::int64_t sum_row(const std::int32_t* values, std::size_t n) noexcept;
+
+void mac_tile(const std::int32_t* weights, const std::int32_t* bias,
+              std::size_t out_dim, std::size_t in_dim,
+              const std::int32_t* in_plane, std::size_t tile,
+              std::size_t stride, bool relu, std::int32_t* out_plane,
+              const mac_spec& spec) noexcept;
+
+void quantize_block(const float* values, std::size_t n, std::int32_t* out,
+                    const mac_spec& spec) noexcept;
+
+}  // namespace avx512
+
 /// True when the AVX2 tier was compiled in and the executing CPU supports it.
 bool avx2_available() noexcept;
+
+/// True when the AVX-512 tier was compiled in and the executing CPU supports
+/// it (F+BW+DQ).
+bool avx512_available() noexcept;
 
 // --- dispatched entry points (tier resolved once per process) --------------
 

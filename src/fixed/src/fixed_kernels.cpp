@@ -316,6 +316,222 @@ __attribute__((target("avx2"))) void quantize_block_avx2(
   if (i < n) scalar64::quantize_block(values + i, n - i, out + i, spec);
 }
 
+// ---------------------------------------------------------------------------
+// avx512 tier
+// ---------------------------------------------------------------------------
+
+// GCC's avx512 intrinsic headers implement the unmasked min/max/convert
+// forms via _mm512_undefined_*() and trip -Wmaybe-uninitialized on
+// themselves (GCC PR105593); the suppression covers only this tier.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
+/// 8-lane round_shift_clamp. AVX-512's arithmetic 64-bit shift (vpsraq) and
+/// native 64-bit min/max replace the compare/blend dance the AVX2 tier
+/// needs, so the post-scaler is both wider and shorter.
+__attribute__((target("avx512f,avx512bw,avx512dq"))) inline __m512i
+round_shift_clamp_lanes512(__m512i product, __m512i half, __m128i shift,
+                           __m512i rail_min, __m512i rail_max) {
+  const __m512i sign = _mm512_srai_epi64(product, 63);  // 0 or -1
+  __m512i magnitude = _mm512_sub_epi64(_mm512_xor_si512(product, sign), sign);
+  magnitude = _mm512_srl_epi64(_mm512_add_epi64(magnitude, half), shift);
+  const __m512i value =
+      _mm512_sub_epi64(_mm512_xor_si512(magnitude, sign), sign);
+  return _mm512_max_epi64(_mm512_min_epi64(value, rail_max), rail_min);
+}
+
+/// Saturate 8 wide accumulator lanes at the adder-tree root.
+__attribute__((target("avx512f,avx512bw,avx512dq"))) inline __m512i
+clamp_lanes512(__m512i value, __m512i rail_min, __m512i rail_max) {
+  return _mm512_max_epi64(_mm512_min_epi64(value, rail_max), rail_min);
+}
+
+/// Widen 8 packed int32 registers to 8 int64 lanes.
+__attribute__((target("avx512f,avx512bw,avx512dq"))) inline __m512i
+load_lanes512(const std::int32_t* p) {
+  return _mm512_cvtepi32_epi64(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq"))) std::int64_t
+mac_row_avx512(const std::int32_t* weights, const std::int32_t* inputs,
+               std::size_t n, std::int64_t bias_raw,
+               const mac_spec& spec) noexcept {
+  const __m512i half = _mm512_set1_epi64(
+      spec.frac_bits > 0 ? std::int64_t{1} << (spec.frac_bits - 1) : 0);
+  const __m128i shift = _mm_cvtsi32_si128(spec.frac_bits);
+  const __m512i rail_min = _mm512_set1_epi64(spec.raw_min);
+  const __m512i rail_max = _mm512_set1_epi64(spec.raw_max);
+  // Two accumulators break the add-latency chain on long rows; integer
+  // addition is exact, so the split stays bit-identical to any other
+  // summation order.
+  __m512i acc_lo = _mm512_setzero_si512();
+  __m512i acc_hi = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i product_lo = _mm512_mul_epi32(load_lanes512(weights + i),
+                                                load_lanes512(inputs + i));
+    const __m512i product_hi = _mm512_mul_epi32(load_lanes512(weights + i + 8),
+                                                load_lanes512(inputs + i + 8));
+    acc_lo = _mm512_add_epi64(
+        acc_lo, round_shift_clamp_lanes512(product_lo, half, shift, rail_min,
+                                           rail_max));
+    acc_hi = _mm512_add_epi64(
+        acc_hi, round_shift_clamp_lanes512(product_hi, half, shift, rail_min,
+                                           rail_max));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m512i product = _mm512_mul_epi32(load_lanes512(weights + i),
+                                             load_lanes512(inputs + i));
+    acc_lo = _mm512_add_epi64(
+        acc_lo, round_shift_clamp_lanes512(product, half, shift, rail_min,
+                                           rail_max));
+  }
+  std::int64_t sum =
+      bias_raw + _mm512_reduce_add_epi64(_mm512_add_epi64(acc_lo, acc_hi));
+  for (; i < n; ++i) {
+    sum += round_shift_clamp(static_cast<std::int64_t>(weights[i]) * inputs[i],
+                             spec.frac_bits, spec.raw_min, spec.raw_max);
+  }
+  return clamp_raw(sum, spec.raw_min, spec.raw_max);
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq"))) std::int64_t
+sum_row_avx512(const std::int32_t* values, std::size_t n) noexcept {
+  __m512i acc_lo = _mm512_setzero_si512();
+  __m512i acc_hi = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc_lo = _mm512_add_epi64(acc_lo, load_lanes512(values + i));
+    acc_hi = _mm512_add_epi64(acc_hi, load_lanes512(values + i + 8));
+  }
+  std::int64_t sum = _mm512_reduce_add_epi64(_mm512_add_epi64(acc_lo, acc_hi));
+  for (; i < n; ++i) sum += values[i];
+  return sum;
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq"))) void mac_tile_avx512(
+    const std::int32_t* weights, const std::int32_t* bias, std::size_t out_dim,
+    std::size_t in_dim, const std::int32_t* in_plane, std::size_t tile,
+    std::size_t stride, bool relu, std::int32_t* out_plane,
+    const mac_spec& spec) noexcept {
+  const __m512i half = _mm512_set1_epi64(
+      spec.frac_bits > 0 ? std::int64_t{1} << (spec.frac_bits - 1) : 0);
+  const __m128i shift = _mm_cvtsi32_si128(spec.frac_bits);
+  const __m512i rail_min = _mm512_set1_epi64(spec.raw_min);
+  const __m512i rail_max = _mm512_set1_epi64(spec.raw_max);
+  const __m512i zero = _mm512_setzero_si512();
+  for (std::size_t neuron = 0; neuron < out_dim; ++neuron) {
+    const std::int32_t* weight_row = weights + neuron * in_dim;
+    const __m512i bias_lanes = _mm512_set1_epi64(bias[neuron]);
+    std::int32_t* out_row = out_plane + neuron * stride;
+    std::size_t s = 0;
+    // 16 shots per pass (two accumulators) amortizes the weight broadcast.
+    for (; s + 16 <= tile; s += 16) {
+      __m512i acc_lo = bias_lanes;
+      __m512i acc_hi = bias_lanes;
+      const std::int32_t* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        const __m512i w = _mm512_set1_epi64(weight_row[i]);
+        const std::int32_t* lane = column + i * stride;
+        acc_lo = _mm512_add_epi64(
+            acc_lo,
+            round_shift_clamp_lanes512(_mm512_mul_epi32(w, load_lanes512(lane)),
+                                       half, shift, rail_min, rail_max));
+        acc_hi = _mm512_add_epi64(
+            acc_hi, round_shift_clamp_lanes512(
+                        _mm512_mul_epi32(w, load_lanes512(lane + 8)), half,
+                        shift, rail_min, rail_max));
+      }
+      acc_lo = clamp_lanes512(acc_lo, rail_min, rail_max);
+      acc_hi = clamp_lanes512(acc_hi, rail_min, rail_max);
+      if (relu) {
+        acc_lo = _mm512_max_epi64(acc_lo, zero);
+        acc_hi = _mm512_max_epi64(acc_hi, zero);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_row + s),
+                          _mm512_cvtepi64_epi32(acc_lo));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_row + s + 8),
+                          _mm512_cvtepi64_epi32(acc_hi));
+    }
+    for (; s + 8 <= tile; s += 8) {
+      __m512i acc = bias_lanes;
+      const std::int32_t* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        const __m512i w = _mm512_set1_epi64(weight_row[i]);
+        acc = _mm512_add_epi64(
+            acc, round_shift_clamp_lanes512(
+                     _mm512_mul_epi32(w, load_lanes512(column + i * stride)),
+                     half, shift, rail_min, rail_max));
+      }
+      acc = clamp_lanes512(acc, rail_min, rail_max);
+      if (relu) acc = _mm512_max_epi64(acc, zero);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_row + s),
+                          _mm512_cvtepi64_epi32(acc));
+    }
+    for (; s < tile; ++s) {
+      std::int64_t acc = bias[neuron];
+      const std::int32_t* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        acc += round_shift_clamp(
+            static_cast<std::int64_t>(weight_row[i]) * column[i * stride],
+            spec.frac_bits, spec.raw_min, spec.raw_max);
+      }
+      std::int64_t value = clamp_raw(acc, spec.raw_min, spec.raw_max);
+      if (relu && value < 0) value = 0;
+      out_row[s] = static_cast<std::int32_t>(value);
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq"))) void quantize_block_avx512(
+    const float* values, std::size_t n, std::int32_t* out,
+    const mac_spec& spec) noexcept {
+  // The scalar algorithm (truncate, exact remainder, half comparison, rails)
+  // over 8 doubles with AVX-512 mask registers instead of blends; every
+  // operation is the same IEEE operation in the same precision, so results
+  // stay bit-identical per element.
+  const __m512d scale =
+      _mm512_set1_pd(static_cast<double>(std::int64_t{1} << spec.frac_bits));
+  const __m512d rail_max = _mm512_set1_pd(static_cast<double>(spec.raw_max));
+  const __m512d rail_min = _mm512_set1_pd(static_cast<double>(spec.raw_min));
+  const __m512d plus_half = _mm512_set1_pd(0.5);
+  const __m512d minus_half = _mm512_set1_pd(-0.5);
+  const __m512d one = _mm512_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d value = _mm512_cvtps_pd(_mm256_loadu_ps(values + i));
+    const __m512d scaled = _mm512_mul_pd(value, scale);
+    const __m512d truncated =
+        _mm512_roundscale_pd(scaled, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    const __m512d remainder = _mm512_sub_pd(scaled, truncated);  // exact
+    const __mmask8 up = _mm512_cmp_pd_mask(remainder, plus_half, _CMP_GE_OQ);
+    const __mmask8 down =
+        _mm512_cmp_pd_mask(remainder, minus_half, _CMP_LE_OQ);
+    __m512d rounded = _mm512_mask_add_pd(truncated, up, truncated, one);
+    rounded = _mm512_mask_sub_pd(rounded, down, rounded, one);
+    rounded = _mm512_mask_mov_pd(
+        rounded, _mm512_cmp_pd_mask(scaled, rail_max, _CMP_GE_OQ), rail_max);
+    rounded = _mm512_mask_mov_pd(
+        rounded, _mm512_cmp_pd_mask(scaled, rail_min, _CMP_LE_OQ), rail_min);
+    // NaN quantizes to 0 (hardware has no NaN); keep only ordered lanes.
+    rounded = _mm512_maskz_mov_pd(_mm512_cmp_pd_mask(value, value, _CMP_ORD_Q),
+                                  rounded);
+    // Every lane is now an integer within the int32 rails, so the
+    // round-to-nearest conversion is exact.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm512_cvtpd_epi32(rounded));
+  }
+  if (i < n) scalar64::quantize_block(values + i, n - i, out + i, spec);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 }  // namespace
 
 namespace avx2 {
@@ -346,11 +562,39 @@ void quantize_block(const float* values, std::size_t n, std::int32_t* out,
 
 }  // namespace avx2
 
+namespace avx512 {
+
+std::int64_t mac_row(const std::int32_t* weights, const std::int32_t* inputs,
+                     std::size_t n, std::int64_t bias_raw,
+                     const mac_spec& spec) noexcept {
+  return mac_row_avx512(weights, inputs, n, bias_raw, spec);
+}
+
+std::int64_t sum_row(const std::int32_t* values, std::size_t n) noexcept {
+  return sum_row_avx512(values, n);
+}
+
+void mac_tile(const std::int32_t* weights, const std::int32_t* bias,
+              std::size_t out_dim, std::size_t in_dim,
+              const std::int32_t* in_plane, std::size_t tile,
+              std::size_t stride, bool relu, std::int32_t* out_plane,
+              const mac_spec& spec) noexcept {
+  mac_tile_avx512(weights, bias, out_dim, in_dim, in_plane, tile, stride, relu,
+                  out_plane, spec);
+}
+
+void quantize_block(const float* values, std::size_t n, std::int32_t* out,
+                    const mac_spec& spec) noexcept {
+  quantize_block_avx512(values, n, out, spec);
+}
+
+}  // namespace avx512
+
 #else  // !KLINQ_HAVE_X86_SIMD
 
-// Keep the avx2:: entry points linkable on builds without the SIMD bodies;
-// avx2_available() reports false, so the harness skips rather than compares
-// scalar against itself.
+// Keep the avx2:: / avx512:: entry points linkable on builds without the
+// SIMD bodies; avx2_available() / avx512_available() report false, so the
+// harness skips rather than compares scalar against itself.
 namespace avx2 {
 
 std::int64_t mac_row(const std::int32_t* weights, const std::int32_t* inputs,
@@ -379,10 +623,42 @@ void quantize_block(const float* values, std::size_t n, std::int32_t* out,
 
 }  // namespace avx2
 
+namespace avx512 {
+
+std::int64_t mac_row(const std::int32_t* weights, const std::int32_t* inputs,
+                     std::size_t n, std::int64_t bias_raw,
+                     const mac_spec& spec) noexcept {
+  return scalar64::mac_row(weights, inputs, n, bias_raw, spec);
+}
+
+std::int64_t sum_row(const std::int32_t* values, std::size_t n) noexcept {
+  return scalar64::sum_row(values, n);
+}
+
+void mac_tile(const std::int32_t* weights, const std::int32_t* bias,
+              std::size_t out_dim, std::size_t in_dim,
+              const std::int32_t* in_plane, std::size_t tile,
+              std::size_t stride, bool relu, std::int32_t* out_plane,
+              const mac_spec& spec) noexcept {
+  scalar64::mac_tile(weights, bias, out_dim, in_dim, in_plane, tile, stride,
+                     relu, out_plane, spec);
+}
+
+void quantize_block(const float* values, std::size_t n, std::int32_t* out,
+                    const mac_spec& spec) noexcept {
+  scalar64::quantize_block(values, n, out, spec);
+}
+
+}  // namespace avx512
+
 #endif  // KLINQ_HAVE_X86_SIMD
 
 bool avx2_available() noexcept {
   return KLINQ_HAVE_X86_SIMD != 0 && cpu_supports_avx2();
+}
+
+bool avx512_available() noexcept {
+  return KLINQ_HAVE_X86_SIMD != 0 && cpu_supports_avx512();
 }
 
 // ---------------------------------------------------------------------------
@@ -404,9 +680,15 @@ struct kernel_table {
 
 const kernel_table& active_table() noexcept {
   static const kernel_table table = [] {
-    if (active_simd_tier() == simd_tier::avx2) {
-      return kernel_table{avx2::mac_row, avx2::sum_row, avx2::mac_tile,
-                          avx2::quantize_block};
+    switch (active_simd_tier()) {
+      case simd_tier::avx512:
+        return kernel_table{avx512::mac_row, avx512::sum_row, avx512::mac_tile,
+                            avx512::quantize_block};
+      case simd_tier::avx2:
+        return kernel_table{avx2::mac_row, avx2::sum_row, avx2::mac_tile,
+                            avx2::quantize_block};
+      case simd_tier::scalar64:
+        break;
     }
     return kernel_table{scalar64::mac_row, scalar64::sum_row,
                         scalar64::mac_tile, scalar64::quantize_block};

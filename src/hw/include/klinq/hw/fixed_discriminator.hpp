@@ -177,6 +177,48 @@ class fixed_discriminator {
     }
   }
 
+  /// Lane-packed single-shot evaluation: one row drawn from each of `lanes`
+  /// (possibly distinct) datasets, pushed through one shared feature plane
+  /// and one network tile. datasets[s]/rows[s] name lane s's trace; out[s]
+  /// receives its logit. Bit-identical to logit()/logits_block() per trace —
+  /// the integer datapath is exact, so lane position and tile width never
+  /// change a register. This is the serve coalescer's cross-request
+  /// lane-pack executor. Requires 0 < lanes <= kBatchTile.
+  void logits_lanes(const data::trace_dataset* const* datasets,
+                    const std::size_t* rows, std::size_t lanes,
+                    std::span<Fixed> out,
+                    discriminator_scratch<Fixed>& scratch) const {
+    constexpr std::size_t kTile = quantized_network<Fixed>::kBatchTile;
+    KLINQ_REQUIRE(lanes > 0 && lanes <= kTile,
+                  "fixed_discriminator: lane count exceeds the network tile");
+    KLINQ_REQUIRE(out.size() == lanes,
+                  "fixed_discriminator: one logit per lane required");
+    if constexpr (quantized_network<Fixed>::kernel_fast_path) {
+      const std::size_t width = frontend_.output_width();
+      scratch.plane_raw.resize(width * kTile);
+      scratch.logits_raw.resize(kTile);
+      for (std::size_t s = 0; s < lanes; ++s) {
+        const data::trace_dataset& ds = *datasets[s];
+        scratch.trace_raw.resize(ds.feature_width());
+        fixed_frontend<Fixed>::quantize_trace_raw(ds.trace(rows[s]),
+                                                  scratch.trace_raw);
+        frontend_.extract_raw(scratch.trace_raw, ds.samples_per_quadrature(),
+                              scratch.plane_raw.data() + s, kTile);
+      }
+      net_.forward_logits_plane(scratch.plane_raw.data(), lanes,
+                                scratch.logits_raw.data(), scratch.net);
+      for (std::size_t s = 0; s < lanes; ++s) {
+        out[s] = Fixed::from_raw(scratch.logits_raw[s]);
+      }
+    } else {
+      // Wide formats stay on the fixed<I,F> reference path per lane.
+      for (std::size_t s = 0; s < lanes; ++s) {
+        out[s] = logit(datasets[s]->trace(rows[s]),
+                       datasets[s]->samples_per_quadrature(), scratch);
+      }
+    }
+  }
+
   /// Batched ADC-to-logit evaluation: one output register per dataset row.
   /// Parallelized over trace blocks; bit-identical to logit() per trace.
   void logits(const data::trace_dataset& dataset, std::span<Fixed> out) const {

@@ -3,7 +3,7 @@
 // The float student/teacher path (dense_layer forward, batched
 // predict_logits, the matched-filter inner product) used to lean entirely on
 // GCC's SLP vectorization of a 4-lane scalar reduction — SSE2-width, no FMA.
-// This module supplies the hot loops as explicit kernels in two tiers,
+// This module supplies the hot loops as explicit kernels in three tiers,
 // mirroring klinq/fixed/fixed_kernels.hpp:
 //
 //   scalar — plain float arithmetic (separate multiply and add), every host
@@ -17,6 +17,12 @@
 //   avx2   — 8-lane AVX2 FMA bodies compiled per-function (no -mavx2 needed
 //            for the rest of the build), selected at runtime via
 //            klinq/common/cpu_dispatch.hpp.
+//   avx512 — 16-lane AVX-512 FMA bodies (F+BW+DQ), same per-function
+//            compilation and runtime selection. fc_plane runs 16-lane group
+//            pairs with an 8-lane remainder group, so every lane still sees
+//            the identical ascending FMA chain — avx512 fc_plane output is
+//            bitwise equal to avx2's; only the reduction kernels (dot, sum,
+//            grouped_mean_dot) differ from avx2 in last ULPs.
 //
 // Unlike the fixed-point kernels, the float tiers are NOT bit-identical to
 // each other: FMA contracts the multiply-add rounding and the wider lanes
@@ -49,7 +55,9 @@ namespace klinq::nn::kernels {
 /// datapath's hw::quantized_network::kBatchTile).
 inline constexpr std::size_t max_tile_lanes = 64;
 
-/// Lanes are processed in whole groups of this many shots (one AVX2 vector).
+/// Lanes are processed in whole groups of this many shots (one AVX2 vector;
+/// the AVX-512 tier consumes two groups per 512-bit vector and drops to one
+/// 256-bit group for the remainder, preserving per-lane operation order).
 inline constexpr std::size_t lane_group = 8;
 
 /// Smallest whole-group lane count covering `lanes`; plane buffers must be
@@ -121,8 +129,31 @@ void fc_plane(const float* weights, const float* bias, std::size_t out_dim,
 
 }  // namespace avx2
 
+/// AVX-512 FMA tier (16 x float lanes). Same linkage contract as avx2::
+/// (entry points exist on every build, forwarding to scalar without the SIMD
+/// bodies); call them directly only when avx512_available().
+namespace avx512 {
+
+float dot(const float* a, const float* b, std::size_t n) noexcept;
+
+float sum(const float* values, std::size_t n) noexcept;
+
+float grouped_mean_dot(const float* values, const float* weights,
+                       std::size_t n, std::size_t groups,
+                       float* out_means) noexcept;
+
+void fc_plane(const float* weights, const float* bias, std::size_t out_dim,
+              std::size_t in_dim, const float* in_plane, std::size_t lanes,
+              std::size_t stride, bool relu, float* out_plane) noexcept;
+
+}  // namespace avx512
+
 /// True when the AVX2 tier was compiled in and the executing CPU supports it.
 bool avx2_available() noexcept;
+
+/// True when the AVX-512 tier was compiled in and the executing CPU supports
+/// it (F+BW+DQ).
+bool avx512_available() noexcept;
 
 // --- dispatched entry points (tier resolved once per process from
 // active_float_simd_tier(): KLINQ_SIMD / KLINQ_DETERMINISTIC aware) ---------

@@ -431,6 +431,282 @@ __attribute__((target("avx2,fma"))) void fc_plane_avx2(
   }
 }
 
+// ---------------------------------------------------------------------------
+// avx512 tier
+// ---------------------------------------------------------------------------
+
+// GCC's avx512 intrinsic headers implement the unmasked min/max/convert
+// forms via _mm512_undefined_*() and trip -Wmaybe-uninitialized on
+// themselves (GCC PR105593); the suppression covers only this tier.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
+/// Fixed-order horizontal reduction of one 16-lane accumulator: low+high
+/// 256-bit halves, then the avx2 tier's 8-lane tree.
+__attribute__((target("avx512f,avx512bw,avx512dq,fma"))) inline float
+reduce_lanes512(__m512 acc) {
+  const __m256 half = _mm256_add_ps(_mm512_castps512_ps256(acc),
+                                    _mm512_extractf32x8_ps(acc, 1));
+  const __m128 lo = _mm256_castps256_ps128(half);
+  const __m128 hi = _mm256_extractf128_ps(half, 1);
+  const __m128 quad = _mm_add_ps(lo, hi);
+  const __m128 pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+  const __m128 one =
+      _mm_add_ss(pair, _mm_shuffle_ps(pair, pair, _MM_SHUFFLE(1, 1, 1, 1)));
+  return _mm_cvtss_f32(one);
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq,fma"))) float dot_avx512(
+    const float* a, const float* b, std::size_t n) noexcept {
+  // Same shape as the avx2 body at twice the width: four independent FMA
+  // accumulators combined pairwise in a fixed order, so the result depends
+  // only on (a, b, n).
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps();
+  __m512 acc3 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+    acc2 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 32),
+                           _mm512_loadu_ps(b + i + 32), acc2);
+    acc3 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 48),
+                           _mm512_loadu_ps(b + i + 48), acc3);
+  }
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  }
+  const __m512 acc = _mm512_add_ps(_mm512_add_ps(acc0, acc1),
+                                   _mm512_add_ps(acc2, acc3));
+  float total = reduce_lanes512(acc);
+  // FMA tail keeps the whole reduction contraction-consistent.
+  for (; i < n; ++i) total = std::fmaf(a[i], b[i], total);
+  return total;
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq,fma"))) float sum_avx512(
+    const float* values, std::size_t n) noexcept {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_add_ps(acc0, _mm512_loadu_ps(values + i));
+    acc1 = _mm512_add_ps(acc1, _mm512_loadu_ps(values + i + 16));
+  }
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_add_ps(acc0, _mm512_loadu_ps(values + i));
+  }
+  float total = reduce_lanes512(_mm512_add_ps(acc0, acc1));
+  for (; i < n; ++i) total += values[i];
+  return total;
+}
+
+/// 16-lane grouped_mean_dot accumulation state (see the avx2 tier).
+struct mean_dot_state512 {
+  __m512 dot_acc0;
+  __m512 dot_acc1;
+  float dot_tail;
+};
+
+__attribute__((target("avx512f,avx512bw,avx512dq,fma"))) inline void
+accumulate_group512(const float* p, const float* w, std::size_t len,
+                    mean_dot_state512* state, __m512* acc,
+                    float* tail) noexcept {
+  __m512 sum0 = _mm512_setzero_ps();
+  __m512 sum1 = _mm512_setzero_ps();
+  float t = 0.0f;
+  std::size_t s = 0;
+  if (w != nullptr) {
+    for (; s + 32 <= len; s += 32) {
+      const __m512 v0 = _mm512_loadu_ps(p + s);
+      const __m512 v1 = _mm512_loadu_ps(p + s + 16);
+      sum0 = _mm512_add_ps(sum0, v0);
+      sum1 = _mm512_add_ps(sum1, v1);
+      state->dot_acc0 =
+          _mm512_fmadd_ps(v0, _mm512_loadu_ps(w + s), state->dot_acc0);
+      state->dot_acc1 =
+          _mm512_fmadd_ps(v1, _mm512_loadu_ps(w + s + 16), state->dot_acc1);
+    }
+    for (; s + 16 <= len; s += 16) {
+      const __m512 v = _mm512_loadu_ps(p + s);
+      sum0 = _mm512_add_ps(sum0, v);
+      state->dot_acc0 =
+          _mm512_fmadd_ps(v, _mm512_loadu_ps(w + s), state->dot_acc0);
+    }
+    for (; s < len; ++s) {
+      t += p[s];
+      state->dot_tail = std::fmaf(p[s], w[s], state->dot_tail);
+    }
+  } else {
+    for (; s + 32 <= len; s += 32) {
+      sum0 = _mm512_add_ps(sum0, _mm512_loadu_ps(p + s));
+      sum1 = _mm512_add_ps(sum1, _mm512_loadu_ps(p + s + 16));
+    }
+    for (; s + 16 <= len; s += 16) {
+      sum0 = _mm512_add_ps(sum0, _mm512_loadu_ps(p + s));
+    }
+    for (; s < len; ++s) t += p[s];
+  }
+  *acc = _mm512_add_ps(sum0, sum1);
+  *tail = t;
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq,fma"))) float
+grouped_mean_dot_avx512(const float* values, const float* weights,
+                        std::size_t n, std::size_t groups,
+                        float* out_means) noexcept {
+  // 16-lane fused pass, same structure as the avx2 tier: per group one
+  // vector loop feeds both the group-sum accumulator (reduced per group)
+  // and the matched-filter FMA accumulators (persist across groups, reduced
+  // once). Group boundaries advance by the same Bresenham carry.
+  mean_dot_state512 state{_mm512_setzero_ps(), _mm512_setzero_ps(), 0.0f};
+  const std::size_t quotient = n / groups;
+  const std::size_t remainder = n % groups;
+  std::size_t begin = 0;
+  std::size_t carry = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::size_t len = quotient;
+    carry += remainder;
+    if (carry >= groups) {
+      carry -= groups;
+      ++len;
+    }
+    __m512 acc;
+    float tail;
+    accumulate_group512(values + begin,
+                        weights != nullptr ? weights + begin : nullptr, len,
+                        &state, &acc, &tail);
+    begin += len;
+    out_means[g] = (reduce_lanes512(acc) + tail) / static_cast<float>(len);
+  }
+  return reduce_lanes512(_mm512_add_ps(state.dot_acc0, state.dot_acc1)) +
+         state.dot_tail;
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq,fma"))) void fc_plane_avx512(
+    const float* weights, const float* bias, std::size_t out_dim,
+    std::size_t in_dim, const float* in_plane, std::size_t lanes,
+    std::size_t stride, bool relu, float* out_plane) noexcept {
+  // Two neurons per pass over 16-lane group pairs, dropping to one 256-bit
+  // group for the 8-lane remainder (padded is a multiple of lane_group, not
+  // of 16). Per (neuron, lane) every variant runs the identical ascending
+  // FMA chain, so a shot's value is invariant to its lane position AND to
+  // the vector width — this tier's fc_plane is bitwise equal to avx2's.
+  const std::size_t padded = padded_lanes(lanes);
+  const __m512 zero = _mm512_setzero_ps();
+  const __m256 zero256 = _mm256_setzero_ps();
+  std::size_t o = 0;
+  for (; o + 2 <= out_dim; o += 2) {
+    const float* w0 = weights + o * in_dim;
+    const float* w1 = w0 + in_dim;
+    const float b0s = bias != nullptr ? bias[o] : 0.0f;
+    const float b1s = bias != nullptr ? bias[o + 1] : 0.0f;
+    const __m512 b0 = _mm512_set1_ps(b0s);
+    const __m512 b1 = _mm512_set1_ps(b1s);
+    float* out0 = out_plane + o * stride;
+    float* out1 = out0 + stride;
+    std::size_t s = 0;
+    for (; s + 32 <= padded; s += 32) {
+      __m512 acc00 = b0;
+      __m512 acc01 = b0;
+      __m512 acc10 = b1;
+      __m512 acc11 = b1;
+      const float* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        const float* lane = column + i * stride;
+        const __m512 x0 = _mm512_loadu_ps(lane);
+        const __m512 x1 = _mm512_loadu_ps(lane + 16);
+        const __m512 wv0 = _mm512_set1_ps(w0[i]);
+        const __m512 wv1 = _mm512_set1_ps(w1[i]);
+        acc00 = _mm512_fmadd_ps(wv0, x0, acc00);
+        acc01 = _mm512_fmadd_ps(wv0, x1, acc01);
+        acc10 = _mm512_fmadd_ps(wv1, x0, acc10);
+        acc11 = _mm512_fmadd_ps(wv1, x1, acc11);
+      }
+      if (relu) {
+        acc00 = _mm512_max_ps(acc00, zero);
+        acc01 = _mm512_max_ps(acc01, zero);
+        acc10 = _mm512_max_ps(acc10, zero);
+        acc11 = _mm512_max_ps(acc11, zero);
+      }
+      _mm512_storeu_ps(out0 + s, acc00);
+      _mm512_storeu_ps(out0 + s + 16, acc01);
+      _mm512_storeu_ps(out1 + s, acc10);
+      _mm512_storeu_ps(out1 + s + 16, acc11);
+    }
+    for (; s + 16 <= padded; s += 16) {
+      __m512 acc0 = b0;
+      __m512 acc1 = b1;
+      const float* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        const __m512 x = _mm512_loadu_ps(column + i * stride);
+        acc0 = _mm512_fmadd_ps(_mm512_set1_ps(w0[i]), x, acc0);
+        acc1 = _mm512_fmadd_ps(_mm512_set1_ps(w1[i]), x, acc1);
+      }
+      if (relu) {
+        acc0 = _mm512_max_ps(acc0, zero);
+        acc1 = _mm512_max_ps(acc1, zero);
+      }
+      _mm512_storeu_ps(out0 + s, acc0);
+      _mm512_storeu_ps(out1 + s, acc1);
+    }
+    for (; s < padded; s += lane_group) {
+      __m256 acc0 = _mm256_set1_ps(b0s);
+      __m256 acc1 = _mm256_set1_ps(b1s);
+      const float* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        const __m256 x = _mm256_loadu_ps(column + i * stride);
+        acc0 = _mm256_fmadd_ps(_mm256_set1_ps(w0[i]), x, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_set1_ps(w1[i]), x, acc1);
+      }
+      if (relu) {
+        acc0 = _mm256_max_ps(acc0, zero256);
+        acc1 = _mm256_max_ps(acc1, zero256);
+      }
+      _mm256_storeu_ps(out0 + s, acc0);
+      _mm256_storeu_ps(out1 + s, acc1);
+    }
+  }
+  for (; o < out_dim; ++o) {
+    const float* w = weights + o * in_dim;
+    const float bs = bias != nullptr ? bias[o] : 0.0f;
+    const __m512 b = _mm512_set1_ps(bs);
+    float* out_row = out_plane + o * stride;
+    std::size_t s = 0;
+    for (; s + 16 <= padded; s += 16) {
+      __m512 acc = b;
+      const float* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        acc = _mm512_fmadd_ps(_mm512_set1_ps(w[i]),
+                              _mm512_loadu_ps(column + i * stride), acc);
+      }
+      if (relu) acc = _mm512_max_ps(acc, zero);
+      _mm512_storeu_ps(out_row + s, acc);
+    }
+    for (; s < padded; s += lane_group) {
+      __m256 acc = _mm256_set1_ps(bs);
+      const float* column = in_plane + s;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(w[i]),
+                              _mm256_loadu_ps(column + i * stride), acc);
+      }
+      if (relu) acc = _mm256_max_ps(acc, zero256);
+      _mm256_storeu_ps(out_row + s, acc);
+    }
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 }  // namespace
 
 namespace avx2 {
@@ -458,11 +734,36 @@ void fc_plane(const float* weights, const float* bias, std::size_t out_dim,
 
 }  // namespace avx2
 
+namespace avx512 {
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  return dot_avx512(a, b, n);
+}
+
+float sum(const float* values, std::size_t n) noexcept {
+  return sum_avx512(values, n);
+}
+
+float grouped_mean_dot(const float* values, const float* weights,
+                       std::size_t n, std::size_t groups,
+                       float* out_means) noexcept {
+  return grouped_mean_dot_avx512(values, weights, n, groups, out_means);
+}
+
+void fc_plane(const float* weights, const float* bias, std::size_t out_dim,
+              std::size_t in_dim, const float* in_plane, std::size_t lanes,
+              std::size_t stride, bool relu, float* out_plane) noexcept {
+  fc_plane_avx512(weights, bias, out_dim, in_dim, in_plane, lanes, stride,
+                  relu, out_plane);
+}
+
+}  // namespace avx512
+
 #else  // !KLINQ_HAVE_X86_SIMD
 
-// Keep the avx2:: entry points linkable on builds without the SIMD bodies;
-// avx2_available() reports false, so the parity harness skips rather than
-// comparing scalar against itself.
+// Keep the avx2:: / avx512:: entry points linkable on builds without the
+// SIMD bodies; avx2_available() / avx512_available() report false, so the
+// parity harness skips rather than comparing scalar against itself.
 namespace avx2 {
 
 float dot(const float* a, const float* b, std::size_t n) noexcept {
@@ -488,10 +789,39 @@ void fc_plane(const float* weights, const float* bias, std::size_t out_dim,
 
 }  // namespace avx2
 
+namespace avx512 {
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  return scalar::dot(a, b, n);
+}
+
+float sum(const float* values, std::size_t n) noexcept {
+  return scalar::sum(values, n);
+}
+
+float grouped_mean_dot(const float* values, const float* weights,
+                       std::size_t n, std::size_t groups,
+                       float* out_means) noexcept {
+  return scalar::grouped_mean_dot(values, weights, n, groups, out_means);
+}
+
+void fc_plane(const float* weights, const float* bias, std::size_t out_dim,
+              std::size_t in_dim, const float* in_plane, std::size_t lanes,
+              std::size_t stride, bool relu, float* out_plane) noexcept {
+  scalar::fc_plane(weights, bias, out_dim, in_dim, in_plane, lanes, stride,
+                   relu, out_plane);
+}
+
+}  // namespace avx512
+
 #endif  // KLINQ_HAVE_X86_SIMD
 
 bool avx2_available() noexcept {
   return KLINQ_HAVE_X86_SIMD != 0 && cpu_supports_avx2();
+}
+
+bool avx512_available() noexcept {
+  return KLINQ_HAVE_X86_SIMD != 0 && cpu_supports_avx512();
 }
 
 // ---------------------------------------------------------------------------
@@ -512,9 +842,15 @@ struct kernel_table {
 
 const kernel_table& active_table() noexcept {
   static const kernel_table table = [] {
-    if (active_float_simd_tier() == simd_tier::avx2) {
-      return kernel_table{avx2::dot, avx2::sum, avx2::grouped_mean_dot,
-                          avx2::fc_plane};
+    switch (active_float_simd_tier()) {
+      case simd_tier::avx512:
+        return kernel_table{avx512::dot, avx512::sum,
+                            avx512::grouped_mean_dot, avx512::fc_plane};
+      case simd_tier::avx2:
+        return kernel_table{avx2::dot, avx2::sum, avx2::grouped_mean_dot,
+                            avx2::fc_plane};
+      case simd_tier::scalar64:
+        break;
     }
     return kernel_table{scalar::dot, scalar::sum, scalar::grouped_mean_dot,
                         scalar::fc_plane};

@@ -30,6 +30,17 @@
 // included in the latency telemetry) for amortized per-request accounting —
 // built for mid-circuit clients streaming many small same-qubit blocks.
 //
+// Cross-request lane packing: with `lane_pack_shots` > 0, members of a
+// merged batch whose shot counts fit the budget are additionally grouped —
+// per pinned engine version — into shared 64-lane kernel tiles, so one
+// fc_plane / mac_tile invocation evaluates many requests' shots at once
+// instead of each single-shot member paying a full padded tile alone.
+// Packing changes no observable result: the fixed datapath is exact integer
+// arithmetic and the float plane kernels are lane-invariant, so every
+// member's registers/logits are bit-identical to unpacked execution, and
+// each member still resolves individually (its own status, deadline,
+// cancellation, on_shard event, and stage spans).
+//
 // Steady-state allocation: completed slots and shard arenas are recycled
 // through free-lists. The wait(ticket, result&) overload swaps buffers with
 // the caller, so a submit/wait loop that reuses one readout_result performs
@@ -94,6 +105,14 @@ struct server_config {
   /// pending small requests for the same (qubit, engine) into one dispatched
   /// batch (see the coalescing note above). 0 disables coalescing.
   std::size_t coalesce_shots = 0;
+  /// Cross-request lane packing inside coalesced batches: members with at
+  /// most this many shots are grouped (per pinned engine version) into
+  /// shared kernel tiles of up to kMaxLanePackShots lanes — one plane-kernel
+  /// dispatch for many requests' shots, bit-identical to unpacked execution
+  /// (see the lane-packing note above). 0 disables packing; values above
+  /// kMaxLanePackShots are rejected. Effective only together with
+  /// coalesce_shots > 0, since packing operates on merged batches.
+  std::size_t lane_pack_shots = 0;
   /// Streaming partial results: invoked from worker threads as each shard of
   /// a request finishes (see shard_callback's contract in request.hpp).
   /// Empty disables the per-shard notifications.
@@ -126,6 +145,11 @@ struct server_config {
   /// Largest accepted shard_shots / coalesce_shots value; anything above is
   /// a config bug, not a workload.
   static constexpr std::size_t kMaxShardShots = std::size_t{1} << 24;
+
+  /// Largest lane_pack_shots value — one engine kernel tile
+  /// (hw::quantized_network::kBatchTile == nn::kernels::max_tile_lanes), the
+  /// unit both packed executors evaluate at once.
+  static constexpr std::size_t kMaxLanePackShots = 64;
 
   /// Throws invalid_argument_error on any inconsistent field (also run by
   /// the readout_server constructor, so a bad config never half-starts a
@@ -234,8 +258,9 @@ class readout_server {
     // --- stage-tracing timestamps, all seconds relative to `timer` -------
     /// When the request left the submit path for the scheduler (≈0 for a
     /// direct dispatch; the coalesce hold time for a parked member).
-    /// Written by the single thread that dispatches, before the scheduler
-    /// enqueue, so shard executors read it race-free.
+    /// Stamped under mutex_ at the moment the slot leaves the submit path or
+    /// its batch leaves pending_ — never after the unlock — so a hold span
+    /// can neither race a concurrent submit nor run past the dispatch point.
     double dispatch_at = 0.0;
     /// Earliest shard-execution start (min across shards; guarded by
     /// mutex_). Negative until the first shard reports in.
@@ -267,8 +292,25 @@ class readout_server {
   /// completion accounting (shared by sharded dispatch and merged batches).
   void execute_range(slot* raw, const readout_request& request,
                      std::size_t begin, std::size_t end, shard_arena& arena);
-  /// Enqueues a merged batch as one scheduler task.
+  /// Enqueues a merged batch as one scheduler task. The batch must already
+  /// be stamped (stamp_dispatch_locked) — its members left pending_ under
+  /// the lock that called this.
   void dispatch_batch(pending_batch batch);
+  /// Runs a merged batch inside its scheduler task: partitions members into
+  /// lane packs (shots <= lane_pack_shots, grouped by pinned engine
+  /// identity, chunked to kMaxLanePackShots lanes) executed by
+  /// execute_pack, with everything else falling through to execute_range.
+  void run_batch(const std::vector<pending_member>& members,
+                 shard_arena& arena);
+  /// Evaluates one lane pack (>= 2 members) through a single shared kernel
+  /// tile, honoring each member's cancellation/deadline/fault individually,
+  /// then runs every member's completion accounting.
+  void execute_pack(const pending_member* const* pack, std::size_t count,
+                    shard_arena& arena);
+  /// Stamps the coalesce-hold end on every member. Requires mutex_ — the
+  /// batch must be leaving pending_ under the same lock, so no member can
+  /// join after the stamp.
+  void stamp_dispatch_locked(pending_batch& batch);
   /// Dispatches every parked coalescing batch (drain/teardown and
   /// capacity-limited submits call this so held tickets always complete;
   /// submit_locked also flushes whenever parking would leave the inflight
@@ -353,9 +395,14 @@ class readout_server {
   std::vector<qubit_cells> qubit_cells_;
   obs::counter* requests_coalesced_cell_ = nullptr;
   obs::counter* coalesced_batches_cell_ = nullptr;
+  obs::counter* packed_requests_cell_ = nullptr;
+  obs::counter* packed_batches_cell_ = nullptr;
   obs::counter* shard_events_cell_ = nullptr;
   obs::gauge* inflight_cell_ = nullptr;
   obs::log_histogram* request_seconds_ = nullptr;
+  /// Occupied lanes per dispatched pack (1..kMaxLanePackShots) — how full
+  /// the shared tiles actually run.
+  obs::log_histogram* lane_occupancy_ = nullptr;
 
   /// Consecutive shard failures per qubit (guarded by mutex_); reaching
   /// config_.failure_threshold triggers a provider demote and resets.

@@ -36,6 +36,13 @@ struct server_stats {
   /// Merged batches dispatched: each one cost a single pool round-trip and
   /// arena acquisition for all of its member requests.
   std::uint64_t coalesced_batches = 0;
+  /// Requests whose shots ran inside a shared lane-packed kernel tile
+  /// (server_config::lane_pack_shots; results stay bit-identical to
+  /// unpacked execution).
+  std::uint64_t packed_requests = 0;
+  /// Lane-packed tiles dispatched: each one evaluated several requests'
+  /// shots through a single fc_plane / mac_tile kernel invocation.
+  std::uint64_t packed_batches = 0;
   /// Shard-completion events delivered to server_config::on_shard.
   std::uint64_t shard_events = 0;
   /// Times a submit acquired a different model version for a qubit than that

@@ -1,8 +1,10 @@
 #include "klinq/serve/readout_server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <exception>
+#include <iterator>
 #include <span>
 #include <string>
 #include <utility>
@@ -52,6 +54,9 @@ void server_config::validate() const {
   KLINQ_REQUIRE(coalesce_shots <= kMaxShardShots,
                 "server_config: coalesce_shots is implausibly large (wrapped "
                 "negative?)");
+  KLINQ_REQUIRE(lane_pack_shots <= kMaxLanePackShots,
+                "server_config: lane_pack_shots exceeds one kernel tile "
+                "(kMaxLanePackShots)");
   KLINQ_REQUIRE(
       std::isfinite(default_deadline_seconds) &&
           default_deadline_seconds >= 0.0,
@@ -128,6 +133,15 @@ void readout_server::init_metrics() {
   coalesced_batches_cell_ =
       &m.get_counter("klinq_serve_coalesced_batches_total", {},
                      "Merged coalesced batches dispatched");
+  packed_requests_cell_ =
+      &m.get_counter("klinq_serve_packed_requests_total", {},
+                     "Requests evaluated inside a shared lane-packed tile");
+  packed_batches_cell_ =
+      &m.get_counter("klinq_serve_packed_batches_total", {},
+                     "Lane-packed kernel tiles dispatched");
+  lane_occupancy_ =
+      &m.get_histogram("klinq_serve_lane_occupancy", {},
+                       "Occupied lanes per dispatched lane pack");
   shard_events_cell_ =
       &m.get_counter("klinq_serve_shard_events_total", {},
                      "Shard completions delivered to on_shard");
@@ -398,6 +412,7 @@ ticket readout_server::submit_locked(const readout_request& request,
     std::vector<pending_batch> ready;
     if (batch.shots >= scheduler_.shard_shots()) {
       // A full shard's worth accumulated: dispatch the merged batch now.
+      stamp_dispatch_locked(batch);
       ready.push_back(std::move(batch));
       pending_.erase(key);
       coalesced_batches_cell_->inc();
@@ -550,22 +565,291 @@ void readout_server::execute_range(slot* raw, const readout_request& request,
   }
 }
 
-void readout_server::dispatch_batch(pending_batch batch) {
-  // End of the coalesce hold: stamped by the single thread that unparked
-  // the batch, before the scheduler enqueue, so executors read it
-  // race-free (the enqueue orders these writes before execution).
+void readout_server::stamp_dispatch_locked(pending_batch& batch) {
+  // End of the coalesce hold, stamped under mutex_ at the moment the batch
+  // leaves pending_. No member can join after the stamp (joining requires
+  // the same lock and the batch is gone from pending_), so a late joiner can
+  // never carry a dispatch_at predating its own submit — hold and queue
+  // spans stay non-negative by construction.
   for (const pending_member& member : batch.members) {
     member.s->dispatch_at = member.s->timer.seconds();
   }
-  // One scheduler task, one arena: every member runs its full row range
-  // back to back, completing (and waking waiters) individually.
+}
+
+void readout_server::dispatch_batch(pending_batch batch) {
+  // One scheduler task, one arena: every member runs back to back (lane
+  // packs first, then the serial remainder — see run_batch), completing
+  // (and waking waiters) individually.
   scheduler_.dispatch_one(
       [this, members = std::move(batch.members)](shard_arena& arena) {
-        for (const pending_member& member : members) {
-          execute_range(member.s, member.request, 0,
-                        member.request.traces->size(), arena);
-        }
+        run_batch(members, arena);
       });
+}
+
+void readout_server::run_batch(const std::vector<pending_member>& members,
+                               shard_arena& arena) {
+  const std::size_t pack_shots = config_.lane_pack_shots;
+  if (pack_shots == 0 || members.size() < 2) {
+    for (const pending_member& member : members) {
+      execute_range(member.s, member.request, 0,
+                    member.request.traces->size(), arena);
+    }
+    return;
+  }
+  // Partition in submission order: members whose shots fit the pack budget
+  // group by pinned engine identity (the leased pointer — two hot-swap
+  // versions of one qubit's model must never share a tile), the rest run
+  // the ordinary serial range. The batch key already fixes (qubit, engine
+  // kind), so identity is the only split left.
+  std::vector<const pending_member*> serial;
+  std::vector<std::pair<const void*, std::vector<const pending_member*>>>
+      groups;
+  for (const pending_member& member : members) {
+    const std::size_t shots = member.request.traces->size();
+    if (shots == 0 || shots > pack_shots) {
+      serial.push_back(&member);
+      continue;
+    }
+    const void* identity =
+        member.request.engine == engine_kind::fixed_q16
+            ? static_cast<const void*>(member.s->lease.engine.hardware)
+            : static_cast<const void*>(member.s->lease.engine.student);
+    auto it = std::find_if(
+        groups.begin(), groups.end(),
+        [identity](const auto& group) { return group.first == identity; });
+    if (it == groups.end()) {
+      groups.emplace_back(identity, std::vector<const pending_member*>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(&member);
+  }
+  for (auto& [identity, group] : groups) {
+    // Greedy chunking into tiles of at most kMaxLanePackShots total lanes. A
+    // chunk of one (nothing else fit) gains nothing from the packed path and
+    // runs the plain range instead.
+    std::size_t begin = 0;
+    while (begin < group.size()) {
+      std::size_t lanes = 0;
+      std::size_t end = begin;
+      while (end < group.size()) {
+        const std::size_t shots = group[end]->request.traces->size();
+        if (lanes + shots > server_config::kMaxLanePackShots) break;
+        lanes += shots;
+        ++end;
+      }
+      if (end - begin >= 2) {
+        execute_pack(group.data() + begin, end - begin, arena);
+      } else {
+        const pending_member* member = group[begin];
+        execute_range(member->s, member->request, 0,
+                      member->request.traces->size(), arena);
+      }
+      begin = end;
+    }
+  }
+  for (const pending_member* member : serial) {
+    execute_range(member->s, member->request, 0,
+                  member->request.traces->size(), arena);
+  }
+}
+
+void readout_server::execute_pack(const pending_member* const* pack,
+                                  std::size_t count, shard_arena& arena) {
+  constexpr std::size_t kMaxLanes = server_config::kMaxLanePackShots;
+  constexpr std::size_t kNoLane = static_cast<std::size_t>(-1);
+  // The batch key fixes (qubit, engine kind) and run_batch grouped by pinned
+  // engine identity, so one leased engine evaluates every lane.
+  const engine_kind kind = pack[0]->request.engine;
+  const std::size_t qubit = pack[0]->request.qubit;
+  const qubit_engine& engine = pack[0]->s->lease.engine;
+
+  // Per-member shard preamble, mirroring execute_range: exec timestamps come
+  // off each member's own submit timer (stage spans must keep tiling that
+  // member's latency), and cancellation/expiry/fault checks run per member —
+  // a skipped or faulted member is excluded from the shared tile but still
+  // reaches the completion accounting below.
+  std::array<double, kMaxLanes> exec_begin{};
+  std::array<bool, kMaxLanes> skipped_cancelled{};
+  std::array<bool, kMaxLanes> skipped_deadline{};
+  std::array<bool, kMaxLanes> event_fired{};
+  std::array<std::exception_ptr, kMaxLanes> errors{};
+  std::array<std::size_t, kMaxLanes> lane_offset{};
+  std::array<const data::trace_dataset*, kMaxLanes> datasets{};
+  std::array<std::size_t, kMaxLanes> rows{};
+  std::size_t lanes = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    slot* raw = pack[i]->s;
+    exec_begin[i] = raw->timer.seconds();
+    lane_offset[i] = kNoLane;
+    skipped_cancelled[i] = raw->cancelled.load(std::memory_order_relaxed);
+    skipped_deadline[i] = !skipped_cancelled[i] && raw->deadline_seconds > 0.0 &&
+                          raw->timer.seconds() >= raw->deadline_seconds;
+    if (skipped_cancelled[i] || skipped_deadline[i]) continue;
+    try {
+      if (fault::trigger("serve.shard.run") == fault::action::drop) {
+        throw fault::injected_fault(
+            "injected fault at serve.shard.run: shard result dropped");
+      }
+    } catch (...) {
+      errors[i] = std::current_exception();
+      continue;
+    }
+    const data::trace_dataset& ds = *pack[i]->request.traces;
+    lane_offset[i] = lanes;
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+      datasets[lanes] = &ds;
+      rows[lanes] = r;
+      ++lanes;
+    }
+  }
+
+  // One shared kernel tile for every runnable member's shots. A kernel
+  // exception fails all of them (they shared the execution), never the
+  // members already skipped or faulted out above.
+  if (lanes > 0) {
+    std::exception_ptr kernel_error;
+    try {
+      if (kind == engine_kind::fixed_q16) {
+        std::array<fx::q16_16, kMaxLanes> out;
+        engine.hardware->logits_lanes(datasets.data(), rows.data(), lanes,
+                                      std::span<fx::q16_16>(out.data(), lanes),
+                                      arena.fixed);
+        for (std::size_t i = 0; i < count; ++i) {
+          if (lane_offset[i] == kNoLane) continue;
+          slot* raw = pack[i]->s;
+          for (std::size_t r = 0; r < raw->shots; ++r) {
+            raw->result.registers[r] = out[lane_offset[i] + r];
+            raw->result.states[r] = raw->result.registers[r].sign_bit() ? 0 : 1;
+          }
+        }
+      } else {
+        std::array<float, kMaxLanes> out;
+        engine.student->predict_lanes(datasets.data(), rows.data(), lanes,
+                                      std::span<float>(out.data(), lanes),
+                                      arena.student);
+        for (std::size_t i = 0; i < count; ++i) {
+          if (lane_offset[i] == kNoLane) continue;
+          slot* raw = pack[i]->s;
+          for (std::size_t r = 0; r < raw->shots; ++r) {
+            raw->result.logits[r] = out[lane_offset[i] + r];
+            raw->result.states[r] = (raw->result.logits[r] >= 0.0f) ? 1 : 0;
+          }
+        }
+      }
+    } catch (...) {
+      kernel_error = std::current_exception();
+    }
+    if (kernel_error) {
+      for (std::size_t i = 0; i < count; ++i) {
+        if (lane_offset[i] != kNoLane) errors[i] = kernel_error;
+      }
+    } else if (config_.on_shard) {
+      // Per-member events, each covering the member's whole range — same
+      // contract as a coalesced member's single event. A callback throw
+      // fails only the member whose event it was.
+      for (std::size_t i = 0; i < count; ++i) {
+        if (lane_offset[i] == kNoLane) continue;
+        slot* raw = pack[i]->s;
+        shard_event event;
+        event.request = ticket{raw->id};
+        event.qubit = qubit;
+        event.engine = kind;
+        event.model_version = raw->result.model_version;
+        event.row_begin = 0;
+        event.row_end = raw->shots;
+        event.states = std::span<const std::uint8_t>(raw->result.states);
+        if (kind == engine_kind::fixed_q16) {
+          event.registers = std::span<const fx::q16_16>(raw->result.registers);
+        } else {
+          event.logits = std::span<const float>(raw->result.logits);
+        }
+        try {
+          config_.on_shard(event);
+          event_fired[i] = true;
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    }
+    // Pack accounting (lock-free cells): members that shared the tile, the
+    // tile itself, and how full it ran.
+    packed_batches_cell_->inc();
+    lane_occupancy_->record(static_cast<double>(lanes));
+    for (std::size_t i = 0; i < count; ++i) {
+      if (lane_offset[i] != kNoLane) packed_requests_cell_->inc();
+    }
+  }
+  // Per-member shard time: the pack's span measured on each member's own
+  // timer (ran or threw — either way the worker was held).
+  {
+    obs::log_histogram* shard_exec = cells_locked(qubit, kind).shard_exec;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (skipped_cancelled[i] || skipped_deadline[i]) continue;
+      shard_exec->record(pack[i]->s->timer.seconds() - exec_begin[i]);
+    }
+  }
+
+  // Completion accounting for every member, one lock for the whole pack —
+  // the per-member body mirrors execute_range exactly.
+  bool demote_now = false;
+  std::uint64_t failing_version = 0;
+  {
+    const std::lock_guard done_lock(mutex_);
+    for (std::size_t i = 0; i < count; ++i) {
+      slot* raw = pack[i]->s;
+      if (errors[i] && !raw->error) raw->error = errors[i];
+      if (event_fired[i]) shard_events_cell_->inc();
+      if (skipped_deadline[i]) raw->deadline_expired = true;
+      if (raw->first_exec_at < 0.0 || exec_begin[i] < raw->first_exec_at) {
+        raw->first_exec_at = exec_begin[i];
+      }
+      if (errors[i]) {
+        engine_cells& cells = cells_locked(qubit, kind);
+        if (cells.shard_failures == nullptr) {
+          cells.shard_failures = &metrics_->get_counter(
+              "klinq_serve_shard_failures_total",
+              {{"qubit", std::to_string(qubit)}, {"engine", engine_name(kind)}},
+              "Shard executions that threw");
+        }
+        cells.shard_failures->inc();
+        if (++consecutive_failures_[qubit] >= config_.failure_threshold) {
+          consecutive_failures_[qubit] = 0;
+          demote_now = true;
+          failing_version = raw->result.model_version;
+        }
+      } else if (!skipped_cancelled[i] && !skipped_deadline[i]) {
+        consecutive_failures_[qubit] = 0;
+      }
+      --outstanding_shards_;
+      if (--raw->remaining_shards == 0) {
+        raw->done = true;
+        raw->lease = engine_lease{};
+        raw->result.latency_seconds = raw->timer.seconds();
+        if (raw->cancelled.load(std::memory_order_relaxed)) {
+          raw->result.status = request_status::cancelled;
+        } else if (raw->deadline_expired) {
+          raw->result.status = request_status::timed_out;
+        } else if (raw->error) {
+          raw->result.status = request_status::failed;
+        } else {
+          raw->result.status = request_status::ok;
+        }
+        finish_request_locked(raw, kind);
+      }
+    }
+    completed_.notify_all();
+  }
+  if (demote_now && provider_->demote(qubit, failing_version)) {
+    const std::lock_guard lock(mutex_);
+    obs::counter*& cell = qubit_cells_[qubit].rollbacks;
+    if (cell == nullptr) {
+      cell = &metrics_->get_counter(
+          "klinq_serve_rollbacks_total", {{"qubit", std::to_string(qubit)}},
+          "Automatic demote-to-last-known-good rollbacks this server "
+          "triggered");
+    }
+    cell->inc();
+  }
 }
 
 void readout_server::take_pending_locked(std::vector<pending_batch>& out) {
@@ -575,6 +859,7 @@ void readout_server::take_pending_locked(std::vector<pending_batch>& out) {
   out.reserve(out.size() + pending_.size());
   for (auto& [key, batch] : pending_) {
     if (batch.members.empty()) continue;
+    stamp_dispatch_locked(batch);
     out.push_back(std::move(batch));
     coalesced_batches_cell_->inc();
   }
@@ -601,6 +886,7 @@ void readout_server::flush_pending_for(ticket t) {
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
       for (const pending_member& member : it->second.members) {
         if (member.s->id == t.id) {
+          stamp_dispatch_locked(it->second);
           ready = std::move(it->second);
           pending_.erase(it);
           coalesced_batches_cell_->inc();
@@ -778,6 +1064,8 @@ server_stats readout_server::stats() const {
   }
   snapshot.requests_coalesced = requests_coalesced_cell_->value();
   snapshot.coalesced_batches = coalesced_batches_cell_->value();
+  snapshot.packed_requests = packed_requests_cell_->value();
+  snapshot.packed_batches = packed_batches_cell_->value();
   snapshot.shard_events = shard_events_cell_->value();
   snapshot.inflight = active_.size();
   snapshot.uptime_seconds = uptime_.seconds();

@@ -7,8 +7,8 @@
 // quantization. Sweeps deliberately hit the hard corners: the saturation
 // rails, half-ULP tie products of both signs, negative exact multiples
 // (where a naive floor-shift overshoots by one LSB), and randomized fuzzing
-// per format. The AVX2 comparisons run only where the executing CPU has the
-// tier; the scalar comparisons run everywhere.
+// per format. The AVX2/AVX-512 comparisons run only where the executing CPU
+// has the tier; the scalar comparisons run everywhere.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -148,6 +148,12 @@ TYPED_TEST(FixedKernelTest, MacRowTiersMatchInt128Reference) {
                   reference)
             << "avx2 n=" << n << " trial=" << trial;
       }
+      if (kernels::avx512_available()) {
+        ASSERT_EQ(kernels::avx512::mac_row(weights.data(), inputs.data(), n,
+                                           bias, spec),
+                  reference)
+            << "avx512 n=" << n << " trial=" << trial;
+      }
       ASSERT_EQ(
           kernels::mac_row(weights.data(), inputs.data(), n, bias, spec),
           reference)
@@ -183,6 +189,11 @@ TYPED_TEST(FixedKernelTest, MacRowSaturatesAccumulatorAtExtractionOnly) {
         kernels::avx2::mac_row(weights.data(), inputs.data(), 64, 0, spec),
         pinned);
   }
+  if (kernels::avx512_available()) {
+    EXPECT_EQ(
+        kernels::avx512::mac_row(weights.data(), inputs.data(), 64, 0, spec),
+        pinned);
+  }
 }
 
 TYPED_TEST(FixedKernelTest, SumRowTiersMatchWideAccumulator) {
@@ -197,6 +208,9 @@ TYPED_TEST(FixedKernelTest, SumRowTiersMatchWideAccumulator) {
     EXPECT_EQ(kernels::scalar64::sum_row(values.data(), n), reference);
     if (kernels::avx2_available()) {
       EXPECT_EQ(kernels::avx2::sum_row(values.data(), n), reference);
+    }
+    if (kernels::avx512_available()) {
+      EXPECT_EQ(kernels::avx512::sum_row(values.data(), n), reference);
     }
     EXPECT_EQ(kernels::sum_row(values.data(), n), reference);
   }
@@ -253,6 +267,14 @@ TYPED_TEST(FixedKernelTest, MacTileTiersMatchInt128Reference) {
                                 simd.data(), spec);
         EXPECT_EQ(simd, expected) << "avx2 tile=" << tile << " relu=" << relu;
       }
+      if (kernels::avx512_available()) {
+        std::vector<std::int32_t> simd(out_dim * stride, 0);
+        kernels::avx512::mac_tile(weights.data(), bias_raws.data(), out_dim,
+                                  in_dim, plane.data(), tile, stride, relu,
+                                  simd.data(), spec);
+        EXPECT_EQ(simd, expected)
+            << "avx512 tile=" << tile << " relu=" << relu;
+      }
     }
   }
 }
@@ -299,6 +321,12 @@ TYPED_TEST(FixedKernelTest, QuantizeBlockMatchesFromDouble) {
     std::vector<std::int32_t> simd(values.size(), -1);
     kernels::avx2::quantize_block(values.data(), values.size(), simd.data(),
                                   spec);
+    EXPECT_EQ(simd, expected);
+  }
+  if (kernels::avx512_available()) {
+    std::vector<std::int32_t> simd(values.size(), -1);
+    kernels::avx512::quantize_block(values.data(), values.size(), simd.data(),
+                                    spec);
     EXPECT_EQ(simd, expected);
   }
   std::vector<std::int32_t> dispatched(values.size(), -1);

@@ -69,6 +69,11 @@ TEST(NnKernels, DotTiersMatchDoubleReference) {
         EXPECT_NEAR(kernels::avx2::dot(a.data(), b.data(), n), reference, tol)
             << "avx2 n=" << n;
       }
+      if (kernels::avx512_available()) {
+        EXPECT_NEAR(kernels::avx512::dot(a.data(), b.data(), n), reference,
+                    tol)
+            << "avx512 n=" << n;
+      }
       EXPECT_NEAR(kernels::dot(a.data(), b.data(), n), reference, tol)
           << "dispatched n=" << n;
     }
@@ -91,6 +96,9 @@ TEST(NnKernels, SumTiersMatchDoubleReference) {
     EXPECT_NEAR(kernels::scalar::sum(values.data(), n), reference, tol);
     if (kernels::avx2_available()) {
       EXPECT_NEAR(kernels::avx2::sum(values.data(), n), reference, tol);
+    }
+    if (kernels::avx512_available()) {
+      EXPECT_NEAR(kernels::avx512::sum(values.data(), n), reference, tol);
     }
     EXPECT_NEAR(kernels::sum(values.data(), n), reference, tol);
   }
@@ -153,6 +161,11 @@ TEST(NnKernels, GroupedMeanDotTiersMatchDoubleReference) {
           return kernels::avx2::grouped_mean_dot(args...);
         });
       }
+      if (kernels::avx512_available()) {
+        check("avx512", [](auto... args) {
+          return kernels::avx512::grouped_mean_dot(args...);
+        });
+      }
       check("dispatched", [](auto... args) {
         return kernels::grouped_mean_dot(args...);
       });
@@ -164,12 +177,23 @@ TEST(NnKernels, DispatchedEntryPointsMatchActiveTierBitwise) {
   xoshiro256 rng(99);
   const auto a = random_values(rng, 777);
   const auto b = random_values(rng, 777);
-  const bool avx2 = active_float_simd_tier() == simd_tier::avx2;
-  const float expected = avx2 ? kernels::avx2::dot(a.data(), b.data(), 777)
-                              : kernels::scalar::dot(a.data(), b.data(), 777);
+  float expected = 0.0f;
+  float expected_sum = 0.0f;
+  switch (active_float_simd_tier()) {
+    case simd_tier::avx512:
+      expected = kernels::avx512::dot(a.data(), b.data(), 777);
+      expected_sum = kernels::avx512::sum(a.data(), 777);
+      break;
+    case simd_tier::avx2:
+      expected = kernels::avx2::dot(a.data(), b.data(), 777);
+      expected_sum = kernels::avx2::sum(a.data(), 777);
+      break;
+    case simd_tier::scalar64:
+      expected = kernels::scalar::dot(a.data(), b.data(), 777);
+      expected_sum = kernels::scalar::sum(a.data(), 777);
+      break;
+  }
   EXPECT_EQ(kernels::dot(a.data(), b.data(), 777), expected);
-  const float expected_sum = avx2 ? kernels::avx2::sum(a.data(), 777)
-                                  : kernels::scalar::sum(a.data(), 777);
   EXPECT_EQ(kernels::sum(a.data(), 777), expected_sum);
 }
 
@@ -240,6 +264,11 @@ TEST(NnKernels, FcPlaneTiersMatchDoubleReference) {
           kernels::avx2::fc_plane(args...);
         });
       }
+      if (kernels::avx512_available()) {
+        run_and_check("avx512", [](auto... args) {
+          kernels::avx512::fc_plane(args...);
+        });
+      }
       run_and_check("dispatched", [](auto... args) {
         kernels::fc_plane(args...);
       });
@@ -296,6 +325,51 @@ TEST(NnKernels, FcPlaneLaneInvariantWithinTier) {
     check_tier("avx2", [](auto... args) {
       kernels::avx2::fc_plane(args...);
     });
+  }
+  if (kernels::avx512_available()) {
+    check_tier("avx512", [](auto... args) {
+      kernels::avx512::fc_plane(args...);
+    });
+  }
+}
+
+// The avx512 fc_plane runs the identical ascending per-lane FMA chain as
+// avx2 (16-lane group pairs + an 8-lane remainder group), so the two wide
+// tiers agree bitwise — the serve layer's packed/unpacked float equality
+// rests on this even when dispatch upgrades across tiers.
+TEST(NnKernels, FcPlaneAvx512MatchesAvx2Bitwise) {
+  if (!kernels::avx512_available() || !kernels::avx2_available()) {
+    GTEST_SKIP() << "host lacks an AVX-512 or AVX2 tier";
+  }
+  xoshiro256 rng(83);
+  constexpr std::size_t stride = kernels::max_tile_lanes;
+  const plane_case cases[] = {{1, 1, 1},  {3, 7, 5},    {16, 31, 8},
+                              {5, 16, 33}, {16, 31, 64}, {1, 201, 17}};
+  for (const plane_case& c : cases) {
+    for (const bool relu : {false, true}) {
+      const auto weights = random_values(rng, c.out_dim * c.in_dim);
+      const auto bias = random_values(rng, c.out_dim);
+      const auto rows = random_values(rng, c.lanes * c.in_dim, 2.0);
+      std::vector<float> plane(c.in_dim * stride, -7.0f);
+      kernels::pack_rows(rows.data(), c.lanes, c.in_dim, c.in_dim,
+                         plane.data(), stride);
+      std::vector<float> wide(c.out_dim * stride, 0.0f);
+      std::vector<float> wider(c.out_dim * stride, 0.0f);
+      kernels::avx2::fc_plane(weights.data(), bias.data(), c.out_dim, c.in_dim,
+                              plane.data(), c.lanes, stride, relu,
+                              wide.data());
+      kernels::avx512::fc_plane(weights.data(), bias.data(), c.out_dim,
+                                c.in_dim, plane.data(), c.lanes, stride, relu,
+                                wider.data());
+      for (std::size_t o = 0; o < c.out_dim; ++o) {
+        for (std::size_t s = 0; s < c.lanes; ++s) {
+          ASSERT_EQ(wider[o * stride + s], wide[o * stride + s])
+              << "out=" << c.out_dim << " in=" << c.in_dim
+              << " lanes=" << c.lanes << " relu=" << relu << " o=" << o
+              << " s=" << s;
+        }
+      }
+    }
   }
 }
 

@@ -542,6 +542,152 @@ TEST(ServeCoalescing, DisabledByDefault) {
   EXPECT_EQ(stats.coalesced_batches, 0u);
 }
 
+// --- cross-request lane packing --------------------------------------------
+
+// Single-shot requests merged AND lane-packed: one shared kernel tile
+// evaluates many requests' shots, and every member's result must stay
+// bit-identical to the serial per-block path — exact integer arithmetic on
+// the fixed engine, lane-invariant plane kernels on the float engine.
+TEST(ServeLanePacking, PackedSingleShotsBitExactAndCounted) {
+  auto& f = fixture();
+  serve::readout_server server(
+      f.engines(), {.shard_shots = 64,
+                    .max_inflight = 512,
+                    .coalesce_shots = 8,
+                    .lane_pack_shots = 8});
+  std::vector<std::vector<data::trace_dataset>> blocks(kQubits);
+  std::vector<std::vector<serve::ticket>> fixed_tickets(kQubits);
+  std::vector<std::vector<serve::ticket>> float_tickets(kQubits);
+  std::size_t submits = 0;
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    // Mixed 1/3-shot requests: 1-shot members exercise the worst unpacked
+    // waste, 3-shot members exercise multi-lane scatter offsets.
+    auto singles = split_blocks(f.data[q].test, 1);
+    singles.resize(48);
+    auto triples = split_blocks(f.data[q].test, 3);
+    triples.resize(16);
+    blocks[q] = std::move(singles);
+    for (auto& b : triples) blocks[q].push_back(std::move(b));
+    for (const data::trace_dataset& block : blocks[q]) {
+      fixed_tickets[q].push_back(
+          server.submit({q, &block, serve::engine_kind::fixed_q16}));
+      float_tickets[q].push_back(
+          server.submit({q, &block, serve::engine_kind::float_student}));
+      submits += 2;
+    }
+  }
+  for (std::size_t q = 0; q < kQubits; ++q) {
+    for (std::size_t b = 0; b < blocks[q].size(); ++b) {
+      const data::trace_dataset& block = blocks[q][b];
+      const serve::readout_result fixed = server.wait(fixed_tickets[q][b]);
+      std::vector<q16_16> registers(block.size());
+      f.hardware[q].logits(block, registers);
+      ASSERT_EQ(fixed.status, serve::request_status::ok);
+      ASSERT_EQ(fixed.registers.size(), registers.size());
+      for (std::size_t r = 0; r < registers.size(); ++r) {
+        ASSERT_EQ(fixed.registers[r].raw(), registers[r].raw())
+            << "qubit " << q << " block " << b << " row " << r;
+        ASSERT_EQ(fixed.states[r] != 0, !registers[r].sign_bit());
+      }
+      const serve::readout_result floats = server.wait(float_tickets[q][b]);
+      const std::vector<float> logits = f.students[q].predict_batch(block);
+      ASSERT_EQ(floats.status, serve::request_status::ok);
+      ASSERT_EQ(floats.logits.size(), logits.size());
+      for (std::size_t r = 0; r < logits.size(); ++r) {
+        ASSERT_EQ(floats.logits[r], logits[r])
+            << "qubit " << q << " block " << b << " row " << r;
+      }
+    }
+  }
+  const serve::server_stats stats = server.stats();
+  EXPECT_EQ(stats.requests_coalesced, submits);
+  EXPECT_GE(stats.packed_batches, 1u);
+  EXPECT_GE(stats.packed_requests, stats.packed_batches * 2);
+  // Packing amortizes kernel dispatches: far fewer tiles than requests.
+  EXPECT_LT(stats.packed_batches, stats.packed_requests);
+  EXPECT_EQ(stats.requests_completed, stats.requests_submitted);
+  // The occupancy histogram materialized and saw every pack.
+  EXPECT_NE(server.metrics().prometheus_text().find(
+                "klinq_serve_lane_occupancy"),
+            std::string::npos);
+}
+
+// Deadline expiry and cancellation inside one packed tile: skipped members
+// resolve with their own status while their pack-mates complete bit-exact —
+// per-member control stays intact through the shared kernel.
+TEST(ServeLanePacking, MixedDeadlineAndCancelInsideOnePack) {
+  auto& f = fixture();
+  // shard_shots 4096 with 1-shot members: nothing auto-dispatches, the
+  // batch stays parked until cancel() flushes it, so all members land in
+  // the same merged batch and the same pack.
+  serve::readout_server server(
+      f.engines(), {.shard_shots = 4096,
+                    .coalesce_shots = 64,
+                    .lane_pack_shots = 64});
+  const auto blocks = split_blocks(f.data[0].test, 1);
+  const serve::ticket ok1 =
+      server.submit({0, &blocks[0], serve::engine_kind::fixed_q16});
+  serve::readout_request doomed{0, &blocks[1], serve::engine_kind::fixed_q16};
+  doomed.deadline_seconds = 1e-12;  // expired long before the pack runs
+  const serve::ticket late = server.submit(doomed);
+  const serve::ticket ok2 =
+      server.submit({0, &blocks[2], serve::engine_kind::fixed_q16});
+  const serve::ticket victim =
+      server.submit({0, &blocks[3], serve::engine_kind::fixed_q16});
+  const serve::ticket ok3 =
+      server.submit({0, &blocks[4], serve::engine_kind::fixed_q16});
+  EXPECT_TRUE(server.cancel(victim));  // flushes the batch → pack executes
+  EXPECT_EQ(server.wait(victim).status, serve::request_status::cancelled);
+  EXPECT_EQ(server.wait(late).status, serve::request_status::timed_out);
+  std::size_t b = 0;
+  for (const serve::ticket t : {ok1, ok2, ok3}) {
+    const serve::readout_result result = server.wait(t);
+    ASSERT_EQ(result.status, serve::request_status::ok);
+    const data::trace_dataset& block = blocks[b == 0 ? 0 : (b == 1 ? 2 : 4)];
+    std::vector<q16_16> registers(block.size());
+    f.hardware[0].logits(block, registers);
+    ASSERT_EQ(result.registers[0].raw(), registers[0].raw()) << "member " << b;
+    ++b;
+  }
+  const serve::server_stats stats = server.stats();
+  EXPECT_EQ(stats.packed_batches, 1u);
+  // Only the three runnable members shared the tile.
+  EXPECT_EQ(stats.packed_requests, 3u);
+  EXPECT_EQ(stats.cancelled_requests, 1u);
+  EXPECT_EQ(stats.timed_out_requests, 1u);
+}
+
+// lane_pack_shots defaults to 0: coalesced batches run member-by-member and
+// no packed tiles are counted.
+TEST(ServeLanePacking, DisabledByDefault) {
+  auto& f = fixture();
+  serve::readout_server server(
+      f.engines(), {.shard_shots = 16, .coalesce_shots = 8});
+  const auto blocks = split_blocks(f.data[0].test, 1);
+  std::vector<serve::ticket> tickets;
+  for (std::size_t b = 0; b < 32; ++b) {
+    tickets.push_back(
+        server.submit({0, &blocks[b], serve::engine_kind::fixed_q16}));
+  }
+  for (const serve::ticket t : tickets) {
+    EXPECT_EQ(server.wait(t).status, serve::request_status::ok);
+  }
+  const serve::server_stats stats = server.stats();
+  EXPECT_GE(stats.coalesced_batches, 1u);
+  EXPECT_EQ(stats.packed_batches, 0u);
+  EXPECT_EQ(stats.packed_requests, 0u);
+}
+
+TEST(ServeLanePacking, ConfigRejectsOversizedPackBudget) {
+  auto& f = fixture();
+  EXPECT_THROW(
+      serve::readout_server(
+          f.engines(),
+          {.coalesce_shots = 64,
+           .lane_pack_shots = serve::server_config::kMaxLanePackShots + 1}),
+      invalid_argument_error);
+}
+
 // --- streaming partial results (per-shard completion callback) -------------
 
 // Thread-safe collector for shard events: the callback runs on worker
