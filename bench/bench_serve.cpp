@@ -26,6 +26,8 @@
 #include "klinq/common/thread_pool.hpp"
 #include "klinq/hw/fixed_discriminator.hpp"
 #include "klinq/kd/distiller.hpp"
+#include "klinq/net/client.hpp"
+#include "klinq/net/tcp_front_end.hpp"
 #include "klinq/obs/metrics.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
 #include "klinq/registry/model_registry.hpp"
@@ -66,6 +68,8 @@ struct run_record {
   std::uint64_t packed_requests = 0;
   std::uint64_t packed_batches = 0;
   double mean_pack_lanes = -1.0;
+  // Fraction of requests shed with a busy frame (tcp overload row only).
+  double shed_rate = -1.0;
 };
 
 void fill_stage_breakdown(run_record& record,
@@ -341,6 +345,165 @@ int main(int argc, char** argv) {
       }
     }
 
+    // --- loopback TCP front end -------------------------------------------
+    // Row 1: feedback-lane round-trip p50/p99 measured at a client while a
+    // bulk client saturates the same front end with full-block requests —
+    // the number that matters for mid-circuit feedback is the tail under
+    // load, wire included. Row 2: shed rate when one client bursts 2x the
+    // front end's admission capacity in a single write — overload must
+    // resolve as retriable busy frames, not queueing.
+    const auto make_engines = [&] {
+      std::vector<serve::qubit_engine> engines;
+      for (const qubit_stack& stack : stacks) {
+        engines.push_back({&stack.student, &stack.hardware});
+      }
+      return engines;
+    };
+    const auto tcp_request_info = [&](std::size_t qubit,
+                                      const data::trace_dataset& traces) {
+      net::request_info info;
+      info.qubit = static_cast<std::uint32_t>(qubit);
+      info.engine = serve::engine_kind::fixed_q16;
+      info.samples_per_quadrature =
+          static_cast<std::uint32_t>(traces.samples_per_quadrature());
+      info.shots = static_cast<std::uint32_t>(traces.size());
+      return info;
+    };
+    {
+      serve::readout_server server(
+          make_engines(), {.shard_shots = shard_shots, .max_inflight = 64});
+      net::front_end_config fe_config;
+      fe_config.max_inflight = 32;
+      fe_config.feedback_reserve = 4;
+      fe_config.max_inflight_per_connection = 16;
+      fe_config.poll_interval_seconds = 0.01;
+      net::tcp_front_end front_end(server, fe_config);
+
+      const std::vector<std::size_t> row0{0};
+      const data::trace_dataset feedback_block =
+          stacks[0].data.test.subset(row0);
+      // Bulk arrives as ~256-shot requests: saturating traffic whose
+      // blocking quantum (one inline shard on a workerless pool) stays
+      // small enough that the feedback tail measures the lane policy, not
+      // a single giant block's execution time.
+      std::vector<std::pair<std::size_t, data::trace_dataset>> bulk_blocks;
+      const std::size_t bulk_shots_per_request = std::min<std::size_t>(
+          256, block);
+      for (std::size_t q = 0; q < n_qubits; ++q) {
+        for (std::size_t begin = 0; begin < block;
+             begin += bulk_shots_per_request) {
+          const std::size_t end =
+              std::min(begin + bulk_shots_per_request, block);
+          std::vector<std::size_t> rows;
+          for (std::size_t r = begin; r < end; ++r) rows.push_back(r);
+          bulk_blocks.emplace_back(q, stacks[q].data.test.subset(rows));
+        }
+      }
+
+      std::atomic<bool> stop_bulk{false};
+      std::atomic<std::uint64_t> bulk_shots{0};
+      stopwatch timer;
+      std::thread bulk([&] {
+        net::client cli("127.0.0.1", front_end.port());
+        std::vector<std::pair<std::uint64_t, std::size_t>> window;
+        const auto consume_front = [&] {
+          const auto [id, shots] = window.front();
+          window.erase(window.begin());
+          const auto reply = cli.read_reply(id);
+          if (reply && reply->header.type == net::frame_type::response) {
+            bulk_shots.fetch_add(shots, std::memory_order_relaxed);
+          }
+        };
+        std::size_t next = 0;
+        while (!stop_bulk.load(std::memory_order_acquire)) {
+          while (window.size() >= 8) consume_front();
+          const auto& [qubit, traces] = bulk_blocks[next];
+          next = (next + 1) % bulk_blocks.size();
+          window.emplace_back(
+              cli.send_request(tcp_request_info(qubit, traces), traces),
+              traces.size());
+        }
+        while (!window.empty()) consume_front();
+        cli.send_goodbye();
+      });
+
+      net::client feedback("127.0.0.1", front_end.port());
+      const std::size_t probes = 100;
+      std::vector<double> rtt;
+      rtt.reserve(probes);
+      for (std::size_t i = 0; i < probes; ++i) {
+        stopwatch probe;
+        const std::uint64_t id = feedback.send_request(
+            tcp_request_info(0, feedback_block), feedback_block,
+            serve::lane_class::feedback);
+        const auto reply = feedback.read_reply(id);
+        KLINQ_REQUIRE(reply.has_value(),
+                      "bench: feedback client lost its connection");
+        if (reply->header.type == net::frame_type::response) {
+          rtt.push_back(probe.seconds());
+        }
+      }
+      stop_bulk.store(true, std::memory_order_release);
+      bulk.join();
+      const double seconds = timer.seconds();
+      feedback.send_goodbye();
+      front_end.shutdown();
+      KLINQ_REQUIRE(!rtt.empty(), "bench: every feedback probe was shed");
+      std::sort(rtt.begin(), rtt.end());
+      const double fb_p50 = rtt[rtt.size() / 2];
+      const double fb_p99 = rtt[(rtt.size() * 99) / 100];
+      // p50/p99 are the *feedback* round-trip while shots/s is the bulk
+      // saturation the probes rode through.
+      records.push_back({"fixed-q16.16", "tcp-feedback-under-bulk",
+                         bulk_shots.load() + rtt.size(), seconds,
+                         fb_p50 * 1e3, fb_p99 * 1e3});
+    }
+    {
+      serve::readout_server server(
+          make_engines(), {.shard_shots = shard_shots, .max_inflight = 64});
+      net::front_end_config fe_config;
+      const std::size_t capacity = 8;  // net admission budget under test
+      fe_config.max_inflight = capacity;
+      fe_config.feedback_reserve = 0;
+      fe_config.max_inflight_per_connection = 4 * capacity;
+      fe_config.poll_interval_seconds = 0.01;
+      net::tcp_front_end front_end(server, fe_config);
+
+      net::client cli("127.0.0.1", front_end.port());
+      const data::trace_dataset& burst_block = small_blocks[0][0];
+      const std::size_t bursts = 20;
+      std::uint64_t served = 0;
+      std::uint64_t shed = 0;
+      stopwatch timer;
+      for (std::size_t b = 0; b < bursts; ++b) {
+        // 2x capacity in one write: the front end parses the burst in one
+        // batch, admits up to `capacity`, and sheds the rest with busy.
+        std::vector<std::uint8_t> burst;
+        for (std::size_t i = 0; i < 2 * capacity; ++i) {
+          const std::vector<std::uint8_t> frame = net::encode_request(
+              b * 100 + i, tcp_request_info(0, burst_block),
+              serve::lane_class::bulk, burst_block);
+          burst.insert(burst.end(), frame.begin(), frame.end());
+        }
+        cli.send_bytes(burst);
+        for (std::size_t i = 0; i < 2 * capacity; ++i) {
+          const auto reply = cli.read_reply(b * 100 + i);
+          KLINQ_REQUIRE(reply.has_value(),
+                        "bench: overload client lost its connection");
+          if (reply->header.type == net::frame_type::response) ++served;
+          if (reply->header.type == net::frame_type::busy) ++shed;
+        }
+      }
+      const double seconds = timer.seconds();
+      cli.send_goodbye();
+      front_end.shutdown();
+      run_record record{"fixed-q16.16", "tcp-overload-2x",
+                        served * burst_block.size(), seconds};
+      record.shed_rate =
+          static_cast<double>(shed) / static_cast<double>(served + shed);
+      records.push_back(std::move(record));
+    }
+
     // --- report -----------------------------------------------------------
     const std::size_t workers = global_thread_pool().worker_count() + 1;
     const char* simd_tier = simd_tier_name(active_simd_tier());
@@ -371,6 +534,9 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.packed_requests),
                     static_cast<unsigned long long>(r.packed_batches),
                     r.mean_pack_lanes);
+      }
+      if (r.shed_rate >= 0.0) {
+        std::printf("   shed %.0f%%", r.shed_rate * 100.0);
       }
       std::printf("\n");
     }
@@ -428,6 +594,9 @@ int main(int argc, char** argv) {
                        static_cast<unsigned long long>(r.packed_requests),
                        static_cast<unsigned long long>(r.packed_batches),
                        r.mean_pack_lanes);
+        }
+        if (r.shed_rate >= 0.0) {
+          std::fprintf(out, ", \"shed_rate\": %.4f", r.shed_rate);
         }
         std::fprintf(out, "}%s\n", i + 1 < records.size() ? "," : "");
       }

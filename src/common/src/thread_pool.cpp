@@ -56,7 +56,7 @@ void thread_pool::worker_loop() {
       task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
-      tasks_.pop();
+      tasks_.pop_front();
     }
     task();
   }
@@ -79,7 +79,22 @@ void thread_pool::submit(std::function<void()> task) {
   }
   {
     const std::lock_guard lock(mutex_);
-    tasks_.push(std::move(task));
+    tasks_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void thread_pool::submit_urgent(std::function<void()> task) {
+  if (workers_.empty() || t_on_pool_worker) {
+    // Same inline rules as submit(): with nobody safe to hand the task to,
+    // "ahead of the queue" degenerates to "right now".
+    const worker_scope scope;
+    task();
+    return;
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    tasks_.push_front(std::move(task));
   }
   task_ready_.notify_one();
 }
@@ -126,7 +141,7 @@ void thread_pool::parallel_for_chunked(
       continue;
     }
     const std::lock_guard lock(mutex_);
-    tasks_.push([state, &chunk_body, chunk_begin, chunk_end] {
+    tasks_.push_back([state, &chunk_body, chunk_begin, chunk_end] {
       std::exception_ptr error;
       try {
         chunk_body(chunk_begin, chunk_end);
@@ -171,7 +186,7 @@ void thread_pool::parallel_for_chunked(
       const std::lock_guard lock(mutex_);
       if (!tasks_.empty()) {
         task = std::move(tasks_.front());
-        tasks_.pop();
+        tasks_.pop_front();
       }
     }
     if (task) {

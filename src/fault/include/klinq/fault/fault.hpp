@@ -43,6 +43,19 @@
 //   recal.retrain           entry of a recalibration cycle (throw => retry
 //                           path, delay => watchdog path)
 //   recal.publish           between training and publish (throw)
+//   net.accept              a freshly accepted connection (throw => the fd
+//                           is closed before registration — a flaky accept)
+//   net.read                bytes read off a client socket (drop => the read
+//                           is discarded, desyncing the framing => the
+//                           malformed-frame path; throw => read error)
+//   net.write               a connection's write flush (throw => write
+//                           error, the connection is evicted; drop => the
+//                           flush round is skipped — a stalled sender)
+//   net.decode              request-payload decode (throw => typed error
+//                           frame, connection closed)
+//   net.complete            completion-thread handoff (delay => responses
+//                           stall while inflight accumulates — admission
+//                           and shedding fodder)
 //
 // Thread-safety: every entry point is safe to call concurrently. Firing
 // decisions use a per-site atomic counter hashed with the seed, so they are

@@ -1,0 +1,80 @@
+// klinq::net::client — minimal blocking client for the klinq wire protocol.
+//
+// Built for tests, the chaos smoke tool, and loopback benches, not as a
+// production SDK: one socket, synchronous sends, and a read_frame() that
+// blocks (bounded by a receive timeout) until one complete frame arrives.
+// The raw send_bytes()/fd() escape hatches exist so the protocol fuzz tests
+// can write arbitrary garbage and half-frames through a real connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "klinq/net/frame.hpp"
+
+namespace klinq::net {
+
+/// One received frame: the decoded header plus its raw payload bytes.
+struct client_frame {
+  frame_header header;
+  std::vector<std::uint8_t> payload;
+};
+
+class client {
+ public:
+  /// Connects (blocking) to the front end. Throws invalid_argument_error on
+  /// connection failure.
+  client(const std::string& host, std::uint16_t port);
+  ~client();
+
+  client(const client&) = delete;
+  client& operator=(const client&) = delete;
+  client(client&& other) noexcept;
+  client& operator=(client&& other) noexcept;
+
+  /// Sends a request frame; returns the auto-assigned request id.
+  std::uint64_t send_request(
+      const request_info& info, const data::trace_dataset& traces,
+      serve::lane_class lane = serve::lane_class::bulk);
+  /// Sends a request frame with an explicit id (duplicate-id tests).
+  void send_request_with_id(std::uint64_t request_id, const request_info& info,
+                            const data::trace_dataset& traces,
+                            serve::lane_class lane = serve::lane_class::bulk);
+  void send_cancel(std::uint64_t request_id);
+  void send_ping(std::uint64_t request_id);
+  void send_goodbye();
+
+  /// Raw bytes straight onto the socket — the fuzz tests' hostile-client
+  /// primitive.
+  void send_bytes(const std::uint8_t* data, std::size_t size);
+  void send_bytes(const std::vector<std::uint8_t>& bytes) {
+    send_bytes(bytes.data(), bytes.size());
+  }
+
+  /// Blocks for the next complete frame. nullopt when the peer closed the
+  /// connection or `timeout_seconds` elapsed first. Throws on a malformed
+  /// header (the server never sends one).
+  std::optional<client_frame> read_frame(double timeout_seconds = 5.0);
+
+  /// Next reply (response, busy, or error) for `request_id`, skipping
+  /// pongs/goodbyes. Replies for other ids encountered along the way are
+  /// stashed and handed out by a later read_reply for their id, so replies
+  /// may be collected in any order. nullopt on close/timeout.
+  std::optional<client_frame> read_reply(std::uint64_t request_id,
+                                         double timeout_seconds = 5.0);
+
+  int fd() const noexcept { return fd_; }
+  bool is_open() const noexcept { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<std::uint8_t> read_buffer_;
+  std::vector<client_frame> stashed_replies_;  // out-of-order read_reply
+};
+
+}  // namespace klinq::net

@@ -1,0 +1,187 @@
+// klinq::net::tcp_front_end — the network-facing serving front end.
+//
+// Multiplexes many concurrent TCP client connections into one
+// readout_server's submit/ticket machinery, designed around failure:
+// hostile clients, partial frames, disconnects mid-request, and saturation
+// are treated as the normal case.
+//
+// Threading (three threads, all owned by the front end):
+//
+//   acceptor   blocks in accept(); enforces the connection cap (over-cap
+//              connections get a best-effort busy frame and are closed
+//              immediately) and hands accepted fds to the poll loop.
+//   poll loop  owns every connection socket: readiness-driven reads/writes
+//              (non-blocking fds, TCP_NODELAY), frame parsing, admission
+//              control, submission into the server, idle/slow-loris
+//              enforcement, and eviction. No other thread touches a socket.
+//   completion drains the doorbell queue fed by the server's on_complete
+//              callback: claims each finished ticket with wait(), encodes
+//              the response into the owning connection's write queue (or
+//              drops it, counted, when the client is gone) and wakes the
+//              poll loop.
+//
+// Locking: `state_mutex_` guards connections and the ticket map;
+// `completion_mutex_` guards only the doorbell queue. The poll loop holds
+// state_mutex_ across try_submit + ticket registration, and the on_complete
+// doorbell (which may fire inline during try_submit on a workerless pool)
+// touches only the completion queue — so the completion thread, which takes
+// state_mutex_ after popping, can never observe an unregistered ticket.
+// Lock order is state → completion and state → server everywhere; the
+// completion side never nests into state-holding server calls it didn't
+// originate.
+//
+// Robustness contracts (each has a test in tests/test_net.cpp and a chaos
+// scenario in `klinq_serve --listen --chaos`):
+//   * Admission: per-connection inflight and payload-byte quotas, a
+//     server-wide inflight budget with a reserve only the feedback lane may
+//     use, all on top of the serve layer's own max_inflight. Rejection is an
+//     explicit retriable `busy` frame — never an unbounded queue.
+//   * Malformed frames (bad magic/CRC/version/type, oversize length,
+//     undecodable payload) kill exactly the offending connection with a
+//     typed error frame; the server and every other connection keep going.
+//   * Slow clients: read-idle and write-stall deadlines plus a bounded
+//     write queue; a slow-loris connection is evicted, its tickets
+//     reconciled like a disconnect.
+//   * Disconnect reconciliation: every in-flight ticket of a dead
+//     connection is cancelled through the server's cancel() path and its
+//     result claimed and dropped (counted) by the completion thread —
+//     tickets are never leaked, so ticket accounting reconciles exactly.
+//   * Graceful drain: stop accepting → shed new requests (busy/draining) →
+//     resolve every in-flight ticket → flush write queues → goodbye frames
+//     → close. Bounded by drain_timeout_seconds, then force-cancel.
+//
+// Fault sites compiled into this path: net.accept, net.read, net.write,
+// net.decode, net.complete (see klinq/fault/fault.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "klinq/obs/metrics.hpp"
+#include "klinq/serve/readout_server.hpp"
+
+namespace klinq::net {
+
+struct front_end_config {
+  /// Listen address; loopback by default (tests, benches, the smoke tool).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Listen backlog handed to ::listen.
+  int listen_backlog = 64;
+  /// Connection cap: accepts beyond it are answered with a busy frame and
+  /// closed. Must be positive.
+  std::size_t max_connections = 64;
+  /// Per-connection inflight request quota. Must be positive.
+  std::size_t max_inflight_per_connection = 16;
+  /// Per-connection inflight payload byte budget (the decoded trace bytes a
+  /// connection may have unresolved at once). Must be positive.
+  std::size_t max_inflight_bytes_per_connection = std::size_t{64} << 20;
+  /// Server-wide network inflight budget (across all connections), on top
+  /// of the serve layer's own max_inflight. Must be positive.
+  std::size_t max_inflight = 256;
+  /// Slots of max_inflight only feedback-lane requests may use: bulk is
+  /// admitted while net inflight < max_inflight - feedback_reserve, so a
+  /// saturating bulk client cannot starve the feedback lane's admission.
+  /// Must be < max_inflight.
+  std::size_t feedback_reserve = 0;
+  /// Evict a connection that has an unfinished frame (or nothing at all)
+  /// and sends no bytes for this long — the slow-loris defense. 0 disables.
+  double read_idle_seconds = 0.0;
+  /// Evict a connection whose write queue makes no progress for this long
+  /// (a reader that stopped reading). 0 disables.
+  double write_stall_seconds = 0.0;
+  /// Bound on a connection's queued unsent bytes; exceeding it evicts (a
+  /// client not draining responses must not grow server memory). Must be
+  /// positive.
+  std::size_t max_write_queue_bytes = std::size_t{16} << 20;
+  /// Frames whose header announces a payload above this are answered with
+  /// an oversize error and the connection closed. Must be positive.
+  std::size_t max_frame_payload = std::size_t{64} << 20;
+  /// shutdown(): how long to wait for in-flight tickets and write queues
+  /// before force-cancelling. Must be finite and non-negative.
+  double drain_timeout_seconds = 5.0;
+  /// Poll readiness timeout (granularity of the idle/stall deadlines).
+  /// Must be positive.
+  double poll_interval_seconds = 0.05;
+  /// Metrics backend (borrowed; must outlive the front end). Null gives the
+  /// front end a private registry.
+  obs::metric_registry* metrics = nullptr;
+
+  /// Throws invalid_argument_error on any inconsistent field.
+  void validate() const;
+
+  /// `base` with environment overrides applied: KLINQ_LISTEN ("host:port"
+  /// or a bare port) sets bind_address/port, and each KLINQ_NET_* variable
+  /// (MAX_CONNECTIONS, MAX_INFLIGHT, MAX_INFLIGHT_PER_CONNECTION,
+  /// MAX_INFLIGHT_BYTES_PER_CONNECTION, FEEDBACK_RESERVE, READ_IDLE_SECONDS,
+  /// WRITE_STALL_SECONDS, MAX_WRITE_QUEUE_BYTES, MAX_FRAME_PAYLOAD,
+  /// DRAIN_TIMEOUT_SECONDS) overrides the matching field. Throws
+  /// invalid_argument_error on an unparsable value, naming the variable.
+  static front_end_config from_env(front_end_config base);
+  /// from_env applied to a default-constructed config.
+  static front_end_config from_env();
+};
+
+/// Point-in-time counters (a view over the labeled metric cells).
+struct front_end_stats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // over the connection cap
+  std::uint64_t connections_closed = 0;    // all removals, evictions included
+  std::uint64_t connections_evicted = 0;   // slow-loris / write-stall / quota
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t results_dropped = 0;  // completions for departed clients
+  std::uint64_t cancels_received = 0;
+  std::size_t open_connections = 0;
+  std::size_t inflight = 0;
+
+  /// Throws invalid_argument_error when the counters are mutually
+  /// inconsistent — the reconciliation check the chaos harness runs.
+  void validate() const;
+};
+
+class tcp_front_end {
+ public:
+  /// Binds, listens, installs the server's completion doorbell, and starts
+  /// the three service threads. The server is borrowed and must outlive the
+  /// front end; the front end must be its only ticket consumer while
+  /// running (it installs server.set_on_complete, so the server must have
+  /// no unresolved tickets and no other on_complete user).
+  tcp_front_end(serve::readout_server& server, front_end_config config = {});
+
+  /// shutdown() if still serving.
+  ~tcp_front_end();
+
+  tcp_front_end(const tcp_front_end&) = delete;
+  tcp_front_end& operator=(const tcp_front_end&) = delete;
+
+  /// The bound TCP port (the ephemeral one when config.port was 0).
+  std::uint16_t port() const noexcept;
+
+  /// Graceful drain and stop (idempotent): stop accepting, shed new
+  /// requests, resolve every in-flight ticket (bounded by
+  /// drain_timeout_seconds, then force-cancel), flush write queues, send
+  /// goodbye frames, close every connection, join the threads, and uninstall
+  /// the server doorbell.
+  void shutdown();
+
+  front_end_stats stats() const;
+
+  /// The metric registry backing the klinq_net_* families.
+  const obs::metric_registry& metrics() const noexcept;
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace klinq::net

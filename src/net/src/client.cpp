@@ -1,0 +1,168 @@
+#include "klinq/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "klinq/common/error.hpp"
+
+namespace klinq::net {
+
+client::client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  KLINQ_REQUIRE(fd_ >= 0, "net::client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    KLINQ_REQUIRE(false, "net::client: host is not a valid IPv4 address");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    KLINQ_REQUIRE(false, "net::client: connect() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+client::~client() { close(); }
+
+client::client(client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_),
+      read_buffer_(std::move(other.read_buffer_)) {}
+
+client& client::operator=(client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+    read_buffer_ = std::move(other.read_buffer_);
+  }
+  return *this;
+}
+
+void client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t client::send_request(const request_info& info,
+                                   const data::trace_dataset& traces,
+                                   serve::lane_class lane) {
+  const std::uint64_t id = next_request_id_++;
+  send_request_with_id(id, info, traces, lane);
+  return id;
+}
+
+void client::send_request_with_id(std::uint64_t request_id,
+                                  const request_info& info,
+                                  const data::trace_dataset& traces,
+                                  serve::lane_class lane) {
+  send_bytes(encode_request(request_id, info, lane, traces));
+}
+
+void client::send_cancel(std::uint64_t request_id) {
+  send_bytes(encode_control(frame_type::cancel, request_id));
+}
+
+void client::send_ping(std::uint64_t request_id) {
+  send_bytes(encode_control(frame_type::ping, request_id));
+}
+
+void client::send_goodbye() {
+  send_bytes(encode_control(frame_type::goodbye, 0));
+}
+
+void client::send_bytes(const std::uint8_t* data, std::size_t size) {
+  KLINQ_REQUIRE(fd_ >= 0, "net::client: send on a closed client");
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      KLINQ_REQUIRE(false, "net::client: send() failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<client_frame> client::read_frame(double timeout_seconds) {
+  KLINQ_REQUIRE(fd_ >= 0, "net::client: read on a closed client");
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(timeout_seconds);
+  tv.tv_usec = static_cast<long>(
+      (timeout_seconds - std::floor(timeout_seconds)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::uint8_t chunk[4096];
+  for (;;) {
+    if (read_buffer_.size() >= kHeaderSize) {
+      client_frame frame;
+      const header_verdict verdict =
+          decode_header(read_buffer_.data(), frame.header);
+      KLINQ_REQUIRE(verdict == header_verdict::ok,
+                    "net::client: malformed frame header from server");
+      const std::size_t frame_size = kHeaderSize + frame.header.payload_size;
+      if (read_buffer_.size() >= frame_size) {
+        frame.payload.assign(
+            read_buffer_.begin() +
+                static_cast<std::ptrdiff_t>(kHeaderSize),
+            read_buffer_.begin() + static_cast<std::ptrdiff_t>(frame_size));
+        read_buffer_.erase(
+            read_buffer_.begin(),
+            read_buffer_.begin() + static_cast<std::ptrdiff_t>(frame_size));
+        return frame;
+      }
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return std::nullopt;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+      return std::nullopt;
+    }
+    read_buffer_.insert(read_buffer_.end(), chunk, chunk + n);
+  }
+}
+
+namespace {
+bool is_reply(frame_type type) noexcept {
+  return type == frame_type::response || type == frame_type::busy ||
+         type == frame_type::error;
+}
+}  // namespace
+
+std::optional<client_frame> client::read_reply(std::uint64_t request_id,
+                                               double timeout_seconds) {
+  for (auto it = stashed_replies_.begin(); it != stashed_replies_.end();
+       ++it) {
+    if (it->header.request_id == request_id) {
+      client_frame frame = std::move(*it);
+      stashed_replies_.erase(it);
+      return frame;
+    }
+  }
+  for (;;) {
+    std::optional<client_frame> frame = read_frame(timeout_seconds);
+    if (!frame) return std::nullopt;
+    if (!is_reply(frame->header.type)) continue;  // pong / goodbye
+    if (frame->header.request_id == request_id) return frame;
+    stashed_replies_.push_back(std::move(*frame));
+  }
+}
+
+}  // namespace klinq::net

@@ -1,0 +1,1045 @@
+#include "klinq/net/tcp_front_end.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <optional>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/log.hpp"
+#include "klinq/common/stopwatch.hpp"
+#include "klinq/fault/fault.hpp"
+#include "klinq/net/frame.hpp"
+
+namespace klinq::net {
+
+void front_end_config::validate() const {
+  KLINQ_REQUIRE(!bind_address.empty(),
+                "front_end_config: bind_address must not be empty");
+  KLINQ_REQUIRE(listen_backlog > 0,
+                "front_end_config: listen_backlog must be positive");
+  KLINQ_REQUIRE(max_connections > 0,
+                "front_end_config: max_connections must be positive");
+  KLINQ_REQUIRE(
+      max_inflight_per_connection > 0,
+      "front_end_config: max_inflight_per_connection must be positive");
+  KLINQ_REQUIRE(
+      max_inflight_bytes_per_connection > 0,
+      "front_end_config: max_inflight_bytes_per_connection must be positive");
+  KLINQ_REQUIRE(max_inflight > 0,
+                "front_end_config: max_inflight must be positive");
+  KLINQ_REQUIRE(feedback_reserve < max_inflight,
+                "front_end_config: feedback_reserve must leave at least one "
+                "slot for the bulk lane");
+  KLINQ_REQUIRE(std::isfinite(read_idle_seconds) && read_idle_seconds >= 0.0,
+                "front_end_config: read_idle_seconds must be finite and "
+                "non-negative");
+  KLINQ_REQUIRE(
+      std::isfinite(write_stall_seconds) && write_stall_seconds >= 0.0,
+      "front_end_config: write_stall_seconds must be finite and non-negative");
+  KLINQ_REQUIRE(max_write_queue_bytes > 0,
+                "front_end_config: max_write_queue_bytes must be positive");
+  KLINQ_REQUIRE(max_frame_payload >= kRequestPayloadHeaderSize,
+                "front_end_config: max_frame_payload cannot admit even an "
+                "empty request");
+  KLINQ_REQUIRE(
+      std::isfinite(drain_timeout_seconds) && drain_timeout_seconds >= 0.0,
+      "front_end_config: drain_timeout_seconds must be finite and "
+      "non-negative");
+  KLINQ_REQUIRE(
+      std::isfinite(poll_interval_seconds) && poll_interval_seconds > 0.0,
+      "front_end_config: poll_interval_seconds must be finite and positive");
+}
+
+void front_end_stats::validate() const {
+  KLINQ_REQUIRE(connections_closed <= connections_accepted,
+                "front_end_stats: closed more connections than accepted");
+  KLINQ_REQUIRE(connections_evicted <= connections_closed,
+                "front_end_stats: evictions exceed closes");
+  KLINQ_REQUIRE(open_connections ==
+                    connections_accepted - connections_closed,
+                "front_end_stats: open connections disagree with "
+                "accepted - closed");
+  // The exact-reconciliation invariant the chaos harness exists to prove:
+  // every admitted request is either answered, dropped for a departed
+  // client, or still in flight — no fourth bucket, no leaks.
+  KLINQ_REQUIRE(responses_sent + results_dropped + inflight ==
+                    requests_admitted,
+                "front_end_stats: ticket accounting does not reconcile "
+                "(admitted != responses + dropped + inflight)");
+  // (malformed_frames is deliberately NOT bounded by frames_received:
+  // frames_received counts only well-formed frames, while a malformed
+  // header is rejected before it ever counts as received.)
+  KLINQ_REQUIRE(cancels_received <= frames_received,
+                "front_end_stats: cancel frames exceed frames received");
+}
+
+namespace {
+
+std::uint64_t parse_env_u64(const char* name, const char* value) {
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t parsed = std::stoull(value, &consumed);
+    KLINQ_REQUIRE(consumed == std::strlen(value), "trailing garbage");
+    return parsed;
+  } catch (const std::exception&) {
+    throw invalid_argument_error(std::string(name) + ": '" + value +
+                                 "' is not a valid unsigned integer");
+  }
+}
+
+double parse_env_seconds(const char* name, const char* value) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    KLINQ_REQUIRE(consumed == std::strlen(value), "trailing garbage");
+    return parsed;
+  } catch (const std::exception&) {
+    throw invalid_argument_error(std::string(name) + ": '" + value +
+                                 "' is not a valid number of seconds");
+  }
+}
+
+}  // namespace
+
+front_end_config front_end_config::from_env() {
+  return from_env(front_end_config{});
+}
+
+front_end_config front_end_config::from_env(front_end_config base) {
+  if (const char* listen = std::getenv("KLINQ_LISTEN")) {
+    const std::string spec(listen);
+    const std::size_t colon = spec.rfind(':');
+    std::string port_text = spec;
+    if (colon != std::string::npos) {
+      const std::string host = spec.substr(0, colon);
+      if (!host.empty()) base.bind_address = host;
+      port_text = spec.substr(colon + 1);
+    }
+    const std::uint64_t port =
+        parse_env_u64("KLINQ_LISTEN", port_text.c_str());
+    KLINQ_REQUIRE(port <= 65535, "KLINQ_LISTEN: port out of range");
+    base.port = static_cast<std::uint16_t>(port);
+  }
+  const auto read_size = [](const char* name, std::size_t& field) {
+    if (const char* value = std::getenv(name)) {
+      field = static_cast<std::size_t>(parse_env_u64(name, value));
+    }
+  };
+  const auto read_seconds = [](const char* name, double& field) {
+    if (const char* value = std::getenv(name)) {
+      field = parse_env_seconds(name, value);
+    }
+  };
+  read_size("KLINQ_NET_MAX_CONNECTIONS", base.max_connections);
+  read_size("KLINQ_NET_MAX_INFLIGHT", base.max_inflight);
+  read_size("KLINQ_NET_MAX_INFLIGHT_PER_CONNECTION",
+            base.max_inflight_per_connection);
+  read_size("KLINQ_NET_MAX_INFLIGHT_BYTES_PER_CONNECTION",
+            base.max_inflight_bytes_per_connection);
+  read_size("KLINQ_NET_FEEDBACK_RESERVE", base.feedback_reserve);
+  read_seconds("KLINQ_NET_READ_IDLE_SECONDS", base.read_idle_seconds);
+  read_seconds("KLINQ_NET_WRITE_STALL_SECONDS", base.write_stall_seconds);
+  read_size("KLINQ_NET_MAX_WRITE_QUEUE_BYTES", base.max_write_queue_bytes);
+  read_size("KLINQ_NET_MAX_FRAME_PAYLOAD", base.max_frame_payload);
+  read_seconds("KLINQ_NET_DRAIN_TIMEOUT_SECONDS", base.drain_timeout_seconds);
+  return base;
+}
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  KLINQ_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "net: fcntl(O_NONBLOCK) failed");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best effort — latency tuning, not correctness.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+struct tcp_front_end::impl {
+  // One client connection, owned by the poll loop; queue/counter fields are
+  // shared with the completion thread under state_mutex_.
+  struct connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> read_buffer;
+    std::deque<std::vector<std::uint8_t>> write_queue;
+    std::size_t write_queue_bytes = 0;
+    std::size_t write_offset = 0;  // sent bytes of write_queue.front()
+    std::size_t inflight = 0;
+    std::size_t inflight_bytes = 0;
+    /// request_id → ticket id (a duplicate request_id overwrites; cancel
+    /// then targets the most recent).
+    std::unordered_map<std::uint64_t, std::uint64_t> requests;
+    double last_read_at = 0.0;
+    double last_write_progress_at = 0.0;
+    /// Protocol violation or client goodbye: stop reading, flush the write
+    /// queue (error/goodbye frame included), then close.
+    bool closing = false;
+    /// closing was an eviction/violation (for the evicted counter).
+    bool evict = false;
+  };
+
+  /// One admitted network request: who to answer, and the decoded trace
+  /// buffer the serve layer is borrowing (owned here until completion).
+  struct inflight_ticket {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    std::size_t payload_bytes = 0;
+    serve::engine_kind engine = serve::engine_kind::fixed_q16;
+    serve::lane_class lane = serve::lane_class::bulk;
+    std::unique_ptr<data::trace_dataset> traces;
+  };
+
+  serve::readout_server& server;
+  front_end_config config;
+  std::unique_ptr<obs::metric_registry> owned_metrics;
+  obs::metric_registry* metrics = nullptr;
+
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  int wake_pipe[2] = {-1, -1};  // poll-loop wakeup (acceptor + completion)
+
+  stopwatch clock;
+  std::atomic<bool> draining{false};
+  std::atomic<bool> stopping{false};
+  bool shut_down = false;  // shutdown() ran to completion (main thread only)
+
+  // --- state_mutex_ domain -----------------------------------------------
+  mutable std::mutex state_mutex;
+  std::uint64_t next_conn_id = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<connection>> conns;
+  std::vector<int> pending_accepts;
+  std::unordered_map<std::uint64_t, inflight_ticket> tickets;
+
+  // --- completion_mutex_ domain ------------------------------------------
+  std::mutex completion_mutex;
+  std::condition_variable completion_ready;
+  std::deque<std::uint64_t> done_queue;
+
+  std::thread acceptor_thread;
+  std::thread poll_thread;
+  std::thread completion_thread;
+
+  // --- metric cells (pre-resolved; recording is lock-free) ---------------
+  obs::counter* accepted_cell = nullptr;
+  obs::counter* rejected_cell = nullptr;
+  obs::counter* closed_cell = nullptr;
+  obs::counter* evicted_cell = nullptr;
+  obs::counter* frames_in_cell = nullptr;
+  obs::counter* frames_out_cell = nullptr;
+  obs::counter* bytes_in_cell = nullptr;
+  obs::counter* bytes_out_cell = nullptr;
+  obs::counter* admitted_cell = nullptr;
+  obs::counter* responses_cell = nullptr;
+  obs::counter* dropped_cell = nullptr;
+  obs::counter* cancels_cell = nullptr;
+  std::array<obs::counter*, 4> shed_cells{};       // by busy_reason
+  std::array<obs::counter*, 6> malformed_cells{};  // by error_code
+  obs::gauge* open_conns_cell = nullptr;
+  obs::gauge* inflight_cell = nullptr;
+  std::array<obs::log_histogram*, 2> lane_seconds{};  // by lane_class
+
+  explicit impl(serve::readout_server& srv, front_end_config cfg)
+      : server(srv), config(std::move(cfg)) {
+    config.validate();
+    init_metrics();
+    open_sockets();
+    server.set_on_complete(
+        [this](serve::ticket t, serve::request_status) { doorbell(t.id); });
+    acceptor_thread = std::thread([this] { acceptor_loop(); });
+    poll_thread = std::thread([this] { poll_loop(); });
+    completion_thread = std::thread([this] { completion_loop(); });
+  }
+
+  void init_metrics() {
+    if (config.metrics != nullptr) {
+      metrics = config.metrics;
+    } else {
+      owned_metrics = std::make_unique<obs::metric_registry>();
+      metrics = owned_metrics.get();
+    }
+    obs::metric_registry& m = *metrics;
+    const char* conn_help = "Connection lifecycle events";
+    accepted_cell = &m.get_counter("klinq_net_connections_total",
+                                   {{"event", "accepted"}}, conn_help);
+    rejected_cell = &m.get_counter("klinq_net_connections_total",
+                                   {{"event", "rejected"}}, conn_help);
+    closed_cell = &m.get_counter("klinq_net_connections_total",
+                                 {{"event", "closed"}}, conn_help);
+    evicted_cell = &m.get_counter("klinq_net_connections_total",
+                                  {{"event", "evicted"}}, conn_help);
+    frames_in_cell = &m.get_counter("klinq_net_frames_total",
+                                    {{"dir", "in"}}, "Frames by direction");
+    frames_out_cell = &m.get_counter("klinq_net_frames_total",
+                                     {{"dir", "out"}}, "Frames by direction");
+    bytes_in_cell = &m.get_counter("klinq_net_bytes_total", {{"dir", "in"}},
+                                   "Socket bytes by direction");
+    bytes_out_cell = &m.get_counter("klinq_net_bytes_total", {{"dir", "out"}},
+                                    "Socket bytes by direction");
+    admitted_cell = &m.get_counter("klinq_net_requests_admitted_total", {},
+                                   "Request frames admitted into the server");
+    responses_cell = &m.get_counter("klinq_net_responses_total", {},
+                                    "Response frames queued to clients");
+    dropped_cell =
+        &m.get_counter("klinq_net_results_dropped_total", {},
+                       "Completed results dropped because the client left");
+    cancels_cell = &m.get_counter("klinq_net_cancels_total", {},
+                                  "Cancel frames received");
+    for (std::size_t r = 0; r < shed_cells.size(); ++r) {
+      shed_cells[r] = &m.get_counter(
+          "klinq_net_shed_total",
+          {{"reason", busy_reason_name(static_cast<busy_reason>(r))}},
+          "Requests shed with a retriable busy frame, by reason");
+    }
+    for (std::size_t c = 0; c < malformed_cells.size(); ++c) {
+      malformed_cells[c] = &m.get_counter(
+          "klinq_net_malformed_frames_total",
+          {{"reason", error_code_name(static_cast<error_code>(c))}},
+          "Protocol violations that closed the offending connection");
+    }
+    open_conns_cell = &m.get_gauge("klinq_net_open_connections", {},
+                                   "Currently open client connections");
+    inflight_cell = &m.get_gauge("klinq_net_inflight", {},
+                                 "Admitted requests not yet answered");
+    for (std::size_t l = 0; l < lane_seconds.size(); ++l) {
+      lane_seconds[l] = &m.get_histogram(
+          "klinq_net_request_seconds",
+          {{"lane", serve::lane_name(static_cast<serve::lane_class>(l))}},
+          "Admission to response-queued latency, by latency class");
+    }
+  }
+
+  void open_sockets() {
+    KLINQ_REQUIRE(::pipe(wake_pipe) == 0, "net: pipe() failed");
+    set_nonblocking(wake_pipe[0]);
+    set_nonblocking(wake_pipe[1]);
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    KLINQ_REQUIRE(listen_fd >= 0, "net: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config.port);
+    KLINQ_REQUIRE(
+        ::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) == 1,
+        "net: bind_address is not a valid IPv4 address");
+    KLINQ_REQUIRE(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "net: bind() failed (port in use?)");
+    KLINQ_REQUIRE(::listen(listen_fd, config.listen_backlog) == 0,
+                  "net: listen() failed");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    KLINQ_REQUIRE(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                                &len) == 0,
+                  "net: getsockname() failed");
+    bound_port = ntohs(bound.sin_port);
+  }
+
+  ~impl() {
+    // shutdown() already ran (the wrapper guarantees it); release the fds.
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_pipe[0] >= 0) ::close(wake_pipe[0]);
+    if (wake_pipe[1] >= 0) ::close(wake_pipe[1]);
+  }
+
+  // --- doorbell (runs on shard executors / submitting threads) -----------
+
+  void doorbell(std::uint64_t ticket_id) {
+    {
+      const std::lock_guard lock(completion_mutex);
+      done_queue.push_back(ticket_id);
+    }
+    completion_ready.notify_one();
+  }
+
+  void wake_poll() {
+    const std::uint8_t byte = 1;
+    // The pipe being full is fine: a queued byte already guarantees a wake.
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe[1], &byte, 1);
+  }
+
+  // --- acceptor -----------------------------------------------------------
+
+  void acceptor_loop() {
+    while (!stopping.load(std::memory_order_relaxed)) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 200);
+      if (ready <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      try {
+        fault::trigger("net.accept");
+      } catch (const std::exception&) {
+        ::close(fd);  // a flaky accept: the connection never registers
+        rejected_cell->inc();
+        continue;
+      }
+      bool over_cap = false;
+      {
+        const std::lock_guard lock(state_mutex);
+        over_cap = conns.size() + pending_accepts.size() >=
+                       config.max_connections ||
+                   draining.load(std::memory_order_relaxed);
+        if (!over_cap) {
+          pending_accepts.push_back(fd);
+          accepted_cell->inc();
+          open_conns_cell->set(
+              static_cast<double>(conns.size() + pending_accepts.size()));
+        }
+      }
+      if (over_cap) {
+        // Best-effort shed before closing: the fd is still blocking, and the
+        // frame is tiny.
+        const std::vector<std::uint8_t> busy = encode_busy(
+            0, draining.load(std::memory_order_relaxed)
+                   ? busy_reason::draining
+                   : busy_reason::server_busy);
+        ::send(fd, busy.data(), busy.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        rejected_cell->inc();
+        shed_cells[static_cast<std::size_t>(
+                       draining.load(std::memory_order_relaxed)
+                           ? busy_reason::draining
+                           : busy_reason::server_busy)]
+            ->inc();
+        continue;
+      }
+      wake_poll();
+    }
+  }
+
+  // --- poll loop ----------------------------------------------------------
+
+  void poll_loop() {
+    std::vector<pollfd> pfds;
+    std::vector<std::uint64_t> pfd_conn_ids;
+    std::vector<std::uint8_t> read_chunk(std::size_t{64} << 10);
+    for (;;) {
+      // shutdown() set stopping only after its bounded flush window, so
+      // breaking immediately cannot strand a flushable write queue.
+      if (stopping.load(std::memory_order_relaxed)) break;
+      pfds.clear();
+      pfd_conn_ids.clear();
+      pfds.push_back({wake_pipe[0], POLLIN, 0});
+      {
+        const std::lock_guard lock(state_mutex);
+        adopt_pending_locked();
+        for (auto& [id, conn] : conns) {
+          short events = conn->closing ? 0 : POLLIN;
+          if (!conn->write_queue.empty()) events |= POLLOUT;
+          if (events == 0) events = POLLERR;  // still watch for hangup
+          pfds.push_back({conn->fd, events, 0});
+          pfd_conn_ids.push_back(id);
+        }
+      }
+      const int timeout_ms = std::max(
+          1, static_cast<int>(config.poll_interval_seconds * 1000.0));
+      ::poll(pfds.data(), pfds.size(), timeout_ms);
+      if (pfds[0].revents & POLLIN) {
+        std::uint8_t drain_buf[64];
+        while (::read(wake_pipe[0], drain_buf, sizeof(drain_buf)) > 0) {
+        }
+      }
+      for (std::size_t i = 1; i < pfds.size(); ++i) {
+        const std::uint64_t conn_id = pfd_conn_ids[i - 1];
+        const short revents = pfds[i].revents;
+        if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          close_connection(conn_id, /*evicted=*/false);
+          continue;
+        }
+        if (revents & POLLIN) handle_readable(conn_id, read_chunk);
+        if (revents & POLLOUT) handle_writable(conn_id);
+      }
+      enforce_deadlines();
+      finish_closing_connections();
+    }
+    // Exiting: close every remaining socket (tickets were reconciled by
+    // shutdown before stopping was set).
+    const std::lock_guard lock(state_mutex);
+    for (auto& [id, conn] : conns) {
+      ::close(conn->fd);
+      closed_cell->inc();
+      if (conn->evict) evicted_cell->inc();
+    }
+    conns.clear();
+    for (int fd : pending_accepts) {
+      ::close(fd);
+      closed_cell->inc();
+    }
+    pending_accepts.clear();
+    open_conns_cell->set(0.0);
+  }
+
+  void adopt_pending_locked() {
+    for (int fd : pending_accepts) {
+      set_nonblocking(fd);
+      set_nodelay(fd);
+      auto conn = std::make_unique<connection>();
+      conn->fd = fd;
+      conn->id = next_conn_id++;
+      conn->last_read_at = clock.seconds();
+      conn->last_write_progress_at = conn->last_read_at;
+      conns.emplace(conn->id, std::move(conn));
+    }
+    pending_accepts.clear();
+  }
+
+  void handle_readable(std::uint64_t conn_id,
+                       std::vector<std::uint8_t>& chunk) {
+    bool close_now = false;
+    bool evict = false;
+    {
+      const std::lock_guard lock(state_mutex);
+      const auto it = conns.find(conn_id);
+      if (it == conns.end()) return;
+      connection& conn = *it->second;
+      if (conn.closing) return;
+      for (;;) {
+        const ssize_t n = ::read(conn.fd, chunk.data(), chunk.size());
+        if (n == 0) {
+          close_now = true;  // orderly peer close
+          break;
+        }
+        if (n < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          if (errno == EINTR) continue;
+          close_now = true;  // hard read error
+          break;
+        }
+        bytes_in_cell->inc(static_cast<std::uint64_t>(n));
+        conn.last_read_at = clock.seconds();
+        bool discard = false;
+        try {
+          // drop: the bytes vanish, desyncing the framing — downstream the
+          // malformed-frame path takes over, which is the point.
+          discard = fault::trigger("net.read") == fault::action::drop;
+        } catch (const std::exception&) {
+          close_now = true;
+          evict = true;
+          break;
+        }
+        if (!discard) {
+          conn.read_buffer.insert(conn.read_buffer.end(), chunk.data(),
+                                  chunk.data() + n);
+        }
+        if (static_cast<std::size_t>(n) < chunk.size()) break;
+      }
+      if (!close_now) parse_frames_locked(conn);
+    }
+    if (close_now) close_connection(conn_id, evict);
+  }
+
+  /// Parses every complete frame in the connection's read buffer. Requires
+  /// state_mutex_. May mark the connection closing (protocol violation).
+  void parse_frames_locked(connection& conn) {
+    std::size_t offset = 0;
+    while (!conn.closing &&
+           conn.read_buffer.size() - offset >= kHeaderSize) {
+      frame_header header;
+      const header_verdict verdict =
+          decode_header(conn.read_buffer.data() + offset, header);
+      if (verdict != header_verdict::ok) {
+        const error_code code =
+            verdict == header_verdict::bad_version ? error_code::bad_version
+            : verdict == header_verdict::bad_type  ? error_code::bad_type
+                                                   : error_code::malformed_frame;
+        protocol_error_locked(conn, header.request_id, code,
+                              "frame header rejected");
+        break;
+      }
+      if (header.payload_size > config.max_frame_payload) {
+        protocol_error_locked(conn, header.request_id,
+                              error_code::oversize_frame,
+                              "payload length above the configured bound");
+        break;
+      }
+      const std::size_t frame_size = kHeaderSize + header.payload_size;
+      if (conn.read_buffer.size() - offset < frame_size) break;  // partial
+      frames_in_cell->inc();
+      handle_frame_locked(
+          conn, header,
+          std::span<const std::uint8_t>(
+              conn.read_buffer.data() + offset + kHeaderSize,
+              header.payload_size));
+      offset += frame_size;
+    }
+    if (offset > 0) {
+      conn.read_buffer.erase(conn.read_buffer.begin(),
+                             conn.read_buffer.begin() +
+                                 static_cast<std::ptrdiff_t>(offset));
+    }
+  }
+
+  void handle_frame_locked(connection& conn, const frame_header& header,
+                           std::span<const std::uint8_t> payload) {
+    switch (header.type) {
+      case frame_type::request:
+        handle_request_locked(conn, header, payload);
+        return;
+      case frame_type::cancel: {
+        cancels_cell->inc();
+        const auto it = conn.requests.find(header.request_id);
+        if (it == conn.requests.end()) return;  // finished or unknown: benign
+        const std::uint64_t ticket_id = it->second;
+        if (tickets.find(ticket_id) == tickets.end()) return;
+        // Still unresolved (completion consumes tickets under this mutex),
+        // so cancel() cannot see a consumed ticket. false = already done.
+        server.cancel(serve::ticket{ticket_id});
+        return;
+      }
+      case frame_type::ping:
+        queue_frame_locked(conn,
+                           encode_control(frame_type::pong, header.request_id));
+        return;
+      case frame_type::goodbye:
+        conn.closing = true;  // orderly: flush what is queued, then close
+        return;
+      case frame_type::response:
+      case frame_type::pong:
+      case frame_type::busy:
+      case frame_type::error:
+        protocol_error_locked(conn, header.request_id, error_code::bad_type,
+                              "server-to-client frame type from a client");
+        return;
+    }
+  }
+
+  void handle_request_locked(connection& conn, const frame_header& header,
+                             std::span<const std::uint8_t> payload) {
+    // Admission control, cheapest checks first; every rejection is an
+    // explicit retriable busy frame, never an unbounded queue.
+    if (draining.load(std::memory_order_relaxed)) {
+      shed_locked(conn, header.request_id, busy_reason::draining);
+      return;
+    }
+    if (conn.inflight >= config.max_inflight_per_connection) {
+      shed_locked(conn, header.request_id, busy_reason::connection_inflight);
+      return;
+    }
+    if (conn.inflight_bytes + payload.size() >
+        config.max_inflight_bytes_per_connection) {
+      shed_locked(conn, header.request_id, busy_reason::connection_bytes);
+      return;
+    }
+    const bool feedback = header.lane == serve::lane_class::feedback;
+    const std::size_t budget =
+        feedback ? config.max_inflight
+                 : config.max_inflight - config.feedback_reserve;
+    if (tickets.size() >= budget) {
+      shed_locked(conn, header.request_id, busy_reason::server_busy);
+      return;
+    }
+
+    auto traces = std::make_unique<data::trace_dataset>();
+    request_info info;
+    try {
+      fault::trigger("net.decode");
+      info = decode_request(payload, *traces);
+    } catch (const std::exception& e) {
+      protocol_error_locked(conn, header.request_id, error_code::decode_error,
+                            e.what());
+      return;
+    }
+
+    serve::readout_request request;
+    request.qubit = info.qubit;
+    request.traces = traces.get();
+    request.engine = info.engine;
+    request.deadline_seconds = info.deadline_seconds;
+    request.lane = header.lane;
+    std::optional<serve::ticket> ticket;
+    try {
+      // May execute the whole request inline (workerless pool) — the
+      // completion doorbell only touches the completion queue, and the
+      // completion thread re-locks state_mutex_ after popping, so it cannot
+      // observe the ticket before the registration below.
+      ticket = server.try_submit(request);
+    } catch (const std::exception& e) {
+      // Semantically invalid (bad qubit, missing engine path): a protocol
+      // contract violation, handled like any malformed frame.
+      protocol_error_locked(conn, header.request_id, error_code::decode_error,
+                            e.what());
+      return;
+    }
+    if (!ticket) {
+      shed_locked(conn, header.request_id, busy_reason::server_busy);
+      return;
+    }
+    inflight_ticket entry;
+    entry.conn_id = conn.id;
+    entry.request_id = header.request_id;
+    entry.payload_bytes = payload.size();
+    entry.engine = info.engine;
+    entry.lane = header.lane;
+    entry.traces = std::move(traces);
+    tickets.emplace(ticket->id, std::move(entry));
+    conn.requests[header.request_id] = ticket->id;
+    ++conn.inflight;
+    conn.inflight_bytes += payload.size();
+    admitted_cell->inc();
+    inflight_cell->set(static_cast<double>(tickets.size()));
+  }
+
+  void shed_locked(connection& conn, std::uint64_t request_id,
+                   busy_reason reason) {
+    shed_cells[static_cast<std::size_t>(reason)]->inc();
+    queue_frame_locked(conn, encode_busy(request_id, reason));
+  }
+
+  /// Typed error frame, then close exactly this connection (reads stop now;
+  /// the frame flushes before the fd closes).
+  void protocol_error_locked(connection& conn, std::uint64_t request_id,
+                             error_code code, const std::string& message) {
+    malformed_cells[static_cast<std::size_t>(code)]->inc();
+    queue_frame_locked(conn, encode_error(request_id, code, message));
+    queue_frame_locked(conn, encode_control(frame_type::goodbye, 0));
+    conn.closing = true;
+    conn.evict = true;
+  }
+
+  void queue_frame_locked(connection& conn, std::vector<std::uint8_t> bytes) {
+    if (conn.write_queue.empty()) {
+      conn.last_write_progress_at = clock.seconds();
+    }
+    conn.write_queue_bytes += bytes.size();
+    conn.write_queue.push_back(std::move(bytes));
+    frames_out_cell->inc();
+    if (conn.write_queue_bytes > config.max_write_queue_bytes) {
+      // The client is not draining responses; its queue must not grow the
+      // server. Evict — reconciliation happens at close.
+      conn.closing = true;
+      conn.evict = true;
+    }
+  }
+
+  void handle_writable(std::uint64_t conn_id) {
+    bool close_now = false;
+    {
+      const std::lock_guard lock(state_mutex);
+      const auto it = conns.find(conn_id);
+      if (it == conns.end()) return;
+      close_now = !flush_writes_locked(*it->second);
+      if (close_now) it->second->evict = true;
+    }
+    if (close_now) close_connection(conn_id, /*evicted=*/true);
+  }
+
+  /// Writes as much of the queue as the socket accepts. Returns false when
+  /// the connection must be evicted (write error / injected fault).
+  bool flush_writes_locked(connection& conn) {
+    try {
+      if (fault::trigger("net.write") == fault::action::drop) {
+        return true;  // skip this flush round — a stalled sender
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+    while (!conn.write_queue.empty()) {
+      const std::vector<std::uint8_t>& front = conn.write_queue.front();
+      const std::size_t remaining = front.size() - conn.write_offset;
+      const ssize_t n = ::send(conn.fd, front.data() + conn.write_offset,
+                               remaining, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;
+      }
+      bytes_out_cell->inc(static_cast<std::uint64_t>(n));
+      conn.write_queue_bytes -= static_cast<std::size_t>(n);
+      conn.write_offset += static_cast<std::size_t>(n);
+      conn.last_write_progress_at = clock.seconds();
+      if (conn.write_offset == front.size()) {
+        conn.write_queue.pop_front();
+        conn.write_offset = 0;
+      }
+    }
+    return true;
+  }
+
+  void enforce_deadlines() {
+    const double now = clock.seconds();
+    std::vector<std::uint64_t> to_evict;
+    {
+      const std::lock_guard lock(state_mutex);
+      for (auto& [id, conn] : conns) {
+        if (conn->closing) continue;
+        if (config.read_idle_seconds > 0.0 &&
+            now - conn->last_read_at > config.read_idle_seconds) {
+          to_evict.push_back(id);  // slow loris: trickling or silent
+          continue;
+        }
+        if (config.write_stall_seconds > 0.0 &&
+            !conn->write_queue.empty() &&
+            now - conn->last_write_progress_at > config.write_stall_seconds) {
+          to_evict.push_back(id);  // reader stopped reading
+        }
+      }
+    }
+    for (const std::uint64_t id : to_evict) {
+      close_connection(id, /*evicted=*/true);
+    }
+  }
+
+  /// Closes connections that were marked closing once their write queue is
+  /// flushed (or immediately when flushing cannot progress anyway).
+  void finish_closing_connections() {
+    std::vector<std::pair<std::uint64_t, bool>> done;
+    {
+      const std::lock_guard lock(state_mutex);
+      for (auto& [id, conn] : conns) {
+        if (!conn->closing) continue;
+        flush_writes_locked(*conn);
+        if (conn->write_queue.empty()) done.emplace_back(id, conn->evict);
+      }
+    }
+    for (const auto& [id, evict] : done) close_connection(id, evict);
+  }
+
+  /// Removes a connection and reconciles its in-flight tickets: every one
+  /// still unresolved is cancelled through the server (the completion thread
+  /// then claims and drops the result, counted). Never called with
+  /// state_mutex_ held.
+  void close_connection(std::uint64_t conn_id, bool evicted) {
+    std::unique_ptr<connection> conn;
+    std::vector<std::uint64_t> to_cancel;
+    {
+      const std::lock_guard lock(state_mutex);
+      const auto it = conns.find(conn_id);
+      if (it == conns.end()) return;
+      conn = std::move(it->second);
+      conns.erase(it);
+      for (const auto& [request_id, ticket_id] : conn->requests) {
+        if (tickets.find(ticket_id) != tickets.end()) {
+          to_cancel.push_back(ticket_id);
+        }
+      }
+      // Cancel under the same lock that guards ticket consumption: entries
+      // still in `tickets` are provably unconsumed (the completion thread
+      // waits and erases under this mutex), so cancel() cannot throw for a
+      // consumed ticket; false (already done) is fine — the completion
+      // thread will drop the result on arrival.
+      for (const std::uint64_t ticket_id : to_cancel) {
+        server.cancel(serve::ticket{ticket_id});
+      }
+      closed_cell->inc();
+      if (evicted || conn->evict) evicted_cell->inc();
+      open_conns_cell->set(
+          static_cast<double>(conns.size() + pending_accepts.size()));
+    }
+    ::close(conn->fd);
+  }
+
+  // --- completion thread --------------------------------------------------
+
+  void completion_loop() {
+    for (;;) {
+      std::uint64_t ticket_id = 0;
+      {
+        std::unique_lock lock(completion_mutex);
+        completion_ready.wait(lock, [this] {
+          return stopping.load(std::memory_order_relaxed) ||
+                 !done_queue.empty();
+        });
+        if (done_queue.empty()) return;  // stopping and drained
+        ticket_id = done_queue.front();
+        done_queue.pop_front();
+      }
+      try {
+        // delay mode stalls the response path while admission quotas fill —
+        // deterministic fodder for the shedding tests.
+        fault::trigger("net.complete");
+      } catch (const std::exception&) {
+        // A throwing completion site must not lose the ticket.
+      }
+      process_completion(ticket_id);
+      wake_poll();
+    }
+  }
+
+  void process_completion(std::uint64_t ticket_id) {
+    const std::lock_guard lock(state_mutex);
+    const auto it = tickets.find(ticket_id);
+    if (it == tickets.end()) return;  // foreign ticket: not ours to consume
+    inflight_ticket entry = std::move(it->second);
+    tickets.erase(it);
+    serve::readout_result result;
+    try {
+      // The doorbell fired, so the ticket is done: wait() returns
+      // immediately. Consuming under state_mutex_ is what makes the
+      // disconnect path's cancel() race-free (see close_connection).
+      server.wait(serve::ticket{ticket_id}, result);
+    } catch (const std::exception&) {
+      // A failed request rethrows its shard error; the client gets the
+      // terminal status instead of the exception text.
+      result.status = serve::request_status::failed;
+      result.engine = entry.engine;
+      result.states.clear();
+      result.registers.clear();
+      result.logits.clear();
+    }
+    inflight_cell->set(static_cast<double>(tickets.size()));
+    const auto conn_it = conns.find(entry.conn_id);
+    if (conn_it == conns.end()) {
+      // Disconnect reconciliation: the client left; the result is dropped,
+      // counted, and the ticket is still consumed — never leaked.
+      dropped_cell->inc();
+      return;
+    }
+    connection& conn = *conn_it->second;
+    --conn.inflight;
+    conn.inflight_bytes -= entry.payload_bytes;
+    const auto req_it = conn.requests.find(entry.request_id);
+    if (req_it != conn.requests.end() && req_it->second == ticket_id) {
+      conn.requests.erase(req_it);
+    }
+    lane_seconds[static_cast<std::size_t>(entry.lane)]->record(
+        result.latency_seconds);
+    queue_frame_locked(conn, encode_response(entry.request_id, result));
+    responses_cell->inc();
+  }
+
+  // --- shutdown -----------------------------------------------------------
+
+  void shutdown() {
+    if (shut_down) return;
+    shut_down = true;
+    draining.store(true, std::memory_order_relaxed);
+    // Phase 1: resolve every in-flight ticket. New requests are shed with
+    // busy(draining); cancels and pings still work. Bounded by the drain
+    // timeout, then force-cancel — every ticket still resolves (cancelled),
+    // so the wait below terminates.
+    const double deadline = clock.seconds() + config.drain_timeout_seconds;
+    bool forced = false;
+    for (;;) {
+      {
+        const std::lock_guard lock(state_mutex);
+        if (tickets.empty()) break;
+        if (!forced && clock.seconds() >= deadline) {
+          forced = true;
+          for (const auto& [ticket_id, entry] : tickets) {
+            server.cancel(serve::ticket{ticket_id});
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // Phase 2: goodbye frames, then give the poll loop one drain window to
+    // flush the write queues.
+    {
+      const std::lock_guard lock(state_mutex);
+      for (auto& [id, conn] : conns) {
+        if (!conn->closing) {
+          queue_frame_locked(*conn, encode_control(frame_type::goodbye, 0));
+        }
+      }
+    }
+    wake_poll();
+    const double flush_deadline =
+        clock.seconds() + config.drain_timeout_seconds;
+    for (;;) {
+      bool flushed = true;
+      {
+        const std::lock_guard lock(state_mutex);
+        for (const auto& [id, conn] : conns) {
+          if (!conn->write_queue.empty()) flushed = false;
+        }
+      }
+      if (flushed || clock.seconds() >= flush_deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // Phase 3: stop the threads. The poll loop exits once no writes are
+    // pending (it closes every socket on the way out); the completion
+    // thread exits when its queue is empty.
+    stopping.store(true, std::memory_order_relaxed);
+    wake_poll();
+    completion_ready.notify_all();
+    acceptor_thread.join();
+    poll_thread.join();
+    completion_thread.join();
+    // The server outlives the front end; detach the doorbell so it cannot
+    // call into a destroyed impl. Every net ticket was consumed above, and
+    // the front end was the sole submitter by contract.
+    server.set_on_complete({});
+  }
+
+  front_end_stats stats() const {
+    const std::lock_guard lock(state_mutex);
+    front_end_stats s;
+    s.connections_accepted = accepted_cell->value();
+    s.connections_rejected = rejected_cell->value();
+    s.connections_closed = closed_cell->value();
+    s.connections_evicted = evicted_cell->value();
+    s.frames_received = frames_in_cell->value();
+    s.frames_sent = frames_out_cell->value();
+    s.bytes_received = bytes_in_cell->value();
+    s.bytes_sent = bytes_out_cell->value();
+    s.requests_admitted = admitted_cell->value();
+    s.responses_sent = responses_cell->value();
+    for (const obs::counter* cell : shed_cells) {
+      s.busy_rejections += cell->value();
+    }
+    for (const obs::counter* cell : malformed_cells) {
+      s.malformed_frames += cell->value();
+    }
+    s.results_dropped = dropped_cell->value();
+    s.cancels_received = cancels_cell->value();
+    s.open_connections = conns.size() + pending_accepts.size();
+    s.inflight = tickets.size();
+    return s;
+  }
+};
+
+tcp_front_end::tcp_front_end(serve::readout_server& server,
+                             front_end_config config)
+    : impl_(std::make_unique<impl>(server, std::move(config))) {}
+
+tcp_front_end::~tcp_front_end() {
+  try {
+    impl_->shutdown();
+  } catch (const std::exception& e) {
+    log_warn("tcp_front_end: shutdown failed in destructor: ", e.what());
+  }
+}
+
+std::uint16_t tcp_front_end::port() const noexcept {
+  return impl_->bound_port;
+}
+
+void tcp_front_end::shutdown() { impl_->shutdown(); }
+
+front_end_stats tcp_front_end::stats() const { return impl_->stats(); }
+
+const obs::metric_registry& tcp_front_end::metrics() const noexcept {
+  return *impl_->metrics;
+}
+
+}  // namespace klinq::net

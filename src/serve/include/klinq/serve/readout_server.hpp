@@ -121,6 +121,16 @@ struct server_config {
   /// readout_request::deadline_seconds; 0 = no default deadline. Must be
   /// finite and non-negative.
   double default_deadline_seconds = 0.0;
+  /// Deadline applied to *feedback-lane* requests that carry no explicit
+  /// deadline — feedback callers are deadline-scheduled by definition, so
+  /// they get their own (typically much tighter) default. 0 falls back to
+  /// default_deadline_seconds. Must be finite and non-negative.
+  double feedback_default_deadline_seconds = 0.0;
+  /// Completion doorbell: invoked exactly once per submitted ticket at the
+  /// moment it reaches a terminal status, with no server lock held (see
+  /// completion_callback in request.hpp). Empty disables it. The TCP front
+  /// end uses this to drive its completion thread instead of polling.
+  completion_callback on_complete;
   /// Consecutive shard failures on one qubit before the server asks the
   /// engine provider to demote the serving version (the registry rolls back
   /// to last-known-good and marks the qubit degraded; a static binding
@@ -217,6 +227,11 @@ class readout_server {
   /// stay claimable by ticket).
   void drain();
 
+  /// Installs (or clears) the completion doorbell after construction. Only
+  /// legal while no ticket is unresolved — swapping the callback under live
+  /// traffic would let in-flight completions race the handoff.
+  void set_on_complete(completion_callback callback);
+
   server_stats stats() const;
 
   /// The metric registry backing this server's labeled families (the
@@ -249,6 +264,8 @@ class readout_server {
     /// Set by cancel() under mutex_ (so it cannot race the done flag), read
     /// lock-free by shard executors deciding whether to skip.
     std::atomic<bool> cancelled{false};
+    /// Latency class, immutable after submit (per-lane SLO accounting).
+    lane_class lane = lane_class::bulk;
     /// A shard was skipped because the deadline had expired (guarded by
     /// mutex_).
     bool deadline_expired = false;
@@ -400,6 +417,11 @@ class readout_server {
   obs::counter* shard_events_cell_ = nullptr;
   obs::gauge* inflight_cell_ = nullptr;
   obs::log_histogram* request_seconds_ = nullptr;
+  /// Per-lane SLO series, indexed by lane_class: submissions and
+  /// submit→completion latency (the feedback-vs-bulk separation the network
+  /// front end's scheduler must demonstrate).
+  std::array<obs::counter*, 2> lane_submitted_{};
+  std::array<obs::log_histogram*, 2> lane_seconds_{};
   /// Occupied lanes per dispatched pack (1..kMaxLanePackShots) — how full
   /// the shared tiles actually run.
   obs::log_histogram* lane_occupancy_ = nullptr;

@@ -51,6 +51,20 @@ enum class request_status : std::uint8_t {
 
 const char* status_name(request_status status) noexcept;
 
+/// Latency class of a request — the scheduler honors it end to end.
+enum class lane_class : std::uint8_t {
+  /// Throughput lane: eligible for coalescing/lane packing, dispatched FIFO.
+  bulk = 0,
+  /// Mid-circuit feedback lane: bypasses coalescing entirely (a parked batch
+  /// would add queueing delay a feedback controller cannot absorb) and its
+  /// shard tasks jump ahead of already-queued bulk work
+  /// (thread_pool::submit_urgent). Per-lane p50/p99 SLO histograms track the
+  /// separation.
+  feedback = 1,
+};
+
+const char* lane_name(lane_class lane) noexcept;
+
 /// Non-owning handles to one qubit's deployed models. Either pointer may be
 /// null when that path is not served; submitting a request for a missing
 /// path throws. Both models must outlive the server.
@@ -74,6 +88,11 @@ struct readout_request {
   /// A shard already running is finished, not interrupted — expiry is
   /// checked at shard start, so enforcement granularity is one shard.
   double deadline_seconds = 0.0;
+  /// Latency class; feedback requests skip coalescing and dispatch ahead of
+  /// queued bulk shards. A feedback request with deadline_seconds == 0
+  /// inherits server_config::feedback_default_deadline_seconds before
+  /// falling back to default_deadline_seconds.
+  lane_class lane = lane_class::bulk;
 };
 
 /// Completed measurement of one request. `states[r]` is the hard decision
@@ -131,5 +150,15 @@ struct shard_event {
 /// and fast (it runs on the shard executor); an exception thrown from the
 /// callback fails the request and is rethrown by wait().
 using shard_callback = std::function<void(const shard_event&)>;
+
+/// Invoked exactly once per submitted ticket, the moment the request reaches
+/// its terminal status (the same instant wait() would unblock). Runs on
+/// whatever thread finished the request — a shard executor, or the
+/// submitting thread for zero-shot / inline-executed requests — with no
+/// server lock held. The result is *not* passed: the callback is a doorbell
+/// for an event-driven consumer (the TCP front end's completion thread),
+/// which claims the result with wait()/poll() at its leisure. Must not
+/// throw; may call back into the server except drain()/destructor.
+using completion_callback = std::function<void(ticket, request_status)>;
 
 }  // namespace klinq::serve

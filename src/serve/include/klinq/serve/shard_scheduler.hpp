@@ -60,16 +60,20 @@ class shard_scheduler {
   /// pool. run_shard must be internally synchronized for completion
   /// accounting and must not throw (route errors through your own state);
   /// it may run on the calling thread when the pool has no workers.
+  /// `urgent` tasks jump ahead of already-queued work (feedback lane); see
+  /// thread_pool::submit_urgent for the exact semantics.
   void dispatch(std::size_t shots,
                 std::function<void(std::size_t, std::size_t, shard_arena&)>
-                    run_shard);
+                    run_shard,
+                bool urgent = false);
 
   /// Enqueues a single pool task that runs `run` with one borrowed arena —
   /// the request-coalescing entry point: one queue round-trip and one arena
   /// acquisition for work merged from several small requests. Same contract
   /// as dispatch's run_shard (internally synchronized, must not throw, may
   /// run inline on a workerless pool).
-  void dispatch_one(std::function<void(shard_arena&)> run);
+  void dispatch_one(std::function<void(shard_arena&)> run,
+                    bool urgent = false);
 
   /// Blocks until every shard task dispatched so far has finished.
   void drain();

@@ -66,6 +66,9 @@ struct server_stats {
   /// demote the failing version and the provider switched (the registry
   /// rolls back to last-known-good).
   std::uint64_t rollbacks = 0;
+  /// Requests submitted on the feedback lane (bypass coalescing, urgent
+  /// dispatch); bulk-lane submissions are requests_submitted minus this.
+  std::uint64_t feedback_requests = 0;
   /// Requests submitted but not yet consumed by wait().
   std::size_t inflight = 0;
   double uptime_seconds = 0.0;
@@ -74,6 +77,19 @@ struct server_stats {
   /// Request latency (submit → completion) quantiles.
   double latency_p50_seconds = 0.0;
   double latency_p99_seconds = 0.0;
+  /// Per-lane latency quantiles (the SLO view: feedback must stay bounded
+  /// while bulk saturates). 0 when that lane has seen no completions.
+  double feedback_p50_seconds = 0.0;
+  double feedback_p99_seconds = 0.0;
+  double bulk_p50_seconds = 0.0;
+  double bulk_p99_seconds = 0.0;
+
+  /// Throws invalid_argument_error when the counters are mutually
+  /// inconsistent (completed > submitted, a terminal-status sum exceeding
+  /// completions, packed without coalesced, negative quantiles, ...) — the
+  /// invariant check the chaos harnesses run after every scenario to prove
+  /// ticket accounting reconciled exactly.
+  void validate() const;
 };
 
 }  // namespace klinq::serve

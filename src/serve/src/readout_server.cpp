@@ -39,6 +39,16 @@ const char* status_name(request_status status) noexcept {
   return "unknown";
 }
 
+const char* lane_name(lane_class lane) noexcept {
+  switch (lane) {
+    case lane_class::bulk:
+      return "bulk";
+    case lane_class::feedback:
+      return "feedback";
+  }
+  return "unknown";
+}
+
 engine_lease static_engine_provider::acquire(std::size_t qubit) const {
   KLINQ_REQUIRE(qubit < qubits_.size(),
                 "static_engine_provider: qubit index out of range");
@@ -65,6 +75,56 @@ void server_config::validate() const {
   KLINQ_REQUIRE(failure_threshold > 0,
                 "server_config: failure_threshold must be positive (disable "
                 "the demote policy with a large value, not 0)");
+  KLINQ_REQUIRE(
+      std::isfinite(feedback_default_deadline_seconds) &&
+          feedback_default_deadline_seconds >= 0.0,
+      "server_config: feedback_default_deadline_seconds must be finite and "
+      "non-negative");
+}
+
+void server_stats::validate() const {
+  KLINQ_REQUIRE(requests_completed <= requests_submitted,
+                "server_stats: more completions than submissions");
+  KLINQ_REQUIRE(
+      failed_requests + timed_out_requests + cancelled_requests <=
+          requests_completed,
+      "server_stats: terminal-status counts exceed total completions");
+  KLINQ_REQUIRE(shots_completed <= shots_submitted,
+                "server_stats: more shots completed than submitted");
+  KLINQ_REQUIRE(requests_coalesced <= requests_submitted,
+                "server_stats: more coalesced requests than submissions");
+  KLINQ_REQUIRE(packed_requests <= requests_coalesced,
+                "server_stats: lane packing only applies to coalesced "
+                "requests");
+  KLINQ_REQUIRE(coalesced_batches <= requests_coalesced,
+                "server_stats: a merged batch needs at least one member");
+  KLINQ_REQUIRE(packed_batches <= packed_requests,
+                "server_stats: a lane pack needs at least one member");
+  KLINQ_REQUIRE(feedback_requests <= requests_submitted,
+                "server_stats: more feedback submissions than submissions");
+  // inflight counts unconsumed tickets (completed-but-unclaimed slots
+  // included), so it is bounded by submissions, not by their difference
+  // from completions.
+  KLINQ_REQUIRE(inflight <= requests_submitted,
+                "server_stats: inflight exceeds submissions");
+  const auto non_negative = [](double v) {
+    return std::isfinite(v) && v >= 0.0;
+  };
+  KLINQ_REQUIRE(non_negative(uptime_seconds) &&
+                    non_negative(shots_per_second) &&
+                    non_negative(latency_p50_seconds) &&
+                    non_negative(latency_p99_seconds) &&
+                    non_negative(feedback_p50_seconds) &&
+                    non_negative(feedback_p99_seconds) &&
+                    non_negative(bulk_p50_seconds) &&
+                    non_negative(bulk_p99_seconds),
+                "server_stats: negative or non-finite timing field");
+  KLINQ_REQUIRE(feedback_p50_seconds <= feedback_p99_seconds ||
+                    feedback_p99_seconds == 0.0,
+                "server_stats: feedback p50 exceeds p99");
+  KLINQ_REQUIRE(bulk_p50_seconds <= bulk_p99_seconds ||
+                    bulk_p99_seconds == 0.0,
+                "server_stats: bulk p50 exceeds p99");
 }
 
 readout_server::readout_server(std::vector<qubit_engine> qubits,
@@ -150,6 +210,15 @@ void readout_server::init_metrics() {
   request_seconds_ =
       &m.get_histogram("klinq_serve_request_seconds", {},
                        "Request latency, submit to completion");
+  for (std::size_t l = 0; l < lane_seconds_.size(); ++l) {
+    const char* ln = lane_name(static_cast<lane_class>(l));
+    lane_submitted_[l] =
+        &m.get_counter("klinq_serve_lane_requests_total", {{"lane", ln}},
+                       "Requests accepted, by latency class");
+    lane_seconds_[l] = &m.get_histogram(
+        "klinq_serve_lane_seconds", {{"lane", ln}},
+        "Request latency by latency class (the per-lane SLO series)");
+  }
   const std::size_t qubits = provider_->qubit_count();
   cells_.resize(qubits);
   qubit_cells_.resize(qubits);
@@ -234,6 +303,7 @@ void readout_server::finish_request_locked(slot* raw, engine_kind engine) {
   stages.queue->record(queue);
   stages.exec->record(exec);
   request_seconds_->record(total);
+  lane_seconds_[static_cast<std::size_t>(raw->lane)]->record(total);
   const bool anomalous = status != request_status::ok;
   if (recorder_.enabled() && recorder_.should_capture(total, anomalous)) {
     obs::flight_record rec;
@@ -257,17 +327,27 @@ readout_server::~readout_server() {
   // pointer into this server — dispatch any parked coalescing batches, then
   // wait for all of them before tearing down.
   flush_pending();
-  std::unique_lock lock(mutex_);
-  completed_.wait(lock, [this] { return outstanding_shards_ == 0; });
-  // The drop is silent no longer: every unconsumed non-ok result is logged
-  // on its way out (counters were recorded at completion time, so stats()
-  // already reflected these even while unclaimed).
-  for (const auto& [id, s] : active_) {
-    if (s->result.status == request_status::ok) continue;
-    log_warn("readout_server: dropping unconsumed ",
-             status_name(s->result.status), " ticket ", id, " (qubit ",
-             s->result.qubit, ", ", s->shots, " shots)");
+  {
+    std::unique_lock lock(mutex_);
+    completed_.wait(lock, [this] { return outstanding_shards_ == 0; });
+    // The drop is silent no longer: every unconsumed non-ok result is logged
+    // on its way out (counters were recorded at completion time, so stats()
+    // already reflected these even while unclaimed).
+    for (const auto& [id, s] : active_) {
+      if (s->result.status == request_status::ok) continue;
+      log_warn("readout_server: dropping unconsumed ",
+               status_name(s->result.status), " ticket ", id, " (qubit ",
+               s->result.qubit, ", ", s->shots, " shots)");
+    }
   }
+  // outstanding_shards_ hits zero inside a task's locked completion block,
+  // but the task *body* is still running after that: the post-notify demote
+  // branch re-takes mutex_ and touches metrics_, both of which are destroyed
+  // before scheduler_ (reverse member order). Wait for the task bodies
+  // themselves — the scheduler decrements its pending count only after a
+  // body fully returns — so no shard can outlive the members it uses. The
+  // cancel-during-flush TSAN hammer in test_serve.cpp regresses this.
+  scheduler_.drain();
 }
 
 engine_lease readout_server::lease_for(const readout_request& request) const {
@@ -336,8 +416,12 @@ ticket readout_server::submit_locked(const readout_request& request,
                                      engine_lease lease,
                                      std::unique_lock<std::mutex>& lock) {
   const std::size_t shots = request.traces->size();
+  // The feedback lane bypasses coalescing unconditionally: parking a
+  // feedback request behind a batch that waits for more members is exactly
+  // the queueing delay the lane exists to avoid.
   const bool coalesce = config_.coalesce_shots > 0 && shots > 0 &&
-                        shots <= config_.coalesce_shots;
+                        shots <= config_.coalesce_shots &&
+                        request.lane == lane_class::bulk;
 
   std::unique_ptr<slot> s;
   if (!free_slots_.empty()) {
@@ -353,9 +437,14 @@ ticket readout_server::submit_locked(const readout_request& request,
       shots == 0 ? 0 : (coalesce ? 1 : scheduler_.shard_count(shots));
   s->done = false;
   s->error = nullptr;
-  s->deadline_seconds = request.deadline_seconds > 0.0
-                            ? request.deadline_seconds
-                            : config_.default_deadline_seconds;
+  s->deadline_seconds = request.deadline_seconds;
+  if (s->deadline_seconds <= 0.0 && request.lane == lane_class::feedback) {
+    s->deadline_seconds = config_.feedback_default_deadline_seconds;
+  }
+  if (s->deadline_seconds <= 0.0) {
+    s->deadline_seconds = config_.default_deadline_seconds;
+  }
+  s->lane = request.lane;
   s->cancelled.store(false, std::memory_order_relaxed);
   s->deadline_expired = false;
   s->result.qubit = request.qubit;
@@ -390,6 +479,7 @@ ticket readout_server::submit_locked(const readout_request& request,
   engine_cells& cells = cells_locked(request.qubit, request.engine);
   cells.submitted->inc();
   cells.shots_submitted->inc(shots);
+  lane_submitted_[static_cast<std::size_t>(request.lane)]->inc();
   inflight_cell_->set(static_cast<double>(active_.size()));
   outstanding_shards_ += raw->remaining_shards;
 
@@ -397,8 +487,15 @@ ticket readout_server::submit_locked(const readout_request& request,
     raw->done = true;
     raw->lease = engine_lease{};  // nothing will run; release the snapshot
     raw->result.latency_seconds = raw->timer.seconds();
+    const request_status status = raw->result.status;
     finish_request_locked(raw, request.engine);
     completed_.notify_all();
+    if (config_.on_complete) {
+      // The doorbell contract: no server lock held. The slot may be consumed
+      // by a racing wait() the instant we unlock, so only locals from here.
+      lock.unlock();
+      config_.on_complete(t, status);
+    }
     return t;
   }
 
@@ -437,11 +534,29 @@ ticket readout_server::submit_locked(const readout_request& request,
   lock.unlock();
   const readout_request req = request;
   scheduler_.dispatch(
-      shots, [this, req, raw](std::size_t begin, std::size_t end,
-                              shard_arena& arena) {
+      shots,
+      [this, req, raw](std::size_t begin, std::size_t end,
+                       shard_arena& arena) {
         execute_range(raw, req, begin, end, arena);
-      });
+      },
+      /*urgent=*/request.lane == lane_class::feedback);
   return t;
+}
+
+void readout_server::set_on_complete(completion_callback callback) {
+  {
+    const std::lock_guard lock(mutex_);
+    KLINQ_REQUIRE(active_.empty() && pending_.empty(),
+                  "readout_server: set_on_complete requires no unresolved "
+                  "tickets (in-flight completions would race the handoff)");
+  }
+  // A consumed ticket's task *tail* may still be running (it reads the
+  // callback lock-free); wait for task bodies to exit before swapping.
+  scheduler_.drain();
+  const std::lock_guard lock(mutex_);
+  KLINQ_REQUIRE(active_.empty() && pending_.empty(),
+                "readout_server: a submit raced set_on_complete");
+  config_.on_complete = std::move(callback);
 }
 
 void readout_server::execute_range(slot* raw, const readout_request& request,
@@ -501,6 +616,11 @@ void readout_server::execute_range(slot* raw, const readout_request& request,
   // decision is made under mutex_ but the call happens after it releases.
   bool demote_now = false;
   std::uint64_t failing_version = 0;
+  // Completion doorbell state, captured under the lock: after notify the
+  // slot may be consumed, so the callback call can only use these locals.
+  bool completed_now = false;
+  std::uint64_t done_id = 0;
+  request_status done_status = request_status::ok;
   const std::size_t qubit = request.qubit;
   {
     const std::lock_guard done_lock(mutex_);
@@ -546,12 +666,19 @@ void readout_server::execute_range(slot* raw, const readout_request& request,
       } else {
         raw->result.status = request_status::ok;
       }
+      completed_now = true;
+      done_id = raw->id;  // the slot may be recycled to a new id after notify
+      done_status = raw->result.status;
       finish_request_locked(raw, request.engine);
     }
     if (raw->done || outstanding_shards_ == 0) completed_.notify_all();
   }
   // After notify the slot may already be consumed — only local state from
-  // here on.
+  // here on. The doorbell fires before the demote side-trip: a completion
+  // consumer should not wait on provider locks.
+  if (completed_now && config_.on_complete) {
+    config_.on_complete(ticket{done_id}, done_status);
+  }
   if (demote_now && provider_->demote(qubit, failing_version)) {
     const std::lock_guard lock(mutex_);
     obs::counter*& cell = qubit_cells_[qubit].rollbacks;
@@ -793,6 +920,11 @@ void readout_server::execute_pack(const pending_member* const* pack,
   // the per-member body mirrors execute_range exactly.
   bool demote_now = false;
   std::uint64_t failing_version = 0;
+  // Doorbell state per completing member, captured under the lock (slots may
+  // be consumed and recycled the instant it releases).
+  std::array<std::uint64_t, kMaxLanes> done_ids{};
+  std::array<request_status, kMaxLanes> done_statuses{};
+  std::size_t done_count = 0;
   {
     const std::lock_guard done_lock(mutex_);
     for (std::size_t i = 0; i < count; ++i) {
@@ -834,10 +966,18 @@ void readout_server::execute_pack(const pending_member* const* pack,
         } else {
           raw->result.status = request_status::ok;
         }
+        done_ids[done_count] = raw->id;
+        done_statuses[done_count] = raw->result.status;
+        ++done_count;
         finish_request_locked(raw, kind);
       }
     }
     completed_.notify_all();
+  }
+  if (config_.on_complete) {
+    for (std::size_t i = 0; i < done_count; ++i) {
+      config_.on_complete(ticket{done_ids[i]}, done_statuses[i]);
+    }
   }
   if (demote_now && provider_->demote(qubit, failing_version)) {
     const std::lock_guard lock(mutex_);
@@ -1024,8 +1164,15 @@ void readout_server::recycle_locked(std::unique_ptr<slot> s,
 
 void readout_server::drain() {
   flush_pending();
-  std::unique_lock lock(mutex_);
-  completed_.wait(lock, [this] { return outstanding_shards_ == 0; });
+  {
+    std::unique_lock lock(mutex_);
+    completed_.wait(lock, [this] { return outstanding_shards_ == 0; });
+  }
+  // Same task-body wait as the destructor: "drained" must mean no shard
+  // task is still inside execute_range/execute_pack (the post-notify demote
+  // tail runs after the shard count reaches zero), not merely that every
+  // ticket is resolved — callers use drain() as a teardown barrier.
+  scheduler_.drain();
 }
 
 server_stats readout_server::stats() const {
@@ -1076,6 +1223,13 @@ server_stats readout_server::stats() const {
           : 0.0;
   snapshot.latency_p50_seconds = request_seconds_->quantile(0.50);
   snapshot.latency_p99_seconds = request_seconds_->quantile(0.99);
+  constexpr auto kFeedback = static_cast<std::size_t>(lane_class::feedback);
+  constexpr auto kBulk = static_cast<std::size_t>(lane_class::bulk);
+  snapshot.feedback_requests = lane_submitted_[kFeedback]->value();
+  snapshot.feedback_p50_seconds = lane_seconds_[kFeedback]->quantile(0.50);
+  snapshot.feedback_p99_seconds = lane_seconds_[kFeedback]->quantile(0.99);
+  snapshot.bulk_p50_seconds = lane_seconds_[kBulk]->quantile(0.50);
+  snapshot.bulk_p99_seconds = lane_seconds_[kBulk]->quantile(0.99);
   return snapshot;
 }
 

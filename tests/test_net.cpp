@@ -1,0 +1,922 @@
+// TCP serving front end: wire protocol codec, admission control, overload
+// shedding, hostile-client handling, and ticket-accounting reconciliation.
+//
+// The contract under test: results served over a real loopback socket are
+// bit-identical to the serial per-qubit path; every protocol violation kills
+// exactly the offending connection; every admitted request is answered,
+// dropped (counted) for a departed client, or still in flight — never
+// leaked; and overload is shed with explicit retriable busy frames instead
+// of unbounded queues.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "klinq/common/error.hpp"
+#include "klinq/common/stopwatch.hpp"
+#include "klinq/fault/fault.hpp"
+#include "klinq/hw/fixed_discriminator.hpp"
+#include "klinq/kd/distiller.hpp"
+#include "klinq/net/client.hpp"
+#include "klinq/net/frame.hpp"
+#include "klinq/net/tcp_front_end.hpp"
+#include "klinq/qsim/dataset_builder.hpp"
+#include "klinq/serve/readout_server.hpp"
+
+namespace {
+
+using namespace klinq;
+using fx::q16_16;
+
+// One trained qubit is enough: the serve layer's multi-qubit behavior is
+// test_serve's concern — here the subject is the network path in front of
+// it.
+struct net_fixture {
+  qsim::qubit_dataset data;
+  kd::student_model student;
+  std::vector<hw::fixed_discriminator<q16_16>> hardware;
+  std::vector<q16_16> expected_registers;
+  std::vector<float> expected_logits;
+
+  net_fixture() {
+    qsim::dataset_spec spec;
+    spec.device = qsim::single_qubit_test_preset();
+    spec.shots_per_permutation_train = 100;
+    spec.shots_per_permutation_test = 100;
+    spec.seed = 17;
+    data = qsim::build_qubit_dataset(spec, 0);
+    kd::student_config config;
+    config.groups_per_quadrature = 10;
+    config.epochs = 3;
+    config.seed = 5;
+    student = kd::distill_student(data.train, {}, config);
+    hardware.emplace_back(student);
+    expected_registers.resize(data.test.size());
+    hardware[0].logits(data.test, expected_registers);
+    expected_logits = student.predict_batch(data.test);
+  }
+
+  std::vector<serve::qubit_engine> engines() const {
+    return {{&student, &hardware[0]}};
+  }
+
+  /// First `rows` shots of the test set (a small request).
+  data::trace_dataset small_block(std::size_t rows) const {
+    std::vector<std::size_t> indices;
+    for (std::size_t r = 0; r < rows; ++r) indices.push_back(r);
+    return data.test.subset(indices);
+  }
+};
+
+net_fixture& fixture() {
+  static net_fixture f;
+  return f;
+}
+
+/// Serial-path registers for an arbitrary block (the bit-exactness oracle).
+std::vector<q16_16> serial_registers(const data::trace_dataset& block) {
+  std::vector<q16_16> out(block.size());
+  fixture().hardware[0].logits(block, out);
+  return out;
+}
+
+void expect_fixed_response(const net::response_view& view,
+                           const data::trace_dataset& block) {
+  const std::vector<q16_16> expected = serial_registers(block);
+  ASSERT_EQ(view.status, serve::request_status::ok);
+  ASSERT_EQ(view.engine, serve::engine_kind::fixed_q16);
+  ASSERT_EQ(view.shots, block.size());
+  ASSERT_EQ(view.registers.size(), expected.size());
+  ASSERT_TRUE(view.logits.empty());
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    ASSERT_EQ(view.registers[r], expected[r].raw()) << "row " << r;
+    ASSERT_EQ(view.states[r] != 0, !expected[r].sign_bit()) << "row " << r;
+  }
+}
+
+/// Spins on `probe` until true or `timeout_seconds`; returns the last value.
+bool wait_until(const std::function<bool()>& probe,
+                double timeout_seconds = 5.0) {
+  stopwatch timer;
+  while (timer.seconds() < timeout_seconds) {
+    if (probe()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return probe();
+}
+
+net::request_info fixed_request(double deadline_seconds = 0.0) {
+  net::request_info info;
+  info.qubit = 0;
+  info.engine = serve::engine_kind::fixed_q16;
+  info.deadline_seconds = deadline_seconds;
+  return info;
+}
+
+// --- frame codec (no sockets) ----------------------------------------------
+
+TEST(NetFrame, HeaderRoundTripAllTypesAndLanes) {
+  for (std::uint8_t t = 1; t <= 8; ++t) {
+    for (std::uint8_t lane = 0; lane <= 1; ++lane) {
+      net::frame_header header;
+      header.type = static_cast<net::frame_type>(t);
+      header.lane = static_cast<serve::lane_class>(lane);
+      header.request_id = 0x0123456789ABCDEFull + t;
+      header.payload_size = 40 * t;
+      std::uint8_t bytes[net::kHeaderSize];
+      net::encode_header(header, bytes);
+      net::frame_header decoded;
+      ASSERT_EQ(net::decode_header(bytes, decoded), net::header_verdict::ok);
+      EXPECT_EQ(decoded.version, net::kProtocolVersion);
+      EXPECT_EQ(decoded.type, header.type);
+      EXPECT_EQ(decoded.lane, header.lane);
+      EXPECT_EQ(decoded.request_id, header.request_id);
+      EXPECT_EQ(decoded.payload_size, header.payload_size);
+    }
+  }
+}
+
+TEST(NetFrame, HeaderRejectsEverySingleBitFlip) {
+  // The CRC covers bytes [0, 20); flipping any bit of the header — including
+  // the CRC field itself — must yield a non-ok verdict. This is the framing
+  // guarantee that makes a desynced stream detectable at the next boundary.
+  net::frame_header header;
+  header.type = net::frame_type::request;
+  header.request_id = 42;
+  header.payload_size = 1000;
+  std::uint8_t golden[net::kHeaderSize];
+  net::encode_header(header, golden);
+  for (std::size_t byte = 0; byte < net::kHeaderSize; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::uint8_t mutated[net::kHeaderSize];
+      std::memcpy(mutated, golden, net::kHeaderSize);
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      net::frame_header out;
+      EXPECT_NE(net::decode_header(mutated, out), net::header_verdict::ok)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(NetFrame, HeaderVerdictsAreTyped) {
+  net::frame_header header;
+  header.type = net::frame_type::ping;
+  header.request_id = 7;
+  std::uint8_t bytes[net::kHeaderSize];
+
+  net::encode_header(header, bytes);
+  bytes[0] ^= 0xFF;  // magic
+  net::frame_header out;
+  EXPECT_EQ(net::decode_header(bytes, out), net::header_verdict::bad_magic);
+
+  // Re-encode with a wrong version and a *valid* CRC: the verdict must be
+  // bad_version (with the request id recoverable for the error frame), not
+  // a generic CRC failure.
+  net::encode_header(header, bytes);
+  bytes[4] = 9;
+  const std::uint32_t crc = net::crc32(bytes, 20);
+  std::memcpy(bytes + 20, &crc, 4);
+  EXPECT_EQ(net::decode_header(bytes, out), net::header_verdict::bad_version);
+  EXPECT_EQ(out.request_id, 7u);
+
+  net::encode_header(header, bytes);
+  bytes[5] = 0;  // frame type 0 is invalid
+  const std::uint32_t crc2 = net::crc32(bytes, 20);
+  std::memcpy(bytes + 20, &crc2, 4);
+  EXPECT_EQ(net::decode_header(bytes, out), net::header_verdict::bad_type);
+}
+
+TEST(NetFrame, RequestRoundTripIsLossless) {
+  auto& f = fixture();
+  const data::trace_dataset block = f.small_block(6);
+  net::request_info info = fixed_request(0.25);
+  const std::vector<std::uint8_t> frame = net::encode_request(
+      99, info, serve::lane_class::feedback, block);
+  net::frame_header header;
+  ASSERT_EQ(net::decode_header(frame.data(), header), net::header_verdict::ok);
+  EXPECT_EQ(header.type, net::frame_type::request);
+  EXPECT_EQ(header.lane, serve::lane_class::feedback);
+  EXPECT_EQ(header.request_id, 99u);
+  data::trace_dataset decoded;
+  const net::request_info out = net::decode_request(
+      std::span<const std::uint8_t>(frame.data() + net::kHeaderSize,
+                                    header.payload_size),
+      decoded);
+  EXPECT_EQ(out.qubit, 0u);
+  EXPECT_EQ(out.engine, serve::engine_kind::fixed_q16);
+  EXPECT_EQ(out.deadline_seconds, 0.25);
+  ASSERT_EQ(decoded.size(), block.size());
+  ASSERT_EQ(decoded.samples_per_quadrature(), block.samples_per_quadrature());
+  for (std::size_t r = 0; r < block.size(); ++r) {
+    const auto a = block.trace(r);
+    const auto b = decoded.trace(r);
+    for (std::size_t c = 0; c < a.size(); ++c) {
+      ASSERT_EQ(a[c], b[c]) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(NetFrame, RequestDecodeRejectsInconsistentPayloads) {
+  auto& f = fixture();
+  const data::trace_dataset block = f.small_block(2);
+  const std::vector<std::uint8_t> frame =
+      net::encode_request(1, fixed_request(), serve::lane_class::bulk, block);
+  const std::span<const std::uint8_t> payload(
+      frame.data() + net::kHeaderSize, frame.size() - net::kHeaderSize);
+  data::trace_dataset sink;
+
+  // Truncated payload: size disagrees with shots × samples.
+  EXPECT_THROW(net::decode_request(payload.subspan(0, payload.size() - 4),
+                                   sink),
+               invalid_argument_error);
+  // Shorter than even the fixed prefix.
+  EXPECT_THROW(net::decode_request(payload.subspan(0, 8), sink),
+               invalid_argument_error);
+
+  std::vector<std::uint8_t> bad(payload.begin(), payload.end());
+  bad[4] = 7;  // unknown engine
+  EXPECT_THROW(net::decode_request(bad, sink), invalid_argument_error);
+  bad[4] = 0;
+  bad[5] = 1;  // reserved byte must be zero
+  EXPECT_THROW(net::decode_request(bad, sink), invalid_argument_error);
+}
+
+TEST(NetFrame, ResponseRoundTripFixedAndFloat) {
+  serve::readout_result result;
+  result.qubit = 0;
+  result.engine = serve::engine_kind::fixed_q16;
+  result.states = {1, 0, 1};
+  result.registers = {q16_16::from_double(1.5), q16_16::from_double(-0.25),
+                      q16_16::from_double(3.0)};
+  result.latency_seconds = 0.125;
+  result.model_version = 12;
+  std::vector<std::uint8_t> frame = net::encode_response(55, result);
+  net::frame_header header;
+  ASSERT_EQ(net::decode_header(frame.data(), header), net::header_verdict::ok);
+  EXPECT_EQ(header.type, net::frame_type::response);
+  net::response_view view = net::decode_response(
+      std::span<const std::uint8_t>(frame.data() + net::kHeaderSize,
+                                    header.payload_size));
+  EXPECT_EQ(view.status, serve::request_status::ok);
+  EXPECT_EQ(view.model_version, 12u);
+  EXPECT_EQ(view.latency_seconds, 0.125);
+  ASSERT_EQ(view.shots, 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(view.registers[r], result.registers[r].raw());
+    EXPECT_EQ(view.states[r], result.states[r]);
+  }
+
+  result.engine = serve::engine_kind::float_student;
+  result.registers.clear();
+  result.logits = {0.5f, -1.25f, 2.0f};
+  frame = net::encode_response(56, result);
+  ASSERT_EQ(net::decode_header(frame.data(), header), net::header_verdict::ok);
+  view = net::decode_response(
+      std::span<const std::uint8_t>(frame.data() + net::kHeaderSize,
+                                    header.payload_size));
+  ASSERT_EQ(view.logits.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(view.logits[r], result.logits[r]);
+  }
+
+  // Non-ok statuses carry no data rows.
+  result.status = serve::request_status::cancelled;
+  frame = net::encode_response(57, result);
+  ASSERT_EQ(net::decode_header(frame.data(), header), net::header_verdict::ok);
+  view = net::decode_response(
+      std::span<const std::uint8_t>(frame.data() + net::kHeaderSize,
+                                    header.payload_size));
+  EXPECT_EQ(view.status, serve::request_status::cancelled);
+  EXPECT_EQ(view.shots, 0u);
+  EXPECT_TRUE(view.states.empty());
+}
+
+TEST(NetFrame, ControlBusyErrorRoundTrip) {
+  std::vector<std::uint8_t> frame =
+      net::encode_busy(11, net::busy_reason::connection_bytes);
+  net::frame_header header;
+  ASSERT_EQ(net::decode_header(frame.data(), header), net::header_verdict::ok);
+  EXPECT_EQ(header.type, net::frame_type::busy);
+  EXPECT_EQ(net::decode_busy(std::span<const std::uint8_t>(
+                frame.data() + net::kHeaderSize, header.payload_size)),
+            net::busy_reason::connection_bytes);
+
+  frame = net::encode_error(12, net::error_code::oversize_frame, "too big");
+  ASSERT_EQ(net::decode_header(frame.data(), header), net::header_verdict::ok);
+  const net::error_view error = net::decode_error(std::span<const std::uint8_t>(
+      frame.data() + net::kHeaderSize, header.payload_size));
+  EXPECT_EQ(error.code, net::error_code::oversize_frame);
+  EXPECT_EQ(error.message, "too big");
+}
+
+// --- config / stats validation ---------------------------------------------
+
+TEST(NetConfig, ValidateRejectsEachBadField) {
+  const net::front_end_config good;
+  good.validate();
+  const auto rejects = [&](auto mutate) {
+    net::front_end_config c;
+    mutate(c);
+    EXPECT_THROW(c.validate(), invalid_argument_error);
+  };
+  rejects([](auto& c) { c.bind_address.clear(); });
+  rejects([](auto& c) { c.listen_backlog = 0; });
+  rejects([](auto& c) { c.max_connections = 0; });
+  rejects([](auto& c) { c.max_inflight_per_connection = 0; });
+  rejects([](auto& c) { c.max_inflight_bytes_per_connection = 0; });
+  rejects([](auto& c) { c.max_inflight = 0; });
+  rejects([](auto& c) { c.feedback_reserve = c.max_inflight; });
+  rejects([](auto& c) { c.read_idle_seconds = -1.0; });
+  rejects([](auto& c) { c.write_stall_seconds = -1.0; });
+  rejects([](auto& c) { c.max_write_queue_bytes = 0; });
+  rejects([](auto& c) { c.max_frame_payload = 8; });
+  rejects([](auto& c) { c.drain_timeout_seconds = -1.0; });
+  rejects([](auto& c) { c.poll_interval_seconds = 0.0; });
+}
+
+TEST(NetConfig, StatsValidateCatchesInconsistentCounters) {
+  net::front_end_stats s;
+  s.validate();  // all-zero is consistent
+  const auto rejects = [](auto mutate) {
+    net::front_end_stats s;
+    mutate(s);
+    EXPECT_THROW(s.validate(), invalid_argument_error);
+  };
+  rejects([](auto& s) { s.connections_closed = 1; });
+  rejects([](auto& s) {
+    s.connections_accepted = 2;
+    s.connections_closed = 2;
+    s.connections_evicted = 3;
+  });
+  rejects([](auto& s) {
+    s.connections_accepted = 3;
+    s.connections_closed = 1;
+    s.open_connections = 1;  // must be 2
+  });
+  rejects([](auto& s) { s.responses_sent = 1; });  // nothing admitted
+  rejects([](auto& s) {
+    s.requests_admitted = 2;
+    s.responses_sent = 1;  // one ticket unaccounted for
+  });
+  rejects([](auto& s) { s.cancels_received = 1; });  // with no frames at all
+}
+
+TEST(NetConfig, FromEnvAppliesAndRejectsOverrides) {
+  const auto with_env = [](const char* name, const char* value, auto body) {
+    ::setenv(name, value, 1);
+    body();
+    ::unsetenv(name);
+  };
+  with_env("KLINQ_LISTEN", "0.0.0.0:4242", [] {
+    const net::front_end_config c = net::front_end_config::from_env();
+    EXPECT_EQ(c.bind_address, "0.0.0.0");
+    EXPECT_EQ(c.port, 4242);
+  });
+  with_env("KLINQ_LISTEN", "4242", [] {  // bare port keeps the address
+    const net::front_end_config c = net::front_end_config::from_env();
+    EXPECT_EQ(c.bind_address, "127.0.0.1");
+    EXPECT_EQ(c.port, 4242);
+  });
+  with_env("KLINQ_NET_MAX_CONNECTIONS", "7", [] {
+    EXPECT_EQ(net::front_end_config::from_env().max_connections, 7u);
+  });
+  with_env("KLINQ_NET_READ_IDLE_SECONDS", "1.5", [] {
+    EXPECT_EQ(net::front_end_config::from_env().read_idle_seconds, 1.5);
+  });
+  with_env("KLINQ_NET_FEEDBACK_RESERVE", "3", [] {
+    EXPECT_EQ(net::front_end_config::from_env().feedback_reserve, 3u);
+  });
+  with_env("KLINQ_LISTEN", "127.0.0.1:notaport", [] {
+    EXPECT_THROW(net::front_end_config::from_env(), invalid_argument_error);
+  });
+  with_env("KLINQ_NET_MAX_INFLIGHT", "12oops", [] {
+    EXPECT_THROW(net::front_end_config::from_env(), invalid_argument_error);
+  });
+}
+
+// --- end-to-end serving -----------------------------------------------------
+
+TEST(NetServing, FixedResponseBitExactOverLoopback) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  net::client cli("127.0.0.1", front.port());
+  const std::uint64_t id = cli.send_request(fixed_request(), f.data.test);
+  const auto reply = cli.read_reply(id);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->header.type, net::frame_type::response);
+  const net::response_view view = net::decode_response(reply->payload);
+  expect_fixed_response(view, f.data.test);
+  EXPECT_EQ(view.model_version, 0u);  // static engine binding
+
+  const net::front_end_stats stats = front.stats();
+  stats.validate();
+  EXPECT_EQ(stats.requests_admitted, 1u);
+  EXPECT_EQ(stats.responses_sent, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(NetServing, FloatResponseBitExactOverLoopback) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  net::client cli("127.0.0.1", front.port());
+  net::request_info info = fixed_request();
+  info.engine = serve::engine_kind::float_student;
+  const std::uint64_t id = cli.send_request(info, f.data.test);
+  const auto reply = cli.read_reply(id);
+  ASSERT_TRUE(reply.has_value());
+  const net::response_view view = net::decode_response(reply->payload);
+  ASSERT_EQ(view.status, serve::request_status::ok);
+  ASSERT_EQ(view.engine, serve::engine_kind::float_student);
+  ASSERT_EQ(view.logits.size(), f.expected_logits.size());
+  for (std::size_t r = 0; r < view.logits.size(); ++r) {
+    ASSERT_EQ(view.logits[r], f.expected_logits[r]) << "row " << r;
+    ASSERT_EQ(view.states[r] != 0, f.expected_logits[r] >= 0.0f);
+  }
+}
+
+TEST(NetServing, PingPong) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  net::client cli("127.0.0.1", front.port());
+  cli.send_ping(42);
+  const auto frame = cli.read_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.type, net::frame_type::pong);
+  EXPECT_EQ(frame->header.request_id, 42u);
+}
+
+TEST(NetServing, FeedbackLaneBypassesCoalescingAndCancelWorksOverWire) {
+  auto& f = fixture();
+  // Coalescing parks small bulk requests, so the bulk request is
+  // deterministically held while the feedback request — which bypasses
+  // coalescing and dispatches urgent — completes immediately.
+  serve::readout_server server(f.engines(),
+                               {.shard_shots = 256, .coalesce_shots = 32});
+  net::tcp_front_end front(server);
+  net::client cli("127.0.0.1", front.port());
+  const data::trace_dataset block = f.small_block(8);
+
+  const std::uint64_t bulk_id =
+      cli.send_request(fixed_request(), block, serve::lane_class::bulk);
+  const std::uint64_t feedback_id =
+      cli.send_request(fixed_request(), block, serve::lane_class::feedback);
+
+  const auto feedback_reply = cli.read_reply(feedback_id);
+  ASSERT_TRUE(feedback_reply.has_value());
+  ASSERT_EQ(feedback_reply->header.type, net::frame_type::response);
+  expect_fixed_response(net::decode_response(feedback_reply->payload), block);
+  EXPECT_EQ(server.stats().feedback_requests, 1u);
+
+  // The bulk member is still parked — cancel it over the wire; the cancel
+  // flushes its batch and the terminal status comes back as a response.
+  cli.send_cancel(bulk_id);
+  const auto bulk_reply = cli.read_reply(bulk_id);
+  ASSERT_TRUE(bulk_reply.has_value());
+  ASSERT_EQ(bulk_reply->header.type, net::frame_type::response);
+  EXPECT_EQ(net::decode_response(bulk_reply->payload).status,
+            serve::request_status::cancelled);
+
+  const net::front_end_stats stats = front.stats();
+  stats.validate();
+  EXPECT_EQ(stats.requests_admitted, 2u);
+  EXPECT_EQ(stats.responses_sent, 2u);
+  EXPECT_EQ(stats.cancels_received, 1u);
+}
+
+// --- admission control and shedding ----------------------------------------
+
+TEST(NetAdmission, PerConnectionInflightQuotaShedsWithBusy) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::front_end_config cfg;
+  cfg.max_inflight_per_connection = 1;
+  net::tcp_front_end front(server, cfg);
+  net::client cli("127.0.0.1", front.port());
+  const data::trace_dataset block = f.small_block(4);
+
+  // Both frames in ONE send: the poll loop parses them under a single lock
+  // hold, so the completion of the first cannot race the admission check of
+  // the second — the quota rejection is deterministic.
+  std::vector<std::uint8_t> burst =
+      net::encode_request(1, fixed_request(), serve::lane_class::bulk, block);
+  const std::vector<std::uint8_t> second =
+      net::encode_request(2, fixed_request(), serve::lane_class::bulk, block);
+  burst.insert(burst.end(), second.begin(), second.end());
+  cli.send_bytes(burst);
+
+  const auto busy = cli.read_reply(2);
+  ASSERT_TRUE(busy.has_value());
+  ASSERT_EQ(busy->header.type, net::frame_type::busy);
+  EXPECT_EQ(net::decode_busy(busy->payload),
+            net::busy_reason::connection_inflight);
+
+  const auto ok = cli.read_reply(1);
+  ASSERT_TRUE(ok.has_value());
+  ASSERT_EQ(ok->header.type, net::frame_type::response);
+  expect_fixed_response(net::decode_response(ok->payload), block);
+
+  const net::front_end_stats stats = front.stats();
+  stats.validate();
+  EXPECT_EQ(stats.requests_admitted, 1u);
+  EXPECT_EQ(stats.busy_rejections, 1u);
+}
+
+TEST(NetAdmission, PerConnectionByteBudgetShedsWithBusy) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  const data::trace_dataset block = f.small_block(4);
+  const std::size_t payload_bytes = net::request_payload_size(
+      static_cast<std::uint32_t>(block.size()),
+      static_cast<std::uint32_t>(block.samples_per_quadrature()));
+  net::front_end_config cfg;
+  cfg.max_inflight_bytes_per_connection = payload_bytes;  // exactly one
+  net::tcp_front_end front(server, cfg);
+  net::client cli("127.0.0.1", front.port());
+
+  std::vector<std::uint8_t> burst =
+      net::encode_request(1, fixed_request(), serve::lane_class::bulk, block);
+  const std::vector<std::uint8_t> second =
+      net::encode_request(2, fixed_request(), serve::lane_class::bulk, block);
+  burst.insert(burst.end(), second.begin(), second.end());
+  cli.send_bytes(burst);
+
+  const auto busy = cli.read_reply(2);
+  ASSERT_TRUE(busy.has_value());
+  ASSERT_EQ(busy->header.type, net::frame_type::busy);
+  EXPECT_EQ(net::decode_busy(busy->payload),
+            net::busy_reason::connection_bytes);
+  const auto ok = cli.read_reply(1);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->header.type, net::frame_type::response);
+}
+
+TEST(NetAdmission, FeedbackReserveAdmitsFeedbackWhenBulkIsShed) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::front_end_config cfg;
+  cfg.max_inflight = 2;
+  cfg.feedback_reserve = 1;  // bulk may use 1 slot, feedback both
+  net::tcp_front_end front(server, cfg);
+  net::client cli("127.0.0.1", front.port());
+  const data::trace_dataset block = f.small_block(4);
+
+  std::vector<std::uint8_t> burst =
+      net::encode_request(1, fixed_request(), serve::lane_class::bulk, block);
+  const std::vector<std::uint8_t> bulk2 =
+      net::encode_request(2, fixed_request(), serve::lane_class::bulk, block);
+  const std::vector<std::uint8_t> feedback = net::encode_request(
+      3, fixed_request(), serve::lane_class::feedback, block);
+  burst.insert(burst.end(), bulk2.begin(), bulk2.end());
+  burst.insert(burst.end(), feedback.begin(), feedback.end());
+  cli.send_bytes(burst);
+
+  // Second bulk request hits the bulk budget (max_inflight − reserve = 1)…
+  const auto busy = cli.read_reply(2);
+  ASSERT_TRUE(busy.has_value());
+  ASSERT_EQ(busy->header.type, net::frame_type::busy);
+  EXPECT_EQ(net::decode_busy(busy->payload), net::busy_reason::server_busy);
+  // …while the feedback request takes the reserved slot.
+  const auto fb = cli.read_reply(3);
+  ASSERT_TRUE(fb.has_value());
+  EXPECT_EQ(fb->header.type, net::frame_type::response);
+  const auto first = cli.read_reply(1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->header.type, net::frame_type::response);
+
+  const net::front_end_stats stats = front.stats();
+  stats.validate();
+  EXPECT_EQ(stats.requests_admitted, 2u);
+  EXPECT_EQ(stats.busy_rejections, 1u);
+}
+
+TEST(NetAdmission, ConnectionCapShedsAtAccept) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::front_end_config cfg;
+  cfg.max_connections = 1;
+  net::tcp_front_end front(server, cfg);
+  net::client first("127.0.0.1", front.port());
+  first.send_ping(1);
+  ASSERT_TRUE(first.read_frame().has_value());  // first is fully registered
+
+  net::client second("127.0.0.1", front.port());
+  const auto frame = second.read_frame();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->header.type, net::frame_type::busy);
+  EXPECT_EQ(net::decode_busy(frame->payload), net::busy_reason::server_busy);
+  EXPECT_FALSE(second.read_frame(1.0).has_value());  // then closed
+
+  // The registered client keeps serving.
+  first.send_ping(2);
+  const auto pong = first.read_frame();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->header.type, net::frame_type::pong);
+  EXPECT_GE(front.stats().connections_rejected, 1u);
+}
+
+// --- hostile clients --------------------------------------------------------
+
+TEST(NetHostile, MalformedFrameKillsOnlyTheOffendingConnection) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  net::client healthy("127.0.0.1", front.port());
+  healthy.send_ping(1);
+  ASSERT_TRUE(healthy.read_frame().has_value());
+
+  net::client hostile("127.0.0.1", front.port());
+  std::vector<std::uint8_t> garbage(net::kHeaderSize, 0xAB);
+  hostile.send_bytes(garbage);
+  const auto error = hostile.read_frame();
+  ASSERT_TRUE(error.has_value());
+  ASSERT_EQ(error->header.type, net::frame_type::error);
+  EXPECT_EQ(net::decode_error(error->payload).code,
+            net::error_code::malformed_frame);
+  // goodbye, then EOF — reading to exhaustion must terminate.
+  while (hostile.read_frame(1.0).has_value()) {
+  }
+
+  // The healthy connection is untouched and results stay bit-exact.
+  const data::trace_dataset block = f.small_block(8);
+  const std::uint64_t id = healthy.send_request(fixed_request(), block);
+  const auto reply = healthy.read_reply(id);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->header.type, net::frame_type::response);
+  expect_fixed_response(net::decode_response(reply->payload), block);
+  EXPECT_GE(front.stats().malformed_frames, 1u);
+  front.stats().validate();
+}
+
+TEST(NetHostile, OversizeFrameIsRejectedWithTypedError) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::front_end_config cfg;
+  cfg.max_frame_payload = 4096;
+  net::tcp_front_end front(server, cfg);
+  net::client cli("127.0.0.1", front.port());
+  net::frame_header header;
+  header.type = net::frame_type::request;
+  header.request_id = 5;
+  header.payload_size = 1u << 20;  // over the bound; no payload follows
+  std::uint8_t bytes[net::kHeaderSize];
+  net::encode_header(header, bytes);
+  cli.send_bytes(bytes, net::kHeaderSize);
+  const auto error = cli.read_frame();
+  ASSERT_TRUE(error.has_value());
+  ASSERT_EQ(error->header.type, net::frame_type::error);
+  const net::error_view view = net::decode_error(error->payload);
+  EXPECT_EQ(view.code, net::error_code::oversize_frame);
+  EXPECT_EQ(error->header.request_id, 5u);
+}
+
+TEST(NetHostile, TruncatedFrameThenDisconnectLeavesServerServing) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  {
+    net::client cli("127.0.0.1", front.port());
+    const std::vector<std::uint8_t> golden = net::encode_request(
+        1, fixed_request(), serve::lane_class::bulk, f.small_block(4));
+    cli.send_bytes(golden.data(), 10);  // half a header, then vanish
+  }
+  ASSERT_TRUE(wait_until([&] { return front.stats().open_connections == 0; }));
+  EXPECT_EQ(front.stats().requests_admitted, 0u);
+
+  net::client cli("127.0.0.1", front.port());
+  cli.send_ping(9);
+  ASSERT_TRUE(cli.read_frame().has_value());
+  front.stats().validate();
+}
+
+TEST(NetHostile, GarbageAfterValidFrameStillReconciles) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  net::client cli("127.0.0.1", front.port());
+  std::vector<std::uint8_t> bytes = net::encode_request(
+      1, fixed_request(), serve::lane_class::bulk, f.small_block(4));
+  bytes.resize(bytes.size() + net::kHeaderSize, 0xEE);  // then garbage
+  cli.send_bytes(bytes);
+
+  // The valid request is admitted; the garbage kills the connection. The
+  // in-flight result is then either answered (if it completed before the
+  // close) or dropped — but never leaked: the accounting reconciles exactly.
+  bool saw_error = false;
+  while (const auto frame = cli.read_frame(2.0)) {
+    if (frame->header.type == net::frame_type::error) saw_error = true;
+  }
+  EXPECT_TRUE(saw_error);
+  ASSERT_TRUE(wait_until([&] {
+    const net::front_end_stats s = front.stats();
+    return s.inflight == 0 &&
+           s.responses_sent + s.results_dropped == s.requests_admitted;
+  }));
+  const net::front_end_stats stats = front.stats();
+  stats.validate();
+  EXPECT_EQ(stats.requests_admitted, 1u);
+}
+
+TEST(NetHostile, GoldenFrameByteMutationSweepIsolatesEachConnection) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  const data::trace_dataset block = f.small_block(2);
+  const std::vector<std::uint8_t> golden =
+      net::encode_request(3, fixed_request(), serve::lane_class::bulk, block);
+
+  // Header bytes: every mutation must be detected (magic/CRC/version/type)
+  // and answered with a typed error before the connection closes.
+  for (std::size_t byte = 0; byte < net::kHeaderSize; ++byte) {
+    std::vector<std::uint8_t> mutated = golden;
+    mutated[byte] ^= 0xFF;
+    net::client cli("127.0.0.1", front.port());
+    cli.send_bytes(mutated);
+    const auto frame = cli.read_frame();
+    ASSERT_TRUE(frame.has_value()) << "header byte " << byte;
+    EXPECT_EQ(frame->header.type, net::frame_type::error)
+        << "header byte " << byte;
+    while (cli.read_frame(1.0).has_value()) {
+    }
+  }
+  // Payload prefix bytes: a mutation either fails decode (typed error) or
+  // yields a well-formed — if semantically different — request that still
+  // resolves with a response. Nothing may hang or kill the server.
+  for (std::size_t byte = net::kHeaderSize;
+       byte < net::kHeaderSize + net::kRequestPayloadHeaderSize; ++byte) {
+    std::vector<std::uint8_t> mutated = golden;
+    mutated[byte] ^= 0xFF;
+    net::client cli("127.0.0.1", front.port());
+    cli.send_bytes(mutated);
+    const auto frame = cli.read_reply(3);
+    ASSERT_TRUE(frame.has_value()) << "payload byte " << byte;
+    EXPECT_TRUE(frame->header.type == net::frame_type::error ||
+                frame->header.type == net::frame_type::response)
+        << "payload byte " << byte;
+  }
+
+  // After the whole sweep, a control request on a fresh connection is
+  // answered bit-exact — the server survived every mutation.
+  net::client cli("127.0.0.1", front.port());
+  const std::uint64_t id = cli.send_request(fixed_request(), block);
+  const auto reply = cli.read_reply(id);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->header.type, net::frame_type::response);
+  expect_fixed_response(net::decode_response(reply->payload), block);
+  ASSERT_TRUE(wait_until([&] { return front.stats().inflight == 0; }));
+  front.stats().validate();
+}
+
+TEST(NetHostile, SlowLorisConnectionIsEvicted) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::front_end_config cfg;
+  cfg.read_idle_seconds = 0.05;
+  cfg.poll_interval_seconds = 0.01;
+  net::tcp_front_end front(server, cfg);
+  net::client cli("127.0.0.1", front.port());
+  const std::uint8_t trickle[3] = {0x4B, 0x4C, 0x4E};  // a header, slowly…
+  cli.send_bytes(trickle, sizeof(trickle));
+  // …and then silence: the idle deadline must evict us.
+  EXPECT_FALSE(cli.read_frame(3.0).has_value());
+  ASSERT_TRUE(
+      wait_until([&] { return front.stats().connections_evicted >= 1; }));
+  front.stats().validate();
+}
+
+// --- disconnect reconciliation ---------------------------------------------
+
+TEST(NetReconcile, DisconnectMidRequestDropsTheResultCounted) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  fault::disarm_all();
+  // Stall the completion path so the request is still unanswered when the
+  // client vanishes.
+  fault::arm_from_string("net.complete:delay_ms=400:1.0:3");
+  {
+    net::client cli("127.0.0.1", front.port());
+    cli.send_request(fixed_request(), f.small_block(8));
+    // Give the poll loop time to parse and admit before disconnecting.
+    ASSERT_TRUE(wait_until([&] { return front.stats().requests_admitted == 1; }));
+  }  // client destructor closes the socket mid-request
+  ASSERT_TRUE(wait_until([&] { return front.stats().results_dropped == 1; }));
+  fault::disarm_all();
+  const net::front_end_stats stats = front.stats();
+  stats.validate();
+  EXPECT_EQ(stats.responses_sent, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.open_connections, 0u);
+}
+
+// --- fault sites ------------------------------------------------------------
+
+TEST(NetFault, AcceptFaultDropsTheConnectionThenRecovers) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  fault::disarm_all();
+  fault::arm_from_string("net.accept:throw:1.0:11");
+  {
+    net::client cli("127.0.0.1", front.port());
+    EXPECT_FALSE(cli.read_frame(1.0).has_value());  // closed before service
+  }
+  fault::disarm_all();
+  net::client cli("127.0.0.1", front.port());
+  cli.send_ping(1);
+  EXPECT_TRUE(cli.read_frame().has_value());
+}
+
+TEST(NetFault, ReadDropFaultDiscardsBytesThenRecovers) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  fault::disarm_all();
+  fault::arm_from_string("net.read:drop:1.0:12");
+  net::client cli("127.0.0.1", front.port());
+  cli.send_ping(1);
+  EXPECT_FALSE(cli.read_frame(0.4).has_value());  // the ping never arrived
+  fault::disarm_all();
+  cli.send_ping(2);
+  const auto pong = cli.read_frame();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->header.request_id, 2u);
+}
+
+TEST(NetFault, WriteFaultEvictsTheConnection) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  net::client cli("127.0.0.1", front.port());
+  cli.send_ping(1);
+  ASSERT_TRUE(cli.read_frame().has_value());  // connection is live
+  fault::arm_from_string("net.write:throw:1.0:13");
+  cli.send_ping(2);
+  EXPECT_FALSE(cli.read_frame(2.0).has_value());  // evicted, EOF
+  fault::disarm_all();
+  ASSERT_TRUE(
+      wait_until([&] { return front.stats().connections_evicted >= 1; }));
+}
+
+TEST(NetFault, DecodeFaultAnswersTypedErrorAndCloses) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  fault::disarm_all();
+  fault::arm_from_string("net.decode:throw:1.0:14");
+  net::client cli("127.0.0.1", front.port());
+  const std::uint64_t id = cli.send_request(fixed_request(), f.small_block(4));
+  const auto error = cli.read_reply(id);
+  ASSERT_TRUE(error.has_value());
+  ASSERT_EQ(error->header.type, net::frame_type::error);
+  EXPECT_EQ(net::decode_error(error->payload).code,
+            net::error_code::decode_error);
+  fault::disarm_all();
+  EXPECT_EQ(front.stats().requests_admitted, 0u);
+  front.stats().validate();
+}
+
+// --- graceful shutdown ------------------------------------------------------
+
+TEST(NetShutdown, GracefulDrainAnswersGoodbyeAndReconciles) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::front_end_config cfg;
+  cfg.drain_timeout_seconds = 1.0;
+  net::tcp_front_end front(server, cfg);
+  net::client cli("127.0.0.1", front.port());
+  const data::trace_dataset block = f.small_block(8);
+  const std::uint64_t id = cli.send_request(fixed_request(), block);
+  const auto reply = cli.read_reply(id);
+  ASSERT_TRUE(reply.has_value());
+
+  front.shutdown();
+  front.shutdown();  // idempotent
+
+  // The client observes an orderly goodbye, then EOF.
+  bool saw_goodbye = false;
+  while (const auto frame = cli.read_frame(1.0)) {
+    if (frame->header.type == net::frame_type::goodbye) saw_goodbye = true;
+  }
+  EXPECT_TRUE(saw_goodbye);
+
+  const net::front_end_stats stats = front.stats();
+  stats.validate();
+  EXPECT_EQ(stats.requests_admitted, 1u);
+  EXPECT_EQ(stats.responses_sent, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.open_connections, 0u);
+
+  // The borrowed server is returned in a reusable state: its doorbell is
+  // uninstalled and direct submits work again.
+  const serve::ticket t =
+      server.submit({0, &block, serve::engine_kind::fixed_q16});
+  EXPECT_EQ(server.wait(t).status, serve::request_status::ok);
+}
+
+}  // namespace

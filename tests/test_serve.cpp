@@ -1280,4 +1280,274 @@ TEST(ObsServe, FullStackPrometheusDumpLintsClean) {
       << (problems.empty() ? "" : problems.front());
 }
 
+// --- latency classes (feedback vs bulk lane) --------------------------------
+
+TEST(ServeLane, FeedbackBypassesCoalescingAndIsCounted) {
+  auto& f = fixture();
+  serve::readout_server server(
+      f.engines(), {.shard_shots = 256, .coalesce_shots = 64});
+  const auto blocks = split_blocks(f.data[0].test, 16);
+
+  // A small bulk request parks in its coalescing batch…
+  serve::readout_request bulk{0, &blocks[0], serve::engine_kind::fixed_q16};
+  const serve::ticket bulk_ticket = server.submit(bulk);
+  EXPECT_FALSE(server.poll(bulk_ticket));
+
+  // …while an equally small feedback request bypasses the batch entirely
+  // and completes without anything flushing it.
+  serve::readout_request feedback{0, &blocks[1],
+                                  serve::engine_kind::fixed_q16};
+  feedback.lane = serve::lane_class::feedback;
+  const serve::ticket feedback_ticket = server.submit(feedback);
+  EXPECT_TRUE(server.poll(feedback_ticket));
+  const serve::readout_result result = server.wait(feedback_ticket);
+  EXPECT_EQ(result.status, serve::request_status::ok);
+  // Bit-exact against the serial path for those rows.
+  std::vector<q16_16> expected(blocks[1].size());
+  f.hardware[0].logits(blocks[1], expected);
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    ASSERT_EQ(result.registers[r].raw(), expected[r].raw()) << "row " << r;
+  }
+
+  serve::server_stats stats = server.stats();
+  stats.validate();
+  EXPECT_EQ(stats.feedback_requests, 1u);
+  EXPECT_EQ(stats.requests_coalesced, 1u);  // only the bulk member parked
+  EXPECT_GT(stats.feedback_p99_seconds, 0.0);
+
+  EXPECT_EQ(server.wait(bulk_ticket).status, serve::request_status::ok);
+  server.stats().validate();
+}
+
+TEST(ServeLane, FeedbackDefaultDeadlineAppliesOnlyToFeedback) {
+  auto& f = fixture();
+  // The feedback lane gets its own (impossibly tight) default deadline;
+  // bulk requests must be untouched by it.
+  serve::readout_server server(
+      f.engines(), {.feedback_default_deadline_seconds = 1e-12});
+  serve::readout_request feedback{0, &f.data[0].test,
+                                  serve::engine_kind::fixed_q16};
+  feedback.lane = serve::lane_class::feedback;
+  const serve::ticket ft = server.submit(feedback);
+  EXPECT_EQ(server.wait(ft).status, serve::request_status::timed_out);
+
+  const serve::ticket bt =
+      server.submit({0, &f.data[0].test, serve::engine_kind::fixed_q16});
+  EXPECT_EQ(server.wait(bt).status, serve::request_status::ok);
+}
+
+TEST(ServeLane, ConfigRejectsBadFeedbackDeadline) {
+  auto& f = fixture();
+  serve::server_config config;
+  config.feedback_default_deadline_seconds = -1.0;
+  EXPECT_THROW(serve::readout_server(f.engines(), config),
+               invalid_argument_error);
+  config.feedback_default_deadline_seconds =
+      std::numeric_limits<double>::infinity();
+  EXPECT_THROW(serve::readout_server(f.engines(), config),
+               invalid_argument_error);
+}
+
+TEST(ServeLane, StatsValidateCatchesInconsistentCounters) {
+  serve::server_stats s;
+  s.validate();  // all-zero is consistent
+  const auto rejects = [](auto mutate) {
+    serve::server_stats s;
+    mutate(s);
+    EXPECT_THROW(s.validate(), invalid_argument_error);
+  };
+  rejects([](auto& s) { s.requests_completed = 1; });  // nothing submitted
+  rejects([](auto& s) {
+    s.requests_submitted = 2;
+    s.requests_completed = 1;
+    s.cancelled_requests = 2;  // terminal statuses exceed completions
+  });
+  rejects([](auto& s) { s.shots_completed = 10; });
+  rejects([](auto& s) { s.requests_coalesced = 1; });  // exceeds submitted
+  rejects([](auto& s) {
+    s.requests_submitted = 4;
+    s.packed_requests = 2;  // packed without coalesced
+  });
+  rejects([](auto& s) { s.feedback_requests = 1; });
+  rejects([](auto& s) { s.inflight = 1; });
+  rejects([](auto& s) { s.latency_p50_seconds = -1.0; });
+  rejects([](auto& s) {
+    s.feedback_p50_seconds = 2.0;
+    s.feedback_p99_seconds = 1.0;  // p50 above p99
+  });
+}
+
+// --- completion doorbell ----------------------------------------------------
+
+TEST(ServeDoorbell, FiresExactlyOncePerTicketAtTerminalStatus) {
+  auto& f = fixture();
+  std::mutex mutex;
+  std::vector<std::pair<std::uint64_t, serve::request_status>> events;
+  serve::server_config config;
+  config.shard_shots = 256;
+  config.coalesce_shots = 64;
+  config.on_complete = [&](serve::ticket t, serve::request_status status) {
+    const std::lock_guard lock(mutex);
+    events.emplace_back(t.id, status);
+  };
+  serve::readout_server server(f.engines(), config);
+  const auto blocks = split_blocks(f.data[0].test, 16);
+
+  // ok (direct dispatch), cancelled (parked member), and an empty request:
+  // every terminal path must ring the doorbell exactly once.
+  const serve::ticket ok_ticket =
+      server.submit({0, &f.data[0].test, serve::engine_kind::fixed_q16});
+  const serve::ticket parked =
+      server.submit({0, &blocks[0], serve::engine_kind::fixed_q16});
+  EXPECT_TRUE(server.cancel(parked));
+  const data::trace_dataset empty;
+  const serve::ticket zero_shot =
+      server.submit({0, &empty, serve::engine_kind::fixed_q16});
+  server.drain();
+
+  {
+    const std::lock_guard lock(mutex);
+    ASSERT_EQ(events.size(), 3u);
+    const auto status_of = [&](serve::ticket t) {
+      for (const auto& [id, status] : events) {
+        if (id == t.id) return status;
+      }
+      return serve::request_status::failed;
+    };
+    EXPECT_EQ(status_of(ok_ticket), serve::request_status::ok);
+    EXPECT_EQ(status_of(parked), serve::request_status::cancelled);
+    EXPECT_EQ(status_of(zero_shot), serve::request_status::ok);
+  }
+  server.wait(ok_ticket);
+  server.wait(parked);
+  server.wait(zero_shot);
+}
+
+TEST(ServeDoorbell, SetOnCompleteRequiresQuiescence) {
+  auto& f = fixture();
+  serve::readout_server server(
+      f.engines(), {.shard_shots = 256, .coalesce_shots = 64});
+  const auto blocks = split_blocks(f.data[0].test, 16);
+  const serve::ticket parked =
+      server.submit({0, &blocks[0], serve::engine_kind::fixed_q16});
+  // An unresolved (parked) ticket makes the swap illegal…
+  EXPECT_THROW(server.set_on_complete([](serve::ticket,
+                                         serve::request_status) {}),
+               invalid_argument_error);
+  server.cancel(parked);
+  server.wait(parked);
+  // …and consuming it makes the same swap legal.
+  std::atomic<int> rings{0};
+  server.set_on_complete(
+      [&](serve::ticket, serve::request_status) { ++rings; });
+  const serve::ticket t =
+      server.submit({0, &blocks[1], serve::engine_kind::fixed_q16});
+  server.cancel(t);
+  server.wait(t);
+  EXPECT_EQ(rings.load(), 1);
+  server.set_on_complete({});  // clearing is also a swap: needs quiescence
+}
+
+// --- cancel vs batch-flush teardown race (regression hammer) ----------------
+
+TEST(ServeTeardown, CancelDuringFlushHammer) {
+  auto& f = fixture();
+  // cancel() racing drain()/destruction while coalesced batches flush: the
+  // post-completion demote tail used to touch server members the destructor
+  // was already tearing down. Run the whole lifecycle repeatedly with a
+  // concurrent canceller; TSAN (the CI thread-sanitizer job) turns any
+  // regression into a hard failure.
+  const auto blocks = split_blocks(f.data[0].test, 12);
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    std::vector<serve::ticket> tickets;
+    auto server = std::make_unique<serve::readout_server>(
+        f.engines(),
+        serve::server_config{.shard_shots = 256, .coalesce_shots = 64});
+    for (std::size_t b = 0; b < 4 && b < blocks.size(); ++b) {
+      tickets.push_back(
+          server->submit({0, &blocks[b], serve::engine_kind::fixed_q16}));
+    }
+    // The canceller races drain(): cancel() can land exactly while drain's
+    // flush is dispatching the parked batches these tickets sit in.
+    std::thread canceller([&] {
+      for (const serve::ticket t : tickets) {
+        server->cancel(t);
+      }
+    });
+    server->drain();
+    canceller.join();
+    server->stats().validate();
+    if (iteration % 2 == 0) {
+      for (const serve::ticket t : tickets) {
+        const serve::request_status status = server->wait(t).status;
+        EXPECT_TRUE(status == serve::request_status::ok ||
+                    status == serve::request_status::cancelled);
+      }
+    }
+    server.reset();  // odd iterations: destroy with unconsumed tickets
+  }
+}
+
+TEST(ServeTeardown, DrainDestroyCyclesStayConsistent) {
+  auto& f = fixture();
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    serve::readout_server server(
+        f.engines(), {.shard_shots = 128, .coalesce_shots = 32});
+    const auto blocks = split_blocks(f.data[0].test, 16);
+    for (std::size_t b = 0; b < 3; ++b) {
+      server.submit({0, &blocks[b], serve::engine_kind::fixed_q16});
+    }
+    server.drain();
+    const serve::server_stats stats = server.stats();
+    stats.validate();
+    EXPECT_EQ(stats.requests_completed, 3u);
+    // Destruction with unconsumed-but-completed tickets must be clean.
+  }
+}
+
+// --- urgent submission (the feedback lane's scheduling hook) ----------------
+
+TEST(ThreadPool, SubmitUrgentRunsInlineOnWorkerlessPool) {
+  thread_pool pool(1);  // spawns zero background workers
+  ASSERT_EQ(pool.worker_count(), 0u);
+  bool ran = false;
+  pool.submit_urgent([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, SubmitUrgentJumpsTheQueue) {
+  thread_pool pool(2);
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::atomic<bool> release{false};
+  std::atomic<int> blocked{0};
+  // Saturate every worker so subsequent submits genuinely queue.
+  for (std::size_t w = 0; w < pool.worker_count(); ++w) {
+    pool.submit([&] {
+      ++blocked;
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (blocked.load() < static_cast<int>(pool.worker_count())) {
+    std::this_thread::yield();
+  }
+  const auto record = [&](int id) {
+    const std::lock_guard lock(order_mutex);
+    order.push_back(id);
+  };
+  pool.submit([&, record] { record(1); });
+  pool.submit([&, record] { record(2); });
+  pool.submit_urgent([&, record] { record(0); });  // enqueued last, runs first
+  release = true;
+  for (;;) {
+    {
+      const std::lock_guard lock(order_mutex);
+      if (order.size() == 3) break;
+    }
+    std::this_thread::yield();
+  }
+  const std::lock_guard lock(order_mutex);
+  EXPECT_EQ(order.front(), 0) << "urgent task did not jump the queue";
+}
+
 }  // namespace

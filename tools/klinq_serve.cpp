@@ -32,10 +32,26 @@
 // last-known-good; the faults then disarm and the tail of the stream is
 // verified bit-clean on the rolled-back model. Exits non-zero unless the
 // rollback happened and recovery traffic spot-checks clean.
+//
+// Listen mode (--listen): serve the same workload over loopback TCP through
+// klinq::net::tcp_front_end instead of in-process tickets — every request
+// round-trips the wire protocol and is spot-checked against the serial
+// path. Front-end limits come from KLINQ_LISTEN / KLINQ_NET_* (see README);
+// --port overrides the port.
+//
+// Network chaos smoke (--listen --chaos): hostile loopback clients — a 2x
+// overload burst, malformed frames, a slow-loris half-frame, a disconnect
+// mid-request, and an armed net.accept fault — then a graceful drain. Exits
+// non-zero unless ticket accounting reconciles exactly (front_end_stats and
+// server_stats validate, zero inflight, every admitted request answered or
+// dropped-with-counter) and the healthy client was served throughout.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "klinq/fault/fault.hpp"
@@ -46,6 +62,8 @@
 #include "klinq/common/thread_pool.hpp"
 #include "klinq/hw/fixed_discriminator.hpp"
 #include "klinq/kd/distiller.hpp"
+#include "klinq/net/client.hpp"
+#include "klinq/net/tcp_front_end.hpp"
 #include "klinq/obs/emitter.hpp"
 #include "klinq/obs/exposition.hpp"
 #include "klinq/obs/fault_mirror.hpp"
@@ -136,6 +154,343 @@ int run_admin(const std::string& directory, const std::string& command) {
   return 0;
 }
 
+/// Polls `predicate` until true or `timeout_seconds` elapses.
+bool wait_for(const std::function<bool()>& predicate,
+              double timeout_seconds) {
+  stopwatch timer;
+  while (!predicate()) {
+    if (timer.seconds() > timeout_seconds) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+/// One pass/fail line per smoke assertion; the process exit code is the AND
+/// of them all.
+struct smoke_checker {
+  bool ok = true;
+  void check(bool condition, const char* what) {
+    std::printf("  %-56s %s\n", what, condition ? "ok" : "FAIL");
+    if (!condition) ok = false;
+  }
+};
+
+net::request_info make_request_info(std::size_t qubit,
+                                    serve::engine_kind engine,
+                                    const data::trace_dataset& block) {
+  net::request_info info;
+  info.qubit = static_cast<std::uint32_t>(qubit);
+  info.engine = engine;
+  info.samples_per_quadrature =
+      static_cast<std::uint32_t>(block.samples_per_quadrature());
+  info.shots = static_cast<std::uint32_t>(block.size());
+  return info;
+}
+
+/// --listen without --chaos: the standard streaming workload, but every
+/// request round-trips loopback TCP through the front end.
+int run_listen_stream(serve::readout_server& server,
+                      const std::vector<qsim::qubit_dataset>& data,
+                      const std::vector<kd::student_model>& students,
+                      const std::vector<hw::fixed_discriminator<fx::q16_16>>&
+                          hardware,
+                      serve::engine_kind engine, std::size_t rounds,
+                      obs::metric_registry& metrics, std::uint16_t port) {
+  net::front_end_config config = net::front_end_config::from_env();
+  if (port != 0) config.port = port;
+  config.metrics = &metrics;
+  net::tcp_front_end front_end(server, config);
+  std::printf("listening on %s:%u\n", config.bind_address.c_str(),
+              front_end.port());
+
+  const std::size_t n_qubits = data.size();
+  net::client client("127.0.0.1", front_end.port());
+  stopwatch timer;
+  std::size_t mismatches = 0;
+  std::size_t responses = 0;
+  std::uint64_t shots = 0;
+  std::vector<std::uint64_t> window;
+  const std::size_t max_window =
+      std::min<std::size_t>(config.max_inflight_per_connection, 8);
+  const auto consume_oldest = [&] {
+    const std::uint64_t id = window.front();
+    window.erase(window.begin());
+    const std::optional<net::client_frame> reply = client.read_reply(id);
+    KLINQ_REQUIRE(reply.has_value(), "--listen: connection lost mid-stream");
+    KLINQ_REQUIRE(reply->header.type == net::frame_type::response,
+                  "--listen: request was shed (raise KLINQ_NET_* quotas)");
+    const net::response_view view = net::decode_response(reply->payload);
+    if (view.status != serve::request_status::ok) return;
+    ++responses;
+    shots += view.shots;
+    // Spot-check the first decision of every block against the serial
+    // per-qubit path (ids are assigned round-robin over qubits).
+    const std::size_t qubit = static_cast<std::size_t>(id - 1) % n_qubits;
+    const auto& ds = data[qubit].test;
+    const bool serial =
+        engine == serve::engine_kind::fixed_q16
+            ? !hardware[qubit]
+                   .logit(ds.trace(0), ds.samples_per_quadrature())
+                   .sign_bit()
+            : students[qubit].logit(ds.trace(0),
+                                    ds.samples_per_quadrature()) >= 0.0f;
+    if ((view.states[0] != 0) != serial) ++mismatches;
+  };
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      while (window.size() >= max_window) consume_oldest();
+      window.push_back(client.send_request(
+          make_request_info(q, engine, data[q].test), data[q].test));
+    }
+  }
+  while (!window.empty()) consume_oldest();
+  const double elapsed = timer.seconds();
+  client.send_goodbye();
+  client.close();
+  front_end.shutdown();
+
+  const net::front_end_stats fe_stats = front_end.stats();
+  fe_stats.validate();
+  std::printf(
+      "\nserved %zu responses / %llu shots over TCP in %.3f s\n"
+      "  throughput  %.0f shots/s\n"
+      "  front end   %llu frames in / %llu out, %llu bytes in / %llu out\n"
+      "  spot-check  %s\n",
+      responses, static_cast<unsigned long long>(shots), elapsed,
+      static_cast<double>(shots) / elapsed,
+      static_cast<unsigned long long>(fe_stats.frames_received),
+      static_cast<unsigned long long>(fe_stats.frames_sent),
+      static_cast<unsigned long long>(fe_stats.bytes_received),
+      static_cast<unsigned long long>(fe_stats.bytes_sent),
+      mismatches == 0 ? "all decisions match the serial path"
+                      : "MISMATCH vs serial path");
+  return mismatches == 0 ? 0 : 1;
+}
+
+/// --listen --chaos: the network chaos smoke. Hostile loopback clients hit
+/// a deliberately small front end; exits non-zero unless ticket accounting
+/// reconciles exactly and a healthy client is served throughout.
+int run_listen_chaos(serve::readout_server& server,
+                     const std::vector<qsim::qubit_dataset>& data,
+                     serve::engine_kind engine, obs::metric_registry& metrics,
+                     std::uint16_t port) {
+  net::front_end_config config;
+  config.port = port;
+  config.max_connections = 8;
+  config.max_inflight_per_connection = 4;
+  config.max_inflight = 8;
+  config.feedback_reserve = 2;
+  config.read_idle_seconds = 0.25;   // slow-loris eviction, fast
+  config.write_stall_seconds = 2.0;
+  config.poll_interval_seconds = 0.02;
+  config.drain_timeout_seconds = 5.0;
+  config.metrics = &metrics;
+  net::tcp_front_end front_end(server, config);
+  const std::uint16_t bound = front_end.port();
+  std::printf("net chaos smoke on 127.0.0.1:%u\n", bound);
+  smoke_checker sc;
+
+  const std::size_t n_qubits = data.size();
+  std::vector<std::size_t> rows(std::min<std::size_t>(32, data[0].test.size()));
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const data::trace_dataset block = data[0].test.subset(rows);
+  const auto request_ok = [&](net::client& c, std::size_t qubit,
+                              serve::lane_class lane) {
+    const std::uint64_t id = c.send_request(
+        make_request_info(qubit, engine, block), block, lane);
+    const std::optional<net::client_frame> reply = c.read_reply(id);
+    if (!reply || reply->header.type != net::frame_type::response) {
+      return false;
+    }
+    const net::response_view view = net::decode_response(reply->payload);
+    return view.status == serve::request_status::ok &&
+           view.shots == block.size();
+  };
+
+  // Phase checks use short-lived clients: with read_idle_seconds this small
+  // the front end reaps any connection that idles between phases, which is
+  // itself part of the defense under test.
+  {
+    net::client healthy("127.0.0.1", bound);
+    std::size_t served = 0;
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+      if (request_ok(healthy, q, serve::lane_class::bulk)) ++served;
+    }
+    sc.check(served == n_qubits, "baseline: every request answered ok");
+    sc.check(request_ok(healthy, 0, serve::lane_class::feedback),
+             "feedback-lane request served");
+    healthy.send_goodbye();
+  }
+
+  {
+    // Overload at 2x the per-connection quota, blasted without reading.
+    net::client overload("127.0.0.1", bound);
+    const std::size_t quota = config.max_inflight_per_connection;
+    std::vector<std::uint8_t> burst;
+    for (std::size_t i = 0; i < 2 * quota; ++i) {
+      const std::vector<std::uint8_t> bytes =
+          net::encode_request(100 + i, make_request_info(0, engine, block),
+                              serve::lane_class::bulk, block);
+      burst.insert(burst.end(), bytes.begin(), bytes.end());
+    }
+    overload.send_bytes(burst);
+    std::size_t served = 0;
+    std::size_t shed = 0;
+    for (std::size_t i = 0; i < 2 * quota; ++i) {
+      const std::optional<net::client_frame> reply =
+          overload.read_reply(100 + i);
+      if (!reply) break;
+      if (reply->header.type == net::frame_type::response) ++served;
+      if (reply->header.type == net::frame_type::busy) ++shed;
+    }
+    sc.check(served + shed == 2 * quota,
+             "overload at 2x: every request answered");
+    sc.check(shed >= 1 && served >= quota,
+             "overload at 2x: excess shed with retriable busy");
+  }
+
+  {
+    // Malformed frame: killed with a typed error; only that connection.
+    net::client hostile("127.0.0.1", bound);
+    std::vector<std::uint8_t> garbage(48, 0xA5);
+    hostile.send_bytes(garbage);
+    bool got_error = false;
+    while (const std::optional<net::client_frame> frame =
+               hostile.read_frame(2.0)) {
+      if (frame->header.type == net::frame_type::error) got_error = true;
+    }
+    sc.check(got_error, "malformed frame answered with typed error");
+    net::client bystander("127.0.0.1", bound);
+    sc.check(request_ok(bystander, 0, serve::lane_class::bulk),
+             "healthy client survives the malformed peer");
+    bystander.send_goodbye();
+  }
+
+  {
+    // Slow loris: half a header, then silence; must be evicted.
+    const std::uint64_t evicted_before =
+        front_end.stats().connections_evicted;
+    net::client loris("127.0.0.1", bound);
+    const std::uint8_t half_header[3] = {0x4B, 0x4C, 0x4E};
+    loris.send_bytes(half_header, sizeof(half_header));
+    sc.check(wait_for(
+                 [&] {
+                   return front_end.stats().connections_evicted >
+                          evicted_before;
+                 },
+                 3.0),
+             "slow-loris connection evicted");
+  }
+
+  {
+    // Disconnect mid-request: a delayed completion finds the client gone;
+    // the result must be dropped with a counter, never leaked.
+    const net::front_end_stats before = front_end.stats();
+    fault::arm_from_string("net.complete:delay_ms=300:1.0:1");
+    net::client vanisher("127.0.0.1", bound);
+    vanisher.send_request(make_request_info(0, engine, block), block);
+    const bool admitted = wait_for(
+        [&] {
+          return front_end.stats().requests_admitted >
+                 before.requests_admitted;
+        },
+        3.0);
+    vanisher.close();
+    const bool dropped = wait_for(
+        [&] {
+          return front_end.stats().results_dropped > before.results_dropped;
+        },
+        3.0);
+    fault::disarm_all();
+    sc.check(admitted && dropped,
+             "disconnect mid-request drops the result, counted");
+  }
+
+  {
+    // net.accept fault: the next connection is dropped at accept; once
+    // disarmed, fresh connections serve again.
+    fault::arm_from_string("net.accept:throw:1.0:2");
+    net::client victim("127.0.0.1", bound);
+    const bool dropped = !victim.read_frame(2.0);
+    fault::disarm_all();
+    net::client recovered("127.0.0.1", bound);
+    sc.check(dropped && request_ok(recovered, 0, serve::lane_class::bulk),
+             "net.accept fault drops one connect, then recovers");
+    recovered.send_goodbye();
+  }
+
+  {
+    // Graceful drain: a live witness gets a goodbye frame, then EOF.
+    net::client witness("127.0.0.1", bound);
+    witness.send_ping(1);
+    const std::optional<net::client_frame> pong = witness.read_frame(2.0);
+    const bool pinged =
+        pong && pong->header.type == net::frame_type::pong;
+    std::thread drainer([&] { front_end.shutdown(); });
+    bool got_goodbye = false;
+    bool got_eof = false;
+    for (;;) {
+      const std::optional<net::client_frame> frame = witness.read_frame(5.0);
+      if (!frame) {
+        got_eof = true;
+        break;
+      }
+      if (frame->header.type == net::frame_type::goodbye) got_goodbye = true;
+    }
+    drainer.join();
+    sc.check(pinged && got_goodbye && got_eof,
+             "graceful drain says goodbye");
+  }
+
+  // The whole point: exact reconciliation after the dust settles.
+  const net::front_end_stats fe_stats = front_end.stats();
+  bool consistent = true;
+  try {
+    fe_stats.validate();
+  } catch (const error& e) {
+    consistent = false;
+    std::fprintf(stderr, "front_end_stats: %s\n", e.what());
+  }
+  sc.check(consistent, "front_end_stats reconcile");
+  sc.check(fe_stats.inflight == 0, "zero net inflight after drain");
+  sc.check(fe_stats.open_connections == 0, "every connection closed");
+  sc.check(fe_stats.responses_sent + fe_stats.results_dropped ==
+               fe_stats.requests_admitted,
+           "every admitted ticket answered or dropped-counted");
+  sc.check(fe_stats.busy_rejections >= 1, "shedding observed");
+  sc.check(fe_stats.malformed_frames >= 1, "malformed frames observed");
+  sc.check(fe_stats.connections_evicted >= 1, "evictions observed");
+  sc.check(fe_stats.results_dropped >= 1, "dropped results observed");
+
+  server.drain();
+  const serve::server_stats server_stats = server.stats();
+  try {
+    server_stats.validate();
+  } catch (const error& e) {
+    consistent = false;
+    std::fprintf(stderr, "server_stats: %s\n", e.what());
+    sc.ok = false;
+  }
+  sc.check(server_stats.requests_completed == server_stats.requests_submitted,
+           "server resolved every submitted ticket");
+  sc.check(server_stats.inflight == 0, "zero server inflight after drain");
+
+  std::printf(
+      "\n  accounting  %llu admitted = %llu responses + %llu dropped\n"
+      "              %llu busy / %llu malformed / %llu evicted\n"
+      "              feedback p99 %.3f ms / bulk p99 %.3f ms\n"
+      "  net chaos smoke %s\n",
+      static_cast<unsigned long long>(fe_stats.requests_admitted),
+      static_cast<unsigned long long>(fe_stats.responses_sent),
+      static_cast<unsigned long long>(fe_stats.results_dropped),
+      static_cast<unsigned long long>(fe_stats.busy_rejections),
+      static_cast<unsigned long long>(fe_stats.malformed_frames),
+      static_cast<unsigned long long>(fe_stats.connections_evicted),
+      server_stats.feedback_p99_seconds * 1e3,
+      server_stats.bulk_p99_seconds * 1e3, sc.ok ? "PASS" : "FAIL");
+  return sc.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,6 +513,10 @@ int main(int argc, char** argv) {
                "failure-model demo: deploy a faulty qubit-0 snapshot "
                "mid-stream, arm fault injection, and verify auto-rollback "
                "plus clean recovery (implies --registry)");
+  cli.add_flag("listen",
+               "serve over loopback TCP through the net front end; with "
+               "--chaos: run the network chaos smoke instead");
+  cli.add_option("port", "TCP port for --listen (0 = ephemeral)", "0");
   cli.add_option("registry-dir",
                  "persist the registry here on exit (with --admin: the "
                  "store to operate on)", "");
@@ -189,7 +548,10 @@ int main(int argc, char** argv) {
                                           : serve::engine_kind::float_student;
     const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
     const bool chaos = cli.get_flag("chaos");
-    const bool use_registry = cli.get_flag("registry") || chaos;
+    const bool listen = cli.get_flag("listen");
+    // --listen --chaos is the network chaos smoke over a plain server; the
+    // registry rollback demo is the in-process --chaos.
+    const bool use_registry = (cli.get_flag("registry") || chaos) && !listen;
 
     // One process-wide metrics backend shared by the server, the registry
     // and the fault mirror, so the exit dump shows the whole stack. The
@@ -230,7 +592,7 @@ int main(int argc, char** argv) {
     server_config.metrics = &metrics;
     // A low threshold makes the bad deploy trip the auto-rollback within a
     // single request's shards.
-    if (chaos) server_config.failure_threshold = 4;
+    if (chaos && !listen) server_config.failure_threshold = 4;
     if (use_registry) {
       registry::registry_config reg_config;
       reg_config.metrics = &metrics;
@@ -250,6 +612,15 @@ int main(int argc, char** argv) {
         engines.push_back({&students[q], &hardware[q]});
       }
       server.emplace(std::move(engines), server_config);
+    }
+
+    if (listen) {
+      const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
+      if (chaos) {
+        return run_listen_chaos(*server, data, engine, metrics, port);
+      }
+      return run_listen_stream(*server, data, students, hardware, engine,
+                               rounds, metrics, port);
     }
 
     const std::size_t block = data[0].test.size();
