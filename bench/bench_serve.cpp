@@ -29,6 +29,7 @@
 #include "klinq/net/client.hpp"
 #include "klinq/net/tcp_front_end.hpp"
 #include "klinq/obs/metrics.hpp"
+#include "klinq/obs/trace.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
 #include "klinq/registry/model_registry.hpp"
 #include "klinq/registry/snapshot.hpp"
@@ -502,6 +503,61 @@ int main(int argc, char** argv) {
       record.shed_rate =
           static_cast<double>(shed) / static_cast<double>(served + shed);
       records.push_back(std::move(record));
+    }
+
+    // --- wire tracing overhead over loopback TCP --------------------------
+    // The same serial request loop under three sampling configs. The
+    // disabled row exercises the default hot path (one relaxed load per
+    // trace site) and must sit within noise of the untraced front end;
+    // 1% is the always-on production setting; 100% bounds the cost of
+    // full capture into the span ring.
+    const std::pair<const char*, double> trace_modes[] = {
+        {"tcp-trace-off", 0.0},
+        {"tcp-trace-1pct", 0.01},
+        {"tcp-trace-100pct", 1.0}};
+    for (const auto& [trace_mode, trace_rate] : trace_modes) {
+      obs::trace_ring ring(4096);
+      serve::server_config server_cfg;
+      server_cfg.shard_shots = shard_shots;
+      server_cfg.max_inflight = 64;
+      net::front_end_config fe_config;
+      fe_config.poll_interval_seconds = 0.01;
+      if (trace_rate > 0.0) {
+        ring.set_armed(true);
+        server_cfg.traces = &ring;
+        fe_config.traces = &ring;
+      }
+      serve::readout_server server(make_engines(), server_cfg);
+      net::tcp_front_end front_end(server, fe_config);
+      net::client cli("127.0.0.1", front_end.port());
+      if (trace_rate > 0.0) cli.enable_tracing(&ring, trace_rate);
+
+      const std::size_t requests = 300;
+      std::vector<double> rtt;
+      rtt.reserve(requests);
+      std::uint64_t shots = 0;
+      stopwatch timer;
+      for (std::size_t i = 0; i < requests; ++i) {
+        const data::trace_dataset& request_block =
+            small_blocks[0][i % small_blocks[0].size()];
+        stopwatch probe;
+        const std::uint64_t id =
+            cli.send_request(tcp_request_info(0, request_block),
+                             request_block);
+        const auto reply = cli.read_reply(id);
+        KLINQ_REQUIRE(reply.has_value() &&
+                          reply->header.type == net::frame_type::response,
+                      "bench: tracing client lost its connection");
+        rtt.push_back(probe.seconds());
+        shots += request_block.size();
+      }
+      const double seconds = timer.seconds();
+      cli.send_goodbye();
+      front_end.shutdown();
+      std::sort(rtt.begin(), rtt.end());
+      records.push_back({"fixed-q16.16", trace_mode, shots, seconds,
+                         rtt[rtt.size() / 2] * 1e3,
+                         rtt[(rtt.size() * 99) / 100] * 1e3});
     }
 
     // --- report -----------------------------------------------------------

@@ -7,6 +7,7 @@
 // can write arbitrary garbage and half-frames through a real connection.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "klinq/net/frame.hpp"
+#include "klinq/obs/trace.hpp"
 
 namespace klinq::net {
 
@@ -34,6 +36,22 @@ class client {
   client& operator=(const client&) = delete;
   client(client&& other) noexcept;
   client& operator=(client&& other) noexcept;
+
+  /// Arms end-to-end wire tracing: every sampled send_request stamps a fresh
+  /// trace_id + a client RTT span id into the frame's v2 trace context, and
+  /// the RTT span (category "client", covering send → reply) is recorded
+  /// into `ring` when the reply arrives. `ring` is borrowed and must outlive
+  /// the client; pass sample_rate in [0, 1] (deterministic head sampling).
+  void enable_tracing(obs::trace_ring* ring, double sample_rate = 1.0);
+
+  /// Arms keepalive: while blocked in read_frame()/read_reply(), a ping is
+  /// sent every `interval_seconds` of wire silence, and a pong that misses
+  /// its `timeout_seconds` deadline fails every pending request — the read
+  /// throws io_error and the connection is closed (a half-dead server must
+  /// not hold callers hostage until their own timeout). Keepalive pings use
+  /// a reserved id space (top bit set) and their pongs are consumed
+  /// internally, never surfaced to read_frame callers.
+  void enable_keepalive(double interval_seconds, double timeout_seconds);
 
   /// Sends a request frame; returns the auto-assigned request id.
   std::uint64_t send_request(
@@ -71,10 +89,33 @@ class client {
   void close();
 
  private:
+  struct pending_trace {
+    std::uint64_t request_id = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;   // the RTT span, parent of the server spans
+    std::uint64_t start_us = 0;  // trace_clock_us() at send
+  };
+
+  void maybe_record_rtt(const client_frame& frame);
+
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
   std::vector<std::uint8_t> read_buffer_;
   std::vector<client_frame> stashed_replies_;  // out-of-order read_reply
+
+  // Wire tracing (enable_tracing).
+  obs::trace_ring* traces_ = nullptr;  // borrowed
+  obs::trace_sampler sampler_{1.0};
+  std::vector<pending_trace> pending_traces_;
+
+  // Keepalive (enable_keepalive). awaiting_pong_id_ == 0 means no ping is
+  // outstanding.
+  double keepalive_interval_seconds_ = 0.0;
+  double keepalive_timeout_seconds_ = 0.0;
+  std::uint64_t next_ping_id_ = 0;
+  std::uint64_t awaiting_pong_id_ = 0;
+  std::chrono::steady_clock::time_point last_activity_at_{};
+  std::chrono::steady_clock::time_point pong_deadline_{};
 };
 
 }  // namespace klinq::net

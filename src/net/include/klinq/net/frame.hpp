@@ -10,13 +10,23 @@
 //
 //   offset  size  field
 //        0     4  magic        0x514E4C4B ("KLNQ" little-endian)
-//        4     1  version      kProtocolVersion (currently 1)
+//        4     1  version      kProtocolVersion (currently 2; 1 accepted)
 //        5     1  type         frame_type
 //        6     1  lane         serve::lane_class (requests; 0 elsewhere)
-//        7     1  reserved     must be 0
+//        7     1  flags        v2: kTraceFlag on request frames; v1: must be 0
 //        8     8  request_id   client-chosen correlation id (echoed back)
 //       16     4  payload_size bytes following the header
 //       20     4  crc32        IEEE CRC32 over header bytes [0, 20)
+//
+// Version negotiation is per connection: the server accepts both v1 and v2
+// frames and answers each connection with the version of the first frame it
+// received from it, so a v1 client never sees a v2 byte. The only v2
+// addition is the flags byte (reserved-and-zero under v1): kTraceFlag marks
+// a request frame whose payload starts with a 16-byte trace context
+// (trace_id u64 + parent span u64, little-endian, counted in payload_size)
+// ahead of the request_payload below. Unknown flag bits, or the trace flag
+// on a non-request frame, are rejected as bad_type — hostile bytes in the
+// flags byte stay typed errors, exactly as the reserved byte was under v1.
 //
 // All integers are little-endian. Frame types:
 //
@@ -68,10 +78,17 @@
 namespace klinq::net {
 
 inline constexpr std::uint32_t kMagic = 0x514E4C4Bu;  // "KLNQ"
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
+/// Oldest version decode_header still accepts (per-connection negotiation:
+/// the server answers in whatever version the client spoke first).
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderSize = 24;
 inline constexpr std::size_t kRequestPayloadHeaderSize = 24;
 inline constexpr std::size_t kResponsePayloadHeaderSize = 24;
+/// v2 flags-byte bit: this request frame's payload starts with a 16-byte
+/// trace context. Every other flag bit is reserved and rejected.
+inline constexpr std::uint8_t kTraceFlag = 0x01;
+inline constexpr std::size_t kTraceContextSize = 16;
 
 enum class frame_type : std::uint8_t {
   request = 1,
@@ -122,9 +139,25 @@ struct frame_header {
   std::uint8_t version = kProtocolVersion;
   frame_type type = frame_type::ping;
   serve::lane_class lane = serve::lane_class::bulk;
+  std::uint8_t flags = 0;  // v2 only; encode_header zeroes it for v1 frames
   std::uint64_t request_id = 0;
   std::uint32_t payload_size = 0;
+
+  bool has_trace() const noexcept { return (flags & kTraceFlag) != 0; }
 };
+
+/// Client-stamped trace correlation carried as the first kTraceContextSize
+/// payload bytes of a kTraceFlag request frame (both fields u64 LE).
+struct trace_context {
+  std::uint64_t trace_id = 0;     // 0 = untraced
+  std::uint64_t parent_span = 0;  // client's RTT span id
+};
+
+/// Serializes `ctx` into exactly kTraceContextSize bytes.
+void encode_trace_context(const trace_context& ctx, std::uint8_t* out) noexcept;
+
+/// Parses kTraceContextSize bytes (the caller checked the length).
+trace_context decode_trace_context(const std::uint8_t* data) noexcept;
 
 /// Serializes `header` (computing the CRC) into exactly kHeaderSize bytes.
 void encode_header(const frame_header& header, std::uint8_t* out) noexcept;
@@ -161,11 +194,15 @@ constexpr std::size_t request_payload_size(std::uint32_t shots,
          static_cast<std::size_t>(shots) * 2 * samples * sizeof(float);
 }
 
-/// Serializes a full request frame (header + payload) for `traces`.
+/// Serializes a full request frame (header + payload) for `traces`. A
+/// non-null `trace` with a nonzero trace_id emits a v2 kTraceFlag frame
+/// whose payload is the 16-byte context followed by the request payload;
+/// otherwise the frame is an unflagged v2 frame with the plain payload.
 std::vector<std::uint8_t> encode_request(std::uint64_t request_id,
                                          const request_info& info,
                                          serve::lane_class lane,
-                                         const data::trace_dataset& traces);
+                                         const data::trace_dataset& traces,
+                                         const trace_context* trace = nullptr);
 
 /// Decodes a request payload into `traces` (resized to shots rows of
 /// 2·samples columns, filled row by row — the dataset the readout_request
@@ -176,8 +213,11 @@ request_info decode_request(std::span<const std::uint8_t> payload,
 
 /// Serializes a full response frame for a finished result. Non-ok statuses
 /// carry no data rows (their buffers are unspecified by contract).
+/// `version` is the connection's negotiated protocol version.
 std::vector<std::uint8_t> encode_response(std::uint64_t request_id,
-                                          const serve::readout_result& result);
+                                          const serve::readout_result& result,
+                                          std::uint8_t version =
+                                              kProtocolVersion);
 
 /// Client-side decoded response.
 struct response_view {
@@ -194,14 +234,20 @@ struct response_view {
 /// Throws invalid_argument_error on a size-inconsistent payload.
 response_view decode_response(std::span<const std::uint8_t> payload);
 
-/// Small control frames.
+/// Small control frames. `version` is the connection's negotiated protocol
+/// version (server-side frames echo the version the client spoke).
 std::vector<std::uint8_t> encode_control(frame_type type,
-                                         std::uint64_t request_id);
+                                         std::uint64_t request_id,
+                                         std::uint8_t version =
+                                             kProtocolVersion);
 std::vector<std::uint8_t> encode_busy(std::uint64_t request_id,
-                                      busy_reason reason);
+                                      busy_reason reason,
+                                      std::uint8_t version = kProtocolVersion);
 std::vector<std::uint8_t> encode_error(std::uint64_t request_id,
                                        error_code code,
-                                       const std::string& message);
+                                       const std::string& message,
+                                       std::uint8_t version =
+                                           kProtocolVersion);
 
 /// Decoded busy/error payloads (client side).
 busy_reason decode_busy(std::span<const std::uint8_t> payload);

@@ -58,8 +58,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "klinq/obs/metrics.hpp"
+#include "klinq/obs/trace.hpp"
 #include "klinq/serve/readout_server.hpp"
 
 namespace klinq::net {
@@ -109,6 +111,12 @@ struct front_end_config {
   /// Metrics backend (borrowed; must outlive the front end). Null gives the
   /// front end a private registry.
   obs::metric_registry* metrics = nullptr;
+  /// Distributed-tracing sink (borrowed; must outlive the front end). When
+  /// set and armed, requests arriving with a v2 trace context get
+  /// net.read/net.decode/net.admit/net.write spans recorded here (same
+  /// trace_clock_us timeline as the serve spans). Null or disarmed: the
+  /// per-frame cost is one relaxed load.
+  obs::trace_ring* traces = nullptr;
 
   /// Throws invalid_argument_error on any inconsistent field.
   void validate() const;
@@ -141,12 +149,31 @@ struct front_end_stats {
   std::uint64_t malformed_frames = 0;
   std::uint64_t results_dropped = 0;  // completions for departed clients
   std::uint64_t cancels_received = 0;
+  std::uint64_t pings_received = 0;
+  std::uint64_t pongs_sent = 0;
   std::size_t open_connections = 0;
   std::size_t inflight = 0;
 
   /// Throws invalid_argument_error when the counters are mutually
   /// inconsistent — the reconciliation check the chaos harness runs.
   void validate() const;
+};
+
+/// Point-in-time view of one live connection (the /statusz table).
+struct connection_info {
+  std::uint64_t id = 0;
+  /// Negotiated protocol version (0 until the first frame arrives).
+  std::uint8_t protocol_version = 0;
+  std::size_t inflight = 0;
+  std::size_t inflight_bytes = 0;
+  std::size_t write_queue_bytes = 0;
+  /// Requests admitted on this connection, by lane.
+  std::uint64_t admitted_bulk = 0;
+  std::uint64_t admitted_feedback = 0;
+  double age_seconds = 0.0;
+  /// Seconds since the last byte arrived from the client.
+  double idle_seconds = 0.0;
+  bool closing = false;
 };
 
 class tcp_front_end {
@@ -175,6 +202,12 @@ class tcp_front_end {
   void shutdown();
 
   front_end_stats stats() const;
+
+  /// Live per-connection table (unordered); the /statusz data source.
+  std::vector<connection_info> connections() const;
+
+  /// True while shutdown() is shedding new work (the /healthz drain signal).
+  bool draining() const noexcept;
 
   /// The metric registry backing the klinq_net_* families.
   const obs::metric_registry& metrics() const noexcept;

@@ -7,6 +7,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
@@ -15,6 +16,19 @@
 #include "klinq/common/error.hpp"
 
 namespace klinq::net {
+
+namespace {
+
+/// Keepalive pings live in their own id space (top bit set) so they can
+/// never collide with request ids handed out by send_request.
+constexpr std::uint64_t kKeepalivePingBase = std::uint64_t{1} << 63;
+
+bool is_reply(frame_type type) noexcept {
+  return type == frame_type::response || type == frame_type::busy ||
+         type == frame_type::error;
+}
+
+}  // namespace
 
 client::client(const std::string& host, std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -41,7 +55,17 @@ client::~client() { close(); }
 client::client(client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       next_request_id_(other.next_request_id_),
-      read_buffer_(std::move(other.read_buffer_)) {}
+      read_buffer_(std::move(other.read_buffer_)),
+      stashed_replies_(std::move(other.stashed_replies_)),
+      traces_(std::exchange(other.traces_, nullptr)),
+      sampler_(other.sampler_.rate()),
+      pending_traces_(std::move(other.pending_traces_)),
+      keepalive_interval_seconds_(other.keepalive_interval_seconds_),
+      keepalive_timeout_seconds_(other.keepalive_timeout_seconds_),
+      next_ping_id_(other.next_ping_id_),
+      awaiting_pong_id_(other.awaiting_pong_id_),
+      last_activity_at_(other.last_activity_at_),
+      pong_deadline_(other.pong_deadline_) {}
 
 client& client::operator=(client&& other) noexcept {
   if (this != &other) {
@@ -49,8 +73,38 @@ client& client::operator=(client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     next_request_id_ = other.next_request_id_;
     read_buffer_ = std::move(other.read_buffer_);
+    stashed_replies_ = std::move(other.stashed_replies_);
+    traces_ = std::exchange(other.traces_, nullptr);
+    sampler_ = obs::trace_sampler(other.sampler_.rate());
+    pending_traces_ = std::move(other.pending_traces_);
+    keepalive_interval_seconds_ = other.keepalive_interval_seconds_;
+    keepalive_timeout_seconds_ = other.keepalive_timeout_seconds_;
+    next_ping_id_ = other.next_ping_id_;
+    awaiting_pong_id_ = other.awaiting_pong_id_;
+    last_activity_at_ = other.last_activity_at_;
+    pong_deadline_ = other.pong_deadline_;
   }
   return *this;
+}
+
+void client::enable_tracing(obs::trace_ring* ring, double sample_rate) {
+  KLINQ_REQUIRE(ring != nullptr, "net::client: enable_tracing needs a ring");
+  KLINQ_REQUIRE(sample_rate >= 0.0 && sample_rate <= 1.0,
+                "net::client: sample_rate must be in [0, 1]");
+  traces_ = ring;
+  sampler_ = obs::trace_sampler(sample_rate);
+}
+
+void client::enable_keepalive(double interval_seconds,
+                              double timeout_seconds) {
+  KLINQ_REQUIRE(interval_seconds > 0.0,
+                "net::client: keepalive interval must be positive");
+  KLINQ_REQUIRE(timeout_seconds > 0.0,
+                "net::client: keepalive timeout must be positive");
+  keepalive_interval_seconds_ = interval_seconds;
+  keepalive_timeout_seconds_ = timeout_seconds;
+  awaiting_pong_id_ = 0;
+  last_activity_at_ = std::chrono::steady_clock::now();
 }
 
 void client::close() {
@@ -72,7 +126,15 @@ void client::send_request_with_id(std::uint64_t request_id,
                                   const request_info& info,
                                   const data::trace_dataset& traces,
                                   serve::lane_class lane) {
-  send_bytes(encode_request(request_id, info, lane, traces));
+  trace_context tctx{};
+  if (traces_ != nullptr && traces_->armed() && sampler_.sample()) {
+    tctx.trace_id = traces_->next_trace_id();
+    tctx.parent_span = traces_->next_span_id();  // the RTT span's id
+    pending_traces_.push_back({request_id, tctx.trace_id, tctx.parent_span,
+                               obs::trace_clock_us()});
+  }
+  send_bytes(encode_request(request_id, info, lane, traces,
+                            tctx.trace_id != 0 ? &tctx : nullptr));
 }
 
 void client::send_cancel(std::uint64_t request_id) {
@@ -103,11 +165,10 @@ void client::send_bytes(const std::uint8_t* data, std::size_t size) {
 
 std::optional<client_frame> client::read_frame(double timeout_seconds) {
   KLINQ_REQUIRE(fd_ >= 0, "net::client: read on a closed client");
-  timeval tv{};
-  tv.tv_sec = static_cast<long>(timeout_seconds);
-  tv.tv_usec = static_cast<long>(
-      (timeout_seconds - std::floor(timeout_seconds)) * 1e6);
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
   std::uint8_t chunk[4096];
   for (;;) {
     if (read_buffer_.size() >= kHeaderSize) {
@@ -125,26 +186,98 @@ std::optional<client_frame> client::read_frame(double timeout_seconds) {
         read_buffer_.erase(
             read_buffer_.begin(),
             read_buffer_.begin() + static_cast<std::ptrdiff_t>(frame_size));
+        if (frame.header.type == frame_type::pong &&
+            frame.header.request_id == awaiting_pong_id_ &&
+            awaiting_pong_id_ != 0) {
+          // Keepalive pong: consumed internally, never surfaced.
+          awaiting_pong_id_ = 0;
+          last_activity_at_ = clock::now();
+          continue;
+        }
+        maybe_record_rtt(frame);
         return frame;
       }
     }
+    const auto now = clock::now();
+    if (now >= deadline) return std::nullopt;
+    double recv_timeout =
+        std::chrono::duration<double>(deadline - now).count();
+    if (keepalive_interval_seconds_ > 0.0) {
+      if (awaiting_pong_id_ != 0) {
+        if (now >= pong_deadline_) {
+          // Half-dead server: fail every pending request rather than letting
+          // callers block until their own timeouts.
+          close();
+          throw io_error(
+              "net::client: keepalive pong missed its deadline; connection "
+              "closed, pending requests failed");
+        }
+        recv_timeout = std::min(
+            recv_timeout,
+            std::chrono::duration<double>(pong_deadline_ - now).count());
+      } else {
+        const auto ping_due =
+            last_activity_at_ +
+            std::chrono::duration_cast<clock::duration>(
+                std::chrono::duration<double>(keepalive_interval_seconds_));
+        if (now >= ping_due) {
+          awaiting_pong_id_ = kKeepalivePingBase | ++next_ping_id_;
+          send_ping(awaiting_pong_id_);
+          pong_deadline_ =
+              now + std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(
+                            keepalive_timeout_seconds_));
+          recv_timeout = std::min(recv_timeout, keepalive_timeout_seconds_);
+        } else {
+          recv_timeout = std::min(
+              recv_timeout,
+              std::chrono::duration<double>(ping_due - now).count());
+        }
+      }
+    }
+    recv_timeout = std::max(recv_timeout, 1e-3);  // 0 would block forever
+    timeval tv{};
+    tv.tv_sec = static_cast<long>(recv_timeout);
+    tv.tv_usec = static_cast<long>(
+        (recv_timeout - std::floor(recv_timeout)) * 1e6);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) return std::nullopt;  // peer closed
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Recv window elapsed; loop to re-check the overall deadline and the
+        // keepalive schedule (the window may have been shortened for either).
+        continue;
+      }
       return std::nullopt;
     }
     read_buffer_.insert(read_buffer_.end(), chunk, chunk + n);
+    last_activity_at_ = clock::now();
   }
 }
 
-namespace {
-bool is_reply(frame_type type) noexcept {
-  return type == frame_type::response || type == frame_type::busy ||
-         type == frame_type::error;
+void client::maybe_record_rtt(const client_frame& frame) {
+  if (traces_ == nullptr || pending_traces_.empty() ||
+      !is_reply(frame.header.type)) {
+    return;
+  }
+  for (auto it = pending_traces_.begin(); it != pending_traces_.end(); ++it) {
+    if (it->request_id != frame.header.request_id) continue;
+    obs::trace_span span;
+    span.trace_id = it->trace_id;
+    span.span_id = it->span_id;
+    span.parent_span = 0;  // the trace root
+    span.start_us = it->start_us;
+    const std::uint64_t now_us = obs::trace_clock_us();
+    span.duration_us = now_us > it->start_us ? now_us - it->start_us : 0;
+    span.name = "client.rtt";
+    span.category = "client";
+    traces_->record(std::move(span));
+    pending_traces_.erase(it);
+    return;
+  }
 }
-}  // namespace
 
 std::optional<client_frame> client::read_reply(std::uint64_t request_id,
                                                double timeout_seconds) {

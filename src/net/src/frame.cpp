@@ -103,7 +103,8 @@ void encode_header(const frame_header& header, std::uint8_t* out) noexcept {
   out[4] = header.version;
   out[5] = static_cast<std::uint8_t>(header.type);
   out[6] = static_cast<std::uint8_t>(header.lane);
-  out[7] = 0;
+  // The flags byte exists only from v2 on; v1 frames keep it reserved-zero.
+  out[7] = header.version >= 2 ? header.flags : 0;
   store<std::uint64_t>(out + 8, header.request_id);
   store<std::uint32_t>(out + 16, header.payload_size);
   store<std::uint32_t>(out + 20, crc32(out, 20));
@@ -118,10 +119,21 @@ header_verdict decode_header(const std::uint8_t* data,
   out.version = data[4];
   out.request_id = load<std::uint64_t>(data + 8);
   out.payload_size = load<std::uint32_t>(data + 16);
-  // The lane byte is validated here (it is enum-typed downstream); the
-  // reserved byte must be zero so it stays available for future use.
-  if (out.version != kProtocolVersion) return header_verdict::bad_version;
-  if (!valid_frame_type(data[5]) || data[6] > 1 || data[7] != 0) {
+  if (out.version < kMinProtocolVersion || out.version > kProtocolVersion) {
+    return header_verdict::bad_version;
+  }
+  // The lane byte is validated here (it is enum-typed downstream). Byte 7
+  // is reserved-and-zero under v1 and a flags byte under v2, where only
+  // kTraceFlag — and only on request frames — is defined; anything else in
+  // it stays a typed rejection.
+  out.flags = out.version >= 2 ? data[7] : 0;
+  const bool flags_ok =
+      out.version >= 2
+          ? (out.flags & ~kTraceFlag) == 0 &&
+                (out.flags == 0 ||
+                 data[5] == static_cast<std::uint8_t>(frame_type::request))
+          : data[7] == 0;
+  if (!valid_frame_type(data[5]) || data[6] > 1 || !flags_ok) {
     return header_verdict::bad_type;
   }
   out.type = static_cast<frame_type>(data[5]);
@@ -129,20 +141,41 @@ header_verdict decode_header(const std::uint8_t* data,
   return header_verdict::ok;
 }
 
+void encode_trace_context(const trace_context& ctx,
+                          std::uint8_t* out) noexcept {
+  store<std::uint64_t>(out, ctx.trace_id);
+  store<std::uint64_t>(out + 8, ctx.parent_span);
+}
+
+trace_context decode_trace_context(const std::uint8_t* data) noexcept {
+  trace_context ctx;
+  ctx.trace_id = load<std::uint64_t>(data);
+  ctx.parent_span = load<std::uint64_t>(data + 8);
+  return ctx;
+}
+
 std::vector<std::uint8_t> encode_request(std::uint64_t request_id,
                                          const request_info& info,
                                          serve::lane_class lane,
-                                         const data::trace_dataset& traces) {
+                                         const data::trace_dataset& traces,
+                                         const trace_context* trace) {
   const std::uint32_t shots = static_cast<std::uint32_t>(traces.size());
   const std::uint32_t samples =
       static_cast<std::uint32_t>(traces.samples_per_quadrature());
+  const bool traced = trace != nullptr && trace->trace_id != 0;
   frame_header header;
   header.type = frame_type::request;
   header.lane = lane;
   header.request_id = request_id;
-  std::vector<std::uint8_t> bytes =
-      frame_with_payload(header, request_payload_size(shots, samples));
+  if (traced) header.flags = kTraceFlag;
+  std::vector<std::uint8_t> bytes = frame_with_payload(
+      header, request_payload_size(shots, samples) +
+                  (traced ? kTraceContextSize : 0));
   std::uint8_t* p = bytes.data() + kHeaderSize;
+  if (traced) {
+    encode_trace_context(*trace, p);
+    p += kTraceContextSize;
+  }
   store<std::uint32_t>(p, info.qubit);
   p[4] = static_cast<std::uint8_t>(info.engine);
   p[5] = p[6] = p[7] = 0;
@@ -198,14 +231,16 @@ request_info decode_request(std::span<const std::uint8_t> payload,
   return info;
 }
 
-std::vector<std::uint8_t> encode_response(
-    std::uint64_t request_id, const serve::readout_result& result) {
+std::vector<std::uint8_t> encode_response(std::uint64_t request_id,
+                                          const serve::readout_result& result,
+                                          std::uint8_t version) {
   const bool ok = result.status == serve::request_status::ok;
   const std::uint32_t shots =
       static_cast<std::uint32_t>(result.states.size());
   const std::size_t data_bytes =
       ok ? static_cast<std::size_t>(shots) * (1 + sizeof(float)) : 0;
   frame_header header;
+  header.version = version;
   header.type = frame_type::response;
   header.request_id = request_id;
   std::vector<std::uint8_t> bytes =
@@ -268,16 +303,20 @@ response_view decode_response(std::span<const std::uint8_t> payload) {
 }
 
 std::vector<std::uint8_t> encode_control(frame_type type,
-                                         std::uint64_t request_id) {
+                                         std::uint64_t request_id,
+                                         std::uint8_t version) {
   frame_header header;
+  header.version = version;
   header.type = type;
   header.request_id = request_id;
   return frame_with_payload(header, 0);
 }
 
 std::vector<std::uint8_t> encode_busy(std::uint64_t request_id,
-                                      busy_reason reason) {
+                                      busy_reason reason,
+                                      std::uint8_t version) {
   frame_header header;
+  header.version = version;
   header.type = frame_type::busy;
   header.request_id = request_id;
   std::vector<std::uint8_t> bytes = frame_with_payload(header, 2);
@@ -288,8 +327,10 @@ std::vector<std::uint8_t> encode_busy(std::uint64_t request_id,
 
 std::vector<std::uint8_t> encode_error(std::uint64_t request_id,
                                        error_code code,
-                                       const std::string& message) {
+                                       const std::string& message,
+                                       std::uint8_t version) {
   frame_header header;
+  header.version = version;
   header.type = frame_type::error;
   header.request_id = request_id;
   std::vector<std::uint8_t> bytes = frame_with_payload(header, 2 + message.size());

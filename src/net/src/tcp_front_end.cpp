@@ -93,6 +93,12 @@ void front_end_stats::validate() const {
   // header is rejected before it ever counts as received.)
   KLINQ_REQUIRE(cancels_received <= frames_received,
                 "front_end_stats: cancel frames exceed frames received");
+  KLINQ_REQUIRE(pings_received <= frames_received,
+                "front_end_stats: ping frames exceed frames received");
+  // Every received ping queues exactly one pong (even on a connection that
+  // is already flushing toward close).
+  KLINQ_REQUIRE(pongs_sent == pings_received,
+                "front_end_stats: pongs sent disagree with pings received");
 }
 
 namespace {
@@ -200,11 +206,32 @@ struct tcp_front_end::impl {
     std::unordered_map<std::uint64_t, std::uint64_t> requests;
     double last_read_at = 0.0;
     double last_write_progress_at = 0.0;
+    double accepted_at = 0.0;
+    /// Protocol version of the first frame this client sent; every outbound
+    /// frame echoes it (0 = nothing received yet → current version).
+    std::uint8_t version = 0;
+    /// Requests admitted on this connection, by lane (the /statusz mix).
+    std::array<std::uint64_t, 2> lane_admitted{};
     /// Protocol violation or client goodbye: stop reading, flush the write
     /// queue (error/goodbye frame included), then close.
     bool closing = false;
     /// closing was an eviction/violation (for the evicted counter).
     bool evict = false;
+    // --- wire tracing (sampled requests only) ----------------------------
+    /// trace_clock_us() when the current socket-read batch started — the
+    /// start of the net.read span for any traced request it completes.
+    std::uint64_t read_batch_start_us = 0;
+    /// Cumulative queued/flushed byte counters: a net.write span completes
+    /// when flushed_bytes_total reaches the target stamped at queue time.
+    std::uint64_t queued_bytes_total = 0;
+    std::uint64_t flushed_bytes_total = 0;
+    struct write_span {
+      std::uint64_t trace_id = 0;
+      std::uint64_t parent_span = 0;
+      std::uint64_t start_us = 0;
+      std::uint64_t target = 0;  // queued_bytes_total to reach
+    };
+    std::vector<write_span> write_spans;  // dropped on close, unemitted
   };
 
   /// One admitted network request: who to answer, and the decoded trace
@@ -216,6 +243,10 @@ struct tcp_front_end::impl {
     serve::engine_kind engine = serve::engine_kind::fixed_q16;
     serve::lane_class lane = serve::lane_class::bulk;
     std::unique_ptr<data::trace_dataset> traces;
+    /// Wire trace context (trace_id 0 = untraced) — carried through to the
+    /// completion path so the net.write span joins the same trace.
+    std::uint64_t trace_id = 0;
+    std::uint64_t trace_parent = 0;
   };
 
   serve::readout_server& server;
@@ -261,16 +292,29 @@ struct tcp_front_end::impl {
   obs::counter* responses_cell = nullptr;
   obs::counter* dropped_cell = nullptr;
   obs::counter* cancels_cell = nullptr;
+  obs::counter* pings_cell = nullptr;
+  obs::counter* pongs_cell = nullptr;
   std::array<obs::counter*, 4> shed_cells{};       // by busy_reason
   std::array<obs::counter*, 6> malformed_cells{};  // by error_code
   obs::gauge* open_conns_cell = nullptr;
   obs::gauge* inflight_cell = nullptr;
   std::array<obs::log_histogram*, 2> lane_seconds{};  // by lane_class
+  std::uint64_t collector_id = 0;
 
   explicit impl(serve::readout_server& srv, front_end_config cfg)
       : server(srv), config(std::move(cfg)) {
     config.validate();
     init_metrics();
+    // Pull collector: every snapshot() re-derives the two gauges from the
+    // authoritative maps, so the scraped families cannot drift from the
+    // front end's own accounting (collectors run outside registry locks,
+    // so taking state_mutex here is cycle-free).
+    collector_id = metrics->add_collector([this] {
+      const std::lock_guard lock(state_mutex);
+      open_conns_cell->set(
+          static_cast<double>(conns.size() + pending_accepts.size()));
+      inflight_cell->set(static_cast<double>(tickets.size()));
+    });
     open_sockets();
     server.set_on_complete(
         [this](serve::ticket t, serve::request_status) { doorbell(t.id); });
@@ -313,6 +357,10 @@ struct tcp_front_end::impl {
                        "Completed results dropped because the client left");
     cancels_cell = &m.get_counter("klinq_net_cancels_total", {},
                                   "Cancel frames received");
+    pings_cell = &m.get_counter("klinq_net_pings_received_total", {},
+                                "Ping frames received (client keepalive)");
+    pongs_cell = &m.get_counter("klinq_net_pongs_sent_total", {},
+                                "Pong frames queued in answer to pings");
     for (std::size_t r = 0; r < shed_cells.size(); ++r) {
       shed_cells[r] = &m.get_counter(
           "klinq_net_shed_total",
@@ -385,6 +433,33 @@ struct tcp_front_end::impl {
     const std::uint8_t byte = 1;
     // The pipe being full is fine: a queued byte already guarantees a wake.
     [[maybe_unused]] const ssize_t n = ::write(wake_pipe[1], &byte, 1);
+  }
+
+  // --- wire tracing -------------------------------------------------------
+
+  /// The armed ring, or null — the hot-path gate (one relaxed load).
+  obs::trace_ring* trace_sink() const noexcept {
+    return config.traces != nullptr && config.traces->armed() ? config.traces
+                                                              : nullptr;
+  }
+
+  /// Outbound frames echo the version the client spoke first.
+  static std::uint8_t conn_version(const connection& conn) noexcept {
+    return conn.version != 0 ? conn.version : kProtocolVersion;
+  }
+
+  static void record_net_span(obs::trace_ring& ring, std::uint64_t trace_id,
+                              std::uint64_t parent, const char* name,
+                              std::uint64_t start_us, std::uint64_t end_us) {
+    obs::trace_span span;
+    span.trace_id = trace_id;
+    span.span_id = ring.next_span_id();
+    span.parent_span = parent;
+    span.start_us = start_us;
+    span.duration_us = end_us > start_us ? end_us - start_us : 0;
+    span.name = name;
+    span.category = "net";
+    ring.record(std::move(span));
   }
 
   // --- acceptor -----------------------------------------------------------
@@ -508,6 +583,7 @@ struct tcp_front_end::impl {
       conn->id = next_conn_id++;
       conn->last_read_at = clock.seconds();
       conn->last_write_progress_at = conn->last_read_at;
+      conn->accepted_at = conn->last_read_at;
       conns.emplace(conn->id, std::move(conn));
     }
     pending_accepts.clear();
@@ -523,6 +599,11 @@ struct tcp_front_end::impl {
       if (it == conns.end()) return;
       connection& conn = *it->second;
       if (conn.closing) return;
+      if (trace_sink() != nullptr) {
+        // Anchor for the net.read span of any traced request this batch of
+        // socket reads completes (one clock read per readiness event).
+        conn.read_batch_start_us = obs::trace_clock_us();
+      }
       for (;;) {
         const ssize_t n = ::read(conn.fd, chunk.data(), chunk.size());
         if (n == 0) {
@@ -582,6 +663,9 @@ struct tcp_front_end::impl {
                               "payload length above the configured bound");
         break;
       }
+      // Per-connection version negotiation: the first well-formed frame
+      // fixes the dialect; every outbound frame echoes it (conn_version).
+      if (conn.version == 0) conn.version = header.version;
       const std::size_t frame_size = kHeaderSize + header.payload_size;
       if (conn.read_buffer.size() - offset < frame_size) break;  // partial
       frames_in_cell->inc();
@@ -617,8 +701,11 @@ struct tcp_front_end::impl {
         return;
       }
       case frame_type::ping:
-        queue_frame_locked(conn,
-                           encode_control(frame_type::pong, header.request_id));
+        pings_cell->inc();
+        queue_frame_locked(conn, encode_control(frame_type::pong,
+                                                header.request_id,
+                                                conn_version(conn)));
+        pongs_cell->inc();
         return;
       case frame_type::goodbye:
         conn.closing = true;  // orderly: flush what is queued, then close
@@ -635,6 +722,31 @@ struct tcp_front_end::impl {
 
   void handle_request_locked(connection& conn, const frame_header& header,
                              std::span<const std::uint8_t> payload) {
+    // v2 trace context rides as the first payload bytes of a flagged frame;
+    // strip it before the admission/decode path sees the request payload.
+    // When tracing is disarmed server-side the context is still stripped
+    // (the frame is valid) but ignored.
+    trace_context tctx;
+    if (header.has_trace()) {
+      if (payload.size() < kTraceContextSize) {
+        protocol_error_locked(conn, header.request_id,
+                              error_code::decode_error,
+                              "trace-flagged request shorter than its context");
+        return;
+      }
+      tctx = decode_trace_context(payload.data());
+      payload = payload.subspan(kTraceContextSize);
+    }
+    obs::trace_ring* ring = trace_sink();
+    const bool traced = ring != nullptr && tctx.trace_id != 0;
+    const std::uint64_t admit_start_us = traced ? obs::trace_clock_us() : 0;
+    if (traced) {
+      record_net_span(*ring, tctx.trace_id, tctx.parent_span, "net.read",
+                      conn.read_batch_start_us != 0 ? conn.read_batch_start_us
+                                                    : admit_start_us,
+                      admit_start_us);
+    }
+
     // Admission control, cheapest checks first; every rejection is an
     // explicit retriable busy frame, never an unbounded queue.
     if (draining.load(std::memory_order_relaxed)) {
@@ -661,6 +773,7 @@ struct tcp_front_end::impl {
 
     auto traces = std::make_unique<data::trace_dataset>();
     request_info info;
+    const std::uint64_t decode_start_us = traced ? obs::trace_clock_us() : 0;
     try {
       fault::trigger("net.decode");
       info = decode_request(payload, *traces);
@@ -669,6 +782,10 @@ struct tcp_front_end::impl {
                             e.what());
       return;
     }
+    if (traced) {
+      record_net_span(*ring, tctx.trace_id, tctx.parent_span, "net.decode",
+                      decode_start_us, obs::trace_clock_us());
+    }
 
     serve::readout_request request;
     request.qubit = info.qubit;
@@ -676,6 +793,10 @@ struct tcp_front_end::impl {
     request.engine = info.engine;
     request.deadline_seconds = info.deadline_seconds;
     request.lane = header.lane;
+    if (traced) {
+      request.trace_id = tctx.trace_id;
+      request.trace_parent = tctx.parent_span;
+    }
     std::optional<serve::ticket> ticket;
     try {
       // May execute the whole request inline (workerless pool) — the
@@ -701,18 +822,28 @@ struct tcp_front_end::impl {
     entry.engine = info.engine;
     entry.lane = header.lane;
     entry.traces = std::move(traces);
+    if (traced) {
+      entry.trace_id = tctx.trace_id;
+      entry.trace_parent = tctx.parent_span;
+    }
     tickets.emplace(ticket->id, std::move(entry));
     conn.requests[header.request_id] = ticket->id;
     ++conn.inflight;
     conn.inflight_bytes += payload.size();
+    ++conn.lane_admitted[static_cast<std::size_t>(header.lane)];
     admitted_cell->inc();
     inflight_cell->set(static_cast<double>(tickets.size()));
+    if (traced) {
+      record_net_span(*ring, tctx.trace_id, tctx.parent_span, "net.admit",
+                      admit_start_us, obs::trace_clock_us());
+    }
   }
 
   void shed_locked(connection& conn, std::uint64_t request_id,
                    busy_reason reason) {
     shed_cells[static_cast<std::size_t>(reason)]->inc();
-    queue_frame_locked(conn, encode_busy(request_id, reason));
+    queue_frame_locked(conn,
+                       encode_busy(request_id, reason, conn_version(conn)));
   }
 
   /// Typed error frame, then close exactly this connection (reads stop now;
@@ -720,8 +851,10 @@ struct tcp_front_end::impl {
   void protocol_error_locked(connection& conn, std::uint64_t request_id,
                              error_code code, const std::string& message) {
     malformed_cells[static_cast<std::size_t>(code)]->inc();
-    queue_frame_locked(conn, encode_error(request_id, code, message));
-    queue_frame_locked(conn, encode_control(frame_type::goodbye, 0));
+    queue_frame_locked(
+        conn, encode_error(request_id, code, message, conn_version(conn)));
+    queue_frame_locked(
+        conn, encode_control(frame_type::goodbye, 0, conn_version(conn)));
     conn.closing = true;
     conn.evict = true;
   }
@@ -731,6 +864,7 @@ struct tcp_front_end::impl {
       conn.last_write_progress_at = clock.seconds();
     }
     conn.write_queue_bytes += bytes.size();
+    conn.queued_bytes_total += bytes.size();
     conn.write_queue.push_back(std::move(bytes));
     frames_out_cell->inc();
     if (conn.write_queue_bytes > config.max_write_queue_bytes) {
@@ -769,12 +903,16 @@ struct tcp_front_end::impl {
       const ssize_t n = ::send(conn.fd, front.data() + conn.write_offset,
                                remaining, MSG_NOSIGNAL);
       if (n < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          complete_write_spans_locked(conn);  // earlier frames may be out
+          return true;
+        }
         if (errno == EINTR) continue;
         return false;
       }
       bytes_out_cell->inc(static_cast<std::uint64_t>(n));
       conn.write_queue_bytes -= static_cast<std::size_t>(n);
+      conn.flushed_bytes_total += static_cast<std::uint64_t>(n);
       conn.write_offset += static_cast<std::size_t>(n);
       conn.last_write_progress_at = clock.seconds();
       if (conn.write_offset == front.size()) {
@@ -782,7 +920,25 @@ struct tcp_front_end::impl {
         conn.write_offset = 0;
       }
     }
+    complete_write_spans_locked(conn);
     return true;
+  }
+
+  /// Emits net.write spans whose response bytes have fully left the socket
+  /// buffer (flushed_bytes_total reached the target stamped at queue time).
+  void complete_write_spans_locked(connection& conn) {
+    if (conn.write_spans.empty()) return;
+    obs::trace_ring* ring = trace_sink();
+    const std::uint64_t now_us =
+        ring != nullptr ? obs::trace_clock_us() : 0;
+    std::erase_if(conn.write_spans, [&](const connection::write_span& ws) {
+      if (conn.flushed_bytes_total < ws.target) return false;
+      if (ring != nullptr) {
+        record_net_span(*ring, ws.trace_id, ws.parent_span, "net.write",
+                        ws.start_us, now_us);
+      }
+      return true;
+    });
   }
 
   void enforce_deadlines() {
@@ -923,8 +1079,18 @@ struct tcp_front_end::impl {
     }
     lane_seconds[static_cast<std::size_t>(entry.lane)]->record(
         result.latency_seconds);
-    queue_frame_locked(conn, encode_response(entry.request_id, result));
+    const std::uint64_t write_start_us =
+        entry.trace_id != 0 && trace_sink() != nullptr ? obs::trace_clock_us()
+                                                       : 0;
+    queue_frame_locked(
+        conn, encode_response(entry.request_id, result, conn_version(conn)));
     responses_cell->inc();
+    if (write_start_us != 0) {
+      // The net.write span runs from response-queued to the flush that
+      // drains it off the write queue (completed in flush_writes_locked).
+      conn.write_spans.push_back({entry.trace_id, entry.trace_parent,
+                                  write_start_us, conn.queued_bytes_total});
+    }
   }
 
   // --- shutdown -----------------------------------------------------------
@@ -958,7 +1124,8 @@ struct tcp_front_end::impl {
       const std::lock_guard lock(state_mutex);
       for (auto& [id, conn] : conns) {
         if (!conn->closing) {
-          queue_frame_locked(*conn, encode_control(frame_type::goodbye, 0));
+          queue_frame_locked(*conn, encode_control(frame_type::goodbye, 0,
+                                                   conn_version(*conn)));
         }
       }
     }
@@ -985,6 +1152,9 @@ struct tcp_front_end::impl {
     acceptor_thread.join();
     poll_thread.join();
     completion_thread.join();
+    // The registry may outlive the front end (shared backend): unbind the
+    // pull collector before the impl it captures goes away.
+    metrics->remove_collector(collector_id);
     // The server outlives the front end; detach the doorbell so it cannot
     // call into a destroyed impl. Every net ticket was consumed above, and
     // the front end was the sole submitter by contract.
@@ -1012,9 +1182,33 @@ struct tcp_front_end::impl {
     }
     s.results_dropped = dropped_cell->value();
     s.cancels_received = cancels_cell->value();
+    s.pings_received = pings_cell->value();
+    s.pongs_sent = pongs_cell->value();
     s.open_connections = conns.size() + pending_accepts.size();
     s.inflight = tickets.size();
     return s;
+  }
+
+  std::vector<connection_info> connection_table() const {
+    const std::lock_guard lock(state_mutex);
+    const double now = clock.seconds();
+    std::vector<connection_info> out;
+    out.reserve(conns.size());
+    for (const auto& [id, conn] : conns) {
+      connection_info info;
+      info.id = id;
+      info.protocol_version = conn->version;
+      info.inflight = conn->inflight;
+      info.inflight_bytes = conn->inflight_bytes;
+      info.write_queue_bytes = conn->write_queue_bytes;
+      info.admitted_bulk = conn->lane_admitted[0];
+      info.admitted_feedback = conn->lane_admitted[1];
+      info.age_seconds = now - conn->accepted_at;
+      info.idle_seconds = now - conn->last_read_at;
+      info.closing = conn->closing;
+      out.push_back(info);
+    }
+    return out;
   }
 };
 
@@ -1037,6 +1231,14 @@ std::uint16_t tcp_front_end::port() const noexcept {
 void tcp_front_end::shutdown() { impl_->shutdown(); }
 
 front_end_stats tcp_front_end::stats() const { return impl_->stats(); }
+
+std::vector<connection_info> tcp_front_end::connections() const {
+  return impl_->connection_table();
+}
+
+bool tcp_front_end::draining() const noexcept {
+  return impl_->draining.load(std::memory_order_relaxed);
+}
 
 const obs::metric_registry& tcp_front_end::metrics() const noexcept {
   return *impl_->metrics;

@@ -1,0 +1,174 @@
+// Distributed request tracing: a shared microsecond clock, a bounded span
+// ring, and a Chrome trace-event (Perfetto-loadable) exporter.
+//
+// Spans from every layer of one request — the client's RTT span, the TCP
+// front end's read/decode/admit/write spans, the serve layer's
+// hold/queue/exec spans — carry the same client-stamped 64-bit trace_id and
+// timestamps from the same process-global steady epoch (trace_clock_us), so
+// grouping the ring by trace_id reconstructs the request's full wire-to-wire
+// timeline. chrome_trace_json() renders that as trace-event JSON that
+// chrome://tracing and ui.perfetto.dev load directly.
+//
+// Cost discipline mirrors the flight recorder: the hot-path gate (armed) is
+// one relaxed atomic load, and producers additionally skip span construction
+// for requests whose trace_id is zero (unsampled), so disabled or
+// head-sampled-out tracing costs one load and one branch per site.
+// Enabled from the environment:
+//
+//   KLINQ_TRACE_FILE=/path/trace.json  KLINQ_TRACE_SAMPLE=0.01
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace klinq::obs {
+
+/// Microseconds since a process-global steady_clock epoch (the epoch is
+/// captured on first use). All spans across client/net/serve stamp from
+/// this one clock so their intervals nest on a single timeline; the unit
+/// matches the Chrome trace-event "ts"/"dur" fields.
+std::uint64_t trace_clock_us() noexcept;
+
+struct trace_span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;  // 0 = root
+  std::uint64_t start_us = 0;     // trace_clock_us() at span start
+  std::uint64_t duration_us = 0;
+  std::string name;      // e.g. "net.read", "serve.exec", "client.rtt"
+  std::string category;  // track grouping: "client" | "net" | "serve"
+};
+
+/// Bounded MPSC-friendly span store. record() under a mutex is fine because
+/// only sampled requests reach it; the armed() gate is the hot-path check.
+class trace_ring {
+ public:
+  explicit trace_ring(std::size_t capacity = 4096);
+
+  /// Hot-path gate: one relaxed load. Producers must not build spans when
+  /// this is false.
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  void set_armed(bool armed) noexcept {
+    armed_.store(armed, std::memory_order_relaxed);
+  }
+
+  /// Process-unique nonzero ids (shared by every layer recording here).
+  std::uint64_t next_span_id() noexcept;
+  std::uint64_t next_trace_id() noexcept;
+
+  /// Stores a completed span; overwrites the oldest when full. No-op (and
+  /// not counted) when disarmed.
+  void record(trace_span span);
+
+  /// All stored spans, oldest first.
+  std::vector<trace_span> spans() const;
+
+  /// Spans of one trace, wall order (empty when the id is unknown).
+  std::vector<trace_span> trace(std::uint64_t trace_id) const;
+
+  struct trace_view {
+    std::uint64_t trace_id = 0;
+    std::vector<trace_span> spans;  // wall order
+    std::uint64_t start_us = 0;
+    std::uint64_t duration_us = 0;  // earliest start → latest end
+  };
+
+  /// Completed traces grouped by id, most recently finished first, at most
+  /// `max_traces` of them.
+  std::vector<trace_view> traces(std::size_t max_traces = 32) const;
+
+  std::uint64_t recorded() const noexcept {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  /// Spans overwritten because the ring was full.
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Empties the ring and resets the recorded/dropped counters.
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> next_span_{1};
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::vector<trace_span> ring_;  // ring, next_ = oldest once wrapped
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+};
+
+/// Process-wide ring shared by client, front end, and server (leaked
+/// singleton, same discipline as default_registry()).
+trace_ring& default_trace_ring();
+
+/// Deterministic head sampler: stamps every (1/rate)-th trace (rate in
+/// [0, 1]; 0 never samples, 1 samples everything). Counter-based, so a run
+/// of N requests at rate r yields round(N*r) traces regardless of timing.
+class trace_sampler {
+ public:
+  explicit trace_sampler(double rate) noexcept;
+  // Copyable (the atomic counter is carried over) so holders can reassign.
+  trace_sampler(const trace_sampler& other) noexcept
+      : rate_(other.rate_),
+        period_(other.period_),
+        count_(other.count_.load(std::memory_order_relaxed)) {}
+  trace_sampler& operator=(const trace_sampler& other) noexcept {
+    rate_ = other.rate_;
+    period_ = other.period_;
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+  bool sample() noexcept;
+  double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_ = 0.0;
+  std::uint64_t period_ = 0;  // 0 = never
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Renders spans as Chrome trace-event JSON ("X" complete events with
+/// microsecond ts/dur; trace/span/parent ids in args). Loads in
+/// chrome://tracing and Perfetto.
+std::string chrome_trace_json(const std::vector<trace_span>& spans);
+
+/// Writes chrome_trace_json of the ring to a file at stop()/destruction.
+class trace_file_sink {
+ public:
+  /// Verifies the path is writable now (throws io_error otherwise) so a
+  /// misconfigured KLINQ_TRACE_FILE fails at startup, not at exit.
+  trace_file_sink(trace_ring& ring, std::string path);
+  ~trace_file_sink();
+
+  trace_file_sink(const trace_file_sink&) = delete;
+  trace_file_sink& operator=(const trace_file_sink&) = delete;
+
+  /// Writes the trace file once. Idempotent.
+  void stop();
+
+ private:
+  trace_ring& ring_;
+  std::string path_;
+  bool stopped_ = false;
+};
+
+/// When KLINQ_TRACE_FILE is set: arms `ring` and returns a sink writing to
+/// that path at stop/exit; null (ring untouched) when unset.
+std::unique_ptr<trace_file_sink> start_trace_sink_from_env(trace_ring& ring);
+
+/// KLINQ_TRACE_SAMPLE clamped to [0, 1]; defaults to 1 (trace everything
+/// once tracing is armed).
+double trace_sample_rate_from_env();
+
+}  // namespace klinq::obs

@@ -87,6 +87,7 @@
 #include "klinq/common/stopwatch.hpp"
 #include "klinq/obs/flight_recorder.hpp"
 #include "klinq/obs/metrics.hpp"
+#include "klinq/obs/trace.hpp"
 #include "klinq/serve/engine_provider.hpp"
 #include "klinq/serve/request.hpp"
 #include "klinq/serve/shard_scheduler.hpp"
@@ -151,6 +152,12 @@ struct server_config {
   /// load either way).
   std::size_t flight_anomalies = 32;
   std::size_t flight_slowest = 8;
+  /// Distributed-tracing sink (borrowed; must outlive the server). When set
+  /// and armed, requests carrying a nonzero readout_request::trace_id get
+  /// their hold/queue/exec stage spans recorded here on completion, on the
+  /// same trace_clock_us timeline the network layers stamp. Null — the
+  /// default — records nothing; untraced requests cost one branch.
+  obs::trace_ring* traces = nullptr;
 
   /// Largest accepted shard_shots / coalesce_shots value; anything above is
   /// a config bug, not a workload.
@@ -246,6 +253,10 @@ class readout_server {
     return recorder_.records();
   }
 
+  /// The underlying recorder (internally synchronized) — the /statusz data
+  /// source for net::install_introspection_handlers.
+  const obs::flight_recorder& recorder() const noexcept { return recorder_; }
+
  private:
   static constexpr std::uint64_t kNoVersionYet =
       ~static_cast<std::uint64_t>(0);
@@ -284,6 +295,16 @@ class readout_server {
     double first_exec_at = -1.0;
     /// Total shards this request was split into (for flight records).
     std::size_t shard_count = 0;
+    // --- wire tracing (sampled requests only) ----------------------------
+    /// Trace correlation copied from the readout_request at submit; 0 means
+    /// untraced and the span-emission branch in finish_request_locked is
+    /// skipped entirely.
+    std::uint64_t trace_id = 0;
+    std::uint64_t trace_parent = 0;
+    /// trace_clock_us() at submit — the absolute anchor that places the
+    /// relative stage stamps (dispatch_at / first_exec_at / latency) on the
+    /// shared trace timeline. Stamped only for traced requests.
+    std::uint64_t submit_us = 0;
   };
 
   /// One small request parked in a coalescing batch: the borrowed request

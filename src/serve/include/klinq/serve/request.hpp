@@ -93,6 +93,13 @@ struct readout_request {
   /// inherits server_config::feedback_default_deadline_seconds before
   /// falling back to default_deadline_seconds.
   lane_class lane = lane_class::bulk;
+  /// Wire-level trace correlation (0 = untraced, the default — the server
+  /// then records no spans for this request). Stamped by the TCP front end
+  /// from the frame's trace context; the serve stage spans (hold/queue/exec)
+  /// are emitted into server_config::traces under this id, parented to
+  /// trace_parent (the client's RTT span).
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent = 0;
 };
 
 /// Completed measurement of one request. `states[r]` is the hard decision

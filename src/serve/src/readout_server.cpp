@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdio>
 #include <exception>
 #include <iterator>
 #include <span>
@@ -318,7 +319,38 @@ void readout_server::finish_request_locked(slot* raw, engine_kind engine) {
         {"version", std::to_string(raw->result.model_version)},
         {"shots", std::to_string(raw->shots)},
         {"shards", std::to_string(raw->shard_count)}};
+    if (raw->trace_id != 0) {
+      // Joins the flight record to the wire trace: grep the exported trace
+      // JSON for this hex id to see the request's full timeline.
+      char hex[17];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(raw->trace_id));
+      rec.attributes.emplace_back("trace_id", hex);
+    }
     recorder_.capture(std::move(rec));
+  }
+  if (raw->trace_id != 0 && config_.traces != nullptr &&
+      config_.traces->armed()) {
+    // The same hold/queue/exec breakdown the stage histograms aggregate,
+    // placed absolutely via the submit-time anchor. All three spans share
+    // the client's parent so the RTT span brackets them in the viewer.
+    obs::trace_ring& ring = *config_.traces;
+    auto emit = [&](const char* name, double start_s, double dur_s) {
+      obs::trace_span span;
+      span.trace_id = raw->trace_id;
+      span.span_id = ring.next_span_id();
+      span.parent_span = raw->trace_parent;
+      span.start_us =
+          raw->submit_us + static_cast<std::uint64_t>(start_s * 1e6);
+      span.duration_us =
+          static_cast<std::uint64_t>(std::max(dur_s, 0.0) * 1e6);
+      span.name = name;
+      span.category = "serve";
+      ring.record(std::move(span));
+    };
+    emit("serve.hold", 0.0, hold);
+    emit("serve.queue", hold, queue);
+    emit("serve.exec", first, exec);
   }
 }
 
@@ -471,6 +503,15 @@ ticket readout_server::submit_locked(const readout_request& request,
   s->dispatch_at = 0.0;
   s->first_exec_at = -1.0;
   s->shard_count = s->remaining_shards;
+  s->trace_id = 0;
+  s->trace_parent = 0;
+  s->submit_us = 0;
+  if (request.trace_id != 0 && config_.traces != nullptr &&
+      config_.traces->armed()) {
+    s->trace_id = request.trace_id;
+    s->trace_parent = request.trace_parent;
+    s->submit_us = obs::trace_clock_us();
+  }
   s->timer.reset();
 
   slot* raw = s.get();

@@ -9,9 +9,17 @@
 // of unbounded queues.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <optional>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,6 +31,8 @@
 #include "klinq/net/client.hpp"
 #include "klinq/net/frame.hpp"
 #include "klinq/net/tcp_front_end.hpp"
+#include "klinq/obs/metrics.hpp"
+#include "klinq/obs/trace.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
 #include "klinq/serve/readout_server.hpp"
 
@@ -917,6 +927,372 @@ TEST(NetShutdown, GracefulDrainAnswersGoodbyeAndReconciles) {
   const serve::ticket t =
       server.submit({0, &block, serve::engine_kind::fixed_q16});
   EXPECT_EQ(server.wait(t).status, serve::request_status::ok);
+}
+
+// --- protocol v2: flags byte, trace context, version negotiation ------------
+
+TEST(NetFrame, UnknownFlagBitsAndNonRequestFlagsAreRejected) {
+  net::frame_header header;
+  header.type = net::frame_type::request;
+  header.request_id = 7;
+  header.payload_size = 0;
+  header.flags = 0x02;  // unknown flag bit
+  std::uint8_t bytes[net::kHeaderSize];
+  net::encode_header(header, bytes);
+  net::frame_header out;
+  EXPECT_EQ(net::decode_header(bytes, out), net::header_verdict::bad_type);
+
+  // The trace flag is only legal on request frames.
+  header.type = net::frame_type::ping;
+  header.flags = net::kTraceFlag;
+  net::encode_header(header, bytes);
+  EXPECT_EQ(net::decode_header(bytes, out), net::header_verdict::bad_type);
+
+  // A v1 frame must keep the reserved byte zero.
+  header.type = net::frame_type::ping;
+  header.flags = 0;
+  net::encode_header(header, bytes);
+  bytes[4] = 1;
+  bytes[7] = net::kTraceFlag;
+  const std::uint32_t crc = net::crc32(bytes, 20);
+  std::memcpy(bytes + 20, &crc, 4);
+  EXPECT_EQ(net::decode_header(bytes, out), net::header_verdict::bad_type);
+}
+
+TEST(NetFrame, RequestTraceContextRoundTrip) {
+  auto& f = fixture();
+  const data::trace_dataset block = f.small_block(4);
+  const net::trace_context tctx{0x1234ABCD5678EF01ull, 42};
+  const std::vector<std::uint8_t> frame = net::encode_request(
+      5, fixed_request(), serve::lane_class::bulk, block, &tctx);
+  net::frame_header header;
+  ASSERT_EQ(net::decode_header(frame.data(), header), net::header_verdict::ok);
+  EXPECT_EQ(header.version, net::kProtocolVersion);
+  ASSERT_TRUE(header.has_trace());
+  const net::trace_context decoded =
+      net::decode_trace_context(frame.data() + net::kHeaderSize);
+  EXPECT_EQ(decoded.trace_id, tctx.trace_id);
+  EXPECT_EQ(decoded.parent_span, tctx.parent_span);
+  // What follows the context is the unchanged request payload.
+  data::trace_dataset sink;
+  const net::request_info info = net::decode_request(
+      std::span<const std::uint8_t>(
+          frame.data() + net::kHeaderSize + net::kTraceContextSize,
+          header.payload_size - net::kTraceContextSize),
+      sink);
+  EXPECT_EQ(info.qubit, 0u);
+  EXPECT_EQ(sink.size(), block.size());
+
+  // A null (or zero) trace context encodes a plain unflagged frame.
+  const std::vector<std::uint8_t> plain =
+      net::encode_request(5, fixed_request(), serve::lane_class::bulk, block);
+  net::frame_header plain_header;
+  ASSERT_EQ(net::decode_header(plain.data(), plain_header),
+            net::header_verdict::ok);
+  EXPECT_FALSE(plain_header.has_trace());
+  EXPECT_EQ(plain.size() + net::kTraceContextSize, frame.size());
+}
+
+TEST(NetCompat, V1ClientIsServedAndAnsweredInV1) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  net::client cli("127.0.0.1", front.port());
+  const data::trace_dataset block = f.small_block(8);
+
+  // Re-stamp an encoded request as protocol v1 with a valid CRC — the bytes
+  // a pre-v2 client would put on the wire (byte 7 is already zero).
+  std::vector<std::uint8_t> bytes =
+      net::encode_request(1, fixed_request(), serve::lane_class::bulk, block);
+  ASSERT_EQ(bytes[7], 0u);
+  bytes[4] = 1;
+  const std::uint32_t crc = net::crc32(bytes.data(), 20);
+  std::memcpy(bytes.data() + 20, &crc, 4);
+  cli.send_bytes(bytes);
+
+  const auto reply = cli.read_reply(1);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->header.type, net::frame_type::response);
+  // The server answers in the connection's negotiated version.
+  EXPECT_EQ(reply->header.version, 1u);
+  expect_fixed_response(net::decode_response(reply->payload), block);
+  const std::vector<net::connection_info> conns = front.connections();
+  ASSERT_EQ(conns.size(), 1u);
+  EXPECT_EQ(conns[0].protocol_version, 1u);
+  EXPECT_EQ(conns[0].admitted_bulk, 1u);
+
+  // A v2 client on the same server is answered in v2.
+  net::client cli2("127.0.0.1", front.port());
+  const std::uint64_t id = cli2.send_request(fixed_request(), block);
+  const auto reply2 = cli2.read_reply(id);
+  ASSERT_TRUE(reply2.has_value());
+  EXPECT_EQ(reply2->header.version, net::kProtocolVersion);
+}
+
+TEST(NetHostile, TraceFlaggedRequestShorterThanContextIsRejected) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  net::client cli("127.0.0.1", front.port());
+
+  net::frame_header header;
+  header.type = net::frame_type::request;
+  header.request_id = 9;
+  header.flags = net::kTraceFlag;
+  header.payload_size = 8;  // shorter than the 16-byte trace context
+  std::uint8_t bytes[net::kHeaderSize + 8] = {};
+  net::encode_header(header, bytes);
+  cli.send_bytes(bytes, sizeof(bytes));
+
+  // A typed error frame, whatever else the close path sends, then EOF.
+  bool got_error = false;
+  while (const auto frame = cli.read_frame(2.0)) {
+    if (frame->header.type == net::frame_type::error) got_error = true;
+  }
+  EXPECT_TRUE(got_error);
+  EXPECT_TRUE(wait_until(
+      [&] { return front.stats().malformed_frames >= 1; }));
+}
+
+// --- end-to-end wire tracing ------------------------------------------------
+
+TEST(NetTrace, SingleRequestProducesOneCompleteTrace) {
+  auto& f = fixture();
+  obs::trace_ring ring;
+  ring.set_armed(true);
+  serve::server_config scfg;
+  scfg.traces = &ring;
+  serve::readout_server server(f.engines(), scfg);
+  net::front_end_config cfg;
+  cfg.traces = &ring;
+  net::tcp_front_end front(server, cfg);
+  net::client cli("127.0.0.1", front.port());
+  cli.enable_tracing(&ring, 1.0);
+
+  const data::trace_dataset block = f.small_block(16);
+  const std::uint64_t id = cli.send_request(fixed_request(), block);
+  const auto reply = cli.read_reply(id);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->header.type, net::frame_type::response);
+  // net.write completes on the poll thread after the flush; wait it in.
+  ASSERT_TRUE(wait_until([&] { return ring.spans().size() >= 8; }));
+
+  const std::vector<obs::trace_ring::trace_view> views = ring.traces();
+  ASSERT_EQ(views.size(), 1u);
+  const obs::trace_ring::trace_view& view = views[0];
+  std::set<std::string> names;
+  for (const obs::trace_span& span : view.spans) names.insert(span.name);
+  const std::set<std::string> expected = {
+      "client.rtt", "net.read",   "net.decode", "net.admit",
+      "net.write",  "serve.hold", "serve.queue", "serve.exec"};
+  EXPECT_EQ(names, expected);
+
+  // The client's RTT span is the root; every server-side span is parented
+  // to it, shares its trace id, and nests inside it on the shared timeline
+  // (net.write's tail is recorded on the poll thread after the flush, so
+  // only its start is ordered against the client's receive stamp).
+  const auto rtt = std::find_if(
+      view.spans.begin(), view.spans.end(),
+      [](const obs::trace_span& s) { return s.name == "client.rtt"; });
+  ASSERT_NE(rtt, view.spans.end());
+  EXPECT_EQ(rtt->parent_span, 0u);
+  const std::uint64_t rtt_end = rtt->start_us + rtt->duration_us;
+  for (const obs::trace_span& span : view.spans) {
+    EXPECT_EQ(span.trace_id, view.trace_id) << span.name;
+    if (span.name == "client.rtt") continue;
+    EXPECT_EQ(span.parent_span, rtt->span_id) << span.name;
+    EXPECT_GE(span.start_us, rtt->start_us) << span.name;
+    if (span.name != "net.write") {
+      EXPECT_LE(span.start_us + span.duration_us, rtt_end) << span.name;
+    }
+  }
+}
+
+TEST(NetTrace, HeadSamplingTracesTheConfiguredFraction) {
+  auto& f = fixture();
+  obs::trace_ring ring;
+  ring.set_armed(true);
+  serve::server_config scfg;
+  scfg.traces = &ring;
+  serve::readout_server server(f.engines(), scfg);
+  net::front_end_config cfg;
+  cfg.traces = &ring;
+  net::tcp_front_end front(server, cfg);
+  net::client cli("127.0.0.1", front.port());
+  cli.enable_tracing(&ring, 0.25);
+
+  const data::trace_dataset block = f.small_block(4);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t id = cli.send_request(fixed_request(), block);
+    const auto reply = cli.read_reply(id);
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->header.type, net::frame_type::response);
+  }
+  // 8 requests at rate 1/4: exactly 2 traces, 8 spans each.
+  ASSERT_TRUE(wait_until([&] { return ring.spans().size() >= 16; }));
+  EXPECT_EQ(ring.traces().size(), 2u);
+  EXPECT_EQ(ring.spans().size(), 16u);
+}
+
+TEST(NetTrace, DisarmedRingRecordsNothing) {
+  auto& f = fixture();
+  obs::trace_ring ring;  // never armed
+  serve::server_config scfg;
+  scfg.traces = &ring;
+  serve::readout_server server(f.engines(), scfg);
+  net::front_end_config cfg;
+  cfg.traces = &ring;
+  net::tcp_front_end front(server, cfg);
+  net::client cli("127.0.0.1", front.port());
+  cli.enable_tracing(&ring, 1.0);
+
+  const data::trace_dataset block = f.small_block(4);
+  const std::uint64_t id = cli.send_request(fixed_request(), block);
+  ASSERT_TRUE(cli.read_reply(id).has_value());
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.spans().empty());
+}
+
+// --- client keepalive --------------------------------------------------------
+
+TEST(NetKeepalive, ClientPingsAreAnsweredAndCounted) {
+  auto& f = fixture();
+  serve::readout_server server(f.engines());
+  net::tcp_front_end front(server);
+  net::client cli("127.0.0.1", front.port());
+  cli.enable_keepalive(0.05, 2.0);
+
+  // An idle read window long enough for several keepalive rounds: the pongs
+  // are consumed internally, so the read returns empty-handed — but alive.
+  EXPECT_FALSE(cli.read_frame(0.4).has_value());
+  EXPECT_TRUE(cli.is_open());
+  const net::front_end_stats stats = front.stats();
+  stats.validate();
+  EXPECT_GE(stats.pings_received, 1u);
+  EXPECT_EQ(stats.pongs_sent, stats.pings_received);
+
+  // The connection still serves requests after the keepalive exchanges.
+  const data::trace_dataset block = f.small_block(4);
+  const std::uint64_t id = cli.send_request(fixed_request(), block);
+  const auto reply = cli.read_reply(id);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->header.type, net::frame_type::response);
+}
+
+TEST(NetKeepalive, MissedPongDeadlineFailsPendingReads) {
+  // A listener that accepts but never answers: the keepalive ping goes
+  // unanswered and the client must fail fast instead of blocking out its
+  // caller's full timeout.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+
+  net::client cli("127.0.0.1", ntohs(addr.sin_port));
+  cli.enable_keepalive(0.05, 0.1);
+  stopwatch timer;
+  EXPECT_THROW(cli.read_frame(10.0), io_error);
+  EXPECT_LT(timer.seconds(), 5.0);  // failed on the pong deadline, not 10 s
+  EXPECT_FALSE(cli.is_open());
+  ::close(listener);
+}
+
+// --- stats ↔ metric-family reconciliation -----------------------------------
+
+TEST(NetReconcile, StatsMatchMetricFamiliesExactly) {
+  auto& f = fixture();
+  obs::metric_registry metrics;
+  serve::readout_server server(f.engines());
+  net::front_end_config cfg;
+  cfg.max_inflight_per_connection = 2;
+  cfg.metrics = &metrics;
+  net::tcp_front_end front(server, cfg);
+  net::client cli("127.0.0.1", front.port());
+
+  // Mixed traffic: served requests, a ping, an over-quota burst that sheds.
+  const data::trace_dataset block = f.small_block(8);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::uint64_t id = cli.send_request(fixed_request(), block);
+    ASSERT_TRUE(cli.read_reply(id).has_value());
+  }
+  cli.send_ping(77);
+  const auto pong = cli.read_frame();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->header.type, net::frame_type::pong);
+
+  std::vector<std::uint8_t> burst;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::vector<std::uint8_t> frame = net::encode_request(
+        100 + i, fixed_request(), serve::lane_class::bulk, block);
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  cli.send_bytes(burst);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cli.read_reply(100 + i).has_value());
+  }
+
+  // Quiesce, then compare the struct view against the scraped families.
+  ASSERT_TRUE(wait_until([&] { return front.stats().inflight == 0; }));
+  const obs::metrics_snapshot snap = metrics.snapshot();
+  const net::front_end_stats stats = front.stats();
+  stats.validate();
+
+  const auto count = [&](const char* name, const obs::label_list& labels =
+                                               obs::label_list{}) {
+    return static_cast<std::uint64_t>(snap.value(name, labels));
+  };
+  EXPECT_EQ(count("klinq_net_connections_total", {{"event", "accepted"}}),
+            stats.connections_accepted);
+  EXPECT_EQ(count("klinq_net_connections_total", {{"event", "rejected"}}),
+            stats.connections_rejected);
+  EXPECT_EQ(count("klinq_net_connections_total", {{"event", "closed"}}),
+            stats.connections_closed);
+  EXPECT_EQ(count("klinq_net_connections_total", {{"event", "evicted"}}),
+            stats.connections_evicted);
+  EXPECT_EQ(count("klinq_net_frames_total", {{"dir", "in"}}),
+            stats.frames_received);
+  EXPECT_EQ(count("klinq_net_frames_total", {{"dir", "out"}}),
+            stats.frames_sent);
+  EXPECT_EQ(count("klinq_net_bytes_total", {{"dir", "in"}}),
+            stats.bytes_received);
+  EXPECT_EQ(count("klinq_net_bytes_total", {{"dir", "out"}}),
+            stats.bytes_sent);
+  EXPECT_EQ(count("klinq_net_requests_admitted_total"),
+            stats.requests_admitted);
+  EXPECT_EQ(count("klinq_net_responses_total"), stats.responses_sent);
+  EXPECT_EQ(count("klinq_net_results_dropped_total"), stats.results_dropped);
+  EXPECT_EQ(count("klinq_net_cancels_total"), stats.cancels_received);
+  EXPECT_EQ(count("klinq_net_pings_received_total"), stats.pings_received);
+  EXPECT_EQ(count("klinq_net_pongs_sent_total"), stats.pongs_sent);
+
+  // Label-summed families reconcile against their struct totals.
+  const auto family_sum = [&](const char* name) {
+    const obs::family_snapshot* family = snap.find(name);
+    std::uint64_t total = 0;
+    if (family != nullptr) {
+      for (const obs::series_snapshot& series : family->series) {
+        total += static_cast<std::uint64_t>(series.value);
+      }
+    }
+    return total;
+  };
+  EXPECT_EQ(family_sum("klinq_net_shed_total"), stats.busy_rejections);
+  EXPECT_EQ(family_sum("klinq_net_malformed_frames_total"),
+            stats.malformed_frames);
+
+  // The pull collector refreshed the gauges at snapshot time.
+  EXPECT_EQ(count("klinq_net_open_connections"), stats.open_connections);
+  EXPECT_EQ(count("klinq_net_inflight"), stats.inflight);
+  EXPECT_GE(stats.busy_rejections, 1u);  // the burst actually shed
 }
 
 }  // namespace

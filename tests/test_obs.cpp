@@ -17,7 +17,12 @@
 //   * fault mirror: fault::report() deltas land as counters and survive
 //     the counter reset on re-arm;
 //   * metrics_emitter: background JSONL lines appear and stop() flushes a
-//     final one; environment wiring via KLINQ_METRICS_FILE.
+//     final one; environment wiring via KLINQ_METRICS_FILE;
+//   * trace plane: the shared microsecond clock is monotonic, the span ring
+//     gates on armed(), bounds memory by overwriting oldest, and groups
+//     spans into traces; the head sampler is deterministic at any rate;
+//     chrome_trace_json is structurally valid trace-event JSON; the file
+//     sink + KLINQ_TRACE_FILE / KLINQ_TRACE_SAMPLE env wiring.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -38,6 +43,7 @@
 #include "klinq/obs/fault_mirror.hpp"
 #include "klinq/obs/flight_recorder.hpp"
 #include "klinq/obs/histogram.hpp"
+#include "klinq/obs/trace.hpp"
 #include "klinq/obs/metrics.hpp"
 
 namespace {
@@ -491,6 +497,238 @@ TEST(ObsEmitter, EnvironmentWiring) {
   ::unsetenv("KLINQ_METRICS_FILE");
   ::unsetenv("KLINQ_METRICS_INTERVAL");
   EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+// --- tracing ----------------------------------------------------------------
+
+obs::trace_span make_span(std::uint64_t trace_id, std::uint64_t span_id,
+                          std::uint64_t start_us, std::uint64_t duration_us,
+                          const char* name = "span",
+                          std::uint64_t parent = 0) {
+  obs::trace_span s;
+  s.trace_id = trace_id;
+  s.span_id = span_id;
+  s.parent_span = parent;
+  s.start_us = start_us;
+  s.duration_us = duration_us;
+  s.name = name;
+  s.category = "test";
+  return s;
+}
+
+TEST(ObsTrace, ClockIsMonotonicMicroseconds) {
+  const std::uint64_t t1 = obs::trace_clock_us();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const std::uint64_t t2 = obs::trace_clock_us();
+  EXPECT_GE(t2, t1 + 1000);  // at least the sleep, in microseconds
+  EXPECT_LT(t2 - t1, 1000000u);  // and nowhere near a second
+}
+
+TEST(ObsTrace, RingGatesOnArmedAndHandsOutUniqueIds) {
+  obs::trace_ring ring(8);
+  EXPECT_FALSE(ring.armed());
+  ring.record(make_span(1, 1, 0, 5));  // disarmed: dropped on the floor
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.spans().empty());
+
+  ring.set_armed(true);
+  const std::uint64_t a = ring.next_span_id();
+  const std::uint64_t b = ring.next_span_id();
+  const std::uint64_t t = ring.next_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, a);
+  EXPECT_NE(t, 0u);
+  ring.record(make_span(t, a, 0, 5));
+  EXPECT_EQ(ring.recorded(), 1u);
+  ASSERT_EQ(ring.spans().size(), 1u);
+  EXPECT_EQ(ring.spans()[0].trace_id, t);
+}
+
+TEST(ObsTrace, RingOverwritesOldestWhenFull) {
+  obs::trace_ring ring(4);
+  ring.set_armed(true);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    ring.record(make_span(i, i, i * 10, 1));
+  }
+  EXPECT_EQ(ring.recorded(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);  // spans 1 and 2 were overwritten
+  const std::vector<obs::trace_span> spans = ring.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest first, and the survivors are the four most recent.
+  EXPECT_EQ(spans.front().trace_id, 3u);
+  EXPECT_EQ(spans.back().trace_id, 6u);
+
+  ring.clear();
+  EXPECT_TRUE(ring.spans().empty());
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(ObsTrace, TracesGroupByIdMostRecentlyFinishedFirst) {
+  obs::trace_ring ring(16);
+  ring.set_armed(true);
+  // Trace 7: two spans ending at t=30. Trace 9: one span ending at t=45.
+  ring.record(make_span(7, 1, 10, 20, "a"));
+  ring.record(make_span(7, 2, 12, 10, "b", /*parent=*/1));
+  ring.record(make_span(9, 3, 40, 5, "c"));
+
+  const std::vector<obs::trace_span> only7 = ring.trace(7);
+  ASSERT_EQ(only7.size(), 2u);
+  EXPECT_EQ(only7[0].name, "a");
+  EXPECT_EQ(only7[1].name, "b");
+  EXPECT_TRUE(ring.trace(12345).empty());
+
+  const auto views = ring.traces();
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].trace_id, 9u);  // finished latest (t=45)
+  EXPECT_EQ(views[1].trace_id, 7u);
+  EXPECT_EQ(views[1].start_us, 10u);
+  EXPECT_EQ(views[1].duration_us, 20u);  // earliest start → latest end
+  ASSERT_EQ(ring.traces(1).size(), 1u);
+  EXPECT_EQ(ring.traces(1)[0].trace_id, 9u);
+}
+
+TEST(ObsTrace, SamplerIsDeterministicAtEveryRate) {
+  obs::trace_sampler never(0.0);
+  obs::trace_sampler always(1.0);
+  obs::trace_sampler quarter(0.25);
+  int never_hits = 0;
+  int always_hits = 0;
+  int quarter_hits = 0;
+  for (int i = 0; i < 16; ++i) {
+    never_hits += never.sample() ? 1 : 0;
+    always_hits += always.sample() ? 1 : 0;
+    quarter_hits += quarter.sample() ? 1 : 0;
+  }
+  EXPECT_EQ(never_hits, 0);
+  EXPECT_EQ(always_hits, 16);
+  EXPECT_EQ(quarter_hits, 4);  // counter-based: exact, not probabilistic
+  EXPECT_DOUBLE_EQ(quarter.rate(), 0.25);
+
+  // Copy carries the counter phase, so the copy continues the cadence.
+  obs::trace_sampler copy(quarter);
+  int copy_hits = 0;
+  for (int i = 0; i < 16; ++i) copy_hits += copy.sample() ? 1 : 0;
+  EXPECT_EQ(copy_hits, 4);
+}
+
+// Tiny structural JSON scanner: validates balanced {}/[] outside strings,
+// legal string escapes, and no trailing garbage. Not a full parser — just
+// enough to prove the exporter cannot emit something Perfetto rejects at
+// the syntax level.
+bool json_structurally_valid(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(ObsTrace, ChromeTraceJsonIsStructurallyValid) {
+  std::vector<obs::trace_span> spans;
+  obs::trace_span tricky = make_span(0xABCD, 2, 100, 50, "net.read", 1);
+  tricky.category = "net";
+  spans.push_back(make_span(0xABCD, 1, 90, 80, "client.rtt"));
+  spans.push_back(tricky);
+  const std::string json = obs::chrome_trace_json(spans);
+
+  EXPECT_TRUE(json_structurally_valid(json)) << json;
+  // The trace-event envelope Perfetto looks for.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":90"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":80"), std::string::npos);
+  EXPECT_NE(json.find("\"client.rtt\""), std::string::npos);
+  EXPECT_NE(json.find("trace_id"), std::string::npos);
+
+  // Empty input still renders a loadable (empty) envelope.
+  const std::string empty = obs::chrome_trace_json({});
+  EXPECT_TRUE(json_structurally_valid(empty)) << empty;
+  EXPECT_NE(empty.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ObsTrace, FileSinkWritesOnceAtStop) {
+  const std::string path = temp_path("klinq_obs_trace_sink_");
+  std::filesystem::remove(path);
+  obs::trace_ring ring(16);
+  ring.set_armed(true);
+  ring.record(make_span(5, 1, 10, 20, "serve.exec"));
+  {
+    obs::trace_file_sink sink(ring, path);
+    sink.stop();
+    sink.stop();  // idempotent
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(json_structurally_valid(buffer.str()));
+  EXPECT_NE(buffer.str().find("\"serve.exec\""), std::string::npos);
+  std::filesystem::remove(path);
+
+  // An unwritable path fails at construction, not at exit.
+  EXPECT_THROW(obs::trace_file_sink(ring, "/nonexistent-dir/trace.json"),
+               io_error);
+}
+
+TEST(ObsTrace, EnvironmentWiring) {
+  obs::trace_ring ring(16);
+  ::unsetenv("KLINQ_TRACE_FILE");
+  ::unsetenv("KLINQ_TRACE_SAMPLE");
+  EXPECT_EQ(obs::start_trace_sink_from_env(ring), nullptr);
+  EXPECT_FALSE(ring.armed());  // unset leaves the ring untouched
+  EXPECT_DOUBLE_EQ(obs::trace_sample_rate_from_env(), 1.0);
+
+  ::setenv("KLINQ_TRACE_SAMPLE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(obs::trace_sample_rate_from_env(), 0.25);
+  ::setenv("KLINQ_TRACE_SAMPLE", "7", 1);  // clamped into [0, 1]
+  EXPECT_DOUBLE_EQ(obs::trace_sample_rate_from_env(), 1.0);
+  ::setenv("KLINQ_TRACE_SAMPLE", "-3", 1);
+  EXPECT_DOUBLE_EQ(obs::trace_sample_rate_from_env(), 0.0);
+  ::unsetenv("KLINQ_TRACE_SAMPLE");
+
+  const std::string path = temp_path("klinq_obs_trace_env_");
+  std::filesystem::remove(path);
+  ::setenv("KLINQ_TRACE_FILE", path.c_str(), 1);
+  {
+    const auto sink = obs::start_trace_sink_from_env(ring);
+    ASSERT_NE(sink, nullptr);
+    EXPECT_TRUE(ring.armed());  // the env sink arms the ring it serves
+    ring.record(make_span(3, 1, 5, 5, "net.decode"));
+  }
+  ::unsetenv("KLINQ_TRACE_FILE");
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"net.decode\""), std::string::npos);
   std::filesystem::remove(path);
 }
 

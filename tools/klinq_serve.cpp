@@ -63,11 +63,14 @@
 #include "klinq/hw/fixed_discriminator.hpp"
 #include "klinq/kd/distiller.hpp"
 #include "klinq/net/client.hpp"
+#include "klinq/net/introspection.hpp"
 #include "klinq/net/tcp_front_end.hpp"
 #include "klinq/obs/emitter.hpp"
 #include "klinq/obs/exposition.hpp"
 #include "klinq/obs/fault_mirror.hpp"
+#include "klinq/obs/http.hpp"
 #include "klinq/obs/metrics.hpp"
+#include "klinq/obs/trace.hpp"
 #include "klinq/qsim/dataset_builder.hpp"
 #include "klinq/registry/model_registry.hpp"
 #include "klinq/registry/snapshot.hpp"
@@ -199,12 +202,30 @@ int run_listen_stream(serve::readout_server& server,
   net::front_end_config config = net::front_end_config::from_env();
   if (port != 0) config.port = port;
   config.metrics = &metrics;
+  config.traces = &obs::default_trace_ring();
   net::tcp_front_end front_end(server, config);
   std::printf("listening on %s:%u\n", config.bind_address.c_str(),
               front_end.port());
 
+  // Live introspection plane when KLINQ_HTTP is set.
+  const std::unique_ptr<obs::http_server> http = obs::start_http_from_env();
+  if (http) {
+    net::introspection_config ic;
+    ic.metrics = &metrics;
+    ic.front_end = &front_end;
+    ic.traces = &obs::default_trace_ring();
+    ic.recorder = &server.recorder();
+    net::install_introspection_handlers(*http, std::move(ic));
+    std::printf("introspection on http://%s:%u\n", http->host().c_str(),
+                http->port());
+  }
+
   const std::size_t n_qubits = data.size();
   net::client client("127.0.0.1", front_end.port());
+  // Client-side trace stamping when KLINQ_TRACE_FILE armed the ring;
+  // KLINQ_TRACE_SAMPLE sets the head-sampling rate.
+  client.enable_tracing(&obs::default_trace_ring(),
+                        obs::trace_sample_rate_from_env());
   stopwatch timer;
   std::size_t mismatches = 0;
   std::size_t responses = 0;
@@ -285,10 +306,33 @@ int run_listen_chaos(serve::readout_server& server,
   config.poll_interval_seconds = 0.02;
   config.drain_timeout_seconds = 5.0;
   config.metrics = &metrics;
+  config.traces = &obs::default_trace_ring();
   net::tcp_front_end front_end(server, config);
   const std::uint16_t bound = front_end.port();
   std::printf("net chaos smoke on 127.0.0.1:%u\n", bound);
   smoke_checker sc;
+
+  // The introspection plane rides along and is scraped mid-chaos: the
+  // smoke fails unless /metrics lints clean and /healthz tracks the induced
+  // degradation (armed faults) and the final drain. KLINQ_HTTP can pin the
+  // address; an ephemeral loopback port otherwise.
+  obs::http_config http_config = obs::http_config::from_env();
+  if (http_config.bind_address.empty()) {
+    http_config.bind_address = "127.0.0.1:0";
+  }
+  obs::http_server http(http_config);
+  {
+    net::introspection_config ic;
+    ic.metrics = &metrics;
+    ic.front_end = &front_end;
+    ic.traces = &obs::default_trace_ring();
+    ic.recorder = &server.recorder();
+    ic.unhealthy_when.push_back(
+        {"faults-armed", [] { return fault::any_armed(); }});
+    net::install_introspection_handlers(http, std::move(ic));
+  }
+  std::printf("introspection on http://%s:%u\n", http.host().c_str(),
+              http.port());
 
   const std::size_t n_qubits = data.size();
   std::vector<std::size_t> rows(std::min<std::size_t>(32, data[0].test.size()));
@@ -320,6 +364,28 @@ int run_listen_chaos(serve::readout_server& server,
     sc.check(request_ok(healthy, 0, serve::lane_class::feedback),
              "feedback-lane request served");
     healthy.send_goodbye();
+  }
+
+  {
+    // Introspection plane under load: the scrape must lint clean and the
+    // health/status endpoints must serve while traffic flows.
+    const obs::http_result scrape =
+        obs::http_get(http.host(), http.port(), "/metrics");
+    const bool lint_clean =
+        scrape.status == 200 &&
+        obs::lint_prometheus_text(scrape.body).empty();
+    sc.check(lint_clean, "/metrics scrape lints clean");
+    const obs::http_result health =
+        obs::http_get(http.host(), http.port(), "/healthz");
+    sc.check(health.status == 200, "/healthz healthy while serving");
+    const obs::http_result status =
+        obs::http_get(http.host(), http.port(), "/statusz");
+    sc.check(status.status == 200 &&
+                 status.body.find("connections:") != std::string::npos,
+             "/statusz renders the connection table");
+    const obs::http_result traces =
+        obs::http_get(http.host(), http.port(), "/tracez");
+    sc.check(traces.status == 200, "/tracez serves");
   }
 
   {
@@ -412,6 +478,18 @@ int run_listen_chaos(serve::readout_server& server,
     fault::arm_from_string("net.accept:throw:1.0:2");
     net::client victim("127.0.0.1", bound);
     const bool dropped = !victim.read_frame(2.0);
+    // Mid-chaos scrape: with faults armed, /healthz must flip to 503 and
+    // name the failing probe; /metrics must still lint clean.
+    const obs::http_result degraded =
+        obs::http_get(http.host(), http.port(), "/healthz");
+    sc.check(degraded.status == 503 &&
+                 degraded.body.find("faults-armed") != std::string::npos,
+             "/healthz reports induced degradation (503)");
+    const obs::http_result mid_scrape =
+        obs::http_get(http.host(), http.port(), "/metrics");
+    sc.check(mid_scrape.status == 200 &&
+                 obs::lint_prometheus_text(mid_scrape.body).empty(),
+             "/metrics lints clean mid-chaos");
     fault::disarm_all();
     net::client recovered("127.0.0.1", bound);
     sc.check(dropped && request_ok(recovered, 0, serve::lane_class::bulk),
@@ -440,6 +518,11 @@ int run_listen_chaos(serve::readout_server& server,
     drainer.join();
     sc.check(pinged && got_goodbye && got_eof,
              "graceful drain says goodbye");
+    const obs::http_result drained =
+        obs::http_get(http.host(), http.port(), "/healthz");
+    sc.check(drained.status == 503 &&
+                 drained.body.find("draining") != std::string::npos,
+             "/healthz reports the drain (503)");
   }
 
   // The whole point: exact reconciliation after the dust settles.
@@ -560,6 +643,11 @@ int main(int argc, char** argv) {
     obs::bind_fault_metrics(metrics);
     const std::unique_ptr<obs::metrics_emitter> emitter =
         obs::start_emitter_from_env(metrics);
+    // Wire tracing: KLINQ_TRACE_FILE arms the shared ring and exports
+    // Chrome trace-event JSON at exit; KLINQ_TRACE_SAMPLE head-samples.
+    obs::trace_ring& traces = obs::default_trace_ring();
+    const std::unique_ptr<obs::trace_file_sink> trace_sink =
+        obs::start_trace_sink_from_env(traces);
 
     // One independent channel per qubit: distinct dataset seed + student.
     std::printf("training %zu student(s)...\n", n_qubits);
@@ -590,6 +678,7 @@ int main(int argc, char** argv) {
         .max_inflight =
             static_cast<std::size_t>(cli.get_int("max-inflight"))};
     server_config.metrics = &metrics;
+    server_config.traces = &traces;
     // A low threshold makes the bad deploy trip the auto-rollback within a
     // single request's shards.
     if (chaos && !listen) server_config.failure_threshold = 4;
